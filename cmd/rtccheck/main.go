@@ -1,0 +1,320 @@
+// Command rtccheck analyzes a pcap capture of an RTC call: it filters
+// unrelated traffic, extracts protocol messages with the
+// offset-shifting DPI, evaluates the five-criterion compliance model,
+// and prints the results.
+//
+// Usage:
+//
+//	rtccheck -pcap traces/000_zoom_wi-fi-p2p.pcap \
+//	    -start 2026-07-06T12:00:00Z -end 2026-07-06T12:00:30Z
+//	rtccheck -pcap call.pcap            # call window = capture span
+//	rtccheck -manifest traces/manifest.json   # analyze a whole directory
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	rtcc "github.com/rtc-compliance/rtcc"
+	"github.com/rtc-compliance/rtcc/internal/dpi"
+	"github.com/rtc-compliance/rtcc/internal/flow"
+	"github.com/rtc-compliance/rtcc/internal/propheader"
+	"github.com/rtc-compliance/rtcc/internal/report"
+)
+
+func main() {
+	var (
+		pcapPath = flag.String("pcap", "", "pcap file to analyze")
+		manifest = flag.String("manifest", "", "manifest.json from rtcgen: analyze every capture it lists")
+		startStr = flag.String("start", "", "call window start (RFC 3339); default: capture start")
+		endStr   = flag.String("end", "", "call window end (RFC 3339); default: capture end")
+		label    = flag.String("label", "", "application label for the report")
+		kOffset  = flag.Int("k", 200, "DPI maximum candidate-extraction offset")
+		findings = flag.Bool("findings", true, "report behavioural findings")
+		verbose  = flag.Bool("v", false, "print per-type detail")
+		inferHdr = flag.Bool("infer-headers", false, "infer the structure of proprietary headers per stream")
+		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of text")
+	)
+	flag.Parse()
+
+	if (*pcapPath == "") == (*manifest == "") {
+		fmt.Fprintln(os.Stderr, "rtccheck: exactly one of -pcap or -manifest is required")
+		os.Exit(2)
+	}
+	var err error
+	if *manifest != "" {
+		err = runManifest(*manifest, *kOffset, *findings, *verbose, *inferHdr)
+	} else {
+		err = runOne(*pcapPath, *label, *startStr, *endStr, *kOffset, *findings, *verbose, *inferHdr, *jsonOut)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtccheck:", err)
+		os.Exit(1)
+	}
+}
+
+func parseTime(s string) (time.Time, error) {
+	if s == "" {
+		return time.Time{}, nil
+	}
+	return time.Parse(time.RFC3339, s)
+}
+
+func runOne(path, label, startStr, endStr string, k int, findings, verbose, inferHdr, jsonOut bool) error {
+	start, err := parseTime(startStr)
+	if err != nil {
+		return fmt.Errorf("bad -start: %w", err)
+	}
+	end, err := parseTime(endStr)
+	if err != nil {
+		return fmt.Errorf("bad -end: %w", err)
+	}
+	if label == "" {
+		label = filepath.Base(path)
+	}
+	ca, err := rtcc.AnalyzeFile(path, start, end, rtcc.Options{MaxOffset: k, SkipFindings: !findings})
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return printJSON(ca)
+	}
+	printAnalysis(ca, verbose)
+	if inferHdr {
+		printHeaderInference(ca, k)
+	}
+	return nil
+}
+
+// jsonReport is the machine-readable analysis result for one capture,
+// intended for deployment-diagnostics tooling.
+type jsonReport struct {
+	Label   string `json:"label"`
+	Streams struct {
+		RawUDP int `json:"raw_udp"`
+		RawTCP int `json:"raw_tcp"`
+		Stage1 int `json:"removed_stage1"`
+		Stage2 int `json:"removed_stage2"`
+		RTCUDP int `json:"rtc_udp"`
+		RTCTCP int `json:"rtc_tcp"`
+	} `json:"streams"`
+	Datagrams map[string]int `json:"datagrams"`
+	Protocols map[string]struct {
+		Messages  int     `json:"messages"`
+		Compliant int     `json:"compliant"`
+		Ratio     float64 `json:"ratio"`
+	} `json:"protocols"`
+	VolumeCompliance *float64      `json:"volume_compliance,omitempty"`
+	Types            []jsonType    `json:"message_types"`
+	Findings         []jsonFinding `json:"findings,omitempty"`
+}
+
+type jsonType struct {
+	Protocol     string `json:"protocol"`
+	Label        string `json:"label"`
+	Messages     int    `json:"messages"`
+	NonCompliant int    `json:"non_compliant"`
+	Reason       string `json:"reason,omitempty"`
+}
+
+type jsonFinding struct {
+	Kind   string `json:"kind"`
+	Detail string `json:"detail"`
+	Count  int    `json:"count"`
+}
+
+func printJSON(ca *rtcc.CaptureAnalysis) error {
+	var rep jsonReport
+	rep.Label = ca.Label
+	f := ca.Filter
+	rep.Streams.RawUDP = f.RawUDP.Streams
+	rep.Streams.RawTCP = f.RawTCP.Streams
+	rep.Streams.Stage1 = f.Stage1UDP.Streams + f.Stage1TCP.Streams
+	rep.Streams.Stage2 = f.Stage2UDP.Streams + f.Stage2TCP.Streams
+	rep.Streams.RTCUDP = f.RTCUDP.Streams
+	rep.Streams.RTCTCP = f.RTCTCP.Streams
+	rep.Datagrams = map[string]int{}
+	for class, n := range ca.Stats.Datagrams {
+		rep.Datagrams[class.String()] = n
+	}
+	rep.Protocols = map[string]struct {
+		Messages  int     `json:"messages"`
+		Compliant int     `json:"compliant"`
+		Ratio     float64 `json:"ratio"`
+	}{}
+	for fam, ps := range ca.Stats.ByProtocol {
+		entry := rep.Protocols[fam.String()]
+		entry.Messages = ps.Messages
+		entry.Compliant = ps.Compliant
+		if ps.Messages > 0 {
+			entry.Ratio = float64(ps.Compliant) / float64(ps.Messages)
+		}
+		rep.Protocols[fam.String()] = entry
+	}
+	if r, ok := ca.Stats.VolumeCompliance(); ok {
+		rep.VolumeCompliance = &r
+	}
+	for key, ts := range ca.Stats.Types {
+		jt := jsonType{
+			Protocol:     key.Protocol.String(),
+			Label:        key.Label,
+			Messages:     ts.Total,
+			NonCompliant: ts.NonCompliant,
+		}
+		for reason := range ts.Reasons {
+			jt.Reason = reason
+			break
+		}
+		rep.Types = append(rep.Types, jt)
+	}
+	sort.Slice(rep.Types, func(i, j int) bool {
+		if rep.Types[i].Protocol != rep.Types[j].Protocol {
+			return rep.Types[i].Protocol < rep.Types[j].Protocol
+		}
+		return rep.Types[i].Label < rep.Types[j].Label
+	})
+	for _, fd := range ca.Findings {
+		rep.Findings = append(rep.Findings, jsonFinding{Kind: fd.Kind, Detail: fd.Detail, Count: fd.Count})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// printHeaderInference re-runs the DPI per RTC stream to collect the
+// proprietary header regions and prints the inferred structure of each
+// stream with enough samples.
+func printHeaderInference(ca *rtcc.CaptureAnalysis, k int) {
+	engine := &dpi.Engine{MaxOffset: k}
+	if k <= 0 {
+		engine = dpi.NewEngine()
+	}
+	for _, s := range ca.Filter.RTC {
+		if s.Key.Proto != 17 {
+			continue
+		}
+		payloads := make([][]byte, len(s.Packets))
+		for i, p := range s.Packets {
+			payloads[i] = p.Payload
+		}
+		var samples []propheader.Sample
+		for i, r := range engine.InspectStream(payloads) {
+			if r.Class != dpi.ClassProprietaryHeader {
+				continue
+			}
+			dir := propheader.DirAToB
+			if s.Packets[i].Dir == flow.DirBToA {
+				dir = propheader.DirBToA
+			}
+			samples = append(samples, propheader.Sample{
+				Header:    r.ProprietaryHeader,
+				Dir:       dir,
+				Remainder: len(payloads[i]) - len(r.ProprietaryHeader),
+			})
+		}
+		if len(samples) < 8 {
+			continue
+		}
+		fmt.Printf("proprietary header structure on %v:\n%s", s.Key, propheader.Describe(propheader.Infer(samples)))
+	}
+}
+
+type manifestEntry struct {
+	File      string    `json:"file"`
+	App       string    `json:"app"`
+	CallStart time.Time `json:"call_start"`
+	CallEnd   time.Time `json:"call_end"`
+}
+
+func runManifest(path string, k int, findings, verbose, inferHdr bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var entries []manifestEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return fmt.Errorf("parse manifest: %w", err)
+	}
+	dir := filepath.Dir(path)
+	for _, e := range entries {
+		ca, err := rtcc.AnalyzeFile(filepath.Join(dir, e.File), e.CallStart, e.CallEnd,
+			rtcc.Options{MaxOffset: k, SkipFindings: !findings})
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.File, err)
+		}
+		ca.Stats.App = e.App
+		fmt.Printf("=== %s (%s) ===\n", e.File, e.App)
+		printAnalysis(ca, verbose)
+		if inferHdr {
+			printHeaderInference(ca, k)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func printAnalysis(ca *rtcc.CaptureAnalysis, verbose bool) {
+	f := ca.Filter
+	fmt.Printf("streams: raw %d UDP / %d TCP; removed stage1 %d, stage2 %d; RTC %d UDP / %d TCP\n",
+		f.RawUDP.Streams, f.RawTCP.Streams,
+		f.Stage1UDP.Streams+f.Stage1TCP.Streams,
+		f.Stage2UDP.Streams+f.Stage2TCP.Streams,
+		f.RTCUDP.Streams, f.RTCTCP.Streams)
+
+	total := 0
+	for _, n := range ca.Stats.Datagrams {
+		total += n
+	}
+	fmt.Printf("datagrams: %d total; %d standard, %d proprietary-header, %d fully-proprietary\n",
+		total,
+		ca.Stats.Datagrams[dpi.ClassStandard],
+		ca.Stats.Datagrams[dpi.ClassProprietaryHeader],
+		ca.Stats.Datagrams[dpi.ClassFullyProprietary])
+
+	for _, fam := range report.ProtoOrder {
+		ps := ca.Stats.ByProtocol[fam]
+		if ps == nil || ps.Messages == 0 {
+			continue
+		}
+		fmt.Printf("%-10s %7d messages, %6.2f%% compliant\n",
+			fam, ps.Messages, 100*float64(ps.Compliant)/float64(ps.Messages))
+	}
+	if r, ok := ca.Stats.VolumeCompliance(); ok {
+		fmt.Printf("overall volume compliance: %.2f%%\n", 100*r)
+	}
+	c, t := ca.Stats.TypeCompliance(dpi.ProtoUnknown)
+	fmt.Printf("message types: %d/%d compliant\n", c, t)
+
+	if verbose {
+		type row struct {
+			key    string
+			stat   *report.TypeStat
+			reason string
+		}
+		var rows []row
+		for key, ts := range ca.Stats.Types {
+			reason := ""
+			for r := range ts.Reasons {
+				reason = r
+				break
+			}
+			rows = append(rows, row{key.String(), ts, reason})
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].key < rows[j].key })
+		for _, r := range rows {
+			status := "compliant"
+			if !r.stat.Compliant() {
+				status = "NON-COMPLIANT: " + r.reason
+			}
+			fmt.Printf("  %-28s %6d msgs  %s\n", r.key, r.stat.Total, status)
+		}
+	}
+	for _, fd := range ca.Findings {
+		fmt.Printf("finding: %s: %s\n", fd.Kind, fd.Detail)
+	}
+}

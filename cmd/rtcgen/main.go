@@ -1,0 +1,157 @@
+// Command rtcgen generates synthetic RTC experiment captures as pcap
+// files, reproducing the paper's 6-application × 3-network matrix (or a
+// subset). Alongside the pcaps it writes a manifest.json recording each
+// capture's annotated call window, which rtccheck consumes.
+//
+// Usage:
+//
+//	rtcgen -out traces/ -runs 2 -duration 30s
+//	rtcgen -out traces/ -app Zoom -network wifi-relay -duration 60s
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	rtcc "github.com/rtc-compliance/rtcc"
+)
+
+type manifestEntry struct {
+	File      string    `json:"file"`
+	App       string    `json:"app"`
+	Network   string    `json:"network"`
+	Mode      string    `json:"mode"`
+	Seed      uint64    `json:"seed"`
+	CallStart time.Time `json:"call_start"`
+	CallEnd   time.Time `json:"call_end"`
+	Packets   int       `json:"packets"`
+}
+
+func parseNetwork(s string) (rtcc.Network, error) {
+	switch strings.ToLower(s) {
+	case "wifi-p2p", "wifip2p":
+		return rtcc.WiFiP2P, nil
+	case "wifi-relay", "wifirelay":
+		return rtcc.WiFiRelay, nil
+	case "cellular", "cell":
+		return rtcc.Cellular, nil
+	}
+	return 0, fmt.Errorf("unknown network %q (wifi-p2p, wifi-relay, cellular)", s)
+}
+
+func parseApp(s string) (rtcc.App, error) {
+	for _, a := range rtcc.Apps {
+		if strings.EqualFold(string(a), s) || strings.EqualFold(strings.ReplaceAll(string(a), " ", ""), s) {
+			return a, nil
+		}
+	}
+	return "", fmt.Errorf("unknown app %q", s)
+}
+
+func main() {
+	var (
+		outDir     = flag.String("out", "traces", "output directory")
+		appFlag    = flag.String("app", "", "restrict to one application (default: all six)")
+		netFlag    = flag.String("network", "", "restrict to one network configuration (default: all three)")
+		runs       = flag.Int("runs", 1, "repetitions per app × network cell")
+		duration   = flag.Duration("duration", 30*time.Second, "call duration (paper: 5m)")
+		prePost    = flag.Duration("prepost", 10*time.Second, "pre-call and post-call capture length (paper: 60s)")
+		rate       = flag.Int("rate", 25, "media packets per second per stream")
+		seed       = flag.Uint64("seed", 1, "base seed")
+		background = flag.Bool("background", true, "include unrelated background traffic")
+	)
+	flag.Parse()
+
+	if err := run(*outDir, *appFlag, *netFlag, *runs, *duration, *prePost, *rate, *seed, *background); err != nil {
+		fmt.Fprintln(os.Stderr, "rtcgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(outDir, appFlag, netFlag string, runs int, duration, prePost time.Duration, rate int, seed uint64, background bool) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	opts := rtcc.MatrixOptions{
+		Runs:         runs,
+		CallDuration: duration,
+		PrePost:      prePost,
+		MediaRate:    rate,
+		Start:        time.Now().UTC().Truncate(time.Second),
+		BaseSeed:     seed,
+		Background:   background,
+	}
+	if appFlag != "" {
+		app, err := parseApp(appFlag)
+		if err != nil {
+			return err
+		}
+		opts.Apps = []rtcc.App{app}
+	}
+	configs := rtcc.Matrix(opts)
+	if netFlag != "" {
+		network, err := parseNetwork(netFlag)
+		if err != nil {
+			return err
+		}
+		var filtered []rtcc.CaptureConfig
+		for _, c := range configs {
+			if c.Network == network {
+				filtered = append(filtered, c)
+			}
+		}
+		configs = filtered
+	}
+
+	var manifest []manifestEntry
+	for i, cfg := range configs {
+		cap, err := rtcc.GenerateCapture(cfg)
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("%03d_%s_%s.pcap", i,
+			strings.ReplaceAll(strings.ToLower(string(cfg.App)), " ", ""),
+			strings.ReplaceAll(strings.ToLower(cfg.Network.String()), " ", "-"))
+		path := filepath.Join(outDir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := cap.WritePCAP(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		manifest = append(manifest, manifestEntry{
+			File:      name,
+			App:       string(cfg.App),
+			Network:   cfg.Network.String(),
+			Mode:      cap.Mode.String(),
+			Seed:      cfg.Seed,
+			CallStart: cap.CallStart,
+			CallEnd:   cap.CallEnd,
+			Packets:   len(cap.Events),
+		})
+		fmt.Printf("wrote %s (%d packets, mode %s)\n", path, len(cap.Events), cap.Mode)
+	}
+
+	mf, err := os.Create(filepath.Join(outDir, "manifest.json"))
+	if err != nil {
+		return err
+	}
+	defer mf.Close()
+	enc := json.NewEncoder(mf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(manifest); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d captures)\n", filepath.Join(outDir, "manifest.json"), len(manifest))
+	return nil
+}

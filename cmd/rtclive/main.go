@@ -1,0 +1,159 @@
+// Command rtclive moves captures over the network: `replay` streams a
+// pcap file to a remote collector with original (scaled) timing, and
+// `collect` receives such a stream, optionally analyzing it on the fly
+// and/or writing it back out as a pcap file.
+//
+// Usage:
+//
+//	rtclive collect -listen :9898 -out received.pcap -analyze
+//	rtclive replay  -pcap traces/000_zoom_wi-fi-p2p.pcap -to host:9898 -speed 50
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	rtcc "github.com/rtc-compliance/rtcc"
+	"github.com/rtc-compliance/rtcc/internal/core"
+	"github.com/rtc-compliance/rtcc/internal/dpi"
+	"github.com/rtc-compliance/rtcc/internal/live"
+	"github.com/rtc-compliance/rtcc/internal/pcap"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "replay":
+		err = runReplay(os.Args[2:])
+	case "collect":
+		err = runCollect(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtclive:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  rtclive replay  -pcap FILE -to HOST:PORT [-speed N]
+  rtclive collect -listen ADDR [-out FILE] [-analyze] [-max N] [-idle DUR]`)
+	os.Exit(2)
+}
+
+func runReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	pcapPath := fs.String("pcap", "", "pcap file to replay")
+	to := fs.String("to", "", "collector address host:port")
+	speed := fs.Float64("speed", 10, "time compression factor (<=0: no pacing)")
+	fs.Parse(args)
+	if *pcapPath == "" || *to == "" {
+		return fmt.Errorf("replay requires -pcap and -to")
+	}
+
+	f, err := os.Open(*pcapPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := pcap.NewReader(f)
+	if err != nil {
+		return err
+	}
+	frames, err := r.ReadAll()
+	if err != nil {
+		return err
+	}
+
+	exp, err := live.Dial(*to)
+	if err != nil {
+		return err
+	}
+	defer exp.Close()
+	exp.Speed = *speed
+	if *speed <= 0 {
+		exp.Speed = live.SpeedInstant
+	}
+
+	begin := time.Now()
+	if err := exp.Replay(context.Background(), frames); err != nil {
+		return err
+	}
+	fmt.Printf("replayed %d frames to %s in %v\n", len(frames), *to, time.Since(begin).Round(time.Millisecond))
+	return nil
+}
+
+func runCollect(args []string) error {
+	fs := flag.NewFlagSet("collect", flag.ExitOnError)
+	listen := fs.String("listen", ":9898", "UDP listen address")
+	out := fs.String("out", "", "write the received frames to this pcap file")
+	analyze := fs.Bool("analyze", false, "run the compliance pipeline on the received capture")
+	maxFrames := fs.Int("max", 0, "stop after this many frames (0 = until idle)")
+	idle := fs.Duration("idle", 3*time.Second, "stop after this long without frames")
+	fs.Parse(args)
+
+	col, err := live.Listen(*listen)
+	if err != nil {
+		return err
+	}
+	defer col.Close()
+	col.IdleTimeout = *idle
+	fmt.Printf("collecting on %s (idle timeout %v)...\n", col.Addr(), *idle)
+
+	frames, err := col.Collect(context.Background(), *maxFrames)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("received %d frames (%d dropped, %d reordered)\n", len(frames), col.Dropped, col.Reordered)
+	if len(frames) == 0 {
+		return nil
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		w := pcap.NewWriter(f, pcap.LinkTypeRaw)
+		for _, fr := range frames {
+			if err := w.WritePacket(fr); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+
+	if *analyze {
+		ca, err := core.AnalyzeCapture(core.CaptureInput{
+			Label:     "live",
+			LinkType:  pcap.LinkTypeRaw,
+			Packets:   frames,
+			CallStart: frames[0].Timestamp,
+			CallEnd:   frames[len(frames)-1].Timestamp,
+		}, rtcc.Options{})
+		if err != nil {
+			return err
+		}
+		if ratio, ok := ca.Stats.VolumeCompliance(); ok {
+			fmt.Printf("volume compliance: %.2f%%\n", 100*ratio)
+		}
+		c, t := ca.Stats.TypeCompliance(dpi.ProtoUnknown)
+		fmt.Printf("message types: %d/%d compliant\n", c, t)
+		for _, fd := range ca.Findings {
+			fmt.Printf("finding: %s: %s\n", fd.Kind, fd.Detail)
+		}
+	}
+	return nil
+}

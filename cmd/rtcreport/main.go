@@ -1,0 +1,134 @@
+// Command rtcreport regenerates the paper's evaluation tables and
+// figures by running the synthetic experiment matrix through the full
+// analysis pipeline and rendering the aggregates.
+//
+// Usage:
+//
+//	rtcreport -all
+//	rtcreport -table 3 -figure 4 -runs 3 -duration 20s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	rtcc "github.com/rtc-compliance/rtcc"
+)
+
+func main() {
+	var (
+		tables   = flag.String("table", "", "comma-separated table numbers to render (1-6)")
+		figures  = flag.String("figure", "", "comma-separated figure numbers to render (3-5)")
+		all      = flag.Bool("all", false, "render every table and figure")
+		findings = flag.Bool("findings", true, "print behavioural findings (§5.3)")
+		interopF = flag.Bool("interop", false, "print the §6 interoperability profiles and pairwise matrix")
+		runs     = flag.Int("runs", 2, "repetitions per app × network cell (paper: 6)")
+		duration = flag.Duration("duration", 12*time.Second, "call duration (paper: 5m)")
+		rate     = flag.Int("rate", 25, "media packets per second per stream")
+		seed     = flag.Uint64("seed", 1, "base seed")
+	)
+	flag.Parse()
+
+	wantT, err := parseSet(*tables, 1, 6)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtcreport:", err)
+		os.Exit(2)
+	}
+	wantF, err := parseSet(*figures, 3, 5)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtcreport:", err)
+		os.Exit(2)
+	}
+	if *all || (len(wantT) == 0 && len(wantF) == 0) {
+		wantT = map[int]bool{1: true, 2: true, 3: true, 4: true, 5: true, 6: true}
+		wantF = map[int]bool{3: true, 4: true, 5: true}
+	}
+
+	fmt.Printf("Running experiment matrix: %d apps x 3 networks x %d runs, %s calls at %d pps\n\n",
+		len(rtcc.Apps), *runs, *duration, *rate)
+	ma, err := rtcc.RunMatrix(rtcc.MatrixOptions{
+		Runs:         *runs,
+		CallDuration: *duration,
+		PrePost:      10 * time.Second,
+		MediaRate:    *rate,
+		Start:        time.Unix(1700000000, 0).UTC(),
+		BaseSeed:     *seed,
+		Background:   true,
+	}, rtcc.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtcreport:", err)
+		os.Exit(1)
+	}
+
+	sections := []struct {
+		table  bool
+		number int
+		render func() string
+	}{
+		{true, 1, func() string { return rtcc.RenderTable1(ma.Table1) }},
+		{true, 2, func() string { return rtcc.RenderTable2(ma.Aggregate) }},
+		{false, 3, func() string { return rtcc.RenderFigure3(ma.Aggregate) }},
+		{false, 4, func() string { return rtcc.RenderFigure4(ma.Aggregate) }},
+		{true, 3, func() string { return rtcc.RenderTable3(ma.Aggregate) }},
+		{true, 4, func() string { return rtcc.RenderTable4(ma.Aggregate) }},
+		{true, 5, func() string { return rtcc.RenderTable5(ma.Aggregate) }},
+		{true, 6, func() string { return rtcc.RenderTable6(ma.Aggregate) }},
+		{false, 5, func() string { return rtcc.RenderFigure5(ma.Aggregate) }},
+	}
+	for _, s := range sections {
+		want := wantF
+		if s.table {
+			want = wantT
+		}
+		if want[s.number] {
+			fmt.Println(s.render())
+		}
+	}
+
+	if *findings && len(ma.Findings) > 0 {
+		fmt.Println("Behavioural findings (§5.3):")
+		for _, f := range ma.Findings {
+			fmt.Printf("  %s\n", f)
+		}
+	}
+
+	if *interopF {
+		fmt.Println("\nInteroperability profiles (§6):")
+		for _, stats := range ma.Aggregate.Apps() {
+			fmt.Print(rtcc.DescribeInteropProfile(rtcc.BuildInteropProfile(stats)))
+		}
+		fmt.Println("\nPairwise adaptation effort (mutual, deduplicated):")
+		seen := map[string]bool{}
+		for _, as := range rtcc.InteropMatrix(ma.Aggregate) {
+			key := as.A + "|" + as.B
+			if as.B < as.A {
+				key = as.B + "|" + as.A
+			}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			fmt.Printf("  %-28s out-of-the-box %5.1f%%, effort %5.1f, %d shim kinds\n",
+				as.A+" <-> "+as.B, 100*as.OutOfTheBox, as.Effort, len(as.Shims))
+		}
+	}
+}
+
+func parseSet(s string, lo, hi int) (map[int]bool, error) {
+	out := make(map[int]bool)
+	if s == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < lo || n > hi {
+			return nil, fmt.Errorf("invalid number %q (want %d-%d)", part, lo, hi)
+		}
+		out[n] = true
+	}
+	return out, nil
+}

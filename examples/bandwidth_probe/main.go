@@ -1,0 +1,138 @@
+// Bandwidth probe detector: reproduce the paper's §5.3 analysis of
+// Zoom's filler messages and FaceTime's cellular keepalives directly
+// from captured bytes.
+//
+// Zoom transmits fully proprietary 1000-byte datagrams of one repeated
+// byte in ramping bursts at stream start — almost certainly bandwidth
+// probing. FaceTime sends fixed 36-byte 0xDEADBEEFCAFE datagrams at a
+// steady 20 packets per second on cellular calls — almost certainly
+// proprietary connectivity checks. This example extracts both patterns
+// and prints their rate profiles over time.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	rtcc "github.com/rtc-compliance/rtcc"
+)
+
+func main() {
+	probeZoom()
+	fmt.Println()
+	probeFaceTime()
+}
+
+// rateProfile buckets matching packet timestamps into 500 ms bins and
+// renders packets/second as an ASCII sparkline.
+func rateProfile(times []time.Time, start time.Time, dur time.Duration) string {
+	const bin = 500 * time.Millisecond
+	bins := make([]int, int(dur/bin)+1)
+	for _, ts := range times {
+		i := int(ts.Sub(start) / bin)
+		if i >= 0 && i < len(bins) {
+			bins[i]++
+		}
+	}
+	var b strings.Builder
+	for _, n := range bins {
+		pps := n * int(time.Second/bin)
+		switch {
+		case pps == 0:
+			b.WriteByte('.')
+		case pps < 20:
+			b.WriteByte('-')
+		case pps < 60:
+			b.WriteByte('=')
+		case pps < 150:
+			b.WriteByte('#')
+		default:
+			b.WriteByte('@')
+		}
+	}
+	return b.String()
+}
+
+func probeZoom() {
+	cap, err := rtcc.GenerateCapture(rtcc.CaptureConfig{
+		App: rtcc.Zoom, Network: rtcc.WiFiRelay, Seed: 11,
+		Start:        time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC),
+		CallDuration: 20 * time.Second, PrePost: 5 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var fillerTimes []time.Time
+	fillerBytes := 0
+	for _, ev := range cap.Events {
+		if len(ev.Payload) < 800 {
+			continue
+		}
+		uniform := true
+		for _, x := range ev.Payload[1:] {
+			if x != ev.Payload[0] {
+				uniform = false
+				break
+			}
+		}
+		if uniform {
+			fillerTimes = append(fillerTimes, ev.At)
+			fillerBytes += len(ev.Payload)
+		}
+	}
+	fmt.Printf("Zoom filler messages: %d datagrams, %d bytes (%.1f%% of call volume)\n",
+		len(fillerTimes), fillerBytes, pct(fillerBytes, totalBytes(cap)))
+	fmt.Printf("rate profile (500ms bins, . - = # @ ):\n  %s\n",
+		rateProfile(fillerTimes, cap.CallStart, cap.Config.CallDuration))
+	fmt.Println("  ^ the ramping burst at stream start is the §5.3 bandwidth probe")
+}
+
+func probeFaceTime() {
+	cap, err := rtcc.GenerateCapture(rtcc.CaptureConfig{
+		App: rtcc.FaceTime, Network: rtcc.Cellular, Seed: 11,
+		Start:        time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC),
+		CallDuration: 20 * time.Second, PrePost: 5 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	magic := []byte{0xDE, 0xAD, 0xBE, 0xEF, 0xCA, 0xFE}
+	var kaTimes []time.Time
+	var lastC1 uint32
+	monotonic := true
+	for _, ev := range cap.Events {
+		if len(ev.Payload) != 36 || !bytes.HasPrefix(ev.Payload, magic) {
+			continue
+		}
+		kaTimes = append(kaTimes, ev.At)
+		c1 := uint32(ev.Payload[28])<<24 | uint32(ev.Payload[29])<<16 | uint32(ev.Payload[30])<<8 | uint32(ev.Payload[31])
+		if c1 <= lastC1 {
+			monotonic = false
+		}
+		lastC1 = c1
+	}
+	rate := float64(len(kaTimes)) / cap.Config.CallDuration.Seconds()
+	fmt.Printf("FaceTime cellular keepalives: %d datagrams at %.1f pkt/s (paper: 20 pkt/s)\n",
+		len(kaTimes), rate)
+	fmt.Printf("trailing counters strictly increasing: %v\n", monotonic)
+	fmt.Printf("rate profile:\n  %s\n", rateProfile(kaTimes, cap.CallStart, cap.Config.CallDuration))
+	fmt.Println("  ^ the flat line is the §5.3 proprietary connectivity check")
+}
+
+func totalBytes(cap *rtcc.Capture) int {
+	n := 0
+	for _, ev := range cap.Events {
+		n += len(ev.Payload)
+	}
+	return n
+}
+
+func pct(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}

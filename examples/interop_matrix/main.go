@@ -1,0 +1,103 @@
+// Interop matrix: quantify the paper's §6 interoperability discussion.
+//
+// The EU Digital Markets Act requires major RTC platforms to support
+// cross-application calls. A receiving implementation built strictly
+// from the RFCs can only process the compliant share of a sender's
+// traffic; everything else needs bespoke adaptation code ("each
+// application would need to implement bespoke parsers to handle the
+// protocol quirks of every other application", §6). This example runs
+// the experiment matrix, derives per-application interoperability
+// profiles — which adaptation shims a pure-RFC peer would need, backed
+// by the measured evidence — and scores every pairing.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	rtcc "github.com/rtc-compliance/rtcc"
+)
+
+func main() {
+	ma, err := rtcc.RunMatrix(rtcc.MatrixOptions{
+		Runs:         1,
+		CallDuration: 10 * time.Second,
+		PrePost:      8 * time.Second,
+		MediaRate:    20,
+		Start:        time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC),
+		BaseSeed:     7,
+		Background:   true,
+	}, rtcc.Options{SkipFindings: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Per-application interoperability profiles:")
+	profiles := map[string]rtcc.InteropProfile{}
+	var order []string
+	for _, stats := range ma.Aggregate.Apps() {
+		p := rtcc.BuildInteropProfile(stats)
+		profiles[p.App] = p
+		order = append(order, p.App)
+		fmt.Print(rtcc.DescribeInteropProfile(p))
+	}
+
+	fmt.Println("\nPairwise out-of-the-box interoperability (higher is easier):")
+	fmt.Printf("%-12s", "")
+	for _, b := range order {
+		fmt.Printf("  %-10.10s", b)
+	}
+	fmt.Println()
+	for _, a := range order {
+		fmt.Printf("%-12s", a)
+		for _, b := range order {
+			if a == b {
+				fmt.Printf("  %-10s", "-")
+				continue
+			}
+			as := rtcc.InteropPairwise(profiles[a], profiles[b])
+			fmt.Printf("  %9.1f%%", 100*as.OutOfTheBox)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nHardest integrations by combined adaptation effort:")
+	assessments := rtcc.InteropMatrix(ma.Aggregate)
+	// Keep unordered pairs once, find the top 5.
+	seen := map[string]bool{}
+	type row struct {
+		pair   string
+		effort float64
+		shims  int
+	}
+	var rows []row
+	for _, as := range assessments {
+		key := as.A + "|" + as.B
+		if as.B < as.A {
+			key = as.B + "|" + as.A
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		rows = append(rows, row{as.A + " <-> " + as.B, as.Effort, len(as.Shims)})
+	}
+	for i := 0; i < len(rows); i++ {
+		for j := i + 1; j < len(rows); j++ {
+			if rows[j].effort > rows[i].effort {
+				rows[i], rows[j] = rows[j], rows[i]
+			}
+		}
+	}
+	for i, r := range rows {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  %-28s effort %5.1f (%d shim kinds)\n", r.pair, r.effort, r.shims)
+	}
+	fmt.Println("\nReading: Zoom and FaceTime dominate the hard pairs because their")
+	fmt.Println("traffic hides behind proprietary encapsulations; the standards-")
+	fmt.Println("aligned apps (WhatsApp, Messenger, Meet) interoperate almost out")
+	fmt.Println("of the box — the paper's §6 argument, measured.")
+}

@@ -1,0 +1,3 @@
+module github.com/rtc-compliance/rtcc
+
+go 1.22

@@ -1,0 +1,557 @@
+package appsim
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/rtc-compliance/rtcc/internal/dpi"
+	"github.com/rtc-compliance/rtcc/internal/stun"
+)
+
+var testStart = time.Unix(1700000000, 0).UTC()
+
+func genCall(t *testing.T, app App, n Network, seed uint64) *Call {
+	t.Helper()
+	call, err := Generate(CallConfig{
+		App: app, Network: n, Seed: seed,
+		Start: testStart, Duration: 6 * time.Second, MediaRate: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(call.Events) == 0 {
+		t.Fatal("no events generated")
+	}
+	return call
+}
+
+// inspectAll groups events into streams by unordered endpoint pair and
+// runs the stream-validated DPI over each.
+func inspectAll(call *Call) []dpi.Result {
+	engine := dpi.NewEngine()
+	streams := make(map[string][][]byte)
+	var order []string
+	for _, ev := range call.Events {
+		a, b := ev.Src.String(), ev.Dst.String()
+		if b < a {
+			a, b = b, a
+		}
+		key := a + "|" + b
+		if _, ok := streams[key]; !ok {
+			order = append(order, key)
+		}
+		streams[key] = append(streams[key], ev.Payload)
+	}
+	var out []dpi.Result
+	for _, key := range order {
+		out = append(out, engine.InspectStream(streams[key])...)
+	}
+	return out
+}
+
+func classCounts(results []dpi.Result) map[dpi.Class]int {
+	m := make(map[dpi.Class]int)
+	for _, r := range results {
+		m[r.Class]++
+	}
+	return m
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(CallConfig{App: Zoom, Start: testStart}); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if _, err := Generate(CallConfig{App: Zoom, Duration: time.Second}); err == nil {
+		t.Error("zero start accepted")
+	}
+	if _, err := Generate(CallConfig{App: App("Skype"), Start: testStart, Duration: time.Second}); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, app := range Apps {
+		c1 := genCall(t, app, WiFiP2P, 7)
+		c2 := genCall(t, app, WiFiP2P, 7)
+		if len(c1.Events) != len(c2.Events) {
+			t.Fatalf("%s: event counts differ: %d vs %d", app, len(c1.Events), len(c2.Events))
+		}
+		for i := range c1.Events {
+			if !c1.Events[i].At.Equal(c2.Events[i].At) || !bytes.Equal(c1.Events[i].Payload, c2.Events[i].Payload) {
+				t.Fatalf("%s: event %d differs", app, i)
+			}
+		}
+		c3 := genCall(t, app, WiFiP2P, 8)
+		same := len(c1.Events) == len(c3.Events)
+		if same {
+			identical := true
+			for i := range c1.Events {
+				if !bytes.Equal(c1.Events[i].Payload, c3.Events[i].Payload) {
+					identical = false
+					break
+				}
+			}
+			if identical {
+				t.Errorf("%s: different seeds produced identical captures", app)
+			}
+		}
+	}
+}
+
+func TestEventsSorted(t *testing.T) {
+	for _, app := range Apps {
+		call := genCall(t, app, Cellular, 3)
+		for i := 1; i < len(call.Events); i++ {
+			if call.Events[i].At.Before(call.Events[i-1].At) {
+				t.Fatalf("%s: events not sorted at %d", app, i)
+			}
+		}
+	}
+}
+
+func TestModeDecisions(t *testing.T) {
+	cases := []struct {
+		app  App
+		net  Network
+		want Mode
+	}{
+		{Zoom, WiFiP2P, ModeP2P},
+		{Zoom, WiFiRelay, ModeRelay},
+		{Zoom, Cellular, ModeRelay},
+		{Discord, WiFiP2P, ModeRelay}, // Discord never does P2P
+		{Discord, Cellular, ModeRelay},
+		{FaceTime, Cellular, ModeP2P},
+		{FaceTime, WiFiRelay, ModeRelay},
+		{WhatsApp, Cellular, ModeRelayThenP2P},
+		{Messenger, Cellular, ModeRelayThenP2P},
+		{GoogleMeet, Cellular, ModeRelayThenP2P},
+		{GoogleMeet, WiFiP2P, ModeP2P},
+	}
+	for _, tc := range cases {
+		call := genCall(t, tc.app, tc.net, 1)
+		if call.Mode != tc.want {
+			t.Errorf("%s on %s: mode = %v, want %v", tc.app, tc.net, call.Mode, tc.want)
+		}
+	}
+}
+
+func TestZoomProprietaryHeaders(t *testing.T) {
+	call := genCall(t, Zoom, WiFiRelay, 11)
+	results := inspectAll(call)
+	counts := classCounts(results)
+	if counts[dpi.ClassStandard] != 0 {
+		t.Errorf("Zoom relay: %d standard datagrams (all media must sit behind proprietary headers)", counts[dpi.ClassStandard])
+	}
+	if counts[dpi.ClassProprietaryHeader] == 0 || counts[dpi.ClassFullyProprietary] == 0 {
+		t.Errorf("Zoom classes = %v", counts)
+	}
+	// Fully proprietary ≈ 20%.
+	frac := float64(counts[dpi.ClassFullyProprietary]) / float64(len(results))
+	if frac < 0.10 || frac > 0.35 {
+		t.Errorf("Zoom fully-proprietary fraction = %.3f, want ≈0.20", frac)
+	}
+}
+
+func TestZoomFillerMessages(t *testing.T) {
+	call := genCall(t, Zoom, WiFiRelay, 12)
+	filler := 0
+	for _, ev := range call.Events {
+		if len(ev.Payload) == 1000 && (ev.Payload[0] == 0x01 || ev.Payload[0] == 0x02) {
+			uniform := true
+			for _, b := range ev.Payload {
+				if b != ev.Payload[0] {
+					uniform = false
+					break
+				}
+			}
+			if uniform {
+				filler++
+			}
+		}
+	}
+	if filler == 0 {
+		t.Fatal("no filler messages")
+	}
+}
+
+func TestZoomFixedSSRCsAcrossCalls(t *testing.T) {
+	ssrcsOf := func(call *Call) map[uint32]bool {
+		out := make(map[uint32]bool)
+		for _, r := range inspectAll(call) {
+			for _, m := range r.Messages {
+				if m.Protocol == dpi.ProtoRTP {
+					out[m.RTP.SSRC] = true
+				}
+			}
+		}
+		return out
+	}
+	c1 := ssrcsOf(genCall(t, Zoom, Cellular, 21))
+	c2 := ssrcsOf(genCall(t, Zoom, Cellular, 99))
+	if len(c1) != 4 {
+		t.Fatalf("cellular SSRC set = %v, want 4", c1)
+	}
+	for s := range c1 {
+		if !c2[s] {
+			t.Errorf("SSRC %#x not reused across calls", s)
+		}
+	}
+	want := zoomSSRCs(Cellular)
+	for _, s := range want {
+		if !c1[s] {
+			t.Errorf("expected cellular SSRC %#x missing", s)
+		}
+	}
+}
+
+func TestZoomDoubleRTPDatagrams(t *testing.T) {
+	call := genCall(t, Zoom, WiFiRelay, 13)
+	double := 0
+	for _, r := range inspectAll(call) {
+		rtpCount := 0
+		for _, m := range r.Messages {
+			if m.Protocol == dpi.ProtoRTP {
+				rtpCount++
+			}
+		}
+		if rtpCount == 2 {
+			double++
+		}
+	}
+	if double == 0 {
+		t.Error("no double-RTP datagrams found")
+	}
+}
+
+func TestZoomSTUNOnlyInWiFiP2P(t *testing.T) {
+	hasSTUN := func(call *Call) bool {
+		for _, r := range inspectAll(call) {
+			for _, m := range r.Messages {
+				if m.Protocol == dpi.ProtoSTUN {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if !hasSTUN(genCall(t, Zoom, WiFiP2P, 14)) {
+		t.Error("no STUN in Wi-Fi P2P Zoom call")
+	}
+	if hasSTUN(genCall(t, Zoom, WiFiRelay, 14)) {
+		t.Error("STUN present in relay Zoom call")
+	}
+	if hasSTUN(genCall(t, Zoom, Cellular, 14)) {
+		t.Error("STUN present in cellular Zoom call")
+	}
+}
+
+func TestFaceTimeRelayHeaders(t *testing.T) {
+	call := genCall(t, FaceTime, WiFiRelay, 31)
+	prop := 0
+	for _, ev := range call.Events {
+		if len(ev.Payload) >= 2 && ev.Payload[0] == 0x60 && ev.Payload[1] == 0x00 {
+			prop++
+		}
+	}
+	frac := float64(prop) / float64(len(call.Events))
+	if frac < 0.6 || frac > 0.98 {
+		t.Errorf("FaceTime relay 0x6000 fraction = %.3f (%d/%d), want ≈0.89", frac, prop, len(call.Events))
+	}
+	// And the DPI must classify them as proprietary headers over RTP.
+	results := inspectAll(call)
+	propHdr := classCounts(results)[dpi.ClassProprietaryHeader]
+	if propHdr < prop/2 {
+		t.Errorf("only %d of %d 0x6000 datagrams classified proprietary-header", propHdr, prop)
+	}
+}
+
+func TestFaceTimeCellularKeepalives(t *testing.T) {
+	call := genCall(t, FaceTime, Cellular, 32)
+	ka := 0
+	for _, ev := range call.Events {
+		if len(ev.Payload) == 36 && bytes.HasPrefix(ev.Payload, []byte{0xDE, 0xAD, 0xBE, 0xEF, 0xCA, 0xFE}) {
+			ka++
+		}
+	}
+	if ka < 20 {
+		t.Errorf("cellular keepalives = %d, want ≥20 (20 pkt/s)", ka)
+	}
+	wifi := genCall(t, FaceTime, WiFiP2P, 32)
+	kaW := 0
+	for _, ev := range wifi.Events {
+		if len(ev.Payload) == 36 && bytes.HasPrefix(ev.Payload, []byte{0xDE, 0xAD}) {
+			kaW++
+		}
+	}
+	if kaW > 3 {
+		t.Errorf("Wi-Fi keepalives = %d, want ≈1", kaW)
+	}
+}
+
+func TestFaceTimeRTPAllHaveUndefinedExtensions(t *testing.T) {
+	call := genCall(t, FaceTime, WiFiP2P, 33)
+	rtpN, badExt := 0, 0
+	for _, r := range inspectAll(call) {
+		for _, m := range r.Messages {
+			if m.Protocol != dpi.ProtoRTP {
+				continue
+			}
+			rtpN++
+			if m.RTP.Extension != nil {
+				switch m.RTP.Extension.Profile {
+				case 0x8001, 0x8500, 0x8D00:
+					badExt++
+				}
+			}
+		}
+	}
+	if rtpN == 0 || badExt != rtpN {
+		t.Errorf("RTP with undefined extensions = %d/%d, want all", badExt, rtpN)
+	}
+}
+
+func TestFaceTimeQUICPresent(t *testing.T) {
+	call := genCall(t, FaceTime, WiFiP2P, 34)
+	kinds := make(map[string]bool)
+	for _, r := range inspectAll(call) {
+		for _, m := range r.Messages {
+			if m.Protocol == dpi.ProtoQUIC {
+				if m.QUIC.Long {
+					kinds["long-"+m.QUIC.Type.String()] = true
+				} else {
+					kinds["short"] = true
+				}
+			}
+		}
+	}
+	for _, want := range []string{"long-Initial", "long-Handshake", "long-0-RTT", "short"} {
+		if !kinds[want] {
+			t.Errorf("QUIC kind %s not observed (have %v)", want, kinds)
+		}
+	}
+}
+
+func TestWhatsAppBurstAndTeardown(t *testing.T) {
+	call := genCall(t, WhatsApp, WiFiRelay, 41)
+	var n801, n802, n800 int
+	for _, ev := range call.Events {
+		if !stun.LooksLikeHeader(ev.Payload) {
+			continue
+		}
+		m, err := stun.Decode(ev.Payload)
+		if err != nil || m.Classic {
+			continue
+		}
+		switch m.Type {
+		case stun.MessageType(0x0801):
+			n801++
+			if len(ev.Payload) != 500 {
+				t.Errorf("0x0801 message is %d bytes, want 500", len(ev.Payload))
+			}
+			if a := m.Get(stun.AttrType(0x4004)); a == nil {
+				t.Error("0x0801 missing attribute 0x4004")
+			} else {
+				for _, b := range a.Value {
+					if b != 0 {
+						t.Error("0x4004 not zero-filled")
+						break
+					}
+				}
+			}
+		case stun.MessageType(0x0802):
+			n802++
+			if len(ev.Payload) != 40 {
+				t.Errorf("0x0802 message is %d bytes, want 40", len(ev.Payload))
+			}
+		case stun.MessageType(0x0800):
+			n800++
+			if m.Get(stun.AttrType(0x4000)) == nil || m.Get(stun.AttrXORRelayedAddress) == nil {
+				t.Error("0x0800 missing expected attributes")
+			}
+		}
+	}
+	if n801 != 16 || n802 != 16 {
+		t.Errorf("burst pairs = %d/%d, want 16/16", n801, n802)
+	}
+	if n800 != 4 {
+		t.Errorf("teardown 0x0800 count = %d, want 4", n800)
+	}
+}
+
+func TestMessengerTeardownCount(t *testing.T) {
+	call := genCall(t, Messenger, WiFiRelay, 42)
+	n800 := 0
+	for _, ev := range call.Events {
+		if stun.LooksLikeHeader(ev.Payload) {
+			if m, err := stun.Decode(ev.Payload); err == nil && m.Type == stun.MessageType(0x0800) {
+				n800++
+			}
+		}
+	}
+	if n800 != 6 {
+		t.Errorf("Messenger 0x0800 count = %d, want 6", n800)
+	}
+}
+
+func TestMessengerTURNLifecycleTypes(t *testing.T) {
+	call := genCall(t, Messenger, WiFiRelay, 43)
+	types := make(map[stun.MessageType]bool)
+	sawChannelData := false
+	for _, r := range inspectAll(call) {
+		for _, m := range r.Messages {
+			switch m.Protocol {
+			case dpi.ProtoSTUN:
+				types[m.STUN.Type] = true
+			case dpi.ProtoChannelData:
+				sawChannelData = true
+			}
+		}
+	}
+	want := []stun.MessageType{
+		0x0001, 0x0003, 0x0004, 0x0008, 0x0009, 0x0016, 0x0017,
+		0x0101, 0x0103, 0x0104, 0x0108, 0x0109, 0x0113, 0x0118,
+		0x0800, 0x0801, 0x0802,
+	}
+	for _, w := range want {
+		if !types[w] {
+			t.Errorf("Messenger type %#04x not observed", uint16(w))
+		}
+	}
+	if !sawChannelData {
+		t.Error("Messenger ChannelData not observed")
+	}
+}
+
+func TestDiscordNoSTUNAndTrailers(t *testing.T) {
+	for _, n := range Networks {
+		call := genCall(t, Discord, n, 51)
+		rtcpN, trailered := 0, 0
+		zeroSSRC := 0
+		for _, r := range inspectAll(call) {
+			for _, m := range r.Messages {
+				switch m.Protocol {
+				case dpi.ProtoSTUN, dpi.ProtoChannelData:
+					t.Fatalf("Discord on %s uses STUN", n)
+				case dpi.ProtoRTCP:
+					rtcpN++
+					if len(m.RTCPTrailing) == 3 {
+						trailered++
+						dir := m.RTCPTrailing[2]
+						if dir != 0x00 && dir != 0x80 {
+							t.Errorf("direction byte = %#02x", dir)
+						}
+					}
+					for _, p := range m.RTCP {
+						if p.Header.Type == 205 {
+							if ssrc, ok := p.SenderSSRC(); ok && ssrc == 0 {
+								zeroSSRC++
+							}
+						}
+					}
+				}
+			}
+		}
+		if rtcpN == 0 || trailered != rtcpN {
+			t.Errorf("%s: trailered RTCP = %d/%d, want all", n, trailered, rtcpN)
+		}
+		if n == WiFiP2P && zeroSSRC == 0 {
+			t.Error("no SSRC=0 feedback messages")
+		}
+	}
+}
+
+func TestMeetChannelDataInRelay(t *testing.T) {
+	call := genCall(t, GoogleMeet, WiFiRelay, 61)
+	cd := 0
+	for _, r := range inspectAll(call) {
+		for _, m := range r.Messages {
+			if m.Protocol == dpi.ProtoChannelData {
+				cd++
+			}
+		}
+	}
+	if cd < 10 {
+		t.Errorf("Meet relay ChannelData = %d, want many", cd)
+	}
+	p2p := genCall(t, GoogleMeet, WiFiP2P, 61)
+	cdP := 0
+	for _, r := range inspectAll(p2p) {
+		for _, m := range r.Messages {
+			if m.Protocol == dpi.ProtoChannelData {
+				cdP++
+			}
+		}
+	}
+	if cdP != 0 {
+		t.Errorf("Meet P2P ChannelData = %d, want 0", cdP)
+	}
+}
+
+func TestMeetSRTCPTrailers(t *testing.T) {
+	trailerLens := func(call *Call) map[int]int {
+		out := make(map[int]int)
+		for _, r := range inspectAll(call) {
+			for _, m := range r.Messages {
+				if m.Protocol == dpi.ProtoRTCP {
+					out[len(m.RTCPTrailing)]++
+				}
+			}
+		}
+		return out
+	}
+	relay := trailerLens(genCall(t, GoogleMeet, WiFiRelay, 62))
+	if relay[4] == 0 {
+		t.Errorf("Meet relay Wi-Fi: no 4-byte (tagless) SRTCP trailers: %v", relay)
+	}
+	if relay[14] != 0 {
+		t.Errorf("Meet relay Wi-Fi: unexpected full trailers: %v", relay)
+	}
+	p2p := trailerLens(genCall(t, GoogleMeet, WiFiP2P, 62))
+	if p2p[14] == 0 || p2p[4] != 0 {
+		t.Errorf("Meet P2P: trailer lengths = %v, want all 14", p2p)
+	}
+}
+
+func TestBackgroundTrafficClasses(t *testing.T) {
+	cfg := BackgroundConfig{
+		Seed:      1,
+		PreStart:  testStart,
+		CallStart: testStart.Add(60 * time.Second),
+		CallEnd:   testStart.Add(120 * time.Second),
+		PostEnd:   testStart.Add(180 * time.Second),
+		Device:    mustAddr("192.168.1.10"),
+		LANPeer:   mustAddr("192.168.1.30"),
+	}
+	events := GenerateBackground(cfg)
+	if len(events) == 0 {
+		t.Fatal("no background events")
+	}
+	var dns, tcp, sni, linkLocal int
+	for _, ev := range events {
+		if ev.Dst.Port() == 53 {
+			dns++
+		}
+		if ev.Proto == 6 {
+			tcp++
+		}
+		if len(ev.Payload) > 0 && ev.Payload[0] == 22 {
+			sni++
+		}
+		if ev.Src.Addr().Is6() {
+			linkLocal++
+		}
+	}
+	if dns == 0 || tcp == 0 || sni == 0 || linkLocal == 0 {
+		t.Errorf("classes: dns=%d tcp=%d sni=%d ll=%d", dns, tcp, sni, linkLocal)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if WiFiP2P.String() != "Wi-Fi P2P" || WiFiRelay.String() != "Wi-Fi relay" || Cellular.String() != "cellular" {
+		t.Error("network names")
+	}
+	if ModeP2P.String() != "P2P" || ModeRelay.String() != "relay" || ModeRelayThenP2P.String() != "relay→P2P" {
+		t.Error("mode names")
+	}
+}

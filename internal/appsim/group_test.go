@@ -1,0 +1,172 @@
+package appsim
+
+import (
+	"testing"
+	"time"
+
+	"github.com/rtc-compliance/rtcc/internal/dpi"
+)
+
+func groupConfig(app App, n int) GroupCallConfig {
+	return GroupCallConfig{
+		App: app, Participants: n, Seed: 21,
+		Start: testStart, Duration: 6 * time.Second, MediaRate: 15,
+	}
+}
+
+func TestGroupValidation(t *testing.T) {
+	if _, err := GenerateGroup(groupConfig(Discord, 3)); err == nil {
+		t.Error("Discord group call accepted")
+	}
+	if _, err := GenerateGroup(groupConfig(Zoom, 2)); err == nil {
+		t.Error("2-party group call accepted")
+	}
+	cfg := groupConfig(Zoom, 3)
+	cfg.Duration = 0
+	if _, err := GenerateGroup(cfg); err == nil {
+		t.Error("zero duration accepted")
+	}
+}
+
+func TestZoomGroupScalesWithParticipants(t *testing.T) {
+	count := func(n int) int {
+		call, err := GenerateGroup(groupConfig(Zoom, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(call.Events)
+	}
+	c3, c6 := count(3), count(6)
+	if c6 <= c3+c3/2 {
+		t.Errorf("6-party call (%d events) should far exceed 3-party (%d)", c6, c3)
+	}
+}
+
+func TestZoomGroupSSRCsPerParticipant(t *testing.T) {
+	call, err := GenerateGroup(groupConfig(Zoom, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssrcs := make(map[uint32]bool)
+	for _, r := range inspectAll(call) {
+		for _, m := range r.Messages {
+			if m.Protocol == dpi.ProtoRTP {
+				ssrcs[m.RTP.SSRC] = true
+			}
+		}
+	}
+	// 4 participants x audio+video = 8 distinct SSRCs.
+	if len(ssrcs) != 8 {
+		t.Errorf("distinct SSRCs = %d, want 8", len(ssrcs))
+	}
+	if !ssrcs[zoomGroupSSRC(groupConfig(Zoom, 4), 0, false)] {
+		t.Error("own audio SSRC missing")
+	}
+}
+
+// With the deterministic scheme forced into collision, two remote
+// participants share an SSRC; the DPI's sequence-continuity validation
+// then rejects part of the interleaved traffic — the robustness hazard
+// RFC 3550 randomization exists to prevent.
+func TestZoomGroupSSRCCollision(t *testing.T) {
+	clean, err := GenerateGroup(groupConfig(Zoom, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := groupConfig(Zoom, 5)
+	cfg.ForceSSRCCollision = true
+	collided, err := GenerateGroup(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	countRTP := func(c *Call) (msgs int, fullyProp int) {
+		for _, r := range inspectAll(c) {
+			if r.Class == dpi.ClassFullyProprietary {
+				fullyProp++
+			}
+			for _, m := range r.Messages {
+				if m.Protocol == dpi.ProtoRTP {
+					msgs++
+				}
+			}
+		}
+		return
+	}
+	cleanMsgs, cleanProp := countRTP(clean)
+	collMsgs, collProp := countRTP(collided)
+	if collMsgs >= cleanMsgs {
+		t.Errorf("collision did not reduce extracted RTP: %d vs %d", collMsgs, cleanMsgs)
+	}
+	if collProp <= cleanProp {
+		t.Errorf("collision should push datagrams into unclassifiable: %d vs %d", collProp, cleanProp)
+	}
+}
+
+func TestMeetGroupChannelDataCompliant(t *testing.T) {
+	call, err := GenerateGroup(groupConfig(GoogleMeet, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd, stunMsgs := 0, 0
+	for _, r := range inspectAll(call) {
+		for _, m := range r.Messages {
+			switch m.Protocol {
+			case dpi.ProtoChannelData:
+				cd++
+			case dpi.ProtoSTUN:
+				stunMsgs++
+			}
+		}
+	}
+	if cd < 100 {
+		t.Errorf("ChannelData messages = %d, want many", cd)
+	}
+	// ChannelBind + per-join CreatePermission pairs.
+	if stunMsgs < 2+2*3 {
+		t.Errorf("STUN messages = %d", stunMsgs)
+	}
+}
+
+func TestGroupJoinTimesStaggered(t *testing.T) {
+	cfg := groupConfig(Zoom, 6)
+	prev := groupJoinTime(cfg, 1)
+	if !prev.Equal(cfg.Start) {
+		t.Errorf("participant 1 joins at %v, want call start", prev)
+	}
+	for p := 2; p < 6; p++ {
+		jt := groupJoinTime(cfg, p)
+		if !jt.After(prev) {
+			t.Errorf("participant %d join %v not after previous %v", p, jt, prev)
+		}
+		if jt.After(cfg.Start.Add(cfg.Duration)) {
+			t.Errorf("participant %d joins after call end", p)
+		}
+		prev = jt
+	}
+}
+
+func TestZoomGroupJoinFillerBursts(t *testing.T) {
+	call, err := GenerateGroup(groupConfig(Zoom, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	filler := 0
+	for _, ev := range call.Events {
+		if len(ev.Payload) == 1000 && ev.Payload[0] == 0x01 {
+			uniform := true
+			for _, b := range ev.Payload {
+				if b != 0x01 {
+					uniform = false
+					break
+				}
+			}
+			if uniform {
+				filler++
+			}
+		}
+	}
+	// Three joining participants => three bursts of ≥20.
+	if filler < 60 {
+		t.Errorf("join filler datagrams = %d, want ≥60", filler)
+	}
+}

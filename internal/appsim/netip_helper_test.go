@@ -1,0 +1,6 @@
+package appsim
+
+import realnetip "net/netip"
+
+// mustAddr parses an address for tests.
+func mustAddr(s string) realnetip.Addr { return realnetip.MustParseAddr(s) }

@@ -1,0 +1,220 @@
+// Package bytesutil provides bounds-checked big-endian readers and
+// writers used by every wire codec in this repository.
+//
+// The protocols analyzed here (STUN, TURN, RTP, RTCP, QUIC, TLS) are all
+// big-endian on the wire, and nearly every parsing bug in a DPI engine is
+// an unchecked read past the end of a truncated datagram. Reader
+// centralizes the bounds checks so codecs can be written as straight-line
+// field reads and inspect a single error at the end.
+package bytesutil
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrShortBuffer is returned (wrapped) whenever a read would pass the end
+// of the input or a write would pass the end of a fixed-size output.
+var ErrShortBuffer = errors.New("bytesutil: short buffer")
+
+// Reader is a bounds-checked cursor over a byte slice. All multi-byte
+// reads are big-endian (network order). The first failed read latches an
+// error; subsequent reads return zero values so callers can issue a whole
+// sequence of reads and check Err once.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader returns a Reader positioned at the start of buf. The Reader
+// does not copy buf; callers must not mutate it during reading.
+func NewReader(buf []byte) *Reader {
+	return &Reader{buf: buf}
+}
+
+// Err reports the first error encountered by any read, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Offset reports the current cursor position in bytes from the start.
+func (r *Reader) Offset() int { return r.off }
+
+// Remaining reports how many unread bytes are left.
+func (r *Reader) Remaining() int {
+	if r.off >= len(r.buf) {
+		return 0
+	}
+	return len(r.buf) - r.off
+}
+
+// Len reports the total length of the underlying buffer.
+func (r *Reader) Len() int { return len(r.buf) }
+
+func (r *Reader) fail(n int) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: need %d bytes at offset %d of %d", ErrShortBuffer, n, r.off, len(r.buf))
+	}
+}
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.Remaining() < n {
+		r.fail(n)
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// Uint8 reads one byte.
+func (r *Reader) Uint8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Uint16 reads a big-endian 16-bit value.
+func (r *Reader) Uint16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+// Uint24 reads a big-endian 24-bit value into the low bits of a uint32.
+func (r *Reader) Uint24() uint32 {
+	b := r.take(3)
+	if b == nil {
+		return 0
+	}
+	return uint32(b[0])<<16 | uint32(b[1])<<8 | uint32(b[2])
+}
+
+// Uint32 reads a big-endian 32-bit value.
+func (r *Reader) Uint32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// Uint64 reads a big-endian 64-bit value.
+func (r *Reader) Uint64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// Bytes reads n bytes and returns them as a sub-slice of the input
+// (no copy). Returns nil after an error.
+func (r *Reader) Bytes(n int) []byte { return r.take(n) }
+
+// BytesCopy reads n bytes and returns a fresh copy, safe to retain.
+func (r *Reader) BytesCopy(n int) []byte {
+	b := r.take(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+// Skip advances the cursor n bytes.
+func (r *Reader) Skip(n int) { r.take(n) }
+
+// Peek returns n bytes at the cursor without advancing. It does not latch
+// an error; it returns nil if fewer than n bytes remain.
+func (r *Reader) Peek(n int) []byte {
+	if r.err != nil || n < 0 || r.Remaining() < n {
+		return nil
+	}
+	return r.buf[r.off : r.off+n]
+}
+
+// Rest returns all unread bytes without advancing the cursor.
+func (r *Reader) Rest() []byte {
+	if r.err != nil {
+		return nil
+	}
+	return r.buf[r.off:]
+}
+
+// Writer builds a byte slice with big-endian multi-byte values. It grows
+// as needed and never errors.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a Writer with capacity hint n.
+func NewWriter(n int) *Writer {
+	return &Writer{buf: make([]byte, 0, n)}
+}
+
+// Len reports the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Bytes returns the accumulated buffer. The Writer retains ownership;
+// further writes may reallocate, so callers should not write after Bytes
+// unless they re-fetch it.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Uint8 appends one byte.
+func (w *Writer) Uint8(v uint8) { w.buf = append(w.buf, v) }
+
+// Uint16 appends a big-endian 16-bit value.
+func (w *Writer) Uint16(v uint16) {
+	w.buf = binary.BigEndian.AppendUint16(w.buf, v)
+}
+
+// Uint24 appends the low 24 bits of v big-endian.
+func (w *Writer) Uint24(v uint32) {
+	w.buf = append(w.buf, byte(v>>16), byte(v>>8), byte(v))
+}
+
+// Uint32 appends a big-endian 32-bit value.
+func (w *Writer) Uint32(v uint32) {
+	w.buf = binary.BigEndian.AppendUint32(w.buf, v)
+}
+
+// Uint64 appends a big-endian 64-bit value.
+func (w *Writer) Uint64(v uint64) {
+	w.buf = binary.BigEndian.AppendUint64(w.buf, v)
+}
+
+// Write appends b.
+func (w *Writer) Write(b []byte) { w.buf = append(w.buf, b...) }
+
+// Zero appends n zero bytes.
+func (w *Writer) Zero(n int) {
+	w.buf = append(w.buf, make([]byte, n)...)
+}
+
+// SetUint16 overwrites a big-endian 16-bit value at offset off, which
+// must already be within the written region.
+func (w *Writer) SetUint16(off int, v uint16) {
+	binary.BigEndian.PutUint16(w.buf[off:], v)
+}
+
+// SetUint32 overwrites a big-endian 32-bit value at offset off.
+func (w *Writer) SetUint32(off int, v uint32) {
+	binary.BigEndian.PutUint32(w.buf[off:], v)
+}
+
+// Pad appends zero bytes until the length is a multiple of align.
+// align must be a power of two greater than zero.
+func (w *Writer) Pad(align int) {
+	for len(w.buf)%align != 0 {
+		w.buf = append(w.buf, 0)
+	}
+}

@@ -1,0 +1,205 @@
+package bytesutil
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestReaderSequentialReads(t *testing.T) {
+	in := []byte{0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f, 0x10, 0x11, 0x12}
+	r := NewReader(in)
+	if got := r.Uint8(); got != 0x01 {
+		t.Errorf("Uint8 = %#x, want 0x01", got)
+	}
+	if got := r.Uint16(); got != 0x0203 {
+		t.Errorf("Uint16 = %#x, want 0x0203", got)
+	}
+	if got := r.Uint24(); got != 0x040506 {
+		t.Errorf("Uint24 = %#x, want 0x040506", got)
+	}
+	if got := r.Uint32(); got != 0x0708090a {
+		t.Errorf("Uint32 = %#x, want 0x0708090a", got)
+	}
+	if got := r.Uint64(); got != 0x0b0c0d0e0f101112 {
+		t.Errorf("Uint64 = %#x, want 0x0b0c0d0e0f101112", got)
+	}
+	if r.Err() != nil {
+		t.Fatalf("Err = %v, want nil", r.Err())
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("Remaining = %d, want 0", r.Remaining())
+	}
+}
+
+func TestReaderShortBufferLatches(t *testing.T) {
+	r := NewReader([]byte{0xff})
+	if got := r.Uint32(); got != 0 {
+		t.Errorf("Uint32 past end = %#x, want 0", got)
+	}
+	if !errors.Is(r.Err(), ErrShortBuffer) {
+		t.Fatalf("Err = %v, want ErrShortBuffer", r.Err())
+	}
+	// After the error latches, in-bounds reads still return zero.
+	if got := r.Uint8(); got != 0 {
+		t.Errorf("Uint8 after error = %#x, want 0", got)
+	}
+	if r.Bytes(0) != nil {
+		t.Error("Bytes(0) after error should be nil")
+	}
+}
+
+func TestReaderPeekDoesNotAdvanceOrLatch(t *testing.T) {
+	r := NewReader([]byte{1, 2, 3})
+	if got := r.Peek(2); !bytes.Equal(got, []byte{1, 2}) {
+		t.Errorf("Peek(2) = %v", got)
+	}
+	if r.Offset() != 0 {
+		t.Errorf("Offset after Peek = %d, want 0", r.Offset())
+	}
+	if got := r.Peek(4); got != nil {
+		t.Errorf("Peek(4) = %v, want nil", got)
+	}
+	if r.Err() != nil {
+		t.Errorf("Peek must not latch error, got %v", r.Err())
+	}
+}
+
+func TestReaderBytesAliasesAndCopyDoesNot(t *testing.T) {
+	in := []byte{1, 2, 3, 4}
+	r := NewReader(in)
+	alias := r.Bytes(2)
+	in[0] = 99
+	if alias[0] != 99 {
+		t.Error("Bytes should alias the input")
+	}
+	cp := r.BytesCopy(2)
+	in[2] = 77
+	if cp[0] == 77 {
+		t.Error("BytesCopy should not alias the input")
+	}
+}
+
+func TestReaderSkipAndRest(t *testing.T) {
+	r := NewReader([]byte{1, 2, 3, 4, 5})
+	r.Skip(3)
+	if got := r.Rest(); !bytes.Equal(got, []byte{4, 5}) {
+		t.Errorf("Rest = %v, want [4 5]", got)
+	}
+	if r.Offset() != 3 {
+		t.Errorf("Offset = %d, want 3", r.Offset())
+	}
+	r.Skip(10)
+	if !errors.Is(r.Err(), ErrShortBuffer) {
+		t.Error("Skip past end should latch error")
+	}
+	if r.Rest() != nil {
+		t.Error("Rest after error should be nil")
+	}
+}
+
+func TestReaderNegativeRead(t *testing.T) {
+	r := NewReader([]byte{1, 2, 3})
+	if b := r.Bytes(-1); b != nil {
+		t.Error("Bytes(-1) should return nil")
+	}
+	if !errors.Is(r.Err(), ErrShortBuffer) {
+		t.Error("negative read should latch error")
+	}
+}
+
+func TestWriterRoundTrip(t *testing.T) {
+	w := NewWriter(32)
+	w.Uint8(0x01)
+	w.Uint16(0x0203)
+	w.Uint24(0x040506)
+	w.Uint32(0x0708090a)
+	w.Uint64(0x0b0c0d0e0f101112)
+	w.Write([]byte{0xaa, 0xbb})
+
+	r := NewReader(w.Bytes())
+	if r.Uint8() != 0x01 || r.Uint16() != 0x0203 || r.Uint24() != 0x040506 ||
+		r.Uint32() != 0x0708090a || r.Uint64() != 0x0b0c0d0e0f101112 {
+		t.Fatal("round trip mismatch")
+	}
+	if !bytes.Equal(r.Bytes(2), []byte{0xaa, 0xbb}) {
+		t.Fatal("trailing bytes mismatch")
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+}
+
+func TestWriterSetAndPad(t *testing.T) {
+	w := NewWriter(8)
+	w.Uint16(0) // placeholder
+	w.Write([]byte{1, 2, 3})
+	w.SetUint16(0, uint16(w.Len()-2))
+	w.Pad(4)
+	got := w.Bytes()
+	if len(got)%4 != 0 {
+		t.Errorf("Pad(4) left length %d", len(got))
+	}
+	if got[0] != 0 || got[1] != 3 {
+		t.Errorf("SetUint16 wrote %v", got[:2])
+	}
+	w2 := NewWriter(4)
+	w2.Uint32(7)
+	w2.Pad(4) // already aligned: no-op
+	if w2.Len() != 4 {
+		t.Errorf("Pad on aligned buffer grew to %d", w2.Len())
+	}
+}
+
+func TestWriterZero(t *testing.T) {
+	w := NewWriter(0)
+	w.Zero(5)
+	if !bytes.Equal(w.Bytes(), make([]byte, 5)) {
+		t.Errorf("Zero(5) = %v", w.Bytes())
+	}
+}
+
+// Property: for any payload, writing values and reading them back yields
+// the same values regardless of surrounding data.
+func TestQuickWriteReadIdentity(t *testing.T) {
+	f := func(a uint8, b uint16, c uint32, d uint64, tail []byte) bool {
+		w := NewWriter(0)
+		w.Uint8(a)
+		w.Uint16(b)
+		w.Uint32(c)
+		w.Uint64(d)
+		w.Write(tail)
+		r := NewReader(w.Bytes())
+		return r.Uint8() == a && r.Uint16() == b && r.Uint32() == c &&
+			r.Uint64() == d && bytes.Equal(r.Bytes(len(tail)), tail) &&
+			r.Err() == nil && r.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a Reader never reads more bytes than the buffer holds, for
+// arbitrary interleavings of read sizes.
+func TestQuickReaderNeverOverreads(t *testing.T) {
+	f := func(buf []byte, sizes []uint8) bool {
+		r := NewReader(buf)
+		total := 0
+		for _, s := range sizes {
+			n := int(s % 9)
+			before := r.Remaining()
+			b := r.Bytes(n)
+			if b != nil {
+				total += n
+				if len(b) != n || before < n {
+					return false
+				}
+			}
+		}
+		return total <= len(buf)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,71 @@
+package compliance
+
+import (
+	"time"
+
+	"github.com/rtc-compliance/rtcc/internal/dpi"
+	"github.com/rtc-compliance/rtcc/internal/quicwire"
+)
+
+func quicTypeKey(h *quicwire.Header) TypeKey {
+	label := "short header"
+	if h.Long {
+		if h.Version == quicwire.VersionNegotiation {
+			label = "version negotiation"
+		} else {
+			label = "long header " + h.Type.String()
+		}
+	}
+	return TypeKey{Protocol: dpi.ProtoQUIC, Label: label}
+}
+
+// checkQUIC applies the five criteria to a QUIC packet header. Payloads
+// are encrypted by design, so only the invariant and v1 header rules
+// apply.
+func (s *Session) checkQUIC(m dpi.Message, ts time.Time) Checked {
+	h := m.QUIC
+	c := Checked{
+		Protocol:  dpi.ProtoQUIC,
+		Type:      quicTypeKey(h),
+		Bytes:     m.Length,
+		Timestamp: ts,
+	}
+	c.Verdict = s.quicVerdict(h)
+	return c
+}
+
+func (s *Session) quicVerdict(h *quicwire.Header) Verdict {
+	// Criterion 1: packet type. Long-header types 0-3 are all defined
+	// in v1; Version Negotiation is defined by the invariants; short
+	// headers are 1-RTT packets.
+
+	// Criterion 2: header fields.
+	if h.Long {
+		if h.Version != quicwire.Version1 && h.Version != quicwire.VersionNegotiation {
+			return fail(CritHeader, "unknown QUIC version %#08x", h.Version)
+		}
+		if h.Version == quicwire.Version1 && !h.FixedBit {
+			return fail(CritHeader, "fixed bit is zero in a v1 long header")
+		}
+		if len(h.DCID) > quicwire.MaxCIDLen || len(h.SCID) > quicwire.MaxCIDLen {
+			return fail(CritHeader, "connection ID longer than 20 bytes in v1")
+		}
+	} else if !h.FixedBit {
+		return fail(CritHeader, "fixed bit is zero in a short header")
+	}
+
+	// Criteria 3-4 do not apply: QUIC headers carry no TLV attributes
+	// and the payload is encrypted.
+
+	// Criterion 5: connection-ID consistency across the stream. A short
+	// header whose DCID was never introduced by a long header would be
+	// flagged, but the DPI already refuses to extract such packets; we
+	// record CIDs for completeness.
+	if len(h.DCID) > 0 {
+		s.quicCIDs[string(h.DCID)] = true
+	}
+	if len(h.SCID) > 0 {
+		s.quicCIDs[string(h.SCID)] = true
+	}
+	return ok()
+}

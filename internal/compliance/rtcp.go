@@ -1,0 +1,193 @@
+package compliance
+
+import (
+	"encoding/binary"
+	"strconv"
+	"time"
+
+	"github.com/rtc-compliance/rtcc/internal/dpi"
+	"github.com/rtc-compliance/rtcc/internal/rtcp"
+	"github.com/rtc-compliance/rtcc/internal/srtp"
+)
+
+// trailerKind classifies the bytes following an RTCP compound region.
+type trailerKind int
+
+const (
+	trailerNone trailerKind = iota
+	// trailerSRTCP is a full RFC 3711 trailer: 4-byte E-flag+index plus
+	// the 10-byte authentication tag.
+	trailerSRTCP
+	// trailerSRTCPNoAuth is the E-flag+index alone — the Google Meet
+	// relay-mode violation (RFC 3711 requires the auth tag).
+	trailerSRTCPNoAuth
+	// trailerUnknown is anything else (Discord's counter+direction
+	// bytes).
+	trailerUnknown
+)
+
+func classifyTrailer(trailing []byte) trailerKind {
+	switch len(trailing) {
+	case 0:
+		return trailerNone
+	case srtp.SRTCPIndexLen:
+		return trailerSRTCPNoAuth
+	case srtp.SRTCPIndexLen + srtp.AuthTagLen:
+		return trailerSRTCP
+	default:
+		return trailerUnknown
+	}
+}
+
+// checkRTCP applies the five criteria to each RTCP packet in a compound
+// region. Encrypted (SRTCP) regions skip body-content checks — the
+// paper can only judge what is in the clear — and are judged on header
+// and trailer structure.
+func (s *Session) checkRTCP(m dpi.Message, ts time.Time) []Checked {
+	kind := classifyTrailer(m.RTCPTrailing)
+	encrypted := kind != trailerNone
+	out := make([]Checked, 0, len(m.RTCP))
+	for _, p := range m.RTCP {
+		c := Checked{
+			Protocol:  dpi.ProtoRTCP,
+			Type:      TypeKey{Protocol: dpi.ProtoRTCP, Label: strconv.Itoa(int(p.Header.Type))},
+			Bytes:     p.Header.ByteLen(),
+			Timestamp: ts,
+		}
+		c.Verdict = s.rtcpVerdict(p, kind, encrypted, m.RTCPTrailing)
+		out = append(out, c)
+	}
+	// Spread the trailer bytes across the region's packets for volume
+	// accounting.
+	if len(out) > 0 {
+		out[len(out)-1].Bytes += len(m.RTCPTrailing)
+	}
+	return out
+}
+
+func (s *Session) rtcpVerdict(p *rtcp.Packet, kind trailerKind, encrypted bool, trailing []byte) Verdict {
+	// Criterion 1: packet type must be assigned.
+	if !rtcp.Defined(p.Header.Type) {
+		return fail(CritMessageType, "RTCP packet type %d is not assigned", uint8(p.Header.Type))
+	}
+
+	// Criterion 2: header fields. Version 2 is guaranteed structurally;
+	// the count field must be consistent with the body for plaintext
+	// packets.
+	if !encrypted && !p.ParseOK {
+		return fail(CritHeader, "%v body does not match its count/length fields", p.Header.Type)
+	}
+
+	// Criteria 3 and 4 for plaintext bodies: item and block types.
+	if !encrypted {
+		if v := rtcpBodyChecks(p); !v.Compliant {
+			return v
+		}
+	}
+
+	// Criterion 5: trailer structure and SRTCP index behaviour.
+	switch kind {
+	case trailerUnknown:
+		// The Discord case: a proprietary counter/direction trailer is
+		// not part of any RTCP or SRTCP specification.
+		return fail(CritSemantics, "%v followed by undefined trailing bytes (not an SRTCP trailer)", p.Header.Type)
+	case trailerSRTCPNoAuth:
+		// The Google Meet relay-mode case.
+		return fail(CritSemantics, "SRTCP message carries E-flag and index but no authentication tag (RFC 3711 requires one)")
+	case trailerSRTCP:
+		// Verify the E-flag/index word and per-SSRC index monotonicity.
+		// The E-flag may legitimately be clear (authenticated-only
+		// SRTCP), so only the index is validated.
+		_, index, okk := srtcpIndexWord(trailing)
+		if !okk {
+			return fail(CritSemantics, "SRTCP trailer too short for index word")
+		}
+		if ssrc, has := p.SenderSSRC(); has {
+			if last, seen := s.srtcpLastIx[ssrc]; seen && index <= last {
+				return fail(CritSemantics, "SRTCP index %d does not increase (last %d) for SSRC %#x", index, last, ssrc)
+			}
+			s.srtcpLastIx[ssrc] = index
+		}
+	}
+	return ok()
+}
+
+// rtcpBodyChecks validates plaintext type-specific contents: SDES item
+// types, XR block types, feedback FMT values, and cross-validates
+// feedback SSRCs against observed RTP streams.
+func rtcpBodyChecks(p *rtcp.Packet) Verdict {
+	switch p.Header.Type {
+	case rtcp.TypeSDES:
+		for _, ch := range p.SDES.Chunks {
+			for _, it := range ch.Items {
+				if it.Type > rtcp.SDESPriv {
+					return fail(CritAttrType, "SDES item type %d is not assigned", it.Type)
+				}
+			}
+		}
+	case rtcp.TypeXR:
+		for _, blk := range p.XR.Blocks {
+			// RFC 3611 blocks 1-7 plus widely registered 8-14.
+			if blk.BlockType == 0 || blk.BlockType > 14 {
+				return fail(CritAttrType, "XR block type %d is not assigned", blk.BlockType)
+			}
+		}
+	case rtcp.TypeRTPFB:
+		switch p.FB.FMT {
+		case rtcp.FBNack, 3, 4, 5, 8, rtcp.FBTWCC:
+		default:
+			return fail(CritAttrType, "RTPFB FMT %d is not assigned", p.FB.FMT)
+		}
+		// Criterion 4 for feedback: the FCI must parse per its format.
+		switch p.FB.FMT {
+		case rtcp.FBNack:
+			if _, err := rtcp.DecodeNackFCI(p.FB.FCI); err != nil {
+				return fail(CritAttrValue, "Generic NACK FCI malformed: %v", err)
+			}
+		case rtcp.FBTWCC:
+			if _, err := rtcp.DecodeTWCCFCI(p.FB.FCI); err != nil {
+				return fail(CritAttrValue, "transport-wide feedback FCI malformed: %v", err)
+			}
+		}
+	case rtcp.TypePSFB:
+		switch p.FB.FMT {
+		case rtcp.FBPLI, rtcp.FBSLI, rtcp.FBRPSI, rtcp.FBFIR, 5, 6, rtcp.FBAFB:
+		default:
+			return fail(CritAttrType, "PSFB FMT %d is not assigned", p.FB.FMT)
+		}
+		switch p.FB.FMT {
+		case rtcp.FBPLI:
+			// RFC 4585 §6.3.1: PLI carries no FCI.
+			if len(p.FB.FCI) != 0 {
+				return fail(CritAttrValue, "PLI carries %d FCI bytes; RFC 4585 defines none", len(p.FB.FCI))
+			}
+		case rtcp.FBFIR:
+			// RFC 5104 §4.3.1: FIR entries are 8 bytes each.
+			if len(p.FB.FCI) == 0 || len(p.FB.FCI)%8 != 0 {
+				return fail(CritAttrValue, "FIR FCI length %d is not a multiple of 8", len(p.FB.FCI))
+			}
+		case rtcp.FBAFB:
+			// Application layer feedback: when it carries the REMB
+			// identifier, the REMB structure must hold.
+			if len(p.FB.FCI) >= 4 && string(p.FB.FCI[:4]) == "REMB" {
+				if _, err := rtcp.DecodeREMBFCI(p.FB.FCI); err != nil {
+					return fail(CritAttrValue, "REMB FCI malformed: %v", err)
+				}
+			}
+		}
+	case rtcp.TypeSenderReport:
+		if p.SR.Info.NTPTimestamp == 0 {
+			return fail(CritAttrValue, "sender report carries a zero NTP timestamp")
+		}
+	}
+	return ok()
+}
+
+// srtcpIndexWord extracts the E-flag and index from an SRTCP trailer.
+func srtcpIndexWord(trailing []byte) (eflag bool, index uint32, ok bool) {
+	if len(trailing) < srtp.SRTCPIndexLen {
+		return false, 0, false
+	}
+	w := binary.BigEndian.Uint32(trailing[:4])
+	return w&(1<<31) != 0, w & 0x7fffffff, true
+}

@@ -1,0 +1,75 @@
+package compliance
+
+import (
+	"strconv"
+	"time"
+
+	"github.com/rtc-compliance/rtcc/internal/dpi"
+	"github.com/rtc-compliance/rtcc/internal/rtp"
+)
+
+// checkRTP applies the five criteria to an RTP message. For RTP the
+// paper's "message type" is the payload type, and "attributes" are the
+// RFC 8285 header-extension profile and its elements.
+func (s *Session) checkRTP(m dpi.Message, ts time.Time) Checked {
+	p := m.RTP
+	c := Checked{
+		Protocol:  dpi.ProtoRTP,
+		Type:      TypeKey{Protocol: dpi.ProtoRTP, Label: strconv.Itoa(int(p.PayloadType))},
+		Bytes:     m.Length,
+		Timestamp: ts,
+	}
+	s.checker.rtpSSRCs[p.SSRC] = true
+	c.Verdict = rtpVerdict(p)
+	return c
+}
+
+// definedExtProfile reports whether an RTP header-extension profile is
+// defined: 0xBEDE (one-byte form) or 0x1000-0x100F (two-byte form) per
+// RFC 8285.
+func definedExtProfile(profile uint16) bool {
+	return profile == rtp.ProfileOneByte ||
+		profile&rtp.ProfileTwoByteMask == rtp.ProfileTwoByteBase
+}
+
+func rtpVerdict(p *rtp.Packet) Verdict {
+	// Criterion 1: payload type. Every value 0-127 is either statically
+	// assigned (RFC 3551) or in the dynamic range, so the payload type
+	// itself never fails; the version field is the type-bearing header
+	// field and the DPI guarantees version 2.
+
+	// Criterion 2: header fields. The CSRC count and padding are
+	// structurally verified by the decoder; a padding length that
+	// consumed the entire payload would have failed decode.
+
+	// Criterion 3: header extension profile and element IDs.
+	if p.Extension != nil {
+		ext := p.Extension
+		if !definedExtProfile(ext.Profile) {
+			// FaceTime's 0x8001/0x8500/0x8D00 and Discord's
+			// 0x0084-0xFBD2 profiles.
+			return fail(CritAttrType, "header extension profile %#04x is not defined by RFC 8285", ext.Profile)
+		}
+		for _, el := range ext.Elements {
+			if ext.Profile == rtp.ProfileOneByte {
+				if el.ID == 0 {
+					// Discord's ID=0 elements with payload bytes: an ID
+					// of 0 is padding and must not carry a length.
+					return fail(CritAttrType, "one-byte extension element with reserved ID 0 carries %d payload bytes", len(el.Payload))
+				}
+				if el.ID == 15 {
+					return fail(CritAttrType, "one-byte extension element uses reserved ID 15")
+				}
+			}
+		}
+		// Criterion 4: element structure must parse within the declared
+		// extension length.
+		if !ext.ParseOK {
+			return fail(CritAttrValue, "header extension elements overrun the declared extension length")
+		}
+	}
+
+	// Criterion 5: sequence continuity is enforced during extraction;
+	// no additional per-message semantic rule applies here.
+	return ok()
+}

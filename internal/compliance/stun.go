@@ -1,0 +1,220 @@
+package compliance
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/rtc-compliance/rtcc/internal/dpi"
+	"github.com/rtc-compliance/rtcc/internal/stun"
+)
+
+func stunTypeKey(t stun.MessageType) TypeKey {
+	return TypeKey{Protocol: dpi.ProtoSTUN, Label: fmt.Sprintf("0x%04x", uint16(t))}
+}
+
+// checkSTUN applies the five criteria to a STUN/TURN message.
+func (s *Session) checkSTUN(m dpi.Message, ts time.Time) Checked {
+	msg := m.STUN
+	c := Checked{
+		Protocol:  dpi.ProtoSTUN,
+		Type:      stunTypeKey(msg.Type),
+		Bytes:     m.Length,
+		Timestamp: ts,
+	}
+	s.trackTransaction(msg, ts)
+	s.trackChannelBind(msg)
+	c.Verdict = s.stunVerdict(msg, ts)
+	return c
+}
+
+// trackTransaction records request/response pairing state before
+// judging, so responses unblock their requests regardless of order of
+// evaluation within a datagram.
+func (s *Session) trackTransaction(msg *stun.Message, ts time.Time) {
+	st, ok := s.txSeen[msg.TransactionID]
+	if !ok {
+		st = &txState{firstSeen: ts}
+		s.txSeen[msg.TransactionID] = st
+	}
+	switch msg.Type.Class() {
+	case stun.ClassRequest:
+		st.requests++
+	case stun.ClassSuccess, stun.ClassError:
+		st.responded = true
+	}
+	if msg.Type == stun.TypeAllocateSuccess {
+		s.allocDone = true
+	}
+	if msg.Type == stun.TypeAllocateRequest && s.allocDone {
+		s.allocReqs++
+	}
+}
+
+// trackChannelBind records channels bound on this stream for the
+// ChannelData semantic check.
+func (s *Session) trackChannelBind(msg *stun.Message) {
+	if msg.Type != stun.TypeChannelBindRequest {
+		return
+	}
+	if a := msg.Get(stun.AttrChannelNumber); a != nil && len(a.Value) == 4 {
+		ch, err := stun.DecodeChannelNumber(a.Value)
+		if err == nil {
+			s.boundChans[ch] = true
+		}
+	}
+}
+
+func (s *Session) stunVerdict(msg *stun.Message, ts time.Time) Verdict {
+	// Criterion 1: message type defined in any published revision.
+	if _, defined := stun.DefinedMessageType(msg.Type); !defined {
+		return fail(CritMessageType, "message type %v is not defined in any STUN/TURN specification", msg.Type)
+	}
+
+	// Criterion 2: header field validity. The magic cookie (or RFC 3489
+	// classic form) is structurally established by the DPI; here we
+	// check the transaction ID is neither degenerate nor sequential
+	// (the paper's example: "a Transaction ID that appears sequential
+	// rather than randomly generated").
+	if msg.TransactionID == ([12]byte{}) {
+		return fail(CritHeader, "all-zero transaction ID is not a valid random identifier")
+	}
+	if msg.Type.Class() == stun.ClassRequest {
+		if s.havePrevReq && msg.TransactionID == txidSuccessor(s.prevReqTx) {
+			s.seqTxRun++
+		} else if msg.TransactionID != s.prevReqTx {
+			s.seqTxRun = 0
+		}
+		s.prevReqTx = msg.TransactionID
+		s.havePrevReq = true
+		if s.seqTxRun >= 2 {
+			return fail(CritHeader, "transaction IDs increase sequentially rather than being randomly generated")
+		}
+	}
+
+	// Criterion 3: every attribute type must be defined.
+	for _, a := range msg.Attributes {
+		if _, defined := stun.DefinedAttr(a.Type); !defined {
+			return fail(CritAttrType, "attribute %v is not defined in any STUN/TURN specification", a.Type)
+		}
+	}
+
+	// Criterion 4: attribute values and placement.
+	for _, a := range msg.Attributes {
+		if v := checkAttrValue(msg, a); !v.Compliant {
+			return v
+		}
+	}
+
+	// Criterion 5: syntax and semantic integrity.
+	return s.stunSemantics(msg, ts)
+}
+
+// checkAttrValue validates a defined attribute's value shape and its
+// placement in this message type.
+func checkAttrValue(msg *stun.Message, a stun.Attribute) Verdict {
+	if !stun.AttrLenValid(a.Type, len(a.Value)) {
+		return fail(CritAttrValue, "attribute %v has invalid length %d", a.Type, len(a.Value))
+	}
+	if stun.AddressBearing(a.Type) {
+		if len(a.Value) < 4 {
+			return fail(CritAttrValue, "address attribute %v too short", a.Type)
+		}
+		fam := a.Value[1]
+		switch fam {
+		case stun.FamilyIPv4:
+			if len(a.Value) != 8 {
+				return fail(CritAttrValue, "attribute %v declares IPv4 but is %d bytes", a.Type, len(a.Value))
+			}
+		case stun.FamilyIPv6:
+			if len(a.Value) != 20 {
+				return fail(CritAttrValue, "attribute %v declares IPv6 but is %d bytes", a.Type, len(a.Value))
+			}
+		default:
+			// The FaceTime ALTERNATE-SERVER case: family 0x00.
+			return fail(CritAttrValue, "attribute %v has invalid address family %#02x", a.Type, fam)
+		}
+	}
+	if a.Type == stun.AttrErrorCode && len(a.Value) >= 4 {
+		class := a.Value[2]
+		number := a.Value[3]
+		if class < 3 || class > 6 || number > 99 {
+			return fail(CritAttrValue, "ERROR-CODE class %d number %d out of range", class, number)
+		}
+	}
+	if a.Type == stun.AttrChannelNumber && len(a.Value) == 4 {
+		ch := uint16(a.Value[0])<<8 | uint16(a.Value[1])
+		if ch < stun.ChannelMin || ch > stun.ChannelMax5766 {
+			// The FaceTime Data-indication case carries 0x0000 here.
+			return fail(CritAttrValue, "CHANNEL-NUMBER value %#04x outside 0x4000-0x7FFF", ch)
+		}
+	}
+	// Placement rules.
+	cls := msg.Type.Class()
+	if (cls == stun.ClassSuccess || cls == stun.ClassError) && stun.RequestOnly(a.Type) {
+		return fail(CritAttrValue, "request-only attribute %v present in a %v", a.Type, cls)
+	}
+	if msg.Type == stun.TypeDataIndication && !stun.AllowedInDataIndication(a.Type) {
+		return fail(CritAttrValue, "attribute %v is not permitted in a Data indication", a.Type)
+	}
+	return ok()
+}
+
+// txidSuccessor returns id incremented by one as a 96-bit big-endian
+// integer.
+func txidSuccessor(id [12]byte) [12]byte {
+	for i := len(id) - 1; i >= 0; i-- {
+		id[i]++
+		if id[i] != 0 {
+			break
+		}
+	}
+	return id
+}
+
+// stunSemantics applies the cross-message criterion-5 rules.
+func (s *Session) stunSemantics(msg *stun.Message, ts time.Time) Verdict {
+	st := s.txSeen[msg.TransactionID]
+	if msg.Type.Class() == stun.ClassRequest && st != nil {
+		// Repeated identical-transaction requests with no response ever
+		// observed: FaceTime's keepalive-via-Binding-Request pattern.
+		// Genuine retransmission backs off and stops; a steady stream of
+		// repeats past the threshold with zero responses is repurposing.
+		if st.requests > repeatThreshold && !st.responded {
+			return fail(CritSemantics, "request repeated %d times with transaction ID %x and no response; Binding/Allocate requests are not keepalives", st.requests, msg.TransactionID[:4])
+		}
+	}
+	if msg.Type == stun.TypeAllocateRequest && s.allocReqs > allocPingPongThreshold {
+		// The Google Meet case: periodic Allocate requests after the
+		// allocation already succeeded act as connectivity checks,
+		// which Allocate is not intended for (paper §4.2, example 5).
+		return fail(CritSemantics, "repeated Allocate requests after successful allocation form a connectivity-check ping-pong")
+	}
+	return ok()
+}
+
+// checkChannelData validates a TURN ChannelData frame.
+func (s *Session) checkChannelData(m dpi.Message, ts time.Time) Checked {
+	cd := m.ChannelData
+	c := Checked{
+		Protocol:  dpi.ProtoChannelData,
+		Type:      TypeKey{Protocol: dpi.ProtoSTUN, Label: "ChannelData"},
+		Bytes:     m.Length,
+		Timestamp: ts,
+	}
+	// Criterion 2: channel number range (the framing itself guarantees
+	// 0x4000-0x7FFF; RFC 8656 narrows to 0x4000-0x4FFF but RFC 5766
+	// allowed the full range, and the paper accepts any published
+	// revision).
+	if cd.ChannelNumber < stun.ChannelMin || cd.ChannelNumber > stun.ChannelMax5766 {
+		c.Verdict = fail(CritHeader, "channel number %#04x outside any published range", cd.ChannelNumber)
+		return c
+	}
+	// Criterion 5: data on a channel never bound with ChannelBind on
+	// this stream repurposes the framing (the FaceTime case).
+	if !s.boundChans[cd.ChannelNumber] {
+		c.Verdict = fail(CritSemantics, "ChannelData on channel %#04x with no prior ChannelBind on this stream", cd.ChannelNumber)
+		return c
+	}
+	c.Verdict = ok()
+	return c
+}

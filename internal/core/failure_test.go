@@ -1,0 +1,188 @@
+package core
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"github.com/rtc-compliance/rtcc/internal/appsim"
+	"github.com/rtc-compliance/rtcc/internal/pcap"
+	"github.com/rtc-compliance/rtcc/internal/trace"
+)
+
+// failureCapture builds a small capture for corruption experiments.
+func failureCapture(t *testing.T, seed uint64) *trace.Capture {
+	t.Helper()
+	cap, err := trace.Generate(trace.CaptureConfig{
+		App: appsim.WhatsApp, Network: appsim.WiFiRelay, Seed: seed,
+		Start: t0, CallDuration: 5 * time.Second, PrePost: 6 * time.Second,
+		MediaRate: 15, Background: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cap
+}
+
+// The pipeline must survive arbitrary corruption of individual frames:
+// no panics, and the untouched traffic still analyzed.
+func TestCorruptedFramesTolerated(t *testing.T) {
+	cap := failureCapture(t, 101)
+	frames := cap.Frames()
+	rng := rand.New(rand.NewPCG(1, 2))
+	// Corrupt 10% of frames: random byte flips anywhere in the frame.
+	for i := range frames {
+		if rng.IntN(10) != 0 {
+			continue
+		}
+		data := append([]byte(nil), frames[i].Data...)
+		for j := 0; j < 4 && len(data) > 0; j++ {
+			data[rng.IntN(len(data))] ^= byte(1 + rng.IntN(255))
+		}
+		frames[i].Data = data
+	}
+	ca, err := AnalyzeCapture(CaptureInput{
+		Label: "corrupted", LinkType: pcap.LinkTypeRaw, Packets: frames,
+		CallStart: cap.CallStart, CallEnd: cap.CallEnd,
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ca.Filter.RTC) == 0 {
+		t.Error("corruption wiped out all RTC streams")
+	}
+	// The bulk of messages still checks out.
+	if r, ok := ca.Stats.VolumeCompliance(); !ok || r < 0.5 {
+		t.Errorf("volume compliance after corruption = %v, %v", r, ok)
+	}
+}
+
+// Truncating frames (as a small snaplen would) must not panic anywhere
+// in the stack.
+func TestTruncatedFramesTolerated(t *testing.T) {
+	cap := failureCapture(t, 102)
+	frames := cap.Frames()
+	rng := rand.New(rand.NewPCG(3, 4))
+	for i := range frames {
+		if rng.IntN(5) == 0 && len(frames[i].Data) > 4 {
+			cut := 1 + rng.IntN(len(frames[i].Data)-1)
+			frames[i].Data = frames[i].Data[:cut]
+			frames[i].OrigLen = cut
+		}
+	}
+	if _, err := AnalyzeCapture(CaptureInput{
+		Label: "truncated", LinkType: pcap.LinkTypeRaw, Packets: frames,
+		CallStart: cap.CallStart, CallEnd: cap.CallEnd,
+	}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Mild packet reordering (network jitter) must not change the verdict
+// substantially: type compliance is identical, volume compliance within
+// a small tolerance (sequence-window effects only).
+func TestReorderingTolerated(t *testing.T) {
+	cap := failureCapture(t, 103)
+	base, err := AnalyzeCapture(CaptureInput{
+		Label: "base", LinkType: pcap.LinkTypeRaw, Packets: cap.Frames(),
+		CallStart: cap.CallStart, CallEnd: cap.CallEnd,
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := cap.Frames()
+	// Swap adjacent frames in 10% of positions.
+	rng := rand.New(rand.NewPCG(5, 6))
+	for i := 0; i+1 < len(frames); i++ {
+		if rng.IntN(10) == 0 {
+			frames[i], frames[i+1] = frames[i+1], frames[i]
+			frames[i].Timestamp, frames[i+1].Timestamp = frames[i+1].Timestamp, frames[i].Timestamp
+		}
+	}
+	re, err := AnalyzeCapture(CaptureInput{
+		Label: "reordered", LinkType: pcap.LinkTypeRaw, Packets: frames,
+		CallStart: cap.CallStart, CallEnd: cap.CallEnd,
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, bt := base.Stats.TypeCompliance(0)
+	rc, rt := re.Stats.TypeCompliance(0)
+	if bc != rc || bt != rt {
+		t.Errorf("type compliance changed under reordering: %d/%d vs %d/%d", bc, bt, rc, rt)
+	}
+	rb, _ := base.Stats.VolumeCompliance()
+	rr, _ := re.Stats.VolumeCompliance()
+	if rr < rb-0.02 || rr > rb+0.02 {
+		t.Errorf("volume compliance drifted: %.4f vs %.4f", rb, rr)
+	}
+}
+
+// Dropping packets (loss) must not break stream-level validation: the
+// DPI's sequence window tolerates gaps.
+func TestPacketLossTolerated(t *testing.T) {
+	cap := failureCapture(t, 104)
+	base, err := AnalyzeCapture(CaptureInput{
+		Label: "base", LinkType: pcap.LinkTypeRaw, Packets: cap.Frames(),
+		CallStart: cap.CallStart, CallEnd: cap.CallEnd,
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kept []pcap.Packet
+	rng := rand.New(rand.NewPCG(7, 8))
+	for _, f := range cap.Frames() {
+		if rng.IntN(10) == 0 { // 10% loss
+			continue
+		}
+		kept = append(kept, f)
+	}
+	lossy, err := AnalyzeCapture(CaptureInput{
+		Label: "lossy", LinkType: pcap.LinkTypeRaw, Packets: kept,
+		CallStart: cap.CallStart, CallEnd: cap.CallEnd,
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, _ := base.Stats.VolumeCompliance()
+	rl, _ := lossy.Stats.VolumeCompliance()
+	if rl < rb-0.05 {
+		t.Errorf("volume compliance collapsed under loss: %.4f vs %.4f", rb, rl)
+	}
+}
+
+// A pcap stream that is cut off mid-record must error cleanly, not
+// panic or hang.
+func TestTruncatedPCAPStream(t *testing.T) {
+	cap := failureCapture(t, 105)
+	var buf bytes.Buffer
+	if err := cap.WritePCAP(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()*2/3]
+	if _, err := AnalyzePCAP(bytes.NewReader(cut), "cut", cap.CallStart, cap.CallEnd, Options{}); err == nil {
+		t.Error("truncated pcap accepted silently")
+	}
+	// Garbage header.
+	if _, err := AnalyzePCAP(bytes.NewReader([]byte("not a pcap file at all......")), "junk", time.Time{}, time.Time{}, Options{}); err == nil {
+		t.Error("junk pcap accepted")
+	}
+}
+
+// An empty capture analyzes to an empty result without error.
+func TestEmptyCapture(t *testing.T) {
+	ca, err := AnalyzeCapture(CaptureInput{
+		Label: "empty", LinkType: pcap.LinkTypeRaw,
+		CallStart: t0, CallEnd: t0.Add(time.Second),
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ca.Filter.RTC) != 0 {
+		t.Error("streams from empty capture")
+	}
+	if _, ok := ca.Stats.VolumeCompliance(); ok {
+		t.Error("compliance ratio from empty capture")
+	}
+}

@@ -1,0 +1,307 @@
+// Package core wires the measurement framework together: packet
+// decoding, stream grouping, the two-stage unrelated-traffic filter,
+// DPI message extraction, five-criterion compliance checking, and
+// aggregation into the paper's metrics. It is the engine behind the
+// public rtcc API, the command-line tools, and the benchmarks.
+package core
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/rtc-compliance/rtcc/internal/compliance"
+	"github.com/rtc-compliance/rtcc/internal/dpi"
+	"github.com/rtc-compliance/rtcc/internal/filterpipe"
+	"github.com/rtc-compliance/rtcc/internal/flow"
+	"github.com/rtc-compliance/rtcc/internal/layers"
+	"github.com/rtc-compliance/rtcc/internal/pcap"
+	"github.com/rtc-compliance/rtcc/internal/report"
+	"github.com/rtc-compliance/rtcc/internal/trace"
+)
+
+// Options configures an analysis run.
+type Options struct {
+	// MaxOffset is the DPI's k parameter; zero selects the paper's 200.
+	MaxOffset int
+	// WindowSlack is forwarded to the filter; zero selects the default.
+	WindowSlack time.Duration
+	// SNIBlocklist overrides the default blocklist when non-nil.
+	SNIBlocklist []string
+	// SkipFindings disables the behavioural-findings detectors.
+	SkipFindings bool
+}
+
+func (o Options) engine() *dpi.Engine {
+	e := dpi.NewEngine()
+	if o.MaxOffset > 0 {
+		e.MaxOffset = o.MaxOffset
+	}
+	return e
+}
+
+// CaptureInput is one capture to analyze.
+type CaptureInput struct {
+	// Label names the application (or capture) in reports.
+	Label string
+	// LinkType describes the frames.
+	LinkType pcap.LinkType
+	// Packets are the captured frames in time order.
+	Packets []pcap.Packet
+	// CallStart and CallEnd delimit the annotated call window.
+	CallStart, CallEnd time.Time
+}
+
+// CaptureAnalysis is the result of analyzing one capture.
+type CaptureAnalysis struct {
+	Label  string
+	Filter *filterpipe.Result
+	// Stats holds the message and datagram statistics for this capture.
+	Stats *report.AppStats
+	// Findings lists the behavioural findings detected (§5.3).
+	Findings []Finding
+	// RTPSSRCs is the set of RTP SSRCs observed, for cross-call
+	// analyses like Zoom's fixed-SSRC finding.
+	RTPSSRCs map[uint32]bool
+	// Bytes is the total raw capture volume (transport payload bytes).
+	Bytes int
+}
+
+// AnalyzeCapture runs the full pipeline over one capture.
+func AnalyzeCapture(in CaptureInput, opts Options) (*CaptureAnalysis, error) {
+	if in.CallEnd.Before(in.CallStart) {
+		return nil, errors.New("core: call window end precedes start")
+	}
+	table := flow.NewTable()
+	decodeErrs := 0
+	for _, p := range in.Packets {
+		pkt, err := layers.Decode(in.LinkType, p.Data)
+		if err != nil {
+			// Tolerate unparseable frames (the paper's captures contain
+			// them too); count and continue.
+			decodeErrs++
+			continue
+		}
+		table.Add(p.Timestamp, pkt)
+	}
+	if table.Len() == 0 && len(in.Packets) > 0 {
+		return nil, fmt.Errorf("core: no decodable transport packets (%d frames, %d decode errors)", len(in.Packets), decodeErrs)
+	}
+
+	fres := filterpipe.Run(table, filterpipe.Config{
+		CallStart:    in.CallStart,
+		CallEnd:      in.CallEnd,
+		WindowSlack:  opts.WindowSlack,
+		SNIBlocklist: opts.SNIBlocklist,
+	})
+
+	ca := &CaptureAnalysis{
+		Label:    in.Label,
+		Filter:   fres,
+		Stats:    report.NewAppStats(in.Label),
+		RTPSSRCs: make(map[uint32]bool),
+	}
+	for _, s := range table.Streams() {
+		ca.Bytes += s.Bytes
+	}
+
+	engine := opts.engine()
+	checker := compliance.NewChecker()
+	var fctx findingsContext
+
+	// The compliance analysis covers UDP RTC streams only (§3.3: TCP
+	// volume is negligible and carries signaling, not media).
+	for _, s := range fres.RTC {
+		if s.Key.Proto != layers.IPProtocolUDP {
+			continue
+		}
+		payloads := make([][]byte, len(s.Packets))
+		for i, p := range s.Packets {
+			payloads[i] = p.Payload
+		}
+		results := engine.InspectStream(payloads)
+		session := checker.NewSession()
+		for i, r := range results {
+			ca.Stats.AddDatagram(r.Class)
+			for _, m := range r.Messages {
+				for _, c := range session.Check(m, s.Packets[i].Timestamp) {
+					ca.Stats.AddChecked(c)
+				}
+				if m.Protocol == dpi.ProtoRTP {
+					ca.RTPSSRCs[m.RTP.SSRC] = true
+				}
+			}
+		}
+		if !opts.SkipFindings {
+			fctx.scanStream(s, results)
+		}
+	}
+	if !opts.SkipFindings {
+		ca.Findings = fctx.findings()
+	}
+	return ca, nil
+}
+
+// AnalyzePCAP reads a capture stream — classic pcap or pcapng, detected
+// from the leading magic — and analyzes it.
+func AnalyzePCAP(r io.Reader, label string, callStart, callEnd time.Time, opts Options) (*CaptureAnalysis, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(4)
+	if err != nil {
+		return nil, fmt.Errorf("core: read capture header: %w", err)
+	}
+	var pkts []pcap.Packet
+	var linkType pcap.LinkType
+	if pcap.IsPCAPNG(head) {
+		ngr, err := pcap.NewNGReader(br)
+		if err != nil {
+			return nil, err
+		}
+		pkts, linkType, err = ngr.ReadAll()
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		pr, err := pcap.NewReader(br)
+		if err != nil {
+			return nil, err
+		}
+		linkType = pr.LinkType()
+		pkts, err = pr.ReadAll()
+		if err != nil {
+			return nil, err
+		}
+	}
+	in := CaptureInput{
+		Label:     label,
+		LinkType:  linkType,
+		Packets:   pkts,
+		CallStart: callStart,
+		CallEnd:   callEnd,
+	}
+	// Default the window to the capture span when not annotated.
+	if callStart.IsZero() && len(pkts) > 0 {
+		in.CallStart = pkts[0].Timestamp
+		in.CallEnd = pkts[len(pkts)-1].Timestamp
+	}
+	return AnalyzeCapture(in, opts)
+}
+
+// MatrixAnalysis aggregates a whole experiment matrix.
+type MatrixAnalysis struct {
+	// Aggregate holds per-app statistics for the report tables.
+	Aggregate *report.Aggregate
+	// Table1 holds the filter accounting per app.
+	Table1 []report.Table1Row
+	// Findings lists deduplicated behavioural findings across captures.
+	Findings []Finding
+	// Captures counts analyzed calls.
+	Captures int
+}
+
+// RunMatrix generates the experiment matrix and analyzes every capture.
+func RunMatrix(mopts trace.MatrixOptions, opts Options) (*MatrixAnalysis, error) {
+	configs := trace.Matrix(mopts)
+	ma := &MatrixAnalysis{Aggregate: report.NewAggregate()}
+	rows := make(map[string]*report.Table1Row)
+	var rowOrder []string
+	// Cross-call SSRC sets per app+network for the Zoom finding.
+	ssrcSets := make(map[string][]map[uint32]bool)
+	var allFindings []Finding
+
+	for _, cfg := range configs {
+		cap, err := trace.Generate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		in := CaptureInput{
+			Label:     string(cfg.App),
+			LinkType:  pcap.LinkTypeRaw,
+			Packets:   cap.Frames(),
+			CallStart: cap.CallStart,
+			CallEnd:   cap.CallEnd,
+		}
+		ca, err := AnalyzeCapture(in, opts)
+		if err != nil {
+			return nil, err
+		}
+		ma.Captures++
+
+		// Fold stats into the aggregate.
+		app := ma.Aggregate.App(string(cfg.App))
+		mergeStats(app, ca.Stats)
+
+		// Table 1 accounting.
+		row, ok := rows[string(cfg.App)]
+		if !ok {
+			row = &report.Table1Row{App: string(cfg.App)}
+			rows[string(cfg.App)] = row
+			rowOrder = append(rowOrder, string(cfg.App))
+		}
+		addCounts(row, ca)
+
+		key := fmt.Sprintf("%s/%s", cfg.App, cfg.Network)
+		ssrcSets[key] = append(ssrcSets[key], ca.RTPSSRCs)
+		for _, f := range ca.Findings {
+			f.App = string(cfg.App)
+			allFindings = append(allFindings, f)
+		}
+	}
+	for _, name := range rowOrder {
+		ma.Table1 = append(ma.Table1, *rows[name])
+	}
+	allFindings = append(allFindings, detectSSRCReuse(ssrcSets)...)
+	ma.Findings = dedupFindings(allFindings)
+	return ma, nil
+}
+
+func mergeStats(dst, src *report.AppStats) {
+	for fam, ps := range src.ByProtocol {
+		d := dst.ByProtocol[fam]
+		if d == nil {
+			d = &report.ProtoStat{}
+			dst.ByProtocol[fam] = d
+		}
+		d.Messages += ps.Messages
+		d.Compliant += ps.Compliant
+		d.Bytes += ps.Bytes
+	}
+	for key, ts := range src.Types {
+		d := dst.Types[key]
+		if d == nil {
+			d = &report.TypeStat{Reasons: make(map[string]int)}
+			dst.Types[key] = d
+		}
+		d.Total += ts.Total
+		d.NonCompliant += ts.NonCompliant
+		for r, n := range ts.Reasons {
+			d.Reasons[r] += n
+		}
+	}
+	for class, n := range src.Datagrams {
+		dst.Datagrams[class] += n
+	}
+	for crit, n := range src.Violations {
+		dst.Violations[crit] += n
+	}
+}
+
+func addCounts(row *report.Table1Row, ca *CaptureAnalysis) {
+	f := ca.Filter
+	row.VolumeBytes += ca.Bytes
+	addC := func(dst *flow.Counts, src flow.Counts) {
+		dst.Streams += src.Streams
+		dst.Packets += src.Packets
+		dst.Bytes += src.Bytes
+	}
+	addC(&row.RawUDP, f.RawUDP)
+	addC(&row.RawTCP, f.RawTCP)
+	addC(&row.Stage1UDP, f.Stage1UDP)
+	addC(&row.Stage1TCP, f.Stage1TCP)
+	addC(&row.Stage2UDP, f.Stage2UDP)
+	addC(&row.Stage2TCP, f.Stage2TCP)
+	addC(&row.RTCUDP, f.RTCUDP)
+	addC(&row.RTCTCP, f.RTCTCP)
+}

@@ -1,0 +1,407 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/rtc-compliance/rtcc/internal/appsim"
+	"github.com/rtc-compliance/rtcc/internal/compliance"
+	"github.com/rtc-compliance/rtcc/internal/dpi"
+	"github.com/rtc-compliance/rtcc/internal/pcap"
+	"github.com/rtc-compliance/rtcc/internal/report"
+	"github.com/rtc-compliance/rtcc/internal/trace"
+)
+
+var t0 = time.Unix(1700000000, 0).UTC()
+
+// runMatrix analyzes a small version of the paper's experiment matrix
+// once and caches the result for all assertions.
+var matrixResult *MatrixAnalysis
+
+func matrix(t *testing.T) *MatrixAnalysis {
+	t.Helper()
+	if matrixResult != nil {
+		return matrixResult
+	}
+	ma, err := RunMatrix(trace.MatrixOptions{
+		Runs:         2,
+		CallDuration: 8 * time.Second,
+		PrePost:      10 * time.Second,
+		MediaRate:    15,
+		Start:        t0,
+		BaseSeed:     1000,
+		Background:   true,
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	matrixResult = ma
+	return ma
+}
+
+func appStats(t *testing.T, app appsim.App) *report.AppStats {
+	t.Helper()
+	return matrix(t).Aggregate.App(string(app))
+}
+
+func TestMatrixShape(t *testing.T) {
+	ma := matrix(t)
+	if ma.Captures != 6*3*2 {
+		t.Errorf("captures = %d, want 36", ma.Captures)
+	}
+	if len(ma.Table1) != 6 {
+		t.Errorf("table1 rows = %d", len(ma.Table1))
+	}
+}
+
+// Table 3 (paper): per-app type-compliance ratios.
+func TestTypeComplianceMatrix(t *testing.T) {
+	cases := []struct {
+		app       appsim.App
+		fam       dpi.Protocol
+		compliant int
+		total     int
+	}{
+		{appsim.Zoom, dpi.ProtoSTUN, 0, 2},
+		{appsim.Zoom, dpi.ProtoRTCP, 2, 2},
+		{appsim.FaceTime, dpi.ProtoSTUN, 0, 4},
+		{appsim.FaceTime, dpi.ProtoRTP, 0, 5},
+		{appsim.FaceTime, dpi.ProtoQUIC, 4, 4},
+		{appsim.WhatsApp, dpi.ProtoSTUN, 1, 10},
+		{appsim.WhatsApp, dpi.ProtoRTP, 5, 5},
+		{appsim.WhatsApp, dpi.ProtoRTCP, 4, 4},
+		{appsim.Messenger, dpi.ProtoSTUN, 11, 18},
+		{appsim.Messenger, dpi.ProtoRTP, 5, 5},
+		{appsim.Messenger, dpi.ProtoRTCP, 4, 4},
+		{appsim.Discord, dpi.ProtoRTP, 0, 4},
+		{appsim.Discord, dpi.ProtoRTCP, 0, 5},
+		{appsim.GoogleMeet, dpi.ProtoSTUN, 15, 16},
+		{appsim.GoogleMeet, dpi.ProtoRTP, 11, 11},
+		{appsim.GoogleMeet, dpi.ProtoRTCP, 0, 7},
+	}
+	for _, tc := range cases {
+		s := appStats(t, tc.app)
+		c, tot := s.TypeCompliance(tc.fam)
+		if c != tc.compliant || tot != tc.total {
+			comp, non := s.TypesOf(tc.fam)
+			t.Errorf("%s %s: %d/%d, want %d/%d\n  compliant: %v\n  non-compliant: %v",
+				tc.app, tc.fam, c, tot, tc.compliant, tc.total, comp, non)
+			for key, ts := range s.Types {
+				if key.Protocol == tc.fam && !ts.Compliant() {
+					for r, n := range ts.Reasons {
+						t.Logf("  %s %s: %dx %s", tc.app, key.Label, n, r)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Zoom's RTP payload types must all be compliant and cover Table 5's
+// set (53 distinct values as listed in the paper's table).
+func TestZoomRTPTypes(t *testing.T) {
+	s := appStats(t, appsim.Zoom)
+	c, tot := s.TypeCompliance(dpi.ProtoRTP)
+	if c != tot {
+		t.Errorf("Zoom RTP compliance %d/%d, want all compliant", c, tot)
+	}
+	if tot != 53 {
+		t.Errorf("Zoom RTP types = %d, want 53 (Table 5 list)", tot)
+	}
+}
+
+// Discord must show no STUN/TURN at all (Table 2: N/A).
+func TestDiscordNoSTUN(t *testing.T) {
+	s := appStats(t, appsim.Discord)
+	if ps := s.ByProtocol[dpi.ProtoSTUN]; ps != nil && ps.Messages > 0 {
+		t.Errorf("Discord STUN messages = %d, want none", ps.Messages)
+	}
+	if ps := s.ByProtocol[dpi.ProtoQUIC]; ps != nil && ps.Messages > 0 {
+		t.Errorf("Discord QUIC messages = %d, want none", ps.Messages)
+	}
+}
+
+// Figure 4 (paper): compliance by traffic volume. FaceTime lowest;
+// Zoom and WhatsApp near-perfect; everyone else above 80%.
+func TestVolumeCompliance(t *testing.T) {
+	get := func(app appsim.App) float64 {
+		r, ok := appStats(t, app).VolumeCompliance()
+		if !ok {
+			t.Fatalf("%s: no messages", app)
+		}
+		return r
+	}
+	if r := get(appsim.Zoom); r < 0.99 {
+		t.Errorf("Zoom volume compliance = %.3f, want ≥0.99", r)
+	}
+	// The paper reports ≥95% for WhatsApp and Messenger on 5-minute
+	// calls; at this test's 8-second scale the per-call setup bursts
+	// (16 0x0801/0x0802 pairs, teardown 0x0800s) weigh ~40x more, so
+	// the thresholds here are proportionally lower. The benchmarks use
+	// longer calls and approach the paper's values.
+	if r := get(appsim.WhatsApp); r < 0.89 {
+		t.Errorf("WhatsApp volume compliance = %.3f, want ≥0.89", r)
+	}
+	if r := get(appsim.Messenger); r < 0.85 {
+		t.Errorf("Messenger volume compliance = %.3f, want ≥0.85", r)
+	}
+	if r := get(appsim.GoogleMeet); r < 0.80 {
+		t.Errorf("Meet volume compliance = %.3f, want ≥0.80", r)
+	}
+	if r := get(appsim.Discord); r < 0.75 || r > 0.95 {
+		t.Errorf("Discord volume compliance = %.3f, want mid-range", r)
+	}
+	ft := get(appsim.FaceTime)
+	if ft > 0.10 {
+		t.Errorf("FaceTime volume compliance = %.3f, want ≤0.10 (lowest)", ft)
+	}
+	for _, app := range appsim.Apps {
+		if app == appsim.FaceTime {
+			continue
+		}
+		if get(app) <= ft {
+			t.Errorf("%s compliance %.3f not above FaceTime's %.3f", app, get(app), ft)
+		}
+	}
+}
+
+// QUIC is the only fully compliant protocol; STUN > RTP > RTCP ordering
+// does not hold by volume (the paper's volume ordering is
+// QUIC > STUN > RTP > RTCP).
+func TestProtocolVolumeCompliance(t *testing.T) {
+	ma := matrix(t)
+	get := func(fam dpi.Protocol) float64 {
+		vol, _, _ := ma.Aggregate.ProtocolRollup(fam)
+		if vol.Messages == 0 {
+			t.Fatalf("%v: no messages", fam)
+		}
+		return float64(vol.Compliant) / float64(vol.Messages)
+	}
+	if q := get(dpi.ProtoQUIC); q != 1.0 {
+		t.Errorf("QUIC volume compliance = %.3f, want 1.0", q)
+	}
+	stun, rtcp := get(dpi.ProtoSTUN), get(dpi.ProtoRTCP)
+	if stun <= rtcp {
+		t.Errorf("STUN (%.3f) should exceed RTCP (%.3f)", stun, rtcp)
+	}
+}
+
+// Figure 3 (paper): Zoom has no standard datagrams and ~20% fully
+// proprietary; WhatsApp/Messenger/Discord/Meet are almost entirely
+// standard; FaceTime sits in between with a large proprietary-header
+// share.
+func TestDatagramBreakdown(t *testing.T) {
+	frac := func(app appsim.App, class dpi.Class) float64 {
+		s := appStats(t, app)
+		total := 0
+		for _, n := range s.Datagrams {
+			total += n
+		}
+		return float64(s.Datagrams[class]) / float64(total)
+	}
+	if f := frac(appsim.Zoom, dpi.ClassStandard); f > 0.01 {
+		t.Errorf("Zoom standard fraction = %.3f, want ≈0", f)
+	}
+	if f := frac(appsim.Zoom, dpi.ClassFullyProprietary); f < 0.12 || f > 0.30 {
+		t.Errorf("Zoom fully proprietary = %.3f, want ≈0.20", f)
+	}
+	for _, app := range []appsim.App{appsim.WhatsApp, appsim.Messenger, appsim.Discord, appsim.GoogleMeet} {
+		if f := frac(app, dpi.ClassStandard); f < 0.90 {
+			t.Errorf("%s standard fraction = %.3f, want ≥0.90", app, f)
+		}
+	}
+	if f := frac(appsim.FaceTime, dpi.ClassProprietaryHeader); f < 0.20 {
+		t.Errorf("FaceTime proprietary header = %.3f, want substantial", f)
+	}
+}
+
+// Table 2 (paper): Google Meet has by far the largest STUN/TURN message
+// share (19.8%) because relay video rides in ChannelData.
+func TestMeetSTUNShare(t *testing.T) {
+	s := appStats(t, appsim.GoogleMeet)
+	units := s.MessageUnits()
+	st := s.ByProtocol[dpi.ProtoSTUN]
+	if st == nil {
+		t.Fatal("Meet: no STUN messages")
+	}
+	share := float64(st.Messages) / float64(units)
+	if share < 0.10 || share > 0.50 {
+		t.Errorf("Meet STUN/TURN share = %.3f, want large (paper: 19.8%%)", share)
+	}
+	for _, app := range []appsim.App{appsim.Zoom, appsim.WhatsApp, appsim.Messenger} {
+		o := appStats(t, app)
+		os := o.ByProtocol[dpi.ProtoSTUN]
+		if os == nil {
+			continue
+		}
+		if oshare := float64(os.Messages) / float64(o.MessageUnits()); oshare >= share {
+			t.Errorf("%s STUN share %.3f not below Meet's %.3f", app, oshare, share)
+		}
+	}
+}
+
+// The behavioural findings of §5.3 must all be detected.
+func TestFindings(t *testing.T) {
+	ma := matrix(t)
+	want := map[string]string{ // kind -> app
+		FindingFiller:          string(appsim.Zoom),
+		FindingKeepalive:       string(appsim.FaceTime),
+		FindingDoubleRTP:       string(appsim.Zoom),
+		FindingZeroSSRC:        string(appsim.Discord),
+		FindingDirectionByte:   string(appsim.Discord),
+		FindingHeaderDirection: string(appsim.Zoom),
+		Finding6000Header:      string(appsim.FaceTime),
+		FindingSSRCReuse:       string(appsim.Zoom),
+	}
+	found := make(map[string]map[string]bool)
+	for _, f := range ma.Findings {
+		if found[f.Kind] == nil {
+			found[f.Kind] = make(map[string]bool)
+		}
+		found[f.Kind][f.App] = true
+	}
+	for kind, app := range want {
+		if !found[kind][app] {
+			t.Errorf("finding %q not detected for %s (have %v)", kind, app, found[kind])
+		}
+	}
+	// SSRC reuse must NOT be reported for apps with random SSRCs.
+	for _, app := range []appsim.App{appsim.WhatsApp, appsim.Messenger, appsim.Discord, appsim.GoogleMeet, appsim.FaceTime} {
+		if found[FindingSSRCReuse][string(app)] {
+			t.Errorf("spurious SSRC-reuse finding for %s", app)
+		}
+	}
+}
+
+// Criterion-5 violations must be attributed for the semantic cases.
+func TestSemanticViolationsPresent(t *testing.T) {
+	for _, app := range []appsim.App{appsim.FaceTime, appsim.GoogleMeet, appsim.Discord} {
+		s := appStats(t, app)
+		if s.Violations[compliance.CritSemantics] == 0 {
+			t.Errorf("%s: no criterion-5 violations recorded", app)
+		}
+	}
+}
+
+// Rendering must produce non-empty output for every table and figure.
+func TestRendering(t *testing.T) {
+	ma := matrix(t)
+	outputs := map[string]string{
+		"table1":     report.Table1(ma.Table1),
+		"table2":     report.Table2(ma.Aggregate),
+		"table3":     report.Table3(ma.Aggregate),
+		"table4":     report.Table4(ma.Aggregate),
+		"table5":     report.Table5(ma.Aggregate),
+		"table6":     report.Table6(ma.Aggregate),
+		"figure3":    report.Figure3(ma.Aggregate),
+		"figure4":    report.Figure4(ma.Aggregate),
+		"figure5":    report.Figure5(ma.Aggregate),
+		"violations": report.Violations(ma.Aggregate),
+	}
+	for name, out := range outputs {
+		if len(out) < 80 {
+			t.Errorf("%s output suspiciously short:\n%s", name, out)
+		}
+	}
+}
+
+// AnalyzePCAP must reproduce the in-memory analysis from a pcap file.
+func TestAnalyzePCAPRoundTrip(t *testing.T) {
+	cap, err := trace.Generate(trace.CaptureConfig{
+		App: appsim.WhatsApp, Network: appsim.WiFiRelay, Seed: 7,
+		Start: t0, CallDuration: 6 * time.Second, PrePost: 8 * time.Second,
+		MediaRate: 15, Background: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cap.WritePCAP(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fromPCAP, err := AnalyzePCAP(bytes.NewReader(buf.Bytes()), "WhatsApp", cap.CallStart, cap.CallEnd, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := AnalyzeCapture(CaptureInput{
+		Label: "WhatsApp", LinkType: pcap.LinkTypeRaw,
+		Packets: cap.Frames(), CallStart: cap.CallStart, CallEnd: cap.CallEnd,
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fromPCAP.Filter.RTC) != len(direct.Filter.RTC) {
+		t.Errorf("RTC streams: pcap %d vs direct %d", len(fromPCAP.Filter.RTC), len(direct.Filter.RTC))
+	}
+	v1, _ := fromPCAP.Stats.VolumeCompliance()
+	v2, _ := direct.Stats.VolumeCompliance()
+	if v1 != v2 {
+		t.Errorf("volume compliance: pcap %.4f vs direct %.4f", v1, v2)
+	}
+}
+
+func TestAnalyzeCaptureValidation(t *testing.T) {
+	if _, err := AnalyzeCapture(CaptureInput{CallStart: t0, CallEnd: t0.Add(-time.Second)}, Options{}); err == nil {
+		t.Error("inverted window accepted")
+	}
+	// Undecodable frames only.
+	_, err := AnalyzeCapture(CaptureInput{
+		LinkType:  pcap.LinkTypeRaw,
+		Packets:   []pcap.Packet{{Timestamp: t0, Data: []byte{0xff, 0xff}}},
+		CallStart: t0, CallEnd: t0.Add(time.Second),
+	}, Options{})
+	if err == nil {
+		t.Error("capture with zero decodable packets accepted")
+	}
+}
+
+func TestDedupFindings(t *testing.T) {
+	in := []Finding{
+		{App: "a", Kind: "k", Count: 1, Detail: "x"},
+		{App: "a", Kind: "k", Count: 2},
+		{App: "b", Kind: "k", Count: 3},
+	}
+	out := dedupFindings(in)
+	if len(out) != 2 {
+		t.Fatalf("deduped to %d", len(out))
+	}
+	if out[0].Count != 3 || out[0].Detail != "x" {
+		t.Errorf("merged = %+v", out[0])
+	}
+}
+
+// AnalyzePCAP must auto-detect pcapng streams.
+func TestAnalyzePCAPNG(t *testing.T) {
+	cap, err := trace.Generate(trace.CaptureConfig{
+		App: appsim.Zoom, Network: appsim.WiFiRelay, Seed: 71,
+		Start: t0, CallDuration: 5 * time.Second, PrePost: 6 * time.Second,
+		MediaRate: 15, Background: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := pcap.NewNGWriter(&buf, pcap.LinkTypeRaw)
+	for _, f := range cap.Frames() {
+		if err := w.WritePacket(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ng, err := AnalyzePCAP(bytes.NewReader(buf.Bytes()), "zoom-ng", cap.CallStart, cap.CallEnd, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := AnalyzeCapture(CaptureInput{
+		Label: "zoom", LinkType: pcap.LinkTypeRaw, Packets: cap.Frames(),
+		CallStart: cap.CallStart, CallEnd: cap.CallEnd,
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc, nt := ng.Stats.TypeCompliance(0)
+	dc, dt := direct.Stats.TypeCompliance(0)
+	if nc != dc || nt != dt {
+		t.Errorf("pcapng %d/%d vs direct %d/%d", nc, nt, dc, dt)
+	}
+}

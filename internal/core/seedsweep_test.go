@@ -1,0 +1,49 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/rtc-compliance/rtcc/internal/appsim"
+	"github.com/rtc-compliance/rtcc/internal/dpi"
+	"github.com/rtc-compliance/rtcc/internal/trace"
+)
+
+// Seed-robustness: the Table 3 cells must hold for any seed, not just
+// the one the main test uses. Run with -run SeedSweep -count 1; skipped
+// in -short mode.
+func TestTypeComplianceSeedSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed sweep is slow")
+	}
+	for _, base := range []uint64{7, 31337, 999999, 424242} {
+		ma, err := RunMatrix(trace.MatrixOptions{
+			Runs: 1, CallDuration: 8 * time.Second, PrePost: 10 * time.Second,
+			MediaRate: 15, Start: t0, BaseSeed: base, Background: true,
+		}, Options{SkipFindings: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		check := func(app appsim.App, fam dpi.Protocol, wc, wt int) {
+			c, tot := ma.Aggregate.App(string(app)).TypeCompliance(fam)
+			if c != wc || tot != wt {
+				comp, non := ma.Aggregate.App(string(app)).TypesOf(fam)
+				t.Errorf("seed %d: %s %s = %d/%d, want %d/%d (compliant %v, non %v)",
+					base, app, fam, c, tot, wc, wt, comp, non)
+			}
+		}
+		check(appsim.Zoom, dpi.ProtoSTUN, 0, 2)
+		check(appsim.Zoom, dpi.ProtoRTCP, 2, 2)
+		check(appsim.FaceTime, dpi.ProtoSTUN, 0, 4)
+		check(appsim.FaceTime, dpi.ProtoRTP, 0, 5)
+		check(appsim.FaceTime, dpi.ProtoQUIC, 4, 4)
+		check(appsim.WhatsApp, dpi.ProtoSTUN, 1, 10)
+		check(appsim.WhatsApp, dpi.ProtoRTCP, 4, 4)
+		check(appsim.Messenger, dpi.ProtoSTUN, 11, 18)
+		check(appsim.Discord, dpi.ProtoRTP, 0, 4)
+		check(appsim.Discord, dpi.ProtoRTCP, 0, 5)
+		check(appsim.GoogleMeet, dpi.ProtoSTUN, 15, 16)
+		check(appsim.GoogleMeet, dpi.ProtoRTP, 11, 11)
+		check(appsim.GoogleMeet, dpi.ProtoRTCP, 0, 7)
+	}
+}

@@ -1,0 +1,35 @@
+package dpi
+
+import "testing"
+
+// FuzzInspect checks the engine's structural invariants on arbitrary
+// datagrams: no panics, non-overlapping in-bounds message spans, and
+// classification consistency.
+func FuzzInspect(f *testing.F) {
+	f.Add([]byte{0x80, 0x60, 0, 1, 0, 0, 0, 0, 0, 0, 0, 1, 0xaa})
+	f.Add([]byte{0x00, 0x01, 0x00, 0x00, 0x21, 0x12, 0xa4, 0x42})
+	e := NewEngine()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res := e.Inspect(data, nil)
+		end := 0
+		for _, m := range res.Messages {
+			if m.Offset < end || m.Length <= 0 || m.Offset+m.Length > len(data) {
+				t.Fatalf("bad span %d+%d (prev end %d, len %d)", m.Offset, m.Length, end, len(data))
+			}
+			end = m.Offset + m.Length
+		}
+		switch res.Class {
+		case ClassStandard:
+			if len(res.Messages) == 0 || res.Messages[0].Offset != 0 {
+				t.Fatal("standard class without offset-0 message")
+			}
+		case ClassFullyProprietary:
+			if len(res.Messages) != 0 {
+				t.Fatal("fully proprietary with messages")
+			}
+		}
+		// The strict baseline must never find more than... anything; it
+		// just must not panic.
+		StrictEngine{}.Inspect(data)
+	})
+}

@@ -1,0 +1,108 @@
+package dpi
+
+import (
+	"github.com/rtc-compliance/rtcc/internal/rtp"
+)
+
+// InspectStream runs Algorithm 1 over all datagrams of one transport
+// stream, in capture order, with full two-stage validation.
+//
+// RTP is the one target protocol whose header pattern is weak (any
+// version-2 first byte passes), so candidate extraction alone produces
+// false positives inside proprietary headers and encrypted payloads.
+// The paper's protocol-specific validation resolves this with
+// cross-packet heuristics: "valid SSRC ... continuous sequence number
+// within the same stream". InspectStream implements that literally:
+//
+//   - Pass 1 collects every RTP candidate at every offset of every
+//     datagram and tallies per-SSRC support;
+//   - an SSRC is validated when it appears at least twice with at least
+//     one sequence-continuous pair;
+//   - Pass 2 re-scans each datagram, accepting strongly-signatured
+//     protocols (STUN magic cookie, ChannelData framing, RTCP type
+//     range, QUIC) immediately and RTP only for validated SSRCs in
+//     sequence order.
+//
+// Single-datagram Inspect remains available for stateless use, but the
+// pipeline always uses InspectStream.
+func (e *Engine) InspectStream(payloads [][]byte) []Result {
+	validated := e.validateRTPSSRCs(payloads)
+	ctx := NewStreamContext()
+	ctx.validatedSSRC = validated
+	out := make([]Result, 0, len(payloads))
+	for _, p := range payloads {
+		out = append(out, e.Inspect(p, ctx))
+	}
+	return out
+}
+
+// validateRTPSSRCs is pass 1: tally candidate SSRCs and their sequence
+// numbers across the stream, then keep those with real support.
+func (e *Engine) validateRTPSSRCs(payloads [][]byte) map[uint32]bool {
+	limit := e.MaxOffset
+	if limit <= 0 {
+		limit = 200
+	}
+	type sighting struct {
+		seq uint16
+		ts  uint32
+	}
+	type obs struct {
+		sightings []sighting
+	}
+	cands := make(map[uint32]*obs)
+	scratch := NewStreamContext()
+	for _, payload := range payloads {
+		i := 0
+		for i < len(payload) && i <= limit {
+			// Strong-signature protocols consume their span so their
+			// payloads (e.g. a ChannelData body) are not scanned here;
+			// candidate RTP headers advance by one byte because they
+			// are not yet trusted.
+			if m, ok := matchSTUN(payload[i:], scratch); ok {
+				i += m.Length
+				continue
+			}
+			if m, ok := matchChannelData(payload[i:], scratch); ok {
+				i += m.Length
+				continue
+			}
+			if m, ok := matchRTCP(payload[i:], scratch); ok {
+				i += m.Length
+				continue
+			}
+			b := payload[i:]
+			if rtp.LooksLikeHeader(b) && !(b[1] >= 192 && b[1] <= 223) {
+				if p, err := rtp.Decode(b); err == nil && p.CSRCCount == 0 {
+					o := cands[p.SSRC]
+					if o == nil {
+						o = &obs{}
+						cands[p.SSRC] = o
+					}
+					o.sightings = append(o.sightings, sighting{p.SequenceNumber, p.Timestamp})
+				}
+			}
+			i++
+		}
+	}
+	validated := make(map[uint32]bool)
+	for ssrc, o := range cands {
+		if len(o.sightings) < 2 {
+			continue
+		}
+		// An SSRC is validated by one adjacent candidate pair whose
+		// sequence numbers are continuous AND whose timestamps advance
+		// plausibly. The timestamp condition matters: byte windows that
+		// straddle a real RTP header inherit slowly-cycling sequence
+		// bytes (so sequence continuity alone can be fooled) but their
+		// inherited timestamp field jumps by 2^24 per packet.
+		for k := 1; k < len(o.sightings); k++ {
+			a, bb := o.sightings[k-1], o.sightings[k]
+			if seqClose(a.seq, bb.seq) && tsClose(a.ts, bb.ts) {
+				validated[ssrc] = true
+				break
+			}
+		}
+	}
+	return validated
+}

@@ -1,0 +1,105 @@
+package dpi
+
+import (
+	"github.com/rtc-compliance/rtcc/internal/quicwire"
+	"github.com/rtc-compliance/rtcc/internal/rtcp"
+	"github.com/rtc-compliance/rtcc/internal/rtp"
+	"github.com/rtc-compliance/rtcc/internal/stun"
+)
+
+// StrictEngine is the baseline the paper's custom DPI is built against
+// (§4.1): a conventional nDPI/Peafowl-style classifier. It differs from
+// Engine in exactly the two ways the paper criticizes:
+//
+//  1. it matches protocol headers only at byte offset zero, so any
+//     message behind a proprietary header is invisible; and
+//  2. its parsers enforce the specification strictly — Peafowl's RTP
+//     inspector accepts only the statically assigned payload types, and
+//     STUN messages must use defined message types — so non-compliant
+//     messages are not recognized as their protocol at all.
+//
+// The benchmark BenchmarkDPI_BaselineComparison and the test suite use
+// it to quantify how much of the dataset a conventional DPI misses
+// (all of Zoom's media, most of FaceTime's, every undefined STUN type).
+type StrictEngine struct{}
+
+// peafowlRTPPayloadTypes mirrors the static payload-type whitelist of
+// Peafowl's RTP inspector (RFC 3551 assignments): dynamic types 96-127
+// are rejected, which is the restriction §4.1.1 removes.
+var peafowlRTPPayloadTypes = map[uint8]bool{
+	0: true, 3: true, 4: true, 5: true, 6: true, 7: true, 8: true,
+	9: true, 10: true, 11: true, 12: true, 13: true, 14: true, 15: true,
+	16: true, 17: true, 18: true, 25: true, 26: true, 28: true,
+	31: true, 32: true, 33: true, 34: true,
+}
+
+// Inspect classifies one datagram the conventional way. There is no
+// stream state: conventional engines label flows from the first packets
+// and do not track per-SSRC continuity.
+func (StrictEngine) Inspect(payload []byte) Result {
+	if m, ok := strictMatch(payload); ok {
+		return Result{Class: ClassStandard, Messages: []Message{m}}
+	}
+	return Result{Class: ClassFullyProprietary}
+}
+
+// InspectStream applies Inspect to each datagram independently.
+func (e StrictEngine) InspectStream(payloads [][]byte) []Result {
+	out := make([]Result, len(payloads))
+	for i, p := range payloads {
+		out[i] = e.Inspect(p)
+	}
+	return out
+}
+
+func strictMatch(b []byte) (Message, bool) {
+	// STUN: offset zero, magic cookie, and a defined message type.
+	if stun.LooksLikeHeader(b) {
+		if m, err := stun.Decode(b); err == nil && !m.Classic {
+			if _, defined := stun.DefinedMessageType(m.Type); defined {
+				return Message{Protocol: ProtoSTUN, Length: m.DecodedLen(), STUN: m}, true
+			}
+		}
+	}
+	// ChannelData at offset zero.
+	if stun.LooksLikeChannelData(b) {
+		if cd, err := stun.DecodeChannelData(b); err == nil && len(b)-cd.DecodedLen() <= 3 {
+			return Message{Protocol: ProtoChannelData, Length: cd.DecodedLen(), ChannelData: cd}, true
+		}
+	}
+	// RTCP: offset zero, assigned packet types only, clean compound.
+	if rtcp.LooksLikeHeader(b) {
+		if pkts, trailing, err := rtcp.DecodeCompound(b); err == nil && len(trailing) == 0 {
+			allDefined := true
+			length := 0
+			for _, p := range pkts {
+				if !rtcp.Defined(p.Header.Type) {
+					allDefined = false
+					break
+				}
+				length += p.Header.ByteLen()
+			}
+			if allDefined {
+				return Message{Protocol: ProtoRTCP, Length: length, RTCP: pkts}, true
+			}
+		}
+	}
+	// RTP: offset zero, whitelisted payload type.
+	if rtp.LooksLikeHeader(b) && !(len(b) > 1 && b[1] >= 192 && b[1] <= 223) {
+		if p, err := rtp.Decode(b); err == nil && peafowlRTPPayloadTypes[p.PayloadType] {
+			return Message{Protocol: ProtoRTP, Length: len(b), RTP: p}, true
+		}
+	}
+	// QUIC: long headers only (short headers need state a stateless
+	// classifier does not keep).
+	if quicwire.LooksLikeLongHeader(b) {
+		if h, err := quicwire.ParseLong(b); err == nil {
+			length := len(b)
+			if h.Version == quicwire.Version1 && h.Type != quicwire.TypeRetry {
+				length = h.HeaderLen + int(h.PayloadLength)
+			}
+			return Message{Protocol: ProtoQUIC, Length: length, QUIC: h}, true
+		}
+	}
+	return Message{}, false
+}

@@ -1,0 +1,252 @@
+// Package flow groups captured packets into transport-layer streams.
+//
+// The paper's filtering pipeline (§3.2) operates on streams: packets are
+// grouped by their 5-tuple (source IP, source port, destination IP,
+// destination port, transport protocol), with the two directions of a
+// conversation belonging to one stream, as in Wireshark's stream
+// numbering. The package also maintains the destination-side 3-tuple
+// index that the stage-2 "3-tuple timing filter" needs.
+package flow
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"github.com/rtc-compliance/rtcc/internal/layers"
+)
+
+// Endpoint is one side of a transport conversation.
+type Endpoint struct {
+	Addr netip.Addr
+	Port uint16
+}
+
+func (e Endpoint) String() string {
+	return netip.AddrPortFrom(e.Addr, e.Port).String()
+}
+
+// less orders endpoints for canonicalization.
+func (e Endpoint) less(o Endpoint) bool {
+	if c := e.Addr.Compare(o.Addr); c != 0 {
+		return c < 0
+	}
+	return e.Port < o.Port
+}
+
+// Key identifies a bidirectional stream: A and B are the canonical
+// (sorted) endpoints.
+type Key struct {
+	Proto layers.IPProtocol
+	A, B  Endpoint
+}
+
+func (k Key) String() string {
+	return fmt.Sprintf("%s %s <-> %s", k.Proto, k.A, k.B)
+}
+
+// KeyFor builds the canonical key for a packet from src to dst.
+func KeyFor(proto layers.IPProtocol, src, dst Endpoint) Key {
+	if dst.less(src) {
+		src, dst = dst, src
+	}
+	return Key{Proto: proto, A: src, B: dst}
+}
+
+// Direction is a packet's orientation relative to the canonical key.
+type Direction uint8
+
+// Direction values.
+const (
+	DirAToB Direction = iota
+	DirBToA
+)
+
+// Packet is one packet assigned to a stream.
+type Packet struct {
+	Timestamp time.Time
+	Dir       Direction
+	// Src and Dst are the actual packet endpoints (not canonicalized).
+	Src, Dst Endpoint
+	// Payload is the transport payload.
+	Payload []byte
+	// TCPFlags preserves the TCP flag byte for TCP segments (0 for UDP).
+	TCPFlags uint8
+}
+
+// Stream is a bidirectional transport conversation.
+type Stream struct {
+	Key       Key
+	Packets   []Packet
+	FirstSeen time.Time
+	LastSeen  time.Time
+	Bytes     int
+}
+
+// Span returns the stream's active time span.
+func (s *Stream) Span() (first, last time.Time) { return s.FirstSeen, s.LastSeen }
+
+// ThreeTuple is a destination-side (address, port, protocol) triple.
+type ThreeTuple struct {
+	Proto layers.IPProtocol
+	Addr  netip.Addr
+	Port  uint16
+}
+
+func (t ThreeTuple) String() string {
+	return fmt.Sprintf("%s -> %s", t.Proto, netip.AddrPortFrom(t.Addr, t.Port))
+}
+
+// Span records the first and last time something was observed.
+type Span struct {
+	First, Last time.Time
+}
+
+// Extend widens the span to include ts.
+func (s *Span) Extend(ts time.Time) {
+	if s.First.IsZero() || ts.Before(s.First) {
+		s.First = ts
+	}
+	if ts.After(s.Last) {
+		s.Last = ts
+	}
+}
+
+// Table accumulates packets into streams.
+type Table struct {
+	streams map[Key]*Stream
+	order   []Key
+	// threeTuples tracks when each destination 3-tuple was observed.
+	threeTuples map[ThreeTuple]*Span
+}
+
+// NewTable returns an empty stream table.
+func NewTable() *Table {
+	return &Table{
+		streams:     make(map[Key]*Stream),
+		threeTuples: make(map[ThreeTuple]*Span),
+	}
+}
+
+// Add assigns a decoded packet to its stream. Packets without a
+// transport layer are ignored and reported as false.
+func (t *Table) Add(ts time.Time, pkt *layers.Packet) bool {
+	proto, srcPort, dstPort := pkt.Transport()
+	if proto == 0 {
+		return false
+	}
+	src := Endpoint{Addr: pkt.Src(), Port: srcPort}
+	dst := Endpoint{Addr: pkt.Dst(), Port: dstPort}
+	key := KeyFor(proto, src, dst)
+	s, ok := t.streams[key]
+	if !ok {
+		s = &Stream{Key: key, FirstSeen: ts, LastSeen: ts}
+		t.streams[key] = s
+		t.order = append(t.order, key)
+	}
+	dir := DirAToB
+	if key.A != src {
+		dir = DirBToA
+	}
+	var flags uint8
+	if pkt.TCP != nil {
+		flags = pkt.TCP.Flags
+	}
+	s.Packets = append(s.Packets, Packet{
+		Timestamp: ts,
+		Dir:       dir,
+		Src:       src,
+		Dst:       dst,
+		Payload:   pkt.Payload,
+		TCPFlags:  flags,
+	})
+	if ts.Before(s.FirstSeen) {
+		s.FirstSeen = ts
+	}
+	if ts.After(s.LastSeen) {
+		s.LastSeen = ts
+	}
+	s.Bytes += len(pkt.Payload)
+
+	tt := ThreeTuple{Proto: proto, Addr: dst.Addr, Port: dstPort}
+	sp, ok := t.threeTuples[tt]
+	if !ok {
+		sp = &Span{}
+		t.threeTuples[tt] = sp
+	}
+	sp.Extend(ts)
+	return true
+}
+
+// Streams returns all streams in first-seen insertion order.
+func (t *Table) Streams() []*Stream {
+	out := make([]*Stream, 0, len(t.order))
+	for _, k := range t.order {
+		out = append(out, t.streams[k])
+	}
+	return out
+}
+
+// Get returns the stream for key, or nil.
+func (t *Table) Get(key Key) *Stream { return t.streams[key] }
+
+// Len reports the number of streams.
+func (t *Table) Len() int { return len(t.streams) }
+
+// PacketCount reports the total packets across all streams.
+func (t *Table) PacketCount() int {
+	n := 0
+	for _, s := range t.streams {
+		n += len(s.Packets)
+	}
+	return n
+}
+
+// ThreeTupleSpan returns the observation span for a destination
+// 3-tuple, and false if never seen.
+func (t *Table) ThreeTupleSpan(tt ThreeTuple) (Span, bool) {
+	sp, ok := t.threeTuples[tt]
+	if !ok {
+		return Span{}, false
+	}
+	return *sp, true
+}
+
+// ThreeTuples returns all observed destination 3-tuples in a stable
+// order.
+func (t *Table) ThreeTuples() []ThreeTuple {
+	out := make([]ThreeTuple, 0, len(t.threeTuples))
+	for tt := range t.threeTuples {
+		out = append(out, tt)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Proto != b.Proto {
+			return a.Proto < b.Proto
+		}
+		if c := a.Addr.Compare(b.Addr); c != 0 {
+			return c < 0
+		}
+		return a.Port < b.Port
+	})
+	return out
+}
+
+// Counts summarizes a set of streams for reporting.
+type Counts struct {
+	Streams int
+	Packets int
+	Bytes   int
+}
+
+// Count tallies streams and packets.
+func Count(streams []*Stream) Counts {
+	var c Counts
+	c.Streams = len(streams)
+	for _, s := range streams {
+		c.Packets += len(s.Packets)
+		c.Bytes += s.Bytes
+	}
+	return c
+}

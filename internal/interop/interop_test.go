@@ -1,0 +1,171 @@
+package interop
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/rtc-compliance/rtcc/internal/compliance"
+	"github.com/rtc-compliance/rtcc/internal/core"
+	"github.com/rtc-compliance/rtcc/internal/dpi"
+	"github.com/rtc-compliance/rtcc/internal/report"
+	"github.com/rtc-compliance/rtcc/internal/trace"
+)
+
+func syntheticStats(app string) *report.AppStats {
+	s := report.NewAppStats(app)
+	// 80 standard datagrams, 15 behind proprietary headers, 5 fully
+	// proprietary.
+	for i := 0; i < 80; i++ {
+		s.AddDatagram(dpi.ClassStandard)
+	}
+	for i := 0; i < 15; i++ {
+		s.AddDatagram(dpi.ClassProprietaryHeader)
+	}
+	for i := 0; i < 5; i++ {
+		s.AddDatagram(dpi.ClassFullyProprietary)
+	}
+	add := func(label string, compliant bool, reason string) {
+		v := compliance.Verdict{Compliant: true}
+		if !compliant {
+			v = compliance.Verdict{Failed: compliance.CritAttrType, Reason: reason}
+		}
+		s.AddChecked(compliance.Checked{
+			Protocol: dpi.ProtoRTP,
+			Type:     compliance.TypeKey{Protocol: dpi.ProtoRTP, Label: label},
+			Verdict:  v, Bytes: 100, Timestamp: time.Unix(0, 0),
+		})
+	}
+	for i := 0; i < 90; i++ {
+		add("96", true, "")
+	}
+	for i := 0; i < 5; i++ {
+		add("120", false, "header extension profile 0x8500 is not defined by RFC 8285")
+	}
+	return s
+}
+
+func TestBuildProfile(t *testing.T) {
+	p := BuildProfile(syntheticStats("X"))
+	if p.SpecParseable != 0.8 {
+		t.Errorf("SpecParseable = %v", p.SpecParseable)
+	}
+	if p.MessageCompliance != 90.0/95.0 {
+		t.Errorf("MessageCompliance = %v", p.MessageCompliance)
+	}
+	kinds := map[ShimKind]bool{}
+	for _, s := range p.Shims {
+		kinds[s.Kind] = true
+	}
+	for _, want := range []ShimKind{ShimHeaderStripper, ShimProprietaryProtocol, ShimAttributeTolerance} {
+		if !kinds[want] {
+			t.Errorf("missing shim %s (have %v)", want, kinds)
+		}
+	}
+	if p.EffortScore() <= 0 {
+		t.Error("zero effort score")
+	}
+	if o := p.OutOfTheBox(); o <= 0 || o >= 1 {
+		t.Errorf("OutOfTheBox = %v", o)
+	}
+}
+
+func TestProfileOfFullyCompliantApp(t *testing.T) {
+	s := report.NewAppStats("clean")
+	for i := 0; i < 10; i++ {
+		s.AddDatagram(dpi.ClassStandard)
+		s.AddChecked(compliance.Checked{
+			Protocol: dpi.ProtoRTP,
+			Type:     compliance.TypeKey{Protocol: dpi.ProtoRTP, Label: "96"},
+			Verdict:  compliance.Verdict{Compliant: true}, Bytes: 10,
+		})
+	}
+	p := BuildProfile(s)
+	if len(p.Shims) != 0 {
+		t.Errorf("clean app needs shims: %+v", p.Shims)
+	}
+	if p.OutOfTheBox() != 1 {
+		t.Errorf("OutOfTheBox = %v, want 1", p.OutOfTheBox())
+	}
+	if p.EffortScore() != 0 {
+		t.Errorf("effort = %v, want 0", p.EffortScore())
+	}
+}
+
+func TestClassifyReasons(t *testing.T) {
+	cases := map[string]ShimKind{
+		"message type 0x0801 is not defined in any STUN/TURN specification": ShimTypeRegistry,
+		"RTCP packet type 210 is not assigned":                              ShimTypeRegistry,
+		"attribute 0x4003 is not defined in any STUN/TURN specification":    ShimAttributeTolerance,
+		"header extension profile 0x8500 is not defined by RFC 8285":        ShimAttributeTolerance,
+		"attribute CHANNEL-NUMBER has invalid length 2":                     ShimValueNormalization,
+		"attribute ALTERNATE-SERVER has invalid address family 0x00":        ShimValueNormalization,
+		"request-only attribute PRIORITY present in a success response":     ShimValueNormalization,
+		"SRTCP message carries E-flag and index but no authentication tag":  ShimBehavioralAdapter,
+		"repeated Allocate requests after successful allocation":            ShimBehavioralAdapter,
+	}
+	for reason, want := range cases {
+		if got := criterionOf(reason); got != want {
+			t.Errorf("classify(%q) = %s, want %s", reason, got, want)
+		}
+	}
+}
+
+func TestPairwise(t *testing.T) {
+	a := BuildProfile(syntheticStats("A"))
+	clean := report.NewAppStats("B")
+	clean.AddDatagram(dpi.ClassStandard)
+	clean.AddChecked(compliance.Checked{
+		Protocol: dpi.ProtoRTP,
+		Type:     compliance.TypeKey{Protocol: dpi.ProtoRTP, Label: "96"},
+		Verdict:  compliance.Verdict{Compliant: true}, Bytes: 10,
+	})
+	b := BuildProfile(clean)
+
+	ab := Pairwise(a, b)
+	if ab.Effort != a.EffortScore() {
+		t.Errorf("effort = %v, want %v (clean peer adds none)", ab.Effort, a.EffortScore())
+	}
+	if ab.OutOfTheBox != a.OutOfTheBox() {
+		t.Errorf("oob = %v, want %v", ab.OutOfTheBox, a.OutOfTheBox())
+	}
+	if len(ab.Shims) != len(a.Shims) {
+		t.Errorf("shim union = %v", ab.Shims)
+	}
+}
+
+// End-to-end: the measured matrix must rank Zoom/FaceTime pairs as the
+// hardest integrations and the standards-heavy apps as the easiest —
+// the paper's §6 conclusion.
+func TestMatrixRanking(t *testing.T) {
+	ma, err := core.RunMatrix(trace.MatrixOptions{
+		Runs: 1, CallDuration: 6 * time.Second, PrePost: 6 * time.Second,
+		MediaRate: 15, Start: time.Unix(1700000000, 0).UTC(), BaseSeed: 300,
+		Background: true,
+	}, core.Options{SkipFindings: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles := map[string]Profile{}
+	for _, s := range ma.Aggregate.Apps() {
+		profiles[s.App] = BuildProfile(s)
+	}
+	if profiles["Zoom"].OutOfTheBox() >= profiles["WhatsApp"].OutOfTheBox() {
+		t.Error("Zoom should be harder out-of-the-box than WhatsApp (proprietary headers)")
+	}
+	if profiles["FaceTime"].OutOfTheBox() >= profiles["Google Meet"].OutOfTheBox() {
+		t.Error("FaceTime should be harder than Meet")
+	}
+	if profiles["Zoom"].EffortScore() <= profiles["WhatsApp"].EffortScore() {
+		t.Error("Zoom effort should exceed WhatsApp effort")
+	}
+	assessments := Matrix(ma.Aggregate)
+	if len(assessments) != 6*5 {
+		t.Fatalf("assessments = %d, want 30", len(assessments))
+	}
+	// Description renders without issue.
+	d := Describe(profiles["Zoom"])
+	if !strings.Contains(d, "Zoom") || !strings.Contains(d, "needs") {
+		t.Errorf("describe:\n%s", d)
+	}
+}

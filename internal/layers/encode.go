@@ -1,0 +1,128 @@
+package layers
+
+import (
+	"encoding/binary"
+	"net/netip"
+)
+
+// checksum16 computes the Internet checksum over b (RFC 1071).
+func checksum16(sum uint32, b []byte) uint32 {
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	return sum
+}
+
+func foldChecksum(sum uint32) uint16 {
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// EncodeUDPv4 builds a raw-IP (LinkTypeRaw) IPv4+UDP frame carrying
+// payload, with valid header and UDP checksums. IPv4-mapped addresses are
+// unmapped; src and dst must be IPv4.
+func EncodeUDPv4(src, dst netip.Addr, srcPort, dstPort uint16, payload []byte) []byte {
+	return encodeV4(src, dst, IPProtocolUDP, srcPort, dstPort, payload, nil)
+}
+
+// EncodeTCPv4 builds a raw-IP IPv4+TCP frame. seg carries the TCP fields
+// to use; its port/option fields are taken as-is and checksums computed.
+func EncodeTCPv4(src, dst netip.Addr, seg TCP, payload []byte) []byte {
+	return encodeV4(src, dst, IPProtocolTCP, seg.SrcPort, seg.DstPort, payload, &seg)
+}
+
+func encodeV4(src, dst netip.Addr, proto IPProtocol, srcPort, dstPort uint16, payload []byte, seg *TCP) []byte {
+	s4 := src.Unmap().As4()
+	d4 := dst.Unmap().As4()
+
+	var transport []byte
+	switch proto {
+	case IPProtocolUDP:
+		transport = make([]byte, 8+len(payload))
+		binary.BigEndian.PutUint16(transport[0:], srcPort)
+		binary.BigEndian.PutUint16(transport[2:], dstPort)
+		binary.BigEndian.PutUint16(transport[4:], uint16(8+len(payload)))
+		copy(transport[8:], payload)
+	case IPProtocolTCP:
+		optLen := (len(seg.Options) + 3) &^ 3
+		hdrLen := 20 + optLen
+		transport = make([]byte, hdrLen+len(payload))
+		binary.BigEndian.PutUint16(transport[0:], seg.SrcPort)
+		binary.BigEndian.PutUint16(transport[2:], seg.DstPort)
+		binary.BigEndian.PutUint32(transport[4:], seg.Seq)
+		binary.BigEndian.PutUint32(transport[8:], seg.Ack)
+		transport[12] = byte(hdrLen/4) << 4
+		transport[13] = seg.Flags
+		binary.BigEndian.PutUint16(transport[14:], seg.Window)
+		binary.BigEndian.PutUint16(transport[18:], seg.Urgent)
+		copy(transport[20:], seg.Options)
+		copy(transport[hdrLen:], payload)
+	}
+
+	// Transport checksum over the IPv4 pseudo-header.
+	var pseudo [12]byte
+	copy(pseudo[0:4], s4[:])
+	copy(pseudo[4:8], d4[:])
+	pseudo[9] = byte(proto)
+	binary.BigEndian.PutUint16(pseudo[10:], uint16(len(transport)))
+	ck := foldChecksum(checksum16(checksum16(0, pseudo[:]), transport))
+	switch proto {
+	case IPProtocolUDP:
+		if ck == 0 {
+			ck = 0xffff // RFC 768: transmitted zero means "no checksum"
+		}
+		binary.BigEndian.PutUint16(transport[6:], ck)
+	case IPProtocolTCP:
+		binary.BigEndian.PutUint16(transport[16:], ck)
+	}
+
+	frame := make([]byte, 20+len(transport))
+	frame[0] = 0x45
+	binary.BigEndian.PutUint16(frame[2:], uint16(len(frame)))
+	frame[6] = 0x40 // DF
+	frame[8] = 64   // TTL
+	frame[9] = byte(proto)
+	copy(frame[12:16], s4[:])
+	copy(frame[16:20], d4[:])
+	binary.BigEndian.PutUint16(frame[10:], foldChecksum(checksum16(0, frame[:20])))
+	copy(frame[20:], transport)
+	return frame
+}
+
+// EncodeUDPv6 builds a raw-IP IPv6+UDP frame carrying payload. src and
+// dst must be IPv6 addresses.
+func EncodeUDPv6(src, dst netip.Addr, srcPort, dstPort uint16, payload []byte) []byte {
+	s16 := src.As16()
+	d16 := dst.As16()
+	udp := make([]byte, 8+len(payload))
+	binary.BigEndian.PutUint16(udp[0:], srcPort)
+	binary.BigEndian.PutUint16(udp[2:], dstPort)
+	binary.BigEndian.PutUint16(udp[4:], uint16(len(udp)))
+	copy(udp[8:], payload)
+
+	var pseudo [40]byte
+	copy(pseudo[0:16], s16[:])
+	copy(pseudo[16:32], d16[:])
+	binary.BigEndian.PutUint32(pseudo[32:], uint32(len(udp)))
+	pseudo[39] = byte(IPProtocolUDP)
+	ck := foldChecksum(checksum16(checksum16(0, pseudo[:]), udp))
+	if ck == 0 {
+		ck = 0xffff
+	}
+	binary.BigEndian.PutUint16(udp[6:], ck)
+
+	frame := make([]byte, 40+len(udp))
+	frame[0] = 0x60
+	binary.BigEndian.PutUint16(frame[4:], uint16(len(udp)))
+	frame[6] = byte(IPProtocolUDP)
+	frame[7] = 64
+	copy(frame[8:24], s16[:])
+	copy(frame[24:40], d16[:])
+	copy(frame[40:], udp)
+	return frame
+}

@@ -1,0 +1,316 @@
+// Package layers decodes and encodes the link, network, and transport
+// headers beneath the RTC payloads this repository analyzes.
+//
+// The design follows gopacket's layered model in miniature: Decode walks
+// a frame from the given link type down to the transport payload and
+// returns a Packet whose fields expose each recognized layer. Encoding
+// is the inverse and is used by the traffic synthesizers. Only the
+// protocols that occur in the paper's dataset are implemented: Ethernet,
+// IPv4, IPv6 (fixed header), UDP, and TCP.
+package layers
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+
+	"github.com/rtc-compliance/rtcc/internal/pcap"
+)
+
+// IPProtocol is the IPv4 protocol / IPv6 next-header number.
+type IPProtocol uint8
+
+// Protocol numbers used in this repository.
+const (
+	IPProtocolTCP IPProtocol = 6
+	IPProtocolUDP IPProtocol = 17
+)
+
+func (p IPProtocol) String() string {
+	switch p {
+	case IPProtocolTCP:
+		return "TCP"
+	case IPProtocolUDP:
+		return "UDP"
+	default:
+		return fmt.Sprintf("IPPROTO(%d)", uint8(p))
+	}
+}
+
+// EtherType values recognized by the Ethernet decoder.
+const (
+	EtherTypeIPv4 uint16 = 0x0800
+	EtherTypeIPv6 uint16 = 0x86DD
+)
+
+// Errors returned by Decode.
+var (
+	ErrTruncated   = errors.New("layers: truncated packet")
+	ErrUnsupported = errors.New("layers: unsupported protocol")
+)
+
+// Ethernet is a decoded Ethernet II header.
+type Ethernet struct {
+	SrcMAC    [6]byte
+	DstMAC    [6]byte
+	EtherType uint16
+}
+
+// IPv4 is a decoded IPv4 header (options preserved opaquely).
+type IPv4 struct {
+	IHL      uint8 // header length in 32-bit words
+	TOS      uint8
+	TotalLen uint16
+	ID       uint16
+	Flags    uint8 // 3 bits
+	FragOff  uint16
+	TTL      uint8
+	Protocol IPProtocol
+	Checksum uint16
+	Src      netip.Addr
+	Dst      netip.Addr
+	Options  []byte
+}
+
+// IPv6 is a decoded IPv6 fixed header. Extension headers other than the
+// transport payload are not walked; captures in this dataset do not use
+// them.
+type IPv6 struct {
+	TrafficClass uint8
+	FlowLabel    uint32
+	PayloadLen   uint16
+	NextHeader   IPProtocol
+	HopLimit     uint8
+	Src          netip.Addr
+	Dst          netip.Addr
+}
+
+// UDP is a decoded UDP header.
+type UDP struct {
+	SrcPort  uint16
+	DstPort  uint16
+	Length   uint16
+	Checksum uint16
+}
+
+// TCP is a decoded TCP header.
+type TCP struct {
+	SrcPort    uint16
+	DstPort    uint16
+	Seq        uint32
+	Ack        uint32
+	DataOffset uint8 // header length in 32-bit words
+	Flags      uint8
+	Window     uint16
+	Checksum   uint16
+	Urgent     uint16
+	Options    []byte
+}
+
+// TCP flag bits.
+const (
+	TCPFin = 1 << 0
+	TCPSyn = 1 << 1
+	TCPRst = 1 << 2
+	TCPPsh = 1 << 3
+	TCPAck = 1 << 4
+)
+
+// Packet is a decoded frame. Pointer fields are nil for absent layers.
+type Packet struct {
+	Ethernet *Ethernet
+	IPv4     *IPv4
+	IPv6     *IPv6
+	UDP      *UDP
+	TCP      *TCP
+	// Payload is the transport payload (UDP datagram payload or TCP
+	// segment payload). It aliases the input buffer.
+	Payload []byte
+}
+
+// Src returns the network-layer source address, or the zero Addr.
+func (p *Packet) Src() netip.Addr {
+	switch {
+	case p.IPv4 != nil:
+		return p.IPv4.Src
+	case p.IPv6 != nil:
+		return p.IPv6.Src
+	}
+	return netip.Addr{}
+}
+
+// Dst returns the network-layer destination address, or the zero Addr.
+func (p *Packet) Dst() netip.Addr {
+	switch {
+	case p.IPv4 != nil:
+		return p.IPv4.Dst
+	case p.IPv6 != nil:
+		return p.IPv6.Dst
+	}
+	return netip.Addr{}
+}
+
+// Transport returns the transport protocol, source port, and destination
+// port; proto is 0 if no transport layer was decoded.
+func (p *Packet) Transport() (proto IPProtocol, src, dst uint16) {
+	switch {
+	case p.UDP != nil:
+		return IPProtocolUDP, p.UDP.SrcPort, p.UDP.DstPort
+	case p.TCP != nil:
+		return IPProtocolTCP, p.TCP.SrcPort, p.TCP.DstPort
+	}
+	return 0, 0, 0
+}
+
+// Decode parses data starting at the given link type. Unknown ether
+// types or IP protocols return ErrUnsupported with whatever layers were
+// decoded before the unknown one.
+func Decode(linkType pcap.LinkType, data []byte) (*Packet, error) {
+	pkt := &Packet{}
+	switch linkType {
+	case pcap.LinkTypeEthernet:
+		if len(data) < 14 {
+			return pkt, fmt.Errorf("%w: ethernet header", ErrTruncated)
+		}
+		eth := &Ethernet{EtherType: binary.BigEndian.Uint16(data[12:14])}
+		copy(eth.DstMAC[:], data[0:6])
+		copy(eth.SrcMAC[:], data[6:12])
+		pkt.Ethernet = eth
+		switch eth.EtherType {
+		case EtherTypeIPv4:
+			return pkt, decodeIPv4(pkt, data[14:])
+		case EtherTypeIPv6:
+			return pkt, decodeIPv6(pkt, data[14:])
+		default:
+			return pkt, fmt.Errorf("%w: ethertype %#04x", ErrUnsupported, eth.EtherType)
+		}
+	case pcap.LinkTypeRaw:
+		if len(data) == 0 {
+			return pkt, fmt.Errorf("%w: empty raw frame", ErrTruncated)
+		}
+		switch data[0] >> 4 {
+		case 4:
+			return pkt, decodeIPv4(pkt, data)
+		case 6:
+			return pkt, decodeIPv6(pkt, data)
+		default:
+			return pkt, fmt.Errorf("%w: IP version %d", ErrUnsupported, data[0]>>4)
+		}
+	default:
+		return pkt, fmt.Errorf("%w: link type %v", ErrUnsupported, linkType)
+	}
+}
+
+func decodeIPv4(pkt *Packet, data []byte) error {
+	if len(data) < 20 {
+		return fmt.Errorf("%w: ipv4 header", ErrTruncated)
+	}
+	if data[0]>>4 != 4 {
+		return fmt.Errorf("%w: ipv4 version field %d", ErrUnsupported, data[0]>>4)
+	}
+	ihl := data[0] & 0x0f
+	hdrLen := int(ihl) * 4
+	if hdrLen < 20 || len(data) < hdrLen {
+		return fmt.Errorf("%w: ipv4 IHL %d", ErrTruncated, ihl)
+	}
+	ip := &IPv4{
+		IHL:      ihl,
+		TOS:      data[1],
+		TotalLen: binary.BigEndian.Uint16(data[2:4]),
+		ID:       binary.BigEndian.Uint16(data[4:6]),
+		Flags:    data[6] >> 5,
+		FragOff:  binary.BigEndian.Uint16(data[6:8]) & 0x1fff,
+		TTL:      data[8],
+		Protocol: IPProtocol(data[9]),
+		Checksum: binary.BigEndian.Uint16(data[10:12]),
+		Src:      netip.AddrFrom4([4]byte(data[12:16])),
+		Dst:      netip.AddrFrom4([4]byte(data[16:20])),
+	}
+	if hdrLen > 20 {
+		ip.Options = data[20:hdrLen]
+	}
+	pkt.IPv4 = ip
+	// Honor TotalLen if it is sane, so trailing link-layer padding does
+	// not leak into the transport payload.
+	body := data[hdrLen:]
+	if tl := int(ip.TotalLen); tl >= hdrLen && tl <= len(data) {
+		body = data[hdrLen:tl]
+	}
+	return decodeTransport(pkt, ip.Protocol, body)
+}
+
+func decodeIPv6(pkt *Packet, data []byte) error {
+	if len(data) < 40 {
+		return fmt.Errorf("%w: ipv6 header", ErrTruncated)
+	}
+	if data[0]>>4 != 6 {
+		return fmt.Errorf("%w: ipv6 version field %d", ErrUnsupported, data[0]>>4)
+	}
+	ip := &IPv6{
+		TrafficClass: data[0]<<4 | data[1]>>4,
+		FlowLabel:    binary.BigEndian.Uint32(data[0:4]) & 0x000fffff,
+		PayloadLen:   binary.BigEndian.Uint16(data[4:6]),
+		NextHeader:   IPProtocol(data[6]),
+		HopLimit:     data[7],
+		Src:          netip.AddrFrom16([16]byte(data[8:24])),
+		Dst:          netip.AddrFrom16([16]byte(data[24:40])),
+	}
+	pkt.IPv6 = ip
+	body := data[40:]
+	if pl := int(ip.PayloadLen); pl <= len(body) {
+		body = body[:pl]
+	}
+	return decodeTransport(pkt, ip.NextHeader, body)
+}
+
+func decodeTransport(pkt *Packet, proto IPProtocol, data []byte) error {
+	switch proto {
+	case IPProtocolUDP:
+		if len(data) < 8 {
+			return fmt.Errorf("%w: udp header", ErrTruncated)
+		}
+		udp := &UDP{
+			SrcPort:  binary.BigEndian.Uint16(data[0:2]),
+			DstPort:  binary.BigEndian.Uint16(data[2:4]),
+			Length:   binary.BigEndian.Uint16(data[4:6]),
+			Checksum: binary.BigEndian.Uint16(data[6:8]),
+		}
+		pkt.UDP = udp
+		payload := data[8:]
+		// The UDP length field covers header+payload; trust it when sane.
+		if l := int(udp.Length); l >= 8 && l <= len(data) {
+			payload = data[8:l]
+		}
+		pkt.Payload = payload
+		return nil
+	case IPProtocolTCP:
+		if len(data) < 20 {
+			return fmt.Errorf("%w: tcp header", ErrTruncated)
+		}
+		off := data[12] >> 4
+		hdrLen := int(off) * 4
+		if hdrLen < 20 || len(data) < hdrLen {
+			return fmt.Errorf("%w: tcp data offset %d", ErrTruncated, off)
+		}
+		tcp := &TCP{
+			SrcPort:    binary.BigEndian.Uint16(data[0:2]),
+			DstPort:    binary.BigEndian.Uint16(data[2:4]),
+			Seq:        binary.BigEndian.Uint32(data[4:8]),
+			Ack:        binary.BigEndian.Uint32(data[8:12]),
+			DataOffset: off,
+			Flags:      data[13],
+			Window:     binary.BigEndian.Uint16(data[14:16]),
+			Checksum:   binary.BigEndian.Uint16(data[16:18]),
+			Urgent:     binary.BigEndian.Uint16(data[18:20]),
+		}
+		if hdrLen > 20 {
+			tcp.Options = data[20:hdrLen]
+		}
+		pkt.TCP = tcp
+		pkt.Payload = data[hdrLen:]
+		return nil
+	default:
+		return fmt.Errorf("%w: ip protocol %v", ErrUnsupported, proto)
+	}
+}

@@ -1,0 +1,199 @@
+// Package live moves captures over real sockets: an Exporter replays a
+// capture's frames to a UDP endpoint (like a packet broker's
+// encapsulated mirror port), and a Collector receives them, rebuilding
+// timestamped frames for the analysis pipeline.
+//
+// Each exported datagram carries one link-layer frame behind a small
+// encapsulation header, so the original addresses, ports, and payloads
+// survive the trip even though the transport is a plain UDP socket:
+//
+//	0      4        12      16
+//	| "RTCC" | ts µs  | seq   | frame bytes ...
+//
+// The paper's setup captured on the phone and analyzed offline; this
+// package is the online variant — run the collector on the analysis
+// host, point an exporter (or a mirror of a real capture) at it, and
+// feed the result straight into core.AnalyzeCapture.
+package live
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/rtc-compliance/rtcc/internal/pcap"
+)
+
+// Magic identifies an encapsulated frame datagram.
+var Magic = [4]byte{'R', 'T', 'C', 'C'}
+
+// headerLen is the encapsulation header size.
+const headerLen = 16
+
+// maxFrame bounds the encapsulated frame size (a full-size UDP payload
+// minus the header fits comfortably).
+const maxFrame = 64 * 1024
+
+// Encapsulate builds the wire form of one frame.
+func Encapsulate(seq uint32, pkt pcap.Packet) []byte {
+	buf := make([]byte, headerLen+len(pkt.Data))
+	copy(buf[0:4], Magic[:])
+	binary.BigEndian.PutUint64(buf[4:12], uint64(pkt.Timestamp.UnixMicro()))
+	binary.BigEndian.PutUint32(buf[12:16], seq)
+	copy(buf[headerLen:], pkt.Data)
+	return buf
+}
+
+// Decapsulate parses one encapsulated datagram.
+func Decapsulate(b []byte) (seq uint32, pkt pcap.Packet, err error) {
+	if len(b) < headerLen {
+		return 0, pcap.Packet{}, fmt.Errorf("live: datagram too short (%d bytes)", len(b))
+	}
+	if [4]byte(b[0:4]) != Magic {
+		return 0, pcap.Packet{}, errors.New("live: bad magic")
+	}
+	ts := time.UnixMicro(int64(binary.BigEndian.Uint64(b[4:12]))).UTC()
+	seq = binary.BigEndian.Uint32(b[12:16])
+	data := make([]byte, len(b)-headerLen)
+	copy(data, b[headerLen:])
+	return seq, pcap.Packet{Timestamp: ts, Data: data, OrigLen: len(data)}, nil
+}
+
+// Exporter replays frames to a UDP endpoint.
+type Exporter struct {
+	conn net.Conn
+	seq  uint32
+	// Speed divides inter-frame gaps: 0 or 1 replays in real time, 10
+	// replays ten times faster, and SpeedInstant disables pacing.
+	Speed float64
+}
+
+// SpeedInstant disables pacing entirely.
+const SpeedInstant = -1
+
+// Dial connects an exporter to addr (host:port).
+func Dial(addr string) (*Exporter, error) {
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("live: %w", err)
+	}
+	return &Exporter{conn: conn, Speed: SpeedInstant}, nil
+}
+
+// Close releases the socket.
+func (e *Exporter) Close() error { return e.conn.Close() }
+
+// Send exports one frame immediately.
+func (e *Exporter) Send(pkt pcap.Packet) error {
+	if len(pkt.Data) > maxFrame {
+		return fmt.Errorf("live: frame of %d bytes exceeds limit", len(pkt.Data))
+	}
+	e.seq++
+	_, err := e.conn.Write(Encapsulate(e.seq, pkt))
+	return err
+}
+
+// Replay exports every frame, pacing inter-frame gaps by Speed. The
+// context cancels a long replay.
+func (e *Exporter) Replay(ctx context.Context, frames []pcap.Packet) error {
+	var prev time.Time
+	for i, f := range frames {
+		if e.Speed > 0 && i > 0 {
+			gap := f.Timestamp.Sub(prev)
+			if gap > 0 {
+				scaled := time.Duration(float64(gap) / e.Speed)
+				select {
+				case <-time.After(scaled):
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+			}
+		}
+		prev = f.Timestamp
+		if err := e.Send(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Collector receives encapsulated frames on a UDP socket.
+type Collector struct {
+	pc net.PacketConn
+	// IdleTimeout ends collection after this long without a frame
+	// (default 2 s).
+	IdleTimeout time.Duration
+	// Dropped counts datagrams rejected (bad magic, too short).
+	Dropped int
+	// Reordered counts frames that arrived with a backwards sequence
+	// number (UDP reordering on the mirror path).
+	Reordered int
+}
+
+// Listen binds a collector; addr may use port 0 for an ephemeral port.
+func Listen(addr string) (*Collector, error) {
+	pc, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("live: %w", err)
+	}
+	// Bursty mirrors overflow the default receive buffer long before
+	// the collector loop drains it; ask for a few megabytes (best
+	// effort — the kernel may clamp it).
+	if uc, ok := pc.(*net.UDPConn); ok {
+		_ = uc.SetReadBuffer(8 << 20)
+	}
+	return &Collector{pc: pc, IdleTimeout: 2 * time.Second}, nil
+}
+
+// Addr reports the bound address (useful with port 0).
+func (c *Collector) Addr() string { return c.pc.LocalAddr().String() }
+
+// Close releases the socket.
+func (c *Collector) Close() error { return c.pc.Close() }
+
+// Collect receives frames until max frames arrive (0 = unlimited), the
+// idle timeout passes, or the context is canceled. Frames are returned
+// in arrival order with their original capture timestamps.
+func (c *Collector) Collect(ctx context.Context, max int) ([]pcap.Packet, error) {
+	idle := c.IdleTimeout
+	if idle <= 0 {
+		idle = 2 * time.Second
+	}
+	var frames []pcap.Packet
+	buf := make([]byte, maxFrame+headerLen)
+	var lastSeq uint32
+	for max == 0 || len(frames) < max {
+		deadline := time.Now().Add(idle)
+		if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+			deadline = d
+		}
+		if err := c.pc.SetReadDeadline(deadline); err != nil {
+			return frames, err
+		}
+		n, _, err := c.pc.ReadFrom(buf)
+		if err != nil {
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				return frames, nil // idle end
+			}
+			if ctx.Err() != nil {
+				return frames, nil
+			}
+			return frames, err
+		}
+		seq, pkt, err := Decapsulate(buf[:n])
+		if err != nil {
+			c.Dropped++
+			continue
+		}
+		if seq < lastSeq {
+			c.Reordered++
+		}
+		lastSeq = seq
+		frames = append(frames, pkt)
+	}
+	return frames, nil
+}

@@ -1,0 +1,154 @@
+// Package mutate generates malformed variants of RTC protocol messages
+// for fuzz-testing protocol stacks — one of the downstream uses the
+// paper names for its released framework ("fuzz testing, and deployment
+// diagnostics").
+//
+// The strategies are informed by the deviations the paper observed in
+// production: undefined types and attributes, corrupted length fields,
+// proprietary prefixes, truncation, and duplication. A seeded Fuzzer
+// applies them deterministically, so a corpus is reproducible from its
+// seed.
+package mutate
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand/v2"
+)
+
+// Strategy names one mutation class.
+type Strategy string
+
+// Mutation strategies.
+const (
+	// StrategyBitFlip flips 1-8 random bits.
+	StrategyBitFlip Strategy = "bit-flip"
+	// StrategyTruncate cuts the message at a random point.
+	StrategyTruncate Strategy = "truncate"
+	// StrategyLengthCorrupt rewrites a plausible length field (bytes
+	// 2-3, where STUN, ChannelData, and RTCP keep theirs).
+	StrategyLengthCorrupt Strategy = "length-corrupt"
+	// StrategyTypeSwap replaces the leading type field with an
+	// undefined value (the WhatsApp 0x0800 pattern).
+	StrategyTypeSwap Strategy = "type-swap"
+	// StrategyPrefix prepends a proprietary header (the Zoom/FaceTime
+	// pattern).
+	StrategyPrefix Strategy = "proprietary-prefix"
+	// StrategyAppendTrailer appends 1-4 trailer bytes (the Discord
+	// pattern).
+	StrategyAppendTrailer Strategy = "append-trailer"
+	// StrategyInjectTLV splices an undefined TLV attribute into the
+	// body (the undefined-attribute pattern).
+	StrategyInjectTLV Strategy = "inject-tlv"
+	// StrategyDuplicate concatenates the message with itself (the
+	// multiple-messages-per-datagram pattern).
+	StrategyDuplicate Strategy = "duplicate"
+	// StrategyZeroRegion zeroes a random span.
+	StrategyZeroRegion Strategy = "zero-region"
+)
+
+// Strategies lists every strategy in a stable order.
+var Strategies = []Strategy{
+	StrategyBitFlip, StrategyTruncate, StrategyLengthCorrupt,
+	StrategyTypeSwap, StrategyPrefix, StrategyAppendTrailer,
+	StrategyInjectTLV, StrategyDuplicate, StrategyZeroRegion,
+}
+
+// Fuzzer applies seeded mutations.
+type Fuzzer struct {
+	rng *rand.Rand
+	// Allowed restricts the strategy set; empty means all.
+	Allowed []Strategy
+}
+
+// New returns a deterministic fuzzer.
+func New(seed uint64) *Fuzzer {
+	return &Fuzzer{rng: rand.New(rand.NewPCG(seed, seed^0xfeedface))}
+}
+
+func (f *Fuzzer) pick() Strategy {
+	set := f.Allowed
+	if len(set) == 0 {
+		set = Strategies
+	}
+	return set[f.rng.IntN(len(set))]
+}
+
+// Mutate produces one mutated copy of msg (the input is never
+// modified) along with the strategy used. Empty inputs are returned
+// unchanged with an empty strategy.
+func (f *Fuzzer) Mutate(msg []byte) ([]byte, Strategy) {
+	if len(msg) == 0 {
+		return nil, ""
+	}
+	s := f.pick()
+	return f.Apply(s, msg), s
+}
+
+// Apply runs one named strategy.
+func (f *Fuzzer) Apply(s Strategy, msg []byte) []byte {
+	out := make([]byte, len(msg))
+	copy(out, msg)
+	switch s {
+	case StrategyBitFlip:
+		n := 1 + f.rng.IntN(8)
+		for i := 0; i < n; i++ {
+			out[f.rng.IntN(len(out))] ^= 1 << f.rng.IntN(8)
+		}
+	case StrategyTruncate:
+		if len(out) > 1 {
+			out = out[:1+f.rng.IntN(len(out)-1)]
+		}
+	case StrategyLengthCorrupt:
+		if len(out) >= 4 {
+			binary.BigEndian.PutUint16(out[2:4], uint16(f.rng.IntN(1<<16)))
+		}
+	case StrategyTypeSwap:
+		if len(out) >= 2 {
+			binary.BigEndian.PutUint16(out[0:2], 0x0800|uint16(f.rng.IntN(16)))
+		}
+	case StrategyPrefix:
+		hdr := make([]byte, 4+f.rng.IntN(28))
+		for i := range hdr {
+			hdr[i] = byte(f.rng.IntN(256))
+		}
+		out = append(hdr, out...)
+	case StrategyAppendTrailer:
+		n := 1 + f.rng.IntN(4)
+		for i := 0; i < n; i++ {
+			out = append(out, byte(f.rng.IntN(256)))
+		}
+	case StrategyInjectTLV:
+		tlv := make([]byte, 8)
+		binary.BigEndian.PutUint16(tlv[0:2], 0x4000|uint16(f.rng.IntN(16)))
+		binary.BigEndian.PutUint16(tlv[2:4], 4)
+		binary.BigEndian.PutUint32(tlv[4:8], f.rng.Uint32())
+		pos := f.rng.IntN(len(out) + 1)
+		out = append(out[:pos:pos], append(tlv, out[pos:]...)...)
+	case StrategyDuplicate:
+		out = append(out, out...)
+	case StrategyZeroRegion:
+		start := f.rng.IntN(len(out))
+		end := start + 1 + f.rng.IntN(len(out)-start)
+		for i := start; i < end; i++ {
+			out[i] = 0
+		}
+	default:
+		panic(fmt.Sprintf("mutate: unknown strategy %q", s))
+	}
+	return out
+}
+
+// Corpus expands seed messages into n mutated variants, cycling seeds
+// and strategies deterministically.
+func (f *Fuzzer) Corpus(seeds [][]byte, n int) [][]byte {
+	if len(seeds) == 0 || n <= 0 {
+		return nil
+	}
+	out := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		m, _ := f.Mutate(seeds[i%len(seeds)])
+		out = append(out, m)
+	}
+	return out
+}

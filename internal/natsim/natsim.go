@@ -1,0 +1,270 @@
+// Package natsim models NAT behaviour, firewall hole-punching policy,
+// and TURN-style relay allocation.
+//
+// The paper controls transmission mode (§3.1.1) by toggling UDP hole
+// punching on the Wi-Fi router, and observes that cellular carriers
+// decide it for them. This package is the equivalent substrate: each
+// client sits behind a NAT with configurable mapping and filtering
+// behaviour (RFC 4787 terminology), and the call orchestrator runs an
+// ICE-style probe simulation to decide whether a direct path exists. If
+// not, media is routed through a Relay, which hands out relayed
+// addresses like a TURN server's Allocate.
+package natsim
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// Behavior classifies NAT mapping or filtering per RFC 4787.
+type Behavior int
+
+// RFC 4787 behaviours. EndpointIndependent corresponds to "full cone"
+// style NATs; AddressAndPortDependent mapping is the classic "symmetric"
+// NAT that defeats hole punching when present on both sides.
+const (
+	EndpointIndependent Behavior = iota
+	AddressDependent
+	AddressAndPortDependent
+)
+
+func (b Behavior) String() string {
+	switch b {
+	case EndpointIndependent:
+		return "endpoint-independent"
+	case AddressDependent:
+		return "address-dependent"
+	case AddressAndPortDependent:
+		return "address-and-port-dependent"
+	}
+	return fmt.Sprintf("Behavior(%d)", int(b))
+}
+
+// mapKey identifies an outbound mapping. For endpoint-independent
+// mapping the remote fields are zeroed; for address-dependent mapping
+// the remote port is zeroed.
+type mapKey struct {
+	internal netip.AddrPort
+	remote   netip.AddrPort
+}
+
+// NAT is one network address translator.
+type NAT struct {
+	// Public is the NAT's external address.
+	Public netip.Addr
+	// Mapping controls external port reuse across destinations.
+	Mapping Behavior
+	// Filtering controls which inbound packets pass.
+	Filtering Behavior
+	// BlockInboundUDP models the paper's router-firewall toggle: when
+	// set, no inbound UDP passes regardless of pinholes, forcing relay
+	// mode.
+	BlockInboundUDP bool
+
+	nextPort uint16
+	mappings map[mapKey]uint16
+	// pinholes records (externalPort, remote) pairs opened by outbound
+	// traffic, for filtering decisions.
+	pinholes map[pinKey]bool
+}
+
+type pinKey struct {
+	extPort uint16
+	remote  netip.AddrPort
+}
+
+// NewNAT returns a NAT with the given public address and behaviour.
+func NewNAT(public netip.Addr, mapping, filtering Behavior) *NAT {
+	return &NAT{
+		Public:    public,
+		Mapping:   mapping,
+		Filtering: filtering,
+		nextPort:  40000,
+		mappings:  make(map[mapKey]uint16),
+		pinholes:  make(map[pinKey]bool),
+	}
+}
+
+func (n *NAT) mapKeyFor(internal, remote netip.AddrPort) mapKey {
+	switch n.Mapping {
+	case EndpointIndependent:
+		return mapKey{internal: internal}
+	case AddressDependent:
+		return mapKey{internal: internal, remote: netip.AddrPortFrom(remote.Addr(), 0)}
+	default:
+		return mapKey{internal: internal, remote: remote}
+	}
+}
+
+// Outbound translates an outbound packet from the internal endpoint to
+// the remote endpoint, returning the external (public) source address
+// the remote will see. It opens the corresponding pinholes.
+func (n *NAT) Outbound(internal, remote netip.AddrPort) netip.AddrPort {
+	key := n.mapKeyFor(internal, remote)
+	port, ok := n.mappings[key]
+	if !ok {
+		port = n.nextPort
+		n.nextPort++
+		n.mappings[key] = port
+	}
+	n.pinholes[pinKey{extPort: port, remote: remote}] = true
+	return netip.AddrPortFrom(n.Public, port)
+}
+
+// InboundAllowed reports whether an inbound packet from remote to the
+// NAT's external port passes the filtering policy.
+func (n *NAT) InboundAllowed(extPort uint16, remote netip.AddrPort) bool {
+	if n.BlockInboundUDP {
+		return false
+	}
+	switch n.Filtering {
+	case EndpointIndependent:
+		// Any remote may reach an allocated port.
+		for pk := range n.pinholes {
+			if pk.extPort == extPort {
+				return true
+			}
+		}
+		return false
+	case AddressDependent:
+		for pk := range n.pinholes {
+			if pk.extPort == extPort && pk.remote.Addr() == remote.Addr() {
+				return true
+			}
+		}
+		return false
+	default:
+		return n.pinholes[pinKey{extPort: extPort, remote: remote}]
+	}
+}
+
+// MappedAddress reports the external address a STUN server at stunServer
+// would observe for internal, without opening extra state beyond the
+// outbound binding request it models.
+func (n *NAT) MappedAddress(internal, stunServer netip.AddrPort) netip.AddrPort {
+	return n.Outbound(internal, stunServer)
+}
+
+// Client is one endpoint participating in hole punching.
+type Client struct {
+	// Internal is the client's private socket address.
+	Internal netip.AddrPort
+	// NAT is the translator in front of the client; nil means a public
+	// address (no NAT).
+	NAT *NAT
+}
+
+// PublicCandidate returns the server-reflexive candidate the client
+// learns from a STUN server.
+func (c *Client) PublicCandidate(stunServer netip.AddrPort) netip.AddrPort {
+	if c.NAT == nil {
+		return c.Internal
+	}
+	return c.NAT.MappedAddress(c.Internal, stunServer)
+}
+
+// HolePunch simulates ICE-style simultaneous connectivity checks between
+// two clients. Each learns the other's server-reflexive candidate from
+// stunServer, then both send probes to that candidate. A direct path
+// exists if, after both sides have sent at least one outbound probe
+// (opening pinholes), a probe in each direction passes the remote NAT's
+// filtering using the mapping the remote actually allocated toward this
+// peer.
+func HolePunch(a, b *Client, stunServer netip.AddrPort) bool {
+	aCand := a.PublicCandidate(stunServer)
+	bCand := b.PublicCandidate(stunServer)
+
+	// Each side now sends probes to the other's candidate. The source
+	// mapping used toward the peer may differ from the candidate when
+	// mapping is not endpoint-independent — that is exactly why
+	// symmetric NATs break hole punching.
+	aToB := aCand
+	if a.NAT != nil {
+		aToB = a.NAT.Outbound(a.Internal, bCand)
+	}
+	bToA := bCand
+	if b.NAT != nil {
+		bToA = b.NAT.Outbound(b.Internal, aCand)
+	}
+
+	// Probe from A arrives at B's NAT: destination is bCand (the
+	// address A knows), source is aToB.
+	aReachesB := true
+	if b.NAT != nil {
+		aReachesB = b.NAT.InboundAllowed(bCand.Port(), aToB)
+	}
+	// And symmetrically. A's pinhole is open toward bCand; B's probe
+	// arrives from bToA at the port of aCand.
+	bReachesA := true
+	if a.NAT != nil {
+		bReachesA = a.NAT.InboundAllowed(aCand.Port(), bToA)
+	}
+	// Second round: when a probe got through in one direction, the
+	// receiver learns the sender's actual source (a peer-reflexive
+	// candidate, in ICE terms) and answers to it instead of the stale
+	// server-reflexive candidate. This is what makes one symmetric NAT
+	// survivable when the other side's filtering is permissive.
+	if aReachesB && !bReachesA {
+		target := aToB
+		reply := target
+		if b.NAT != nil {
+			reply = b.NAT.Outbound(b.Internal, target)
+		}
+		bReachesA = true
+		if a.NAT != nil {
+			bReachesA = a.NAT.InboundAllowed(target.Port(), reply)
+		}
+	} else if bReachesA && !aReachesB {
+		target := bToA
+		reply := target
+		if a.NAT != nil {
+			reply = a.NAT.Outbound(a.Internal, target)
+		}
+		aReachesB = true
+		if b.NAT != nil {
+			aReachesB = b.NAT.InboundAllowed(target.Port(), reply)
+		}
+	}
+	return aReachesB && bReachesA
+}
+
+// Relay models a TURN server handing out relayed transport addresses.
+type Relay struct {
+	// Addr is the relay's public IP.
+	Addr netip.Addr
+	// ListenPort is the TURN port clients talk to (3478 by default).
+	ListenPort uint16
+
+	nextRelayPort uint16
+	allocations   map[netip.AddrPort]netip.AddrPort
+}
+
+// NewRelay returns a relay at addr listening on port 3478.
+func NewRelay(addr netip.Addr) *Relay {
+	return &Relay{
+		Addr:          addr,
+		ListenPort:    3478,
+		nextRelayPort: 49152,
+		allocations:   make(map[netip.AddrPort]netip.AddrPort),
+	}
+}
+
+// ListenAddr returns the relay's client-facing address.
+func (r *Relay) ListenAddr() netip.AddrPort {
+	return netip.AddrPortFrom(r.Addr, r.ListenPort)
+}
+
+// Allocate returns (idempotently) a relayed transport address for the
+// given client 5-tuple source, as a TURN Allocate request would.
+func (r *Relay) Allocate(client netip.AddrPort) netip.AddrPort {
+	if relayed, ok := r.allocations[client]; ok {
+		return relayed
+	}
+	relayed := netip.AddrPortFrom(r.Addr, r.nextRelayPort)
+	r.nextRelayPort++
+	r.allocations[client] = relayed
+	return relayed
+}
+
+// Allocations reports the number of active allocations.
+func (r *Relay) Allocations() int { return len(r.allocations) }

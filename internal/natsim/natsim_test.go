@@ -1,0 +1,193 @@
+package natsim
+
+import (
+	"net/netip"
+	"testing"
+)
+
+var (
+	pubA   = netip.MustParseAddr("198.51.100.1")
+	pubB   = netip.MustParseAddr("198.51.100.2")
+	privA  = netip.MustParseAddrPort("192.168.1.10:5000")
+	privB  = netip.MustParseAddrPort("10.0.0.20:6000")
+	stunSv = netip.MustParseAddrPort("203.0.113.1:3478")
+)
+
+func TestEndpointIndependentMappingReusesPort(t *testing.T) {
+	n := NewNAT(pubA, EndpointIndependent, EndpointIndependent)
+	m1 := n.Outbound(privA, netip.MustParseAddrPort("1.1.1.1:53"))
+	m2 := n.Outbound(privA, netip.MustParseAddrPort("8.8.8.8:443"))
+	if m1.Port() != m2.Port() {
+		t.Errorf("EIM should reuse port: %v vs %v", m1, m2)
+	}
+	if m1.Addr() != pubA {
+		t.Errorf("mapped addr = %v", m1.Addr())
+	}
+}
+
+func TestSymmetricMappingAllocatesPerDestination(t *testing.T) {
+	n := NewNAT(pubA, AddressAndPortDependent, AddressAndPortDependent)
+	m1 := n.Outbound(privA, netip.MustParseAddrPort("1.1.1.1:53"))
+	m2 := n.Outbound(privA, netip.MustParseAddrPort("1.1.1.1:54"))
+	m3 := n.Outbound(privA, netip.MustParseAddrPort("1.1.1.1:53"))
+	if m1.Port() == m2.Port() {
+		t.Error("symmetric NAT reused port across destinations")
+	}
+	if m1.Port() != m3.Port() {
+		t.Error("symmetric NAT mapping not stable for same destination")
+	}
+}
+
+func TestAddressDependentMapping(t *testing.T) {
+	n := NewNAT(pubA, AddressDependent, AddressDependent)
+	m1 := n.Outbound(privA, netip.MustParseAddrPort("1.1.1.1:53"))
+	m2 := n.Outbound(privA, netip.MustParseAddrPort("1.1.1.1:9999"))
+	m3 := n.Outbound(privA, netip.MustParseAddrPort("2.2.2.2:53"))
+	if m1.Port() != m2.Port() {
+		t.Error("ADM should reuse port for same remote address")
+	}
+	if m1.Port() == m3.Port() {
+		t.Error("ADM should allocate new port for new remote address")
+	}
+}
+
+func TestFiltering(t *testing.T) {
+	remote := netip.MustParseAddrPort("1.1.1.1:53")
+	otherPort := netip.MustParseAddrPort("1.1.1.1:54")
+	otherAddr := netip.MustParseAddrPort("2.2.2.2:53")
+
+	cases := []struct {
+		name      string
+		filtering Behavior
+		fromSame  bool
+		fromPort  bool
+		fromAddr  bool
+	}{
+		{"endpoint-independent", EndpointIndependent, true, true, true},
+		{"address-dependent", AddressDependent, true, true, false},
+		{"address-and-port-dependent", AddressAndPortDependent, true, false, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n := NewNAT(pubA, EndpointIndependent, tc.filtering)
+			m := n.Outbound(privA, remote)
+			if got := n.InboundAllowed(m.Port(), remote); got != tc.fromSame {
+				t.Errorf("from same remote = %v, want %v", got, tc.fromSame)
+			}
+			if got := n.InboundAllowed(m.Port(), otherPort); got != tc.fromPort {
+				t.Errorf("from other port = %v, want %v", got, tc.fromPort)
+			}
+			if got := n.InboundAllowed(m.Port(), otherAddr); got != tc.fromAddr {
+				t.Errorf("from other addr = %v, want %v", got, tc.fromAddr)
+			}
+		})
+	}
+}
+
+func TestInboundToUnknownPortBlocked(t *testing.T) {
+	n := NewNAT(pubA, EndpointIndependent, EndpointIndependent)
+	if n.InboundAllowed(12345, stunSv) {
+		t.Error("inbound to unallocated port allowed")
+	}
+}
+
+func TestBlockInboundUDP(t *testing.T) {
+	n := NewNAT(pubA, EndpointIndependent, EndpointIndependent)
+	n.BlockInboundUDP = true
+	remote := netip.MustParseAddrPort("1.1.1.1:53")
+	m := n.Outbound(privA, remote)
+	if n.InboundAllowed(m.Port(), remote) {
+		t.Error("firewall toggle did not block inbound")
+	}
+}
+
+func TestHolePunchConeCone(t *testing.T) {
+	a := &Client{Internal: privA, NAT: NewNAT(pubA, EndpointIndependent, EndpointIndependent)}
+	b := &Client{Internal: privB, NAT: NewNAT(pubB, EndpointIndependent, EndpointIndependent)}
+	if !HolePunch(a, b, stunSv) {
+		t.Error("cone-cone hole punch should succeed")
+	}
+}
+
+func TestHolePunchSymmetricSymmetricFails(t *testing.T) {
+	a := &Client{Internal: privA, NAT: NewNAT(pubA, AddressAndPortDependent, AddressAndPortDependent)}
+	b := &Client{Internal: privB, NAT: NewNAT(pubB, AddressAndPortDependent, AddressAndPortDependent)}
+	if HolePunch(a, b, stunSv) {
+		t.Error("symmetric-symmetric hole punch should fail")
+	}
+}
+
+func TestHolePunchSymmetricWithRestrictedConeFails(t *testing.T) {
+	// Symmetric + port-restricted cone: the cone side sends to the
+	// candidate port, but the symmetric side allocated a different port
+	// toward the peer, so the cone's probes go to a dead port, and the
+	// symmetric side's probes come from an unexpected source port.
+	a := &Client{Internal: privA, NAT: NewNAT(pubA, AddressAndPortDependent, AddressAndPortDependent)}
+	b := &Client{Internal: privB, NAT: NewNAT(pubB, EndpointIndependent, AddressAndPortDependent)}
+	if HolePunch(a, b, stunSv) {
+		t.Error("symmetric vs port-restricted cone should fail")
+	}
+}
+
+func TestHolePunchSymmetricWithFullConeSucceeds(t *testing.T) {
+	// Full-cone filtering admits any source once the port is open, so a
+	// single symmetric peer still connects.
+	a := &Client{Internal: privA, NAT: NewNAT(pubA, AddressAndPortDependent, AddressAndPortDependent)}
+	b := &Client{Internal: privB, NAT: NewNAT(pubB, EndpointIndependent, EndpointIndependent)}
+	if !HolePunch(a, b, stunSv) {
+		t.Error("symmetric vs full cone should succeed")
+	}
+}
+
+func TestHolePunchFirewallBlocked(t *testing.T) {
+	na := NewNAT(pubA, EndpointIndependent, EndpointIndependent)
+	na.BlockInboundUDP = true
+	a := &Client{Internal: privA, NAT: na}
+	b := &Client{Internal: privB, NAT: NewNAT(pubB, EndpointIndependent, EndpointIndependent)}
+	if HolePunch(a, b, stunSv) {
+		t.Error("hole punch should fail when one side blocks inbound UDP")
+	}
+}
+
+func TestHolePunchNoNAT(t *testing.T) {
+	a := &Client{Internal: netip.MustParseAddrPort("198.51.100.9:5000")}
+	b := &Client{Internal: netip.MustParseAddrPort("198.51.100.10:5000")}
+	if !HolePunch(a, b, stunSv) {
+		t.Error("two public hosts should always connect")
+	}
+}
+
+func TestRelayAllocate(t *testing.T) {
+	r := NewRelay(netip.MustParseAddr("203.0.113.50"))
+	if r.ListenAddr().Port() != 3478 {
+		t.Errorf("listen = %v", r.ListenAddr())
+	}
+	c1 := netip.MustParseAddrPort("198.51.100.1:40000")
+	c2 := netip.MustParseAddrPort("198.51.100.2:40000")
+	r1 := r.Allocate(c1)
+	r1again := r.Allocate(c1)
+	r2 := r.Allocate(c2)
+	if r1 != r1again {
+		t.Error("Allocate not idempotent")
+	}
+	if r1 == r2 {
+		t.Error("distinct clients share a relayed address")
+	}
+	if r1.Addr() != r.Addr {
+		t.Errorf("relayed addr = %v", r1)
+	}
+	if r.Allocations() != 2 {
+		t.Errorf("allocations = %d", r.Allocations())
+	}
+}
+
+func TestBehaviorString(t *testing.T) {
+	if EndpointIndependent.String() != "endpoint-independent" ||
+		AddressDependent.String() != "address-dependent" ||
+		AddressAndPortDependent.String() != "address-and-port-dependent" {
+		t.Error("behaviour names wrong")
+	}
+	if Behavior(9).String() != "Behavior(9)" {
+		t.Error("unknown behaviour name wrong")
+	}
+}

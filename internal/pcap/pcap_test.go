@@ -1,0 +1,199 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, LinkTypeRaw)
+	want := []Packet{
+		{Timestamp: time.Unix(1700000000, 123456000).UTC(), Data: []byte{0x45, 0x00, 0x01}},
+		{Timestamp: time.Unix(1700000001, 999999000).UTC(), Data: []byte{}},
+		{Timestamp: time.Unix(1700000002, 0).UTC(), Data: bytes.Repeat([]byte{0xab}, 1500)},
+	}
+	for _, p := range want {
+		if err := w.WritePacket(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LinkType() != LinkTypeRaw {
+		t.Errorf("LinkType = %v, want RAW", r.LinkType())
+	}
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d packets, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].Timestamp.Equal(want[i].Timestamp) {
+			t.Errorf("pkt %d ts = %v, want %v", i, got[i].Timestamp, want[i].Timestamp)
+		}
+		if !bytes.Equal(got[i].Data, want[i].Data) {
+			t.Errorf("pkt %d data mismatch (%d vs %d bytes)", i, len(got[i].Data), len(want[i].Data))
+		}
+		if got[i].OrigLen != len(want[i].Data) {
+			t.Errorf("pkt %d origlen = %d, want %d", i, got[i].OrigLen, len(want[i].Data))
+		}
+	}
+}
+
+func TestEmptyFileHasHeaderOnly(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, LinkTypeEthernet)
+	if err := w.WriteHeader(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteHeader(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if buf.Len() != fileHeaderLen {
+		t.Fatalf("header-only file is %d bytes, want %d", buf.Len(), fileHeaderLen)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadPacket(); !errors.Is(err, io.EOF) {
+		t.Fatalf("ReadPacket on empty file = %v, want EOF", err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	junk := make([]byte, fileHeaderLen)
+	if _, err := NewReader(bytes.NewReader(junk)); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestTruncatedHeader(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Fatal("want error for truncated header")
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, LinkTypeRaw)
+	if err := w.WritePacket(Packet{Timestamp: time.Unix(1, 0), Data: []byte{1, 2, 3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-2]
+	r, err := NewReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadPacket(); err == nil {
+		t.Fatal("want error for truncated record data")
+	}
+}
+
+// A big-endian, nanosecond-resolution file (e.g. written by another tool)
+// must parse identically.
+func TestBigEndianNanosecondFile(t *testing.T) {
+	var buf bytes.Buffer
+	hdr := make([]byte, fileHeaderLen)
+	binary.BigEndian.PutUint32(hdr[0:], MagicNanoseconds)
+	binary.BigEndian.PutUint16(hdr[4:], 2)
+	binary.BigEndian.PutUint16(hdr[6:], 4)
+	binary.BigEndian.PutUint32(hdr[16:], 65535)
+	binary.BigEndian.PutUint32(hdr[20:], uint32(LinkTypeEthernet))
+	buf.Write(hdr)
+	rec := make([]byte, recordHeaderLen)
+	binary.BigEndian.PutUint32(rec[0:], 1600000000)
+	binary.BigEndian.PutUint32(rec[4:], 123456789) // nanoseconds
+	binary.BigEndian.PutUint32(rec[8:], 2)
+	binary.BigEndian.PutUint32(rec[12:], 9000) // truncated capture
+	buf.Write(rec)
+	buf.Write([]byte{0xde, 0xad})
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LinkType() != LinkTypeEthernet || r.SnapLen() != 65535 {
+		t.Errorf("header parse: linktype=%v snaplen=%d", r.LinkType(), r.SnapLen())
+	}
+	p, err := r.ReadPacket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTS := time.Unix(1600000000, 123456789).UTC()
+	if !p.Timestamp.Equal(wantTS) {
+		t.Errorf("ts = %v, want %v", p.Timestamp, wantTS)
+	}
+	if p.OrigLen != 9000 || len(p.Data) != 2 {
+		t.Errorf("lens: orig=%d cap=%d", p.OrigLen, len(p.Data))
+	}
+}
+
+func TestLinkTypeString(t *testing.T) {
+	cases := map[LinkType]string{
+		LinkTypeNull:     "NULL",
+		LinkTypeEthernet: "EN10MB",
+		LinkTypeRaw:      "RAW",
+		LinkType(42):     "LINKTYPE(42)",
+	}
+	for lt, want := range cases {
+		if got := lt.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", uint32(lt), got, want)
+		}
+	}
+}
+
+// Property: any sequence of packets with microsecond-truncated timestamps
+// survives a write/read round trip byte-for-byte.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(payloads [][]byte, secs []uint32) bool {
+		var buf bytes.Buffer
+		w := NewWriter(&buf, LinkTypeRaw)
+		n := len(payloads)
+		if len(secs) < n {
+			n = len(secs)
+		}
+		in := make([]Packet, 0, n)
+		for i := 0; i < n; i++ {
+			p := Packet{
+				Timestamp: time.Unix(int64(secs[i]), int64(i%1000)*1000).UTC(),
+				Data:      payloads[i],
+			}
+			if err := w.WritePacket(p); err != nil {
+				return false
+			}
+			in = append(in, p)
+		}
+		if err := w.WriteHeader(); err != nil {
+			return false
+		}
+		r, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return false
+		}
+		out, err := r.ReadAll()
+		if err != nil || len(out) != len(in) {
+			return false
+		}
+		for i := range in {
+			if !out[i].Timestamp.Equal(in[i].Timestamp) || !bytes.Equal(out[i].Data, in[i].Data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,208 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+func TestNGRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewNGWriter(&buf, LinkTypeRaw)
+	want := []Packet{
+		{Timestamp: time.Unix(1700000000, 123456000).UTC(), Data: []byte{0x45, 1, 2}},
+		{Timestamp: time.Unix(1700000001, 0).UTC(), Data: bytes.Repeat([]byte{9}, 100)},
+		{Timestamp: time.Unix(1700000002, 999999000).UTC(), Data: []byte{}},
+	}
+	for _, p := range want {
+		if err := w.WritePacket(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !IsPCAPNG(buf.Bytes()) {
+		t.Fatal("IsPCAPNG rejected written stream")
+	}
+	r, err := NewNGReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, lt, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lt != LinkTypeRaw {
+		t.Errorf("link type = %v", lt)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("packets = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].Timestamp.Equal(want[i].Timestamp) {
+			t.Errorf("pkt %d ts = %v, want %v", i, got[i].Timestamp, want[i].Timestamp)
+		}
+		if !bytes.Equal(got[i].Data, want[i].Data) {
+			t.Errorf("pkt %d data mismatch", i)
+		}
+	}
+}
+
+func TestNGRejectsClassicAndJunk(t *testing.T) {
+	var classic bytes.Buffer
+	cw := NewWriter(&classic, LinkTypeRaw)
+	if err := cw.WriteHeader(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewNGReader(bytes.NewReader(classic.Bytes())); !errors.Is(err, ErrNotPCAPNG) {
+		t.Errorf("classic pcap: err = %v", err)
+	}
+	if _, err := NewNGReader(bytes.NewReader([]byte("garbage!"))); err == nil {
+		t.Error("junk accepted")
+	}
+	if IsPCAPNG(classic.Bytes()) {
+		t.Error("IsPCAPNG accepted classic pcap")
+	}
+}
+
+// buildBEBlock assembles a pcapng block big-endian.
+func buildBEBlock(typ uint32, body []byte) []byte {
+	total := uint32(12 + len(body))
+	out := make([]byte, total)
+	binary.BigEndian.PutUint32(out[0:4], typ)
+	binary.BigEndian.PutUint32(out[4:8], total)
+	copy(out[8:], body)
+	binary.BigEndian.PutUint32(out[total-4:], total)
+	return out
+}
+
+// A big-endian section with a nanosecond-resolution interface must
+// parse identically.
+func TestNGBigEndianNanosecond(t *testing.T) {
+	var buf bytes.Buffer
+	shb := make([]byte, 16)
+	binary.BigEndian.PutUint32(shb[0:4], byteOrderMagic)
+	binary.BigEndian.PutUint16(shb[4:6], 1)
+	binary.BigEndian.PutUint64(shb[8:16], ^uint64(0))
+	buf.Write(buildBEBlock(blockSHB, shb))
+
+	// IDB with if_tsresol = 9 (nanoseconds).
+	idb := make([]byte, 8+8)
+	binary.BigEndian.PutUint16(idb[0:2], uint16(LinkTypeEthernet))
+	binary.BigEndian.PutUint32(idb[4:8], 65535)
+	binary.BigEndian.PutUint16(idb[8:10], 9) // if_tsresol
+	binary.BigEndian.PutUint16(idb[10:12], 1)
+	idb[12] = 9 // 10^-9
+	buf.Write(buildBEBlock(blockIDB, idb))
+
+	// EPB at ts = 1.5e9 ns units => 1.5 s.
+	data := []byte{0xde, 0xad}
+	epb := make([]byte, 20+4)
+	tsRaw := uint64(1_500_000_000)
+	binary.BigEndian.PutUint32(epb[4:8], uint32(tsRaw>>32))
+	binary.BigEndian.PutUint32(epb[8:12], uint32(tsRaw))
+	binary.BigEndian.PutUint32(epb[12:16], uint32(len(data)))
+	binary.BigEndian.PutUint32(epb[16:20], 9000)
+	copy(epb[20:], data)
+	buf.Write(buildBEBlock(blockEPB, epb))
+
+	r, err := NewNGReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, lt, err := r.ReadPacket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lt != LinkTypeEthernet {
+		t.Errorf("link type = %v", lt)
+	}
+	want := time.Unix(1, 500000000).UTC()
+	if !p.Timestamp.Equal(want) {
+		t.Errorf("ts = %v, want %v", p.Timestamp, want)
+	}
+	if p.OrigLen != 9000 || !bytes.Equal(p.Data, data) {
+		t.Errorf("packet = %+v", p)
+	}
+	if _, _, err := r.ReadPacket(); !errors.Is(err, io.EOF) {
+		t.Errorf("end = %v", err)
+	}
+}
+
+// Unknown block types (name resolution, stats) are skipped.
+func TestNGSkipsUnknownBlocks(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewNGWriter(&buf, LinkTypeRaw)
+	if err := w.WritePacket(Packet{Timestamp: time.Unix(1, 0), Data: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	// Insert a Name Resolution Block (type 4) by hand, then a packet.
+	nrb := make([]byte, 4)
+	total := uint32(12 + len(nrb))
+	blk := make([]byte, total)
+	binary.LittleEndian.PutUint32(blk[0:4], 4)
+	binary.LittleEndian.PutUint32(blk[4:8], total)
+	binary.LittleEndian.PutUint32(blk[total-4:], total)
+	buf.Write(blk)
+	if err := w.WritePacket(Packet{Timestamp: time.Unix(2, 0), Data: []byte{2}}); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewNGReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts, _, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) != 2 {
+		t.Errorf("packets = %d, want 2", len(pkts))
+	}
+}
+
+// A truncated EPB errors cleanly.
+func TestNGTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewNGWriter(&buf, LinkTypeRaw)
+	if err := w.WritePacket(Packet{Timestamp: time.Unix(1, 0), Data: bytes.Repeat([]byte{7}, 40)}); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-10]
+	r, err := NewNGReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.ReadAll(); err == nil {
+		t.Error("truncated stream read cleanly")
+	}
+}
+
+// EPB referencing an interface that was never described errors.
+func TestNGUnknownInterface(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewNGWriter(&buf, LinkTypeRaw)
+	if err := w.WritePacket(Packet{Timestamp: time.Unix(1, 0), Data: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// The EPB is the last block; its interface id field is at body
+	// offset 0 (block offset 8 from the block start). Find it: SHB(28) +
+	// IDB(20) then EPB.
+	epbStart := 28 + 20
+	binary.LittleEndian.PutUint32(raw[epbStart+8:], 7)
+	r, err := NewNGReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.ReadPacket(); err == nil {
+		t.Error("unknown interface accepted")
+	}
+}
+
+func TestPow10(t *testing.T) {
+	if pow10(0) != 1 || pow10(6) != 1_000_000 || pow10(9) != 1_000_000_000 {
+		t.Error("pow10 wrong")
+	}
+}

@@ -1,0 +1,306 @@
+// Package propheader infers the structure of proprietary headers from
+// samples, automating the reverse engineering behind the paper's §5.3
+// findings: Zoom's direction byte, constant per-stream media ID, and
+// media-type field; FaceTime's fixed 0x6000 magic and 16-bit length
+// field; Discord's monotonic counters.
+//
+// Given the proprietary-header regions the DPI carved off a stream's
+// datagrams (with each sample's direction and the length of the bytes
+// that followed the header), Infer classifies every byte offset:
+//
+//   - Constant: one value across all samples;
+//   - Direction: constant per direction, different across directions
+//     (Zoom's 0x00/0x04 byte);
+//   - Counter: strictly increasing per direction (Discord's trailer
+//     counter, FaceTime's keepalive counters);
+//   - LengthHi/LengthLo: a big-endian 16-bit field that tracks the
+//     remaining datagram length plus a fixed bias (FaceTime's 0x6000
+//     header length);
+//   - Variable: none of the above (opaque/enciphered fields).
+//
+// The classifier works on the shortest common header length so
+// variable-length headers (Zoom's 24-39 bytes) are analyzed over their
+// shared prefix.
+package propheader
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Direction tags a sample's packet orientation within its stream.
+type Direction uint8
+
+// Sample directions.
+const (
+	DirAToB Direction = iota
+	DirBToA
+)
+
+// Sample is one proprietary header occurrence.
+type Sample struct {
+	// Header is the byte region before the embedded standard message.
+	Header []byte
+	// Dir is the packet direction.
+	Dir Direction
+	// Remainder is the number of bytes following the header in the
+	// datagram (the embedded message's length), used to detect length
+	// fields.
+	Remainder int
+}
+
+// FieldKind classifies one byte offset.
+type FieldKind string
+
+// Field kinds.
+const (
+	KindConstant  FieldKind = "constant"
+	KindDirection FieldKind = "direction-flag"
+	KindCounter   FieldKind = "counter"
+	KindLengthHi  FieldKind = "length16-hi"
+	KindLengthLo  FieldKind = "length16-lo"
+	KindVariable  FieldKind = "variable"
+)
+
+// Field describes one inferred byte position.
+type Field struct {
+	Offset int
+	Kind   FieldKind
+	// Value holds the constant value for KindConstant.
+	Value byte
+	// PerDirection holds the per-direction values for KindDirection.
+	PerDirection map[Direction]byte
+	// LengthBias is remainder-minus-field for length fields: the number
+	// of header bytes the length field also covers (FaceTime's field
+	// counts the opaque header bytes after it plus the message).
+	LengthBias int
+	// CoversRest marks a length field equal to "all header bytes after
+	// the field plus the payload" even when the header length varies.
+	CoversRest bool
+}
+
+// Report is the inference outcome.
+type Report struct {
+	// Samples is the number of headers analyzed.
+	Samples int
+	// MinLen and MaxLen bound the observed header lengths.
+	MinLen, MaxLen int
+	// Fields classifies each offset of the common prefix.
+	Fields []Field
+}
+
+// Infer analyzes header samples. It needs at least 4 samples to say
+// anything meaningful and returns a zero Report otherwise.
+func Infer(samples []Sample) Report {
+	var rep Report
+	if len(samples) < 4 {
+		return rep
+	}
+	rep.Samples = len(samples)
+	rep.MinLen = len(samples[0].Header)
+	for _, s := range samples {
+		n := len(s.Header)
+		if n < rep.MinLen {
+			rep.MinLen = n
+		}
+		if n > rep.MaxLen {
+			rep.MaxLen = n
+		}
+	}
+	if rep.MinLen == 0 {
+		return rep
+	}
+
+	for off := 0; off < rep.MinLen; off++ {
+		rep.Fields = append(rep.Fields, classifyOffset(samples, off))
+	}
+	// Pair length-high/low bytes: a 16-bit length field is detected
+	// jointly, overriding single-byte verdicts.
+	detectLengthFields(samples, &rep)
+	return rep
+}
+
+// classifyOffset inspects one byte position.
+func classifyOffset(samples []Sample, off int) Field {
+	f := Field{Offset: off, Kind: KindVariable}
+
+	// Constant?
+	constant := true
+	for _, s := range samples[1:] {
+		if s.Header[off] != samples[0].Header[off] {
+			constant = false
+			break
+		}
+	}
+	if constant {
+		f.Kind = KindConstant
+		f.Value = samples[0].Header[off]
+		return f
+	}
+
+	// Direction flag: constant within each direction, differing across.
+	perDir := map[Direction]byte{}
+	dirSeen := map[Direction]bool{}
+	dirConst := true
+	for _, s := range samples {
+		if !dirSeen[s.Dir] {
+			dirSeen[s.Dir] = true
+			perDir[s.Dir] = s.Header[off]
+			continue
+		}
+		if perDir[s.Dir] != s.Header[off] {
+			dirConst = false
+			break
+		}
+	}
+	if dirConst && len(perDir) == 2 && perDir[DirAToB] != perDir[DirBToA] {
+		f.Kind = KindDirection
+		f.PerDirection = perDir
+		return f
+	}
+
+	// Counter: strictly non-decreasing per direction with at least one
+	// increase, treating samples in order.
+	if isCounter(samples, off) {
+		f.Kind = KindCounter
+		return f
+	}
+	return f
+}
+
+func isCounter(samples []Sample, off int) bool {
+	last := map[Direction]int{}
+	seen := map[Direction]bool{}
+	increased := false
+	for _, s := range samples {
+		v := int(s.Header[off])
+		if seen[s.Dir] {
+			if v < last[s.Dir] {
+				return false
+			}
+			if v > last[s.Dir] {
+				increased = true
+			}
+		}
+		seen[s.Dir] = true
+		last[s.Dir] = v
+	}
+	return increased
+}
+
+// detectLengthFields looks for adjacent byte pairs forming a big-endian
+// 16-bit value equal to (remainder + constant bias) in every sample.
+func detectLengthFields(samples []Sample, rep *Report) {
+	for off := 0; off+1 < rep.MinLen; off++ {
+		if coversRestAt(samples, off) {
+			rep.Fields[off] = Field{Offset: off, Kind: KindLengthHi, CoversRest: true}
+			rep.Fields[off+1] = Field{Offset: off + 1, Kind: KindLengthLo, CoversRest: true}
+			continue
+		}
+		bias, ok := lengthBiasAt(samples, off)
+		if !ok {
+			continue
+		}
+		rep.Fields[off] = Field{Offset: off, Kind: KindLengthHi, LengthBias: bias}
+		rep.Fields[off+1] = Field{Offset: off + 1, Kind: KindLengthLo, LengthBias: bias}
+	}
+}
+
+// coversRestAt checks the "length of the remaining header bytes plus
+// the embedded message" form (the paper's description of FaceTime's
+// field), which holds even when the header length varies.
+func coversRestAt(samples []Sample, off int) bool {
+	distinct := false
+	first := -1
+	for _, s := range samples {
+		v := int(s.Header[off])<<8 | int(s.Header[off+1])
+		want := (len(s.Header) - (off + 2)) + s.Remainder
+		if v != want {
+			return false
+		}
+		if first == -1 {
+			first = want
+		} else if want != first {
+			distinct = true
+		}
+	}
+	return distinct
+}
+
+// lengthBiasAt checks whether the 16-bit field at off tracks the
+// remainder with a constant bias that is small and non-negative (the
+// field may also cover trailing header bytes).
+func lengthBiasAt(samples []Sample, off int) (int, bool) {
+	bias := 0
+	for i, s := range samples {
+		v := int(s.Header[off])<<8 | int(s.Header[off+1])
+		b := v - s.Remainder
+		if i == 0 {
+			bias = b
+			continue
+		}
+		if b != bias {
+			return 0, false
+		}
+	}
+	// A real length field's bias is bounded by the header length (it
+	// can cover at most the bytes between itself and the payload); a
+	// constant 16-bit value only masquerades as one if every sample's
+	// remainder is identical, which the caller tolerates (constant
+	// offsets are classified first).
+	if bias < 0 || bias > len(samples[0].Header) {
+		return 0, false
+	}
+	// Require at least two distinct remainders, otherwise any constant
+	// pair would qualify.
+	first := samples[0].Remainder
+	for _, s := range samples[1:] {
+		if s.Remainder != first {
+			return bias, true
+		}
+	}
+	return 0, false
+}
+
+// Describe renders the report as text.
+func Describe(rep Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d samples, header length %d-%d bytes\n", rep.Samples, rep.MinLen, rep.MaxLen)
+	i := 0
+	for i < len(rep.Fields) {
+		f := rep.Fields[i]
+		// Coalesce runs of same-kind fields for readability.
+		j := i
+		for j+1 < len(rep.Fields) && rep.Fields[j+1].Kind == f.Kind &&
+			(f.Kind == KindConstant || f.Kind == KindVariable || f.Kind == KindCounter) {
+			j++
+		}
+		switch f.Kind {
+		case KindConstant:
+			var vals []string
+			for k := i; k <= j; k++ {
+				vals = append(vals, fmt.Sprintf("%02x", rep.Fields[k].Value))
+			}
+			fmt.Fprintf(&b, "  [%2d:%2d] constant 0x%s\n", i, j+1, strings.Join(vals, ""))
+		case KindDirection:
+			fmt.Fprintf(&b, "  [%2d:%2d] direction flag (0x%02x one way, 0x%02x the other)\n",
+				i, j+1, f.PerDirection[DirAToB], f.PerDirection[DirBToA])
+		case KindCounter:
+			fmt.Fprintf(&b, "  [%2d:%2d] monotonic counter\n", i, j+1)
+		case KindLengthHi:
+			if f.CoversRest {
+				fmt.Fprintf(&b, "  [%2d:%2d] 16-bit length of the remaining header bytes + payload\n", i, i+2)
+			} else {
+				fmt.Fprintf(&b, "  [%2d:%2d] 16-bit length of the following %d header bytes + payload\n",
+					i, i+2, f.LengthBias)
+			}
+			j = i + 1
+		case KindLengthLo:
+			// Covered by the preceding KindLengthHi line.
+		default:
+			fmt.Fprintf(&b, "  [%2d:%2d] variable/opaque\n", i, j+1)
+		}
+		i = j + 1
+	}
+	return b.String()
+}

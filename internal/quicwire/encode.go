@@ -1,0 +1,59 @@
+package quicwire
+
+import (
+	"github.com/rtc-compliance/rtcc/internal/bytesutil"
+)
+
+// BuildLong constructs a long-header packet of the given type carrying
+// payload (which stands in for the packet number + encrypted payload;
+// this package does not implement packet protection). For Initial
+// packets, token may be non-nil.
+func BuildLong(t LongPacketType, version uint32, dcid, scid, token, payload []byte) []byte {
+	w := bytesutil.NewWriter(32 + len(payload))
+	first := byte(0x80 | 0x40) // long form + fixed bit
+	first |= byte(t) << 4
+	// Low 4 bits: reserved + packet-number length; emit a 2-byte packet
+	// number length (encoded as 1) as libraries commonly do.
+	first |= 0x01
+	w.Uint8(first)
+	w.Uint32(version)
+	w.Uint8(uint8(len(dcid)))
+	w.Write(dcid)
+	w.Uint8(uint8(len(scid)))
+	w.Write(scid)
+	if t == TypeInitial {
+		AppendVarint(w, uint64(len(token)))
+		w.Write(token)
+	}
+	if t != TypeRetry {
+		AppendVarint(w, uint64(len(payload)))
+	}
+	w.Write(payload)
+	return w.Bytes()
+}
+
+// BuildShort constructs a short-header packet with the given DCID and
+// payload bytes.
+func BuildShort(dcid, payload []byte) []byte {
+	w := bytesutil.NewWriter(1 + len(dcid) + len(payload))
+	// Fixed bit set, spin 0, key phase 0, 2-byte packet number.
+	w.Uint8(0x40 | 0x01)
+	w.Write(dcid)
+	w.Write(payload)
+	return w.Bytes()
+}
+
+// BuildVersionNegotiation constructs a Version Negotiation packet.
+func BuildVersionNegotiation(dcid, scid []byte, versions []uint32) []byte {
+	w := bytesutil.NewWriter(16)
+	w.Uint8(0x80) // form bit only; fixed bit unspecified for VN
+	w.Uint32(VersionNegotiation)
+	w.Uint8(uint8(len(dcid)))
+	w.Write(dcid)
+	w.Uint8(uint8(len(scid)))
+	w.Write(scid)
+	for _, v := range versions {
+		w.Uint32(v)
+	}
+	return w.Bytes()
+}

@@ -1,0 +1,21 @@
+package quicwire
+
+import "testing"
+
+// FuzzParseLong checks panic-freedom and header-length sanity.
+func FuzzParseLong(f *testing.F) {
+	f.Add(BuildLong(TypeInitial, Version1, []byte{1, 2, 3, 4}, []byte{5}, []byte{9}, []byte{0, 0}))
+	f.Add(BuildVersionNegotiation([]byte{1}, []byte{2}, []uint32{Version1}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := ParseLong(data)
+		if err != nil {
+			return
+		}
+		if h.HeaderLen > len(data) {
+			t.Fatalf("header length %d > input %d", h.HeaderLen, len(data))
+		}
+		if len(h.DCID) > 255 || len(h.SCID) > 255 {
+			t.Fatal("cid longer than a length byte allows")
+		}
+	})
+}

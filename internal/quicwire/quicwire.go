@@ -1,0 +1,229 @@
+// Package quicwire parses QUIC packet headers per the version-independent
+// invariants (RFC 8999) and QUIC version 1 (RFC 9000).
+//
+// Only header parsing is implemented: the paper's compliance analysis
+// inspects header structure (version, fixed bit, long-header type, CID
+// lengths, DCID/SCID consistency across messages) and never decrypts
+// payloads. FaceTime is the only studied application using QUIC, and all
+// its observed QUIC messages were compliant (long-header types 0, 1, 2
+// and short-header packets).
+package quicwire
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/rtc-compliance/rtcc/internal/bytesutil"
+)
+
+// Version1 is the QUIC version 1 identifier (RFC 9000).
+const Version1 uint32 = 0x00000001
+
+// VersionNegotiation is the reserved version value in Version
+// Negotiation packets (RFC 8999 §6).
+const VersionNegotiation uint32 = 0
+
+// MaxCIDLen is the maximum connection-ID length in QUIC v1 (RFC 9000
+// §17.2).
+const MaxCIDLen = 20
+
+// LongPacketType is the 2-bit long-header packet type (QUIC v1).
+type LongPacketType uint8
+
+// Long-header packet types (RFC 9000 §17.2).
+const (
+	TypeInitial   LongPacketType = 0
+	TypeZeroRTT   LongPacketType = 1
+	TypeHandshake LongPacketType = 2
+	TypeRetry     LongPacketType = 3
+)
+
+func (t LongPacketType) String() string {
+	switch t {
+	case TypeInitial:
+		return "Initial"
+	case TypeZeroRTT:
+		return "0-RTT"
+	case TypeHandshake:
+		return "Handshake"
+	case TypeRetry:
+		return "Retry"
+	}
+	return fmt.Sprintf("LongType(%d)", uint8(t))
+}
+
+// Header is a parsed QUIC packet header, covering both forms.
+type Header struct {
+	// Long is true for long-header packets.
+	Long bool
+	// FixedBit is the second most significant bit of the first byte; it
+	// must be 1 in v1 packets (RFC 9000 §17) except Version Negotiation.
+	FixedBit bool
+	// Version is the long-header version field (0 for Version
+	// Negotiation; unset for short headers).
+	Version uint32
+	// Type is the long-header packet type (valid only when Long and
+	// Version != 0).
+	Type LongPacketType
+	DCID []byte
+	SCID []byte
+	// SupportedVersions lists versions from a Version Negotiation
+	// packet.
+	SupportedVersions []uint32
+	// TokenLen is the Initial packet token length.
+	TokenLen uint64
+	// PayloadLength is the long-header Length field (packet number +
+	// payload bytes), when present.
+	PayloadLength uint64
+	// HeaderLen is the number of bytes consumed by the parsed header,
+	// up to and including the Length field (long) or the first byte plus
+	// DCID (short).
+	HeaderLen int
+}
+
+// Parsing errors.
+var (
+	ErrNotQUIC   = errors.New("quicwire: not a QUIC packet")
+	ErrTruncated = errors.New("quicwire: truncated packet")
+)
+
+// ReadVarint decodes a QUIC variable-length integer (RFC 9000 §16) from
+// the reader.
+func ReadVarint(r *bytesutil.Reader) uint64 {
+	b0 := r.Uint8()
+	switch b0 >> 6 {
+	case 0:
+		return uint64(b0 & 0x3f)
+	case 1:
+		return uint64(b0&0x3f)<<8 | uint64(r.Uint8())
+	case 2:
+		v := uint64(b0&0x3f) << 24
+		v |= uint64(r.Uint8()) << 16
+		v |= uint64(r.Uint8()) << 8
+		v |= uint64(r.Uint8())
+		return v
+	default:
+		v := uint64(b0&0x3f) << 56
+		for shift := 48; shift >= 0; shift -= 8 {
+			v |= uint64(r.Uint8()) << shift
+		}
+		return v
+	}
+}
+
+// AppendVarint encodes v as a QUIC varint using the smallest form.
+func AppendVarint(w *bytesutil.Writer, v uint64) {
+	switch {
+	case v < 1<<6:
+		w.Uint8(uint8(v))
+	case v < 1<<14:
+		w.Uint16(uint16(v) | 0x4000)
+	case v < 1<<30:
+		w.Uint32(uint32(v) | 0x8000_0000)
+	default:
+		w.Uint64(v | 0xc000_0000_0000_0000)
+	}
+}
+
+// IsLongHeader reports whether b begins with a long-header first byte.
+func IsLongHeader(b []byte) bool {
+	return len(b) > 0 && b[0]&0x80 != 0
+}
+
+// ParseLong parses a long-header packet (including Version Negotiation)
+// from the start of b.
+func ParseLong(b []byte) (*Header, error) {
+	if len(b) < 7 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTruncated, len(b))
+	}
+	if b[0]&0x80 == 0 {
+		return nil, fmt.Errorf("%w: short-header first byte", ErrNotQUIC)
+	}
+	r := bytesutil.NewReader(b)
+	first := r.Uint8()
+	h := &Header{
+		Long:     true,
+		FixedBit: first&0x40 != 0,
+		Version:  r.Uint32(),
+	}
+	dcidLen := int(r.Uint8())
+	if dcidLen > MaxCIDLen && h.Version == Version1 {
+		return nil, fmt.Errorf("%w: DCID length %d", ErrNotQUIC, dcidLen)
+	}
+	h.DCID = r.BytesCopy(dcidLen)
+	scidLen := int(r.Uint8())
+	if scidLen > MaxCIDLen && h.Version == Version1 {
+		return nil, fmt.Errorf("%w: SCID length %d", ErrNotQUIC, scidLen)
+	}
+	h.SCID = r.BytesCopy(scidLen)
+	if r.Err() != nil {
+		return nil, fmt.Errorf("%w: connection IDs", ErrTruncated)
+	}
+	if h.Version == VersionNegotiation {
+		for r.Remaining() >= 4 {
+			h.SupportedVersions = append(h.SupportedVersions, r.Uint32())
+		}
+		if r.Remaining() != 0 {
+			return nil, fmt.Errorf("%w: version list not a multiple of 4", ErrNotQUIC)
+		}
+		h.HeaderLen = r.Offset()
+		return h, nil
+	}
+	h.Type = LongPacketType(first >> 4 & 0b11)
+	switch h.Type {
+	case TypeInitial:
+		h.TokenLen = ReadVarint(r)
+		r.Skip(int(h.TokenLen))
+		h.PayloadLength = ReadVarint(r)
+	case TypeZeroRTT, TypeHandshake:
+		h.PayloadLength = ReadVarint(r)
+	case TypeRetry:
+		// Retry packets carry a token and integrity tag; no length.
+	}
+	if r.Err() != nil {
+		return nil, fmt.Errorf("%w: long header fields", ErrTruncated)
+	}
+	if h.Type != TypeRetry && h.PayloadLength > uint64(r.Remaining()) {
+		return nil, fmt.Errorf("%w: length %d exceeds %d remaining", ErrTruncated, h.PayloadLength, r.Remaining())
+	}
+	h.HeaderLen = r.Offset()
+	return h, nil
+}
+
+// ParseShort parses a short-header packet given the connection-ID length
+// negotiated for the path (QUIC short headers do not encode the DCID
+// length; the receiver must know it).
+func ParseShort(b []byte, cidLen int) (*Header, error) {
+	if len(b) < 1+cidLen {
+		return nil, fmt.Errorf("%w: %d bytes for cid length %d", ErrTruncated, len(b), cidLen)
+	}
+	if b[0]&0x80 != 0 {
+		return nil, fmt.Errorf("%w: long-header first byte", ErrNotQUIC)
+	}
+	h := &Header{
+		FixedBit:  b[0]&0x40 != 0,
+		DCID:      append([]byte(nil), b[1:1+cidLen]...),
+		HeaderLen: 1 + cidLen,
+	}
+	return h, nil
+}
+
+// LooksLikeLongHeader reports whether b plausibly begins with a QUIC v1
+// (or Version Negotiation) long-header packet. This is the DPI candidate
+// pattern: header form bit, a known version, and parseable CIDs.
+func LooksLikeLongHeader(b []byte) bool {
+	if len(b) < 7 || b[0]&0x80 == 0 {
+		return false
+	}
+	h, err := ParseLong(b)
+	if err != nil {
+		return false
+	}
+	if h.Version != Version1 && h.Version != VersionNegotiation {
+		return false
+	}
+	if h.Version == Version1 && !h.FixedBit {
+		return false
+	}
+	return true
+}

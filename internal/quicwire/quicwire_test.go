@@ -1,0 +1,231 @@
+package quicwire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"github.com/rtc-compliance/rtcc/internal/bytesutil"
+)
+
+func TestVarintRoundTrip(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		size int
+	}{
+		{0, 1}, {37, 1}, {63, 1},
+		{64, 2}, {15293, 2}, {16383, 2},
+		{16384, 4}, {494878333, 4}, {1<<30 - 1, 4},
+		{1 << 30, 8}, {151288809941952652, 8},
+	}
+	for _, tc := range cases {
+		w := bytesutil.NewWriter(8)
+		AppendVarint(w, tc.v)
+		if w.Len() != tc.size {
+			t.Errorf("varint %d encoded in %d bytes, want %d", tc.v, w.Len(), tc.size)
+		}
+		r := bytesutil.NewReader(w.Bytes())
+		if got := ReadVarint(r); got != tc.v || r.Err() != nil {
+			t.Errorf("varint %d decoded as %d (err %v)", tc.v, got, r.Err())
+		}
+	}
+}
+
+// Property: varint encode→decode identity for values below 2^62.
+func TestQuickVarintIdentity(t *testing.T) {
+	f := func(v uint64) bool {
+		v &= 1<<62 - 1
+		w := bytesutil.NewWriter(8)
+		AppendVarint(w, v)
+		r := bytesutil.NewReader(w.Bytes())
+		return ReadVarint(r) == v && r.Err() == nil && r.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseInitial(t *testing.T) {
+	dcid := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	scid := []byte{9, 10}
+	token := []byte{0xaa, 0xbb}
+	payload := bytes.Repeat([]byte{0xee}, 100)
+	pkt := BuildLong(TypeInitial, Version1, dcid, scid, token, payload)
+	h, err := ParseLong(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Long || !h.FixedBit || h.Version != Version1 || h.Type != TypeInitial {
+		t.Errorf("header = %+v", h)
+	}
+	if !bytes.Equal(h.DCID, dcid) || !bytes.Equal(h.SCID, scid) {
+		t.Errorf("cids = %x %x", h.DCID, h.SCID)
+	}
+	if h.TokenLen != 2 || h.PayloadLength != 100 {
+		t.Errorf("token=%d payload=%d", h.TokenLen, h.PayloadLength)
+	}
+	if h.HeaderLen+int(h.PayloadLength) != len(pkt) {
+		t.Errorf("HeaderLen %d + payload %d != %d", h.HeaderLen, h.PayloadLength, len(pkt))
+	}
+	if !LooksLikeLongHeader(pkt) {
+		t.Error("LooksLikeLongHeader rejected valid Initial")
+	}
+}
+
+func TestParseHandshakeAndZeroRTT(t *testing.T) {
+	for _, typ := range []LongPacketType{TypeZeroRTT, TypeHandshake} {
+		pkt := BuildLong(typ, Version1, []byte{1}, []byte{2}, nil, []byte{1, 2, 3})
+		h, err := ParseLong(pkt)
+		if err != nil {
+			t.Fatalf("%v: %v", typ, err)
+		}
+		if h.Type != typ || h.PayloadLength != 3 {
+			t.Errorf("%v: %+v", typ, h)
+		}
+	}
+}
+
+func TestParseRetry(t *testing.T) {
+	pkt := BuildLong(TypeRetry, Version1, []byte{1}, []byte{2}, nil, bytes.Repeat([]byte{7}, 24))
+	h, err := ParseLong(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Type != TypeRetry {
+		t.Errorf("type = %v", h.Type)
+	}
+}
+
+func TestParseVersionNegotiation(t *testing.T) {
+	pkt := BuildVersionNegotiation([]byte{1, 2}, []byte{3}, []uint32{Version1, 0xff00001d})
+	h, err := ParseLong(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Version != VersionNegotiation {
+		t.Errorf("version = %d", h.Version)
+	}
+	if len(h.SupportedVersions) != 2 || h.SupportedVersions[0] != Version1 {
+		t.Errorf("versions = %v", h.SupportedVersions)
+	}
+	if !LooksLikeLongHeader(pkt) {
+		t.Error("VN packet rejected")
+	}
+	// Ragged version list rejected.
+	bad := append(pkt, 0x01)
+	if _, err := ParseLong(bad); !errors.Is(err, ErrNotQUIC) {
+		t.Errorf("ragged VN err = %v", err)
+	}
+}
+
+func TestParseShort(t *testing.T) {
+	dcid := []byte{5, 6, 7, 8}
+	pkt := BuildShort(dcid, []byte("payload"))
+	h, err := ParseShort(pkt, len(dcid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Long || !h.FixedBit || !bytes.Equal(h.DCID, dcid) {
+		t.Errorf("header = %+v", h)
+	}
+	if h.HeaderLen != 5 {
+		t.Errorf("HeaderLen = %d", h.HeaderLen)
+	}
+	if _, err := ParseShort(pkt[:3], 4); !errors.Is(err, ErrTruncated) {
+		t.Error("truncated short accepted")
+	}
+	if _, err := ParseShort([]byte{0x80, 1, 2, 3, 4}, 4); !errors.Is(err, ErrNotQUIC) {
+		t.Error("long first byte accepted as short")
+	}
+}
+
+func TestParseLongRejects(t *testing.T) {
+	if _, err := ParseLong([]byte{0xc0, 0, 0}); !errors.Is(err, ErrTruncated) {
+		t.Error("short buffer accepted")
+	}
+	if _, err := ParseLong(BuildShort([]byte{1, 2, 3, 4}, []byte("pay"))); !errors.Is(err, ErrNotQUIC) {
+		t.Error("short-header accepted as long")
+	}
+	// Oversized DCID in v1.
+	bad := []byte{0xc1, 0, 0, 0, 1, 21}
+	bad = append(bad, bytes.Repeat([]byte{0}, 30)...)
+	if _, err := ParseLong(bad); !errors.Is(err, ErrNotQUIC) {
+		t.Errorf("21-byte DCID accepted: %v", err)
+	}
+	// Declared payload length beyond buffer.
+	pkt := BuildLong(TypeHandshake, Version1, []byte{1}, []byte{2}, nil, []byte{1, 2, 3})
+	if _, err := ParseLong(pkt[:len(pkt)-2]); !errors.Is(err, ErrTruncated) {
+		t.Error("overlong declared payload accepted")
+	}
+}
+
+func TestLooksLikeLongHeaderRejects(t *testing.T) {
+	// Unknown version.
+	pkt := BuildLong(TypeInitial, 0xdeadbeef, []byte{1}, []byte{2}, nil, nil)
+	if LooksLikeLongHeader(pkt) {
+		t.Error("unknown version accepted")
+	}
+	// Fixed bit cleared.
+	pkt2 := BuildLong(TypeInitial, Version1, []byte{1}, []byte{2}, nil, nil)
+	pkt2[0] &^= 0x40
+	if LooksLikeLongHeader(pkt2) {
+		t.Error("cleared fixed bit accepted")
+	}
+	if LooksLikeLongHeader([]byte{0x40, 1, 2}) {
+		t.Error("short header accepted")
+	}
+}
+
+func TestIsLongHeader(t *testing.T) {
+	if !IsLongHeader([]byte{0x80}) || IsLongHeader([]byte{0x7f}) || IsLongHeader(nil) {
+		t.Error("IsLongHeader misclassifies")
+	}
+}
+
+func TestLongTypeString(t *testing.T) {
+	want := map[LongPacketType]string{
+		TypeInitial: "Initial", TypeZeroRTT: "0-RTT",
+		TypeHandshake: "Handshake", TypeRetry: "Retry",
+		LongPacketType(9): "LongType(9)",
+	}
+	for typ, s := range want {
+		if typ.String() != s {
+			t.Errorf("%d = %q want %q", typ, typ.String(), s)
+		}
+	}
+}
+
+// Property: parsing arbitrary bytes never panics.
+func TestQuickParseNeverPanics(t *testing.T) {
+	f := func(b []byte, cidLen uint8) bool {
+		_, _ = ParseLong(b)
+		_, _ = ParseShort(b, int(cidLen%21))
+		_ = LooksLikeLongHeader(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: BuildLong→ParseLong identity on type, version, CIDs.
+func TestQuickBuildParseIdentity(t *testing.T) {
+	f := func(typSel uint8, dcid, scid []byte, payload []byte) bool {
+		if len(dcid) > 20 || len(scid) > 20 || len(payload) > 1200 {
+			return true
+		}
+		typ := LongPacketType(typSel % 3) // Initial, 0RTT, Handshake
+		pkt := BuildLong(typ, Version1, dcid, scid, nil, payload)
+		h, err := ParseLong(pkt)
+		if err != nil {
+			return false
+		}
+		return h.Type == typ && h.Version == Version1 &&
+			bytes.Equal(h.DCID, dcid) && bytes.Equal(h.SCID, scid) &&
+			h.PayloadLength == uint64(len(payload))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

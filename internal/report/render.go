@@ -1,0 +1,239 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/rtc-compliance/rtcc/internal/compliance"
+	"github.com/rtc-compliance/rtcc/internal/dpi"
+	"github.com/rtc-compliance/rtcc/internal/flow"
+)
+
+// Table1Row carries the filter-pipeline accounting for one application
+// (summed over its captures).
+type Table1Row struct {
+	App         string
+	VolumeBytes int
+	RawUDP      flow.Counts
+	RawTCP      flow.Counts
+	Stage1UDP   flow.Counts
+	Stage1TCP   flow.Counts
+	Stage2UDP   flow.Counts
+	Stage2TCP   flow.Counts
+	RTCUDP      flow.Counts
+	RTCTCP      flow.Counts
+}
+
+func countCell(c flow.Counts) string {
+	return fmt.Sprintf("%d | %d", c.Streams, c.Packets)
+}
+
+// Table1 renders the traffic-trace and filtering summary.
+func Table1(rows []Table1Row) string {
+	t := &table{header: []string{
+		"Application", "Volume(MB)",
+		"Raw UDP s|p", "Raw TCP s|p",
+		"S1 UDP s|p", "S2 UDP s|p", "S1 TCP s|p", "S2 TCP s|p",
+		"RTC UDP s|p", "RTC TCP s|p",
+	}}
+	for _, r := range rows {
+		t.addRow(r.App,
+			fmt.Sprintf("%.1f", float64(r.VolumeBytes)/1e6),
+			countCell(r.RawUDP), countCell(r.RawTCP),
+			countCell(r.Stage1UDP), countCell(r.Stage2UDP),
+			countCell(r.Stage1TCP), countCell(r.Stage2TCP),
+			countCell(r.RTCUDP), countCell(r.RTCTCP))
+	}
+	return "Table 1: Traffic traces and filtering progress (streams | packets)\n" + t.String()
+}
+
+// Table2 renders the message distribution by protocol and application.
+func Table2(g *Aggregate) string {
+	t := &table{header: []string{"Application", "STUN/TURN", "RTP", "RTCP", "QUIC", "Fully Proprietary"}}
+	for _, app := range g.Apps() {
+		units := app.MessageUnits()
+		cells := []string{app.App}
+		for _, fam := range ProtoOrder {
+			ps := app.ByProtocol[fam]
+			if ps == nil || ps.Messages == 0 {
+				cells = append(cells, "N/A")
+				continue
+			}
+			cells = append(cells, pct(ps.Messages, units))
+		}
+		cells = append(cells, pct(app.Datagrams[dpi.ClassFullyProprietary], units))
+		t.addRow(cells...)
+	}
+	return "Table 2: Message distribution by protocols and applications\n" + t.String()
+}
+
+// Figure3 renders the datagram breakdown: standard vs proprietary
+// header vs fully proprietary.
+func Figure3(g *Aggregate) string {
+	t := &table{header: []string{"Application", "Standard", "Proprietary header", "Fully proprietary"}}
+	for _, app := range g.Apps() {
+		total := 0
+		for _, n := range app.Datagrams {
+			total += n
+		}
+		t.addRow(app.App,
+			pct(app.Datagrams[dpi.ClassStandard], total),
+			pct(app.Datagrams[dpi.ClassProprietaryHeader], total),
+			pct(app.Datagrams[dpi.ClassFullyProprietary], total))
+	}
+	return "Figure 3: Breakdown of datagrams: standard vs proprietary\n" + t.String()
+}
+
+// Figure4 renders the volume-based compliance ratios, app-centric then
+// protocol-centric.
+func Figure4(g *Aggregate) string {
+	t := &table{header: []string{"Application", "Compliance by volume"}}
+	for _, app := range g.Apps() {
+		if r, ok := app.VolumeCompliance(); ok {
+			t.addRow(app.App, fmt.Sprintf("%.1f%%", 100*r))
+		} else {
+			t.addRow(app.App, "N/A")
+		}
+	}
+	t2 := &table{header: []string{"Protocol", "Compliance by volume"}}
+	for _, fam := range ProtoOrder {
+		vol, _, _ := g.ProtocolRollup(fam)
+		if vol.Messages == 0 {
+			t2.addRow(fam.String(), "N/A")
+			continue
+		}
+		t2.addRow(fam.String(), pct(vol.Compliant, vol.Messages))
+	}
+	return "Figure 4: Compliance ratio by traffic volume\n" + t.String() + "\n" + t2.String()
+}
+
+// Table3 renders the compliance-by-message-type matrix.
+func Table3(g *Aggregate) string {
+	t := &table{header: []string{"Application", "STUN/TURN", "RTP", "RTCP", "QUIC", "All Protocols"}}
+	for _, app := range g.Apps() {
+		cells := []string{app.App}
+		for _, fam := range ProtoOrder {
+			c, tot := app.TypeCompliance(fam)
+			if tot == 0 {
+				cells = append(cells, "N/A")
+				continue
+			}
+			cells = append(cells, ratio(c, tot))
+		}
+		c, tot := app.TypeCompliance(dpi.ProtoUnknown)
+		cells = append(cells, ratio(c, tot))
+		t.addRow(cells...)
+	}
+	// Protocol-centric bottom row.
+	cells := []string{"All Apps"}
+	for _, fam := range ProtoOrder {
+		_, c, tot := g.ProtocolRollup(fam)
+		if tot == 0 {
+			cells = append(cells, "N/A")
+			continue
+		}
+		cells = append(cells, ratio(c, tot))
+	}
+	cells = append(cells, "")
+	t.addRow(cells...)
+	return "Table 3: Protocol compliance ratio by message type\n" + t.String()
+}
+
+// typeListTable renders an observed-types table for one protocol family
+// (Tables 4, 5, 6).
+func typeListTable(g *Aggregate, fam dpi.Protocol, title string) string {
+	t := &table{header: []string{"Application", "Compliant Types", "Non-compliant Types"}}
+	for _, app := range g.Apps() {
+		comp, non := app.TypesOf(fam)
+		if len(comp) == 0 && len(non) == 0 {
+			continue
+		}
+		t.addRow(app.App, joinOrDash(comp), joinOrDash(non))
+	}
+	return title + "\n" + t.String()
+}
+
+func joinOrDash(items []string) string {
+	if len(items) == 0 {
+		return "-"
+	}
+	return strings.Join(items, ", ")
+}
+
+// Table4 renders observed STUN/TURN message types per application.
+func Table4(g *Aggregate) string {
+	return typeListTable(g, dpi.ProtoSTUN, "Table 4: Observed STUN/TURN message types")
+}
+
+// Table5 renders observed RTP payload types per application.
+func Table5(g *Aggregate) string {
+	return typeListTable(g, dpi.ProtoRTP, "Table 5: Observed RTP message (payload) types")
+}
+
+// Table6 renders observed RTCP packet types per application.
+func Table6(g *Aggregate) string {
+	return typeListTable(g, dpi.ProtoRTCP, "Table 6: Observed RTCP message types")
+}
+
+// Figure5 renders the type-based compliance ratios, protocol-centric
+// and app-centric.
+func Figure5(g *Aggregate) string {
+	t := &table{header: []string{"Protocol", "Compliant types", "Total types", "Ratio"}}
+	for _, fam := range ProtoOrder {
+		_, c, tot := g.ProtocolRollup(fam)
+		if tot == 0 {
+			t.addRow(fam.String(), "0", "0", "N/A")
+			continue
+		}
+		t.addRow(fam.String(), fmt.Sprint(c), fmt.Sprint(tot), pct(c, tot))
+	}
+	t2 := &table{header: []string{"Application", "Compliant types", "Total types", "Ratio"}}
+	for _, app := range g.Apps() {
+		c, tot := app.TypeCompliance(dpi.ProtoUnknown)
+		if tot == 0 {
+			t2.addRow(app.App, "0", "0", "N/A")
+			continue
+		}
+		t2.addRow(app.App, fmt.Sprint(c), fmt.Sprint(tot), pct(c, tot))
+	}
+	return "Figure 5: Compliance ratio by message type\n" + t.String() + "\n" + t2.String()
+}
+
+// Violations renders the per-criterion violation tally for every app,
+// with the most frequent distinct reasons.
+func Violations(g *Aggregate) string {
+	var b strings.Builder
+	for _, app := range g.Apps() {
+		fmt.Fprintf(&b, "%s:\n", app.App)
+		for crit := compliance.CritMessageType; crit <= compliance.CritSemantics; crit++ {
+			if n := app.Violations[crit]; n > 0 {
+				fmt.Fprintf(&b, "  %-32s %d messages\n", crit.String()+":", n)
+			}
+		}
+		// Distinct reasons, most frequent first, capped for readability.
+		type rc struct {
+			reason string
+			count  int
+		}
+		var reasons []rc
+		for _, ts := range app.Types {
+			for r, n := range ts.Reasons {
+				reasons = append(reasons, rc{r, n})
+			}
+		}
+		sort.Slice(reasons, func(i, j int) bool {
+			if reasons[i].count != reasons[j].count {
+				return reasons[i].count > reasons[j].count
+			}
+			return reasons[i].reason < reasons[j].reason
+		})
+		for i, r := range reasons {
+			if i >= 8 {
+				break
+			}
+			fmt.Fprintf(&b, "    %5dx %s\n", r.count, r.reason)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,222 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/rtc-compliance/rtcc/internal/compliance"
+	"github.com/rtc-compliance/rtcc/internal/dpi"
+	"github.com/rtc-compliance/rtcc/internal/flow"
+)
+
+func checked(proto dpi.Protocol, label string, compliant bool, reason string, bytes int) compliance.Checked {
+	v := compliance.Verdict{Compliant: true}
+	if !compliant {
+		v = compliance.Verdict{Failed: compliance.CritAttrType, Reason: reason}
+	}
+	return compliance.Checked{
+		Protocol:  proto,
+		Type:      compliance.TypeKey{Protocol: proto.Family(), Label: label},
+		Verdict:   v,
+		Bytes:     bytes,
+		Timestamp: time.Unix(0, 0),
+	}
+}
+
+func sampleAggregate() *Aggregate {
+	g := NewAggregate()
+	a := g.App("AppA")
+	a.AddChecked(checked(dpi.ProtoRTP, "96", true, "", 100))
+	a.AddChecked(checked(dpi.ProtoRTP, "96", true, "", 100))
+	a.AddChecked(checked(dpi.ProtoRTP, "97", false, "bad ext", 100))
+	a.AddChecked(checked(dpi.ProtoSTUN, "0x0001", true, "", 50))
+	a.AddChecked(checked(dpi.ProtoChannelData, "ChannelData", true, "", 60))
+	a.AddDatagram(dpi.ClassStandard)
+	a.AddDatagram(dpi.ClassStandard)
+	a.AddDatagram(dpi.ClassFullyProprietary)
+
+	b := g.App("AppB")
+	b.AddChecked(checked(dpi.ProtoRTCP, "200", false, "trailer", 80))
+	b.AddChecked(checked(dpi.ProtoQUIC, "short header", true, "", 120))
+	b.AddDatagram(dpi.ClassProprietaryHeader)
+	return g
+}
+
+func TestVolumeCompliance(t *testing.T) {
+	g := sampleAggregate()
+	a := g.App("AppA")
+	r, ok := a.VolumeCompliance()
+	if !ok {
+		t.Fatal("no ratio")
+	}
+	// 4 compliant of 5 messages.
+	if r != 0.8 {
+		t.Errorf("ratio = %v, want 0.8", r)
+	}
+	empty := NewAppStats("x")
+	if _, ok := empty.VolumeCompliance(); ok {
+		t.Error("empty stats produced a ratio")
+	}
+}
+
+func TestMessageUnits(t *testing.T) {
+	a := sampleAggregate().App("AppA")
+	// 5 messages + 1 fully proprietary datagram.
+	if got := a.MessageUnits(); got != 6 {
+		t.Errorf("units = %d, want 6", got)
+	}
+}
+
+func TestTypeCompliance(t *testing.T) {
+	a := sampleAggregate().App("AppA")
+	c, tot := a.TypeCompliance(dpi.ProtoRTP)
+	if c != 1 || tot != 2 {
+		t.Errorf("RTP types = %d/%d, want 1/2", c, tot)
+	}
+	// ChannelData folds into the STUN family.
+	c, tot = a.TypeCompliance(dpi.ProtoSTUN)
+	if c != 2 || tot != 2 {
+		t.Errorf("STUN types = %d/%d, want 2/2", c, tot)
+	}
+	// All families.
+	c, tot = a.TypeCompliance(dpi.ProtoUnknown)
+	if c != 3 || tot != 4 {
+		t.Errorf("all types = %d/%d, want 3/4", c, tot)
+	}
+}
+
+func TestTypesOfSorted(t *testing.T) {
+	a := sampleAggregate().App("AppA")
+	comp, non := a.TypesOf(dpi.ProtoRTP)
+	if len(comp) != 1 || comp[0] != "96" {
+		t.Errorf("compliant = %v", comp)
+	}
+	if len(non) != 1 || non[0] != "97" {
+		t.Errorf("non-compliant = %v", non)
+	}
+}
+
+func TestProtocolRollup(t *testing.T) {
+	g := sampleAggregate()
+	vol, c, tot := g.ProtocolRollup(dpi.ProtoRTP)
+	if vol.Messages != 3 || vol.Compliant != 2 {
+		t.Errorf("rollup vol = %+v", vol)
+	}
+	if c != 1 || tot != 2 {
+		t.Errorf("rollup types = %d/%d", c, tot)
+	}
+	volQ, _, _ := g.ProtocolRollup(dpi.ProtoQUIC)
+	if volQ.Messages != 1 || volQ.Compliant != 1 {
+		t.Errorf("quic rollup = %+v", volQ)
+	}
+}
+
+func TestAppsOrderStable(t *testing.T) {
+	g := sampleAggregate()
+	apps := g.Apps()
+	if len(apps) != 2 || apps[0].App != "AppA" || apps[1].App != "AppB" {
+		t.Errorf("order = %v, %v", apps[0].App, apps[1].App)
+	}
+}
+
+func TestRenderersContainExpectedCells(t *testing.T) {
+	g := sampleAggregate()
+
+	t2 := Table2(g)
+	if !strings.Contains(t2, "AppA") || !strings.Contains(t2, "Fully Proprietary") {
+		t.Errorf("table2:\n%s", t2)
+	}
+	// AppA: 5 messages of 6 units -> RTP 3/6 = 50.0%.
+	if !strings.Contains(t2, "50.0%") {
+		t.Errorf("table2 missing RTP share:\n%s", t2)
+	}
+
+	f3 := Figure3(g)
+	if !strings.Contains(f3, "66.7%") { // 2 standard of 3 datagrams
+		t.Errorf("figure3:\n%s", f3)
+	}
+
+	f4 := Figure4(g)
+	if !strings.Contains(f4, "80.0%") {
+		t.Errorf("figure4 missing AppA ratio:\n%s", f4)
+	}
+
+	t3 := Table3(g)
+	if !strings.Contains(t3, "1/2") || !strings.Contains(t3, "All Apps") {
+		t.Errorf("table3:\n%s", t3)
+	}
+
+	t4 := Table4(g)
+	if !strings.Contains(t4, "ChannelData") || !strings.Contains(t4, "0x0001") {
+		t.Errorf("table4:\n%s", t4)
+	}
+	// AppB has no STUN types and must be omitted from Table 4.
+	if strings.Contains(t4, "AppB") {
+		t.Errorf("table4 contains AppB:\n%s", t4)
+	}
+
+	t5 := Table5(g)
+	if !strings.Contains(t5, "96") || !strings.Contains(t5, "97") {
+		t.Errorf("table5:\n%s", t5)
+	}
+
+	t6 := Table6(g)
+	if !strings.Contains(t6, "200") {
+		t.Errorf("table6:\n%s", t6)
+	}
+
+	f5 := Figure5(g)
+	if !strings.Contains(f5, "QUIC") || !strings.Contains(f5, "100.0%") {
+		t.Errorf("figure5:\n%s", f5)
+	}
+
+	v := Violations(g)
+	if !strings.Contains(v, "attribute type validity") || !strings.Contains(v, "bad ext") {
+		t.Errorf("violations:\n%s", v)
+	}
+}
+
+func TestTable1Rendering(t *testing.T) {
+	rows := []Table1Row{{
+		App:         "AppA",
+		VolumeBytes: 2_500_000,
+		RawUDP:      flow.Counts{Streams: 10, Packets: 1000},
+		RawTCP:      flow.Counts{Streams: 5, Packets: 200},
+		Stage1UDP:   flow.Counts{Streams: 3, Packets: 30},
+		Stage2UDP:   flow.Counts{Streams: 2, Packets: 20},
+		RTCUDP:      flow.Counts{Streams: 5, Packets: 950},
+		RTCTCP:      flow.Counts{Streams: 1, Packets: 50},
+	}}
+	out := Table1(rows)
+	for _, want := range []string{"AppA", "2.5", "10 | 1000", "5 | 950"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPctAndRatioEdgeCases(t *testing.T) {
+	if pct(1, 0) != "N/A" {
+		t.Error("pct(1,0)")
+	}
+	if pct(1, 4) != "25.0%" {
+		t.Errorf("pct = %s", pct(1, 4))
+	}
+	if ratio(0, 0) != "N/A" || ratio(3, 4) != "3/4" {
+		t.Error("ratio formatting")
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := &table{header: []string{"A", "LongHeader"}}
+	tb.addRow("xxxxxxx", "y")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if len(lines[0]) != len(lines[1]) {
+		t.Errorf("separator length mismatch:\n%s", out)
+	}
+}

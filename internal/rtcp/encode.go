@@ -1,0 +1,159 @@
+package rtcp
+
+import (
+	"github.com/rtc-compliance/rtcc/internal/bytesutil"
+)
+
+// encodeHeader writes a common header; length is patched by finish.
+func encodeHeader(w *bytesutil.Writer, count uint8, t PacketType) {
+	w.Uint8(Version<<6 | count&0x1f)
+	w.Uint8(uint8(t))
+	w.Uint16(0) // patched
+}
+
+// finish pads the packet to a 32-bit boundary and patches the length
+// field (in words minus one) at the packet's start offset.
+func finish(w *bytesutil.Writer, start int) {
+	w.Pad(4)
+	w.SetUint16(start+2, uint16((w.Len()-start)/4-1))
+}
+
+func writeReportBlocks(w *bytesutil.Writer, blocks []ReportBlock) {
+	for _, rb := range blocks {
+		w.Uint32(rb.SSRC)
+		w.Uint8(rb.FractionLost)
+		w.Uint24(rb.CumulativeLost)
+		w.Uint32(rb.HighestSeq)
+		w.Uint32(rb.Jitter)
+		w.Uint32(rb.LastSR)
+		w.Uint32(rb.DelaySinceLastSR)
+	}
+}
+
+// EncodeSR serializes a sender report.
+func EncodeSR(sr *SenderReport) []byte {
+	w := bytesutil.NewWriter(64)
+	encodeHeader(w, uint8(len(sr.Reports)), TypeSenderReport)
+	w.Uint32(sr.SSRC)
+	w.Uint64(sr.Info.NTPTimestamp)
+	w.Uint32(sr.Info.RTPTimestamp)
+	w.Uint32(sr.Info.PacketCount)
+	w.Uint32(sr.Info.OctetCount)
+	writeReportBlocks(w, sr.Reports)
+	w.Write(sr.ProfileExt)
+	finish(w, 0)
+	return w.Bytes()
+}
+
+// EncodeRR serializes a receiver report.
+func EncodeRR(rr *ReceiverReport) []byte {
+	w := bytesutil.NewWriter(64)
+	encodeHeader(w, uint8(len(rr.Reports)), TypeReceiverReport)
+	w.Uint32(rr.SSRC)
+	writeReportBlocks(w, rr.Reports)
+	w.Write(rr.ProfileExt)
+	finish(w, 0)
+	return w.Bytes()
+}
+
+// EncodeSDES serializes a source-description packet.
+func EncodeSDES(s *SDES) []byte {
+	w := bytesutil.NewWriter(64)
+	encodeHeader(w, uint8(len(s.Chunks)), TypeSDES)
+	for _, ch := range s.Chunks {
+		w.Uint32(ch.SSRC)
+		for _, it := range ch.Items {
+			w.Uint8(uint8(it.Type))
+			w.Uint8(uint8(len(it.Text)))
+			w.Write([]byte(it.Text))
+		}
+		w.Uint8(uint8(SDESEnd))
+		w.Pad(4)
+	}
+	finish(w, 0)
+	return w.Bytes()
+}
+
+// EncodeBye serializes a BYE packet.
+func EncodeBye(b *Bye) []byte {
+	w := bytesutil.NewWriter(16)
+	encodeHeader(w, uint8(len(b.SSRCs)), TypeBye)
+	for _, s := range b.SSRCs {
+		w.Uint32(s)
+	}
+	if b.Reason != "" {
+		w.Uint8(uint8(len(b.Reason)))
+		w.Write([]byte(b.Reason))
+	}
+	finish(w, 0)
+	return w.Bytes()
+}
+
+// EncodeApp serializes an APP packet.
+func EncodeApp(a *App) []byte {
+	w := bytesutil.NewWriter(16 + len(a.Data))
+	encodeHeader(w, a.Subtype, TypeApp)
+	w.Uint32(a.SSRC)
+	w.Write(a.Name[:])
+	w.Write(a.Data)
+	finish(w, 0)
+	return w.Bytes()
+}
+
+// EncodeFeedback serializes an RTPFB or PSFB packet. t must be TypeRTPFB
+// or TypePSFB.
+func EncodeFeedback(t PacketType, fb *Feedback) []byte {
+	w := bytesutil.NewWriter(16 + len(fb.FCI))
+	encodeHeader(w, fb.FMT, t)
+	w.Uint32(fb.SenderSSRC)
+	w.Uint32(fb.MediaSSRC)
+	w.Write(fb.FCI)
+	finish(w, 0)
+	return w.Bytes()
+}
+
+// EncodeXR serializes an extended-report packet. Block contents are
+// padded to whole words.
+func EncodeXR(x *XR) []byte {
+	w := bytesutil.NewWriter(32)
+	encodeHeader(w, 0, TypeXR)
+	w.Uint32(x.SSRC)
+	for _, blk := range x.Blocks {
+		contents := append([]byte(nil), blk.Contents...)
+		for len(contents)%4 != 0 {
+			contents = append(contents, 0)
+		}
+		w.Uint8(blk.BlockType)
+		w.Uint8(blk.TypeSpecific)
+		w.Uint16(uint16(len(contents) / 4))
+		w.Write(contents)
+	}
+	finish(w, 0)
+	return w.Bytes()
+}
+
+// EncodeRaw builds an RTCP packet with an arbitrary type, count field,
+// and body — used by the traffic synthesizers to produce proprietary or
+// malformed packets. The body is padded to a word boundary and the
+// length field computed normally.
+func EncodeRaw(t PacketType, count uint8, body []byte) []byte {
+	w := bytesutil.NewWriter(HeaderLen + len(body))
+	encodeHeader(w, count, t)
+	w.Write(body)
+	finish(w, 0)
+	return w.Bytes()
+}
+
+// Compound concatenates encoded packets into one compound datagram
+// payload.
+func Compound(pkts ...[]byte) []byte {
+	var total int
+	for _, p := range pkts {
+		total += len(p)
+	}
+	out := make([]byte, 0, total)
+	for _, p := range pkts {
+		out = append(out, p...)
+	}
+	return out
+}

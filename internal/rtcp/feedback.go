@@ -1,0 +1,274 @@
+package rtcp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/rtc-compliance/rtcc/internal/bytesutil"
+)
+
+// Feedback Control Information (FCI) codecs for the feedback formats
+// WebRTC-derived applications actually send: Generic NACK (RFC 4585
+// §6.2.1), Transport-Wide Congestion Control feedback
+// (draft-holmer-rmcat-transport-wide-cc-extensions, universally
+// deployed), and REMB (draft-alvestrand-rmcat-remb, the application
+// layer feedback every studied app's ancestor used). The generators
+// emit structurally valid FCIs and the compliance layer can parse them
+// back.
+
+// ErrBadFCI marks malformed feedback control information.
+var ErrBadFCI = errors.New("rtcp: malformed FCI")
+
+// NackPair is one Generic NACK entry: a packet ID and a bitmask of the
+// following 16 sequence numbers.
+type NackPair struct {
+	PacketID uint16
+	// BLP has bit k set when packet PacketID+k+1 is also lost.
+	BLP uint16
+}
+
+// Lost expands the pair into the sequence numbers it reports lost.
+func (n NackPair) Lost() []uint16 {
+	out := []uint16{n.PacketID}
+	for k := 0; k < 16; k++ {
+		if n.BLP&(1<<k) != 0 {
+			out = append(out, n.PacketID+uint16(k)+1)
+		}
+	}
+	return out
+}
+
+// EncodeNackFCI serializes Generic NACK pairs.
+func EncodeNackFCI(pairs []NackPair) []byte {
+	w := bytesutil.NewWriter(4 * len(pairs))
+	for _, p := range pairs {
+		w.Uint16(p.PacketID)
+		w.Uint16(p.BLP)
+	}
+	return w.Bytes()
+}
+
+// DecodeNackFCI parses Generic NACK pairs.
+func DecodeNackFCI(fci []byte) ([]NackPair, error) {
+	if len(fci) == 0 || len(fci)%4 != 0 {
+		return nil, fmt.Errorf("%w: NACK FCI length %d", ErrBadFCI, len(fci))
+	}
+	r := bytesutil.NewReader(fci)
+	pairs := make([]NackPair, 0, len(fci)/4)
+	for r.Remaining() > 0 {
+		pairs = append(pairs, NackPair{PacketID: r.Uint16(), BLP: r.Uint16()})
+	}
+	return pairs, nil
+}
+
+// TWCC packet status symbols (2-bit).
+const (
+	TWCCNotReceived uint8 = 0
+	TWCCSmallDelta  uint8 = 1
+	TWCCLargeDelta  uint8 = 2
+)
+
+// TWCCFeedback is a decoded transport-wide congestion control feedback
+// FCI. Only run-length chunks are used by the encoder; the decoder also
+// understands status-vector chunks.
+type TWCCFeedback struct {
+	BaseSequence    uint16
+	PacketCount     uint16
+	ReferenceTimeMS int64 // reference time in milliseconds (64 ms units on the wire)
+	FeedbackCount   uint8
+	// Statuses holds one symbol per packet starting at BaseSequence.
+	Statuses []uint8
+	// DeltasUS holds receive deltas in microseconds for each received
+	// packet, in order.
+	DeltasUS []int64
+}
+
+// EncodeTWCCFCI serializes the feedback with run-length chunks.
+func EncodeTWCCFCI(fb TWCCFeedback) ([]byte, error) {
+	if len(fb.Statuses) != int(fb.PacketCount) {
+		return nil, fmt.Errorf("%w: %d statuses for %d packets", ErrBadFCI, len(fb.Statuses), fb.PacketCount)
+	}
+	w := bytesutil.NewWriter(16)
+	w.Uint16(fb.BaseSequence)
+	w.Uint16(fb.PacketCount)
+	ref := fb.ReferenceTimeMS / 64
+	w.Uint24(uint32(ref) & 0xffffff)
+	w.Uint8(fb.FeedbackCount)
+	// Run-length chunks: top bit 0, 2-bit symbol, 13-bit run length.
+	i := 0
+	for i < len(fb.Statuses) {
+		sym := fb.Statuses[i]
+		if sym > TWCCLargeDelta {
+			return nil, fmt.Errorf("%w: status symbol %d", ErrBadFCI, sym)
+		}
+		run := 1
+		for i+run < len(fb.Statuses) && fb.Statuses[i+run] == sym && run < 0x1fff {
+			run++
+		}
+		w.Uint16(uint16(sym)<<13 | uint16(run))
+		i += run
+	}
+	// Receive deltas.
+	di := 0
+	for _, sym := range fb.Statuses {
+		switch sym {
+		case TWCCSmallDelta:
+			if di >= len(fb.DeltasUS) {
+				return nil, fmt.Errorf("%w: missing delta", ErrBadFCI)
+			}
+			d := fb.DeltasUS[di] / 250
+			if d < 0 || d > math.MaxUint8 {
+				return nil, fmt.Errorf("%w: small delta %dus out of range", ErrBadFCI, fb.DeltasUS[di])
+			}
+			w.Uint8(uint8(d))
+			di++
+		case TWCCLargeDelta:
+			if di >= len(fb.DeltasUS) {
+				return nil, fmt.Errorf("%w: missing delta", ErrBadFCI)
+			}
+			d := fb.DeltasUS[di] / 250
+			if d < math.MinInt16 || d > math.MaxInt16 {
+				return nil, fmt.Errorf("%w: large delta %dus out of range", ErrBadFCI, fb.DeltasUS[di])
+			}
+			w.Uint16(uint16(int16(d)))
+			di++
+		}
+	}
+	w.Pad(4)
+	return w.Bytes(), nil
+}
+
+// DecodeTWCCFCI parses a transport-wide feedback FCI.
+func DecodeTWCCFCI(fci []byte) (TWCCFeedback, error) {
+	r := bytesutil.NewReader(fci)
+	fb := TWCCFeedback{
+		BaseSequence: r.Uint16(),
+		PacketCount:  r.Uint16(),
+	}
+	ref := r.Uint24()
+	fb.FeedbackCount = r.Uint8()
+	if r.Err() != nil {
+		return fb, fmt.Errorf("%w: TWCC header", ErrBadFCI)
+	}
+	// Sign-extend the 24-bit reference time.
+	refSigned := int64(ref)
+	if ref&0x800000 != 0 {
+		refSigned -= 1 << 24
+	}
+	fb.ReferenceTimeMS = refSigned * 64
+
+	// Status chunks.
+	for len(fb.Statuses) < int(fb.PacketCount) {
+		chunk := r.Uint16()
+		if r.Err() != nil {
+			return fb, fmt.Errorf("%w: truncated status chunks", ErrBadFCI)
+		}
+		if chunk&0x8000 == 0 {
+			// Run length chunk.
+			sym := uint8(chunk >> 13 & 0b11)
+			run := int(chunk & 0x1fff)
+			if run == 0 {
+				return fb, fmt.Errorf("%w: zero run length", ErrBadFCI)
+			}
+			for i := 0; i < run && len(fb.Statuses) < int(fb.PacketCount); i++ {
+				fb.Statuses = append(fb.Statuses, sym)
+			}
+		} else if chunk&0x4000 == 0 {
+			// One-bit status vector: 14 symbols, received=small delta.
+			for i := 13; i >= 0 && len(fb.Statuses) < int(fb.PacketCount); i-- {
+				if chunk&(1<<i) != 0 {
+					fb.Statuses = append(fb.Statuses, TWCCSmallDelta)
+				} else {
+					fb.Statuses = append(fb.Statuses, TWCCNotReceived)
+				}
+			}
+		} else {
+			// Two-bit status vector: 7 symbols.
+			for i := 6; i >= 0 && len(fb.Statuses) < int(fb.PacketCount); i-- {
+				sym := uint8(chunk >> (2 * i) & 0b11)
+				if sym > TWCCLargeDelta {
+					return fb, fmt.Errorf("%w: reserved status symbol", ErrBadFCI)
+				}
+				fb.Statuses = append(fb.Statuses, sym)
+			}
+		}
+	}
+	// Deltas.
+	for _, sym := range fb.Statuses {
+		switch sym {
+		case TWCCSmallDelta:
+			d := r.Uint8()
+			if r.Err() != nil {
+				return fb, fmt.Errorf("%w: truncated deltas", ErrBadFCI)
+			}
+			fb.DeltasUS = append(fb.DeltasUS, int64(d)*250)
+		case TWCCLargeDelta:
+			d := int16(r.Uint16())
+			if r.Err() != nil {
+				return fb, fmt.Errorf("%w: truncated deltas", ErrBadFCI)
+			}
+			fb.DeltasUS = append(fb.DeltasUS, int64(d)*250)
+		}
+	}
+	return fb, nil
+}
+
+// REMB is a decoded Receiver Estimated Maximum Bitrate message (the
+// application-layer feedback with unique identifier "REMB").
+type REMB struct {
+	BitrateBPS uint64
+	SSRCs      []uint32
+}
+
+// EncodeREMBFCI serializes a REMB application-layer feedback FCI.
+func EncodeREMBFCI(remb REMB) ([]byte, error) {
+	if len(remb.SSRCs) == 0 || len(remb.SSRCs) > 255 {
+		return nil, fmt.Errorf("%w: REMB with %d SSRCs", ErrBadFCI, len(remb.SSRCs))
+	}
+	// Bitrate is mantissa * 2^exp with a 6-bit exponent and 18-bit
+	// mantissa.
+	exp := 0
+	mantissa := remb.BitrateBPS
+	for mantissa >= 1<<18 {
+		mantissa >>= 1
+		exp++
+	}
+	if exp > 63 {
+		return nil, fmt.Errorf("%w: bitrate %d unrepresentable", ErrBadFCI, remb.BitrateBPS)
+	}
+	w := bytesutil.NewWriter(8 + 4*len(remb.SSRCs))
+	w.Write([]byte("REMB"))
+	w.Uint8(uint8(len(remb.SSRCs)))
+	w.Uint8(uint8(exp<<2) | uint8(mantissa>>16))
+	w.Uint16(uint16(mantissa))
+	for _, s := range remb.SSRCs {
+		w.Uint32(s)
+	}
+	return w.Bytes(), nil
+}
+
+// DecodeREMBFCI parses a REMB FCI.
+func DecodeREMBFCI(fci []byte) (REMB, error) {
+	r := bytesutil.NewReader(fci)
+	ident := r.Bytes(4)
+	if r.Err() != nil || string(ident) != "REMB" {
+		return REMB{}, fmt.Errorf("%w: missing REMB identifier", ErrBadFCI)
+	}
+	n := int(r.Uint8())
+	b0 := r.Uint8()
+	mLow := r.Uint16()
+	if r.Err() != nil {
+		return REMB{}, fmt.Errorf("%w: REMB header", ErrBadFCI)
+	}
+	exp := b0 >> 2
+	mantissa := uint64(b0&0b11)<<16 | uint64(mLow)
+	remb := REMB{BitrateBPS: mantissa << exp}
+	for i := 0; i < n; i++ {
+		remb.SSRCs = append(remb.SSRCs, r.Uint32())
+	}
+	if r.Err() != nil {
+		return REMB{}, fmt.Errorf("%w: REMB SSRC list", ErrBadFCI)
+	}
+	return remb, nil
+}

@@ -1,0 +1,224 @@
+package rtcp
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNackRoundTrip(t *testing.T) {
+	pairs := []NackPair{{PacketID: 100, BLP: 0b1010}, {PacketID: 500, BLP: 0}}
+	got, err := DecodeNackFCI(EncodeNackFCI(pairs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, pairs) {
+		t.Errorf("round trip = %+v", got)
+	}
+}
+
+func TestNackLostExpansion(t *testing.T) {
+	p := NackPair{PacketID: 10, BLP: 0b101}
+	want := []uint16{10, 11, 13}
+	if got := p.Lost(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Lost = %v, want %v", got, want)
+	}
+}
+
+func TestNackRejects(t *testing.T) {
+	if _, err := DecodeNackFCI(nil); !errors.Is(err, ErrBadFCI) {
+		t.Error("empty NACK accepted")
+	}
+	if _, err := DecodeNackFCI([]byte{1, 2, 3}); !errors.Is(err, ErrBadFCI) {
+		t.Error("ragged NACK accepted")
+	}
+}
+
+func TestTWCCRoundTrip(t *testing.T) {
+	fb := TWCCFeedback{
+		BaseSequence:    1000,
+		PacketCount:     6,
+		ReferenceTimeMS: 64 * 7,
+		FeedbackCount:   3,
+		Statuses: []uint8{
+			TWCCSmallDelta, TWCCSmallDelta, TWCCNotReceived,
+			TWCCSmallDelta, TWCCLargeDelta, TWCCSmallDelta,
+		},
+		DeltasUS: []int64{250, 500, 1000, 40000, 750},
+	}
+	fci, err := EncodeTWCCFCI(fb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeTWCCFCI(fci)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BaseSequence != fb.BaseSequence || got.PacketCount != fb.PacketCount ||
+		got.ReferenceTimeMS != fb.ReferenceTimeMS || got.FeedbackCount != fb.FeedbackCount {
+		t.Errorf("header = %+v", got)
+	}
+	if !reflect.DeepEqual(got.Statuses, fb.Statuses) {
+		t.Errorf("statuses = %v", got.Statuses)
+	}
+	if !reflect.DeepEqual(got.DeltasUS, fb.DeltasUS) {
+		t.Errorf("deltas = %v", got.DeltasUS)
+	}
+}
+
+func TestTWCCRunLengthCompression(t *testing.T) {
+	statuses := make([]uint8, 100)
+	for i := range statuses {
+		statuses[i] = TWCCSmallDelta
+	}
+	deltas := make([]int64, 100)
+	for i := range deltas {
+		deltas[i] = 250
+	}
+	fci, err := EncodeTWCCFCI(TWCCFeedback{PacketCount: 100, Statuses: statuses, DeltasUS: deltas})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header 8 + one run-length chunk 2 + 100 one-byte deltas + padding.
+	if len(fci) > 8+2+100+3 {
+		t.Errorf("run-length encoding inefficient: %d bytes", len(fci))
+	}
+}
+
+func TestTWCCStatusVectorDecoding(t *testing.T) {
+	// Hand-build an FCI with a one-bit status vector chunk: 14 packets,
+	// alternating received/lost.
+	fci := []byte{
+		0x00, 0x01, // base seq
+		0x00, 0x0e, // packet count 14
+		0x00, 0x00, 0x01, // reference time 1 (64 ms)
+		0x05,       // fb count
+		0xaa, 0xaa, // 1-bit vector: 0b10101010101010 pattern with marker bits
+	}
+	// 0xaaaa = 1010 1010 1010 1010: top bit 1 (vector), next 0 (one-bit).
+	// Symbols are the low 14 bits: 10 1010 1010 1010.
+	fb, err := DecodeTWCCFCI(append(fci, 0xfa, 0xfa, 0xfa, 0xfa, 0xfa, 0xfa, 0xfa)) // deltas for received
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fb.Statuses) != 14 {
+		t.Fatalf("statuses = %d", len(fb.Statuses))
+	}
+	received := 0
+	for _, s := range fb.Statuses {
+		if s == TWCCSmallDelta {
+			received++
+		}
+	}
+	if received != 7 {
+		t.Errorf("received = %d, want 7", received)
+	}
+	if len(fb.DeltasUS) != 7 {
+		t.Errorf("deltas = %d", len(fb.DeltasUS))
+	}
+}
+
+func TestTWCCRejects(t *testing.T) {
+	if _, err := EncodeTWCCFCI(TWCCFeedback{PacketCount: 2, Statuses: []uint8{1}}); !errors.Is(err, ErrBadFCI) {
+		t.Error("status/count mismatch accepted")
+	}
+	if _, err := EncodeTWCCFCI(TWCCFeedback{PacketCount: 1, Statuses: []uint8{9}}); !errors.Is(err, ErrBadFCI) {
+		t.Error("bad symbol accepted")
+	}
+	if _, err := EncodeTWCCFCI(TWCCFeedback{PacketCount: 1, Statuses: []uint8{TWCCSmallDelta}}); !errors.Is(err, ErrBadFCI) {
+		t.Error("missing delta accepted")
+	}
+	if _, err := DecodeTWCCFCI([]byte{1, 2, 3}); !errors.Is(err, ErrBadFCI) {
+		t.Error("truncated header accepted")
+	}
+	// Declared packets with no chunks.
+	if _, err := DecodeTWCCFCI([]byte{0, 1, 0, 9, 0, 0, 0, 1}); !errors.Is(err, ErrBadFCI) {
+		t.Error("missing chunks accepted")
+	}
+}
+
+func TestREMBRoundTrip(t *testing.T) {
+	cases := []REMB{
+		{BitrateBPS: 1_000_000, SSRCs: []uint32{0x1234}},
+		{BitrateBPS: 250_000, SSRCs: []uint32{1, 2, 3}},
+		{BitrateBPS: 100_000_000, SSRCs: []uint32{9}},
+	}
+	for _, remb := range cases {
+		fci, err := EncodeREMBFCI(remb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeREMBFCI(fci)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.SSRCs, remb.SSRCs) {
+			t.Errorf("ssrcs = %v", got.SSRCs)
+		}
+		// Bitrate is mantissa-rounded; must be within 1/2^18.
+		lo := remb.BitrateBPS - remb.BitrateBPS>>17
+		if got.BitrateBPS < lo || got.BitrateBPS > remb.BitrateBPS {
+			t.Errorf("bitrate = %d, want ≈%d", got.BitrateBPS, remb.BitrateBPS)
+		}
+	}
+}
+
+func TestREMBRejects(t *testing.T) {
+	if _, err := EncodeREMBFCI(REMB{BitrateBPS: 1, SSRCs: nil}); !errors.Is(err, ErrBadFCI) {
+		t.Error("zero SSRCs accepted")
+	}
+	if _, err := DecodeREMBFCI([]byte("RAMB....")); !errors.Is(err, ErrBadFCI) {
+		t.Error("bad identifier accepted")
+	}
+	fci, _ := EncodeREMBFCI(REMB{BitrateBPS: 1000, SSRCs: []uint32{1, 2}})
+	if _, err := DecodeREMBFCI(fci[:len(fci)-2]); !errors.Is(err, ErrBadFCI) {
+		t.Error("truncated SSRC list accepted")
+	}
+}
+
+// Property: TWCC encode→decode identity for run-length-friendly inputs.
+func TestQuickTWCCIdentity(t *testing.T) {
+	f := func(base uint16, syms []uint8) bool {
+		if len(syms) == 0 || len(syms) > 200 {
+			return true
+		}
+		fb := TWCCFeedback{BaseSequence: base, PacketCount: uint16(len(syms))}
+		for _, s := range syms {
+			sym := s % 3
+			fb.Statuses = append(fb.Statuses, sym)
+			switch sym {
+			case TWCCSmallDelta:
+				fb.DeltasUS = append(fb.DeltasUS, 250*int64(s%50))
+			case TWCCLargeDelta:
+				fb.DeltasUS = append(fb.DeltasUS, -250*int64(s%50))
+			}
+		}
+		fci, err := EncodeTWCCFCI(fb)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeTWCCFCI(fci)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got.Statuses, fb.Statuses) &&
+			reflect.DeepEqual(got.DeltasUS, fb.DeltasUS)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: DecodeTWCCFCI and friends never panic on arbitrary input.
+func TestQuickFCINeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		_, _ = DecodeTWCCFCI(b)
+		_, _ = DecodeNackFCI(b)
+		_, _ = DecodeREMBFCI(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

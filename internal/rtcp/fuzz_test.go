@@ -1,0 +1,29 @@
+package rtcp
+
+import "testing"
+
+// FuzzDecodeCompound checks panic-freedom and span accounting for the
+// compound walker.
+func FuzzDecodeCompound(f *testing.F) {
+	f.Add(EncodeSR(&SenderReport{SSRC: 1, Info: SenderInfo{NTPTimestamp: 1}}))
+	f.Add(Compound(
+		EncodeRR(&ReceiverReport{SSRC: 2}),
+		EncodeBye(&Bye{SSRCs: []uint32{2}}),
+	))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pkts, trailing, err := DecodeCompound(data)
+		if err != nil {
+			return
+		}
+		total := len(trailing)
+		for _, p := range pkts {
+			if p.Header.ByteLen() != len(p.Raw) {
+				t.Fatal("raw length disagrees with header")
+			}
+			total += p.Header.ByteLen()
+		}
+		if total != len(data) {
+			t.Fatalf("span accounting: %d != %d", total, len(data))
+		}
+	})
+}

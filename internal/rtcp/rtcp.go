@@ -1,0 +1,494 @@
+// Package rtcp implements the RTCP wire format: RFC 3550 packet types
+// (SR, RR, SDES, BYE, APP), RFC 4585 feedback (RTPFB, PSFB), RFC 3611
+// extended reports (XR), compound-packet framing, and the SRTCP trailer
+// model from RFC 3711 that the Google Meet compliance case depends on.
+//
+// A datagram's RTCP region decodes into a sequence of packets via
+// DecodeCompound; bytes after the last well-formed packet are returned
+// as trailing bytes so the compliance layer can flag proprietary
+// trailers (the Discord direction byte).
+package rtcp
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/rtc-compliance/rtcc/internal/bytesutil"
+)
+
+// Version is the RTP/RTCP protocol version.
+const Version = 2
+
+// HeaderLen is the common 4-byte RTCP header size.
+const HeaderLen = 4
+
+// PacketType is the 8-bit RTCP packet type.
+type PacketType uint8
+
+// Assigned RTCP packet types.
+const (
+	TypeSenderReport   PacketType = 200 // RFC 3550
+	TypeReceiverReport PacketType = 201 // RFC 3550
+	TypeSDES           PacketType = 202 // RFC 3550
+	TypeBye            PacketType = 203 // RFC 3550
+	TypeApp            PacketType = 204 // RFC 3550
+	TypeRTPFB          PacketType = 205 // RFC 4585 transport layer FB
+	TypePSFB           PacketType = 206 // RFC 4585 payload-specific FB
+	TypeXR             PacketType = 207 // RFC 3611
+)
+
+func (t PacketType) String() string {
+	switch t {
+	case TypeSenderReport:
+		return "SR (200)"
+	case TypeReceiverReport:
+		return "RR (201)"
+	case TypeSDES:
+		return "SDES (202)"
+	case TypeBye:
+		return "BYE (203)"
+	case TypeApp:
+		return "APP (204)"
+	case TypeRTPFB:
+		return "RTPFB (205)"
+	case TypePSFB:
+		return "PSFB (206)"
+	case TypeXR:
+		return "XR (207)"
+	default:
+		return fmt.Sprintf("RTCP(%d)", uint8(t))
+	}
+}
+
+// Defined reports whether t is an assigned RTCP packet type.
+func Defined(t PacketType) bool {
+	return t >= TypeSenderReport && t <= TypeXR
+}
+
+// Header is the common RTCP packet header.
+type Header struct {
+	Version uint8
+	Padding bool
+	// Count is the 5-bit count field: reception-report count for SR/RR,
+	// source count for SDES/BYE, FMT for feedback packets, subtype for
+	// APP.
+	Count uint8
+	Type  PacketType
+	// Length is the declared length in 32-bit words minus one.
+	Length uint16
+}
+
+// ByteLen reports the full packet length in bytes implied by Length.
+func (h Header) ByteLen() int { return 4 * (int(h.Length) + 1) }
+
+// ReportBlock is one reception report block (RFC 3550 §6.4.1).
+type ReportBlock struct {
+	SSRC             uint32
+	FractionLost     uint8
+	CumulativeLost   uint32 // 24-bit
+	HighestSeq       uint32
+	Jitter           uint32
+	LastSR           uint32
+	DelaySinceLastSR uint32
+}
+
+// SenderInfo is the SR sender-information section.
+type SenderInfo struct {
+	NTPTimestamp uint64
+	RTPTimestamp uint32
+	PacketCount  uint32
+	OctetCount   uint32
+}
+
+// SenderReport is a decoded SR.
+type SenderReport struct {
+	SSRC    uint32
+	Info    SenderInfo
+	Reports []ReportBlock
+	// ProfileExt is any profile-specific extension after the report
+	// blocks.
+	ProfileExt []byte
+}
+
+// ReceiverReport is a decoded RR.
+type ReceiverReport struct {
+	SSRC       uint32
+	Reports    []ReportBlock
+	ProfileExt []byte
+}
+
+// SDESItemType identifies an SDES item.
+type SDESItemType uint8
+
+// SDES item types (RFC 3550 §6.5).
+const (
+	SDESEnd   SDESItemType = 0
+	SDESCNAME SDESItemType = 1
+	SDESName  SDESItemType = 2
+	SDESEmail SDESItemType = 3
+	SDESPhone SDESItemType = 4
+	SDESLoc   SDESItemType = 5
+	SDESTool  SDESItemType = 6
+	SDESNote  SDESItemType = 7
+	SDESPriv  SDESItemType = 8
+)
+
+// SDESItem is one source-description item.
+type SDESItem struct {
+	Type SDESItemType
+	Text string
+}
+
+// SDESChunk describes one source.
+type SDESChunk struct {
+	SSRC  uint32
+	Items []SDESItem
+}
+
+// SDES is a decoded source-description packet.
+type SDES struct {
+	Chunks []SDESChunk
+}
+
+// Bye is a decoded BYE packet.
+type Bye struct {
+	SSRCs  []uint32
+	Reason string
+}
+
+// App is a decoded APP packet.
+type App struct {
+	Subtype uint8
+	SSRC    uint32
+	Name    [4]byte
+	Data    []byte
+}
+
+// Feedback is a decoded RTPFB or PSFB packet (RFC 4585 §6.1).
+type Feedback struct {
+	FMT        uint8
+	SenderSSRC uint32
+	MediaSSRC  uint32
+	FCI        []byte
+}
+
+// RTPFB FMT values (RFC 4585, RFC 8888, TWCC draft as deployed).
+const (
+	FBNack uint8 = 1
+	FBTWCC uint8 = 15
+)
+
+// PSFB FMT values.
+const (
+	FBPLI  uint8 = 1
+	FBSLI  uint8 = 2
+	FBRPSI uint8 = 3
+	FBFIR  uint8 = 4
+	FBAFB  uint8 = 15 // application layer (REMB)
+)
+
+// XRBlock is one extended-report block (RFC 3611 §3).
+type XRBlock struct {
+	BlockType    uint8
+	TypeSpecific uint8
+	// Contents is the block body; its length on the wire is the block
+	// length field times four.
+	Contents []byte
+}
+
+// XR is a decoded extended-report packet.
+type XR struct {
+	SSRC   uint32
+	Blocks []XRBlock
+}
+
+// Packet is one decoded RTCP packet. Exactly one of the typed fields is
+// populated for defined packet types; undefined types retain only the
+// header, Body, and Raw bytes.
+type Packet struct {
+	Header Header
+	// Body is the packet body after the common header, Length-delimited.
+	Body []byte
+	// Raw is the full encoded packet including header.
+	Raw []byte
+
+	SR   *SenderReport
+	RR   *ReceiverReport
+	SDES *SDES
+	BYE  *Bye
+	APP  *App
+	FB   *Feedback
+	XR   *XR
+	// ParseOK reports whether the type-specific body parsed cleanly.
+	// False for defined types with malformed bodies and for encrypted
+	// bodies; undefined types leave it false.
+	ParseOK bool
+}
+
+// SenderSSRC returns the first SSRC field of the packet, which every
+// defined type carries immediately after the header, and false if the
+// body is too short.
+func (p *Packet) SenderSSRC() (uint32, bool) {
+	if len(p.Body) < 4 {
+		return 0, false
+	}
+	return uint32(p.Body[0])<<24 | uint32(p.Body[1])<<16 | uint32(p.Body[2])<<8 | uint32(p.Body[3]), true
+}
+
+// Decoding errors.
+var (
+	ErrNotRTCP   = errors.New("rtcp: not an RTCP packet")
+	ErrTruncated = errors.New("rtcp: truncated packet")
+)
+
+// LooksLikeHeader reports whether b plausibly begins with an RTCP packet:
+// version 2, a packet type in the RTCP range (192-223, covering assigned
+// and reserved values), and a declared length that fits.
+func LooksLikeHeader(b []byte) bool {
+	if len(b) < HeaderLen {
+		return false
+	}
+	if b[0]>>6 != Version {
+		return false
+	}
+	pt := b[1]
+	if pt < 192 || pt > 223 {
+		return false
+	}
+	length := int(uint16(b[2])<<8|uint16(b[3]))*4 + 4
+	return length <= len(b)
+}
+
+// DecodePacket parses a single RTCP packet from the start of b. Bytes
+// past the declared length are ignored.
+func DecodePacket(b []byte) (*Packet, error) {
+	if len(b) < HeaderLen {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTruncated, len(b))
+	}
+	if b[0]>>6 != Version {
+		return nil, fmt.Errorf("%w: version %d", ErrNotRTCP, b[0]>>6)
+	}
+	h := Header{
+		Version: b[0] >> 6,
+		Padding: b[0]&0x20 != 0,
+		Count:   b[0] & 0x1f,
+		Type:    PacketType(b[1]),
+		Length:  uint16(b[2])<<8 | uint16(b[3]),
+	}
+	total := h.ByteLen()
+	if total > len(b) {
+		return nil, fmt.Errorf("%w: declared %d bytes, have %d", ErrTruncated, total, len(b))
+	}
+	p := &Packet{Header: h, Raw: b[:total]}
+	body := b[HeaderLen:total]
+	if h.Padding && len(body) > 0 {
+		pad := int(body[len(body)-1])
+		if pad > 0 && pad <= len(body) {
+			body = body[:len(body)-pad]
+		}
+	}
+	p.Body = body
+	p.parseBody()
+	return p, nil
+}
+
+func (p *Packet) parseBody() {
+	switch p.Header.Type {
+	case TypeSenderReport:
+		p.SR, p.ParseOK = parseSR(p.Body, p.Header.Count)
+	case TypeReceiverReport:
+		p.RR, p.ParseOK = parseRR(p.Body, p.Header.Count)
+	case TypeSDES:
+		p.SDES, p.ParseOK = parseSDES(p.Body, p.Header.Count)
+	case TypeBye:
+		p.BYE, p.ParseOK = parseBye(p.Body, p.Header.Count)
+	case TypeApp:
+		p.APP, p.ParseOK = parseApp(p.Body, p.Header.Count)
+	case TypeRTPFB, TypePSFB:
+		p.FB, p.ParseOK = parseFeedback(p.Body, p.Header.Count)
+	case TypeXR:
+		p.XR, p.ParseOK = parseXR(p.Body)
+	}
+}
+
+func parseReportBlocks(r *bytesutil.Reader, count uint8) ([]ReportBlock, bool) {
+	blocks := make([]ReportBlock, 0, count)
+	for i := 0; i < int(count); i++ {
+		rb := ReportBlock{
+			SSRC:           r.Uint32(),
+			FractionLost:   r.Uint8(),
+			CumulativeLost: r.Uint24(),
+			HighestSeq:     r.Uint32(),
+			Jitter:         r.Uint32(),
+			LastSR:         r.Uint32(),
+		}
+		rb.DelaySinceLastSR = r.Uint32()
+		if r.Err() != nil {
+			return nil, false
+		}
+		blocks = append(blocks, rb)
+	}
+	return blocks, true
+}
+
+func parseSR(body []byte, count uint8) (*SenderReport, bool) {
+	r := bytesutil.NewReader(body)
+	sr := &SenderReport{SSRC: r.Uint32()}
+	sr.Info = SenderInfo{
+		NTPTimestamp: r.Uint64(),
+		RTPTimestamp: r.Uint32(),
+		PacketCount:  r.Uint32(),
+		OctetCount:   r.Uint32(),
+	}
+	if r.Err() != nil {
+		return nil, false
+	}
+	blocks, ok := parseReportBlocks(r, count)
+	if !ok {
+		return nil, false
+	}
+	sr.Reports = blocks
+	sr.ProfileExt = append([]byte(nil), r.Rest()...)
+	return sr, true
+}
+
+func parseRR(body []byte, count uint8) (*ReceiverReport, bool) {
+	r := bytesutil.NewReader(body)
+	rr := &ReceiverReport{SSRC: r.Uint32()}
+	if r.Err() != nil {
+		return nil, false
+	}
+	blocks, ok := parseReportBlocks(r, count)
+	if !ok {
+		return nil, false
+	}
+	rr.Reports = blocks
+	rr.ProfileExt = append([]byte(nil), r.Rest()...)
+	return rr, true
+}
+
+func parseSDES(body []byte, count uint8) (*SDES, bool) {
+	r := bytesutil.NewReader(body)
+	s := &SDES{}
+	for i := 0; i < int(count); i++ {
+		chunk := SDESChunk{SSRC: r.Uint32()}
+		if r.Err() != nil {
+			return nil, false
+		}
+		for {
+			t := SDESItemType(r.Uint8())
+			if r.Err() != nil {
+				return nil, false
+			}
+			if t == SDESEnd {
+				// Chunk is padded with zeros to the next 32-bit boundary,
+				// counting from the start of the body.
+				for r.Offset()%4 != 0 {
+					if r.Uint8() != 0 || r.Err() != nil {
+						return nil, false
+					}
+				}
+				break
+			}
+			n := int(r.Uint8())
+			text := r.Bytes(n)
+			if r.Err() != nil {
+				return nil, false
+			}
+			chunk.Items = append(chunk.Items, SDESItem{Type: t, Text: string(text)})
+		}
+		s.Chunks = append(s.Chunks, chunk)
+	}
+	return s, r.Remaining() == 0
+}
+
+func parseBye(body []byte, count uint8) (*Bye, bool) {
+	r := bytesutil.NewReader(body)
+	b := &Bye{}
+	for i := 0; i < int(count); i++ {
+		b.SSRCs = append(b.SSRCs, r.Uint32())
+	}
+	if r.Err() != nil {
+		return nil, false
+	}
+	if r.Remaining() > 0 {
+		n := int(r.Uint8())
+		reason := r.Bytes(n)
+		if r.Err() != nil {
+			return nil, false
+		}
+		b.Reason = string(reason)
+	}
+	return b, true
+}
+
+func parseApp(body []byte, subtype uint8) (*App, bool) {
+	r := bytesutil.NewReader(body)
+	a := &App{Subtype: subtype, SSRC: r.Uint32()}
+	name := r.Bytes(4)
+	if r.Err() != nil {
+		return nil, false
+	}
+	copy(a.Name[:], name)
+	a.Data = append([]byte(nil), r.Rest()...)
+	return a, true
+}
+
+func parseFeedback(body []byte, fmtVal uint8) (*Feedback, bool) {
+	r := bytesutil.NewReader(body)
+	fb := &Feedback{
+		FMT:        fmtVal,
+		SenderSSRC: r.Uint32(),
+		MediaSSRC:  r.Uint32(),
+	}
+	if r.Err() != nil {
+		return nil, false
+	}
+	fb.FCI = append([]byte(nil), r.Rest()...)
+	return fb, true
+}
+
+func parseXR(body []byte) (*XR, bool) {
+	r := bytesutil.NewReader(body)
+	x := &XR{SSRC: r.Uint32()}
+	if r.Err() != nil {
+		return nil, false
+	}
+	for r.Remaining() >= 4 {
+		bt := r.Uint8()
+		ts := r.Uint8()
+		words := r.Uint16()
+		contents := r.BytesCopy(int(words) * 4)
+		if r.Err() != nil {
+			return nil, false
+		}
+		x.Blocks = append(x.Blocks, XRBlock{BlockType: bt, TypeSpecific: ts, Contents: contents})
+	}
+	return x, r.Remaining() == 0
+}
+
+// DecodeCompound parses a sequence of RTCP packets from b. It returns
+// the packets decoded, any trailing bytes after the last well-formed
+// packet, and an error only if the very first packet fails to parse.
+// Trailing bytes arise from SRTCP trailers and proprietary suffixes; the
+// compliance layer interprets them.
+func DecodeCompound(b []byte) ([]*Packet, []byte, error) {
+	first, err := DecodePacket(b)
+	if err != nil {
+		return nil, b, err
+	}
+	pkts := []*Packet{first}
+	off := first.Header.ByteLen()
+	for off+HeaderLen <= len(b) {
+		if !LooksLikeHeader(b[off:]) {
+			break
+		}
+		p, err := DecodePacket(b[off:])
+		if err != nil {
+			break
+		}
+		pkts = append(pkts, p)
+		off += p.Header.ByteLen()
+	}
+	return pkts, b[off:], nil
+}

@@ -1,0 +1,367 @@
+package rtcp
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func sampleSR() *SenderReport {
+	return &SenderReport{
+		SSRC: 0x01020304,
+		Info: SenderInfo{
+			NTPTimestamp: 0xe000000012345678,
+			RTPTimestamp: 160000,
+			PacketCount:  500,
+			OctetCount:   80000,
+		},
+		Reports: []ReportBlock{{
+			SSRC:             0x0a0b0c0d,
+			FractionLost:     12,
+			CumulativeLost:   300,
+			HighestSeq:       70000,
+			Jitter:           42,
+			LastSR:           0x11112222,
+			DelaySinceLastSR: 655,
+		}},
+	}
+}
+
+func TestSRRoundTrip(t *testing.T) {
+	raw := EncodeSR(sampleSR())
+	p, err := DecodePacket(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Header.Type != TypeSenderReport || p.Header.Count != 1 {
+		t.Errorf("header = %+v", p.Header)
+	}
+	if p.Header.ByteLen() != len(raw) {
+		t.Errorf("ByteLen = %d, want %d", p.Header.ByteLen(), len(raw))
+	}
+	if !p.ParseOK || p.SR == nil {
+		t.Fatal("SR did not parse")
+	}
+	want := sampleSR()
+	if p.SR.SSRC != want.SSRC || p.SR.Info != want.Info {
+		t.Errorf("SR = %+v", p.SR)
+	}
+	if len(p.SR.Reports) != 1 || p.SR.Reports[0] != want.Reports[0] {
+		t.Errorf("reports = %+v", p.SR.Reports)
+	}
+	if ssrc, ok := p.SenderSSRC(); !ok || ssrc != 0x01020304 {
+		t.Errorf("SenderSSRC = %#x, %v", ssrc, ok)
+	}
+}
+
+func TestRRRoundTrip(t *testing.T) {
+	rr := &ReceiverReport{SSRC: 7, Reports: []ReportBlock{{SSRC: 8}, {SSRC: 9}}}
+	p, err := DecodePacket(EncodeRR(rr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.ParseOK || p.RR == nil || len(p.RR.Reports) != 2 {
+		t.Fatalf("RR = %+v", p.RR)
+	}
+	if p.RR.SSRC != 7 || p.RR.Reports[1].SSRC != 9 {
+		t.Errorf("RR = %+v", p.RR)
+	}
+}
+
+func TestSDESRoundTrip(t *testing.T) {
+	s := &SDES{Chunks: []SDESChunk{
+		{SSRC: 1, Items: []SDESItem{{Type: SDESCNAME, Text: "user@host.example"}}},
+		{SSRC: 2, Items: []SDESItem{{Type: SDESTool, Text: "rtcc"}, {Type: SDESNote, Text: "x"}}},
+	}}
+	p, err := DecodePacket(EncodeSDES(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.ParseOK || p.SDES == nil || len(p.SDES.Chunks) != 2 {
+		t.Fatalf("SDES = %+v", p.SDES)
+	}
+	c0 := p.SDES.Chunks[0]
+	if c0.SSRC != 1 || len(c0.Items) != 1 || c0.Items[0].Text != "user@host.example" {
+		t.Errorf("chunk 0 = %+v", c0)
+	}
+	c1 := p.SDES.Chunks[1]
+	if c1.SSRC != 2 || len(c1.Items) != 2 || c1.Items[0].Type != SDESTool {
+		t.Errorf("chunk 1 = %+v", c1)
+	}
+}
+
+func TestByeRoundTrip(t *testing.T) {
+	b := &Bye{SSRCs: []uint32{0xaaaa, 0xbbbb}, Reason: "teardown"}
+	p, err := DecodePacket(EncodeBye(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.ParseOK || p.BYE == nil {
+		t.Fatal("BYE did not parse")
+	}
+	if len(p.BYE.SSRCs) != 2 || p.BYE.SSRCs[1] != 0xbbbb || p.BYE.Reason != "teardown" {
+		t.Errorf("BYE = %+v", p.BYE)
+	}
+}
+
+func TestAppRoundTrip(t *testing.T) {
+	a := &App{Subtype: 3, SSRC: 99, Name: [4]byte{'z', 'o', 'o', 'm'}, Data: []byte{1, 2, 3, 4}}
+	p, err := DecodePacket(EncodeApp(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.ParseOK || p.APP == nil {
+		t.Fatal("APP did not parse")
+	}
+	if p.APP.Subtype != 3 || p.APP.SSRC != 99 || string(p.APP.Name[:]) != "zoom" || !bytes.Equal(p.APP.Data, a.Data) {
+		t.Errorf("APP = %+v", p.APP)
+	}
+}
+
+func TestFeedbackRoundTrip(t *testing.T) {
+	fb := &Feedback{FMT: FBNack, SenderSSRC: 5, MediaSSRC: 6, FCI: []byte{0, 10, 0, 0}}
+	p, err := DecodePacket(EncodeFeedback(TypeRTPFB, fb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.ParseOK || p.FB == nil {
+		t.Fatal("FB did not parse")
+	}
+	if p.FB.FMT != FBNack || p.FB.SenderSSRC != 5 || p.FB.MediaSSRC != 6 || !bytes.Equal(p.FB.FCI, fb.FCI) {
+		t.Errorf("FB = %+v", p.FB)
+	}
+	// PSFB PLI has empty FCI.
+	pli := &Feedback{FMT: FBPLI, SenderSSRC: 1, MediaSSRC: 2}
+	p2, err := DecodePacket(EncodeFeedback(TypePSFB, pli))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p2.ParseOK || p2.FB == nil || len(p2.FB.FCI) != 0 {
+		t.Errorf("PLI = %+v", p2.FB)
+	}
+}
+
+func TestXRRoundTrip(t *testing.T) {
+	x := &XR{SSRC: 77, Blocks: []XRBlock{
+		{BlockType: 4, TypeSpecific: 0, Contents: []byte{1, 2, 3, 4, 5, 6, 7, 8}}, // RRT
+		{BlockType: 5, TypeSpecific: 0, Contents: []byte{9, 9, 9, 9}},             // DLRR
+	}}
+	p, err := DecodePacket(EncodeXR(x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.ParseOK || p.XR == nil || len(p.XR.Blocks) != 2 {
+		t.Fatalf("XR = %+v", p.XR)
+	}
+	if p.XR.SSRC != 77 || p.XR.Blocks[0].BlockType != 4 || len(p.XR.Blocks[0].Contents) != 8 {
+		t.Errorf("XR = %+v", p.XR)
+	}
+}
+
+func TestUndefinedTypeKeptRaw(t *testing.T) {
+	raw := EncodeRaw(PacketType(210), 2, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	p, err := DecodePacket(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Header.Type != PacketType(210) || p.ParseOK {
+		t.Errorf("packet = %+v", p)
+	}
+	if len(p.Body) != 8 {
+		t.Errorf("body = %v", p.Body)
+	}
+	if Defined(PacketType(210)) {
+		t.Error("210 should be undefined")
+	}
+	if !Defined(TypeApp) {
+		t.Error("204 should be defined")
+	}
+}
+
+func TestPaddingStripped(t *testing.T) {
+	raw := EncodeRaw(TypeApp, 0, []byte{0, 0, 0, 9, 'n', 'a', 'm', 'e', 1, 2, 3, 4})
+	// Manually add a padded variant: 4 pad bytes, last byte = 4.
+	padded := append(raw[:len(raw)], 0, 0, 0, 4)
+	padded[0] |= 0x20
+	padded[3] = byte((len(padded))/4 - 1)
+	p, err := DecodePacket(padded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Header.Padding {
+		t.Error("padding flag lost")
+	}
+	if len(p.Body) != 12 {
+		t.Errorf("body len = %d, want 12 (padding not stripped)", len(p.Body))
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	if _, err := DecodePacket([]byte{0x80}); !errors.Is(err, ErrTruncated) {
+		t.Error("short packet accepted")
+	}
+	if _, err := DecodePacket([]byte{0x40, 200, 0, 0}); !errors.Is(err, ErrNotRTCP) {
+		t.Error("version 1 accepted")
+	}
+	if _, err := DecodePacket([]byte{0x80, 200, 0, 9}); !errors.Is(err, ErrTruncated) {
+		t.Error("overlong declared length accepted")
+	}
+}
+
+func TestMalformedBodiesNotParseOK(t *testing.T) {
+	// SR that declares one report block but has no room for it.
+	raw := EncodeRaw(TypeSenderReport, 1, make([]byte, 24)) // sender info only
+	p, err := DecodePacket(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ParseOK {
+		t.Error("truncated SR parsed OK")
+	}
+	// SDES declaring a chunk with no bytes.
+	p2, err := DecodePacket(EncodeRaw(TypeSDES, 1, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.ParseOK {
+		t.Error("empty SDES with count=1 parsed OK")
+	}
+	// Feedback with only 4 body bytes.
+	p3, err := DecodePacket(EncodeRaw(TypeRTPFB, 1, []byte{1, 2, 3, 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.ParseOK {
+		t.Error("short feedback parsed OK")
+	}
+}
+
+func TestCompoundRoundTrip(t *testing.T) {
+	comp := Compound(
+		EncodeSR(sampleSR()),
+		EncodeSDES(&SDES{Chunks: []SDESChunk{{SSRC: 1, Items: []SDESItem{{Type: SDESCNAME, Text: "a@b"}}}}}),
+		EncodeBye(&Bye{SSRCs: []uint32{1}}),
+	)
+	pkts, trailing, err := DecodeCompound(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) != 3 {
+		t.Fatalf("%d packets", len(pkts))
+	}
+	if pkts[0].Header.Type != TypeSenderReport || pkts[1].Header.Type != TypeSDES || pkts[2].Header.Type != TypeBye {
+		t.Errorf("types = %v %v %v", pkts[0].Header.Type, pkts[1].Header.Type, pkts[2].Header.Type)
+	}
+	if len(trailing) != 0 {
+		t.Errorf("trailing = %v", trailing)
+	}
+}
+
+// The Discord case: one extra byte after the compound must surface as a
+// trailing byte.
+func TestCompoundTrailingBytes(t *testing.T) {
+	comp := Compound(EncodeSR(sampleSR()))
+	comp = append(comp, 0x80) // direction flag
+	pkts, trailing, err := DecodeCompound(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) != 1 {
+		t.Fatalf("%d packets", len(pkts))
+	}
+	if !bytes.Equal(trailing, []byte{0x80}) {
+		t.Errorf("trailing = %v", trailing)
+	}
+}
+
+// The SRTCP case: a 14-byte trailer (4-byte E+index, 10-byte auth tag)
+// after an encrypted body must surface as trailing bytes.
+func TestCompoundSRTCPTrailer(t *testing.T) {
+	comp := Compound(EncodeSR(sampleSR()))
+	trailer := append([]byte{0x80, 0, 0, 1}, bytes.Repeat([]byte{0xcc}, 10)...)
+	comp = append(comp, trailer...)
+	pkts, trailing, err := DecodeCompound(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) != 1 || len(trailing) != 14 {
+		t.Errorf("pkts=%d trailing=%d", len(pkts), len(trailing))
+	}
+}
+
+func TestCompoundFirstPacketInvalid(t *testing.T) {
+	if _, _, err := DecodeCompound([]byte{0x00, 0x01, 0x02, 0x03}); err == nil {
+		t.Error("junk accepted as compound")
+	}
+}
+
+func TestLooksLikeHeader(t *testing.T) {
+	if !LooksLikeHeader(EncodeSR(sampleSR())) {
+		t.Error("valid SR rejected")
+	}
+	if LooksLikeHeader([]byte{0x80, 100, 0, 0}) {
+		t.Error("packet type 100 accepted (outside RTCP range)")
+	}
+	if LooksLikeHeader([]byte{0x80, 224, 0, 0}) {
+		t.Error("packet type 224 accepted")
+	}
+	if LooksLikeHeader([]byte{0x80, 200, 0, 64}) {
+		t.Error("declared length beyond buffer accepted")
+	}
+	// Reserved-but-in-range types are candidates (undefined types must
+	// surface for compliance checking).
+	if !LooksLikeHeader([]byte{0x80, 210, 0, 0}) {
+		t.Error("in-range undefined type rejected")
+	}
+}
+
+func TestPacketTypeString(t *testing.T) {
+	want := map[PacketType]string{
+		TypeSenderReport: "SR (200)", TypeReceiverReport: "RR (201)",
+		TypeSDES: "SDES (202)", TypeBye: "BYE (203)", TypeApp: "APP (204)",
+		TypeRTPFB: "RTPFB (205)", TypePSFB: "PSFB (206)", TypeXR: "XR (207)",
+		PacketType(199): "RTCP(199)",
+	}
+	for pt, s := range want {
+		if pt.String() != s {
+			t.Errorf("%d.String() = %q, want %q", uint8(pt), pt.String(), s)
+		}
+	}
+}
+
+// Property: SR encode→decode identity for arbitrary field values.
+func TestQuickSRIdentity(t *testing.T) {
+	f := func(ssrc uint32, ntp uint64, rtpts, pc, oc uint32) bool {
+		sr := &SenderReport{SSRC: ssrc, Info: SenderInfo{ntp, rtpts, pc, oc}}
+		p, err := DecodePacket(EncodeSR(sr))
+		if err != nil || !p.ParseOK {
+			return false
+		}
+		return p.SR.SSRC == ssrc && p.SR.Info == sr.Info
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: DecodePacket and DecodeCompound never panic on arbitrary
+// bytes, and every decoded packet's Raw length matches its header.
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		if p, err := DecodePacket(b); err == nil {
+			if len(p.Raw) != p.Header.ByteLen() {
+				return false
+			}
+		}
+		pkts, trailing, _ := DecodeCompound(b)
+		total := len(trailing)
+		for _, p := range pkts {
+			total += p.Header.ByteLen()
+		}
+		return len(pkts) == 0 || total == len(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,33 @@
+package rtp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode checks panic-freedom and re-encode stability for RTP.
+func FuzzDecode(f *testing.F) {
+	p := &Packet{PayloadType: 96, SequenceNumber: 7, Timestamp: 100, SSRC: 9, Payload: []byte("media")}
+	f.Add(p.Encode())
+	pe := &Packet{PayloadType: 96, SSRC: 9, Payload: []byte("x"),
+		Extension: &Extension{Profile: ProfileOneByte, Data: []byte{0x10, 1, 0, 0}}}
+	f.Add(pe.Encode())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pkt, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if pkt.HeaderSize() > len(data) {
+			t.Fatalf("header size %d > input %d", pkt.HeaderSize(), len(data))
+		}
+		re := pkt.Encode()
+		pkt2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if pkt2.SSRC != pkt.SSRC || pkt2.SequenceNumber != pkt.SequenceNumber ||
+			pkt2.PayloadType != pkt.PayloadType || !bytes.Equal(pkt2.Payload, pkt.Payload) {
+			t.Fatal("re-encode not stable")
+		}
+	})
+}

@@ -1,0 +1,353 @@
+package rtp
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func basic() *Packet {
+	return &Packet{
+		PayloadType:    111,
+		SequenceNumber: 4242,
+		Timestamp:      960000,
+		SSRC:           0x11223344,
+		Payload:        []byte("opus frame bytes"),
+	}
+}
+
+func TestBasicRoundTrip(t *testing.T) {
+	p := basic()
+	p.Marker = true
+	raw := p.Encode()
+	got, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != 2 || !got.Marker || got.PayloadType != 111 ||
+		got.SequenceNumber != 4242 || got.Timestamp != 960000 || got.SSRC != 0x11223344 {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if !bytes.Equal(got.Payload, p.Payload) {
+		t.Errorf("payload = %q", got.Payload)
+	}
+	if got.HeaderSize() != HeaderLen {
+		t.Errorf("HeaderSize = %d", got.HeaderSize())
+	}
+}
+
+func TestCSRCRoundTrip(t *testing.T) {
+	p := basic()
+	p.CSRC = []uint32{1, 2, 0xdeadbeef}
+	raw := p.Encode()
+	got, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CSRCCount != 3 || len(got.CSRC) != 3 || got.CSRC[2] != 0xdeadbeef {
+		t.Errorf("CSRC = %v (count %d)", got.CSRC, got.CSRCCount)
+	}
+	if got.HeaderSize() != HeaderLen+12 {
+		t.Errorf("HeaderSize = %d", got.HeaderSize())
+	}
+}
+
+func TestPaddingRoundTrip(t *testing.T) {
+	p := basic()
+	p.Padding = true
+	p.PaddingLen = 4
+	raw := p.Encode()
+	got, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Padding || got.PaddingLen != 4 {
+		t.Errorf("padding = %v len %d", got.Padding, got.PaddingLen)
+	}
+	if !bytes.Equal(got.Payload, p.Payload) {
+		t.Errorf("payload with padding = %q", got.Payload)
+	}
+	if len(raw) != HeaderLen+len(p.Payload)+4 {
+		t.Errorf("raw len = %d", len(raw))
+	}
+}
+
+func TestPaddingInvalid(t *testing.T) {
+	p := basic()
+	raw := p.Encode()
+	raw[0] |= 0x20 // padding bit with no padding byte accounting
+	raw[len(raw)-1] = 200
+	if _, err := Decode(raw); !errors.Is(err, ErrTruncated) {
+		t.Errorf("oversized padding accepted: %v", err)
+	}
+	// Padding bit with zero final byte is invalid too.
+	p2 := basic()
+	raw2 := p2.Encode()
+	raw2[0] |= 0x20
+	raw2[len(raw2)-1] = 0
+	if _, err := Decode(raw2); err == nil {
+		t.Error("zero padding length accepted")
+	}
+}
+
+func TestOneByteExtensionRoundTrip(t *testing.T) {
+	p := basic()
+	p.Extension = &Extension{
+		Profile: ProfileOneByte,
+		Elements: []ExtensionElement{
+			{ID: 1, Payload: []byte{0xaa}},
+			{ID: 3, Payload: []byte{1, 2, 3, 4}},
+		},
+	}
+	raw := p.Encode()
+	got, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Extension == nil || got.Extension.Profile != ProfileOneByte {
+		t.Fatal("extension missing")
+	}
+	if !got.Extension.ParseOK {
+		t.Error("elements should parse")
+	}
+	if len(got.Extension.Elements) != 2 {
+		t.Fatalf("elements = %+v", got.Extension.Elements)
+	}
+	e0, e1 := got.Extension.Elements[0], got.Extension.Elements[1]
+	if e0.ID != 1 || !bytes.Equal(e0.Payload, []byte{0xaa}) {
+		t.Errorf("elem 0 = %+v", e0)
+	}
+	if e1.ID != 3 || !bytes.Equal(e1.Payload, []byte{1, 2, 3, 4}) {
+		t.Errorf("elem 1 = %+v", e1)
+	}
+	if !bytes.Equal(got.Payload, p.Payload) {
+		t.Error("payload corrupted by extension")
+	}
+}
+
+func TestTwoByteExtensionRoundTrip(t *testing.T) {
+	p := basic()
+	p.Extension = &Extension{
+		Profile: ProfileTwoByteBase | 0x0003,
+		Elements: []ExtensionElement{
+			{ID: 200, Payload: []byte{}},
+			{ID: 7, Payload: bytes.Repeat([]byte{9}, 20)},
+		},
+	}
+	raw := p.Encode()
+	got, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Extension == nil || !got.Extension.ParseOK {
+		t.Fatal("two-byte extension did not parse")
+	}
+	if len(got.Extension.Elements) != 2 {
+		t.Fatalf("elements = %+v", got.Extension.Elements)
+	}
+	if got.Extension.Elements[0].ID != 200 || len(got.Extension.Elements[0].Payload) != 0 {
+		t.Errorf("elem 0 = %+v", got.Extension.Elements[0])
+	}
+	if got.Extension.Elements[1].ID != 7 || len(got.Extension.Elements[1].Payload) != 20 {
+		t.Errorf("elem 1 = %+v", got.Extension.Elements[1])
+	}
+}
+
+// The Discord case: a one-byte-form element with ID=0 and a nonzero
+// length nibble must be surfaced as an element, not silently skipped, so
+// the compliance layer can flag it.
+func TestOneByteIDZeroViolationSurfaced(t *testing.T) {
+	p := basic()
+	data := []byte{0x02, 0xde, 0xad, 0xbe} // ID=0, len nibble 2 -> 3 bytes
+	p.Extension = &Extension{Profile: ProfileOneByte, Data: data}
+	raw := p.Encode()
+	got, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Extension.ParseOK || len(got.Extension.Elements) != 1 {
+		t.Fatalf("ext = %+v", got.Extension)
+	}
+	el := got.Extension.Elements[0]
+	if el.ID != 0 || !bytes.Equal(el.Payload, []byte{0xde, 0xad, 0xbe}) {
+		t.Errorf("elem = %+v", el)
+	}
+}
+
+func TestOneBytePaddingAndReservedID(t *testing.T) {
+	p := basic()
+	// padding, elem(ID=5,len=1), padding, reserved ID 15 terminator
+	data := []byte{0x00, 0x50, 0x77, 0x00, 0xf0, 0x11, 0x22, 0x33}
+	p.Extension = &Extension{Profile: ProfileOneByte, Data: data}
+	got, err := Decode(p.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Extension.ParseOK {
+		t.Error("ParseOK = false")
+	}
+	if len(got.Extension.Elements) != 1 || got.Extension.Elements[0].ID != 5 {
+		t.Errorf("elements = %+v", got.Extension.Elements)
+	}
+}
+
+func TestOneByteElementOverrun(t *testing.T) {
+	p := basic()
+	data := []byte{0x5f, 0x01, 0x02, 0x03} // ID=5 declares 16 bytes, only 3 follow
+	p.Extension = &Extension{Profile: ProfileOneByte, Data: data}
+	got, err := Decode(p.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Extension.ParseOK {
+		t.Error("overrunning element parsed OK")
+	}
+}
+
+func TestUndefinedProfileKeptRaw(t *testing.T) {
+	p := basic()
+	p.Extension = &Extension{Profile: 0x8500, Data: []byte{1, 2, 3, 4}}
+	got, err := Decode(p.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Extension.Profile != 0x8500 {
+		t.Errorf("profile = %#04x", got.Extension.Profile)
+	}
+	if got.Extension.Elements != nil {
+		t.Error("elements parsed for unknown profile")
+	}
+	if !bytes.Equal(got.Extension.Data, []byte{1, 2, 3, 4}) {
+		t.Errorf("data = %v", got.Extension.Data)
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	if _, err := Decode([]byte{0x80}); !errors.Is(err, ErrTruncated) {
+		t.Error("short packet accepted")
+	}
+	bad := basic().Encode()
+	bad[0] = 0x40 | bad[0]&0x3f // version 1
+	if _, err := Decode(bad); !errors.Is(err, ErrNotRTP) {
+		t.Error("version 1 accepted")
+	}
+	// CSRC count exceeding buffer.
+	short := basic().Encode()[:HeaderLen]
+	short[0] |= 0x0f
+	if _, err := Decode(short); !errors.Is(err, ErrTruncated) {
+		t.Error("CSRC overrun accepted")
+	}
+	// Extension words exceeding buffer.
+	p := basic()
+	p.Extension = &Extension{Profile: ProfileOneByte, Data: []byte{0x10, 0xaa, 0, 0}}
+	raw := p.Encode()
+	raw[HeaderLen+3] = 0xff // extension length words
+	if _, err := Decode(raw); !errors.Is(err, ErrTruncated) {
+		t.Error("extension overrun accepted")
+	}
+}
+
+func TestLooksLikeHeader(t *testing.T) {
+	ok := basic().Encode()
+	if !LooksLikeHeader(ok) {
+		t.Error("valid packet rejected")
+	}
+	if LooksLikeHeader(ok[:8]) {
+		t.Error("8 bytes accepted")
+	}
+	bad := append([]byte{}, ok...)
+	bad[0] = 0x00
+	if LooksLikeHeader(bad) {
+		t.Error("version 0 accepted")
+	}
+	// Any payload type must be accepted (Peafowl restriction removed).
+	pt127 := basic()
+	pt127.PayloadType = 127
+	if !LooksLikeHeader(pt127.Encode()) {
+		t.Error("payload type 127 rejected")
+	}
+	// Extension bit with truncated extension header.
+	p := basic()
+	p.Extension = &Extension{Profile: ProfileOneByte, Data: []byte{0x10, 1, 0, 0}}
+	raw := p.Encode()
+	if !LooksLikeHeader(raw) {
+		t.Error("valid extended packet rejected")
+	}
+	if LooksLikeHeader(raw[:HeaderLen+2]) {
+		t.Error("truncated extension accepted")
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	p := basic()
+	p.Payload = nil
+	got, err := Decode(p.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Payload) != 0 {
+		t.Errorf("payload = %v", got.Payload)
+	}
+}
+
+// Property: encode→decode identity over header fields and payload.
+func TestQuickRoundTripIdentity(t *testing.T) {
+	f := func(pt uint8, seq uint16, ts, ssrc uint32, marker bool, payload []byte) bool {
+		p := &Packet{
+			Marker:         marker,
+			PayloadType:    pt & 0x7f,
+			SequenceNumber: seq,
+			Timestamp:      ts,
+			SSRC:           ssrc,
+			Payload:        payload,
+		}
+		got, err := Decode(p.Encode())
+		if err != nil {
+			return false
+		}
+		return got.PayloadType == pt&0x7f && got.SequenceNumber == seq &&
+			got.Timestamp == ts && got.SSRC == ssrc && got.Marker == marker &&
+			bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Decode never panics on arbitrary input.
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		_, _ = Decode(b)
+		_ = LooksLikeHeader(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: extension element round trip for valid one-byte IDs/lengths.
+func TestQuickOneByteElements(t *testing.T) {
+	f := func(id uint8, payload []byte) bool {
+		id = id%14 + 1 // 1..14
+		if len(payload) == 0 || len(payload) > 16 {
+			return true
+		}
+		p := basic()
+		p.Extension = &Extension{
+			Profile:  ProfileOneByte,
+			Elements: []ExtensionElement{{ID: id, Payload: payload}},
+		}
+		got, err := Decode(p.Encode())
+		if err != nil || got.Extension == nil || !got.Extension.ParseOK {
+			return false
+		}
+		return len(got.Extension.Elements) == 1 &&
+			got.Extension.Elements[0].ID == id &&
+			bytes.Equal(got.Extension.Elements[0].Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,276 @@
+package stun
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestMappedAddressRoundTrip(t *testing.T) {
+	cases := []netip.AddrPort{
+		netip.MustParseAddrPort("192.0.2.1:3478"),
+		netip.MustParseAddrPort("[2001:db8::42]:50000"),
+		netip.MustParseAddrPort("10.0.0.255:1"),
+	}
+	for _, ap := range cases {
+		v := EncodeMappedAddress(ap)
+		got, err := DecodeMappedAddress(v)
+		if err != nil {
+			t.Fatalf("%v: %v", ap, err)
+		}
+		if got.Addr != ap.Addr().Unmap() || got.Port != ap.Port() {
+			t.Errorf("round trip %v -> %v:%d", ap, got.Addr, got.Port)
+		}
+		wantFam := FamilyIPv4
+		if ap.Addr().Is6() {
+			wantFam = FamilyIPv6
+		}
+		if got.Family != wantFam {
+			t.Errorf("%v family = %d", ap, got.Family)
+		}
+	}
+}
+
+func TestXORAddressRoundTrip(t *testing.T) {
+	id := txid(0x42)
+	cases := []netip.AddrPort{
+		netip.MustParseAddrPort("203.0.113.9:49152"),
+		netip.MustParseAddrPort("[2001:db8:1234::9]:65535"),
+	}
+	for _, ap := range cases {
+		v := EncodeXORAddress(ap, id)
+		got, err := DecodeXORAddress(v, id)
+		if err != nil {
+			t.Fatalf("%v: %v", ap, err)
+		}
+		if got.Addr != ap.Addr().Unmap() || got.Port != ap.Port() {
+			t.Errorf("round trip %v -> %v:%d", ap, got.Addr, got.Port)
+		}
+	}
+}
+
+func TestXORAddressActuallyXORs(t *testing.T) {
+	ap := netip.MustParseAddrPort("192.0.2.1:3478")
+	v := EncodeXORAddress(ap, txid(0))
+	plain := EncodeMappedAddress(ap)
+	if bytes.Equal(v[4:8], plain[4:8]) {
+		t.Error("XOR address equals plain address; no XOR applied")
+	}
+}
+
+func TestDecodeAddressBadFamily(t *testing.T) {
+	v := []byte{0x00, 0x00, 0x0d, 0x96, 192, 0, 2, 1}
+	if _, err := DecodeMappedAddress(v); err == nil {
+		t.Error("family 0x00 accepted")
+	}
+	got, _ := DecodeMappedAddress(v)
+	if got.Family != 0x00 {
+		t.Errorf("family should be reported even on error, got %d", got.Family)
+	}
+	if _, err := DecodeXORAddress(v, txid(0)); err == nil {
+		t.Error("XOR family 0x00 accepted")
+	}
+}
+
+func TestDecodeAddressTruncated(t *testing.T) {
+	if _, err := DecodeMappedAddress([]byte{0, FamilyIPv4, 1}); err == nil {
+		t.Error("truncated v4 accepted")
+	}
+	if _, err := DecodeXORAddress([]byte{0, FamilyIPv6, 0, 1, 2, 3}, txid(0)); err == nil {
+		t.Error("truncated v6 accepted")
+	}
+}
+
+func TestErrorCodeRoundTrip(t *testing.T) {
+	e := ErrorCode{Code: 438, Reason: "Stale Nonce"}
+	got, err := DecodeErrorCode(EncodeErrorCode(e))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != e {
+		t.Errorf("round trip = %+v", got)
+	}
+	if _, err := DecodeErrorCode([]byte{1, 2}); err == nil {
+		t.Error("short ERROR-CODE accepted")
+	}
+}
+
+func TestChannelNumberRoundTrip(t *testing.T) {
+	v := EncodeChannelNumber(0x4abc)
+	if len(v) != 4 {
+		t.Fatalf("len = %d", len(v))
+	}
+	ch, err := DecodeChannelNumber(v)
+	if err != nil || ch != 0x4abc {
+		t.Errorf("round trip = %#x, %v", ch, err)
+	}
+	if _, err := DecodeChannelNumber([]byte{0x40, 0x00}); err == nil {
+		t.Error("2-byte CHANNEL-NUMBER accepted (FaceTime case must be detectable upstream)")
+	}
+}
+
+func TestRequestedTransport(t *testing.T) {
+	v := EncodeRequestedTransport(17)
+	if !bytes.Equal(v, []byte{17, 0, 0, 0}) {
+		t.Errorf("value = %v", v)
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	m := &Message{Type: TypeBindingRequest, TransactionID: txid(0x10)}
+	m.Add(AttrSoftware, []byte("rtcc test agent"))
+	AddFingerprint(m)
+	got, err := Decode(m.Raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VerifyFingerprint(got) {
+		t.Error("fingerprint did not verify")
+	}
+	// Corrupt one payload byte: fingerprint must fail.
+	bad := append([]byte{}, m.Raw...)
+	bad[HeaderLen+5] ^= 0xff
+	gotBad, err := Decode(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if VerifyFingerprint(gotBad) {
+		t.Error("fingerprint verified corrupted message")
+	}
+	// A message without a fingerprint cannot verify.
+	m2 := &Message{Type: TypeBindingRequest}
+	m2.Encode()
+	if VerifyFingerprint(m2) {
+		t.Error("verified message without fingerprint")
+	}
+}
+
+func TestMessageIntegrity(t *testing.T) {
+	key := []byte("secret-key")
+	m := &Message{Type: TypeAllocateRequest, TransactionID: txid(0x33)}
+	m.Add(AttrUsername, []byte("user"))
+	AddMessageIntegrity(m, key)
+	got, err := Decode(m.Raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mi := got.Get(AttrMessageIntegrity)
+	if mi == nil || len(mi.Value) != 20 {
+		t.Fatal("MESSAGE-INTEGRITY missing or wrong length")
+	}
+	want := MessageIntegrity(got.Raw[:len(got.Raw)-24], key)
+	if !bytes.Equal(mi.Value, want) {
+		t.Error("MESSAGE-INTEGRITY value incorrect")
+	}
+}
+
+// Property: XOR address decode(encode(x)) == x for random v4 addresses,
+// ports, and transaction IDs.
+func TestQuickXORAddressIdentity(t *testing.T) {
+	f := func(a4 [4]byte, port uint16, id [12]byte) bool {
+		ap := netip.AddrPortFrom(netip.AddrFrom4(a4), port)
+		got, err := DecodeXORAddress(EncodeXORAddress(ap, id), id)
+		return err == nil && got.Addr == ap.Addr() && got.Port == port
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegistryDefinedMessageTypes(t *testing.T) {
+	defined := []MessageType{
+		TypeBindingRequest, TypeBindingSuccess, TypeBindingError,
+		TypeSharedSecretRequest, TypeAllocateRequest, TypeAllocateSuccess,
+		TypeAllocateError, TypeRefreshRequest, TypeRefreshSuccess,
+		TypeSendIndication, TypeDataIndication, TypeCreatePermissionReq,
+		TypeChannelBindRequest, TypeChannelBindSuccess,
+		MessageType(0x0200), MessageType(0x0300), // GOOG-PING
+	}
+	for _, mt := range defined {
+		if _, ok := DefinedMessageType(mt); !ok {
+			t.Errorf("%v should be defined", mt)
+		}
+	}
+	undefined := []MessageType{0x0800, 0x0801, 0x0802, 0x0805, 0x0032}
+	for _, mt := range undefined {
+		if spec, ok := DefinedMessageType(mt); ok {
+			t.Errorf("%v should be undefined, got %s", mt, spec)
+		}
+	}
+}
+
+func TestRegistryDefinedAttrs(t *testing.T) {
+	if spec, ok := DefinedAttr(AttrXORMappedAddress); !ok || spec != SpecRFC5389 {
+		t.Errorf("XOR-MAPPED-ADDRESS: %v %v", spec, ok)
+	}
+	for _, a := range []AttrType{0x4000, 0x4003, 0x4004, 0x8007, 0x8008, 0x0101, 0x0103} {
+		if _, ok := DefinedAttr(a); ok {
+			t.Errorf("%#04x should be undefined", uint16(a))
+		}
+	}
+}
+
+func TestAttrLenValid(t *testing.T) {
+	cases := []struct {
+		a    AttrType
+		n    int
+		want bool
+	}{
+		{AttrChannelNumber, 4, true},
+		{AttrChannelNumber, 2, false},
+		{AttrReservationToken, 8, true},
+		{AttrReservationToken, 9, false},
+		{AttrFingerprint, 4, true},
+		{AttrMessageIntegrity, 20, true},
+		{AttrMessageIntegrity, 16, false},
+		{AttrUsername, 100, true},
+		{AttrUsername, 600, false},
+		{AttrData, 10000, true},         // unbounded
+		{AttrType(0x4003), 1, true},     // unknown: no length rule
+		{AttrAlternateServer, 8, true},  // v4 form
+		{AttrAlternateServer, 20, true}, // v6 form
+		{AttrAlternateServer, 21, false},
+	}
+	for _, tc := range cases {
+		if got := AttrLenValid(tc.a, tc.n); got != tc.want {
+			t.Errorf("AttrLenValid(%v, %d) = %v, want %v", tc.a, tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestComprehensionRequired(t *testing.T) {
+	if !ComprehensionRequired(AttrXORMappedAddress) {
+		t.Error("0x0020 should be comprehension-required")
+	}
+	if ComprehensionRequired(AttrSoftware) {
+		t.Error("0x8022 should be comprehension-optional")
+	}
+}
+
+func TestDataIndicationAllowedSet(t *testing.T) {
+	if !AllowedInDataIndication(AttrXORPeerAddress) || !AllowedInDataIndication(AttrData) {
+		t.Error("core Data indication attributes rejected")
+	}
+	if AllowedInDataIndication(AttrChannelNumber) {
+		t.Error("CHANNEL-NUMBER must not be allowed in Data indications (FaceTime case)")
+	}
+}
+
+func TestRequestOnlyAttrs(t *testing.T) {
+	if !RequestOnly(AttrPriority) || !RequestOnly(AttrUseCandidate) {
+		t.Error("ICE request attributes should be request-only")
+	}
+	if RequestOnly(AttrXORMappedAddress) {
+		t.Error("XOR-MAPPED-ADDRESS is not request-only")
+	}
+}
+
+func TestAddressBearing(t *testing.T) {
+	if !AddressBearing(AttrAlternateServer) {
+		t.Error("ALTERNATE-SERVER carries an address")
+	}
+	if AddressBearing(AttrData) {
+		t.Error("DATA does not carry an address")
+	}
+}

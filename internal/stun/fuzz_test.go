@@ -1,0 +1,57 @@
+package stun
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode checks that arbitrary bytes never panic the decoder, that
+// successful decodes re-encode losslessly at the structural level, and
+// that declared lengths never exceed the input.
+func FuzzDecode(f *testing.F) {
+	m := &Message{Type: TypeBindingRequest, TransactionID: [12]byte{1, 2, 3}}
+	m.Add(AttrUsername, []byte("user:pass"))
+	AddFingerprint(m)
+	f.Add(m.Raw)
+	f.Add([]byte{0x00, 0x01, 0x00, 0x00, 0x21, 0x12, 0xa4, 0x42})
+	f.Add(bytes.Repeat([]byte{0}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if msg.DecodedLen() > len(data) {
+			t.Fatalf("DecodedLen %d > input %d", msg.DecodedLen(), len(data))
+		}
+		re := msg.Encode()
+		// Re-decoding the re-encoding must succeed and agree on type,
+		// txid and attribute count.
+		msg2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if msg2.Type != msg.Type || msg2.TransactionID != msg.TransactionID ||
+			len(msg2.Attributes) != len(msg.Attributes) {
+			t.Fatal("re-encode not stable")
+		}
+	})
+}
+
+func FuzzDecodeChannelData(f *testing.F) {
+	f.Add([]byte{0x40, 0x00, 0x00, 0x02, 0xaa, 0xbb})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cd, err := DecodeChannelData(data)
+		if err != nil {
+			return
+		}
+		if cd.DecodedLen() > len(data) {
+			t.Fatalf("DecodedLen %d > input %d", cd.DecodedLen(), len(data))
+		}
+		re := cd.Encode()
+		cd2, err := DecodeChannelData(re)
+		if err != nil || cd2.ChannelNumber != cd.ChannelNumber || !bytes.Equal(cd2.Data, cd.Data) {
+			t.Fatal("channeldata round trip unstable")
+		}
+	})
+}

@@ -1,0 +1,220 @@
+package stun
+
+// This file is the registry of message types and attribute types that
+// are "publicly defined" for the purposes of compliance checking. The
+// paper (footnote 2) treats an implementation as compliant if it adheres
+// to ANY officially published revision, so the registry is the union of
+// RFC 3489, RFC 5389, RFC 8489 (STUN), RFC 5766, RFC 8656 (TURN),
+// RFC 6062 (TURN-TCP), RFC 8445 (ICE), RFC 5780 (NAT behaviour
+// discovery), and registered expansions in the IANA STUN registries.
+
+// Spec identifies the document that defines a registry entry.
+type Spec string
+
+// Specification labels used in registry entries and compliance reasons.
+const (
+	SpecRFC3489 Spec = "RFC 3489"
+	SpecRFC5389 Spec = "RFC 5389"
+	SpecRFC8489 Spec = "RFC 8489"
+	SpecRFC5766 Spec = "RFC 5766"
+	SpecRFC8656 Spec = "RFC 8656"
+	SpecRFC6062 Spec = "RFC 6062"
+	SpecRFC8445 Spec = "RFC 8445"
+	SpecRFC5780 Spec = "RFC 5780"
+	SpecIANA    Spec = "IANA STUN registry"
+)
+
+// definedMethods maps each registered STUN/TURN method to its defining
+// document.
+var definedMethods = map[Method]Spec{
+	MethodBinding:           SpecRFC5389,
+	MethodSharedSecret:      SpecRFC3489,
+	MethodAllocate:          SpecRFC5766,
+	MethodRefresh:           SpecRFC5766,
+	MethodSend:              SpecRFC5766,
+	MethodData:              SpecRFC5766,
+	MethodCreatePermission:  SpecRFC5766,
+	MethodChannelBind:       SpecRFC5766,
+	MethodConnect:           SpecRFC6062,
+	MethodConnectionBind:    SpecRFC6062,
+	MethodConnectionAttempt: SpecRFC6062,
+	// GOOG-PING (method 0x080) is a registered expansion used by
+	// libwebrtc deployments. Google Meet's observed 0x0200/0x0300
+	// message types decode to method 0x080 with request/success classes
+	// under the RFC 5389 bit packing; the paper's Table 4 classifies
+	// them as defined, so we register the method here.
+	MethodGoogPing: SpecIANA,
+}
+
+// DefinedMessageType reports whether t is a defined message type under
+// any published revision, and which document defines its method.
+//
+// A type is defined when its method is registered; all four classes of a
+// registered method are considered defined except indication-only
+// methods used as requests (the per-class restrictions are enforced by
+// the compliance layer, not the registry).
+func DefinedMessageType(t MessageType) (Spec, bool) {
+	spec, ok := definedMethods[t.Method()]
+	return spec, ok
+}
+
+// messageTypeNames gives human-readable names for known full types.
+var messageTypeNames = map[MessageType]string{
+	TypeBindingRequest:         "Binding Request",
+	TypeBindingIndication:      "Binding Indication",
+	TypeBindingSuccess:         "Binding Success Response",
+	TypeBindingError:           "Binding Error Response",
+	TypeSharedSecretRequest:    "Shared Secret Request",
+	TypeAllocateRequest:        "Allocate Request",
+	TypeAllocateSuccess:        "Allocate Success Response",
+	TypeAllocateError:          "Allocate Error Response",
+	TypeRefreshRequest:         "Refresh Request",
+	TypeRefreshSuccess:         "Refresh Success Response",
+	TypeSendIndication:         "Send Indication",
+	TypeDataIndication:         "Data Indication",
+	TypeCreatePermissionReq:    "CreatePermission Request",
+	TypeCreatePermissionOK:     "CreatePermission Success Response",
+	TypeCreatePermissionErr:    "CreatePermission Error Response",
+	TypeChannelBindRequest:     "ChannelBind Request",
+	TypeChannelBindSuccess:     "ChannelBind Success Response",
+	TypeConnectRequest:         "Connect Request",
+	TypeConnectionAttemptIndic: "ConnectionAttempt Indication",
+	MessageType(0x0200):        "GOOG-PING Request",
+	MessageType(0x0300):        "GOOG-PING Success Response",
+}
+
+// attrSpec describes a defined attribute: its defining document and, if
+// nonzero, its fixed value length in bytes (0 = variable).
+type attrSpec struct {
+	Spec     Spec
+	Name     string
+	FixedLen int
+	// MaxLen bounds variable-length values when nonzero.
+	MaxLen int
+}
+
+// definedAttrs is the union attribute registry.
+var definedAttrs = map[AttrType]attrSpec{
+	AttrMappedAddress:     {SpecRFC5389, "MAPPED-ADDRESS", 0, 20},
+	AttrResponseAddress:   {SpecRFC3489, "RESPONSE-ADDRESS", 8, 0},
+	AttrChangeRequest:     {SpecRFC5780, "CHANGE-REQUEST", 4, 0},
+	AttrSourceAddress:     {SpecRFC3489, "SOURCE-ADDRESS", 8, 0},
+	AttrChangedAddress:    {SpecRFC3489, "CHANGED-ADDRESS", 8, 0},
+	AttrUsername:          {SpecRFC5389, "USERNAME", 0, 513},
+	AttrPassword:          {SpecRFC3489, "PASSWORD", 0, 767},
+	AttrMessageIntegrity:  {SpecRFC5389, "MESSAGE-INTEGRITY", 20, 0},
+	AttrErrorCode:         {SpecRFC5389, "ERROR-CODE", 0, 763},
+	AttrUnknownAttributes: {SpecRFC5389, "UNKNOWN-ATTRIBUTES", 0, 0},
+	AttrReflectedFrom:     {SpecRFC3489, "REFLECTED-FROM", 8, 0},
+	AttrChannelNumber:     {SpecRFC5766, "CHANNEL-NUMBER", 4, 0},
+	AttrLifetime:          {SpecRFC5766, "LIFETIME", 4, 0},
+	AttrXORPeerAddress:    {SpecRFC5766, "XOR-PEER-ADDRESS", 0, 20},
+	AttrData:              {SpecRFC5766, "DATA", 0, 0},
+	AttrRealm:             {SpecRFC5389, "REALM", 0, 763},
+	AttrNonce:             {SpecRFC5389, "NONCE", 0, 763},
+	AttrXORRelayedAddress: {SpecRFC5766, "XOR-RELAYED-ADDRESS", 0, 20},
+	AttrRequestedFamily:   {SpecRFC8656, "REQUESTED-ADDRESS-FAMILY", 4, 0},
+	AttrEvenPort:          {SpecRFC5766, "EVEN-PORT", 1, 0},
+	AttrRequestedTranspt:  {SpecRFC5766, "REQUESTED-TRANSPORT", 4, 0},
+	AttrDontFragment:      {SpecRFC5766, "DONT-FRAGMENT", 0, 0},
+	AttrXORMappedAddress:  {SpecRFC5389, "XOR-MAPPED-ADDRESS", 0, 20},
+	AttrReservationToken:  {SpecRFC5766, "RESERVATION-TOKEN", 8, 0},
+	AttrPriority:          {SpecRFC8445, "PRIORITY", 4, 0},
+	AttrUseCandidate:      {SpecRFC8445, "USE-CANDIDATE", 0, 0},
+	AttrPadding:           {SpecRFC5780, "PADDING", 0, 0},
+	AttrResponsePort:      {SpecRFC5780, "RESPONSE-PORT", 4, 0},
+	AttrSoftware:          {SpecRFC5389, "SOFTWARE", 0, 763},
+	AttrAlternateServer:   {SpecRFC5389, "ALTERNATE-SERVER", 0, 20},
+	AttrFingerprint:       {SpecRFC5389, "FINGERPRINT", 4, 0},
+	AttrICEControlled:     {SpecRFC8445, "ICE-CONTROLLED", 8, 0},
+	AttrICEControlling:    {SpecRFC8445, "ICE-CONTROLLING", 8, 0},
+	AttrResponseOrigin:    {SpecRFC5780, "RESPONSE-ORIGIN", 0, 20},
+	AttrOtherAddress:      {SpecRFC5780, "OTHER-ADDRESS", 0, 20},
+	AttrGoogNetworkInfo:   {SpecIANA, "GOOG-NETWORK-INFO", 4, 0},
+}
+
+// attrTypeNames is derived for String().
+var attrTypeNames = func() map[AttrType]string {
+	m := make(map[AttrType]string, len(definedAttrs))
+	for t, s := range definedAttrs {
+		m[t] = s.Name
+	}
+	return m
+}()
+
+// DefinedAttr reports whether a is a registered attribute type and, if
+// so, its defining document.
+func DefinedAttr(a AttrType) (Spec, bool) {
+	s, ok := definedAttrs[a]
+	return s.Spec, ok
+}
+
+// AttrLenValid reports whether length n is structurally valid for a
+// defined attribute type. It returns true for unknown types (there is
+// no rule to violate; criterion 3 already rejects them).
+func AttrLenValid(a AttrType, n int) bool {
+	s, ok := definedAttrs[a]
+	if !ok {
+		return true
+	}
+	if s.FixedLen > 0 {
+		return n == s.FixedLen
+	}
+	if s.MaxLen > 0 {
+		return n <= s.MaxLen
+	}
+	return true
+}
+
+// ComprehensionRequired reports whether an attribute type is in the
+// comprehension-required range (0x0000-0x7FFF).
+func ComprehensionRequired(a AttrType) bool { return a < 0x8000 }
+
+// addressBearing lists attribute types whose value carries an address
+// family byte that must be FamilyIPv4 or FamilyIPv6.
+var addressBearing = map[AttrType]bool{
+	AttrMappedAddress:     true,
+	AttrResponseAddress:   true,
+	AttrSourceAddress:     true,
+	AttrChangedAddress:    true,
+	AttrReflectedFrom:     true,
+	AttrXORPeerAddress:    true,
+	AttrXORRelayedAddress: true,
+	AttrXORMappedAddress:  true,
+	AttrAlternateServer:   true,
+	AttrResponseOrigin:    true,
+	AttrOtherAddress:      true,
+}
+
+// AddressBearing reports whether attribute values of type a carry an
+// address family field.
+func AddressBearing(a AttrType) bool { return addressBearing[a] }
+
+// allowedDataIndicationAttrs is the exact attribute set RFC 8656 §11.6
+// permits in a Data indication. The compliance layer flags anything
+// else (the FaceTime CHANNEL-NUMBER case).
+var allowedDataIndicationAttrs = map[AttrType]bool{
+	AttrXORPeerAddress: true,
+	AttrData:           true,
+	// ICMP attribute from RFC 8656 is permitted in Data indications.
+	AttrType(0x8004): true,
+}
+
+// AllowedInDataIndication reports whether attribute a may appear in a
+// TURN Data indication.
+func AllowedInDataIndication(a AttrType) bool { return allowedDataIndicationAttrs[a] }
+
+// requestOnlyAttrs lists attributes that must not appear in success
+// responses (RFC 8445 §7.1: PRIORITY/USE-CANDIDATE are request
+// attributes; ICE-CONTROLLING/CONTROLLED likewise).
+var requestOnlyAttrs = map[AttrType]bool{
+	AttrPriority:         true,
+	AttrUseCandidate:     true,
+	AttrICEControlled:    true,
+	AttrICEControlling:   true,
+	AttrRequestedTranspt: true,
+}
+
+// RequestOnly reports whether attribute a is restricted to request-class
+// messages.
+func RequestOnly(a AttrType) bool { return requestOnlyAttrs[a] }

@@ -1,0 +1,330 @@
+package stun
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestMessageTypePacking(t *testing.T) {
+	cases := []struct {
+		method Method
+		class  Class
+		want   MessageType
+	}{
+		{MethodBinding, ClassRequest, 0x0001},
+		{MethodBinding, ClassIndication, 0x0011},
+		{MethodBinding, ClassSuccess, 0x0101},
+		{MethodBinding, ClassError, 0x0111},
+		{MethodAllocate, ClassRequest, 0x0003},
+		{MethodAllocate, ClassSuccess, 0x0103},
+		{MethodAllocate, ClassError, 0x0113},
+		{MethodRefresh, ClassRequest, 0x0004},
+		{MethodSend, ClassIndication, 0x0016},
+		{MethodData, ClassIndication, 0x0017},
+		{MethodCreatePermission, ClassRequest, 0x0008},
+		{MethodCreatePermission, ClassSuccess, 0x0108},
+		{MethodCreatePermission, ClassError, 0x0118},
+		{MethodChannelBind, ClassRequest, 0x0009},
+		{MethodChannelBind, ClassSuccess, 0x0109},
+		{MethodGoogPing, ClassRequest, 0x0200},
+		{MethodGoogPing, ClassSuccess, 0x0300},
+	}
+	for _, tc := range cases {
+		if got := MessageTypeOf(tc.method, tc.class); got != tc.want {
+			t.Errorf("MessageTypeOf(%#x, %v) = %#04x, want %#04x", tc.method, tc.class, uint16(got), uint16(tc.want))
+		}
+		if got := tc.want.Method(); got != tc.method {
+			t.Errorf("%#04x.Method() = %#x, want %#x", uint16(tc.want), got, tc.method)
+		}
+		if got := tc.want.Class(); got != tc.class {
+			t.Errorf("%#04x.Class() = %v, want %v", uint16(tc.want), got, tc.class)
+		}
+	}
+}
+
+// Property: method/class pack-unpack is the identity for all valid
+// methods and classes.
+func TestQuickTypePackingIdentity(t *testing.T) {
+	f := func(m uint16, c uint8) bool {
+		method := Method(m & 0x0fff)
+		class := Class(c & 0b11)
+		mt := MessageTypeOf(method, class)
+		return uint16(mt)&0xc000 == 0 && mt.Method() == method && mt.Class() == class
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func txid(seed byte) [12]byte {
+	var id [12]byte
+	for i := range id {
+		id[i] = seed + byte(i)
+	}
+	return id
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := &Message{Type: TypeBindingRequest, TransactionID: txid(7)}
+	m.Add(AttrUsername, []byte("alice:bob"))
+	m.Add(AttrPriority, []byte{0x6e, 0x00, 0x1e, 0xff})
+	raw := m.Encode()
+
+	got, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != TypeBindingRequest {
+		t.Errorf("Type = %v", got.Type)
+	}
+	if got.Classic {
+		t.Error("message with magic cookie decoded as classic")
+	}
+	if got.TransactionID != txid(7) {
+		t.Errorf("txid = %x", got.TransactionID)
+	}
+	if len(got.Attributes) != 2 {
+		t.Fatalf("%d attributes", len(got.Attributes))
+	}
+	if got.Attributes[0].Type != AttrUsername || string(got.Attributes[0].Value) != "alice:bob" {
+		t.Errorf("attr 0 = %v %q", got.Attributes[0].Type, got.Attributes[0].Value)
+	}
+	// "alice:bob" is 9 bytes -> padded to 12; declared length stays 9.
+	if got.Attributes[0].DeclaredLen != 9 {
+		t.Errorf("declared len = %d", got.Attributes[0].DeclaredLen)
+	}
+	if got.DecodedLen() != len(raw) {
+		t.Errorf("DecodedLen = %d, want %d", got.DecodedLen(), len(raw))
+	}
+}
+
+func TestClassicModeRoundTrip(t *testing.T) {
+	m := &Message{
+		Type:          TypeBindingRequest,
+		Classic:       true,
+		CookieWord:    0xDEADBEEF, // first 32 bits of a 128-bit RFC 3489 txid
+		TransactionID: txid(1),
+	}
+	m.Add(AttrType(0x0101), bytes.Repeat([]byte("1234567890"), 2))
+	raw := m.Encode()
+	got, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Classic {
+		t.Error("classic message not detected")
+	}
+	if got.CookieWord != 0xDEADBEEF {
+		t.Errorf("cookie word = %#x", got.CookieWord)
+	}
+	if a := got.Get(AttrType(0x0101)); a == nil || len(a.Value) != 20 {
+		t.Error("undefined attribute lost in classic round trip")
+	}
+}
+
+func TestDecodeUndefinedTypesAndAttrs(t *testing.T) {
+	// The WhatsApp 0x0801 case: undefined type and attributes must parse.
+	m := &Message{Type: MessageType(0x0801), TransactionID: txid(3)}
+	m.Add(AttrType(0x4003), []byte{0xff})
+	m.Add(AttrType(0x4004), make([]byte, 444))
+	raw := m.Encode()
+	got, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != MessageType(0x0801) {
+		t.Errorf("Type = %v", got.Type)
+	}
+	if got.Get(AttrType(0x4004)) == nil {
+		t.Error("undefined attribute 0x4004 not parsed")
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	valid := (&Message{Type: TypeBindingRequest, TransactionID: txid(0)}).Encode()
+
+	t.Run("short header", func(t *testing.T) {
+		if _, err := Decode(valid[:10]); !errors.Is(err, ErrTruncated) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("top bits set", func(t *testing.T) {
+		bad := append([]byte{}, valid...)
+		bad[0] = 0x80
+		if _, err := Decode(bad); !errors.Is(err, ErrNotSTUN) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("declared length exceeds buffer", func(t *testing.T) {
+		bad := append([]byte{}, valid...)
+		bad[2], bad[3] = 0x01, 0x00
+		if _, err := Decode(bad); !errors.Is(err, ErrTruncated) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("attribute overruns declared length", func(t *testing.T) {
+		m := &Message{Type: TypeBindingRequest, TransactionID: txid(0)}
+		m.Add(AttrUsername, []byte("abcd"))
+		raw := m.Encode()
+		// Corrupt the attribute's length to overrun.
+		raw[HeaderLen+2] = 0xff
+		if _, err := Decode(raw); !errors.Is(err, ErrBadAttribute) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("trailing bytes in attribute region", func(t *testing.T) {
+		m := &Message{Type: TypeBindingRequest, TransactionID: txid(0)}
+		raw := m.Encode()
+		raw = append(raw, 0xaa, 0xbb) // 2 stray bytes
+		raw[2], raw[3] = 0x00, 0x02   // declared length 2: not a full TLV
+		// Length%4 != 0 is caught by attribute walk leaving remainder.
+		if _, err := Decode(raw); !errors.Is(err, ErrBadAttribute) {
+			t.Errorf("err = %v", err)
+		}
+	})
+}
+
+func TestLooksLikeHeader(t *testing.T) {
+	valid := (&Message{Type: TypeBindingRequest, TransactionID: txid(0)}).Encode()
+	if !LooksLikeHeader(valid) {
+		t.Error("valid message rejected")
+	}
+	if LooksLikeHeader(valid[:19]) {
+		t.Error("short buffer accepted")
+	}
+	rtpLike := append([]byte{0x80, 0x60}, valid[2:]...)
+	if LooksLikeHeader(rtpLike) {
+		t.Error("first byte with top bits set accepted")
+	}
+	oddLen := append([]byte{}, valid...)
+	oddLen[3] = 3
+	if LooksLikeHeader(oddLen) {
+		t.Error("length not multiple of 4 accepted")
+	}
+}
+
+func TestGetReturnsFirstMatch(t *testing.T) {
+	m := &Message{Type: TypeBindingRequest}
+	m.Add(AttrSoftware, []byte("one"))
+	m.Add(AttrSoftware, []byte("two"))
+	if a := m.Get(AttrSoftware); a == nil || string(a.Value) != "one" {
+		t.Errorf("Get = %v", a)
+	}
+	if a := m.Get(AttrRealm); a != nil {
+		t.Errorf("Get missing = %v", a)
+	}
+}
+
+func TestDecodeIgnoresTrailingBytes(t *testing.T) {
+	m := &Message{Type: TypeBindingRequest, TransactionID: txid(9)}
+	raw := m.Encode()
+	withTrailer := append(append([]byte{}, raw...), 1, 2, 3, 4, 5)
+	got, err := Decode(withTrailer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DecodedLen() != len(raw) {
+		t.Errorf("DecodedLen = %d, want %d", got.DecodedLen(), len(raw))
+	}
+}
+
+// Property: encode→decode is the identity on type, txid and attribute
+// values for arbitrary attribute contents.
+func TestQuickEncodeDecodeIdentity(t *testing.T) {
+	f := func(typeBits uint16, id [12]byte, v1, v2 []byte) bool {
+		if len(v1) > 1000 || len(v2) > 1000 {
+			return true
+		}
+		m := &Message{Type: MessageType(typeBits & 0x3fff), TransactionID: id}
+		m.Add(AttrType(0x4001), v1)
+		m.Add(AttrType(0x8007), v2)
+		got, err := Decode(m.Encode())
+		if err != nil {
+			return false
+		}
+		return got.Type == m.Type &&
+			got.TransactionID == id &&
+			len(got.Attributes) == 2 &&
+			bytes.Equal(got.Attributes[0].Value, v1) &&
+			bytes.Equal(got.Attributes[1].Value, v2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Decode never panics and never reads past its input for
+// arbitrary bytes.
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		m, err := Decode(b)
+		if err == nil && m.DecodedLen() > len(b) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChannelDataRoundTrip(t *testing.T) {
+	cd := &ChannelData{ChannelNumber: 0x4001, Data: []byte("media payload")}
+	raw := cd.Encode()
+	if !LooksLikeChannelData(raw) {
+		t.Error("LooksLikeChannelData rejected valid frame")
+	}
+	got, err := DecodeChannelData(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ChannelNumber != 0x4001 || !bytes.Equal(got.Data, cd.Data) {
+		t.Errorf("round trip = %+v", got)
+	}
+	if got.DecodedLen() != len(raw) {
+		t.Errorf("DecodedLen = %d", got.DecodedLen())
+	}
+}
+
+func TestChannelDataRejects(t *testing.T) {
+	if _, err := DecodeChannelData([]byte{0x40}); !errors.Is(err, ErrTruncated) {
+		t.Error("short frame accepted")
+	}
+	if _, err := DecodeChannelData([]byte{0x3f, 0xff, 0x00, 0x00}); !errors.Is(err, ErrNotSTUN) {
+		t.Error("channel below 0x4000 accepted")
+	}
+	if _, err := DecodeChannelData([]byte{0x80, 0x00, 0x00, 0x00}); !errors.Is(err, ErrNotSTUN) {
+		t.Error("channel above 0x7FFF accepted")
+	}
+	if _, err := DecodeChannelData([]byte{0x40, 0x00, 0x00, 0x09, 0x01}); !errors.Is(err, ErrTruncated) {
+		t.Error("overlong declared length accepted")
+	}
+	if LooksLikeChannelData([]byte{0x40, 0x00, 0x00}) {
+		t.Error("LooksLikeChannelData accepted 3 bytes")
+	}
+}
+
+func TestStringFormatting(t *testing.T) {
+	if s := TypeBindingRequest.String(); s != "Binding Request (0x0001)" {
+		t.Errorf("String = %q", s)
+	}
+	if s := MessageType(0x0801).String(); s != "0x0801" {
+		t.Errorf("String = %q", s)
+	}
+	if s := AttrXORMappedAddress.String(); s != "XOR-MAPPED-ADDRESS (0x0020)" {
+		t.Errorf("String = %q", s)
+	}
+	if s := AttrType(0x4003).String(); s != "0x4003" {
+		t.Errorf("String = %q", s)
+	}
+	for c, want := range map[Class]string{
+		ClassRequest: "request", ClassIndication: "indication",
+		ClassSuccess: "success response", ClassError: "error response",
+	} {
+		if c.String() != want {
+			t.Errorf("Class %d = %q", c, c.String())
+		}
+	}
+}

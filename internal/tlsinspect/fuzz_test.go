@@ -1,0 +1,15 @@
+package tlsinspect
+
+import "testing"
+
+// FuzzSNI checks panic-freedom of the ClientHello walker.
+func FuzzSNI(f *testing.F) {
+	f.Add(BuildClientHello("example.com", [32]byte{}))
+	f.Add([]byte{22, 3, 1, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		name, err := SNI(data)
+		if err == nil && len(name) > len(data) {
+			t.Fatal("sni longer than input")
+		}
+	})
+}

@@ -1,0 +1,149 @@
+// Package tlsinspect extracts the Server Name Indication from TLS
+// ClientHello messages, and builds minimal ClientHello records for the
+// traffic synthesizers.
+//
+// The paper's stage-2 filtering (§3.2.2) inspects the SNI field of TLS
+// Client Hello messages to match background TCP streams against a
+// blocklist of known non-RTC domains. That is the only piece of TLS
+// this repository needs; no handshake logic or cryptography is
+// implemented.
+package tlsinspect
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/rtc-compliance/rtcc/internal/bytesutil"
+)
+
+// TLS record and handshake constants used by the parser.
+const (
+	recordTypeHandshake  = 22
+	handshakeClientHello = 1
+	extensionServerName  = 0
+	sniHostName          = 0
+)
+
+// Parsing errors.
+var (
+	ErrNotClientHello = errors.New("tlsinspect: not a TLS ClientHello")
+	ErrNoSNI          = errors.New("tlsinspect: no server_name extension")
+	ErrTruncated      = errors.New("tlsinspect: truncated record")
+)
+
+// SNI extracts the server name from a TLS ClientHello at the start of a
+// TCP stream payload. It tolerates the record spanning less than the
+// full buffer but not a truncated ClientHello body.
+func SNI(b []byte) (string, error) {
+	r := bytesutil.NewReader(b)
+	if r.Uint8() != recordTypeHandshake {
+		return "", ErrNotClientHello
+	}
+	major := r.Uint8()
+	minor := r.Uint8()
+	if major != 3 || minor > 4 {
+		return "", fmt.Errorf("%w: record version %d.%d", ErrNotClientHello, major, minor)
+	}
+	recLen := int(r.Uint16())
+	if r.Err() != nil || r.Remaining() < recLen {
+		return "", ErrTruncated
+	}
+	hs := bytesutil.NewReader(r.Bytes(recLen))
+	if hs.Uint8() != handshakeClientHello {
+		return "", ErrNotClientHello
+	}
+	bodyLen := int(hs.Uint24())
+	if hs.Err() != nil || hs.Remaining() < bodyLen {
+		return "", ErrTruncated
+	}
+	body := bytesutil.NewReader(hs.Bytes(bodyLen))
+	body.Skip(2)  // client_version
+	body.Skip(32) // random
+	sessLen := int(body.Uint8())
+	body.Skip(sessLen)
+	csLen := int(body.Uint16())
+	body.Skip(csLen)
+	cmLen := int(body.Uint8())
+	body.Skip(cmLen)
+	if body.Err() != nil {
+		return "", ErrTruncated
+	}
+	if body.Remaining() < 2 {
+		return "", ErrNoSNI // no extensions block at all
+	}
+	extLen := int(body.Uint16())
+	if body.Err() != nil || body.Remaining() < extLen {
+		return "", ErrTruncated
+	}
+	exts := bytesutil.NewReader(body.Bytes(extLen))
+	for exts.Remaining() >= 4 {
+		extType := exts.Uint16()
+		extSize := int(exts.Uint16())
+		if exts.Err() != nil || exts.Remaining() < extSize {
+			return "", ErrTruncated
+		}
+		extData := exts.Bytes(extSize)
+		if extType != extensionServerName {
+			continue
+		}
+		sni := bytesutil.NewReader(extData)
+		listLen := int(sni.Uint16())
+		if sni.Err() != nil || sni.Remaining() < listLen {
+			return "", ErrTruncated
+		}
+		list := bytesutil.NewReader(sni.Bytes(listLen))
+		for list.Remaining() >= 3 {
+			nameType := list.Uint8()
+			nameLen := int(list.Uint16())
+			name := list.Bytes(nameLen)
+			if list.Err() != nil {
+				return "", ErrTruncated
+			}
+			if nameType == sniHostName {
+				return string(name), nil
+			}
+		}
+		return "", ErrNoSNI
+	}
+	return "", ErrNoSNI
+}
+
+// BuildClientHello constructs a minimal but well-formed TLS 1.2
+// ClientHello record carrying serverName in an SNI extension. random
+// seeds the 32-byte ClientRandom deterministically.
+func BuildClientHello(serverName string, random [32]byte) []byte {
+	// Extensions: server_name only.
+	ext := bytesutil.NewWriter(16)
+	ext.Uint16(extensionServerName)
+	nameLen := len(serverName)
+	ext.Uint16(uint16(2 + 1 + 2 + nameLen)) // extension_data length
+	ext.Uint16(uint16(1 + 2 + nameLen))     // server_name_list length
+	ext.Uint8(sniHostName)
+	ext.Uint16(uint16(nameLen))
+	ext.Write([]byte(serverName))
+
+	body := bytesutil.NewWriter(64)
+	body.Uint16(0x0303) // TLS 1.2
+	body.Write(random[:])
+	body.Uint8(0)                  // session id
+	body.Uint16(4)                 // cipher suites length
+	body.Uint16(0x1301)            // TLS_AES_128_GCM_SHA256
+	body.Uint16(0xc02f)            // ECDHE-RSA-AES128-GCM-SHA256
+	body.Uint8(1)                  // compression methods length
+	body.Uint8(0)                  // null compression
+	body.Uint16(uint16(ext.Len())) // extensions length
+	body.Write(ext.Bytes())
+
+	hs := bytesutil.NewWriter(64)
+	hs.Uint8(handshakeClientHello)
+	hs.Uint24(uint32(body.Len()))
+	hs.Write(body.Bytes())
+
+	rec := bytesutil.NewWriter(64)
+	rec.Uint8(recordTypeHandshake)
+	rec.Uint8(3)
+	rec.Uint8(1) // record version TLS 1.0 per convention
+	rec.Uint16(uint16(hs.Len()))
+	rec.Write(hs.Bytes())
+	return rec.Bytes()
+}

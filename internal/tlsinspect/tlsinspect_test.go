@@ -1,0 +1,112 @@
+package tlsinspect
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildAndExtract(t *testing.T) {
+	names := []string{
+		"oauth2.googleapis.com",
+		"web.facebook.com",
+		"a.b.c.d.example",
+		"x",
+	}
+	for _, name := range names {
+		rec := BuildClientHello(name, [32]byte{1, 2, 3})
+		got, err := SNI(rec)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got != name {
+			t.Errorf("SNI = %q, want %q", got, name)
+		}
+	}
+}
+
+func TestSNIWithTrailingData(t *testing.T) {
+	rec := BuildClientHello("host.example", [32]byte{})
+	rec = append(rec, []byte("subsequent handshake bytes")...)
+	got, err := SNI(rec)
+	if err != nil || got != "host.example" {
+		t.Errorf("SNI = %q, %v", got, err)
+	}
+}
+
+func TestNotClientHello(t *testing.T) {
+	cases := [][]byte{
+		[]byte("GET / HTTP/1.1\r\n"),
+		{23, 3, 3, 0, 5, 1, 2, 3, 4, 5}, // application data record
+		{22, 4, 0, 0, 1, 0},             // bad version
+		{22, 3, 3, 0, 4, 2, 0, 0, 0},    // ServerHello
+	}
+	for i, b := range cases {
+		if _, err := SNI(b); !errors.Is(err, ErrNotClientHello) {
+			t.Errorf("case %d: err = %v", i, err)
+		}
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	rec := BuildClientHello("host.example", [32]byte{})
+	for _, cut := range []int{3, 6, 20, len(rec) - 1} {
+		if _, err := SNI(rec[:cut]); err == nil {
+			t.Errorf("cut at %d accepted", cut)
+		}
+	}
+}
+
+func TestNoSNIExtension(t *testing.T) {
+	rec := BuildClientHello("host.example", [32]byte{})
+	// Rewrite the extension type to something else (ALPN = 16).
+	// The extension type is the first 2 bytes of the extensions block;
+	// find it by scanning for the known offset: record(5) + hstype(1) +
+	// len(3) + ver(2) + random(32) + sess(1) + cslen(2) + cs(4) +
+	// cmlen(1) + cm(1) + extlen(2) = 54.
+	rec[54+1] = 16
+	if _, err := SNI(rec); !errors.Is(err, ErrNoSNI) {
+		t.Errorf("err = %v, want ErrNoSNI", err)
+	}
+}
+
+func TestLongHostName(t *testing.T) {
+	name := strings.Repeat("sub.", 50) + "example.com"
+	got, err := SNI(BuildClientHello(name, [32]byte{}))
+	if err != nil || got != name {
+		t.Errorf("long name: %q, %v", got, err)
+	}
+}
+
+// Property: build→extract identity for arbitrary host names without
+// NULs.
+func TestQuickIdentity(t *testing.T) {
+	f := func(nameBytes []byte, random [32]byte) bool {
+		if len(nameBytes) == 0 || len(nameBytes) > 200 {
+			return true
+		}
+		name := strings.Map(func(r rune) rune {
+			if r < 33 || r > 126 {
+				return 'a'
+			}
+			return r
+		}, string(nameBytes))
+		got, err := SNI(BuildClientHello(name, random))
+		return err == nil && got == name
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SNI never panics on arbitrary bytes.
+func TestQuickNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		_, _ = SNI(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

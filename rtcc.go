@@ -1,0 +1,227 @@
+// Package rtcc is a measurement framework for studying protocol
+// compliance in real-time communication (RTC) traffic, reproducing
+// "Protocol Compliance in Popular RTC Applications" (IMC 2025).
+//
+// The framework has two halves:
+//
+//   - Analysis: given a packet capture of a 1-on-1 call, it groups
+//     packets into streams, removes unrelated traffic with the paper's
+//     two-stage filter, extracts STUN/TURN, RTP, RTCP, and QUIC
+//     messages with an offset-shifting DPI that tolerates proprietary
+//     headers, and judges every message against the five-criterion
+//     compliance model.
+//
+//   - Synthesis: protocol-accurate emulators of the six studied
+//     applications (Zoom, FaceTime, WhatsApp, Messenger, Discord,
+//     Google Meet) regenerate each app's documented wire behaviour,
+//     including every deviation from the paper's §5.2/§5.3, over a
+//     simulated NAT/relay environment. The emulators stand in for the
+//     paper's iPhone testbed; see DESIGN.md for the substitution
+//     rationale.
+//
+// Quick start:
+//
+//	cap, _ := rtcc.GenerateCapture(rtcc.CaptureConfig{
+//	    App: rtcc.Zoom, Network: rtcc.WiFiRelay, Seed: 1,
+//	    Start: time.Now(), CallDuration: 10 * time.Second,
+//	    PrePost: 5 * time.Second, Background: true,
+//	})
+//	res, _ := rtcc.Analyze(cap, rtcc.Options{})
+//	fmt.Println(res.Stats.VolumeCompliance())
+package rtcc
+
+import (
+	"io"
+	"os"
+	"time"
+
+	"github.com/rtc-compliance/rtcc/internal/appsim"
+	"github.com/rtc-compliance/rtcc/internal/core"
+	"github.com/rtc-compliance/rtcc/internal/dpi"
+	"github.com/rtc-compliance/rtcc/internal/interop"
+	"github.com/rtc-compliance/rtcc/internal/pcap"
+	"github.com/rtc-compliance/rtcc/internal/report"
+	"github.com/rtc-compliance/rtcc/internal/trace"
+)
+
+// Applications studied by the paper.
+const (
+	Zoom       = appsim.Zoom
+	FaceTime   = appsim.FaceTime
+	WhatsApp   = appsim.WhatsApp
+	Messenger  = appsim.Messenger
+	Discord    = appsim.Discord
+	GoogleMeet = appsim.GoogleMeet
+)
+
+// App identifies an RTC application.
+type App = appsim.App
+
+// Apps lists the six studied applications.
+var Apps = appsim.Apps
+
+// Network configurations from the paper's experiment matrix.
+const (
+	WiFiP2P   = appsim.WiFiP2P
+	WiFiRelay = appsim.WiFiRelay
+	Cellular  = appsim.Cellular
+)
+
+// Network is one of the three experiment network configurations.
+type Network = appsim.Network
+
+// Protocol families reported by the framework.
+const (
+	ProtoSTUN = dpi.ProtoSTUN
+	ProtoRTP  = dpi.ProtoRTP
+	ProtoRTCP = dpi.ProtoRTCP
+	ProtoQUIC = dpi.ProtoQUIC
+)
+
+// Protocol identifies a protocol family.
+type Protocol = dpi.Protocol
+
+// CaptureConfig parameterizes one synthetic experiment capture.
+type CaptureConfig = trace.CaptureConfig
+
+// Capture is a synthetic experiment capture (call plus background
+// noise) that can be analyzed in memory or written as a pcap file.
+type Capture = trace.Capture
+
+// MatrixOptions parameterizes the full 6-app × 3-network experiment
+// matrix.
+type MatrixOptions = trace.MatrixOptions
+
+// Options configures an analysis run (DPI offset limit, filter window
+// slack, SNI blocklist).
+type Options = core.Options
+
+// CaptureAnalysis is the per-capture analysis result: filter
+// accounting, per-message statistics, and behavioural findings.
+type CaptureAnalysis = core.CaptureAnalysis
+
+// MatrixAnalysis aggregates an entire experiment matrix.
+type MatrixAnalysis = core.MatrixAnalysis
+
+// Finding is one behavioural observation (filler messages, proprietary
+// keepalives, direction flags, SSRC reuse).
+type Finding = core.Finding
+
+// Aggregate holds per-application statistics for report rendering.
+type Aggregate = report.Aggregate
+
+// AppStats holds one application's measured statistics.
+type AppStats = report.AppStats
+
+// GenerateCapture builds one synthetic capture.
+func GenerateCapture(cfg CaptureConfig) (*Capture, error) {
+	return trace.Generate(cfg)
+}
+
+// GroupCallConfig parameterizes an N-party conference call (the paper's
+// future-work extension; Zoom and Google Meet only).
+type GroupCallConfig = appsim.GroupCallConfig
+
+// AnalyzeGroupCall generates an N-party group call and runs the full
+// pipeline over it.
+func AnalyzeGroupCall(cfg GroupCallConfig, opts Options) (*CaptureAnalysis, error) {
+	call, err := appsim.GenerateGroup(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cap := &trace.Capture{
+		Config: trace.CaptureConfig{
+			App: cfg.App, Network: appsim.WiFiRelay, Seed: cfg.Seed,
+			Start: cfg.Start, CallDuration: cfg.Duration, MediaRate: cfg.MediaRate,
+		},
+		Mode:      call.Mode,
+		Events:    call.Events,
+		CallStart: call.CallStart,
+		CallEnd:   call.CallEnd,
+		RTCEvents: len(call.Events),
+	}
+	return Analyze(cap, opts)
+}
+
+// Matrix expands matrix options into per-call capture configurations.
+func Matrix(o MatrixOptions) []CaptureConfig {
+	return trace.Matrix(o)
+}
+
+// Analyze runs the full pipeline (filter → DPI → compliance) over a
+// synthetic capture.
+func Analyze(cap *Capture, opts Options) (*CaptureAnalysis, error) {
+	return core.AnalyzeCapture(core.CaptureInput{
+		Label:     string(cap.Config.App),
+		LinkType:  pcap.LinkTypeRaw,
+		Packets:   cap.Frames(),
+		CallStart: cap.CallStart,
+		CallEnd:   cap.CallEnd,
+	}, opts)
+}
+
+// AnalyzePCAP analyzes a pcap stream. A zero callStart defaults the
+// call window to the capture's span.
+func AnalyzePCAP(r io.Reader, label string, callStart, callEnd time.Time, opts Options) (*CaptureAnalysis, error) {
+	return core.AnalyzePCAP(r, label, callStart, callEnd, opts)
+}
+
+// AnalyzeFile analyzes a pcap file.
+func AnalyzeFile(path string, callStart, callEnd time.Time, opts Options) (*CaptureAnalysis, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.AnalyzePCAP(f, path, callStart, callEnd, opts)
+}
+
+// RunMatrix generates and analyzes the whole experiment matrix,
+// producing the aggregate behind every paper table and figure.
+func RunMatrix(mopts MatrixOptions, opts Options) (*MatrixAnalysis, error) {
+	return core.RunMatrix(mopts, opts)
+}
+
+// InteropProfile is one application's interoperability profile (§6):
+// spec-parseability, message compliance, and the adaptation shims a
+// pure-RFC peer needs to process its traffic.
+type InteropProfile = interop.Profile
+
+// InteropAssessment scores one application pairing.
+type InteropAssessment = interop.Assessment
+
+// Interoperability analysis functions (§6 of the paper, quantified).
+var (
+	// BuildInteropProfile derives a profile from measured statistics.
+	BuildInteropProfile = interop.BuildProfile
+	// InteropPairwise assesses mutual interoperability of two profiles.
+	InteropPairwise = interop.Pairwise
+	// InteropMatrix assesses every ordered pair from an aggregate.
+	InteropMatrix = interop.Matrix
+	// DescribeInteropProfile renders a profile as text.
+	DescribeInteropProfile = interop.Describe
+)
+
+// Report renderers for the paper's tables and figures.
+var (
+	// RenderTable1 renders traffic-trace and filtering accounting.
+	RenderTable1 = report.Table1
+	// RenderTable2 renders the message distribution by protocol.
+	RenderTable2 = report.Table2
+	// RenderTable3 renders the compliance-by-message-type matrix.
+	RenderTable3 = report.Table3
+	// RenderTable4 renders observed STUN/TURN types per app.
+	RenderTable4 = report.Table4
+	// RenderTable5 renders observed RTP payload types per app.
+	RenderTable5 = report.Table5
+	// RenderTable6 renders observed RTCP packet types per app.
+	RenderTable6 = report.Table6
+	// RenderFigure3 renders the datagram-class breakdown.
+	RenderFigure3 = report.Figure3
+	// RenderFigure4 renders volume-based compliance ratios.
+	RenderFigure4 = report.Figure4
+	// RenderFigure5 renders type-based compliance ratios.
+	RenderFigure5 = report.Figure5
+	// RenderViolations renders the per-criterion violation tally.
+	RenderViolations = report.Violations
+)

@@ -1,0 +1,107 @@
+package rtcc_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	rtcc "github.com/rtc-compliance/rtcc"
+)
+
+func TestFacadeGenerateAnalyze(t *testing.T) {
+	cap, err := rtcc.GenerateCapture(rtcc.CaptureConfig{
+		App: rtcc.WhatsApp, Network: rtcc.WiFiRelay, Seed: 3,
+		Start: benchStart, CallDuration: 6 * time.Second,
+		PrePost: 8 * time.Second, MediaRate: 15, Background: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rtcc.Analyze(cap, rtcc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, ok := res.Stats.VolumeCompliance(); !ok || r <= 0 || r > 1 {
+		t.Errorf("volume compliance = %v, %v", r, ok)
+	}
+	if len(res.Filter.RTC) == 0 {
+		t.Error("no RTC streams survived")
+	}
+}
+
+func TestFacadeAnalyzeFile(t *testing.T) {
+	cap, err := rtcc.GenerateCapture(rtcc.CaptureConfig{
+		App: rtcc.Discord, Network: rtcc.Cellular, Seed: 4,
+		Start: benchStart, CallDuration: 5 * time.Second,
+		PrePost: 6 * time.Second, MediaRate: 15, Background: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "call.pcap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cap.WritePCAP(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	res, err := rtcc.AnalyzeFile(path, cap.CallStart, cap.CallEnd, rtcc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Discord's RTCP must be non-compliant through the file path too.
+	c, tot := res.Stats.TypeCompliance(rtcc.ProtoRTCP)
+	if tot == 0 || c != 0 {
+		t.Errorf("Discord RTCP from pcap = %d/%d, want 0/n", c, tot)
+	}
+}
+
+func TestFacadeAnalyzePCAPDefaultsWindow(t *testing.T) {
+	cap, err := rtcc.GenerateCapture(rtcc.CaptureConfig{
+		App: rtcc.Zoom, Network: rtcc.WiFiRelay, Seed: 5,
+		Start: benchStart, CallDuration: 5 * time.Second,
+		// No background and no pre/post: the capture span IS the call.
+		PrePost: 0, MediaRate: 15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cap.WritePCAP(&buf); err != nil {
+		t.Fatal(err)
+	}
+	res, err := rtcc.AnalyzePCAP(&buf, "zoom", time.Time{}, time.Time{}, rtcc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Filter.RTC) == 0 {
+		t.Error("default window dropped all streams")
+	}
+}
+
+func TestFacadeRenderers(t *testing.T) {
+	ma, err := rtcc.RunMatrix(rtcc.MatrixOptions{
+		Runs: 1, CallDuration: 4 * time.Second, PrePost: 5 * time.Second,
+		MediaRate: 10, Start: benchStart, BaseSeed: 77, Background: true,
+		Apps: []rtcc.App{rtcc.Zoom, rtcc.Discord},
+	}, rtcc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, out := range map[string]string{
+		"t1": rtcc.RenderTable1(ma.Table1),
+		"t2": rtcc.RenderTable2(ma.Aggregate),
+		"t3": rtcc.RenderTable3(ma.Aggregate),
+		"f4": rtcc.RenderFigure4(ma.Aggregate),
+		"f5": rtcc.RenderFigure5(ma.Aggregate),
+	} {
+		if len(out) < 50 {
+			t.Errorf("%s renderer output too short", name)
+		}
+	}
+}
