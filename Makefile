@@ -1,0 +1,32 @@
+# Build/test entry points, mirrored by .github/workflows/ci.yml.
+GO       ?= go
+FUZZTIME ?= 5s
+
+.PHONY: all vet build test race fuzz-smoke bench ci
+
+all: build
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Run every fuzz target briefly against its seed corpus plus a short
+# mutation budget. `go test -fuzz` accepts one target per invocation.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzInspect -fuzztime=$(FUZZTIME) ./internal/dpi
+	$(GO) test -run='^$$' -fuzz='FuzzDecode$$' -fuzztime=$(FUZZTIME) ./internal/stun
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeChannelData -fuzztime=$(FUZZTIME) ./internal/stun
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeCompound -fuzztime=$(FUZZTIME) ./internal/rtcp
+
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem .
+
+ci: vet build race fuzz-smoke

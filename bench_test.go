@@ -11,6 +11,7 @@ package rtcc_test
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -338,6 +339,88 @@ func BenchmarkDPI_OffsetSweep(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(msgs), "messages")
+		})
+	}
+}
+
+// --- Concurrent analysis engine benchmarks. ---
+
+// matrixOptionsForBench are the shared full-matrix options used by the
+// parallel-vs-serial comparisons.
+var matrixOptionsForBench = rtcc.MatrixOptions{
+	Runs:         1,
+	CallDuration: 10 * time.Second,
+	PrePost:      8 * time.Second,
+	MediaRate:    25,
+	Start:        benchStart,
+	BaseSeed:     500,
+	Background:   true,
+}
+
+func runMatrixWorkers(b *testing.B, workers int) *rtcc.MatrixAnalysis {
+	b.Helper()
+	ma, err := rtcc.RunMatrix(matrixOptionsForBench, rtcc.Options{SkipFindings: true, Workers: workers})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ma
+}
+
+// BenchmarkRunMatrix_Workers measures full-matrix throughput (capture
+// generation + analysis) at several worker-pool sizes. workers=1 is the
+// serial reference path.
+func BenchmarkRunMatrix_Workers(b *testing.B) {
+	counts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		counts = append(counts, n)
+	}
+	for _, w := range counts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var ma *rtcc.MatrixAnalysis
+			for i := 0; i < b.N; i++ {
+				ma = runMatrixWorkers(b, w)
+			}
+			b.ReportMetric(float64(ma.Captures*b.N)/b.Elapsed().Seconds(), "captures/s")
+		})
+	}
+}
+
+// BenchmarkRunMatrix_ParallelSpeedup reports the parallel-vs-serial
+// speedup of the full-matrix pipeline as a custom metric: the serial
+// (Workers=1) wall time divided by the parallel (all cores) per-run
+// time. On a multi-core runner this should comfortably exceed 1.5x;
+// on a single core it degenerates to ≈1x.
+func BenchmarkRunMatrix_ParallelSpeedup(b *testing.B) {
+	start := time.Now()
+	runMatrixWorkers(b, 1)
+	serial := time.Since(start)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runMatrixWorkers(b, runtime.GOMAXPROCS(0))
+	}
+	parallel := b.Elapsed() / time.Duration(b.N)
+	b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup_x")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+}
+
+// BenchmarkAnalyzeCapture_StreamWorkers isolates the stream-level pool
+// inside AnalyzeCapture on one large capture (no generation cost).
+func BenchmarkAnalyzeCapture_StreamWorkers(b *testing.B) {
+	cap, err := rtcc.GenerateCapture(rtcc.CaptureConfig{
+		App: rtcc.GoogleMeet, Network: rtcc.WiFiRelay, Seed: 9,
+		Start: benchStart, CallDuration: 10 * time.Second,
+		PrePost: 8 * time.Second, MediaRate: 25, Background: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := rtcc.Analyze(cap, rtcc.Options{SkipFindings: true, Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

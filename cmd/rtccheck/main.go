@@ -35,6 +35,7 @@ func main() {
 		endStr   = flag.String("end", "", "call window end (RFC 3339); default: capture end")
 		label    = flag.String("label", "", "application label for the report")
 		kOffset  = flag.Int("k", 200, "DPI maximum candidate-extraction offset")
+		workers  = flag.Int("workers", 0, "analysis worker count (0 = one per CPU, 1 = serial)")
 		findings = flag.Bool("findings", true, "report behavioural findings")
 		verbose  = flag.Bool("v", false, "print per-type detail")
 		inferHdr = flag.Bool("infer-headers", false, "infer the structure of proprietary headers per stream")
@@ -48,9 +49,9 @@ func main() {
 	}
 	var err error
 	if *manifest != "" {
-		err = runManifest(*manifest, *kOffset, *findings, *verbose, *inferHdr)
+		err = runManifest(*manifest, *kOffset, *workers, *findings, *verbose, *inferHdr)
 	} else {
-		err = runOne(*pcapPath, *label, *startStr, *endStr, *kOffset, *findings, *verbose, *inferHdr, *jsonOut)
+		err = runOne(*pcapPath, *label, *startStr, *endStr, *kOffset, *workers, *findings, *verbose, *inferHdr, *jsonOut)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rtccheck:", err)
@@ -65,7 +66,7 @@ func parseTime(s string) (time.Time, error) {
 	return time.Parse(time.RFC3339, s)
 }
 
-func runOne(path, label, startStr, endStr string, k int, findings, verbose, inferHdr, jsonOut bool) error {
+func runOne(path, label, startStr, endStr string, k, workers int, findings, verbose, inferHdr, jsonOut bool) error {
 	start, err := parseTime(startStr)
 	if err != nil {
 		return fmt.Errorf("bad -start: %w", err)
@@ -77,7 +78,7 @@ func runOne(path, label, startStr, endStr string, k int, findings, verbose, infe
 	if label == "" {
 		label = filepath.Base(path)
 	}
-	ca, err := rtcc.AnalyzeFile(path, start, end, rtcc.Options{MaxOffset: k, SkipFindings: !findings})
+	ca, err := rtcc.AnalyzeFile(path, start, end, rtcc.Options{MaxOffset: k, Workers: workers, SkipFindings: !findings})
 	if err != nil {
 		return err
 	}
@@ -94,8 +95,9 @@ func runOne(path, label, startStr, endStr string, k int, findings, verbose, infe
 // jsonReport is the machine-readable analysis result for one capture,
 // intended for deployment-diagnostics tooling.
 type jsonReport struct {
-	Label   string `json:"label"`
-	Streams struct {
+	Label        string `json:"label"`
+	DecodeErrors int    `json:"decode_errors"`
+	Streams      struct {
 		RawUDP int `json:"raw_udp"`
 		RawTCP int `json:"raw_tcp"`
 		Stage1 int `json:"removed_stage1"`
@@ -131,6 +133,7 @@ type jsonFinding struct {
 func printJSON(ca *rtcc.CaptureAnalysis) error {
 	var rep jsonReport
 	rep.Label = ca.Label
+	rep.DecodeErrors = ca.DecodeErrors
 	f := ca.Filter
 	rep.Streams.RawUDP = f.RawUDP.Streams
 	rep.Streams.RawTCP = f.RawTCP.Streams
@@ -231,7 +234,7 @@ type manifestEntry struct {
 	CallEnd   time.Time `json:"call_end"`
 }
 
-func runManifest(path string, k int, findings, verbose, inferHdr bool) error {
+func runManifest(path string, k, workers int, findings, verbose, inferHdr bool) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -243,7 +246,7 @@ func runManifest(path string, k int, findings, verbose, inferHdr bool) error {
 	dir := filepath.Dir(path)
 	for _, e := range entries {
 		ca, err := rtcc.AnalyzeFile(filepath.Join(dir, e.File), e.CallStart, e.CallEnd,
-			rtcc.Options{MaxOffset: k, SkipFindings: !findings})
+			rtcc.Options{MaxOffset: k, Workers: workers, SkipFindings: !findings})
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.File, err)
 		}
@@ -265,6 +268,9 @@ func printAnalysis(ca *rtcc.CaptureAnalysis, verbose bool) {
 		f.Stage1UDP.Streams+f.Stage1TCP.Streams,
 		f.Stage2UDP.Streams+f.Stage2TCP.Streams,
 		f.RTCUDP.Streams, f.RTCTCP.Streams)
+	if ca.DecodeErrors > 0 {
+		fmt.Printf("decode errors: %d undecodable frames dropped\n", ca.DecodeErrors)
+	}
 
 	total := 0
 	for _, n := range ca.Stats.Datagrams {

@@ -96,6 +96,7 @@ func runCollect(args []string) error {
 	listen := fs.String("listen", ":9898", "UDP listen address")
 	out := fs.String("out", "", "write the received frames to this pcap file")
 	analyze := fs.Bool("analyze", false, "run the compliance pipeline on the received capture")
+	workers := fs.Int("workers", 0, "analysis worker count (0 = one per CPU, 1 = serial)")
 	maxFrames := fs.Int("max", 0, "stop after this many frames (0 = until idle)")
 	idle := fs.Duration("idle", 3*time.Second, "stop after this long without frames")
 	fs.Parse(args)
@@ -142,7 +143,7 @@ func runCollect(args []string) error {
 			Packets:   frames,
 			CallStart: frames[0].Timestamp,
 			CallEnd:   frames[len(frames)-1].Timestamp,
-		}, rtcc.Options{})
+		}, rtcc.Options{Workers: *workers})
 		if err != nil {
 			return err
 		}

@@ -30,6 +30,7 @@ func main() {
 		duration = flag.Duration("duration", 12*time.Second, "call duration (paper: 5m)")
 		rate     = flag.Int("rate", 25, "media packets per second per stream")
 		seed     = flag.Uint64("seed", 1, "base seed")
+		workers  = flag.Int("workers", 0, "analysis worker count (0 = one per CPU, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -58,7 +59,7 @@ func main() {
 		Start:        time.Unix(1700000000, 0).UTC(),
 		BaseSeed:     *seed,
 		Background:   true,
-	}, rtcc.Options{})
+	}, rtcc.Options{Workers: *workers})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rtcreport:", err)
 		os.Exit(1)

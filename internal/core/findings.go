@@ -131,6 +131,41 @@ func (f *findingsContext) scanStream(s *flow.Stream, results []dpi.Result) {
 	}
 }
 
+// merge folds another context's evidence into f. All evidence is
+// commutative (counters and per-direction byte histograms), so the
+// merged findings are independent of the order streams were scanned or
+// merged in — the property the parallel pipeline relies on.
+func (f *findingsContext) merge(o *findingsContext) {
+	f.filler += o.filler
+	f.keepalive += o.keepalive
+	f.doubleRTP += o.doubleRTP
+	f.rtpDgrams += o.rtpDgrams
+	f.zeroSSRC += o.zeroSSRC
+	f.fbTotal += o.fbTotal
+	f.hdr6000 += o.hdr6000
+	f.hdr6000OK += o.hdr6000OK
+	mergeDirs := func(dst *map[flow.Direction]map[byte]int, src map[flow.Direction]map[byte]int) {
+		if len(src) == 0 {
+			return
+		}
+		if *dst == nil {
+			*dst = map[flow.Direction]map[byte]int{}
+		}
+		for dir, m := range src {
+			d := (*dst)[dir]
+			if d == nil {
+				d = map[byte]int{}
+				(*dst)[dir] = d
+			}
+			for v, n := range m {
+				d[v] += n
+			}
+		}
+	}
+	mergeDirs(&f.trailerDirs, o.trailerDirs)
+	mergeDirs(&f.headerDirs, o.headerDirs)
+}
+
 func uniformBytes(b []byte) bool {
 	for _, x := range b[1:] {
 		if x != b[0] {

@@ -32,6 +32,13 @@ type Options struct {
 	SNIBlocklist []string
 	// SkipFindings disables the behavioural-findings detectors.
 	SkipFindings bool
+	// Workers bounds the analysis worker pool. RunMatrix fans capture
+	// generation and analysis out over this many goroutines, and
+	// AnalyzeCapture (when called directly) inspects streams in
+	// parallel. Zero selects one worker per CPU; 1 selects the serial
+	// path. Results are identical for every worker count: partial
+	// results are folded back in deterministic input order.
+	Workers int
 }
 
 func (o Options) engine() *dpi.Engine {
@@ -67,6 +74,9 @@ type CaptureAnalysis struct {
 	RTPSSRCs map[uint32]bool
 	// Bytes is the total raw capture volume (transport payload bytes).
 	Bytes int
+	// DecodeErrors counts frames that could not be decoded into
+	// transport packets (truncated or corrupt captures contain them).
+	DecodeErrors int
 }
 
 // AnalyzeCapture runs the full pipeline over one capture.
@@ -98,50 +108,91 @@ func AnalyzeCapture(in CaptureInput, opts Options) (*CaptureAnalysis, error) {
 	})
 
 	ca := &CaptureAnalysis{
-		Label:    in.Label,
-		Filter:   fres,
-		Stats:    report.NewAppStats(in.Label),
-		RTPSSRCs: make(map[uint32]bool),
+		Label:        in.Label,
+		Filter:       fres,
+		Stats:        report.NewAppStats(in.Label),
+		RTPSSRCs:     make(map[uint32]bool),
+		DecodeErrors: decodeErrs,
 	}
 	for _, s := range table.Streams() {
 		ca.Bytes += s.Bytes
 	}
 
-	engine := opts.engine()
-	checker := compliance.NewChecker()
-	var fctx findingsContext
-
 	// The compliance analysis covers UDP RTC streams only (§3.3: TCP
-	// volume is negligible and carries signaling, not media).
+	// volume is negligible and carries signaling, not media). Every
+	// piece of per-stream state — the DPI stream context, the
+	// compliance session, the findings evidence — is independent
+	// between streams, so streams fan out over the worker pool; the
+	// per-stream partial results are folded back in stream order, which
+	// makes the output identical to the serial path for any worker
+	// count.
+	var udp []*flow.Stream
 	for _, s := range fres.RTC {
-		if s.Key.Proto != layers.IPProtocolUDP {
-			continue
+		if s.Key.Proto == layers.IPProtocolUDP {
+			udp = append(udp, s)
 		}
-		payloads := make([][]byte, len(s.Packets))
-		for i, p := range s.Packets {
-			payloads[i] = p.Payload
+	}
+	partials := make([]*streamPartial, len(udp))
+	forEachIndexed(len(udp), opts.workers(), func(i int) error {
+		partials[i] = analyzeStream(udp[i], opts)
+		return nil
+	})
+
+	var fctx findingsContext
+	for _, p := range partials {
+		mergeStats(ca.Stats, p.stats)
+		for ssrc := range p.ssrcs {
+			ca.RTPSSRCs[ssrc] = true
 		}
-		results := engine.InspectStream(payloads)
-		session := checker.NewSession()
-		for i, r := range results {
-			ca.Stats.AddDatagram(r.Class)
-			for _, m := range r.Messages {
-				for _, c := range session.Check(m, s.Packets[i].Timestamp) {
-					ca.Stats.AddChecked(c)
-				}
-				if m.Protocol == dpi.ProtoRTP {
-					ca.RTPSSRCs[m.RTP.SSRC] = true
-				}
-			}
-		}
-		if !opts.SkipFindings {
-			fctx.scanStream(s, results)
-		}
+		fctx.merge(&p.fctx)
 	}
 	if !opts.SkipFindings {
 		ca.Findings = fctx.findings()
 	}
 	return ca, nil
+}
+
+// streamPartial is the analysis outcome of one RTC stream, produced by
+// one worker and merged into the capture result.
+type streamPartial struct {
+	stats *report.AppStats
+	fctx  findingsContext
+	ssrcs map[uint32]bool
+}
+
+// analyzeStream runs DPI extraction and compliance checking over one
+// UDP RTC stream with fresh per-stream state: its own engine, checker,
+// session, and findings evidence. The compliance Checker's only
+// cross-stream field is write-only during checking, so a per-stream
+// checker yields verdicts identical to a capture-shared one.
+func analyzeStream(s *flow.Stream, opts Options) *streamPartial {
+	engine := opts.engine()
+	checker := compliance.NewChecker()
+	p := &streamPartial{
+		stats: report.NewAppStats(""),
+		ssrcs: make(map[uint32]bool),
+	}
+	payloads := make([][]byte, len(s.Packets))
+	for i, pkt := range s.Packets {
+		payloads[i] = pkt.Payload
+	}
+	results := engine.InspectStream(payloads)
+	session := checker.NewSession()
+	for i, r := range results {
+		p.stats.AddDatagram(r.Class)
+		for _, m := range r.Messages {
+			for _, c := range session.Check(m, s.Packets[i].Timestamp) {
+				p.stats.AddChecked(c)
+			}
+			if m.Protocol == dpi.ProtoRTP {
+				p.ssrcs[m.RTP.SSRC] = true
+			}
+		}
+	}
+	if !opts.SkipFindings {
+		p.fctx.scanStream(s, results)
+	}
+	return p
 }
 
 // AnalyzePCAP reads a capture stream — classic pcap or pcapng, detected
@@ -202,8 +253,44 @@ type MatrixAnalysis struct {
 }
 
 // RunMatrix generates the experiment matrix and analyzes every capture.
+// Capture generation and analysis fan out over Options.Workers
+// goroutines (each capture is independent); the per-capture results are
+// folded into the aggregate in deterministic config order, so the
+// output is byte-identical to a serial (Workers=1) run.
 func RunMatrix(mopts trace.MatrixOptions, opts Options) (*MatrixAnalysis, error) {
 	configs := trace.Matrix(mopts)
+
+	// When the matrix-level pool is active, each worker owns a whole
+	// capture; the per-capture stream pool is disabled so the total
+	// concurrency stays bounded by the one pool.
+	workers := opts.workers()
+	capOpts := opts
+	if workers > 1 {
+		capOpts.Workers = 1
+	}
+	analyses := make([]*CaptureAnalysis, len(configs))
+	err := forEachIndexed(len(configs), workers, func(i int) error {
+		cap, err := trace.Generate(configs[i])
+		if err != nil {
+			return err
+		}
+		ca, err := AnalyzeCapture(CaptureInput{
+			Label:     string(configs[i].App),
+			LinkType:  pcap.LinkTypeRaw,
+			Packets:   cap.Frames(),
+			CallStart: cap.CallStart,
+			CallEnd:   cap.CallEnd,
+		}, capOpts)
+		if err != nil {
+			return err
+		}
+		analyses[i] = ca
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	ma := &MatrixAnalysis{Aggregate: report.NewAggregate()}
 	rows := make(map[string]*report.Table1Row)
 	var rowOrder []string
@@ -211,22 +298,8 @@ func RunMatrix(mopts trace.MatrixOptions, opts Options) (*MatrixAnalysis, error)
 	ssrcSets := make(map[string][]map[uint32]bool)
 	var allFindings []Finding
 
-	for _, cfg := range configs {
-		cap, err := trace.Generate(cfg)
-		if err != nil {
-			return nil, err
-		}
-		in := CaptureInput{
-			Label:     string(cfg.App),
-			LinkType:  pcap.LinkTypeRaw,
-			Packets:   cap.Frames(),
-			CallStart: cap.CallStart,
-			CallEnd:   cap.CallEnd,
-		}
-		ca, err := AnalyzeCapture(in, opts)
-		if err != nil {
-			return nil, err
-		}
+	for i, cfg := range configs {
+		ca := analyses[i]
 		ma.Captures++
 
 		// Fold stats into the aggregate.

@@ -6,6 +6,7 @@ import (
 
 	"github.com/rtc-compliance/rtcc/internal/appsim"
 	"github.com/rtc-compliance/rtcc/internal/dpi"
+	"github.com/rtc-compliance/rtcc/internal/flow"
 	"github.com/rtc-compliance/rtcc/internal/trace"
 )
 
@@ -45,5 +46,80 @@ func TestTypeComplianceSeedSweep(t *testing.T) {
 		check(appsim.GoogleMeet, dpi.ProtoSTUN, 15, 16)
 		check(appsim.GoogleMeet, dpi.ProtoRTP, 11, 11)
 		check(appsim.GoogleMeet, dpi.ProtoRTCP, 0, 7)
+	}
+}
+
+// TestAggregateInvariantsSeedSweep sweeps a wider seed set through the
+// full matrix and asserts the structural invariants that must hold for
+// any seed: every compliance fraction lies in [0,1], and the Table 1
+// filter accounting is conservative — the surviving stream/packet/byte
+// counts are monotonically non-increasing through raw → stage 1 →
+// stage 2 → RTC (stage columns record removals, so survivors after each
+// stage are raw minus the cumulative removals, and nothing may go
+// negative or reappear).
+func TestAggregateInvariantsSeedSweep(t *testing.T) {
+	seeds := []uint64{3, 17, 99, 1234, 20250806, 55555, 777777, 13579, 24680}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, base := range seeds {
+		ma, err := RunMatrix(trace.MatrixOptions{
+			Runs: 1, CallDuration: 4 * time.Second, PrePost: 5 * time.Second,
+			MediaRate: 10, Start: t0, BaseSeed: base, Background: true,
+		}, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", base, err)
+		}
+		if ma.Captures != 6*3 {
+			t.Errorf("seed %d: captures = %d, want 18", base, ma.Captures)
+		}
+		for _, app := range ma.Aggregate.Apps() {
+			if r, ok := app.VolumeCompliance(); ok && (r < 0 || r > 1) {
+				t.Errorf("seed %d: %s volume compliance %.4f outside [0,1]", base, app.App, r)
+			}
+			for fam, ps := range app.ByProtocol {
+				if ps.Compliant < 0 || ps.Compliant > ps.Messages {
+					t.Errorf("seed %d: %s %v compliant %d of %d messages", base, app.App, fam, ps.Compliant, ps.Messages)
+				}
+			}
+			c, tot := app.TypeCompliance(dpi.ProtoUnknown)
+			if c < 0 || c > tot {
+				t.Errorf("seed %d: %s type compliance %d/%d", base, app.App, c, tot)
+			}
+		}
+		if len(ma.Table1) != 6 {
+			t.Errorf("seed %d: %d Table 1 rows", base, len(ma.Table1))
+		}
+		for _, row := range ma.Table1 {
+			checkStageMonotone(t, base, row.App+" UDP", row.RawUDP, row.Stage1UDP, row.Stage2UDP, row.RTCUDP)
+			checkStageMonotone(t, base, row.App+" TCP", row.RawTCP, row.Stage1TCP, row.Stage2TCP, row.RTCTCP)
+		}
+	}
+}
+
+// checkStageMonotone verifies raw ≥ after-stage1 ≥ after-stage2 = RTC
+// for streams, packets, and bytes, where the stage columns count
+// removals.
+func checkStageMonotone(t *testing.T, seed uint64, label string, raw, stage1, stage2, rtc flow.Counts) {
+	t.Helper()
+	dims := []struct {
+		name                   string
+		raw, st1, st2, survive int
+	}{
+		{"streams", raw.Streams, stage1.Streams, stage2.Streams, rtc.Streams},
+		{"packets", raw.Packets, stage1.Packets, stage2.Packets, rtc.Packets},
+		{"bytes", raw.Bytes, stage1.Bytes, stage2.Bytes, rtc.Bytes},
+	}
+	for _, d := range dims {
+		after1 := d.raw - d.st1
+		after2 := after1 - d.st2
+		if d.raw < after1 || after1 < after2 || after2 < 0 {
+			t.Errorf("seed %d: %s %s not monotone: raw %d, after stage1 %d, after stage2 %d",
+				seed, label, d.name, d.raw, after1, after2)
+		}
+		if after2 != d.survive {
+			t.Errorf("seed %d: %s %s not conserved: raw %d - removed (%d+%d) = %d, but RTC = %d",
+				seed, label, d.name, d.raw, d.st1, d.st2, after2, d.survive)
+		}
 	}
 }

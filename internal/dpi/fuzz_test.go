@@ -1,6 +1,12 @@
 package dpi
 
-import "testing"
+import (
+	"bytes"
+	"testing"
+
+	"github.com/rtc-compliance/rtcc/internal/rtcp"
+	"github.com/rtc-compliance/rtcc/internal/rtp"
+)
 
 // FuzzInspect checks the engine's structural invariants on arbitrary
 // datagrams: no panics, non-overlapping in-bounds message spans, and
@@ -8,6 +14,41 @@ import "testing"
 func FuzzInspect(f *testing.F) {
 	f.Add([]byte{0x80, 0x60, 0, 1, 0, 0, 0, 0, 0, 0, 0, 1, 0xaa})
 	f.Add([]byte{0x00, 0x01, 0x00, 0x00, 0x21, 0x12, 0xa4, 0x42})
+
+	// Corpus entries mirroring the proprietary-header shapes the appsim
+	// emulators emit (§5.2/§5.3), so the fuzzer starts from the wire
+	// formats the pipeline actually has to classify.
+	media := (&rtp.Packet{PayloadType: 111, SequenceNumber: 7, Timestamp: 960, SSRC: 0x1000C01,
+		Payload: bytes.Repeat([]byte{0x5a}, 64)}).Encode()
+	// Zoom: direction byte, 0x10, constant 4-byte media ID, opaque SFU
+	// words, media-section type (15 = audio RTP), opaque trailer, then
+	// the RTP message.
+	zoomHdr := []byte{0x00, 0x10, 0x01, 0x00, 0x0C, 0x01, 1, 3, 5, 7, 9, 11, 13, 15, 15, 2, 4, 6, 8, 10, 12, 14, 16}
+	f.Add(append(append([]byte(nil), zoomHdr...), media...))
+	// Zoom filler: a large datagram of one repeated byte (bandwidth
+	// probing; fully proprietary).
+	f.Add(bytes.Repeat([]byte{0xab}, 1000))
+	// FaceTime: 0x6000 magic, 2-byte length of the remainder, opaque
+	// bytes, then the wrapped RTP message (with an undefined extension
+	// profile, as FaceTime sends).
+	ftMedia := (&rtp.Packet{PayloadType: 104, SequenceNumber: 9, Timestamp: 1920, SSRC: 0xfeed,
+		Extension: &rtp.Extension{Profile: 0x8001, Elements: []rtp.ExtensionElement{{ID: 1, Payload: []byte{1, 2}}}},
+		Payload:   bytes.Repeat([]byte{0x33}, 48)}).Encode()
+	ft := []byte{0x60, 0x00, byte((4 + len(ftMedia)) >> 8), byte(4 + len(ftMedia)), 0xaa, 0xbb, 0xcc, 0xdd}
+	f.Add(append(ft, ftMedia...))
+	// FaceTime cellular keepalive: 36 bytes starting 0xDEADBEEFCAFE with
+	// two trailing 4-byte counters.
+	ka := make([]byte, 36)
+	copy(ka, []byte{0xDE, 0xAD, 0xBE, 0xEF, 0xCA, 0xFE})
+	ka[31], ka[35] = 3, 7
+	f.Add(ka)
+	// Meet: relay video inside a TURN ChannelData frame.
+	cd := append([]byte{0x40, 0x01, byte(len(media) >> 8), byte(len(media))}, media...)
+	f.Add(cd)
+	// Meet: SRTCP with only the 4-byte E-flag+index trailer, missing the
+	// RFC 3711 auth tag (the paper's headline RTCP violation).
+	sr := rtcp.EncodeSR(&rtcp.SenderReport{SSRC: 0x1000C01, Info: rtcp.SenderInfo{NTPTimestamp: 1}})
+	f.Add(append(append([]byte(nil), sr...), 0x80, 0x00, 0x00, 0x2a))
 	e := NewEngine()
 	f.Fuzz(func(t *testing.T, data []byte) {
 		res := e.Inspect(data, nil)

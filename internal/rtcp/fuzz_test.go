@@ -10,6 +10,22 @@ func FuzzDecodeCompound(f *testing.F) {
 		EncodeRR(&ReceiverReport{SSRC: 2}),
 		EncodeBye(&Bye{SSRCs: []uint32{2}}),
 	))
+
+	// Corpus entries mirroring the deviant RTCP trailer shapes the
+	// appsim emulators emit (§5.2/§5.3): Meet's SRTCP with only the
+	// 4-byte E-flag+index (auth tag missing), a full 14-byte SRTCP
+	// trailer, and Discord's single direction-correlated trailer byte.
+	meet := Compound(
+		EncodeSR(&SenderReport{SSRC: 0x1000C01, Info: SenderInfo{NTPTimestamp: 2}}),
+		EncodeSDES(&SDES{Chunks: []SDESChunk{{SSRC: 0x1000C01, Items: []SDESItem{{Type: SDESCNAME, Text: "a@b"}}}}}),
+	)
+	f.Add(append(append([]byte(nil), meet...), 0x80, 0x00, 0x00, 0x2a))
+	full := EncodeFeedback(TypeRTPFB, &Feedback{FMT: 1, SenderSSRC: 3, MediaSSRC: 4, FCI: []byte{0, 1, 0, 0}})
+	trailer := make([]byte, 14)
+	trailer[0] = 0x80
+	f.Add(append(append([]byte(nil), full...), trailer...))
+	discord := EncodeFeedback(TypePSFB, &Feedback{FMT: 15, SenderSSRC: 0, MediaSSRC: 5})
+	f.Add(append(append([]byte(nil), discord...), 0x02))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		pkts, trailing, err := DecodeCompound(data)
 		if err != nil {

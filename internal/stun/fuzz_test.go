@@ -16,6 +16,22 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte{0x00, 0x01, 0x00, 0x00, 0x21, 0x12, 0xa4, 0x42})
 	f.Add(bytes.Repeat([]byte{0}, 64))
 
+	// Corpus entries mirroring the deviant STUN shapes the appsim
+	// emulators emit (§5.2): Zoom's classic RFC 3489 messages with
+	// undefined attributes, FaceTime's 0x8007-bearing Binding Requests,
+	// and Meet's GOOG-PING expansion types.
+	zoomClassic := &Message{Type: TypeBindingRequest, Classic: true, TransactionID: [12]byte{9, 9, 9}}
+	zoomClassic.Add(AttrType(0x0101), []byte("12345678901234567890"))
+	f.Add(zoomClassic.Encode())
+	zoomSSR := &Message{Type: TypeSharedSecretRequest, Classic: true, TransactionID: [12]byte{8, 8}}
+	zoomSSR.Add(AttrType(0x0103), []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(zoomSSR.Encode())
+	ft := &Message{Type: TypeBindingRequest, TransactionID: [12]byte{7, 7, 7}}
+	ft.Add(AttrType(0x8007), []byte{0, 0, 0, 9})
+	f.Add(ft.Encode())
+	googPing := &Message{Type: MessageType(0x0200), TransactionID: [12]byte{6, 6, 6}}
+	f.Add(googPing.Encode())
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		msg, err := Decode(data)
 		if err != nil {

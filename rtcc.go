@@ -93,7 +93,8 @@ type Capture = trace.Capture
 type MatrixOptions = trace.MatrixOptions
 
 // Options configures an analysis run (DPI offset limit, filter window
-// slack, SNI blocklist).
+// slack, SNI blocklist, worker-pool size). Workers=0 uses every CPU,
+// Workers=1 forces the serial path; results are identical either way.
 type Options = core.Options
 
 // CaptureAnalysis is the per-capture analysis result: filter
@@ -177,7 +178,11 @@ func AnalyzeFile(path string, callStart, callEnd time.Time, opts Options) (*Capt
 }
 
 // RunMatrix generates and analyzes the whole experiment matrix,
-// producing the aggregate behind every paper table and figure.
+// producing the aggregate behind every paper table and figure. Capture
+// generation and analysis run concurrently on Options.Workers
+// goroutines (all CPUs by default); results are folded back in
+// deterministic config order, so the output is identical to a serial
+// run.
 func RunMatrix(mopts MatrixOptions, opts Options) (*MatrixAnalysis, error) {
 	return core.RunMatrix(mopts, opts)
 }
