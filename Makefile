@@ -1,8 +1,9 @@
 # Build/test entry points, mirrored by .github/workflows/ci.yml.
-GO       ?= go
-FUZZTIME ?= 5s
+GO          ?= go
+FUZZTIME    ?= 5s
+COVER_FLOOR ?= 70
 
-.PHONY: all vet build test race fuzz-smoke bench ci
+.PHONY: all vet build test race fuzz-smoke cover bench ci
 
 all: build
 
@@ -25,8 +26,18 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='FuzzDecode$$' -fuzztime=$(FUZZTIME) ./internal/stun
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeChannelData -fuzztime=$(FUZZTIME) ./internal/stun
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeCompound -fuzztime=$(FUZZTIME) ./internal/rtcp
+	$(GO) test -run='^$$' -fuzz=FuzzDecapsulate -fuzztime=$(FUZZTIME) ./internal/live
+
+# Per-package coverage table, plus a hard floor on the observability
+# package: internal/metrics must stay at or above $(COVER_FLOOR)%.
+cover:
+	$(GO) test -cover ./...
+	$(GO) test -coverprofile=coverage.out ./internal/metrics
+	@$(GO) tool cover -func=coverage.out | awk -v floor=$(COVER_FLOOR) \
+		'/^total:/ { pct = $$3+0; printf "internal/metrics coverage: %s (floor %d%%)\n", $$3, floor; \
+		 if (pct < floor) { print "coverage below floor"; exit 1 } }'
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
 
-ci: vet build race fuzz-smoke
+ci: vet build race fuzz-smoke cover

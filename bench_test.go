@@ -425,6 +425,44 @@ func BenchmarkAnalyzeCapture_StreamWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkAnalyzeCapture_MetricsOverhead compares the full pipeline
+// over one capture with metrics disabled (nil registry — the default)
+// and enabled. The nil path must stay within noise of the pre-metrics
+// pipeline: disabled instruments are nil pointers whose methods branch
+// and return, and no timestamps are taken.
+func BenchmarkAnalyzeCapture_MetricsOverhead(b *testing.B) {
+	cap, err := rtcc.GenerateCapture(rtcc.CaptureConfig{
+		App: rtcc.GoogleMeet, Network: rtcc.WiFiRelay, Seed: 9,
+		Start: benchStart, CallDuration: 10 * time.Second,
+		PrePost: 8 * time.Second, MediaRate: 25, Background: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	frames := cap.Frames()
+	bytes := 0
+	for _, f := range frames {
+		bytes += len(f.Data)
+	}
+	b.Run("disabled", func(b *testing.B) {
+		b.SetBytes(int64(bytes))
+		for i := 0; i < b.N; i++ {
+			if _, err := rtcc.Analyze(cap, rtcc.Options{SkipFindings: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		b.SetBytes(int64(bytes))
+		for i := 0; i < b.N; i++ {
+			reg := rtcc.NewMetricsRegistry()
+			if _, err := rtcc.Analyze(cap, rtcc.Options{SkipFindings: true, Metrics: reg}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // --- Codec and pipeline microbenchmarks. ---
 
 func BenchmarkSTUNDecode(b *testing.B) {

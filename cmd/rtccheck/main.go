@@ -23,6 +23,7 @@ import (
 	rtcc "github.com/rtc-compliance/rtcc"
 	"github.com/rtc-compliance/rtcc/internal/dpi"
 	"github.com/rtc-compliance/rtcc/internal/flow"
+	"github.com/rtc-compliance/rtcc/internal/metrics"
 	"github.com/rtc-compliance/rtcc/internal/propheader"
 	"github.com/rtc-compliance/rtcc/internal/report"
 )
@@ -40,6 +41,7 @@ func main() {
 		verbose  = flag.Bool("v", false, "print per-type detail")
 		inferHdr = flag.Bool("infer-headers", false, "infer the structure of proprietary headers per stream")
 		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of text")
+		metAddr  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address during the run")
 	)
 	flag.Parse()
 
@@ -47,11 +49,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rtccheck: exactly one of -pcap or -manifest is required")
 		os.Exit(2)
 	}
+	var reg *metrics.Registry
+	if *metAddr != "" {
+		reg = metrics.NewRegistry()
+		srv, err := metrics.Serve(*metAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rtccheck:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", srv.Addr())
+	}
 	var err error
 	if *manifest != "" {
-		err = runManifest(*manifest, *kOffset, *workers, *findings, *verbose, *inferHdr)
+		err = runManifest(*manifest, *kOffset, *workers, *findings, *verbose, *inferHdr, reg)
 	} else {
-		err = runOne(*pcapPath, *label, *startStr, *endStr, *kOffset, *workers, *findings, *verbose, *inferHdr, *jsonOut)
+		err = runOne(*pcapPath, *label, *startStr, *endStr, *kOffset, *workers, *findings, *verbose, *inferHdr, *jsonOut, reg)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rtccheck:", err)
@@ -66,7 +79,7 @@ func parseTime(s string) (time.Time, error) {
 	return time.Parse(time.RFC3339, s)
 }
 
-func runOne(path, label, startStr, endStr string, k, workers int, findings, verbose, inferHdr, jsonOut bool) error {
+func runOne(path, label, startStr, endStr string, k, workers int, findings, verbose, inferHdr, jsonOut bool, reg *metrics.Registry) error {
 	start, err := parseTime(startStr)
 	if err != nil {
 		return fmt.Errorf("bad -start: %w", err)
@@ -78,7 +91,7 @@ func runOne(path, label, startStr, endStr string, k, workers int, findings, verb
 	if label == "" {
 		label = filepath.Base(path)
 	}
-	ca, err := rtcc.AnalyzeFile(path, start, end, rtcc.Options{MaxOffset: k, Workers: workers, SkipFindings: !findings})
+	ca, err := rtcc.AnalyzeFile(path, start, end, rtcc.Options{MaxOffset: k, Workers: workers, SkipFindings: !findings, Metrics: reg})
 	if err != nil {
 		return err
 	}
@@ -234,7 +247,7 @@ type manifestEntry struct {
 	CallEnd   time.Time `json:"call_end"`
 }
 
-func runManifest(path string, k, workers int, findings, verbose, inferHdr bool) error {
+func runManifest(path string, k, workers int, findings, verbose, inferHdr bool, reg *metrics.Registry) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -246,7 +259,7 @@ func runManifest(path string, k, workers int, findings, verbose, inferHdr bool) 
 	dir := filepath.Dir(path)
 	for _, e := range entries {
 		ca, err := rtcc.AnalyzeFile(filepath.Join(dir, e.File), e.CallStart, e.CallEnd,
-			rtcc.Options{MaxOffset: k, Workers: workers, SkipFindings: !findings})
+			rtcc.Options{MaxOffset: k, Workers: workers, SkipFindings: !findings, Metrics: reg})
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.File, err)
 		}
@@ -263,6 +276,22 @@ func runManifest(path string, k, workers int, findings, verbose, inferHdr bool) 
 
 func printAnalysis(ca *rtcc.CaptureAnalysis, verbose bool) {
 	f := ca.Filter
+	decoded := f.RawUDP.Packets + f.RawTCP.Packets
+	datagrams := 0
+	for _, n := range ca.Stats.Datagrams {
+		datagrams += n
+	}
+	messages, compliant := 0, 0
+	for _, ps := range ca.Stats.ByProtocol {
+		messages += ps.Messages
+		compliant += ps.Compliant
+	}
+	fmt.Printf("pipeline: %d frames in (%d decode errors) -> %d packets -> dropped %d stage1 + %d stage2 -> %d RTC packets -> %d datagrams -> %d messages (%d compliant)\n",
+		decoded+ca.DecodeErrors, ca.DecodeErrors, decoded,
+		f.Stage1UDP.Packets+f.Stage1TCP.Packets,
+		f.Stage2UDP.Packets+f.Stage2TCP.Packets,
+		f.RTCUDP.Packets+f.RTCTCP.Packets,
+		datagrams, messages, compliant)
 	fmt.Printf("streams: raw %d UDP / %d TCP; removed stage1 %d, stage2 %d; RTC %d UDP / %d TCP\n",
 		f.RawUDP.Streams, f.RawTCP.Streams,
 		f.Stage1UDP.Streams+f.Stage1TCP.Streams,

@@ -20,8 +20,24 @@ import (
 	"github.com/rtc-compliance/rtcc/internal/core"
 	"github.com/rtc-compliance/rtcc/internal/dpi"
 	"github.com/rtc-compliance/rtcc/internal/live"
+	"github.com/rtc-compliance/rtcc/internal/metrics"
 	"github.com/rtc-compliance/rtcc/internal/pcap"
 )
+
+// serveMetrics starts the observability endpoint when addr is non-empty
+// and returns the registry (nil when disabled) plus a shutdown func.
+func serveMetrics(addr string) (*metrics.Registry, func(), error) {
+	if addr == "" {
+		return nil, func() {}, nil
+	}
+	reg := metrics.NewRegistry()
+	srv, err := metrics.Serve(addr, reg)
+	if err != nil {
+		return nil, nil, err
+	}
+	fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", srv.Addr())
+	return reg, func() { srv.Close() }, nil
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -44,8 +60,8 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  rtclive replay  -pcap FILE -to HOST:PORT [-speed N]
-  rtclive collect -listen ADDR [-out FILE] [-analyze] [-max N] [-idle DUR]`)
+  rtclive replay  -pcap FILE -to HOST:PORT [-speed N] [-metrics-addr ADDR]
+  rtclive collect -listen ADDR [-out FILE] [-analyze] [-max N] [-idle DUR] [-metrics-addr ADDR]`)
 	os.Exit(2)
 }
 
@@ -54,10 +70,16 @@ func runReplay(args []string) error {
 	pcapPath := fs.String("pcap", "", "pcap file to replay")
 	to := fs.String("to", "", "collector address host:port")
 	speed := fs.Float64("speed", 10, "time compression factor (<=0: no pacing)")
+	metAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address")
 	fs.Parse(args)
 	if *pcapPath == "" || *to == "" {
 		return fmt.Errorf("replay requires -pcap and -to")
 	}
+	_, stopMetrics, err := serveMetrics(*metAddr)
+	if err != nil {
+		return err
+	}
+	defer stopMetrics()
 
 	f, err := os.Open(*pcapPath)
 	if err != nil {
@@ -99,7 +121,14 @@ func runCollect(args []string) error {
 	workers := fs.Int("workers", 0, "analysis worker count (0 = one per CPU, 1 = serial)")
 	maxFrames := fs.Int("max", 0, "stop after this many frames (0 = until idle)")
 	idle := fs.Duration("idle", 3*time.Second, "stop after this long without frames")
+	metAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address")
 	fs.Parse(args)
+
+	reg, stopMetrics, err := serveMetrics(*metAddr)
+	if err != nil {
+		return err
+	}
+	defer stopMetrics()
 
 	col, err := live.Listen(*listen)
 	if err != nil {
@@ -107,16 +136,21 @@ func runCollect(args []string) error {
 	}
 	defer col.Close()
 	col.IdleTimeout = *idle
+	col.Metrics = reg
 	fmt.Printf("collecting on %s (idle timeout %v)...\n", col.Addr(), *idle)
 
 	frames, err := col.Collect(context.Background(), *maxFrames)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("received %d frames (%d dropped, %d reordered)\n", len(frames), col.Dropped, col.Reordered)
+	fmt.Printf("received %d frames (%d decode errors, %d dropped, %d reordered)\n",
+		len(frames), col.DecodeErrors, col.Dropped, col.Reordered)
 	if len(frames) == 0 {
 		return nil
 	}
+	// UDP reordering on the mirror path scrambles arrival order; restore
+	// capture order so the pcap and the analysis see the original stream.
+	live.SortByTimestamp(frames)
 
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -143,9 +177,12 @@ func runCollect(args []string) error {
 			Packets:   frames,
 			CallStart: frames[0].Timestamp,
 			CallEnd:   frames[len(frames)-1].Timestamp,
-		}, rtcc.Options{Workers: *workers})
+		}, rtcc.Options{Workers: *workers, Metrics: reg})
 		if err != nil {
 			return err
+		}
+		if ca.DecodeErrors > 0 {
+			fmt.Printf("decode errors: %d undecodable frames in the analysis\n", ca.DecodeErrors)
 		}
 		if ratio, ok := ca.Stats.VolumeCompliance(); ok {
 			fmt.Printf("volume compliance: %.2f%%\n", 100*ratio)

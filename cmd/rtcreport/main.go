@@ -31,8 +31,21 @@ func main() {
 		rate     = flag.Int("rate", 25, "media packets per second per stream")
 		seed     = flag.Uint64("seed", 1, "base seed")
 		workers  = flag.Int("workers", 0, "analysis worker count (0 = one per CPU, 1 = serial)")
+		metAddr  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address during the run")
 	)
 	flag.Parse()
+
+	var reg *rtcc.MetricsRegistry
+	if *metAddr != "" {
+		reg = rtcc.NewMetricsRegistry()
+		srv, err := rtcc.ServeMetrics(*metAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rtcreport:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", srv.Addr())
+	}
 
 	wantT, err := parseSet(*tables, 1, 6)
 	if err != nil {
@@ -59,7 +72,7 @@ func main() {
 		Start:        time.Unix(1700000000, 0).UTC(),
 		BaseSeed:     *seed,
 		Background:   true,
-	}, rtcc.Options{Workers: *workers})
+	}, rtcc.Options{Workers: *workers, Metrics: reg})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rtcreport:", err)
 		os.Exit(1)

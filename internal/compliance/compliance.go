@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"github.com/rtc-compliance/rtcc/internal/dpi"
+	"github.com/rtc-compliance/rtcc/internal/metrics"
 )
 
 // Criterion numbers the five checks.
@@ -100,11 +101,65 @@ type Checked struct {
 // cross-validate RTCP sender SSRCs.
 type Checker struct {
 	rtpSSRCs map[uint32]bool
+	metrics  *checkerMetrics
 }
 
 // NewChecker returns a checker for one call capture.
 func NewChecker() *Checker {
 	return &Checker{rtpSSRCs: make(map[uint32]bool)}
+}
+
+// checkerMetrics holds the per-criterion verdict counters, indexed by
+// Criterion (fail[CritNone] stays nil).
+type checkerMetrics struct {
+	pass *metrics.Counter
+	fail [CritSemantics + 1]*metrics.Counter
+}
+
+// critSlug maps a criterion to its metric label value.
+func critSlug(c Criterion) string {
+	switch c {
+	case CritMessageType:
+		return "message_type"
+	case CritHeader:
+		return "header"
+	case CritAttrType:
+		return "attr_type"
+	case CritAttrValue:
+		return "attr_value"
+	case CritSemantics:
+		return "semantics"
+	}
+	return "unknown"
+}
+
+// SetMetrics attaches a registry: every verdict the checker's sessions
+// produce is counted as compliance_pass_total or
+// compliance_fail_total{criterion=...}. A nil registry (the default)
+// disables counting at zero cost.
+func (c *Checker) SetMetrics(r *metrics.Registry) {
+	if r == nil {
+		return
+	}
+	cm := &checkerMetrics{pass: r.Counter("compliance_pass_total")}
+	for crit := CritMessageType; crit <= CritSemantics; crit++ {
+		cm.fail[crit] = r.Counter("compliance_fail_total", metrics.L("criterion", critSlug(crit)))
+	}
+	c.metrics = cm
+}
+
+// record counts the verdicts of one Check call.
+func (c *Checker) record(out []Checked) {
+	if c.metrics == nil {
+		return
+	}
+	for _, ch := range out {
+		if ch.Verdict.Compliant {
+			c.metrics.pass.Inc()
+		} else if int(ch.Verdict.Failed) < len(c.metrics.fail) {
+			c.metrics.fail[ch.Verdict.Failed].Inc()
+		}
+	}
 }
 
 // Session holds per-stream state for criterion 5. Create one per
@@ -157,6 +212,12 @@ const allocPingPongThreshold = 2
 // protocol data unit (an RTCP compound region yields one per RTCP
 // packet).
 func (s *Session) Check(m dpi.Message, ts time.Time) []Checked {
+	out := s.check(m, ts)
+	s.checker.record(out)
+	return out
+}
+
+func (s *Session) check(m dpi.Message, ts time.Time) []Checked {
 	switch m.Protocol {
 	case dpi.ProtoSTUN:
 		return []Checked{s.checkSTUN(m, ts)}

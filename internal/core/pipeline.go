@@ -17,6 +17,7 @@ import (
 	"github.com/rtc-compliance/rtcc/internal/filterpipe"
 	"github.com/rtc-compliance/rtcc/internal/flow"
 	"github.com/rtc-compliance/rtcc/internal/layers"
+	"github.com/rtc-compliance/rtcc/internal/metrics"
 	"github.com/rtc-compliance/rtcc/internal/pcap"
 	"github.com/rtc-compliance/rtcc/internal/report"
 	"github.com/rtc-compliance/rtcc/internal/trace"
@@ -39,6 +40,13 @@ type Options struct {
 	// path. Results are identical for every worker count: partial
 	// results are folded back in deterministic input order.
 	Workers int
+	// Metrics, when non-nil, receives pipeline instrumentation:
+	// per-stage packet counts, drop reasons, DPI classification and
+	// latency, per-criterion compliance verdicts, and worker-pool
+	// timing. Nil disables collection at zero hot-path cost, and
+	// collection never changes analysis output: counters are atomic
+	// order-independent sums, identical for serial and parallel runs.
+	Metrics *metrics.Registry
 }
 
 func (o Options) engine() *dpi.Engine {
@@ -46,6 +54,7 @@ func (o Options) engine() *dpi.Engine {
 	if o.MaxOffset > 0 {
 		e.MaxOffset = o.MaxOffset
 	}
+	e.Metrics = o.Metrics
 	return e
 }
 
@@ -100,11 +109,19 @@ func AnalyzeCapture(in CaptureInput, opts Options) (*CaptureAnalysis, error) {
 		return nil, fmt.Errorf("core: no decodable transport packets (%d frames, %d decode errors)", len(in.Packets), decodeErrs)
 	}
 
+	cm := newCaptureMetrics(opts.Metrics, in.Label)
+	cm.captures.Inc()
+	cm.frames.Add(uint64(len(in.Packets)))
+	cm.decodeErrors.Add(uint64(decodeErrs))
+	cm.packets.Add(uint64(len(in.Packets) - decodeErrs))
+	cm.workers.Set(int64(opts.workers()))
+
 	fres := filterpipe.Run(table, filterpipe.Config{
 		CallStart:    in.CallStart,
 		CallEnd:      in.CallEnd,
 		WindowSlack:  opts.WindowSlack,
 		SNIBlocklist: opts.SNIBlocklist,
+		Metrics:      opts.Metrics,
 	})
 
 	ca := &CaptureAnalysis{
@@ -132,12 +149,16 @@ func AnalyzeCapture(in CaptureInput, opts Options) (*CaptureAnalysis, error) {
 			udp = append(udp, s)
 		}
 	}
+	cm.rtcStreams.Add(uint64(len(udp)))
 	partials := make([]*streamPartial, len(udp))
 	forEachIndexed(len(udp), opts.workers(), func(i int) error {
+		start := cm.streamSeconds.Start()
 		partials[i] = analyzeStream(udp[i], opts)
+		cm.streamSeconds.ObserveSince(start)
 		return nil
 	})
 
+	foldStart := cm.foldSeconds.Start()
 	var fctx findingsContext
 	for _, p := range partials {
 		mergeStats(ca.Stats, p.stats)
@@ -149,6 +170,7 @@ func AnalyzeCapture(in CaptureInput, opts Options) (*CaptureAnalysis, error) {
 	if !opts.SkipFindings {
 		ca.Findings = fctx.findings()
 	}
+	cm.foldSeconds.ObserveSince(foldStart)
 	return ca, nil
 }
 
@@ -168,6 +190,7 @@ type streamPartial struct {
 func analyzeStream(s *flow.Stream, opts Options) *streamPartial {
 	engine := opts.engine()
 	checker := compliance.NewChecker()
+	checker.SetMetrics(opts.Metrics)
 	p := &streamPartial{
 		stats: report.NewAppStats(""),
 		ssrcs: make(map[uint32]bool),
@@ -268,8 +291,12 @@ func RunMatrix(mopts trace.MatrixOptions, opts Options) (*MatrixAnalysis, error)
 	if workers > 1 {
 		capOpts.Workers = 1
 	}
+	mm := newMatrixMetrics(opts.Metrics)
+	mm.workers.Set(int64(workers))
 	analyses := make([]*CaptureAnalysis, len(configs))
 	err := forEachIndexed(len(configs), workers, func(i int) error {
+		captures, latency := mm.capture(configs[i])
+		start := latency.Start()
 		cap, err := trace.Generate(configs[i])
 		if err != nil {
 			return err
@@ -284,6 +311,8 @@ func RunMatrix(mopts trace.MatrixOptions, opts Options) (*MatrixAnalysis, error)
 		if err != nil {
 			return err
 		}
+		latency.ObserveSince(start)
+		captures.Inc()
 		analyses[i] = ca
 		return nil
 	})

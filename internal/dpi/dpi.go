@@ -22,6 +22,7 @@ package dpi
 import (
 	"fmt"
 
+	"github.com/rtc-compliance/rtcc/internal/metrics"
 	"github.com/rtc-compliance/rtcc/internal/quicwire"
 	"github.com/rtc-compliance/rtcc/internal/rtcp"
 	"github.com/rtc-compliance/rtcc/internal/rtp"
@@ -148,6 +149,10 @@ type StreamContext struct {
 	// Both feed the adaptive offset bound.
 	maxMsgOffset int
 	msgCount     int
+	// shiftAttempts accumulates candidate-extraction attempts (matchAt
+	// calls) across the stream's datagrams, for the offset-shift
+	// metric. InspectStream drains it into the registry.
+	shiftAttempts int
 }
 
 // NewStreamContext returns an empty per-stream context.
@@ -187,6 +192,11 @@ type Engine struct {
 	// scanning fully proprietary datagrams such as Zoom's 1000-byte
 	// fillers.
 	Adaptive bool
+	// Metrics, when non-nil, receives per-datagram instrumentation
+	// from InspectStream: offset-shift attempts, classification
+	// outcomes, extracted message counts, and extraction latency. Nil
+	// disables collection at zero cost.
+	Metrics *metrics.Registry
 }
 
 // NewEngine returns an engine with the paper's default k=200 and all
@@ -230,6 +240,7 @@ func (e *Engine) Inspect(payload []byte, ctx *StreamContext) Result {
 		if i > limit && len(msgs) == 0 {
 			break
 		}
+		ctx.shiftAttempts++
 		m, ok := e.matchAt(payload, i, ctx)
 		if !ok {
 			i++

@@ -29,10 +29,21 @@ func (e *Engine) InspectStream(payloads [][]byte) []Result {
 	validated := e.validateRTPSSRCs(payloads)
 	ctx := NewStreamContext()
 	ctx.validatedSSRC = validated
+	m := e.metricsHandles()
 	out := make([]Result, 0, len(payloads))
 	for _, p := range payloads {
-		out = append(out, e.Inspect(p, ctx))
+		start := m.latency.Start()
+		r := e.Inspect(p, ctx)
+		m.latency.ObserveSince(start)
+		m.classes[r.Class].Inc()
+		for _, msg := range r.Messages {
+			if int(msg.Protocol) < len(m.messages) {
+				m.messages[msg.Protocol].Inc()
+			}
+		}
+		out = append(out, r)
 	}
+	m.attempts.Add(uint64(ctx.shiftAttempts))
 	return out
 }
 

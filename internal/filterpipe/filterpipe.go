@@ -17,6 +17,7 @@ import (
 
 	"github.com/rtc-compliance/rtcc/internal/flow"
 	"github.com/rtc-compliance/rtcc/internal/layers"
+	"github.com/rtc-compliance/rtcc/internal/metrics"
 	"github.com/rtc-compliance/rtcc/internal/tlsinspect"
 )
 
@@ -82,6 +83,11 @@ type Config struct {
 	WindowSlack time.Duration
 	// SNIBlocklist overrides DefaultSNIBlocklist when non-nil.
 	SNIBlocklist []string
+	// Metrics, when non-nil, receives per-stage accounting: input
+	// packets/streams, removals labelled by stage and rule, and RTC
+	// survivors. Recording happens once per run from the already
+	// computed Result, so it costs nothing per packet.
+	Metrics *metrics.Registry
 }
 
 func (c Config) slack() time.Duration {
@@ -156,7 +162,55 @@ func Run(table *flow.Table, cfg Config) *Result {
 	tally(&res.Stage2UDP, &res.Stage2TCP, stage2)
 	tally(&res.RTCUDP, &res.RTCTCP, res.RTC)
 	res.RemovedStreams = append(stage1, stage2...)
+	record(cfg.Metrics, res)
 	return res
+}
+
+// ruleSlug maps a filtering rule to its metric label value.
+func ruleSlug(r Rule) string {
+	switch r {
+	case RuleTimespan:
+		return "timespan"
+	case RuleThreeTuple:
+		return "three_tuple"
+	case RuleSNI:
+		return "sni"
+	case RuleLocalIP:
+		return "local_ip"
+	case RulePort:
+		return "port"
+	}
+	return "unknown"
+}
+
+// record folds a completed filtering run into the registry.
+func record(reg *metrics.Registry, res *Result) {
+	if reg == nil {
+		return
+	}
+	add := func(name string, c flow.Counts, labels ...metrics.Label) {
+		reg.Counter(name+"_streams_total", labels...).Add(uint64(c.Streams))
+		reg.Counter(name+"_packets_total", labels...).Add(uint64(c.Packets))
+		reg.Counter(name+"_bytes_total", labels...).Add(uint64(c.Bytes))
+	}
+	add("filter_in", res.RawUDP, metrics.L("transport", "udp"))
+	add("filter_in", res.RawTCP, metrics.L("transport", "tcp"))
+	add("filter_rtc", res.RTCUDP, metrics.L("transport", "udp"))
+	add("filter_rtc", res.RTCTCP, metrics.L("transport", "tcp"))
+	for _, s := range res.RemovedStreams {
+		rm := res.Removed[s.Key]
+		stage := "1"
+		if rm.Stage == 2 {
+			stage = "2"
+		}
+		labels := []metrics.Label{
+			metrics.L("stage", stage),
+			metrics.L("rule", ruleSlug(rm.Rule)),
+		}
+		reg.Counter("filter_removed_streams_total", labels...).Inc()
+		reg.Counter("filter_removed_packets_total", labels...).Add(uint64(len(s.Packets)))
+		reg.Counter("filter_removed_bytes_total", labels...).Add(uint64(s.Bytes))
+	}
 }
 
 func tally(udp, tcp *flow.Counts, streams []*flow.Stream) {

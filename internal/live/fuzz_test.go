@@ -1,0 +1,44 @@
+package live
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"github.com/rtc-compliance/rtcc/internal/pcap"
+)
+
+// FuzzDecapsulate hammers the encapsulation decoder with arbitrary
+// datagrams: it must never panic, and whenever it accepts an input the
+// decoded fields must be exactly the ones on the wire.
+func FuzzDecapsulate(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("RTCC"))
+	f.Add([]byte("RTCC123456789012"))
+	f.Add(Encapsulate(1, pcap.Packet{Timestamp: time.Unix(1700000000, 0).UTC(), Data: []byte{1, 2, 3}}))
+	f.Add(Encapsulate(0xffffffff, pcap.Packet{Timestamp: time.Unix(0, 999000).UTC(), Data: make([]byte, 64)}))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		seq, pkt, err := Decapsulate(b)
+		if err != nil {
+			return
+		}
+		if len(b) < headerLen || [4]byte(b[0:4]) != Magic {
+			t.Fatalf("accepted datagram without a valid header")
+		}
+		if want := binary.BigEndian.Uint32(b[12:16]); seq != want {
+			t.Fatalf("seq = %d, want %d", seq, want)
+		}
+		if !bytes.Equal(pkt.Data, b[headerLen:]) {
+			t.Fatalf("payload differs from wire bytes")
+		}
+		if pkt.OrigLen != len(b)-headerLen {
+			t.Fatalf("OrigLen = %d, want %d", pkt.OrigLen, len(b)-headerLen)
+		}
+		// The timestamp must round-trip through the microsecond wire
+		// encoding for any 64-bit value.
+		if got := uint64(pkt.Timestamp.UnixMicro()); got != binary.BigEndian.Uint64(b[4:12]) {
+			t.Fatalf("timestamp does not round-trip: %d != %d", got, binary.BigEndian.Uint64(b[4:12]))
+		}
+	})
+}

@@ -22,8 +22,10 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"time"
 
+	"github.com/rtc-compliance/rtcc/internal/metrics"
 	"github.com/rtc-compliance/rtcc/internal/pcap"
 )
 
@@ -126,11 +128,35 @@ type Collector struct {
 	// IdleTimeout ends collection after this long without a frame
 	// (default 2 s).
 	IdleTimeout time.Duration
-	// Dropped counts datagrams rejected (bad magic, too short).
+	// DecodeErrors counts datagrams that could not be decapsulated (bad
+	// magic, too short). These are received bytes that carry no frame —
+	// the live analogue of CaptureAnalysis.DecodeErrors — and are
+	// surfaced rather than silently discarded.
+	DecodeErrors int
+	// Dropped estimates frames lost in flight, from gaps in the
+	// exporter's sequence numbers: a forward jump of k accounts for k-1
+	// missing frames, and a late (reordered) arrival of a frame
+	// previously counted missing takes one back off.
 	Dropped int
 	// Reordered counts frames that arrived with a backwards sequence
 	// number (UDP reordering on the mirror path).
 	Reordered int
+	// Metrics, when non-nil, mirrors the counters above as
+	// live_frames_received_total, live_decode_errors_total,
+	// live_frames_reordered_total, and the live_frames_dropped gauge
+	// (a gauge because a late arrival revises the loss estimate down).
+	Metrics *metrics.Registry
+
+	lastSeq uint32
+	seenAny bool
+}
+
+// SortByTimestamp stable-sorts frames by capture timestamp, restoring
+// original capture order after UDP reordering on the mirror path.
+func SortByTimestamp(frames []pcap.Packet) {
+	sort.SliceStable(frames, func(i, j int) bool {
+		return frames[i].Timestamp.Before(frames[j].Timestamp)
+	})
 }
 
 // Listen binds a collector; addr may use port 0 for an ephemeral port.
@@ -162,9 +188,12 @@ func (c *Collector) Collect(ctx context.Context, max int) ([]pcap.Packet, error)
 	if idle <= 0 {
 		idle = 2 * time.Second
 	}
+	received := c.Metrics.Counter("live_frames_received_total")
+	decodeErrs := c.Metrics.Counter("live_decode_errors_total")
+	dropped := c.Metrics.Gauge("live_frames_dropped")
+	reordered := c.Metrics.Counter("live_frames_reordered_total")
 	var frames []pcap.Packet
 	buf := make([]byte, maxFrame+headerLen)
-	var lastSeq uint32
 	for max == 0 || len(frames) < max {
 		deadline := time.Now().Add(idle)
 		if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
@@ -186,13 +215,28 @@ func (c *Collector) Collect(ctx context.Context, max int) ([]pcap.Packet, error)
 		}
 		seq, pkt, err := Decapsulate(buf[:n])
 		if err != nil {
-			c.Dropped++
+			c.DecodeErrors++
+			decodeErrs.Inc()
 			continue
 		}
-		if seq < lastSeq {
+		switch {
+		case !c.seenAny:
+			c.seenAny = true
+			c.lastSeq = seq
+		case seq > c.lastSeq:
+			c.Dropped += int(seq-c.lastSeq) - 1
+			c.lastSeq = seq
+		default:
+			// A backwards (or duplicate-seq) arrival: the frame was
+			// counted missing when the gap was observed, so reclaim it.
 			c.Reordered++
+			reordered.Inc()
+			if c.Dropped > 0 {
+				c.Dropped--
+			}
 		}
-		lastSeq = seq
+		dropped.Set(int64(c.Dropped))
+		received.Inc()
 		frames = append(frames, pkt)
 	}
 	return frames, nil

@@ -213,7 +213,10 @@ func TestCollectorCountsJunk(t *testing.T) {
 	if err != nil || len(got) != 1 {
 		t.Fatalf("got %d frames, err %v", len(got), err)
 	}
-	if col.Dropped != 1 {
-		t.Errorf("dropped = %d, want 1", col.Dropped)
+	if col.DecodeErrors != 1 {
+		t.Errorf("decode errors = %d, want 1", col.DecodeErrors)
+	}
+	if col.Dropped != 0 {
+		t.Errorf("dropped = %d, want 0 (junk is a decode error, not a loss)", col.Dropped)
 	}
 }

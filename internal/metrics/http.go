@@ -1,0 +1,57 @@
+package metrics
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns an http.Handler exposing the observability surface:
+//
+//	/metrics        JSON snapshot of the registry
+//	/debug/vars     expvar (includes the registry when published)
+//	/debug/pprof/   net/http/pprof profiles
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := r.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a background metrics HTTP server.
+type Server struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Serve binds addr (host:port; port 0 for ephemeral), publishes the
+// registry to expvar under "rtcc", and serves Handler(r) in a
+// background goroutine until Close.
+func Serve(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: %w", err)
+	}
+	r.PublishExpvar("rtcc")
+	s := &Server{srv: &http.Server{Handler: Handler(r)}, ln: ln}
+	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Close
+	return s, nil
+}
+
+// Addr reports the bound address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }

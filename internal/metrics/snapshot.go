@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"encoding/json"
+	"expvar"
+	"io"
+)
+
+// Snapshot is a point-in-time view of every instrument in a registry,
+// keyed by canonical metric name (see Name). It marshals to stable
+// JSON: encoding/json sorts map keys.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures the current state of every instrument. A nil
+// registry yields an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	histograms := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		histograms[k] = v
+	}
+	r.mu.Unlock()
+
+	for k, c := range counters {
+		s.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		s.Gauges[k] = g.Value()
+	}
+	for k, h := range histograms {
+		s.Histograms[k] = h.snapshot()
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// PublishExpvar publishes the registry under the given expvar name so
+// it appears at /debug/vars. Publishing the same name twice is a
+// no-op (the first registry wins); expvar offers no unpublish, so
+// per-process singleton names like "rtcc" are expected. Safe on a nil
+// registry (publishes empty snapshots).
+func (r *Registry) PublishExpvar(name string) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

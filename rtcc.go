@@ -39,10 +39,33 @@ import (
 	"github.com/rtc-compliance/rtcc/internal/core"
 	"github.com/rtc-compliance/rtcc/internal/dpi"
 	"github.com/rtc-compliance/rtcc/internal/interop"
+	"github.com/rtc-compliance/rtcc/internal/metrics"
 	"github.com/rtc-compliance/rtcc/internal/pcap"
 	"github.com/rtc-compliance/rtcc/internal/report"
 	"github.com/rtc-compliance/rtcc/internal/trace"
 )
+
+// MetricsRegistry collects pipeline observability counters, gauges, and
+// latency histograms. Assign one to Options.Metrics to instrument an
+// analysis run; a nil registry disables collection at zero cost and
+// never changes analysis output.
+type MetricsRegistry = metrics.Registry
+
+// MetricsSnapshot is a point-in-time copy of a registry's instruments.
+type MetricsSnapshot = metrics.Snapshot
+
+// MetricsServer is a running observability HTTP endpoint.
+type MetricsServer = metrics.Server
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// ServeMetrics exposes a registry over HTTP: /metrics (JSON snapshot),
+// /debug/vars (expvar), and /debug/pprof. Close the returned server
+// when done.
+func ServeMetrics(addr string, r *MetricsRegistry) (*MetricsServer, error) {
+	return metrics.Serve(addr, r)
+}
 
 // Applications studied by the paper.
 const (
