@@ -3,12 +3,22 @@ GO          ?= go
 FUZZTIME    ?= 5s
 COVER_FLOOR ?= 70
 
-.PHONY: all vet build test race fuzz-smoke cover bench ci
+.PHONY: all vet staticcheck build test race fuzz-smoke cover bench ci
 
 all: build
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet. CI installs the pinned staticcheck; local
+# runs skip quietly when the binary is absent so `make ci` works in
+# minimal environments.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... ; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@2025.1)" ; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -40,4 +50,4 @@ cover:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
 
-ci: vet build race fuzz-smoke cover
+ci: vet staticcheck build race fuzz-smoke cover

@@ -10,6 +10,7 @@
 package rtcc_test
 
 import (
+	"bytes"
 	"fmt"
 	"runtime"
 	"sync"
@@ -23,6 +24,7 @@ import (
 	"github.com/rtc-compliance/rtcc/internal/flow"
 	"github.com/rtc-compliance/rtcc/internal/ice"
 	"github.com/rtc-compliance/rtcc/internal/layers"
+	"github.com/rtc-compliance/rtcc/internal/metrics"
 	"github.com/rtc-compliance/rtcc/internal/pcap"
 	"github.com/rtc-compliance/rtcc/internal/rtcp"
 	"github.com/rtc-compliance/rtcc/internal/rtp"
@@ -544,6 +546,100 @@ func BenchmarkGenerateCall(b *testing.B) {
 			PrePost: 2 * time.Second, MediaRate: 25, Background: true,
 		})
 		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// pcapBench holds one large background-heavy capture serialized as a
+// classic pcap file, shared by the streaming-vs-batch file benchmarks
+// (the traffic mix a capture host actually sees: a short call inside a
+// long capture full of unrelated noise).
+var (
+	pcapBenchOnce sync.Once
+	pcapBenchRaw  []byte
+	pcapBenchCap  *rtcc.Capture
+)
+
+func pcapBenchFile(b *testing.B) ([]byte, *rtcc.Capture) {
+	b.Helper()
+	pcapBenchOnce.Do(func() {
+		cap, err := rtcc.GenerateCapture(rtcc.CaptureConfig{
+			App: rtcc.Zoom, Network: rtcc.WiFiRelay, Seed: 4242,
+			Start: benchStart, CallDuration: 3 * time.Second,
+			PrePost: 90 * time.Second, MediaRate: 10, Background: true,
+			BackgroundBulk: 6000,
+		})
+		if err != nil {
+			panic(err)
+		}
+		var buf bytes.Buffer
+		w := pcap.NewWriter(&buf, pcap.LinkTypeRaw)
+		for _, f := range cap.Frames() {
+			if err := w.WritePacket(f); err != nil {
+				panic(err)
+			}
+		}
+		pcapBenchRaw, pcapBenchCap = buf.Bytes(), cap
+	})
+	return pcapBenchRaw, pcapBenchCap
+}
+
+// BenchmarkAnalyzePCAP_Streaming measures the single-pass file path:
+// one reusable record buffer, per-stream state only, payloads dropped
+// as soon as the online filter removes a stream or the DPI consumes
+// them. Run with -benchmem; bytes/op against the Batch twin is the
+// memory win, and peak-streams is the high-water mark of concurrently
+// live per-stream states (the quantity that bounds resident memory).
+func BenchmarkAnalyzePCAP_Streaming(b *testing.B) {
+	raw, cap := pcapBenchFile(b)
+	reg := rtcc.NewMetricsRegistry()
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rtcc.AnalyzePCAP(bytes.NewReader(raw), "zoom", cap.CallStart, cap.CallEnd,
+			rtcc.Options{SkipFindings: true, Metrics: reg}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	peak := reg.Snapshot().Gauges[metrics.Name("core_active_streams_peak", metrics.L("app", "zoom"))]
+	b.ReportMetric(float64(peak), "peak-streams")
+}
+
+// BenchmarkAnalyzePCAP_Batch is the read-everything baseline: every
+// frame buffered up front and every per-packet record retained through
+// the analysis — the allocation profile of the pre-streaming pipeline,
+// whose output the streaming path reproduces byte-for-byte.
+func BenchmarkAnalyzePCAP_Batch(b *testing.B) {
+	raw, cap := pcapBenchFile(b)
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := pcap.NewReader(bytes.NewReader(raw))
+		if err != nil {
+			b.Fatal(err)
+		}
+		frames, err := r.ReadAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		a, err := rtcc.NewAnalyzer(rtcc.AnalyzerConfig{
+			Label: "zoom", LinkType: pcap.LinkTypeRaw,
+			CallStart: cap.CallStart, CallEnd: cap.CallEnd,
+			KeepPayloads: true, FramesStable: true,
+		}, rtcc.Options{SkipFindings: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, f := range frames {
+			if err := a.Feed(f.Timestamp, f.Data); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := a.Close(); err != nil {
 			b.Fatal(err)
 		}
 	}

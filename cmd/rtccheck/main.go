@@ -91,7 +91,12 @@ func runOne(path, label, startStr, endStr string, k, workers int, findings, verb
 	if label == "" {
 		label = filepath.Base(path)
 	}
-	ca, err := rtcc.AnalyzeFile(path, start, end, rtcc.Options{MaxOffset: k, Workers: workers, SkipFindings: !findings, Metrics: reg})
+	// Header inference re-reads per-stream payloads after the analysis,
+	// so it needs the streaming core to keep them.
+	ca, err := rtcc.AnalyzeFile(path, start, end, rtcc.Options{
+		MaxOffset: k, Workers: workers, SkipFindings: !findings,
+		KeepPayloads: inferHdr, Metrics: reg,
+	})
 	if err != nil {
 		return err
 	}
@@ -259,7 +264,8 @@ func runManifest(path string, k, workers int, findings, verbose, inferHdr bool, 
 	dir := filepath.Dir(path)
 	for _, e := range entries {
 		ca, err := rtcc.AnalyzeFile(filepath.Join(dir, e.File), e.CallStart, e.CallEnd,
-			rtcc.Options{MaxOffset: k, Workers: workers, SkipFindings: !findings, Metrics: reg})
+			rtcc.Options{MaxOffset: k, Workers: workers, SkipFindings: !findings,
+				KeepPayloads: inferHdr, Metrics: reg})
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.File, err)
 		}

@@ -121,6 +121,8 @@ func runCollect(args []string) error {
 	workers := fs.Int("workers", 0, "analysis worker count (0 = one per CPU, 1 = serial)")
 	maxFrames := fs.Int("max", 0, "stop after this many frames (0 = until idle)")
 	idle := fs.Duration("idle", 3*time.Second, "stop after this long without frames")
+	evict := fs.Duration("evict", 0, "finalize streams idle this long to bound analysis memory (0 = off)")
+	reorder := fs.Int("reorder", 256, "reorder-buffer depth for the streaming analysis")
 	metAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address")
 	fs.Parse(args)
 
@@ -139,20 +141,49 @@ func runCollect(args []string) error {
 	col.Metrics = reg
 	fmt.Printf("collecting on %s (idle timeout %v)...\n", col.Addr(), *idle)
 
-	frames, err := col.Collect(context.Background(), *maxFrames)
-	if err != nil {
-		return err
+	// The analysis shares the offline pipeline's streaming Analyzer: the
+	// call window defaults to the received span, frames are analyzed as
+	// they arrive (through a small reorder buffer that undoes UDP
+	// reordering on the mirror path), and nothing requires holding the
+	// whole capture — unless -out needs the frames for the pcap file.
+	var analyzer *core.Analyzer
+	if *analyze {
+		analyzer, err = core.NewAnalyzer(core.AnalyzerConfig{
+			Label:               "live",
+			LinkType:            pcap.LinkTypeRaw,
+			DefaultWindowToSpan: true,
+			FramesStable:        true, // each decapsulated frame is freshly allocated
+			EvictIdle:           *evict,
+		}, rtcc.Options{Workers: *workers, Metrics: reg})
+		if err != nil {
+			return err
+		}
 	}
-	fmt.Printf("received %d frames (%d decode errors, %d dropped, %d reordered)\n",
-		len(frames), col.DecodeErrors, col.Dropped, col.Reordered)
-	if len(frames) == 0 {
-		return nil
-	}
-	// UDP reordering on the mirror path scrambles arrival order; restore
-	// capture order so the pcap and the analysis see the original stream.
-	live.SortByTimestamp(frames)
 
-	if *out != "" {
+	received := 0
+	if *out == "" {
+		// Pure streaming: no capture buffer at all.
+		feed := func(pkt pcap.Packet) error { return nil }
+		if analyzer != nil {
+			feed = func(pkt pcap.Packet) error { return analyzer.Feed(pkt.Timestamp, pkt.Data) }
+		}
+		rb := live.NewReorderBuffer(*reorder, feed)
+		received, err = col.Stream(context.Background(), *maxFrames, rb.Push)
+		if err != nil {
+			return err
+		}
+		if err := rb.Flush(); err != nil {
+			return err
+		}
+	} else {
+		frames, err := col.Collect(context.Background(), *maxFrames)
+		if err != nil {
+			return err
+		}
+		received = len(frames)
+		// Restore capture order so the pcap file and the analysis see
+		// the original stream.
+		live.SortByTimestamp(frames)
 		f, err := os.Create(*out)
 		if err != nil {
 			return err
@@ -168,30 +199,34 @@ func runCollect(args []string) error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *out)
+		if analyzer != nil {
+			for _, fr := range frames {
+				if err := analyzer.Feed(fr.Timestamp, fr.Data); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	fmt.Printf("received %d frames (%d decode errors, %d dropped, %d reordered)\n",
+		received, col.DecodeErrors, col.Dropped, col.Reordered)
+	if received == 0 || analyzer == nil {
+		return nil
 	}
 
-	if *analyze {
-		ca, err := core.AnalyzeCapture(core.CaptureInput{
-			Label:     "live",
-			LinkType:  pcap.LinkTypeRaw,
-			Packets:   frames,
-			CallStart: frames[0].Timestamp,
-			CallEnd:   frames[len(frames)-1].Timestamp,
-		}, rtcc.Options{Workers: *workers, Metrics: reg})
-		if err != nil {
-			return err
-		}
-		if ca.DecodeErrors > 0 {
-			fmt.Printf("decode errors: %d undecodable frames in the analysis\n", ca.DecodeErrors)
-		}
-		if ratio, ok := ca.Stats.VolumeCompliance(); ok {
-			fmt.Printf("volume compliance: %.2f%%\n", 100*ratio)
-		}
-		c, t := ca.Stats.TypeCompliance(dpi.ProtoUnknown)
-		fmt.Printf("message types: %d/%d compliant\n", c, t)
-		for _, fd := range ca.Findings {
-			fmt.Printf("finding: %s: %s\n", fd.Kind, fd.Detail)
-		}
+	ca, err := analyzer.Close()
+	if err != nil {
+		return err
+	}
+	if ca.DecodeErrors > 0 {
+		fmt.Printf("decode errors: %d undecodable frames in the analysis\n", ca.DecodeErrors)
+	}
+	if ratio, ok := ca.Stats.VolumeCompliance(); ok {
+		fmt.Printf("volume compliance: %.2f%%\n", 100*ratio)
+	}
+	c, t := ca.Stats.TypeCompliance(dpi.ProtoUnknown)
+	fmt.Printf("message types: %d/%d compliant\n", c, t)
+	for _, fd := range ca.Findings {
+		fmt.Printf("finding: %s: %s\n", fd.Kind, fd.Detail)
 	}
 	return nil
 }

@@ -38,6 +38,11 @@ type BackgroundConfig struct {
 	// same network generating discovery chatter.
 	Device  netip.Addr
 	LANPeer netip.Addr
+	// Bulk approximates how many MTU-sized TCP download segments of
+	// unrelated bulk transfer (OS updates, cloud sync) to spread across
+	// the capture. Zero disables the component. Bulk flows span both
+	// call boundaries, so the timespan filter removes them.
+	Bulk int
 }
 
 // pushTCP appends a TCP segment event.
@@ -160,6 +165,31 @@ func GenerateBackground(cfg BackgroundConfig) []Dgram {
 		at := cfg.PreStart.Add(time.Duration(i) * total / time.Duration(n))
 		pushTCP(&events, at, upSrc, updateSrv, layers.TCPPsh|layers.TCPAck, rng.Bytes(800))
 		pushTCP(&events, at.Add(25*time.Millisecond), updateSrv, upSrc, layers.TCPAck, rng.Bytes(400))
+	}
+
+	// 7. Bulk HTTPS downloads. In real captures, unrelated transfers
+	// like these dominate the file's byte count; cfg.Bulk scales the
+	// component so large-capture scenarios can be simulated. Each flow
+	// spans the whole capture, so the timespan filter removes it.
+	if cfg.Bulk > 0 {
+		flows := cfg.Bulk/400 + 1
+		if flows > 8 {
+			flows = 8
+		}
+		per := cfg.Bulk / flows
+		for f := 0; f < flows; f++ {
+			src := netip.AddrPortFrom(cfg.Device, uint16(50910+f))
+			dst := netip.AddrPortFrom(netip.MustParseAddr("203.0.113.120"), uint16(443))
+			pushTCP(&events, cfg.PreStart.Add(time.Duration(f)*time.Millisecond), src, dst, layers.TCPSyn, nil)
+			for i := 0; i < per; i++ {
+				at := cfg.PreStart.Add(time.Duration(f)*time.Millisecond +
+					time.Duration(i)*total/time.Duration(per+1))
+				pushTCP(&events, at, dst, src, layers.TCPPsh|layers.TCPAck, rng.Bytes(1200))
+				if i%8 == 7 {
+					pushTCP(&events, at.Add(4*time.Millisecond), src, dst, layers.TCPAck, nil)
+				}
+			}
+		}
 	}
 
 	return events

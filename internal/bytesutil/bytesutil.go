@@ -26,6 +26,12 @@ type Reader struct {
 	buf []byte
 	off int
 	err error
+	// short* record the first failed read; the detailed error is built
+	// lazily in Err, so DPI probe paths — which fail constantly and
+	// discard the error — never pay for its construction.
+	short     bool
+	shortNeed int
+	shortOff  int
 }
 
 // NewReader returns a Reader positioned at the start of buf. The Reader
@@ -35,7 +41,18 @@ func NewReader(buf []byte) *Reader {
 }
 
 // Err reports the first error encountered by any read, or nil.
-func (r *Reader) Err() error { return r.err }
+func (r *Reader) Err() error {
+	if r.err == nil && r.short {
+		r.err = fmt.Errorf("%w: need %d bytes at offset %d of %d",
+			ErrShortBuffer, r.shortNeed, r.shortOff, len(r.buf))
+	}
+	return r.err
+}
+
+// Failed reports whether any read has failed, without constructing the
+// detailed error Err returns. Probe-style callers that only branch on
+// failure should prefer it.
+func (r *Reader) Failed() bool { return r.err != nil || r.short }
 
 // Offset reports the current cursor position in bytes from the start.
 func (r *Reader) Offset() int { return r.off }
@@ -52,13 +69,13 @@ func (r *Reader) Remaining() int {
 func (r *Reader) Len() int { return len(r.buf) }
 
 func (r *Reader) fail(n int) {
-	if r.err == nil {
-		r.err = fmt.Errorf("%w: need %d bytes at offset %d of %d", ErrShortBuffer, n, r.off, len(r.buf))
+	if r.err == nil && !r.short {
+		r.short, r.shortNeed, r.shortOff = true, n, r.off
 	}
 }
 
 func (r *Reader) take(n int) []byte {
-	if r.err != nil {
+	if r.Failed() {
 		return nil
 	}
 	if n < 0 || r.Remaining() < n {
@@ -136,7 +153,7 @@ func (r *Reader) Skip(n int) { r.take(n) }
 // Peek returns n bytes at the cursor without advancing. It does not latch
 // an error; it returns nil if fewer than n bytes remain.
 func (r *Reader) Peek(n int) []byte {
-	if r.err != nil || n < 0 || r.Remaining() < n {
+	if r.Failed() || n < 0 || r.Remaining() < n {
 		return nil
 	}
 	return r.buf[r.off : r.off+n]
@@ -144,7 +161,7 @@ func (r *Reader) Peek(n int) []byte {
 
 // Rest returns all unread bytes without advancing the cursor.
 func (r *Reader) Rest() []byte {
-	if r.err != nil {
+	if r.Failed() {
 		return nil
 	}
 	return r.buf[r.off:]

@@ -1,0 +1,445 @@
+package core
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"github.com/rtc-compliance/rtcc/internal/compliance"
+	"github.com/rtc-compliance/rtcc/internal/dpi"
+	"github.com/rtc-compliance/rtcc/internal/filterpipe"
+	"github.com/rtc-compliance/rtcc/internal/flow"
+	"github.com/rtc-compliance/rtcc/internal/layers"
+	"github.com/rtc-compliance/rtcc/internal/pcap"
+	"github.com/rtc-compliance/rtcc/internal/report"
+	"github.com/rtc-compliance/rtcc/internal/tlsinspect"
+)
+
+// AnalyzerConfig parameterizes one streaming analysis.
+type AnalyzerConfig struct {
+	// Label names the application (or capture) in reports.
+	Label string
+	// LinkType describes the fed frames.
+	LinkType pcap.LinkType
+	// CallStart and CallEnd delimit the annotated call window.
+	CallStart, CallEnd time.Time
+	// DefaultWindowToSpan defaults the call window, when CallStart is
+	// zero, to the span of the fed timestamps at Close — the AnalyzePCAP
+	// convention for unannotated captures. Until Close the window is
+	// then unknown, so only window-independent filter rules run online.
+	DefaultWindowToSpan bool
+	// KeepPayloads retains every per-packet record, making Close's
+	// result bit-identical to the historical batch output including the
+	// buffered stream payloads (which rtcc.Analyze callers may consume).
+	// Without it, payload records are kept only for provisionally-RTC
+	// UDP streams until their DPI finalization and dropped afterwards.
+	KeepPayloads bool
+	// FramesStable promises that fed frame buffers stay valid and
+	// unmodified for the Analyzer's lifetime, letting it reference
+	// payload bytes instead of copying them. Readers that reuse their
+	// frame buffer must leave it false.
+	FramesStable bool
+	// EvictIdle, when positive, finalizes the pipeline state of streams
+	// idle for longer than this: their buffered payloads are inspected,
+	// checked, and released, so resident memory is bounded by the
+	// active streams. A stream that wakes up again resumes its
+	// per-stream contexts. Eviction trades the strict batch guarantee
+	// of one DPI pass over the whole stream for bounded memory: output
+	// is still deterministic, and differs from batch only when an RTP
+	// SSRC first validates in a later chunk than it was sighted in.
+	// Incompatible with KeepPayloads.
+	EvictIdle time.Duration
+}
+
+// streamState is the Analyzer's per-stream pipeline state beyond what
+// flow.Stream summarizes.
+type streamState struct {
+	s *flow.Stream
+	// removed marks a provisional filter verdict. Every online rule is
+	// monotone — once true it stays true through Close — so a removed
+	// stream's payloads are dropped immediately and never inspected.
+	removed bool
+	// sni is the first TLS ClientHello SNI seen on a TCP stream,
+	// extracted at feed time so Close never needs TCP payloads.
+	sni   string
+	sniOK bool
+	// insp is the incremental DPI state for provisionally-RTC UDP
+	// streams.
+	insp *dpi.StreamInspector
+	// session and partial carry compliance and findings state across
+	// chunked finalizations (eviction mode).
+	session *compliance.Session
+	partial *streamPartial
+	// elem is the stream's recency-list position; nil while evicted.
+	elem *list.Element
+}
+
+// Analyzer is the incremental analysis pipeline: Feed advances packet
+// decoding, flow grouping, online filtering, and DPI per frame; Close
+// reconciles the online filter verdicts against the full two-stage
+// filter and assembles the CaptureAnalysis. With KeepPayloads (and no
+// eviction) the result is byte-identical to the batch pipeline; the
+// offline entry points are thin wrappers over this type.
+type Analyzer struct {
+	cfg  AnalyzerConfig
+	opts Options
+
+	table  *flow.Table
+	states map[flow.Key]*streamState
+	// recency orders live (non-evicted) streams by last activity,
+	// least-recent first.
+	recency *list.List
+	engine  *dpi.Engine
+
+	frames     int
+	decodeErrs int
+	// firstTS and lastTS are the first and last fed timestamps
+	// (positional, matching the batch window-defaulting convention).
+	firstTS, lastTS time.Time
+
+	// windowKnown is false only while DefaultWindowToSpan defers the
+	// window to Close.
+	windowKnown      bool
+	winStart, winEnd time.Time
+	blocklist        []string
+	// preCallPairs accumulates address pairs active before CallStart,
+	// the stage-2 local-IP rule's evidence.
+	preCallPairs map[[2]netip.Addr]bool
+
+	active, peak int
+	closed       bool
+
+	// pkt is decode scratch: Feed is single-goroutine, so one reusable
+	// Packet removes the per-frame layer allocations.
+	pkt layers.Packet
+
+	cm captureMetrics
+	am analyzerMetrics
+}
+
+// NewAnalyzer validates the configuration and returns an empty
+// Analyzer.
+func NewAnalyzer(cfg AnalyzerConfig, opts Options) (*Analyzer, error) {
+	if cfg.CallEnd.Before(cfg.CallStart) {
+		return nil, errors.New("core: call window end precedes start")
+	}
+	if cfg.EvictIdle > 0 && cfg.KeepPayloads {
+		return nil, errors.New("core: KeepPayloads is incompatible with EvictIdle")
+	}
+	fcfg := filterpipe.Config{WindowSlack: opts.WindowSlack, SNIBlocklist: opts.SNIBlocklist}
+	a := &Analyzer{
+		cfg:          cfg,
+		opts:         opts,
+		table:        flow.NewTable(),
+		states:       make(map[flow.Key]*streamState),
+		recency:      list.New(),
+		engine:       opts.engine(),
+		blocklist:    fcfg.Blocklist(),
+		preCallPairs: make(map[[2]netip.Addr]bool),
+		am:           newAnalyzerMetrics(opts.Metrics, cfg.Label),
+	}
+	a.windowKnown = !(cfg.DefaultWindowToSpan && cfg.CallStart.IsZero())
+	if a.windowKnown {
+		slack := fcfg.Slack()
+		a.winStart = cfg.CallStart.Add(-slack)
+		a.winEnd = cfg.CallEnd.Add(slack)
+	}
+	return a, nil
+}
+
+// Feed advances the pipeline by one captured frame. Decode failures are
+// tolerated and counted, exactly as in the batch path; the returned
+// error is reserved for misuse (feeding a closed Analyzer).
+func (a *Analyzer) Feed(ts time.Time, frame []byte) error {
+	if a.closed {
+		return errors.New("core: Feed after Close")
+	}
+	start := a.am.feedSeconds.Start()
+	defer a.am.feedSeconds.ObserveSince(start)
+	if a.frames == 0 {
+		a.firstTS = ts
+	}
+	a.frames++
+	a.lastTS = ts
+
+	pkt := &a.pkt
+	if err := layers.DecodeInto(pkt, a.cfg.LinkType, frame); err != nil {
+		a.decodeErrs++
+		return nil
+	}
+	proto, srcPort, dstPort := pkt.Transport()
+	if proto == 0 {
+		return nil
+	}
+	src := flow.Endpoint{Addr: pkt.Src(), Port: srcPort}
+	dst := flow.Endpoint{Addr: pkt.Dst(), Port: dstPort}
+	key := flow.KeyFor(proto, src, dst)
+	st := a.states[key]
+
+	// Retention: batch compatibility keeps everything; otherwise only
+	// provisionally-RTC UDP streams need their records (payload for
+	// DPI, timestamp for compliance, direction for findings).
+	keep := a.cfg.KeepPayloads || (proto == layers.IPProtocolUDP && (st == nil || !st.removed))
+	if keep && !a.cfg.FramesStable {
+		// make+copy (not append to nil) so a zero-length payload stays a
+		// non-nil empty slice, exactly as the batch decoder leaves it.
+		cp := make([]byte, len(pkt.Payload))
+		copy(cp, pkt.Payload)
+		pkt.Payload = cp
+	}
+	s, ok := a.table.AddPacket(ts, pkt, keep)
+	if !ok {
+		return nil
+	}
+	if st == nil {
+		st = &streamState{s: s}
+		a.states[key] = st
+		st.elem = a.recency.PushBack(st)
+		a.streamLive(+1)
+	} else if st.elem != nil {
+		a.recency.MoveToBack(st.elem)
+	} else {
+		// An evicted stream woke up: it rejoins the live set and its
+		// next finalization continues the persisted contexts.
+		st.elem = a.recency.PushBack(st)
+		a.streamLive(+1)
+	}
+
+	if a.windowKnown && ts.Before(a.cfg.CallStart) {
+		a.preCallPairs[filterpipe.PairKey(key.A.Addr, key.B.Addr)] = true
+	}
+	if proto == layers.IPProtocolTCP && !st.sniOK && len(pkt.Payload) > 0 {
+		if sni, err := tlsinspect.SNI(pkt.Payload); err == nil {
+			st.sni, st.sniOK = sni, true
+		}
+	}
+
+	if !st.removed && a.removableNow(s, st) {
+		st.removed = true
+		if !a.cfg.KeepPayloads {
+			s.Packets = nil
+		}
+		st.insp = nil
+	}
+	if proto == layers.IPProtocolUDP && !st.removed {
+		if st.insp == nil {
+			st.insp = a.engine.NewStreamInspector()
+		}
+		st.insp.Feed(pkt.Payload)
+	}
+	if a.cfg.EvictIdle > 0 {
+		a.evictIdle(ts)
+	}
+	return nil
+}
+
+// streamLive adjusts the live-stream accounting and gauges.
+func (a *Analyzer) streamLive(delta int) {
+	a.active += delta
+	a.am.active.Set(int64(a.active))
+	if a.active > a.peak {
+		a.peak = a.active
+		a.am.activePeak.Set(int64(a.peak))
+	}
+}
+
+// removableNow evaluates the filter rules that can already be decided
+// online. Every rule here is monotone — the evidence (stream span,
+// 3-tuple spans, pre-call pairs, a blocklisted SNI, a well-known port)
+// only accumulates — so a true verdict is guaranteed to hold at Close,
+// which is what makes dropping the stream's payloads safe. The final
+// stage/rule attribution is recomputed by the full filter at Close.
+func (a *Analyzer) removableNow(s *flow.Stream, st *streamState) bool {
+	if filterpipe.NonRTCPorts[s.Key.A.Port] || filterpipe.NonRTCPorts[s.Key.B.Port] {
+		return true
+	}
+	if st.sniOK && filterpipe.MatchesBlocklist(st.sni, a.blocklist) {
+		return true
+	}
+	if !a.windowKnown {
+		return false
+	}
+	if s.FirstSeen.Before(a.winStart) || s.LastSeen.After(a.winEnd) {
+		return true
+	}
+	for _, tt := range s.DstTuples {
+		if sp, ok := a.table.ThreeTupleSpan(tt); ok &&
+			(sp.First.Before(a.winStart) || sp.Last.After(a.winEnd)) {
+			return true
+		}
+	}
+	if filterpipe.IsLocalScope(s.Key.A.Addr) || filterpipe.IsLocalScope(s.Key.B.Addr) {
+		if a.preCallPairs[filterpipe.PairKey(s.Key.A.Addr, s.Key.B.Addr)] {
+			return true
+		}
+	}
+	return false
+}
+
+// evictIdle finalizes and evicts streams idle past the configured
+// threshold, walking the recency list from its least-recent end.
+func (a *Analyzer) evictIdle(now time.Time) {
+	for e := a.recency.Front(); e != nil; {
+		st := e.Value.(*streamState)
+		if now.Sub(st.s.LastSeen) <= a.cfg.EvictIdle {
+			break
+		}
+		next := e.Next()
+		a.recency.Remove(e)
+		st.elem = nil
+		a.finalizeChunk(st)
+		a.streamLive(-1)
+		a.am.evicted.Inc()
+		e = next
+	}
+}
+
+// finalizeChunk runs DPI pass 2, compliance, and findings over a
+// stream's buffered records and releases them. The per-stream contexts
+// persist in the state, so a later chunk continues seamlessly.
+func (a *Analyzer) finalizeChunk(st *streamState) {
+	s := st.s
+	if s.Key.Proto == layers.IPProtocolUDP && !st.removed && st.insp != nil && st.insp.Pending() > 0 {
+		if st.partial == nil {
+			st.partial = newStreamPartial()
+			checker := compliance.NewChecker()
+			checker.SetMetrics(a.opts.Metrics)
+			st.session = checker.NewSession()
+		}
+		recs := s.Packets
+		results := st.insp.Finalize()
+		st.partial.consume(recs, results, st.session, a.opts.SkipFindings)
+	}
+	if !a.cfg.KeepPayloads {
+		s.Packets = nil
+	}
+}
+
+// Close reconciles the online verdicts against the full two-stage
+// filter and assembles the capture analysis. The filter re-judges every
+// stream from its summaries (plus the feed-time SNI), so provisional
+// admissions that turn out wrong are corrected here — their DPI state
+// is discarded and counted — and the result matches the batch pipeline.
+func (a *Analyzer) Close() (*CaptureAnalysis, error) {
+	if a.closed {
+		return nil, errors.New("core: Close called twice")
+	}
+	a.closed = true
+
+	callStart, callEnd := a.cfg.CallStart, a.cfg.CallEnd
+	if a.cfg.DefaultWindowToSpan && callStart.IsZero() && a.frames > 0 {
+		callStart, callEnd = a.firstTS, a.lastTS
+	}
+	if a.table.Len() == 0 && a.frames > 0 {
+		return nil, fmt.Errorf("core: no decodable transport packets (%d frames, %d decode errors)", a.frames, a.decodeErrs)
+	}
+
+	cm := newCaptureMetrics(a.opts.Metrics, a.cfg.Label)
+	cm.captures.Inc()
+	cm.frames.Add(uint64(a.frames))
+	cm.decodeErrors.Add(uint64(a.decodeErrs))
+	cm.packets.Add(uint64(a.frames - a.decodeErrs))
+	cm.workers.Set(int64(a.opts.workers()))
+
+	fres := filterpipe.RunWithSNI(a.table, filterpipe.Config{
+		CallStart:    callStart,
+		CallEnd:      callEnd,
+		WindowSlack:  a.opts.WindowSlack,
+		SNIBlocklist: a.opts.SNIBlocklist,
+		Metrics:      a.opts.Metrics,
+	}, func(s *flow.Stream) (string, bool) {
+		st := a.states[s.Key]
+		if st == nil {
+			return "", false
+		}
+		return st.sni, st.sniOK
+	})
+
+	ca := &CaptureAnalysis{
+		Label:        a.cfg.Label,
+		Filter:       fres,
+		Stats:        report.NewAppStats(a.cfg.Label),
+		RTPSSRCs:     make(map[uint32]bool),
+		DecodeErrors: a.decodeErrs,
+	}
+	for _, s := range a.table.Streams() {
+		ca.Bytes += s.Bytes
+	}
+
+	// Reconciliation: streams admitted provisionally (DPI state built)
+	// that the full filter removed. Their pipeline state is discarded —
+	// monotonicity guarantees the reverse (provisionally removed but
+	// finally RTC) cannot happen.
+	for _, s := range fres.RemovedStreams {
+		st := a.states[s.Key]
+		if st == nil || st.removed || s.Key.Proto != layers.IPProtocolUDP {
+			continue
+		}
+		if st.insp != nil || st.partial != nil {
+			a.am.reclassified.Inc()
+			st.insp = nil
+			st.partial = nil
+		}
+		if !a.cfg.KeepPayloads {
+			s.Packets = nil
+		}
+	}
+
+	// Finalize the surviving UDP RTC streams, fanned out exactly like
+	// the batch path, and fold in deterministic RTC order.
+	var udp []*flow.Stream
+	for _, s := range fres.RTC {
+		if s.Key.Proto == layers.IPProtocolUDP {
+			udp = append(udp, s)
+		}
+	}
+	cm.rtcStreams.Add(uint64(len(udp)))
+	partials := make([]*streamPartial, len(udp))
+	forEachIndexed(len(udp), a.opts.workers(), func(i int) error {
+		start := cm.streamSeconds.Start()
+		partials[i] = a.finishStream(udp[i])
+		cm.streamSeconds.ObserveSince(start)
+		return nil
+	})
+
+	foldStart := cm.foldSeconds.Start()
+	var fctx findingsContext
+	for _, p := range partials {
+		mergeStats(ca.Stats, p.stats)
+		for ssrc := range p.ssrcs {
+			ca.RTPSSRCs[ssrc] = true
+		}
+		fctx.merge(&p.fctx)
+	}
+	if !a.opts.SkipFindings {
+		ca.Findings = fctx.findings()
+	}
+	cm.foldSeconds.ObserveSince(foldStart)
+
+	a.active = 0
+	a.am.active.Set(0)
+	return ca, nil
+}
+
+// finishStream completes one final-RTC UDP stream: last DPI chunk,
+// compliance, findings. Safe to run concurrently across streams — all
+// touched state is per-stream (the shared engine and states map are
+// read-only here).
+func (a *Analyzer) finishStream(s *flow.Stream) *streamPartial {
+	st := a.states[s.Key]
+	if st.partial == nil {
+		st.partial = newStreamPartial()
+		checker := compliance.NewChecker()
+		checker.SetMetrics(a.opts.Metrics)
+		st.session = checker.NewSession()
+	}
+	if st.insp != nil && st.insp.Pending() > 0 {
+		st.partial.consume(s.Packets, st.insp.Finalize(), st.session, a.opts.SkipFindings)
+	}
+	if !a.cfg.KeepPayloads {
+		s.Packets = nil
+	}
+	return st.partial
+}

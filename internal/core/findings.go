@@ -55,14 +55,17 @@ type findingsContext struct {
 	headerDirs  map[flow.Direction]map[byte]int
 }
 
-// scanStream inspects one RTC stream's packets and DPI results.
-func (f *findingsContext) scanStream(s *flow.Stream, results []dpi.Result) {
+// scanStream inspects one RTC stream's packets and DPI results. pkts
+// and results are index-aligned; chunked callers (the streaming
+// analyzer's eviction path) pass each chunk's records — the evidence is
+// commutative, so chunking does not change the accumulated totals.
+func (f *findingsContext) scanStream(pkts []flow.Packet, results []dpi.Result) {
 	if f.trailerDirs == nil {
 		f.trailerDirs = map[flow.Direction]map[byte]int{}
 		f.headerDirs = map[flow.Direction]map[byte]int{}
 	}
 	for i, r := range results {
-		pkt := s.Packets[i]
+		pkt := pkts[i]
 		payload := pkt.Payload
 
 		switch r.Class {

@@ -37,6 +37,32 @@ func newCaptureMetrics(r *metrics.Registry, app string) captureMetrics {
 	}
 }
 
+// analyzerMetrics instruments the streaming Analyzer, labelled by
+// application: the live-stream gauge (with its high-water mark), the
+// eviction and reconciliation counters, and the per-feed latency
+// histogram. Zero value is inert.
+type analyzerMetrics struct {
+	active       *metrics.Gauge
+	activePeak   *metrics.Gauge
+	evicted      *metrics.Counter
+	reclassified *metrics.Counter
+	feedSeconds  *metrics.Histogram
+}
+
+func newAnalyzerMetrics(r *metrics.Registry, app string) analyzerMetrics {
+	if r == nil {
+		return analyzerMetrics{}
+	}
+	l := metrics.L("app", app)
+	return analyzerMetrics{
+		active:       r.Gauge("core_active_streams", l),
+		activePeak:   r.Gauge("core_active_streams_peak", l),
+		evicted:      r.Counter("core_evicted_streams_total", l),
+		reclassified: r.Counter("core_reclassified_streams_total", l),
+		feedSeconds:  r.Histogram("core_feed_seconds", nil, l),
+	}
+}
+
 // matrixMetrics instruments RunMatrix: per-capture latency and counts
 // labelled by app and network, plus the configured worker-pool size.
 // Zero value is inert.

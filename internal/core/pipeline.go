@@ -47,6 +47,17 @@ type Options struct {
 	// collection never changes analysis output: counters are atomic
 	// order-independent sums, identical for serial and parallel runs.
 	Metrics *metrics.Registry
+	// KeepPayloads makes AnalyzePCAP retain per-packet payload records
+	// in the result (as AnalyzeCapture always does). Off by default:
+	// the streaming reader then holds payload bytes only for
+	// provisionally-RTC UDP streams until DPI consumes them. Turn it on
+	// when the caller reads Filter.RTC[i].Packets afterwards.
+	KeepPayloads bool
+	// EvictIdle bounds AnalyzePCAP's resident memory: streams idle
+	// longer than this are finalized mid-capture and their buffers
+	// released (see AnalyzerConfig.EvictIdle for the trade-off). Zero
+	// keeps the strict single-finalization behavior.
+	EvictIdle time.Duration
 }
 
 func (o Options) engine() *dpi.Engine {
@@ -58,17 +69,10 @@ func (o Options) engine() *dpi.Engine {
 	return e
 }
 
-// CaptureInput is one capture to analyze.
-type CaptureInput struct {
-	// Label names the application (or capture) in reports.
-	Label string
-	// LinkType describes the frames.
-	LinkType pcap.LinkType
-	// Packets are the captured frames in time order.
-	Packets []pcap.Packet
-	// CallStart and CallEnd delimit the annotated call window.
-	CallStart, CallEnd time.Time
-}
+// CaptureInput is one capture to analyze. It is an alias of
+// trace.Input so generated captures convert via Capture.Input() with no
+// per-caller construction.
+type CaptureInput = trace.Input
 
 // CaptureAnalysis is the result of analyzing one capture.
 type CaptureAnalysis struct {
@@ -88,22 +92,51 @@ type CaptureAnalysis struct {
 	DecodeErrors int
 }
 
-// AnalyzeCapture runs the full pipeline over one capture.
+// AnalyzeCapture runs the full pipeline over one in-memory capture by
+// feeding the streaming Analyzer frame by frame. The frames are
+// referenced, not copied, and per-packet records are retained, so the
+// result is identical to the historical batch pipeline (which
+// BatchAnalyzeCapture preserves as the differential-test reference).
 func AnalyzeCapture(in CaptureInput, opts Options) (*CaptureAnalysis, error) {
+	a, err := NewAnalyzer(AnalyzerConfig{
+		Label:        in.Label,
+		LinkType:     in.LinkType,
+		CallStart:    in.CallStart,
+		CallEnd:      in.CallEnd,
+		KeepPayloads: true,
+		FramesStable: true,
+	}, opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range in.Packets {
+		if err := a.Feed(p.Timestamp, p.Data); err != nil {
+			return nil, err
+		}
+	}
+	return a.Close()
+}
+
+// BatchAnalyzeCapture is the original whole-capture pipeline: buffer
+// everything, then filter, inspect, and check. It is retained as the
+// reference implementation the streaming Analyzer is differentially
+// tested against, and as the baseline for the memory benchmarks.
+func BatchAnalyzeCapture(in CaptureInput, opts Options) (*CaptureAnalysis, error) {
 	if in.CallEnd.Before(in.CallStart) {
 		return nil, errors.New("core: call window end precedes start")
 	}
 	table := flow.NewTable()
 	decodeErrs := 0
+	var pkt layers.Packet // decode scratch, reused across frames
 	for _, p := range in.Packets {
-		pkt, err := layers.Decode(in.LinkType, p.Data)
+		err := layers.DecodeInto(&pkt, in.LinkType, p.Data)
 		if err != nil {
 			// Tolerate unparseable frames (the paper's captures contain
 			// them too); count and continue.
 			decodeErrs++
 			continue
 		}
-		table.Add(p.Timestamp, pkt)
+		table.Add(p.Timestamp, &pkt)
 	}
 	if table.Len() == 0 && len(in.Packets) > 0 {
 		return nil, fmt.Errorf("core: no decodable transport packets (%d frames, %d decode errors)", len(in.Packets), decodeErrs)
@@ -182,6 +215,35 @@ type streamPartial struct {
 	ssrcs map[uint32]bool
 }
 
+func newStreamPartial() *streamPartial {
+	return &streamPartial{
+		stats: report.NewAppStats(""),
+		ssrcs: make(map[uint32]bool),
+	}
+}
+
+// consume folds one chunk of DPI results — index-aligned with the
+// packet records they came from — into the partial: datagram classes,
+// compliance verdicts, observed SSRCs, and findings evidence. Both the
+// batch path (one chunk per stream) and the streaming analyzer's
+// chunked finalization go through here.
+func (p *streamPartial) consume(recs []flow.Packet, results []dpi.Result, session *compliance.Session, skipFindings bool) {
+	for i, r := range results {
+		p.stats.AddDatagram(r.Class)
+		for _, m := range r.Messages {
+			for _, c := range session.Check(m, recs[i].Timestamp) {
+				p.stats.AddChecked(c)
+			}
+			if m.Protocol == dpi.ProtoRTP {
+				p.ssrcs[m.RTP.SSRC] = true
+			}
+		}
+	}
+	if !skipFindings {
+		p.fctx.scanStream(recs, results)
+	}
+}
+
 // analyzeStream runs DPI extraction and compliance checking over one
 // UDP RTC stream with fresh per-stream state: its own engine, checker,
 // session, and findings evidence. The compliance Checker's only
@@ -191,36 +253,99 @@ func analyzeStream(s *flow.Stream, opts Options) *streamPartial {
 	engine := opts.engine()
 	checker := compliance.NewChecker()
 	checker.SetMetrics(opts.Metrics)
-	p := &streamPartial{
-		stats: report.NewAppStats(""),
-		ssrcs: make(map[uint32]bool),
-	}
+	p := newStreamPartial()
 	payloads := make([][]byte, len(s.Packets))
 	for i, pkt := range s.Packets {
 		payloads[i] = pkt.Payload
 	}
 	results := engine.InspectStream(payloads)
-	session := checker.NewSession()
-	for i, r := range results {
-		p.stats.AddDatagram(r.Class)
-		for _, m := range r.Messages {
-			for _, c := range session.Check(m, s.Packets[i].Timestamp) {
-				p.stats.AddChecked(c)
-			}
-			if m.Protocol == dpi.ProtoRTP {
-				p.ssrcs[m.RTP.SSRC] = true
-			}
-		}
-	}
-	if !opts.SkipFindings {
-		p.fctx.scanStream(s, results)
-	}
+	p.consume(s.Packets, results, checker.NewSession(), opts.SkipFindings)
 	return p
 }
 
 // AnalyzePCAP reads a capture stream — classic pcap or pcapng, detected
-// from the leading magic — and analyzes it.
+// from the leading magic — and analyzes it incrementally: each record
+// is decoded and fed to the Analyzer as it is read, reusing one record
+// buffer, so memory holds per-stream state instead of the whole file.
+// A zero callStart defaults the call window to the capture's span.
 func AnalyzePCAP(r io.Reader, label string, callStart, callEnd time.Time, opts Options) (*CaptureAnalysis, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(4)
+	if err != nil {
+		return nil, fmt.Errorf("core: read capture header: %w", err)
+	}
+	cfg := AnalyzerConfig{
+		Label:               label,
+		CallStart:           callStart,
+		CallEnd:             callEnd,
+		DefaultWindowToSpan: true,
+		KeepPayloads:        opts.KeepPayloads,
+		EvictIdle:           opts.EvictIdle,
+	}
+	if pcap.IsPCAPNG(head) {
+		ngr, err := pcap.NewNGReader(br)
+		if err != nil {
+			return nil, err
+		}
+		// The first packet's link type describes the capture (matching
+		// the historical ReadAll behavior for single-interface files),
+		// so the Analyzer is created on first read.
+		var a *Analyzer
+		var buf []byte
+		for {
+			pkt, linkType, err := ngr.ReadPacketInto(&buf)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, err
+			}
+			if a == nil {
+				cfg.LinkType = linkType
+				if a, err = NewAnalyzer(cfg, opts); err != nil {
+					return nil, err
+				}
+			}
+			if err := a.Feed(pkt.Timestamp, pkt.Data); err != nil {
+				return nil, err
+			}
+		}
+		if a == nil {
+			cfg.LinkType = ngr.LinkType()
+			if a, err = NewAnalyzer(cfg, opts); err != nil {
+				return nil, err
+			}
+		}
+		return a.Close()
+	}
+	pr, err := pcap.NewReader(br)
+	if err != nil {
+		return nil, err
+	}
+	cfg.LinkType = pr.LinkType()
+	a, err := NewAnalyzer(cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	var buf []byte
+	for {
+		pkt, err := pr.ReadPacketInto(&buf)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := a.Feed(pkt.Timestamp, pkt.Data); err != nil {
+			return nil, err
+		}
+	}
+	return a.Close()
+}
+
+// BatchAnalyzePCAP is the original read-everything-then-analyze path,
+// retained as the baseline for the streaming memory benchmarks.
+func BatchAnalyzePCAP(r io.Reader, label string, callStart, callEnd time.Time, opts Options) (*CaptureAnalysis, error) {
 	br := bufio.NewReader(r)
 	head, err := br.Peek(4)
 	if err != nil {
@@ -260,7 +385,7 @@ func AnalyzePCAP(r io.Reader, label string, callStart, callEnd time.Time, opts O
 		in.CallStart = pkts[0].Timestamp
 		in.CallEnd = pkts[len(pkts)-1].Timestamp
 	}
-	return AnalyzeCapture(in, opts)
+	return BatchAnalyzeCapture(in, opts)
 }
 
 // MatrixAnalysis aggregates a whole experiment matrix.
@@ -301,13 +426,7 @@ func RunMatrix(mopts trace.MatrixOptions, opts Options) (*MatrixAnalysis, error)
 		if err != nil {
 			return err
 		}
-		ca, err := AnalyzeCapture(CaptureInput{
-			Label:     string(configs[i].App),
-			LinkType:  pcap.LinkTypeRaw,
-			Packets:   cap.Frames(),
-			CallStart: cap.CallStart,
-			CallEnd:   cap.CallEnd,
-		}, capOpts)
+		ca, err := AnalyzeCapture(cap.Input(), capOpts)
 		if err != nil {
 			return err
 		}

@@ -153,6 +153,10 @@ type StreamContext struct {
 	// calls) across the stream's datagrams, for the offset-shift
 	// metric. InspectStream drains it into the registry.
 	shiftAttempts int
+	// rtpProbe is decode scratch for RTP candidate probing. Reusing it
+	// keeps the CSRC storage of rejected candidates (byte windows whose
+	// CSRC-count bits are nonzero) from allocating per probe.
+	rtpProbe rtp.Packet
 }
 
 // NewStreamContext returns an empty per-stream context.
@@ -475,37 +479,45 @@ func matchRTCP(b []byte, ctx *StreamContext) (Message, bool) {
 // heuristic.
 func matchQUIC(b []byte, ctx *StreamContext) (Message, bool) {
 	if quicwire.IsLongHeader(b) {
-		if !quicwire.LooksLikeLongHeader(b) {
+		// Probe into a stack Header (CIDs aliasing b); most candidate
+		// offsets are rejected, so the heap copy waits for acceptance.
+		var probe quicwire.Header
+		if quicwire.ParseLongInto(&probe, b) != nil {
 			return Message{}, false
 		}
-		h, err := quicwire.ParseLong(b)
-		if err != nil {
+		if probe.Version != quicwire.Version1 && probe.Version != quicwire.VersionNegotiation {
 			return Message{}, false
 		}
-		if h.Version == quicwire.VersionNegotiation {
+		if probe.Version == quicwire.Version1 && !probe.FixedBit {
+			return Message{}, false
+		}
+		if probe.Version == quicwire.VersionNegotiation {
 			// A real Version Negotiation packet lists at least one
 			// nonzero version; all-zero regions of proprietary payloads
 			// would otherwise masquerade as VN.
-			if len(h.SupportedVersions) == 0 {
+			if len(probe.SupportedVersions) == 0 {
 				return Message{}, false
 			}
-			for _, v := range h.SupportedVersions {
+			for _, v := range probe.SupportedVersions {
 				if v == 0 {
 					return Message{}, false
 				}
 			}
 		}
 		length := len(b) // Retry and VN consume the datagram
-		if h.Version == quicwire.Version1 && h.Type != quicwire.TypeRetry {
-			length = h.HeaderLen + int(h.PayloadLength)
+		if probe.Version == quicwire.Version1 && probe.Type != quicwire.TypeRetry {
+			length = probe.HeaderLen + int(probe.PayloadLength)
 		}
-		if len(h.DCID) > 0 {
-			ctx.quicCIDs[string(h.DCID)] = true
-			ctx.shortCIDLen = len(h.DCID)
+		if len(probe.DCID) > 0 {
+			ctx.quicCIDs[string(probe.DCID)] = true
+			ctx.shortCIDLen = len(probe.DCID)
 		}
-		if len(h.SCID) > 0 {
-			ctx.quicCIDs[string(h.SCID)] = true
+		if len(probe.SCID) > 0 {
+			ctx.quicCIDs[string(probe.SCID)] = true
 		}
+		h := new(quicwire.Header)
+		*h = probe
+		h.CloneCIDs()
 		return Message{Protocol: ProtoQUIC, Length: length, QUIC: h}, true
 	}
 	// Short header: requires context.
@@ -532,30 +544,39 @@ func matchRTP(b []byte, ctx *StreamContext) (Message, bool) {
 	if b[1] >= 192 && b[1] <= 223 {
 		return Message{}, false // RTCP range
 	}
-	p, err := rtp.Decode(b)
-	if err != nil {
+	// Probe into the context's scratch Packet; most candidate offsets
+	// are rejected, so the heap copy is deferred to acceptance.
+	probe := &ctx.rtpProbe
+	if rtp.DecodeInto(probe, b) != nil {
 		return Message{}, false
 	}
-	if ctx.validatedSSRC != nil && !ctx.validatedSSRC[p.SSRC] {
+	if ctx.validatedSSRC != nil && !ctx.validatedSSRC[probe.SSRC] {
 		// Stream-validated mode: only SSRCs with cross-packet support
 		// survive (paper §4.1.1: "continuous sequence number within the
 		// same stream").
 		return Message{}, false
 	}
-	if last, ok := ctx.rtpLastSeq[p.SSRC]; ok {
-		if !seqClose(last, p.SequenceNumber) {
+	if last, ok := ctx.rtpLastSeq[probe.SSRC]; ok {
+		if !seqClose(last, probe.SequenceNumber) {
 			return Message{}, false
 		}
-		if lastTS, has := ctx.rtpLastTS[p.SSRC]; has && !tsClose(lastTS, p.Timestamp) {
+		if lastTS, has := ctx.rtpLastTS[probe.SSRC]; has && !tsClose(lastTS, probe.Timestamp) {
 			// Known SSRC but an implausible timestamp jump: a stray
 			// byte window that happens to cover a real SSRC value.
 			return Message{}, false
 		}
-	} else if p.CSRCCount != 0 {
+	} else if probe.CSRCCount != 0 {
 		// First sighting of an SSRC: RTC media never uses CSRC lists in
 		// these applications, so a nonzero CSRC count on a fresh SSRC
 		// marks a mis-parse.
 		return Message{}, false
+	}
+	p := new(rtp.Packet)
+	*p = *probe
+	if len(probe.CSRC) > 0 {
+		p.CSRC = append([]uint32(nil), probe.CSRC...)
+	} else {
+		p.CSRC = nil // scratch reuse leaves a non-nil empty slice
 	}
 	return Message{Protocol: ProtoRTP, Length: len(b), RTP: p}, true
 }

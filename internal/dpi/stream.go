@@ -4,116 +4,175 @@ import (
 	"github.com/rtc-compliance/rtcc/internal/rtp"
 )
 
-// InspectStream runs Algorithm 1 over all datagrams of one transport
-// stream, in capture order, with full two-stage validation.
+// StreamInspector runs Algorithm 1 over the datagrams of one transport
+// stream incrementally. Feed advances pass 1 (per-SSRC candidate
+// tallies) for each datagram as it arrives and buffers the payload;
+// Finalize runs pass 2 over everything buffered since the previous
+// Finalize and releases the payload references, so a caller that
+// finalizes periodically never holds payload bytes past the DPI stage.
 //
 // RTP is the one target protocol whose header pattern is weak (any
 // version-2 first byte passes), so candidate extraction alone produces
 // false positives inside proprietary headers and encrypted payloads.
 // The paper's protocol-specific validation resolves this with
 // cross-packet heuristics: "valid SSRC ... continuous sequence number
-// within the same stream". InspectStream implements that literally:
+// within the same stream". The inspector implements that literally:
 //
 //   - Pass 1 collects every RTP candidate at every offset of every
 //     datagram and tallies per-SSRC support;
 //   - an SSRC is validated when it appears at least twice with at least
-//     one sequence-continuous pair;
+//     one sequence-continuous, timestamp-plausible adjacent pair;
 //   - Pass 2 re-scans each datagram, accepting strongly-signatured
 //     protocols (STUN magic cookie, ChannelData framing, RTCP type
 //     range, QUIC) immediately and RTP only for validated SSRCs in
 //     sequence order.
 //
-// Single-datagram Inspect remains available for stateless use, but the
-// pipeline always uses InspectStream.
-func (e *Engine) InspectStream(payloads [][]byte) []Result {
-	validated := e.validateRTPSSRCs(payloads)
-	ctx := NewStreamContext()
-	ctx.validatedSSRC = validated
-	m := e.metricsHandles()
-	out := make([]Result, 0, len(payloads))
-	for _, p := range payloads {
-		start := m.latency.Start()
-		r := e.Inspect(p, ctx)
-		m.latency.ObserveSince(start)
-		m.classes[r.Class].Inc()
+// Because pass 2 of a datagram consults the validated-SSRC set, a
+// single Finalize over the whole stream reproduces the batch
+// InspectStream exactly; chunked finalization uses the set as known at
+// each chunk boundary (the streaming analyzer's eviction path), which
+// is identical unless an SSRC first validates only in a later chunk.
+type StreamInspector struct {
+	e *Engine
+	m engineMetrics
+	// scratch is the pass-1 scan context, persistent across Feeds.
+	scratch *StreamContext
+	// ctx is the pass-2 context, persistent across Finalize calls so a
+	// resumed (fed-again) stream continues its sequence state.
+	ctx *StreamContext
+	// cands tallies RTP candidate sightings per SSRC; validated is the
+	// pass-2 acceptance set, grown as candidates gain support.
+	cands     map[uint32]*candTally
+	validated map[uint32]bool
+	// payloads buffers datagrams fed since the last Finalize.
+	payloads [][]byte
+	// drainedAttempts tracks how many shift attempts have already been
+	// recorded, so chunked Finalize calls add only the delta.
+	drainedAttempts int
+}
+
+// candTally is the incremental form of pass 1's per-SSRC observation
+// list: validation only ever compares adjacent sightings, so the last
+// sighting plus a count carries the same information.
+type candTally struct {
+	n       int
+	lastSeq uint16
+	lastTS  uint32
+}
+
+// NewStreamInspector returns an inspector with empty per-stream state.
+func (e *Engine) NewStreamInspector() *StreamInspector {
+	return &StreamInspector{
+		e:         e,
+		m:         e.metricsHandles(),
+		scratch:   NewStreamContext(),
+		cands:     make(map[uint32]*candTally),
+		validated: make(map[uint32]bool),
+	}
+}
+
+// Feed advances pass 1 over one datagram payload and buffers it for the
+// next Finalize. The payload is retained by reference until then.
+func (si *StreamInspector) Feed(payload []byte) {
+	si.payloads = append(si.payloads, payload)
+	limit := si.e.MaxOffset
+	if limit <= 0 {
+		limit = 200
+	}
+	i := 0
+	for i < len(payload) && i <= limit {
+		// Strong-signature protocols consume their span so their
+		// payloads (e.g. a ChannelData body) are not scanned here;
+		// candidate RTP headers advance by one byte because they
+		// are not yet trusted.
+		if m, ok := matchSTUN(payload[i:], si.scratch); ok {
+			i += m.Length
+			continue
+		}
+		if m, ok := matchChannelData(payload[i:], si.scratch); ok {
+			i += m.Length
+			continue
+		}
+		if m, ok := matchRTCP(payload[i:], si.scratch); ok {
+			i += m.Length
+			continue
+		}
+		b := payload[i:]
+		if rtp.LooksLikeHeader(b) && !(b[1] >= 192 && b[1] <= 223) {
+			// Decode into the scan context's scratch: the sighting only
+			// needs header fields, so nothing escapes the iteration.
+			p := &si.scratch.rtpProbe
+			if rtp.DecodeInto(p, b) == nil && p.CSRCCount == 0 {
+				si.note(p.SSRC, p.SequenceNumber, p.Timestamp)
+			}
+		}
+		i++
+	}
+}
+
+// note records one pass-1 candidate sighting. An SSRC is validated by
+// one adjacent candidate pair whose sequence numbers are continuous AND
+// whose timestamps advance plausibly. The timestamp condition matters:
+// byte windows that straddle a real RTP header inherit slowly-cycling
+// sequence bytes (so sequence continuity alone can be fooled) but their
+// inherited timestamp field jumps by 2^24 per packet.
+func (si *StreamInspector) note(ssrc uint32, seq uint16, ts uint32) {
+	o := si.cands[ssrc]
+	if o == nil {
+		si.cands[ssrc] = &candTally{n: 1, lastSeq: seq, lastTS: ts}
+		return
+	}
+	if !si.validated[ssrc] && seqClose(o.lastSeq, seq) && tsClose(o.lastTS, ts) {
+		si.validated[ssrc] = true
+	}
+	o.n++
+	o.lastSeq = seq
+	o.lastTS = ts
+}
+
+// Pending reports how many fed datagrams await Finalize.
+func (si *StreamInspector) Pending() int { return len(si.payloads) }
+
+// Finalize runs pass 2 over the buffered datagrams with the
+// validated-SSRC set as currently known, records the per-datagram
+// metrics, releases the payload buffer, and returns one Result per
+// buffered datagram in feed order. The inspector remains usable: later
+// Feeds start a new chunk that continues the same stream state.
+func (si *StreamInspector) Finalize() []Result {
+	if si.ctx == nil {
+		si.ctx = NewStreamContext()
+	}
+	si.ctx.validatedSSRC = si.validated
+	out := make([]Result, 0, len(si.payloads))
+	for _, p := range si.payloads {
+		start := si.m.latency.Start()
+		r := si.e.Inspect(p, si.ctx)
+		si.m.latency.ObserveSince(start)
+		si.m.classes[r.Class].Inc()
 		for _, msg := range r.Messages {
-			if int(msg.Protocol) < len(m.messages) {
-				m.messages[msg.Protocol].Inc()
+			if int(msg.Protocol) < len(si.m.messages) {
+				si.m.messages[msg.Protocol].Inc()
 			}
 		}
 		out = append(out, r)
 	}
-	m.attempts.Add(uint64(ctx.shiftAttempts))
+	si.m.attempts.Add(uint64(si.ctx.shiftAttempts - si.drainedAttempts))
+	si.drainedAttempts = si.ctx.shiftAttempts
+	si.payloads = nil
 	return out
 }
 
-// validateRTPSSRCs is pass 1: tally candidate SSRCs and their sequence
-// numbers across the stream, then keep those with real support.
-func (e *Engine) validateRTPSSRCs(payloads [][]byte) map[uint32]bool {
-	limit := e.MaxOffset
-	if limit <= 0 {
-		limit = 200
+// InspectStream runs Algorithm 1 over all datagrams of one transport
+// stream, in capture order, with full two-stage validation: a
+// StreamInspector fed every payload and finalized once, which makes the
+// batch and streaming paths the same code by construction.
+//
+// Single-datagram Inspect remains available for stateless use, but the
+// pipeline always uses InspectStream or a StreamInspector.
+func (e *Engine) InspectStream(payloads [][]byte) []Result {
+	si := e.NewStreamInspector()
+	for _, p := range payloads {
+		si.Feed(p)
 	}
-	type sighting struct {
-		seq uint16
-		ts  uint32
-	}
-	type obs struct {
-		sightings []sighting
-	}
-	cands := make(map[uint32]*obs)
-	scratch := NewStreamContext()
-	for _, payload := range payloads {
-		i := 0
-		for i < len(payload) && i <= limit {
-			// Strong-signature protocols consume their span so their
-			// payloads (e.g. a ChannelData body) are not scanned here;
-			// candidate RTP headers advance by one byte because they
-			// are not yet trusted.
-			if m, ok := matchSTUN(payload[i:], scratch); ok {
-				i += m.Length
-				continue
-			}
-			if m, ok := matchChannelData(payload[i:], scratch); ok {
-				i += m.Length
-				continue
-			}
-			if m, ok := matchRTCP(payload[i:], scratch); ok {
-				i += m.Length
-				continue
-			}
-			b := payload[i:]
-			if rtp.LooksLikeHeader(b) && !(b[1] >= 192 && b[1] <= 223) {
-				if p, err := rtp.Decode(b); err == nil && p.CSRCCount == 0 {
-					o := cands[p.SSRC]
-					if o == nil {
-						o = &obs{}
-						cands[p.SSRC] = o
-					}
-					o.sightings = append(o.sightings, sighting{p.SequenceNumber, p.Timestamp})
-				}
-			}
-			i++
-		}
-	}
-	validated := make(map[uint32]bool)
-	for ssrc, o := range cands {
-		if len(o.sightings) < 2 {
-			continue
-		}
-		// An SSRC is validated by one adjacent candidate pair whose
-		// sequence numbers are continuous AND whose timestamps advance
-		// plausibly. The timestamp condition matters: byte windows that
-		// straddle a real RTP header inherit slowly-cycling sequence
-		// bytes (so sequence continuity alone can be fooled) but their
-		// inherited timestamp field jumps by 2^24 per packet.
-		for k := 1; k < len(o.sightings); k++ {
-			a, bb := o.sightings[k-1], o.sightings[k]
-			if seqClose(a.seq, bb.seq) && tsClose(a.ts, bb.ts) {
-				validated[ssrc] = true
-				break
-			}
-		}
-	}
-	return validated
+	return si.Finalize()
 }

@@ -86,7 +86,10 @@ func strictMatch(b []byte) (Message, bool) {
 	}
 	// RTP: offset zero, whitelisted payload type.
 	if rtp.LooksLikeHeader(b) && !(len(b) > 1 && b[1] >= 192 && b[1] <= 223) {
-		if p, err := rtp.Decode(b); err == nil && peafowlRTPPayloadTypes[p.PayloadType] {
+		var probe rtp.Packet
+		if rtp.DecodeInto(&probe, b) == nil && peafowlRTPPayloadTypes[probe.PayloadType] {
+			p := new(rtp.Packet)
+			*p = probe
 			return Message{Protocol: ProtoRTP, Length: len(b), RTP: p}, true
 		}
 	}

@@ -90,14 +90,16 @@ type Config struct {
 	Metrics *metrics.Registry
 }
 
-func (c Config) slack() time.Duration {
+// Slack returns the effective window slack.
+func (c Config) Slack() time.Duration {
 	if c.WindowSlack == 0 {
 		return DefaultWindowSlack
 	}
 	return c.WindowSlack
 }
 
-func (c Config) blocklist() []string {
+// Blocklist returns the effective SNI blocklist.
+func (c Config) Blocklist() []string {
 	if c.SNIBlocklist != nil {
 		return c.SNIBlocklist
 	}
@@ -122,8 +124,18 @@ type Result struct {
 
 // Run applies both filter stages to the streams of table.
 func Run(table *flow.Table, cfg Config) *Result {
+	return RunWithSNI(table, cfg, streamSNI)
+}
+
+// RunWithSNI is Run with the TLS SNI extraction pluggable. The batch
+// path scans each TCP stream's buffered segments (streamSNI); the
+// streaming analyzer extracts the SNI incrementally at feed time —
+// same packet order, so the same first ClientHello wins — and supplies
+// a lookup here so Close can reuse this exact assembly code and stay
+// byte-identical to the batch result without retaining TCP payloads.
+func RunWithSNI(table *flow.Table, cfg Config, sni func(*flow.Stream) (string, bool)) *Result {
 	res := &Result{Removed: make(map[flow.Key]Removal)}
-	slack := cfg.slack()
+	slack := cfg.Slack()
 	winStart := cfg.CallStart.Add(-slack)
 	winEnd := cfg.CallEnd.Add(slack)
 
@@ -148,11 +160,11 @@ func Run(table *flow.Table, cfg Config) *Result {
 	// Pre-compute stage-2 inputs.
 	outsideTuples := outsideWindowTuples(table, winStart, winEnd)
 	preCallPairs := preCallAddrPairs(streams, cfg.CallStart)
-	blocklist := cfg.blocklist()
+	blocklist := cfg.Blocklist()
 
 	var stage2 []*flow.Stream
 	for _, s := range survivors {
-		if removal, removed := stage2Check(s, outsideTuples, preCallPairs, blocklist); removed {
+		if removal, removed := stage2Check(s, outsideTuples, preCallPairs, blocklist, sni); removed {
 			res.Removed[s.Key] = removal
 			stage2 = append(stage2, s)
 			continue
@@ -208,7 +220,7 @@ func record(reg *metrics.Registry, res *Result) {
 			metrics.L("rule", ruleSlug(rm.Rule)),
 		}
 		reg.Counter("filter_removed_streams_total", labels...).Inc()
-		reg.Counter("filter_removed_packets_total", labels...).Add(uint64(len(s.Packets)))
+		reg.Counter("filter_removed_packets_total", labels...).Add(uint64(s.NPackets))
 		reg.Counter("filter_removed_bytes_total", labels...).Add(uint64(s.Bytes))
 	}
 }
@@ -252,12 +264,14 @@ func preCallAddrPairs(streams []*flow.Stream, callStart time.Time) map[[2]netip.
 		if !s.FirstSeen.Before(callStart) {
 			continue
 		}
-		out[pairKey(s.Key.A.Addr, s.Key.B.Addr)] = true
+		out[PairKey(s.Key.A.Addr, s.Key.B.Addr)] = true
 	}
 	return out
 }
 
-func pairKey(a, b netip.Addr) [2]netip.Addr {
+// PairKey returns the canonical (sorted) form of an unordered address
+// pair, the key of the pre-call pair set.
+func PairKey(a, b netip.Addr) [2]netip.Addr {
 	if b.Compare(a) < 0 {
 		a, b = b, a
 	}
@@ -266,11 +280,12 @@ func pairKey(a, b netip.Addr) [2]netip.Addr {
 
 // stage2Check applies the four intra-call heuristics in the paper's
 // order.
-func stage2Check(s *flow.Stream, outsideTuples map[flow.ThreeTuple]bool, preCallPairs map[[2]netip.Addr]bool, blocklist []string) (Removal, bool) {
+func stage2Check(s *flow.Stream, outsideTuples map[flow.ThreeTuple]bool, preCallPairs map[[2]netip.Addr]bool, blocklist []string, sniOf func(*flow.Stream) (string, bool)) (Removal, bool) {
 	// 1. 3-tuple timing: any packet destination matching a 3-tuple seen
-	// outside the window.
-	for _, p := range s.Packets {
-		tt := flow.ThreeTuple{Proto: s.Key.Proto, Addr: p.Dst.Addr, Port: p.Dst.Port}
+	// outside the window. DstTuples is the distinct destinations in
+	// first-occurrence order, so the first match here is the same tuple
+	// the first matching packet would have reported.
+	for _, tt := range s.DstTuples {
 		if outsideTuples[tt] {
 			return Removal{Stage: 2, Rule: RuleThreeTuple,
 				Detail: "destination 3-tuple " + tt.String() + " active outside the call window"}, true
@@ -278,14 +293,14 @@ func stage2Check(s *flow.Stream, outsideTuples map[flow.ThreeTuple]bool, preCall
 	}
 	// 2. TLS SNI blocklist (TCP streams only).
 	if s.Key.Proto == layers.IPProtocolTCP {
-		if sni, ok := streamSNI(s); ok && matchesBlocklist(sni, blocklist) {
+		if sni, ok := sniOf(s); ok && MatchesBlocklist(sni, blocklist) {
 			return Removal{Stage: 2, Rule: RuleSNI, Detail: "SNI " + sni + " is blocklisted"}, true
 		}
 	}
 	// 3. Local IP: link-local/unique-local/private endpoints whose pair
 	// also appeared pre-call.
-	if isLocalScope(s.Key.A.Addr) || isLocalScope(s.Key.B.Addr) {
-		if preCallPairs[pairKey(s.Key.A.Addr, s.Key.B.Addr)] {
+	if IsLocalScope(s.Key.A.Addr) || IsLocalScope(s.Key.B.Addr) {
+		if preCallPairs[PairKey(s.Key.A.Addr, s.Key.B.Addr)] {
 			return Removal{Stage: 2, Rule: RuleLocalIP,
 				Detail: "local address pair also active pre-call"}, true
 		}
@@ -311,7 +326,9 @@ func streamSNI(s *flow.Stream) (string, bool) {
 	return "", false
 }
 
-func matchesBlocklist(sni string, blocklist []string) bool {
+// MatchesBlocklist reports whether sni matches a blocklist entry
+// exactly or as a parent domain.
+func MatchesBlocklist(sni string, blocklist []string) bool {
 	for _, d := range blocklist {
 		if sni == d || strings.HasSuffix(sni, "."+d) {
 			return true
@@ -320,10 +337,10 @@ func matchesBlocklist(sni string, blocklist []string) bool {
 	return false
 }
 
-// isLocalScope reports whether an address is IPv6 link-local
+// IsLocalScope reports whether an address is IPv6 link-local
 // (fe80::/10), unique-local (fc00::/7), IPv4 private, or multicast —
 // the scopes §3.2.2's local-IP rule targets.
-func isLocalScope(a netip.Addr) bool {
+func IsLocalScope(a netip.Addr) bool {
 	return a.IsLinkLocalUnicast() || a.IsLinkLocalMulticast() || a.IsMulticast() ||
 		a.IsPrivate()
 }

@@ -144,18 +144,18 @@ func TestBlocklistedSNIRemoved(t *testing.T) {
 
 func TestWindowSlackDefault(t *testing.T) {
 	cfg := Config{}
-	if cfg.slack() != DefaultWindowSlack {
+	if cfg.Slack() != DefaultWindowSlack {
 		t.Error("default slack wrong")
 	}
 	cfg.WindowSlack = time.Second
-	if cfg.slack() != time.Second {
+	if cfg.Slack() != time.Second {
 		t.Error("explicit slack ignored")
 	}
-	if len(cfg.blocklist()) == 0 {
+	if len(cfg.Blocklist()) == 0 {
 		t.Error("default blocklist empty")
 	}
 	cfg.SNIBlocklist = []string{"x"}
-	if len(cfg.blocklist()) != 1 {
+	if len(cfg.Blocklist()) != 1 {
 		t.Error("explicit blocklist ignored")
 	}
 }
@@ -171,8 +171,8 @@ func TestMatchesBlocklist(t *testing.T) {
 		"badexample.org":       false,
 	}
 	for sni, want := range cases {
-		if got := matchesBlocklist(sni, bl); got != want {
-			t.Errorf("matchesBlocklist(%q) = %v, want %v", sni, got, want)
+		if got := MatchesBlocklist(sni, bl); got != want {
+			t.Errorf("MatchesBlocklist(%q) = %v, want %v", sni, got, want)
 		}
 	}
 }

@@ -76,12 +76,24 @@ type Packet struct {
 }
 
 // Stream is a bidirectional transport conversation.
+//
+// The summary fields (FirstSeen, LastSeen, Bytes, NPackets, DstTuples)
+// are maintained on every add, independently of whether the per-packet
+// records are retained: the streaming analyzer drops Packets for
+// streams it no longer needs payloads from, and the filter judges the
+// stream from the summaries alone.
 type Stream struct {
 	Key       Key
 	Packets   []Packet
 	FirstSeen time.Time
 	LastSeen  time.Time
 	Bytes     int
+	// NPackets counts every packet ever added, including ones whose
+	// records were not retained.
+	NPackets int
+	// DstTuples lists the distinct destination 3-tuples of the stream's
+	// packets, in first-occurrence order.
+	DstTuples []ThreeTuple
 }
 
 // Span returns the stream's active time span.
@@ -132,9 +144,20 @@ func NewTable() *Table {
 // Add assigns a decoded packet to its stream. Packets without a
 // transport layer are ignored and reported as false.
 func (t *Table) Add(ts time.Time, pkt *layers.Packet) bool {
+	_, ok := t.AddPacket(ts, pkt, true)
+	return ok
+}
+
+// AddPacket assigns a decoded packet to its stream and returns the
+// stream. When keep is false the per-packet record is not appended —
+// only the stream and 3-tuple summaries advance — which is how the
+// streaming analyzer keeps resident memory independent of stream
+// length for streams whose payloads it no longer needs. Packets
+// without a transport layer are ignored and reported as (nil, false).
+func (t *Table) AddPacket(ts time.Time, pkt *layers.Packet, keep bool) (*Stream, bool) {
 	proto, srcPort, dstPort := pkt.Transport()
 	if proto == 0 {
-		return false
+		return nil, false
 	}
 	src := Endpoint{Addr: pkt.Src(), Port: srcPort}
 	dst := Endpoint{Addr: pkt.Dst(), Port: dstPort}
@@ -153,14 +176,16 @@ func (t *Table) Add(ts time.Time, pkt *layers.Packet) bool {
 	if pkt.TCP != nil {
 		flags = pkt.TCP.Flags
 	}
-	s.Packets = append(s.Packets, Packet{
-		Timestamp: ts,
-		Dir:       dir,
-		Src:       src,
-		Dst:       dst,
-		Payload:   pkt.Payload,
-		TCPFlags:  flags,
-	})
+	if keep {
+		s.Packets = append(s.Packets, Packet{
+			Timestamp: ts,
+			Dir:       dir,
+			Src:       src,
+			Dst:       dst,
+			Payload:   pkt.Payload,
+			TCPFlags:  flags,
+		})
+	}
 	if ts.Before(s.FirstSeen) {
 		s.FirstSeen = ts
 	}
@@ -168,15 +193,26 @@ func (t *Table) Add(ts time.Time, pkt *layers.Packet) bool {
 		s.LastSeen = ts
 	}
 	s.Bytes += len(pkt.Payload)
+	s.NPackets++
 
 	tt := ThreeTuple{Proto: proto, Addr: dst.Addr, Port: dstPort}
+	seen := false
+	for _, have := range s.DstTuples {
+		if have == tt {
+			seen = true
+			break
+		}
+	}
+	if !seen {
+		s.DstTuples = append(s.DstTuples, tt)
+	}
 	sp, ok := t.threeTuples[tt]
 	if !ok {
 		sp = &Span{}
 		t.threeTuples[tt] = sp
 	}
 	sp.Extend(ts)
-	return true
+	return s, true
 }
 
 // Streams returns all streams in first-seen insertion order.
@@ -194,11 +230,12 @@ func (t *Table) Get(key Key) *Stream { return t.streams[key] }
 // Len reports the number of streams.
 func (t *Table) Len() int { return len(t.streams) }
 
-// PacketCount reports the total packets across all streams.
+// PacketCount reports the total packets across all streams, including
+// packets whose records were not retained.
 func (t *Table) PacketCount() int {
 	n := 0
 	for _, s := range t.streams {
-		n += len(s.Packets)
+		n += s.NPackets
 	}
 	return n
 }
@@ -240,12 +277,13 @@ type Counts struct {
 	Bytes   int
 }
 
-// Count tallies streams and packets.
+// Count tallies streams and packets. It uses the NPackets summary, so
+// streams whose per-packet records were dropped still count fully.
 func Count(streams []*Stream) Counts {
 	var c Counts
 	c.Streams = len(streams)
 	for _, s := range streams {
-		c.Packets += len(s.Packets)
+		c.Packets += s.NPackets
 		c.Bytes += s.Bytes
 	}
 	return c

@@ -117,7 +117,9 @@ const (
 	TCPAck = 1 << 4
 )
 
-// Packet is a decoded frame. Pointer fields are nil for absent layers.
+// Packet is a decoded frame. Pointer fields are nil for absent layers;
+// when present they point into the Packet's own layer storage, so a
+// Packet must not be copied by value.
 type Packet struct {
 	Ethernet *Ethernet
 	IPv4     *IPv4
@@ -127,6 +129,16 @@ type Packet struct {
 	// Payload is the transport payload (UDP datagram payload or TCP
 	// segment payload). It aliases the input buffer.
 	Payload []byte
+
+	// Layer storage. DecodeInto fills these in place and points the
+	// public fields at them, so one Packet — allocated once by the
+	// caller or by Decode — serves any number of decodes without
+	// per-frame layer allocations.
+	eth Ethernet
+	ip4 IPv4
+	ip6 IPv6
+	udp UDP
+	tcp TCP
 }
 
 // Src returns the network-layer source address, or the zero Addr.
@@ -168,37 +180,48 @@ func (p *Packet) Transport() (proto IPProtocol, src, dst uint16) {
 // decoded before the unknown one.
 func Decode(linkType pcap.LinkType, data []byte) (*Packet, error) {
 	pkt := &Packet{}
+	return pkt, DecodeInto(pkt, linkType, data)
+}
+
+// DecodeInto is Decode into a caller-provided Packet, reusing its layer
+// storage: after the first call no per-frame allocations occur. Previous
+// layer fields are reset. The decoded Payload and Options slices alias
+// data; the caller must copy anything retained past the buffer's reuse.
+func DecodeInto(pkt *Packet, linkType pcap.LinkType, data []byte) error {
+	pkt.Ethernet, pkt.IPv4, pkt.IPv6, pkt.UDP, pkt.TCP, pkt.Payload =
+		nil, nil, nil, nil, nil, nil
 	switch linkType {
 	case pcap.LinkTypeEthernet:
 		if len(data) < 14 {
-			return pkt, fmt.Errorf("%w: ethernet header", ErrTruncated)
+			return fmt.Errorf("%w: ethernet header", ErrTruncated)
 		}
-		eth := &Ethernet{EtherType: binary.BigEndian.Uint16(data[12:14])}
+		eth := &pkt.eth
+		*eth = Ethernet{EtherType: binary.BigEndian.Uint16(data[12:14])}
 		copy(eth.DstMAC[:], data[0:6])
 		copy(eth.SrcMAC[:], data[6:12])
 		pkt.Ethernet = eth
 		switch eth.EtherType {
 		case EtherTypeIPv4:
-			return pkt, decodeIPv4(pkt, data[14:])
+			return decodeIPv4(pkt, data[14:])
 		case EtherTypeIPv6:
-			return pkt, decodeIPv6(pkt, data[14:])
+			return decodeIPv6(pkt, data[14:])
 		default:
-			return pkt, fmt.Errorf("%w: ethertype %#04x", ErrUnsupported, eth.EtherType)
+			return fmt.Errorf("%w: ethertype %#04x", ErrUnsupported, eth.EtherType)
 		}
 	case pcap.LinkTypeRaw:
 		if len(data) == 0 {
-			return pkt, fmt.Errorf("%w: empty raw frame", ErrTruncated)
+			return fmt.Errorf("%w: empty raw frame", ErrTruncated)
 		}
 		switch data[0] >> 4 {
 		case 4:
-			return pkt, decodeIPv4(pkt, data)
+			return decodeIPv4(pkt, data)
 		case 6:
-			return pkt, decodeIPv6(pkt, data)
+			return decodeIPv6(pkt, data)
 		default:
-			return pkt, fmt.Errorf("%w: IP version %d", ErrUnsupported, data[0]>>4)
+			return fmt.Errorf("%w: IP version %d", ErrUnsupported, data[0]>>4)
 		}
 	default:
-		return pkt, fmt.Errorf("%w: link type %v", ErrUnsupported, linkType)
+		return fmt.Errorf("%w: link type %v", ErrUnsupported, linkType)
 	}
 }
 
@@ -214,7 +237,8 @@ func decodeIPv4(pkt *Packet, data []byte) error {
 	if hdrLen < 20 || len(data) < hdrLen {
 		return fmt.Errorf("%w: ipv4 IHL %d", ErrTruncated, ihl)
 	}
-	ip := &IPv4{
+	ip := &pkt.ip4
+	*ip = IPv4{
 		IHL:      ihl,
 		TOS:      data[1],
 		TotalLen: binary.BigEndian.Uint16(data[2:4]),
@@ -247,7 +271,8 @@ func decodeIPv6(pkt *Packet, data []byte) error {
 	if data[0]>>4 != 6 {
 		return fmt.Errorf("%w: ipv6 version field %d", ErrUnsupported, data[0]>>4)
 	}
-	ip := &IPv6{
+	ip := &pkt.ip6
+	*ip = IPv6{
 		TrafficClass: data[0]<<4 | data[1]>>4,
 		FlowLabel:    binary.BigEndian.Uint32(data[0:4]) & 0x000fffff,
 		PayloadLen:   binary.BigEndian.Uint16(data[4:6]),
@@ -270,7 +295,8 @@ func decodeTransport(pkt *Packet, proto IPProtocol, data []byte) error {
 		if len(data) < 8 {
 			return fmt.Errorf("%w: udp header", ErrTruncated)
 		}
-		udp := &UDP{
+		udp := &pkt.udp
+		*udp = UDP{
 			SrcPort:  binary.BigEndian.Uint16(data[0:2]),
 			DstPort:  binary.BigEndian.Uint16(data[2:4]),
 			Length:   binary.BigEndian.Uint16(data[4:6]),
@@ -293,7 +319,8 @@ func decodeTransport(pkt *Packet, proto IPProtocol, data []byte) error {
 		if hdrLen < 20 || len(data) < hdrLen {
 			return fmt.Errorf("%w: tcp data offset %d", ErrTruncated, off)
 		}
-		tcp := &TCP{
+		tcp := &pkt.tcp
+		*tcp = TCP{
 			SrcPort:    binary.BigEndian.Uint16(data[0:2]),
 			DstPort:    binary.BigEndian.Uint16(data[2:4]),
 			Seq:        binary.BigEndian.Uint32(data[4:8]),

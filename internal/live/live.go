@@ -13,10 +13,13 @@
 // The paper's setup captured on the phone and analyzed offline; this
 // package is the online variant — run the collector on the analysis
 // host, point an exporter (or a mirror of a real capture) at it, and
-// feed the result straight into core.AnalyzeCapture.
+// feed each frame straight into the streaming core.Analyzer as it
+// arrives (Collector.Stream + ReorderBuffer), or buffer them all with
+// Collect for pcap export.
 package live
 
 import (
+	"container/heap"
 	"context"
 	"encoding/binary"
 	"errors"
@@ -180,10 +183,15 @@ func (c *Collector) Addr() string { return c.pc.LocalAddr().String() }
 // Close releases the socket.
 func (c *Collector) Close() error { return c.pc.Close() }
 
-// Collect receives frames until max frames arrive (0 = unlimited), the
-// idle timeout passes, or the context is canceled. Frames are returned
-// in arrival order with their original capture timestamps.
-func (c *Collector) Collect(ctx context.Context, max int) ([]pcap.Packet, error) {
+// Stream receives frames and hands each one to fn as it arrives, in
+// arrival order with its original capture timestamp, until max frames
+// have been delivered (0 = unlimited), the idle timeout passes, or the
+// context is canceled. Each frame's Data is freshly allocated, so fn
+// may retain it — feeding a core.Analyzer (usually through a
+// ReorderBuffer, since UDP may reorder the mirror path) analyzes the
+// capture without ever buffering it. Returns the delivered count; a
+// non-nil error from fn aborts the stream and is returned as-is.
+func (c *Collector) Stream(ctx context.Context, max int, fn func(pcap.Packet) error) (int, error) {
 	idle := c.IdleTimeout
 	if idle <= 0 {
 		idle = 2 * time.Second
@@ -192,26 +200,26 @@ func (c *Collector) Collect(ctx context.Context, max int) ([]pcap.Packet, error)
 	decodeErrs := c.Metrics.Counter("live_decode_errors_total")
 	dropped := c.Metrics.Gauge("live_frames_dropped")
 	reordered := c.Metrics.Counter("live_frames_reordered_total")
-	var frames []pcap.Packet
+	count := 0
 	buf := make([]byte, maxFrame+headerLen)
-	for max == 0 || len(frames) < max {
+	for max == 0 || count < max {
 		deadline := time.Now().Add(idle)
 		if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
 			deadline = d
 		}
 		if err := c.pc.SetReadDeadline(deadline); err != nil {
-			return frames, err
+			return count, err
 		}
 		n, _, err := c.pc.ReadFrom(buf)
 		if err != nil {
 			var nerr net.Error
 			if errors.As(err, &nerr) && nerr.Timeout() {
-				return frames, nil // idle end
+				return count, nil // idle end
 			}
 			if ctx.Err() != nil {
-				return frames, nil
+				return count, nil
 			}
-			return frames, err
+			return count, err
 		}
 		seq, pkt, err := Decapsulate(buf[:n])
 		if err != nil {
@@ -237,7 +245,93 @@ func (c *Collector) Collect(ctx context.Context, max int) ([]pcap.Packet, error)
 		}
 		dropped.Set(int64(c.Dropped))
 		received.Inc()
-		frames = append(frames, pkt)
+		count++
+		if err := fn(pkt); err != nil {
+			return count, err
+		}
 	}
-	return frames, nil
+	return count, nil
+}
+
+// Collect receives frames until max frames arrive (0 = unlimited), the
+// idle timeout passes, or the context is canceled. Frames are returned
+// in arrival order with their original capture timestamps. It is
+// Stream buffering into a slice — use Stream to analyze without
+// holding the whole capture.
+func (c *Collector) Collect(ctx context.Context, max int) ([]pcap.Packet, error) {
+	var frames []pcap.Packet
+	_, err := c.Stream(ctx, max, func(pkt pcap.Packet) error {
+		frames = append(frames, pkt)
+		return nil
+	})
+	return frames, err
+}
+
+// ReorderBuffer restores approximate capture order before delivery: it
+// holds up to Depth frames in a min-heap keyed by timestamp (insertion
+// order breaks ties, matching SortByTimestamp's stable sort) and emits
+// the earliest frame once the buffer is full. Any reordering with
+// displacement under Depth is corrected exactly; a deeper displacement
+// emits frames slightly out of order, which the Analyzer tolerates the
+// same way it tolerates an unsorted capture file.
+type ReorderBuffer struct {
+	depth int
+	emit  func(pcap.Packet) error
+	h     frameHeap
+	n     uint64
+}
+
+// NewReorderBuffer returns a buffer of the given depth (≤ 0 selects
+// 256) delivering to emit.
+func NewReorderBuffer(depth int, emit func(pcap.Packet) error) *ReorderBuffer {
+	if depth <= 0 {
+		depth = 256
+	}
+	return &ReorderBuffer{depth: depth, emit: emit}
+}
+
+// Push inserts one frame, emitting the earliest buffered frame when
+// the buffer is over depth.
+func (rb *ReorderBuffer) Push(pkt pcap.Packet) error {
+	heap.Push(&rb.h, frameEntry{pkt: pkt, seq: rb.n})
+	rb.n++
+	if rb.h.Len() > rb.depth {
+		return rb.emit(heap.Pop(&rb.h).(frameEntry).pkt)
+	}
+	return nil
+}
+
+// Flush emits every buffered frame in timestamp order.
+func (rb *ReorderBuffer) Flush() error {
+	for rb.h.Len() > 0 {
+		if err := rb.emit(heap.Pop(&rb.h).(frameEntry).pkt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// frameEntry orders frames by (timestamp, arrival) in the heap.
+type frameEntry struct {
+	pkt pcap.Packet
+	seq uint64
+}
+
+type frameHeap []frameEntry
+
+func (h frameHeap) Len() int { return len(h) }
+func (h frameHeap) Less(i, j int) bool {
+	if !h[i].pkt.Timestamp.Equal(h[j].pkt.Timestamp) {
+		return h[i].pkt.Timestamp.Before(h[j].pkt.Timestamp)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h frameHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *frameHeap) Push(x any)        { *h = append(*h, x.(frameEntry)) }
+func (h *frameHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
 }

@@ -178,6 +178,17 @@ func (r *Reader) SnapLen() uint32 { return r.snapLen }
 // ReadPacket returns the next packet, or io.EOF at a clean end of file.
 // A truncated trailing record returns io.ErrUnexpectedEOF.
 func (r *Reader) ReadPacket() (Packet, error) {
+	var buf []byte
+	return r.ReadPacketInto(&buf)
+}
+
+// ReadPacketInto is ReadPacket with caller-managed storage: the record
+// bytes are read into *buf (grown when too small and written back), and
+// the returned Packet's Data aliases it. Callers that process each
+// packet before reading the next reuse one buffer for the whole file,
+// which is what keeps the streaming analysis path allocation-free per
+// record.
+func (r *Reader) ReadPacketInto(buf *[]byte) (Packet, error) {
 	var hdr [recordHeaderLen]byte
 	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
 		if errors.Is(err, io.EOF) {
@@ -192,7 +203,10 @@ func (r *Reader) ReadPacket() (Packet, error) {
 	if capLen > r.snapLen && r.snapLen != 0 && capLen > DefaultSnapLen {
 		return Packet{}, fmt.Errorf("pcap: record capture length %d exceeds snaplen", capLen)
 	}
-	data := make([]byte, capLen)
+	if uint32(cap(*buf)) < capLen {
+		*buf = make([]byte, capLen)
+	}
+	data := (*buf)[:capLen]
 	if _, err := io.ReadFull(r.r, data); err != nil {
 		return Packet{}, fmt.Errorf("pcap: read record data: %w", err)
 	}

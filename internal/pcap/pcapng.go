@@ -95,10 +95,10 @@ func (ng *NGReader) readSHBBody(head []byte) error {
 	return nil
 }
 
-// readBlock reads one full block (type already consumed into typ and
-// total length into length is NOT the case here — this reads from
-// scratch). Returns block type and body (without type/length framing).
-func (ng *NGReader) readBlock() (uint32, []byte, error) {
+// readBlockInto reads one full block into *buf (grown as needed),
+// returning the block type and its body (without type/length framing),
+// aliasing *buf. SHBs are consumed in place and return a nil body.
+func (ng *NGReader) readBlockInto(buf *[]byte) (uint32, []byte, error) {
 	var head [8]byte
 	if _, err := io.ReadFull(ng.r, head[:]); err != nil {
 		if errors.Is(err, io.EOF) {
@@ -118,7 +118,11 @@ func (ng *NGReader) readBlock() (uint32, []byte, error) {
 	if total < 12 || total%4 != 0 {
 		return 0, nil, fmt.Errorf("pcap: block length %d invalid", total)
 	}
-	body := make([]byte, total-12)
+	need := int(total - 12)
+	if cap(*buf) < need {
+		*buf = make([]byte, need)
+	}
+	body := (*buf)[:need]
 	if _, err := io.ReadFull(ng.r, body); err != nil {
 		return 0, nil, fmt.Errorf("pcap: read block body: %w", err)
 	}
@@ -189,10 +193,20 @@ func (ng *NGReader) LinkType() LinkType {
 }
 
 // ReadPacket returns the next packet, skipping non-packet blocks, or
-// io.EOF at end of stream.
+// io.EOF at end of stream. Each call allocates fresh packet storage.
 func (ng *NGReader) ReadPacket() (Packet, LinkType, error) {
+	var buf []byte
+	return ng.ReadPacketInto(&buf)
+}
+
+// ReadPacketInto is ReadPacket with caller-managed storage: blocks are
+// read into *buf (grown as needed and written back) and the returned
+// Packet's Data aliases it, valid until the next read. Reusing one
+// buffer across the whole stream is what keeps the streaming analysis
+// path allocation-free per record.
+func (ng *NGReader) ReadPacketInto(buf *[]byte) (Packet, LinkType, error) {
 	for {
-		typ, body, err := ng.readBlock()
+		typ, body, err := ng.readBlockInto(buf)
 		if err != nil {
 			return Packet{}, 0, err
 		}
@@ -218,15 +232,13 @@ func (ng *NGReader) ReadPacket() (Packet, LinkType, error) {
 			if uint64(len(body)) < 20+uint64(capLen) {
 				return Packet{}, 0, fmt.Errorf("pcap: EPB capture length %d exceeds block", capLen)
 			}
-			data := make([]byte, capLen)
-			copy(data, body[20:20+capLen])
 			units := iface.tsUnitsPerSec
 			secs := tsRaw / units
 			frac := tsRaw % units
 			nanos := frac * uint64(time.Second) / units
 			return Packet{
 				Timestamp: time.Unix(int64(secs), int64(nanos)).UTC(),
-				Data:      data,
+				Data:      body[20 : 20+capLen],
 				OrigLen:   int(origLen),
 			}, iface.linkType, nil
 		case blockSPB:
@@ -241,9 +253,7 @@ func (ng *NGReader) ReadPacket() (Packet, LinkType, error) {
 			if origLen < capLen {
 				capLen = origLen
 			}
-			data := make([]byte, capLen)
-			copy(data, body[4:4+capLen])
-			return Packet{Data: data, OrigLen: int(origLen)}, ng.interfaces[0].linkType, nil
+			return Packet{Data: body[4 : 4+capLen], OrigLen: int(origLen)}, ng.interfaces[0].linkType, nil
 		default:
 			// Name resolution, statistics, custom blocks: skip.
 		}

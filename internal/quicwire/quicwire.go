@@ -87,6 +87,20 @@ var (
 	ErrTruncated = errors.New("quicwire: truncated packet")
 )
 
+// Precomposed parse errors. The DPI probes ParseLongInto at candidate
+// offsets where rejection is the common case; a fmt.Errorf per attempt
+// showed up in the pipeline's allocation profile.
+var (
+	errShortLong   = fmt.Errorf("%w: shorter than minimal long header", ErrTruncated)
+	errShortFirst  = fmt.Errorf("%w: short-header first byte", ErrNotQUIC)
+	errBadDCIDLen  = fmt.Errorf("%w: DCID length exceeds v1 maximum", ErrNotQUIC)
+	errBadSCIDLen  = fmt.Errorf("%w: SCID length exceeds v1 maximum", ErrNotQUIC)
+	errShortCIDs   = fmt.Errorf("%w: connection IDs", ErrTruncated)
+	errBadVNList   = fmt.Errorf("%w: version list not a multiple of 4", ErrNotQUIC)
+	errShortFields = fmt.Errorf("%w: long header fields", ErrTruncated)
+	errBadLength   = fmt.Errorf("%w: length exceeds remaining bytes", ErrTruncated)
+)
+
 // ReadVarint decodes a QUIC variable-length integer (RFC 9000 §16) from
 // the reader.
 func ReadVarint(r *bytesutil.Reader) uint64 {
@@ -131,44 +145,64 @@ func IsLongHeader(b []byte) bool {
 }
 
 // ParseLong parses a long-header packet (including Version Negotiation)
-// from the start of b.
+// from the start of b. The returned header's CID slices are fresh
+// copies, safe to retain after b is reused.
 func ParseLong(b []byte) (*Header, error) {
+	h := new(Header)
+	if err := ParseLongInto(h, b); err != nil {
+		return nil, err
+	}
+	h.DCID = cloneBytes(h.DCID)
+	h.SCID = cloneBytes(h.SCID)
+	return h, nil
+}
+
+// ParseLongInto is ParseLong into a caller-provided Header, reusing its
+// SupportedVersions storage. The DCID and SCID slices alias b: a caller
+// that retains the header past b's lifetime must copy them (see
+// Header.CloneCIDs). On error *h is partially overwritten.
+func ParseLongInto(h *Header, b []byte) error {
 	if len(b) < 7 {
-		return nil, fmt.Errorf("%w: %d bytes", ErrTruncated, len(b))
+		return errShortLong
 	}
 	if b[0]&0x80 == 0 {
-		return nil, fmt.Errorf("%w: short-header first byte", ErrNotQUIC)
+		return errShortFirst
 	}
 	r := bytesutil.NewReader(b)
 	first := r.Uint8()
-	h := &Header{
-		Long:     true,
-		FixedBit: first&0x40 != 0,
-		Version:  r.Uint32(),
+	*h = Header{
+		Long:              true,
+		FixedBit:          first&0x40 != 0,
+		Version:           r.Uint32(),
+		SupportedVersions: h.SupportedVersions[:0],
 	}
 	dcidLen := int(r.Uint8())
 	if dcidLen > MaxCIDLen && h.Version == Version1 {
-		return nil, fmt.Errorf("%w: DCID length %d", ErrNotQUIC, dcidLen)
+		return errBadDCIDLen
 	}
-	h.DCID = r.BytesCopy(dcidLen)
+	h.DCID = r.Bytes(dcidLen)
 	scidLen := int(r.Uint8())
 	if scidLen > MaxCIDLen && h.Version == Version1 {
-		return nil, fmt.Errorf("%w: SCID length %d", ErrNotQUIC, scidLen)
+		return errBadSCIDLen
 	}
-	h.SCID = r.BytesCopy(scidLen)
-	if r.Err() != nil {
-		return nil, fmt.Errorf("%w: connection IDs", ErrTruncated)
+	h.SCID = r.Bytes(scidLen)
+	if r.Failed() {
+		return errShortCIDs
 	}
 	if h.Version == VersionNegotiation {
 		for r.Remaining() >= 4 {
 			h.SupportedVersions = append(h.SupportedVersions, r.Uint32())
 		}
 		if r.Remaining() != 0 {
-			return nil, fmt.Errorf("%w: version list not a multiple of 4", ErrNotQUIC)
+			return errBadVNList
+		}
+		if len(h.SupportedVersions) == 0 {
+			h.SupportedVersions = nil
 		}
 		h.HeaderLen = r.Offset()
-		return h, nil
+		return nil
 	}
+	h.SupportedVersions = nil
 	h.Type = LongPacketType(first >> 4 & 0b11)
 	switch h.Type {
 	case TypeInitial:
@@ -180,14 +214,32 @@ func ParseLong(b []byte) (*Header, error) {
 	case TypeRetry:
 		// Retry packets carry a token and integrity tag; no length.
 	}
-	if r.Err() != nil {
-		return nil, fmt.Errorf("%w: long header fields", ErrTruncated)
+	if r.Failed() {
+		return errShortFields
 	}
 	if h.Type != TypeRetry && h.PayloadLength > uint64(r.Remaining()) {
-		return nil, fmt.Errorf("%w: length %d exceeds %d remaining", ErrTruncated, h.PayloadLength, r.Remaining())
+		return errBadLength
 	}
 	h.HeaderLen = r.Offset()
-	return h, nil
+	return nil
+}
+
+// CloneCIDs replaces the header's DCID and SCID with fresh copies,
+// detaching a ParseLongInto result from the input buffer.
+func (h *Header) CloneCIDs() {
+	h.DCID = cloneBytes(h.DCID)
+	h.SCID = cloneBytes(h.SCID)
+}
+
+// cloneBytes copies b, preserving nil-ness (a zero-length parse result
+// stays a non-nil empty slice, as BytesCopy produced).
+func cloneBytes(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
 }
 
 // ParseShort parses a short-header packet given the connection-ID length
@@ -215,8 +267,8 @@ func LooksLikeLongHeader(b []byte) bool {
 	if len(b) < 7 || b[0]&0x80 == 0 {
 		return false
 	}
-	h, err := ParseLong(b)
-	if err != nil {
+	var h Header // stack scratch: only version and fixed bit are read
+	if ParseLongInto(&h, b) != nil {
 		return false
 	}
 	if h.Version != Version1 && h.Version != VersionNegotiation {

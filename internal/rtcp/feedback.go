@@ -148,7 +148,7 @@ func DecodeTWCCFCI(fci []byte) (TWCCFeedback, error) {
 	}
 	ref := r.Uint24()
 	fb.FeedbackCount = r.Uint8()
-	if r.Err() != nil {
+	if r.Failed() {
 		return fb, fmt.Errorf("%w: TWCC header", ErrBadFCI)
 	}
 	// Sign-extend the 24-bit reference time.
@@ -161,7 +161,7 @@ func DecodeTWCCFCI(fci []byte) (TWCCFeedback, error) {
 	// Status chunks.
 	for len(fb.Statuses) < int(fb.PacketCount) {
 		chunk := r.Uint16()
-		if r.Err() != nil {
+		if r.Failed() {
 			return fb, fmt.Errorf("%w: truncated status chunks", ErrBadFCI)
 		}
 		if chunk&0x8000 == 0 {
@@ -199,13 +199,13 @@ func DecodeTWCCFCI(fci []byte) (TWCCFeedback, error) {
 		switch sym {
 		case TWCCSmallDelta:
 			d := r.Uint8()
-			if r.Err() != nil {
+			if r.Failed() {
 				return fb, fmt.Errorf("%w: truncated deltas", ErrBadFCI)
 			}
 			fb.DeltasUS = append(fb.DeltasUS, int64(d)*250)
 		case TWCCLargeDelta:
 			d := int16(r.Uint16())
-			if r.Err() != nil {
+			if r.Failed() {
 				return fb, fmt.Errorf("%w: truncated deltas", ErrBadFCI)
 			}
 			fb.DeltasUS = append(fb.DeltasUS, int64(d)*250)
@@ -252,13 +252,13 @@ func EncodeREMBFCI(remb REMB) ([]byte, error) {
 func DecodeREMBFCI(fci []byte) (REMB, error) {
 	r := bytesutil.NewReader(fci)
 	ident := r.Bytes(4)
-	if r.Err() != nil || string(ident) != "REMB" {
+	if r.Failed() || string(ident) != "REMB" {
 		return REMB{}, fmt.Errorf("%w: missing REMB identifier", ErrBadFCI)
 	}
 	n := int(r.Uint8())
 	b0 := r.Uint8()
 	mLow := r.Uint16()
-	if r.Err() != nil {
+	if r.Failed() {
 		return REMB{}, fmt.Errorf("%w: REMB header", ErrBadFCI)
 	}
 	exp := b0 >> 2
@@ -267,7 +267,7 @@ func DecodeREMBFCI(fci []byte) (REMB, error) {
 	for i := 0; i < n; i++ {
 		remb.SSRCs = append(remb.SSRCs, r.Uint32())
 	}
-	if r.Err() != nil {
+	if r.Failed() {
 		return REMB{}, fmt.Errorf("%w: REMB SSRC list", ErrBadFCI)
 	}
 	return remb, nil

@@ -323,7 +323,7 @@ func parseReportBlocks(r *bytesutil.Reader, count uint8) ([]ReportBlock, bool) {
 			LastSR:         r.Uint32(),
 		}
 		rb.DelaySinceLastSR = r.Uint32()
-		if r.Err() != nil {
+		if r.Failed() {
 			return nil, false
 		}
 		blocks = append(blocks, rb)
@@ -340,7 +340,7 @@ func parseSR(body []byte, count uint8) (*SenderReport, bool) {
 		PacketCount:  r.Uint32(),
 		OctetCount:   r.Uint32(),
 	}
-	if r.Err() != nil {
+	if r.Failed() {
 		return nil, false
 	}
 	blocks, ok := parseReportBlocks(r, count)
@@ -355,7 +355,7 @@ func parseSR(body []byte, count uint8) (*SenderReport, bool) {
 func parseRR(body []byte, count uint8) (*ReceiverReport, bool) {
 	r := bytesutil.NewReader(body)
 	rr := &ReceiverReport{SSRC: r.Uint32()}
-	if r.Err() != nil {
+	if r.Failed() {
 		return nil, false
 	}
 	blocks, ok := parseReportBlocks(r, count)
@@ -372,19 +372,19 @@ func parseSDES(body []byte, count uint8) (*SDES, bool) {
 	s := &SDES{}
 	for i := 0; i < int(count); i++ {
 		chunk := SDESChunk{SSRC: r.Uint32()}
-		if r.Err() != nil {
+		if r.Failed() {
 			return nil, false
 		}
 		for {
 			t := SDESItemType(r.Uint8())
-			if r.Err() != nil {
+			if r.Failed() {
 				return nil, false
 			}
 			if t == SDESEnd {
 				// Chunk is padded with zeros to the next 32-bit boundary,
 				// counting from the start of the body.
 				for r.Offset()%4 != 0 {
-					if r.Uint8() != 0 || r.Err() != nil {
+					if r.Uint8() != 0 || r.Failed() {
 						return nil, false
 					}
 				}
@@ -392,7 +392,7 @@ func parseSDES(body []byte, count uint8) (*SDES, bool) {
 			}
 			n := int(r.Uint8())
 			text := r.Bytes(n)
-			if r.Err() != nil {
+			if r.Failed() {
 				return nil, false
 			}
 			chunk.Items = append(chunk.Items, SDESItem{Type: t, Text: string(text)})
@@ -408,13 +408,13 @@ func parseBye(body []byte, count uint8) (*Bye, bool) {
 	for i := 0; i < int(count); i++ {
 		b.SSRCs = append(b.SSRCs, r.Uint32())
 	}
-	if r.Err() != nil {
+	if r.Failed() {
 		return nil, false
 	}
 	if r.Remaining() > 0 {
 		n := int(r.Uint8())
 		reason := r.Bytes(n)
-		if r.Err() != nil {
+		if r.Failed() {
 			return nil, false
 		}
 		b.Reason = string(reason)
@@ -426,7 +426,7 @@ func parseApp(body []byte, subtype uint8) (*App, bool) {
 	r := bytesutil.NewReader(body)
 	a := &App{Subtype: subtype, SSRC: r.Uint32()}
 	name := r.Bytes(4)
-	if r.Err() != nil {
+	if r.Failed() {
 		return nil, false
 	}
 	copy(a.Name[:], name)
@@ -441,7 +441,7 @@ func parseFeedback(body []byte, fmtVal uint8) (*Feedback, bool) {
 		SenderSSRC: r.Uint32(),
 		MediaSSRC:  r.Uint32(),
 	}
-	if r.Err() != nil {
+	if r.Failed() {
 		return nil, false
 	}
 	fb.FCI = append([]byte(nil), r.Rest()...)
@@ -451,7 +451,7 @@ func parseFeedback(body []byte, fmtVal uint8) (*Feedback, bool) {
 func parseXR(body []byte) (*XR, bool) {
 	r := bytesutil.NewReader(body)
 	x := &XR{SSRC: r.Uint32()}
-	if r.Err() != nil {
+	if r.Failed() {
 		return nil, false
 	}
 	for r.Remaining() >= 4 {
@@ -459,7 +459,7 @@ func parseXR(body []byte) (*XR, bool) {
 		ts := r.Uint8()
 		words := r.Uint16()
 		contents := r.BytesCopy(int(words) * 4)
-		if r.Err() != nil {
+		if r.Failed() {
 			return nil, false
 		}
 		x.Blocks = append(x.Blocks, XRBlock{BlockType: bt, TypeSpecific: ts, Contents: contents})

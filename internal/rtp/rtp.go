@@ -83,6 +83,19 @@ var (
 	ErrTruncated = errors.New("rtp: truncated packet")
 )
 
+// Precomposed decode errors. The DPI calls Decode at every candidate
+// offset of every datagram, so failures are the common case on that
+// path; building a fmt.Errorf per attempt dominated the pipeline's
+// allocation profile.
+var (
+	errShortPacket  = fmt.Errorf("%w: shorter than the fixed header", ErrTruncated)
+	errBadVersion   = fmt.Errorf("%w: bad version", ErrNotRTP)
+	errShortHeader  = fmt.Errorf("%w: header", ErrTruncated)
+	errShortExt     = fmt.Errorf("%w: header extension", ErrTruncated)
+	errEmptyPadding = fmt.Errorf("%w: padding bit set on empty payload", ErrTruncated)
+	errBadPadding   = fmt.Errorf("%w: padding length exceeds payload", ErrTruncated)
+)
+
 // LooksLikeHeader reports whether b plausibly begins with an RTP packet:
 // version 2 and enough bytes for the fixed header plus declared CSRCs and
 // extension. It does not restrict the payload type (§4.1.1: the Peafowl
@@ -112,18 +125,32 @@ func LooksLikeHeader(b []byte) bool {
 
 // Decode parses an RTP packet occupying all of b. RTP carries no length
 // field, so the packet is assumed to extend to the end of the datagram
-// (or to the end of the slice the DPI hands in).
+// (or to the end of the slice the DPI hands in). The returned packet's
+// byte slices (Payload, Raw, extension data and elements) alias b: the
+// caller must not mutate b while the packet is in use.
 func Decode(b []byte) (*Packet, error) {
+	p := new(Packet)
+	if err := DecodeInto(p, b); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// DecodeInto is Decode into a caller-provided Packet, reusing its CSRC
+// storage. The DPI probes candidate offsets far more often than it
+// accepts one, so the probe path decodes into a stack Packet and copies
+// to the heap only on acceptance. On error *p is partially overwritten.
+func DecodeInto(p *Packet, b []byte) error {
 	if len(b) < HeaderLen {
-		return nil, fmt.Errorf("%w: %d bytes", ErrTruncated, len(b))
+		return errShortPacket
 	}
 	r := bytesutil.NewReader(b)
 	b0 := r.Uint8()
 	if b0>>6 != Version {
-		return nil, fmt.Errorf("%w: version %d", ErrNotRTP, b0>>6)
+		return errBadVersion
 	}
 	b1 := r.Uint8()
-	p := &Packet{
+	*p = Packet{
 		Version:        b0 >> 6,
 		Padding:        b0&0x20 != 0,
 		HasExtension:   b0&0x10 != 0,
@@ -133,6 +160,7 @@ func Decode(b []byte) (*Packet, error) {
 		SequenceNumber: r.Uint16(),
 		Timestamp:      r.Uint32(),
 		SSRC:           r.Uint32(),
+		CSRC:           p.CSRC[:0],
 	}
 	for i := 0; i < int(p.CSRCCount); i++ {
 		p.CSRC = append(p.CSRC, r.Uint32())
@@ -140,9 +168,9 @@ func Decode(b []byte) (*Packet, error) {
 	if p.HasExtension {
 		profile := r.Uint16()
 		words := r.Uint16()
-		data := r.BytesCopy(int(words) * 4)
-		if r.Err() != nil {
-			return nil, fmt.Errorf("%w: header extension", ErrTruncated)
+		data := r.Bytes(int(words) * 4)
+		if r.Failed() {
+			return errShortExt
 		}
 		ext := &Extension{Profile: profile, Data: data}
 		if profile == ProfileOneByte {
@@ -153,23 +181,23 @@ func Decode(b []byte) (*Packet, error) {
 		p.Extension = ext
 	}
 	if err := r.Err(); err != nil {
-		return nil, fmt.Errorf("%w: header", ErrTruncated)
+		return errShortHeader
 	}
 	payload := r.Rest()
 	if p.Padding {
 		if len(payload) == 0 {
-			return nil, fmt.Errorf("%w: padding bit set on empty payload", ErrTruncated)
+			return errEmptyPadding
 		}
 		pl := payload[len(payload)-1]
 		if int(pl) > len(payload) || pl == 0 {
-			return nil, fmt.Errorf("%w: padding length %d of %d payload bytes", ErrTruncated, pl, len(payload))
+			return errBadPadding
 		}
 		p.PaddingLen = pl
 		payload = payload[:len(payload)-int(pl)]
 	}
-	p.Payload = append([]byte(nil), payload...)
+	p.Payload = payload
 	p.Raw = b
-	return p, nil
+	return nil
 }
 
 // parseOneByte parses one-byte-form extension elements (RFC 8285 §4.2).
@@ -198,7 +226,7 @@ func parseOneByte(data []byte) ([]ExtensionElement, bool) {
 		}
 		elems = append(elems, ExtensionElement{
 			ID:      id,
-			Payload: append([]byte(nil), data[i+1:i+1+length]...),
+			Payload: data[i+1 : i+1+length],
 		})
 		i += 1 + length
 	}
@@ -224,7 +252,7 @@ func parseTwoByte(data []byte) ([]ExtensionElement, bool) {
 		}
 		elems = append(elems, ExtensionElement{
 			ID:      id,
-			Payload: append([]byte(nil), data[i+2:i+2+length]...),
+			Payload: data[i+2 : i+2+length],
 		})
 		i += 2 + length
 	}

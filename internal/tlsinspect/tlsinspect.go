@@ -45,7 +45,7 @@ func SNI(b []byte) (string, error) {
 		return "", fmt.Errorf("%w: record version %d.%d", ErrNotClientHello, major, minor)
 	}
 	recLen := int(r.Uint16())
-	if r.Err() != nil || r.Remaining() < recLen {
+	if r.Failed() || r.Remaining() < recLen {
 		return "", ErrTruncated
 	}
 	hs := bytesutil.NewReader(r.Bytes(recLen))

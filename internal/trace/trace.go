@@ -34,6 +34,11 @@ type CaptureConfig struct {
 	MediaRate int
 	// Background enables the unrelated-traffic generator.
 	Background bool
+	// BackgroundBulk, when Background is set, adds approximately this
+	// many MTU-sized TCP segments of unrelated bulk downloads spread
+	// over the capture — the traffic volume that dominates real capture
+	// files. Zero keeps the light fixed-size background mix.
+	BackgroundBulk int
 }
 
 // Capture is one assembled experiment capture.
@@ -86,6 +91,7 @@ func Generate(cfg CaptureConfig) (*Capture, error) {
 			PostEnd:   call.CallEnd.Add(cfg.PrePost),
 			Device:    deviceAddr(cfg.Network),
 			LANPeer:   lanPeer(cfg.Network),
+			Bulk:      cfg.BackgroundBulk,
 		})
 		cap.Events = append(cap.Events, bg...)
 	}
@@ -138,6 +144,33 @@ func (c *Capture) Frames() []pcap.Packet {
 		out = append(out, pcap.Packet{Timestamp: ev.At, Data: frame})
 	}
 	return out
+}
+
+// Input is one fully-assembled analysis input: the encoded frames in
+// time order plus the annotated call window. It is the type behind
+// core.CaptureInput, defined here so every place that turns a Capture
+// into pipeline input shares one constructor.
+type Input struct {
+	// Label names the application (or capture) in reports.
+	Label string
+	// LinkType describes the frames.
+	LinkType pcap.LinkType
+	// Packets are the captured frames in time order.
+	Packets []pcap.Packet
+	// CallStart and CallEnd delimit the annotated call window.
+	CallStart, CallEnd time.Time
+}
+
+// Input encodes the capture's events as raw-IP frames and pairs them
+// with the annotated call window, ready for analysis.
+func (c *Capture) Input() Input {
+	return Input{
+		Label:     string(c.Config.App),
+		LinkType:  pcap.LinkTypeRaw,
+		Packets:   c.Frames(),
+		CallStart: c.CallStart,
+		CallEnd:   c.CallEnd,
+	}
 }
 
 // WritePCAP writes the capture as a classic pcap file with the raw-IP

@@ -175,13 +175,32 @@ func Matrix(o MatrixOptions) []CaptureConfig {
 // Analyze runs the full pipeline (filter → DPI → compliance) over a
 // synthetic capture.
 func Analyze(cap *Capture, opts Options) (*CaptureAnalysis, error) {
-	return core.AnalyzeCapture(core.CaptureInput{
-		Label:     string(cap.Config.App),
-		LinkType:  pcap.LinkTypeRaw,
-		Packets:   cap.Frames(),
-		CallStart: cap.CallStart,
-		CallEnd:   cap.CallEnd,
-	}, opts)
+	return core.AnalyzeCapture(cap.Input(), opts)
+}
+
+// LinkType identifies the layer-2 framing of frames fed to an
+// Analyzer.
+type LinkType = pcap.LinkType
+
+// Link types accepted by the analyzer. LinkTypeRaw is raw IP with no
+// Ethernet header (what Apple RVI captures produce).
+const (
+	LinkTypeEthernet = pcap.LinkTypeEthernet
+	LinkTypeRaw      = pcap.LinkTypeRaw
+)
+
+// Analyzer is the incremental analysis engine behind every entry point:
+// Feed it one frame at a time and Close it for the CaptureAnalysis.
+// Use it directly to analyze a source the wrappers don't cover (a live
+// socket, a message queue) without buffering the capture.
+type Analyzer = core.Analyzer
+
+// AnalyzerConfig parameterizes an incremental Analyzer.
+type AnalyzerConfig = core.AnalyzerConfig
+
+// NewAnalyzer returns an incremental analyzer; see Analyzer.
+func NewAnalyzer(cfg AnalyzerConfig, opts Options) (*Analyzer, error) {
+	return core.NewAnalyzer(cfg, opts)
 }
 
 // AnalyzePCAP analyzes a pcap stream. A zero callStart defaults the
