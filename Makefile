@@ -3,7 +3,7 @@ GO          ?= go
 FUZZTIME    ?= 5s
 COVER_FLOOR ?= 70
 
-.PHONY: all vet staticcheck build test race fuzz-smoke cover bench ci
+.PHONY: all vet staticcheck build test race fuzz-smoke cover bench proto-list ci
 
 all: build
 
@@ -36,6 +36,9 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='FuzzDecode$$' -fuzztime=$(FUZZTIME) ./internal/stun
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeChannelData -fuzztime=$(FUZZTIME) ./internal/stun
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeCompound -fuzztime=$(FUZZTIME) ./internal/rtcp
+	$(GO) test -run='^$$' -fuzz='FuzzDecode$$' -fuzztime=$(FUZZTIME) ./internal/rtp
+	$(GO) test -run='^$$' -fuzz=FuzzParseLong -fuzztime=$(FUZZTIME) ./internal/quicwire
+	$(GO) test -run='^$$' -fuzz=FuzzDTLSProbe -fuzztime=$(FUZZTIME) ./internal/proto/dtlsdrv
 	$(GO) test -run='^$$' -fuzz=FuzzDecapsulate -fuzztime=$(FUZZTIME) ./internal/live
 
 # Per-package coverage table, plus a hard floor on the observability
@@ -49,5 +52,13 @@ cover:
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
+
+# List the registered wire protocols: one row per handler with family,
+# demultiplexing precedence, fuzz target, and wire fingerprint. The
+# registry golden test (protolist_test.go) keeps this listing honest:
+# it fails when a registered protocol is missing from the README or
+# DESIGN docs or lacks a fuzz-smoke line above.
+proto-list:
+	$(GO) run ./cmd/rtccheck -protocols
 
 ci: vet staticcheck build race fuzz-smoke cover

@@ -15,9 +15,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
+	"text/tabwriter"
 	"time"
 
 	rtcc "github.com/rtc-compliance/rtcc"
@@ -25,6 +27,8 @@ import (
 	"github.com/rtc-compliance/rtcc/internal/flow"
 	"github.com/rtc-compliance/rtcc/internal/metrics"
 	"github.com/rtc-compliance/rtcc/internal/propheader"
+	"github.com/rtc-compliance/rtcc/internal/proto"
+	_ "github.com/rtc-compliance/rtcc/internal/proto/protoall"
 	"github.com/rtc-compliance/rtcc/internal/report"
 )
 
@@ -42,9 +46,14 @@ func main() {
 		inferHdr = flag.Bool("infer-headers", false, "infer the structure of proprietary headers per stream")
 		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of text")
 		metAddr  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address during the run")
+		listProt = flag.Bool("protocols", false, "list the registered wire protocols and exit")
 	)
 	flag.Parse()
 
+	if *listProt {
+		printProtocols(os.Stdout)
+		return
+	}
 	if (*pcapPath == "") == (*manifest == "") {
 		fmt.Fprintln(os.Stderr, "rtccheck: exactly one of -pcap or -manifest is required")
 		os.Exit(2)
@@ -70,6 +79,31 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rtccheck:", err)
 		os.Exit(1)
 	}
+}
+
+// printProtocols renders the registered protocol listing backing
+// `make proto-list`: one row per handler with its reporting family,
+// demultiplexing precedences, wire fingerprint, and fuzz target.
+func printProtocols(w io.Writer) {
+	reg := proto.Default()
+	precs := make(map[proto.ID][]int)
+	for _, p := range reg.Probers() {
+		precs[p.ID] = append(precs[p.ID], p.Precedence)
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "ID\tNAME\tFAMILY\tPRECEDENCE\tFUZZ\tFINGERPRINT")
+	for _, m := range reg.Metas() {
+		fam, _ := reg.Meta(m.Family)
+		ps := ""
+		for i, p := range precs[m.ID] {
+			if i > 0 {
+				ps += ","
+			}
+			ps += fmt.Sprint(p)
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%s\t%s\n", m.ID, m.Name, fam.Name, ps, m.Fuzz, m.Fingerprint)
+	}
+	tw.Flush()
 }
 
 func parseTime(s string) (time.Time, error) {
@@ -317,7 +351,7 @@ func printAnalysis(ca *rtcc.CaptureAnalysis, verbose bool) {
 		ca.Stats.Datagrams[dpi.ClassProprietaryHeader],
 		ca.Stats.Datagrams[dpi.ClassFullyProprietary])
 
-	for _, fam := range report.ProtoOrder {
+	for _, fam := range proto.Default().Families() {
 		ps := ca.Stats.ByProtocol[fam]
 		if ps == nil || ps.Messages == 0 {
 			continue

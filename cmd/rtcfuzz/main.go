@@ -22,6 +22,7 @@ import (
 	"github.com/rtc-compliance/rtcc/internal/layers"
 	"github.com/rtc-compliance/rtcc/internal/mutate"
 	"github.com/rtc-compliance/rtcc/internal/pcap"
+	_ "github.com/rtc-compliance/rtcc/internal/proto/protoall"
 )
 
 func main() {

@@ -64,16 +64,17 @@ func main() {
 		rate       = flag.Int("rate", 25, "media packets per second per stream")
 		seed       = flag.Uint64("seed", 1, "base seed")
 		background = flag.Bool("background", true, "include unrelated background traffic")
+		dtls       = flag.Bool("dtls", false, "emit a standards-compliant DTLS-SRTP handshake on the media stream")
 	)
 	flag.Parse()
 
-	if err := run(*outDir, *appFlag, *netFlag, *runs, *duration, *prePost, *rate, *seed, *background); err != nil {
+	if err := run(*outDir, *appFlag, *netFlag, *runs, *duration, *prePost, *rate, *seed, *background, *dtls); err != nil {
 		fmt.Fprintln(os.Stderr, "rtcgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(outDir, appFlag, netFlag string, runs int, duration, prePost time.Duration, rate int, seed uint64, background bool) error {
+func run(outDir, appFlag, netFlag string, runs int, duration, prePost time.Duration, rate int, seed uint64, background, dtls bool) error {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
@@ -85,6 +86,7 @@ func run(outDir, appFlag, netFlag string, runs int, duration, prePost time.Durat
 		Start:        time.Now().UTC().Truncate(time.Second),
 		BaseSeed:     seed,
 		Background:   background,
+		DTLS:         dtls,
 	}
 	if appFlag != "" {
 		app, err := parseApp(appFlag)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/rtc-compliance/rtcc/internal/dpi"
+	_ "github.com/rtc-compliance/rtcc/internal/proto/protoall"
 	"github.com/rtc-compliance/rtcc/internal/stun"
 )
 

@@ -1,0 +1,92 @@
+package appsim
+
+import (
+	"time"
+
+	"github.com/rtc-compliance/rtcc/internal/layers"
+	"github.com/rtc-compliance/rtcc/internal/tlsinspect"
+)
+
+// generateDTLSHandshake emits a DTLS 1.2 key-establishment handshake
+// with the use_srtp extension (RFC 5764) on the call's primary media
+// 5-tuple, ahead of the media itself — the DTLS-SRTP pattern WebRTC
+// stacks use. It is app-agnostic: it finds the earliest caller-sourced
+// UDP media datagram the app simulator produced and schedules the
+// handshake flights between call start and that first packet, so every
+// app emits the same standards-form handshake when the knob is on.
+func (e *env) generateDTLSHandshake() {
+	var first *Dgram
+	for i := range e.events {
+		ev := &e.events[i]
+		if ev.Proto != layers.IPProtocolUDP || ev.Src.Addr() != e.callerLocal {
+			continue
+		}
+		if first == nil || ev.At.Before(first.At) {
+			first = ev
+		}
+	}
+	if first == nil {
+		return
+	}
+	src, dst := first.Src, first.Dst
+
+	// Pack the flights into the gap before the first media packet
+	// (clamped so a media stream starting immediately still leaves
+	// room; the events are re-sorted on finish).
+	gap := first.At.Sub(e.cfg.Start)
+	if gap <= 0 {
+		gap = time.Millisecond
+	}
+	step := gap / 8
+	if step > 15*time.Millisecond {
+		step = 15 * time.Millisecond
+	}
+	at := e.cfg.Start
+	var seq [2]uint64 // per-direction record sequence numbers
+	send := func(fromCaller bool, epoch uint16, contentType uint8, fragment []byte) {
+		dir := 0
+		s, d := src, dst
+		if !fromCaller {
+			dir, s, d = 1, dst, src
+		}
+		rec := tlsinspect.BuildDTLSRecord(contentType, tlsinspect.VersionDTLS12, epoch, seq[dir], fragment)
+		seq[dir]++
+		e.push(at, s, d, rec)
+		at = at.Add(step)
+	}
+	hs := func(fromCaller bool, msgType uint8, messageSeq uint16, body []byte) {
+		send(fromCaller, 0, tlsinspect.DTLSTypeHandshake,
+			tlsinspect.BuildDTLSHandshake(msgType, messageSeq, body))
+	}
+
+	var clientRandom, serverRandom [32]byte
+	copy(clientRandom[:], e.rng.Bytes(32))
+	copy(serverRandom[:], e.rng.Bytes(32))
+	cookie := e.rng.Bytes(16)
+
+	// Flight 1-2: ClientHello, stateless cookie round trip.
+	hs(true, tlsinspect.DTLSHandshakeClientHello, 0,
+		tlsinspect.BuildDTLSClientHelloBody(clientRandom, nil))
+	hs(false, tlsinspect.DTLSHandshakeHelloVerifyRequest, 0, buildHelloVerifyRequest(cookie))
+	hs(true, tlsinspect.DTLSHandshakeClientHello, 1,
+		tlsinspect.BuildDTLSClientHelloBody(clientRandom, cookie))
+	// Flight 4: server parameters.
+	hs(false, tlsinspect.DTLSHandshakeServerHello, 1,
+		tlsinspect.BuildDTLSServerHelloBody(serverRandom))
+	hs(false, tlsinspect.DTLSHandshakeServerHelloDone, 2, nil)
+	// Flight 5-6: key exchange, cipher switch, encrypted Finished.
+	hs(true, tlsinspect.DTLSHandshakeClientKeyExchange, 2, e.rng.Bytes(33))
+	send(true, 0, tlsinspect.DTLSTypeChangeCipherSpec, []byte{1})
+	send(true, 1, tlsinspect.DTLSTypeHandshake, e.rng.Bytes(40))
+	send(false, 0, tlsinspect.DTLSTypeChangeCipherSpec, []byte{1})
+	send(false, 1, tlsinspect.DTLSTypeHandshake, e.rng.Bytes(40))
+}
+
+// buildHelloVerifyRequest encodes a HelloVerifyRequest body: server
+// version then an opaque cookie (RFC 6347 §4.2.1).
+func buildHelloVerifyRequest(cookie []byte) []byte {
+	body := make([]byte, 0, 3+len(cookie))
+	body = append(body, byte(tlsinspect.VersionDTLS12>>8), byte(tlsinspect.VersionDTLS12&0xff))
+	body = append(body, byte(len(cookie)))
+	return append(body, cookie...)
+}

@@ -1,4 +1,4 @@
-// Package compliance implements the paper's five-criterion compliance
+// Package compliance applies the paper's five-criterion compliance
 // model (§4.2). Every message extracted by the DPI engine is checked,
 // in order, against:
 //
@@ -17,97 +17,73 @@
 // Evaluation is strictly sequential: the first failed criterion
 // classifies the message as non-compliant and later criteria are not
 // evaluated (the paper's cascading-error rule).
+//
+// The per-protocol judges live in the protocol drivers under
+// internal/proto; this package wraps the registry's checker with the
+// pipeline's metrics instrumentation. The model types (Criterion,
+// Verdict, TypeKey, Checked, Session) are the registry's own.
 package compliance
 
 import (
-	"fmt"
-	"time"
-
-	"github.com/rtc-compliance/rtcc/internal/dpi"
 	"github.com/rtc-compliance/rtcc/internal/metrics"
+	"github.com/rtc-compliance/rtcc/internal/proto"
 )
 
 // Criterion numbers the five checks.
-type Criterion int
+type Criterion = proto.Criterion
 
 // The five criteria, in evaluation order.
 const (
-	CritNone        Criterion = 0 // compliant
-	CritMessageType Criterion = 1
-	CritHeader      Criterion = 2
-	CritAttrType    Criterion = 3
-	CritAttrValue   Criterion = 4
-	CritSemantics   Criterion = 5
+	CritNone        = proto.CritNone // compliant
+	CritMessageType = proto.CritMessageType
+	CritHeader      = proto.CritHeader
+	CritAttrType    = proto.CritAttrType
+	CritAttrValue   = proto.CritAttrValue
+	CritSemantics   = proto.CritSemantics
 )
 
-func (c Criterion) String() string {
-	switch c {
-	case CritNone:
-		return "compliant"
-	case CritMessageType:
-		return "message type definition"
-	case CritHeader:
-		return "header field validity"
-	case CritAttrType:
-		return "attribute type validity"
-	case CritAttrValue:
-		return "attribute value validity"
-	case CritSemantics:
-		return "syntax and semantic integrity"
-	}
-	return fmt.Sprintf("criterion %d", int(c))
-}
-
 // Verdict is the compliance outcome for one message.
-type Verdict struct {
-	Compliant bool
-	// Failed identifies the first criterion violated (CritNone when
-	// compliant).
-	Failed Criterion
-	// Reason is a human-readable explanation of the violation.
-	Reason string
-}
-
-func ok() Verdict { return Verdict{Compliant: true} }
-
-func fail(c Criterion, format string, args ...any) Verdict {
-	return Verdict{Failed: c, Reason: fmt.Sprintf(format, args...)}
-}
+type Verdict = proto.Verdict
 
 // TypeKey identifies a message type for the message-type-based metric:
 // the protocol family plus the label the paper's tables use (hex STUN
 // type, RTP payload type number, RTCP packet type number, QUIC header
-// kind, or "ChannelData").
-type TypeKey struct {
-	Protocol dpi.Protocol
-	Label    string
-}
-
-func (k TypeKey) String() string { return k.Protocol.String() + " " + k.Label }
+// kind, DTLS record kind, or "ChannelData").
+type TypeKey = proto.TypeKey
 
 // Checked pairs one message with its verdict.
-type Checked struct {
-	Protocol dpi.Protocol
-	Type     TypeKey
-	Verdict  Verdict
-	// Bytes is the message's encoded size, for volume accounting.
-	Bytes int
-	// Timestamp is the datagram capture time.
-	Timestamp time.Time
-}
+type Checked = proto.Checked
+
+// Session holds per-stream state for criterion 5. Create one per
+// transport stream and feed it messages in capture order via Check.
+type Session = proto.Session
 
 // Checker holds call-scoped state shared across all streams of one
-// analyzed capture: the set of RTP SSRCs observed, used to
-// cross-validate RTCP sender SSRCs.
+// analyzed capture, dispatching every judged message to its registered
+// protocol driver and counting verdicts into the metrics registry.
 type Checker struct {
-	rtpSSRCs map[uint32]bool
-	metrics  *checkerMetrics
+	inner   *proto.Checker
+	metrics *checkerMetrics
 }
 
-// NewChecker returns a checker for one call capture.
-func NewChecker() *Checker {
-	return &Checker{rtpSSRCs: make(map[uint32]bool)}
+// NewChecker returns a checker for one call capture, judging against
+// the default protocol registry.
+func NewChecker() *Checker { return NewCheckerWith(nil) }
+
+// NewCheckerWith returns a checker judging against the given registry
+// (nil selects the default registry).
+func NewCheckerWith(reg *proto.Registry) *Checker {
+	c := &Checker{inner: proto.NewChecker(reg)}
+	c.inner.Record = c.record
+	return c
 }
+
+// Proto returns the underlying registry checker (protocol drivers hang
+// their capture-scoped state off its slots).
+func (c *Checker) Proto() *proto.Checker { return c.inner }
+
+// NewSession returns a per-stream session.
+func (c *Checker) NewSession() *Session { return c.inner.NewSession() }
 
 // checkerMetrics holds the per-criterion verdict counters, indexed by
 // Criterion (fail[CritNone] stays nil).
@@ -160,75 +136,4 @@ func (c *Checker) record(out []Checked) {
 			c.metrics.fail[ch.Verdict.Failed].Inc()
 		}
 	}
-}
-
-// Session holds per-stream state for criterion 5. Create one per
-// transport stream and feed it messages in capture order.
-type Session struct {
-	checker *Checker
-
-	// STUN transaction tracking.
-	txSeen      map[[12]byte]*txState
-	prevReqTx   [12]byte
-	havePrevReq bool
-	seqTxRun    int
-	allocDone   bool // an Allocate success has been observed
-	allocReqs   int  // Allocate requests after completion
-	boundChans  map[uint16]bool
-	srtcpLastIx map[uint32]uint32
-
-	// QUIC connection-ID consistency.
-	quicCIDs map[string]bool
-}
-
-type txState struct {
-	requests  int
-	responded bool
-	firstSeen time.Time
-}
-
-// NewSession returns a per-stream session.
-func (c *Checker) NewSession() *Session {
-	return &Session{
-		checker:     c,
-		txSeen:      make(map[[12]byte]*txState),
-		boundChans:  make(map[uint16]bool),
-		srtcpLastIx: make(map[uint32]uint32),
-		quicCIDs:    make(map[string]bool),
-	}
-}
-
-// repeatThreshold is how many same-transaction requests without any
-// response constitute a semantic violation (FaceTime retransmits its
-// modified Binding Requests once per second for a minute; genuine STUN
-// retransmission uses exponential backoff and stops at Rc=7).
-const repeatThreshold = 3
-
-// allocPingPongThreshold is how many post-completion Allocate requests
-// on one stream mark the Allocate-as-connectivity-check pattern.
-const allocPingPongThreshold = 2
-
-// Check evaluates one extracted message, returning one Checked per
-// protocol data unit (an RTCP compound region yields one per RTCP
-// packet).
-func (s *Session) Check(m dpi.Message, ts time.Time) []Checked {
-	out := s.check(m, ts)
-	s.checker.record(out)
-	return out
-}
-
-func (s *Session) check(m dpi.Message, ts time.Time) []Checked {
-	switch m.Protocol {
-	case dpi.ProtoSTUN:
-		return []Checked{s.checkSTUN(m, ts)}
-	case dpi.ProtoChannelData:
-		return []Checked{s.checkChannelData(m, ts)}
-	case dpi.ProtoRTP:
-		return []Checked{s.checkRTP(m, ts)}
-	case dpi.ProtoRTCP:
-		return s.checkRTCP(m, ts)
-	case dpi.ProtoQUIC:
-		return []Checked{s.checkQUIC(m, ts)}
-	}
-	return nil
 }

@@ -8,6 +8,8 @@ import (
 
 	"github.com/rtc-compliance/rtcc/internal/dpi"
 	"github.com/rtc-compliance/rtcc/internal/ice"
+	_ "github.com/rtc-compliance/rtcc/internal/proto/protoall"
+	"github.com/rtc-compliance/rtcc/internal/proto/rtpdrv"
 	"github.com/rtc-compliance/rtcc/internal/quicwire"
 	"github.com/rtc-compliance/rtcc/internal/rtcp"
 	"github.com/rtc-compliance/rtcc/internal/rtp"
@@ -166,7 +168,7 @@ func TestRetransmissionWithResponseCompliant(t *testing.T) {
 	}
 	resp := &stun.Message{Type: stun.TypeBindingSuccess, TransactionID: id}
 	resp.Add(stun.AttrXORMappedAddress, stun.EncodeXORAddress(netip.MustParseAddrPort("1.2.3.4:5"), id))
-	if c := checkOne(t, newSessionWith(s), stunMsg(resp)); !c.Verdict.Compliant {
+	if c := checkOne(t, s, stunMsg(resp)); !c.Verdict.Compliant {
 		t.Errorf("response flagged: %s", c.Verdict.Reason)
 	}
 	// Further requests on the answered transaction are fine.
@@ -175,9 +177,6 @@ func TestRetransmissionWithResponseCompliant(t *testing.T) {
 	c := checkOne(t, s, stunMsg(m))
 	_ = c // responded transactions never trip the repeat rule below
 }
-
-// newSessionWith returns the same session (helper for readability).
-func newSessionWith(s *Session) *Session { return s }
 
 func TestAllocatePingPong(t *testing.T) {
 	// The Google Meet case: periodic Allocate requests after the
@@ -488,7 +487,7 @@ func TestRTPSSRCRecordedOnChecker(t *testing.T) {
 	s := ck.NewSession()
 	p := &rtp.Packet{PayloadType: 96, SSRC: 0x42, Payload: []byte("x")}
 	s.Check(rtpMsg(p), t0)
-	if !ck.rtpSSRCs[0x42] {
+	if !rtpdrv.ObservedSSRCs(ck.Proto())[0x42] {
 		t.Error("SSRC not recorded on checker")
 	}
 }

@@ -304,7 +304,7 @@ func (a *Analyzer) finalizeChunk(st *streamState) {
 	if s.Key.Proto == layers.IPProtocolUDP && !st.removed && st.insp != nil && st.insp.Pending() > 0 {
 		if st.partial == nil {
 			st.partial = newStreamPartial()
-			checker := compliance.NewChecker()
+			checker := compliance.NewCheckerWith(a.opts.Registry)
 			checker.SetMetrics(a.opts.Metrics)
 			st.session = checker.NewSession()
 		}

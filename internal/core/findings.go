@@ -8,7 +8,7 @@ import (
 
 	"github.com/rtc-compliance/rtcc/internal/dpi"
 	"github.com/rtc-compliance/rtcc/internal/flow"
-	"github.com/rtc-compliance/rtcc/internal/rtcp"
+	"github.com/rtc-compliance/rtcc/internal/proto"
 )
 
 // Finding is one behavioural observation beyond per-message compliance
@@ -53,6 +53,16 @@ type findingsContext struct {
 	hdr6000OK   int
 	trailerDirs map[flow.Direction]map[byte]int
 	headerDirs  map[flow.Direction]map[byte]int
+	// reg resolves per-message findings evidence through the protocol
+	// drivers' Observer hooks; nil selects the default registry.
+	reg *proto.Registry
+}
+
+func (f *findingsContext) registry() *proto.Registry {
+	if f.reg != nil {
+		return f.reg
+	}
+	return proto.Default()
 }
 
 // scanStream inspects one RTC stream's packets and DPI results. pkts
@@ -64,6 +74,8 @@ func (f *findingsContext) scanStream(pkts []flow.Packet, results []dpi.Result) {
 		f.trailerDirs = map[flow.Direction]map[byte]int{}
 		f.headerDirs = map[flow.Direction]map[byte]int{}
 	}
+	reg := f.registry()
+	var obs proto.Observation
 	for i, r := range results {
 		pkt := pkts[i]
 		payload := pkt.Payload
@@ -102,28 +114,21 @@ func (f *findingsContext) scanStream(pkts []flow.Packet, results []dpi.Result) {
 
 		rtpCount := 0
 		for _, msg := range r.Messages {
-			switch msg.Protocol {
-			case dpi.ProtoRTP:
+			reg.Observe(msg, &obs)
+			if obs.MediaMessage {
 				rtpCount++
-			case dpi.ProtoRTCP:
-				// Direction-correlated trailer byte (Discord).
-				if n := len(msg.RTCPTrailing); n > 0 && n < 4 {
-					m := f.trailerDirs[pkt.Dir]
-					if m == nil {
-						m = map[byte]int{}
-						f.trailerDirs[pkt.Dir] = m
-					}
-					m[msg.RTCPTrailing[n-1]]++
-				}
-				for _, p := range msg.RTCP {
-					if p.Header.Type == rtcp.TypeRTPFB || p.Header.Type == rtcp.TypePSFB {
-						f.fbTotal++
-						if ssrc, ok := p.SenderSSRC(); ok && ssrc == 0 {
-							f.zeroSSRC++
-						}
-					}
-				}
 			}
+			// Direction-correlated trailer byte (Discord).
+			if obs.HasTrailerByte {
+				m := f.trailerDirs[pkt.Dir]
+				if m == nil {
+					m = map[byte]int{}
+					f.trailerDirs[pkt.Dir] = m
+				}
+				m[obs.TrailerByte]++
+			}
+			f.fbTotal += obs.FeedbackMessages
+			f.zeroSSRC += obs.ZeroSSRCFeedback
 		}
 		if rtpCount > 0 {
 			f.rtpDgrams++

@@ -19,6 +19,7 @@ import (
 	"github.com/rtc-compliance/rtcc/internal/layers"
 	"github.com/rtc-compliance/rtcc/internal/metrics"
 	"github.com/rtc-compliance/rtcc/internal/pcap"
+	"github.com/rtc-compliance/rtcc/internal/proto"
 	"github.com/rtc-compliance/rtcc/internal/report"
 	"github.com/rtc-compliance/rtcc/internal/trace"
 )
@@ -58,6 +59,11 @@ type Options struct {
 	// released (see AnalyzerConfig.EvictIdle for the trade-off). Zero
 	// keeps the strict single-finalization behavior.
 	EvictIdle time.Duration
+	// Registry selects the protocol-driver set the whole pipeline —
+	// DPI extraction, compliance judging, findings observation — runs
+	// against. Nil selects the default registry (every driver linked
+	// into the binary).
+	Registry *proto.Registry
 }
 
 func (o Options) engine() *dpi.Engine {
@@ -66,6 +72,7 @@ func (o Options) engine() *dpi.Engine {
 		e.MaxOffset = o.MaxOffset
 	}
 	e.Metrics = o.Metrics
+	e.Registry = o.Registry
 	return e
 }
 
@@ -228,14 +235,18 @@ func newStreamPartial() *streamPartial {
 // batch path (one chunk per stream) and the streaming analyzer's
 // chunked finalization go through here.
 func (p *streamPartial) consume(recs []flow.Packet, results []dpi.Result, session *compliance.Session, skipFindings bool) {
+	reg := session.Checker().Registry()
+	p.fctx.reg = reg
+	var obs proto.Observation
 	for i, r := range results {
 		p.stats.AddDatagram(r.Class)
 		for _, m := range r.Messages {
 			for _, c := range session.Check(m, recs[i].Timestamp) {
 				p.stats.AddChecked(c)
 			}
-			if m.Protocol == dpi.ProtoRTP {
-				p.ssrcs[m.RTP.SSRC] = true
+			reg.Observe(m, &obs)
+			if obs.HasSSRC {
+				p.ssrcs[obs.SSRC] = true
 			}
 		}
 	}
@@ -251,7 +262,7 @@ func (p *streamPartial) consume(recs []flow.Packet, results []dpi.Result, sessio
 // checker yields verdicts identical to a capture-shared one.
 func analyzeStream(s *flow.Stream, opts Options) *streamPartial {
 	engine := opts.engine()
-	checker := compliance.NewChecker()
+	checker := compliance.NewCheckerWith(opts.Registry)
 	checker.SetMetrics(opts.Metrics)
 	p := newStreamPartial()
 	payloads := make([][]byte, len(s.Packets))
@@ -439,7 +450,7 @@ func RunMatrix(mopts trace.MatrixOptions, opts Options) (*MatrixAnalysis, error)
 		return nil, err
 	}
 
-	ma := &MatrixAnalysis{Aggregate: report.NewAggregate()}
+	ma := &MatrixAnalysis{Aggregate: report.NewAggregateWith(opts.Registry)}
 	rows := make(map[string]*report.Table1Row)
 	var rowOrder []string
 	// Cross-call SSRC sets per app+network for the Zoom finding.

@@ -1,0 +1,8 @@
+package core
+
+// The core pipeline carries no protocol knowledge of its own — it runs
+// whatever drivers are linked into the binary. Tests exercise it with
+// the full driver set.
+import (
+	_ "github.com/rtc-compliance/rtcc/internal/proto/protoall"
+)

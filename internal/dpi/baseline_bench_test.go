@@ -1,0 +1,510 @@
+package dpi
+
+// This file freezes the pre-registry dispatch path — the hardcoded
+// matchAt chain and protocol matchers exactly as they were before the
+// pluggable registry refactor — as the baseline for the dispatch
+// benchmarks. BenchmarkDispatch compares the registry-driven probe path
+// against this chain; the registry path must stay allocation-free and
+// within a few percent. Do not "fix" or modernize this code: its value
+// is that it does not change.
+
+import (
+	"github.com/rtc-compliance/rtcc/internal/quicwire"
+	"github.com/rtc-compliance/rtcc/internal/rtcp"
+	"github.com/rtc-compliance/rtcc/internal/rtp"
+	"github.com/rtc-compliance/rtcc/internal/stun"
+)
+
+// baselineEngine is the pre-registry engine: MaxOffset plus the
+// hardcoded matcher chain.
+type baselineEngine struct {
+	MaxOffset int
+	Protocols []Protocol
+	Adaptive  bool
+}
+
+func (e *baselineEngine) enabled(p Protocol) bool {
+	if len(e.Protocols) == 0 {
+		return true
+	}
+	for _, q := range e.Protocols {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+type baselineContext struct {
+	// rtpLastSeq maps SSRC -> last accepted sequence number.
+	rtpLastSeq map[uint32]uint16
+	// rtpLastTS maps SSRC -> last accepted RTP timestamp, for the
+	// timestamp-plausibility check.
+	rtpLastTS map[uint32]uint32
+	// sawSTUN records that the stream carried STUN, biasing classic
+	// (cookie-less) STUN acceptance.
+	sawSTUN bool
+	// quicCIDs records connection IDs seen in long headers, keyed by
+	// string(cid), enabling short-header matching.
+	quicCIDs map[string]bool
+	// shortCIDLen is the DCID length expected for short-header packets,
+	// learned from long headers.
+	shortCIDLen int
+	// validatedSSRC, when non-nil, restricts RTP acceptance to SSRCs
+	// that survived the stream-level pass-1 validation (InspectStream).
+	// Nil means permissive single-datagram mode.
+	validatedSSRC map[uint32]bool
+	// maxMsgOffset is the deepest offset a validated message has been
+	// found at on this stream; msgCount counts validated messages.
+	// Both feed the adaptive offset bound.
+	maxMsgOffset int
+	msgCount     int
+	// shiftAttempts accumulates candidate-extraction attempts (matchAt
+	// calls) across the stream's datagrams, for the offset-shift
+	// metric. InspectStream drains it into the registry.
+	shiftAttempts int
+	// rtpProbe is decode scratch for RTP candidate probing. Reusing it
+	// keeps the CSRC storage of rejected candidates (byte windows whose
+	// CSRC-count bits are nonzero) from allocating per probe.
+	rtpProbe rtp.Packet
+}
+
+// newBaselineContext returns an empty per-stream context.
+func newBaselineContext() *baselineContext {
+	return &baselineContext{
+		rtpLastSeq: make(map[uint32]uint16),
+		rtpLastTS:  make(map[uint32]uint32),
+		quicCIDs:   make(map[string]bool),
+	}
+}
+
+// baselineSeqClose reports whether b follows a within a reordering window.
+func baselineSeqClose(a, b uint16) bool {
+	d := b - a // wraparound arithmetic
+	return d != 0 && (d < 64 || d > 0xffff-16)
+}
+
+// baselineTsClose reports whether an RTP timestamp is plausible given the last
+// accepted one for the SSRC: within ±2^21 ticks (over 20 seconds at a
+// 90 kHz video clock), with wraparound.
+func baselineTsClose(last, ts uint32) bool {
+	d := ts - last
+	return d < 1<<21 || d > (1<<32)-(1<<21)
+}
+
+// Inspect runs candidate extraction and validation over one datagram
+// payload, updating ctx. ctx may be nil for stateless inspection.
+func (e *baselineEngine) Inspect(payload []byte, ctx *baselineContext) Result {
+	if ctx == nil {
+		ctx = newBaselineContext()
+	}
+	var msgs []Message
+	limit := e.MaxOffset
+	if limit <= 0 {
+		limit = 200
+	}
+	// Adaptive bound: after enough messages, no deeper proprietary
+	// header is expected than twice the deepest seen (floor 48 bytes).
+	if e.Adaptive && ctx.msgCount >= 16 {
+		if adaptive := baselineMaxInt(48, 2*ctx.maxMsgOffset+8); adaptive < limit {
+			limit = adaptive
+		}
+	}
+	i := 0
+	for i < len(payload) {
+		if i > limit && len(msgs) == 0 {
+			break
+		}
+		ctx.shiftAttempts++
+		m, ok := e.matchAt(payload, i, ctx)
+		if !ok {
+			i++
+			continue
+		}
+		if m.Protocol == ProtoRTP {
+			// RTP carries no length field; a match initially claims the
+			// rest of the payload. Scan inside the claimed payload for a
+			// strong second candidate (Zoom packs two RTP messages into
+			// one datagram) and truncate to it.
+			if cut, ok := e.findStrongCandidate(payload, m, ctx); ok {
+				m = e.truncateRTP(payload, m, cut)
+			}
+			ctx.noteRTP(m.RTP)
+		}
+		msgs = append(msgs, m)
+		ctx.msgCount++
+		if m.Offset > ctx.maxMsgOffset {
+			ctx.maxMsgOffset = m.Offset
+		}
+		i = m.Offset + m.Length
+	}
+	res := Result{Messages: msgs}
+	switch {
+	case len(msgs) == 0:
+		res.Class = ClassFullyProprietary
+	case msgs[0].Offset == 0:
+		res.Class = ClassStandard
+	default:
+		res.Class = ClassProprietaryHeader
+		res.ProprietaryHeader = payload[:msgs[0].Offset]
+	}
+	return res
+}
+
+// matchAt tries every enabled protocol pattern at payload[i:]. Matchers
+// are ordered so that protocols with stronger structural signatures win:
+// STUN (magic cookie), ChannelData, RTCP (type range), QUIC, classic
+// STUN, then RTP.
+func (e *baselineEngine) matchAt(payload []byte, i int, ctx *baselineContext) (Message, bool) {
+	b := payload[i:]
+	if e.enabled(ProtoSTUN) {
+		if m, ok := baselineMatchSTUN(b, ctx); ok {
+			m.Offset = i
+			return m, true
+		}
+	}
+	if e.enabled(ProtoChannelData) {
+		if m, ok := baselineMatchChannelData(b, ctx); ok {
+			m.Offset = i
+			return m, true
+		}
+	}
+	if e.enabled(ProtoRTCP) {
+		if m, ok := baselineMatchRTCP(b, ctx); ok {
+			m.Offset = i
+			return m, true
+		}
+	}
+	if e.enabled(ProtoQUIC) {
+		if m, ok := baselineMatchQUIC(b, ctx); ok {
+			m.Offset = i
+			return m, true
+		}
+	}
+	if e.enabled(ProtoSTUN) {
+		if m, ok := baselineMatchClassicSTUN(b, ctx); ok {
+			m.Offset = i
+			return m, true
+		}
+	}
+	if e.enabled(ProtoRTP) {
+		if m, ok := baselineMatchRTP(b, ctx); ok {
+			m.Offset = i
+			return m, true
+		}
+	}
+	return Message{}, false
+}
+
+// baselineMatchSTUN matches RFC 5389+ STUN: the magic cookie is the validation
+// anchor. The message type is deliberately unrestricted (§4.1.1) so
+// undefined types like WhatsApp's 0x0801 surface.
+func baselineMatchSTUN(b []byte, ctx *baselineContext) (Message, bool) {
+	if !stun.LooksLikeHeader(b) {
+		return Message{}, false
+	}
+	if len(b) < stun.HeaderLen {
+		return Message{}, false
+	}
+	cookie := uint32(b[4])<<24 | uint32(b[5])<<16 | uint32(b[6])<<8 | uint32(b[7])
+	if cookie != stun.MagicCookie {
+		return Message{}, false
+	}
+	m, err := stun.Decode(b)
+	if err != nil {
+		return Message{}, false
+	}
+	ctx.sawSTUN = true
+	return Message{Protocol: ProtoSTUN, Length: m.DecodedLen(), STUN: m}, true
+}
+
+// baselineMatchClassicSTUN matches RFC 3489 STUN, which lacks the magic cookie.
+// Without the cookie the false-positive risk is high, so validation
+// requires the declared length to consume the remaining payload exactly
+// and the attribute region to walk cleanly; the paper's equivalent is
+// its "valid length field" heuristic.
+func baselineMatchClassicSTUN(b []byte, ctx *baselineContext) (Message, bool) {
+	if !stun.LooksLikeHeader(b) {
+		return Message{}, false
+	}
+	declared := int(b[2])<<8 | int(b[3])
+	if declared != len(b)-stun.HeaderLen {
+		return Message{}, false
+	}
+	m, err := stun.Decode(b)
+	if err != nil {
+		return Message{}, false
+	}
+	if !m.Classic {
+		return Message{}, false // cookie case handled by baselineMatchSTUN
+	}
+	// Without the magic cookie anchor, only registered methods are
+	// plausible: every classic-STUN deployment the paper observed
+	// (Zoom's RFC 3489 usage) uses defined methods, while zero-filled
+	// or random regions frequently parse as "type 0x0000" messages.
+	if _, defined := stun.DefinedMessageType(m.Type); !defined {
+		return Message{}, false
+	}
+	ctx.sawSTUN = true
+	return Message{Protocol: ProtoSTUN, Length: m.DecodedLen(), STUN: m}, true
+}
+
+// baselineMatchChannelData matches TURN ChannelData framing. The channel range
+// is restricted to RFC 8656's 0x4000-0x4FFF: the wider RFC 5766 range
+// would swallow FaceTime's 0x6000 proprietary header, which the paper
+// classifies as proprietary (§5.3).
+func baselineMatchChannelData(b []byte, ctx *baselineContext) (Message, bool) {
+	if len(b) < 4 {
+		return Message{}, false
+	}
+	// TURN ChannelData only ever flows on a socket that previously
+	// carried the STUN allocation handshake (RFC 8656 §12). In
+	// stream-validated mode, require prior STUN on the stream; this
+	// rejects channel-range byte windows inside proprietary payloads.
+	if ctx.validatedSSRC != nil && !ctx.sawSTUN {
+		return Message{}, false
+	}
+	ch := uint16(b[0])<<8 | uint16(b[1])
+	if ch < stun.ChannelMin || ch > stun.ChannelMax8656 {
+		return Message{}, false
+	}
+	length := int(b[2])<<8 | int(b[3])
+	// Real ChannelData frames carry at least a minimal protocol message
+	// (an RTP header is 12 bytes); tiny declared lengths are counter or
+	// flag bytes of proprietary payloads that happen to sit in the
+	// channel range.
+	if length < 12 {
+		return Message{}, false
+	}
+	total := 4 + length
+	if total > len(b) {
+		return Message{}, false
+	}
+	// Allow up to 3 bytes of padding after the frame; more implies the
+	// length field is not a real ChannelData length.
+	if len(b)-total > 3 {
+		return Message{}, false
+	}
+	cd, err := stun.DecodeChannelData(b)
+	if err != nil {
+		return Message{}, false
+	}
+	return Message{Protocol: ProtoChannelData, Length: cd.DecodedLen(), ChannelData: cd}, true
+}
+
+// baselineMatchRTCP matches an RTCP compound region: version 2 and packet type
+// 192-223 per the RFC 5761 demultiplexing range, with the paper's
+// cross-validation heuristic: the sender SSRC of unassigned packet
+// types must match a known RTP stream, and the trailing bytes must form
+// a plausible trailer (nothing, a small proprietary suffix, or an SRTCP
+// index with or without the auth tag).
+func baselineMatchRTCP(b []byte, ctx *baselineContext) (Message, bool) {
+	if !rtcp.LooksLikeHeader(b) {
+		return Message{}, false
+	}
+	pkts, trailing, err := rtcp.DecodeCompound(b)
+	if err != nil || len(pkts) == 0 {
+		return Message{}, false
+	}
+	length := 0
+	for _, p := range pkts {
+		length += p.Header.ByteLen()
+	}
+	switch len(trailing) {
+	case 0, 1, 2, 3, 4, 14:
+	default:
+		return Message{}, false
+	}
+	for _, p := range pkts {
+		// Every real RTCP packet carries at least the header plus one
+		// SSRC word.
+		if p.Header.ByteLen() < 8 {
+			return Message{}, false
+		}
+		if rtcp.Defined(p.Header.Type) {
+			continue
+		}
+		// Unassigned type: require SSRC support from the stream's
+		// validated RTP state ("cross validated sender SSRC with known
+		// RTP streams", §4.1.1). Permissive single-datagram mode has no
+		// validated set and accepts the candidate.
+		if ctx.validatedSSRC == nil {
+			continue
+		}
+		ssrc, ok := p.SenderSSRC()
+		if !ok || !ctx.validatedSSRC[ssrc] {
+			return Message{}, false
+		}
+	}
+	return Message{
+		Protocol:     ProtoRTCP,
+		Length:       length + len(trailing),
+		RTCP:         pkts,
+		RTCPTrailing: trailing,
+	}, true
+}
+
+// baselineMatchQUIC matches QUIC long headers structurally, and short headers
+// only when the stream has established QUIC state (a known DCID at the
+// expected length), mirroring the paper's DCID/SCID consistency
+// heuristic.
+func baselineMatchQUIC(b []byte, ctx *baselineContext) (Message, bool) {
+	if quicwire.IsLongHeader(b) {
+		// Probe into a stack Header (CIDs aliasing b); most candidate
+		// offsets are rejected, so the heap copy waits for acceptance.
+		var probe quicwire.Header
+		if quicwire.ParseLongInto(&probe, b) != nil {
+			return Message{}, false
+		}
+		if probe.Version != quicwire.Version1 && probe.Version != quicwire.VersionNegotiation {
+			return Message{}, false
+		}
+		if probe.Version == quicwire.Version1 && !probe.FixedBit {
+			return Message{}, false
+		}
+		if probe.Version == quicwire.VersionNegotiation {
+			// A real Version Negotiation packet lists at least one
+			// nonzero version; all-zero regions of proprietary payloads
+			// would otherwise masquerade as VN.
+			if len(probe.SupportedVersions) == 0 {
+				return Message{}, false
+			}
+			for _, v := range probe.SupportedVersions {
+				if v == 0 {
+					return Message{}, false
+				}
+			}
+		}
+		length := len(b) // Retry and VN consume the datagram
+		if probe.Version == quicwire.Version1 && probe.Type != quicwire.TypeRetry {
+			length = probe.HeaderLen + int(probe.PayloadLength)
+		}
+		if len(probe.DCID) > 0 {
+			ctx.quicCIDs[string(probe.DCID)] = true
+			ctx.shortCIDLen = len(probe.DCID)
+		}
+		if len(probe.SCID) > 0 {
+			ctx.quicCIDs[string(probe.SCID)] = true
+		}
+		h := new(quicwire.Header)
+		*h = probe
+		h.CloneCIDs()
+		return Message{Protocol: ProtoQUIC, Length: length, QUIC: h}, true
+	}
+	// Short header: requires context.
+	if ctx.shortCIDLen == 0 || len(b) < 1+ctx.shortCIDLen {
+		return Message{}, false
+	}
+	if b[0]&0xc0 != 0x40 { // form 0, fixed bit 1
+		return Message{}, false
+	}
+	h, err := quicwire.ParseShort(b, ctx.shortCIDLen)
+	if err != nil || !ctx.quicCIDs[string(h.DCID)] {
+		return Message{}, false
+	}
+	return Message{Protocol: ProtoQUIC, Length: len(b), QUIC: h}, true
+}
+
+// baselineMatchRTP matches RTP: version 2, first payload byte outside the RTCP
+// demultiplexing range (RFC 5761), and either a known SSRC with a
+// plausible next sequence number or a fresh zero-CSRC packet.
+func baselineMatchRTP(b []byte, ctx *baselineContext) (Message, bool) {
+	if !rtp.LooksLikeHeader(b) {
+		return Message{}, false
+	}
+	if b[1] >= 192 && b[1] <= 223 {
+		return Message{}, false // RTCP range
+	}
+	// Probe into the context's scratch Packet; most candidate offsets
+	// are rejected, so the heap copy is deferred to acceptance.
+	probe := &ctx.rtpProbe
+	if rtp.DecodeInto(probe, b) != nil {
+		return Message{}, false
+	}
+	if ctx.validatedSSRC != nil && !ctx.validatedSSRC[probe.SSRC] {
+		// Stream-validated mode: only SSRCs with cross-packet support
+		// survive (paper §4.1.1: "continuous sequence number within the
+		// same stream").
+		return Message{}, false
+	}
+	if last, ok := ctx.rtpLastSeq[probe.SSRC]; ok {
+		if !baselineSeqClose(last, probe.SequenceNumber) {
+			return Message{}, false
+		}
+		if lastTS, has := ctx.rtpLastTS[probe.SSRC]; has && !baselineTsClose(lastTS, probe.Timestamp) {
+			// Known SSRC but an implausible timestamp jump: a stray
+			// byte window that happens to cover a real SSRC value.
+			return Message{}, false
+		}
+	} else if probe.CSRCCount != 0 {
+		// First sighting of an SSRC: RTC media never uses CSRC lists in
+		// these applications, so a nonzero CSRC count on a fresh SSRC
+		// marks a mis-parse.
+		return Message{}, false
+	}
+	p := new(rtp.Packet)
+	*p = *probe
+	if len(probe.CSRC) > 0 {
+		p.CSRC = append([]uint32(nil), probe.CSRC...)
+	} else {
+		p.CSRC = nil // scratch reuse leaves a non-nil empty slice
+	}
+	return Message{Protocol: ProtoRTP, Length: len(b), RTP: p}, true
+}
+
+// noteRTP records an accepted RTP message in the context.
+func (c *baselineContext) noteRTP(p *rtp.Packet) {
+	c.rtpLastSeq[p.SSRC] = p.SequenceNumber
+	c.rtpLastTS[p.SSRC] = p.Timestamp
+}
+
+// findStrongCandidate scans inside an RTP message's claimed payload for
+// a second message start. Only strong candidates count: a magic-cookie
+// STUN header, a valid RTCP compound, a QUIC long header, or an RTP
+// header whose SSRC matches the outer message (Zoom's two-RTP case).
+func (e *baselineEngine) findStrongCandidate(payload []byte, m Message, ctx *baselineContext) (int, bool) {
+	start := m.Offset + m.RTP.HeaderSize() + 1
+	end := m.Offset + m.Length
+	for j := start; j < end-rtp.HeaderLen; j++ {
+		b := payload[j:end]
+		if _, ok := baselineMatchSTUN(b, ctx); ok {
+			return j, true
+		}
+		// An RTCP region inside an RTP payload must show SSRC support:
+		// encrypted media bytes occasionally imitate an RTCP header, and
+		// accepting one would wrongly truncate the outer RTP message.
+		if m2, ok := baselineMatchRTCP(b, ctx); ok && len(m2.RTCP) > 0 {
+			if ssrc, has := m2.RTCP[0].SenderSSRC(); has {
+				_, known := ctx.rtpLastSeq[ssrc]
+				if known || (ctx.validatedSSRC != nil && ctx.validatedSSRC[ssrc]) {
+					return j, true
+				}
+			}
+		}
+		if inner, ok := baselineMatchRTP(b, ctx); ok {
+			if inner.RTP.SSRC == m.RTP.SSRC && inner.RTP.SequenceNumber != m.RTP.SequenceNumber {
+				return j, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// truncateRTP re-decodes the RTP message with its payload cut at the
+// given absolute offset.
+func (e *baselineEngine) truncateRTP(payload []byte, m Message, cut int) Message {
+	p, err := rtp.Decode(payload[m.Offset:cut])
+	if err != nil {
+		return m // cannot shrink; keep the original claim
+	}
+	m.RTP = p
+	m.Length = cut - m.Offset
+	return m
+}
+
+func baselineMaxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,151 @@
+package dpi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"github.com/rtc-compliance/rtcc/internal/ice"
+	"github.com/rtc-compliance/rtcc/internal/rtcp"
+	"github.com/rtc-compliance/rtcc/internal/stun"
+)
+
+// dispatchCorpus builds a representative datagram mix: standard
+// messages of every family, a proprietary-header datagram, and a
+// fully-proprietary filler (the probe path's worst case — every offset
+// is tried against every prober and nothing matches).
+func dispatchCorpus() [][]byte {
+	r := ice.NewRand(42)
+	var corpus [][]byte
+
+	corpus = append(corpus, ice.ServerBindingRequest(r).Raw)
+
+	inner := rtpPacket(9, 1, bytes.Repeat([]byte{0xAB}, 120))
+	cd := &stun.ChannelData{ChannelNumber: 0x4001, Data: inner}
+	corpus = append(corpus, cd.Encode())
+
+	for seq := uint16(2); seq < 10; seq++ {
+		corpus = append(corpus, rtpPacket(9, seq, bytes.Repeat([]byte{0xCD}, 160)))
+	}
+
+	comp := rtcp.Compound(
+		rtcp.EncodeSR(&rtcp.SenderReport{SSRC: 9, Info: rtcp.SenderInfo{NTPTimestamp: 1}}),
+		rtcp.EncodeSDES(&rtcp.SDES{Chunks: []rtcp.SDESChunk{{SSRC: 9, Items: []rtcp.SDESItem{{Type: rtcp.SDESCNAME, Text: "x@y"}}}}}),
+	)
+	corpus = append(corpus, comp)
+
+	// Zoom-style proprietary header before an RTP message.
+	hdr := append([]byte{0x05, 0x10, 0x00, 0x01}, rtpPacket(9, 10, bytes.Repeat([]byte{0xEF}, 140))...)
+	corpus = append(corpus, hdr)
+
+	// Fully proprietary filler: 1000 bytes, no match at any offset.
+	corpus = append(corpus, bytes.Repeat([]byte{0x01}, 1000))
+	return corpus
+}
+
+// summarize flattens an inspection for parity comparison.
+func summarize(results []Result) string {
+	var b bytes.Buffer
+	for _, r := range results {
+		fmt.Fprintf(&b, "%d:", r.Class)
+		for _, m := range r.Messages {
+			fmt.Fprintf(&b, "%d@%d+%d,", m.Protocol, m.Offset, m.Length)
+		}
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// TestDispatchParityWithBaseline proves the registry dispatch extracts
+// exactly what the frozen pre-registry chain did, datagram for
+// datagram, over the representative corpus.
+func TestDispatchParityWithBaseline(t *testing.T) {
+	corpus := dispatchCorpus()
+
+	e := NewEngine()
+	ctx := NewStreamContext()
+	var got []Result
+	for _, p := range corpus {
+		got = append(got, e.Inspect(p, ctx))
+	}
+
+	be := &baselineEngine{MaxOffset: 200}
+	bctx := newBaselineContext()
+	var want []Result
+	for _, p := range corpus {
+		want = append(want, be.Inspect(p, bctx))
+	}
+
+	if g, w := summarize(got), summarize(want); g != w {
+		t.Fatalf("registry dispatch diverged from frozen baseline:\nregistry: %s\nbaseline: %s", g, w)
+	}
+}
+
+// TestProbePathAllocationFree pins the zero-allocation guarantee of the
+// registry probe path: scanning a fully proprietary datagram — 1000
+// offsets, every prober tried and rejected at each — must not allocate.
+func TestProbePathAllocationFree(t *testing.T) {
+	filler := bytes.Repeat([]byte{0x01}, 1000)
+	e := NewEngine()
+	ctx := NewStreamContext()
+	e.Inspect(filler, ctx) // warm per-stream state
+	if avg := testing.AllocsPerRun(100, func() {
+		e.Inspect(filler, ctx)
+	}); avg != 0 {
+		t.Errorf("probe path allocates: %.1f allocs/op, want 0", avg)
+	}
+}
+
+// BenchmarkDispatchRegistry measures the registry-driven Inspect over
+// the mixed corpus. Compare against BenchmarkDispatchBaseline:
+//
+//	go test ./internal/dpi -run=^$ -bench=BenchmarkDispatch -benchmem
+func BenchmarkDispatchRegistry(b *testing.B) {
+	corpus := dispatchCorpus()
+	e := NewEngine()
+	ctx := NewStreamContext()
+	for _, p := range corpus {
+		e.Inspect(p, ctx)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range corpus {
+			e.Inspect(p, ctx)
+		}
+	}
+}
+
+// BenchmarkDispatchBaseline measures the frozen pre-registry hardcoded
+// chain over the same corpus.
+func BenchmarkDispatchBaseline(b *testing.B) {
+	corpus := dispatchCorpus()
+	e := &baselineEngine{MaxOffset: 200}
+	ctx := newBaselineContext()
+	for _, p := range corpus {
+		e.Inspect(p, ctx)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range corpus {
+			e.Inspect(p, ctx)
+		}
+	}
+}
+
+// BenchmarkDispatchProbeMiss isolates the probe path: a fully
+// proprietary datagram where every offset misses. This is the
+// allocation-free path the registry must not regress.
+func BenchmarkDispatchProbeMiss(b *testing.B) {
+	filler := bytes.Repeat([]byte{0x01}, 1000)
+	e := NewEngine()
+	ctx := NewStreamContext()
+	e.Inspect(filler, ctx)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(filler)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Inspect(filler, ctx)
+	}
+}

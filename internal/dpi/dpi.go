@@ -4,13 +4,12 @@
 //
 // For each UDP datagram payload, the engine slides a cursor from byte
 // offset 0 up to the configured limit k (200 by default, per §4.1.1 of
-// the paper) and tries the structural header pattern of every target
-// protocol at each offset. Matched candidates are validated with
-// protocol-specific heuristics — magic cookie or exact-length classic
-// STUN, RTP/RTCP demultiplexing by the RFC 5761 payload-type range,
-// sequence continuity against per-stream state, QUIC version and
-// connection-ID consistency — and surviving messages are extracted even
-// when an application hides them behind proprietary headers.
+// the paper) and tries the wire-format prober of every registered
+// protocol at each offset, in demultiplexing-precedence order. The
+// probers and their validation heuristics live in the protocol drivers
+// under internal/proto; the engine itself knows no protocol — it
+// iterates the registry, so adding a protocol never touches this
+// package.
 //
 // The engine then classifies each datagram (§4.1.2):
 //
@@ -23,72 +22,27 @@ import (
 	"fmt"
 
 	"github.com/rtc-compliance/rtcc/internal/metrics"
-	"github.com/rtc-compliance/rtcc/internal/quicwire"
-	"github.com/rtc-compliance/rtcc/internal/rtcp"
-	"github.com/rtc-compliance/rtcc/internal/rtp"
-	"github.com/rtc-compliance/rtcc/internal/stun"
+	"github.com/rtc-compliance/rtcc/internal/proto"
 )
 
-// Protocol identifies the protocol of an extracted message. TURN
-// messages share the STUN format and are reported as ProtoSTUN, with
-// ChannelData frames tagged ProtoChannelData; reporting folds both into
-// the STUN/TURN family.
-type Protocol uint8
+// Protocol identifies the protocol of an extracted message; it is the
+// registry's identifier type.
+type Protocol = proto.ID
 
-// Protocols detected by the engine.
+// Protocol identifiers, re-exported from the registry for callers that
+// reached them through this package.
 const (
-	ProtoUnknown Protocol = iota
-	ProtoSTUN
-	ProtoChannelData
-	ProtoRTP
-	ProtoRTCP
-	ProtoQUIC
+	ProtoUnknown     = proto.Unknown
+	ProtoSTUN        = proto.STUN
+	ProtoChannelData = proto.ChannelData
+	ProtoRTP         = proto.RTP
+	ProtoRTCP        = proto.RTCP
+	ProtoQUIC        = proto.QUIC
+	ProtoDTLS        = proto.DTLS
 )
-
-func (p Protocol) String() string {
-	switch p {
-	case ProtoSTUN:
-		return "STUN/TURN"
-	case ProtoChannelData:
-		return "ChannelData"
-	case ProtoRTP:
-		return "RTP"
-	case ProtoRTCP:
-		return "RTCP"
-	case ProtoQUIC:
-		return "QUIC"
-	default:
-		return "unknown"
-	}
-}
-
-// Family groups ChannelData with STUN as the paper's tables do.
-func (p Protocol) Family() Protocol {
-	if p == ProtoChannelData {
-		return ProtoSTUN
-	}
-	return p
-}
 
 // Message is one validated protocol message extracted from a datagram.
-type Message struct {
-	Protocol Protocol
-	// Offset is the byte offset within the UDP payload.
-	Offset int
-	// Length is the validated message length in bytes.
-	Length int
-
-	// Exactly one of the following is set, matching Protocol.
-	STUN        *stun.Message
-	ChannelData *stun.ChannelData
-	RTP         *rtp.Packet
-	RTCP        []*rtcp.Packet
-	QUIC        *quicwire.Header
-
-	// RTCPTrailing holds bytes after the last RTCP packet in a compound
-	// region (SRTCP trailers, proprietary suffixes).
-	RTCPTrailing []byte
-}
+type Message = proto.Message
 
 // Class is the datagram classification of §4.1.2.
 type Class uint8
@@ -124,62 +78,27 @@ type Result struct {
 // StreamContext carries per-stream state across datagrams of one
 // transport stream, enabling the cross-message validation heuristics.
 // A fresh context must be used per stream, and datagrams must be fed in
-// capture order.
+// capture order. The protocol-private state lives in the embedded
+// registry StreamState's per-protocol slots; the engine adds only its
+// own scan bookkeeping.
 type StreamContext struct {
-	// rtpLastSeq maps SSRC -> last accepted sequence number.
-	rtpLastSeq map[uint32]uint16
-	// rtpLastTS maps SSRC -> last accepted RTP timestamp, for the
-	// timestamp-plausibility check.
-	rtpLastTS map[uint32]uint32
-	// sawSTUN records that the stream carried STUN, biasing classic
-	// (cookie-less) STUN acceptance.
-	sawSTUN bool
-	// quicCIDs records connection IDs seen in long headers, keyed by
-	// string(cid), enabling short-header matching.
-	quicCIDs map[string]bool
-	// shortCIDLen is the DCID length expected for short-header packets,
-	// learned from long headers.
-	shortCIDLen int
-	// validatedSSRC, when non-nil, restricts RTP acceptance to SSRCs
-	// that survived the stream-level pass-1 validation (InspectStream).
-	// Nil means permissive single-datagram mode.
-	validatedSSRC map[uint32]bool
+	// State is the protocol drivers' per-stream validation state.
+	State proto.StreamState
+
 	// maxMsgOffset is the deepest offset a validated message has been
 	// found at on this stream; msgCount counts validated messages.
 	// Both feed the adaptive offset bound.
 	maxMsgOffset int
 	msgCount     int
-	// shiftAttempts accumulates candidate-extraction attempts (matchAt
-	// calls) across the stream's datagrams, for the offset-shift
-	// metric. InspectStream drains it into the registry.
+	// shiftAttempts accumulates candidate-extraction attempts across
+	// the stream's datagrams, for the offset-shift metric.
+	// InspectStream drains it into the registry.
 	shiftAttempts int
-	// rtpProbe is decode scratch for RTP candidate probing. Reusing it
-	// keeps the CSRC storage of rejected candidates (byte windows whose
-	// CSRC-count bits are nonzero) from allocating per probe.
-	rtpProbe rtp.Packet
 }
 
 // NewStreamContext returns an empty per-stream context.
 func NewStreamContext() *StreamContext {
-	return &StreamContext{
-		rtpLastSeq: make(map[uint32]uint16),
-		rtpLastTS:  make(map[uint32]uint32),
-		quicCIDs:   make(map[string]bool),
-	}
-}
-
-// seqClose reports whether b follows a within a reordering window.
-func seqClose(a, b uint16) bool {
-	d := b - a // wraparound arithmetic
-	return d != 0 && (d < 64 || d > 0xffff-16)
-}
-
-// tsClose reports whether an RTP timestamp is plausible given the last
-// accepted one for the SSRC: within ±2^21 ticks (over 20 seconds at a
-// 90 kHz video clock), with wraparound.
-func tsClose(last, ts uint32) bool {
-	d := ts - last
-	return d < 1<<21 || d > (1<<32)-(1<<21)
+	return &StreamContext{}
 }
 
 // Engine runs Algorithm 1.
@@ -187,7 +106,8 @@ type Engine struct {
 	// MaxOffset is k, the deepest byte offset candidate extraction will
 	// shift to. The paper found 200 sufficient (§4.1.1).
 	MaxOffset int
-	// Protocols restricts matching to the given set; empty means all.
+	// Protocols restricts matching to the given set; empty means all
+	// registered protocols.
 	Protocols []Protocol
 	// Adaptive enables the per-stream adaptive offset bound the paper
 	// sketches as future work (§4.1.1): once a stream has shown where
@@ -201,12 +121,22 @@ type Engine struct {
 	// outcomes, extracted message counts, and extraction latency. Nil
 	// disables collection at zero cost.
 	Metrics *metrics.Registry
+	// Registry selects the protocol set to probe with; nil means the
+	// process-wide default registry.
+	Registry *proto.Registry
 }
 
 // NewEngine returns an engine with the paper's default k=200 and all
 // protocols enabled.
 func NewEngine() *Engine {
 	return &Engine{MaxOffset: 200}
+}
+
+func (e *Engine) registry() *proto.Registry {
+	if e.Registry != nil {
+		return e.Registry
+	}
+	return proto.Default()
 }
 
 func (e *Engine) enabled(p Protocol) bool {
@@ -227,6 +157,7 @@ func (e *Engine) Inspect(payload []byte, ctx *StreamContext) Result {
 	if ctx == nil {
 		ctx = NewStreamContext()
 	}
+	reg := e.registry()
 	var msgs []Message
 	limit := e.MaxOffset
 	if limit <= 0 {
@@ -245,20 +176,16 @@ func (e *Engine) Inspect(payload []byte, ctx *StreamContext) Result {
 			break
 		}
 		ctx.shiftAttempts++
-		m, ok := e.matchAt(payload, i, ctx)
+		m, ok := e.matchAt(reg, payload, i, &ctx.State)
 		if !ok {
 			i++
 			continue
 		}
-		if m.Protocol == ProtoRTP {
-			// RTP carries no length field; a match initially claims the
-			// rest of the payload. Scan inside the claimed payload for a
-			// strong second candidate (Zoom packs two RTP messages into
-			// one datagram) and truncate to it.
-			if cut, ok := e.findStrongCandidate(payload, m, ctx); ok {
-				m = e.truncateRTP(payload, m, cut)
-			}
-			ctx.noteRTP(m.RTP)
+		// A driver's Accept hook post-processes the accepted message
+		// against its full datagram (the RTP driver truncates at a
+		// strong second candidate and records sequence state).
+		if a := reg.Accepter(m.Protocol); a != nil {
+			m = a.Accept(payload, m, &ctx.State)
 		}
 		msgs = append(msgs, m)
 		ctx.msgCount++
@@ -280,355 +207,27 @@ func (e *Engine) Inspect(payload []byte, ctx *StreamContext) Result {
 	return res
 }
 
-// matchAt tries every enabled protocol pattern at payload[i:]. Matchers
-// are ordered so that protocols with stronger structural signatures win:
-// STUN (magic cookie), ChannelData, RTCP (type range), QUIC, classic
-// STUN, then RTP.
-func (e *Engine) matchAt(payload []byte, i int, ctx *StreamContext) (Message, bool) {
-	b := payload[i:]
-	if e.enabled(ProtoSTUN) {
-		if m, ok := matchSTUN(b, ctx); ok {
-			m.Offset = i
-			return m, true
+// matchAt tries the enabled probers admitted by the first payload byte
+// at payload[i:], in registry precedence order: protocols with stronger
+// structural signatures win (STUN's magic cookie before ChannelData
+// framing before the RTCP type range before QUIC and DTLS before the
+// weak classic-STUN and RTP patterns). The registry's first-byte table
+// (RFC 7983-style demultiplexing) skips probers whose wire format
+// cannot start with that byte.
+func (e *Engine) matchAt(reg *proto.Registry, payload []byte, i int, st *proto.StreamState) (Message, bool) {
+	c := proto.Candidate{Payload: payload, Offset: i}
+	probers := reg.ProbersFor(payload[i])
+	for k := range probers {
+		p := &probers[k]
+		if !e.enabled(p.ID) {
+			continue
 		}
-	}
-	if e.enabled(ProtoChannelData) {
-		if m, ok := matchChannelData(b, ctx); ok {
-			m.Offset = i
-			return m, true
-		}
-	}
-	if e.enabled(ProtoRTCP) {
-		if m, ok := matchRTCP(b, ctx); ok {
-			m.Offset = i
-			return m, true
-		}
-	}
-	if e.enabled(ProtoQUIC) {
-		if m, ok := matchQUIC(b, ctx); ok {
-			m.Offset = i
-			return m, true
-		}
-	}
-	if e.enabled(ProtoSTUN) {
-		if m, ok := matchClassicSTUN(b, ctx); ok {
-			m.Offset = i
-			return m, true
-		}
-	}
-	if e.enabled(ProtoRTP) {
-		if m, ok := matchRTP(b, ctx); ok {
+		if m, ok := p.Validate(c, st); ok {
 			m.Offset = i
 			return m, true
 		}
 	}
 	return Message{}, false
-}
-
-// matchSTUN matches RFC 5389+ STUN: the magic cookie is the validation
-// anchor. The message type is deliberately unrestricted (§4.1.1) so
-// undefined types like WhatsApp's 0x0801 surface.
-func matchSTUN(b []byte, ctx *StreamContext) (Message, bool) {
-	if !stun.LooksLikeHeader(b) {
-		return Message{}, false
-	}
-	if len(b) < stun.HeaderLen {
-		return Message{}, false
-	}
-	cookie := uint32(b[4])<<24 | uint32(b[5])<<16 | uint32(b[6])<<8 | uint32(b[7])
-	if cookie != stun.MagicCookie {
-		return Message{}, false
-	}
-	m, err := stun.Decode(b)
-	if err != nil {
-		return Message{}, false
-	}
-	ctx.sawSTUN = true
-	return Message{Protocol: ProtoSTUN, Length: m.DecodedLen(), STUN: m}, true
-}
-
-// matchClassicSTUN matches RFC 3489 STUN, which lacks the magic cookie.
-// Without the cookie the false-positive risk is high, so validation
-// requires the declared length to consume the remaining payload exactly
-// and the attribute region to walk cleanly; the paper's equivalent is
-// its "valid length field" heuristic.
-func matchClassicSTUN(b []byte, ctx *StreamContext) (Message, bool) {
-	if !stun.LooksLikeHeader(b) {
-		return Message{}, false
-	}
-	declared := int(b[2])<<8 | int(b[3])
-	if declared != len(b)-stun.HeaderLen {
-		return Message{}, false
-	}
-	m, err := stun.Decode(b)
-	if err != nil {
-		return Message{}, false
-	}
-	if !m.Classic {
-		return Message{}, false // cookie case handled by matchSTUN
-	}
-	// Without the magic cookie anchor, only registered methods are
-	// plausible: every classic-STUN deployment the paper observed
-	// (Zoom's RFC 3489 usage) uses defined methods, while zero-filled
-	// or random regions frequently parse as "type 0x0000" messages.
-	if _, defined := stun.DefinedMessageType(m.Type); !defined {
-		return Message{}, false
-	}
-	ctx.sawSTUN = true
-	return Message{Protocol: ProtoSTUN, Length: m.DecodedLen(), STUN: m}, true
-}
-
-// matchChannelData matches TURN ChannelData framing. The channel range
-// is restricted to RFC 8656's 0x4000-0x4FFF: the wider RFC 5766 range
-// would swallow FaceTime's 0x6000 proprietary header, which the paper
-// classifies as proprietary (§5.3).
-func matchChannelData(b []byte, ctx *StreamContext) (Message, bool) {
-	if len(b) < 4 {
-		return Message{}, false
-	}
-	// TURN ChannelData only ever flows on a socket that previously
-	// carried the STUN allocation handshake (RFC 8656 §12). In
-	// stream-validated mode, require prior STUN on the stream; this
-	// rejects channel-range byte windows inside proprietary payloads.
-	if ctx.validatedSSRC != nil && !ctx.sawSTUN {
-		return Message{}, false
-	}
-	ch := uint16(b[0])<<8 | uint16(b[1])
-	if ch < stun.ChannelMin || ch > stun.ChannelMax8656 {
-		return Message{}, false
-	}
-	length := int(b[2])<<8 | int(b[3])
-	// Real ChannelData frames carry at least a minimal protocol message
-	// (an RTP header is 12 bytes); tiny declared lengths are counter or
-	// flag bytes of proprietary payloads that happen to sit in the
-	// channel range.
-	if length < 12 {
-		return Message{}, false
-	}
-	total := 4 + length
-	if total > len(b) {
-		return Message{}, false
-	}
-	// Allow up to 3 bytes of padding after the frame; more implies the
-	// length field is not a real ChannelData length.
-	if len(b)-total > 3 {
-		return Message{}, false
-	}
-	cd, err := stun.DecodeChannelData(b)
-	if err != nil {
-		return Message{}, false
-	}
-	return Message{Protocol: ProtoChannelData, Length: cd.DecodedLen(), ChannelData: cd}, true
-}
-
-// matchRTCP matches an RTCP compound region: version 2 and packet type
-// 192-223 per the RFC 5761 demultiplexing range, with the paper's
-// cross-validation heuristic: the sender SSRC of unassigned packet
-// types must match a known RTP stream, and the trailing bytes must form
-// a plausible trailer (nothing, a small proprietary suffix, or an SRTCP
-// index with or without the auth tag).
-func matchRTCP(b []byte, ctx *StreamContext) (Message, bool) {
-	if !rtcp.LooksLikeHeader(b) {
-		return Message{}, false
-	}
-	pkts, trailing, err := rtcp.DecodeCompound(b)
-	if err != nil || len(pkts) == 0 {
-		return Message{}, false
-	}
-	length := 0
-	for _, p := range pkts {
-		length += p.Header.ByteLen()
-	}
-	switch len(trailing) {
-	case 0, 1, 2, 3, 4, 14:
-	default:
-		return Message{}, false
-	}
-	for _, p := range pkts {
-		// Every real RTCP packet carries at least the header plus one
-		// SSRC word.
-		if p.Header.ByteLen() < 8 {
-			return Message{}, false
-		}
-		if rtcp.Defined(p.Header.Type) {
-			continue
-		}
-		// Unassigned type: require SSRC support from the stream's
-		// validated RTP state ("cross validated sender SSRC with known
-		// RTP streams", §4.1.1). Permissive single-datagram mode has no
-		// validated set and accepts the candidate.
-		if ctx.validatedSSRC == nil {
-			continue
-		}
-		ssrc, ok := p.SenderSSRC()
-		if !ok || !ctx.validatedSSRC[ssrc] {
-			return Message{}, false
-		}
-	}
-	return Message{
-		Protocol:     ProtoRTCP,
-		Length:       length + len(trailing),
-		RTCP:         pkts,
-		RTCPTrailing: trailing,
-	}, true
-}
-
-// matchQUIC matches QUIC long headers structurally, and short headers
-// only when the stream has established QUIC state (a known DCID at the
-// expected length), mirroring the paper's DCID/SCID consistency
-// heuristic.
-func matchQUIC(b []byte, ctx *StreamContext) (Message, bool) {
-	if quicwire.IsLongHeader(b) {
-		// Probe into a stack Header (CIDs aliasing b); most candidate
-		// offsets are rejected, so the heap copy waits for acceptance.
-		var probe quicwire.Header
-		if quicwire.ParseLongInto(&probe, b) != nil {
-			return Message{}, false
-		}
-		if probe.Version != quicwire.Version1 && probe.Version != quicwire.VersionNegotiation {
-			return Message{}, false
-		}
-		if probe.Version == quicwire.Version1 && !probe.FixedBit {
-			return Message{}, false
-		}
-		if probe.Version == quicwire.VersionNegotiation {
-			// A real Version Negotiation packet lists at least one
-			// nonzero version; all-zero regions of proprietary payloads
-			// would otherwise masquerade as VN.
-			if len(probe.SupportedVersions) == 0 {
-				return Message{}, false
-			}
-			for _, v := range probe.SupportedVersions {
-				if v == 0 {
-					return Message{}, false
-				}
-			}
-		}
-		length := len(b) // Retry and VN consume the datagram
-		if probe.Version == quicwire.Version1 && probe.Type != quicwire.TypeRetry {
-			length = probe.HeaderLen + int(probe.PayloadLength)
-		}
-		if len(probe.DCID) > 0 {
-			ctx.quicCIDs[string(probe.DCID)] = true
-			ctx.shortCIDLen = len(probe.DCID)
-		}
-		if len(probe.SCID) > 0 {
-			ctx.quicCIDs[string(probe.SCID)] = true
-		}
-		h := new(quicwire.Header)
-		*h = probe
-		h.CloneCIDs()
-		return Message{Protocol: ProtoQUIC, Length: length, QUIC: h}, true
-	}
-	// Short header: requires context.
-	if ctx.shortCIDLen == 0 || len(b) < 1+ctx.shortCIDLen {
-		return Message{}, false
-	}
-	if b[0]&0xc0 != 0x40 { // form 0, fixed bit 1
-		return Message{}, false
-	}
-	h, err := quicwire.ParseShort(b, ctx.shortCIDLen)
-	if err != nil || !ctx.quicCIDs[string(h.DCID)] {
-		return Message{}, false
-	}
-	return Message{Protocol: ProtoQUIC, Length: len(b), QUIC: h}, true
-}
-
-// matchRTP matches RTP: version 2, first payload byte outside the RTCP
-// demultiplexing range (RFC 5761), and either a known SSRC with a
-// plausible next sequence number or a fresh zero-CSRC packet.
-func matchRTP(b []byte, ctx *StreamContext) (Message, bool) {
-	if !rtp.LooksLikeHeader(b) {
-		return Message{}, false
-	}
-	if b[1] >= 192 && b[1] <= 223 {
-		return Message{}, false // RTCP range
-	}
-	// Probe into the context's scratch Packet; most candidate offsets
-	// are rejected, so the heap copy is deferred to acceptance.
-	probe := &ctx.rtpProbe
-	if rtp.DecodeInto(probe, b) != nil {
-		return Message{}, false
-	}
-	if ctx.validatedSSRC != nil && !ctx.validatedSSRC[probe.SSRC] {
-		// Stream-validated mode: only SSRCs with cross-packet support
-		// survive (paper §4.1.1: "continuous sequence number within the
-		// same stream").
-		return Message{}, false
-	}
-	if last, ok := ctx.rtpLastSeq[probe.SSRC]; ok {
-		if !seqClose(last, probe.SequenceNumber) {
-			return Message{}, false
-		}
-		if lastTS, has := ctx.rtpLastTS[probe.SSRC]; has && !tsClose(lastTS, probe.Timestamp) {
-			// Known SSRC but an implausible timestamp jump: a stray
-			// byte window that happens to cover a real SSRC value.
-			return Message{}, false
-		}
-	} else if probe.CSRCCount != 0 {
-		// First sighting of an SSRC: RTC media never uses CSRC lists in
-		// these applications, so a nonzero CSRC count on a fresh SSRC
-		// marks a mis-parse.
-		return Message{}, false
-	}
-	p := new(rtp.Packet)
-	*p = *probe
-	if len(probe.CSRC) > 0 {
-		p.CSRC = append([]uint32(nil), probe.CSRC...)
-	} else {
-		p.CSRC = nil // scratch reuse leaves a non-nil empty slice
-	}
-	return Message{Protocol: ProtoRTP, Length: len(b), RTP: p}, true
-}
-
-// noteRTP records an accepted RTP message in the context.
-func (c *StreamContext) noteRTP(p *rtp.Packet) {
-	c.rtpLastSeq[p.SSRC] = p.SequenceNumber
-	c.rtpLastTS[p.SSRC] = p.Timestamp
-}
-
-// findStrongCandidate scans inside an RTP message's claimed payload for
-// a second message start. Only strong candidates count: a magic-cookie
-// STUN header, a valid RTCP compound, a QUIC long header, or an RTP
-// header whose SSRC matches the outer message (Zoom's two-RTP case).
-func (e *Engine) findStrongCandidate(payload []byte, m Message, ctx *StreamContext) (int, bool) {
-	start := m.Offset + m.RTP.HeaderSize() + 1
-	end := m.Offset + m.Length
-	for j := start; j < end-rtp.HeaderLen; j++ {
-		b := payload[j:end]
-		if _, ok := matchSTUN(b, ctx); ok {
-			return j, true
-		}
-		// An RTCP region inside an RTP payload must show SSRC support:
-		// encrypted media bytes occasionally imitate an RTCP header, and
-		// accepting one would wrongly truncate the outer RTP message.
-		if m2, ok := matchRTCP(b, ctx); ok && len(m2.RTCP) > 0 {
-			if ssrc, has := m2.RTCP[0].SenderSSRC(); has {
-				_, known := ctx.rtpLastSeq[ssrc]
-				if known || (ctx.validatedSSRC != nil && ctx.validatedSSRC[ssrc]) {
-					return j, true
-				}
-			}
-		}
-		if inner, ok := matchRTP(b, ctx); ok {
-			if inner.RTP.SSRC == m.RTP.SSRC && inner.RTP.SequenceNumber != m.RTP.SequenceNumber {
-				return j, true
-			}
-		}
-	}
-	return 0, false
-}
-
-// truncateRTP re-decodes the RTP message with its payload cut at the
-// given absolute offset.
-func (e *Engine) truncateRTP(payload []byte, m Message, cut int) Message {
-	p, err := rtp.Decode(payload[m.Offset:cut])
-	if err != nil {
-		return m // cannot shrink; keep the original claim
-	}
-	m.RTP = p
-	m.Length = cut - m.Offset
-	return m
 }
 
 func maxInt(a, b int) int {

@@ -2,6 +2,7 @@ package dpi
 
 import (
 	"github.com/rtc-compliance/rtcc/internal/metrics"
+	"github.com/rtc-compliance/rtcc/internal/proto"
 )
 
 // engineMetrics holds the resolved instrument handles for one
@@ -11,8 +12,8 @@ import (
 type engineMetrics struct {
 	// classes is indexed by Class.
 	classes [3]*metrics.Counter
-	// messages is indexed by Protocol (ProtoUnknown stays nil).
-	messages [6]*metrics.Counter
+	// messages is indexed by Protocol (unregistered IDs stay nil).
+	messages [proto.MaxIDs]*metrics.Counter
 	attempts *metrics.Counter
 	latency  *metrics.Histogram
 }
@@ -26,14 +27,8 @@ func (e *Engine) metricsHandles() engineMetrics {
 	m.classes[ClassFullyProprietary] = r.Counter("dpi_datagrams_total", metrics.L("class", "fully_proprietary"))
 	m.classes[ClassStandard] = r.Counter("dpi_datagrams_total", metrics.L("class", "standard"))
 	m.classes[ClassProprietaryHeader] = r.Counter("dpi_datagrams_total", metrics.L("class", "proprietary_header"))
-	for proto, slug := range map[Protocol]string{
-		ProtoSTUN:        "stun",
-		ProtoChannelData: "channel_data",
-		ProtoRTP:         "rtp",
-		ProtoRTCP:        "rtcp",
-		ProtoQUIC:        "quic",
-	} {
-		m.messages[proto] = r.Counter("dpi_messages_total", metrics.L("proto", slug))
+	for _, meta := range e.registry().Metas() {
+		m.messages[meta.ID] = r.Counter("dpi_messages_total", metrics.L("proto", meta.Slug))
 	}
 	m.attempts = r.Counter("dpi_offset_shift_attempts_total")
 	m.latency = r.Histogram("dpi_inspect_seconds", nil)

@@ -1,0 +1,7 @@
+package dpi
+
+// The engine under test carries no protocol knowledge; tests exercise
+// it with the full driver set linked into the default registry.
+import (
+	_ "github.com/rtc-compliance/rtcc/internal/proto/protoall"
+)

@@ -1,30 +1,33 @@
 package dpi
 
 import (
-	"github.com/rtc-compliance/rtcc/internal/rtp"
+	"github.com/rtc-compliance/rtcc/internal/proto"
 )
 
 // StreamInspector runs Algorithm 1 over the datagrams of one transport
-// stream incrementally. Feed advances pass 1 (per-SSRC candidate
-// tallies) for each datagram as it arrives and buffers the payload;
-// Finalize runs pass 2 over everything buffered since the previous
-// Finalize and releases the payload references, so a caller that
-// finalizes periodically never holds payload bytes past the DPI stage.
+// stream incrementally. Feed advances pass 1 (the registered probers'
+// stream-level scans) for each datagram as it arrives and buffers the
+// payload; Finalize runs pass 2 over everything buffered since the
+// previous Finalize and releases the payload references, so a caller
+// that finalizes periodically never holds payload bytes past the DPI
+// stage.
 //
 // RTP is the one target protocol whose header pattern is weak (any
 // version-2 first byte passes), so candidate extraction alone produces
 // false positives inside proprietary headers and encrypted payloads.
 // The paper's protocol-specific validation resolves this with
 // cross-packet heuristics: "valid SSRC ... continuous sequence number
-// within the same stream". The inspector implements that literally:
+// within the same stream". The two-pass design implements that
+// literally:
 //
-//   - Pass 1 collects every RTP candidate at every offset of every
-//     datagram and tallies per-SSRC support;
+//   - Pass 1 runs every registered Pass1 prober at every
+//     not-yet-consumed offset of every datagram: strong-signature
+//     probers consume their span, weak-signature probers (the RTP
+//     driver) tally per-SSRC validation evidence into the scan state;
 //   - an SSRC is validated when it appears at least twice with at least
 //     one sequence-continuous, timestamp-plausible adjacent pair;
 //   - Pass 2 re-scans each datagram, accepting strongly-signatured
-//     protocols (STUN magic cookie, ChannelData framing, RTCP type
-//     range, QUIC) immediately and RTP only for validated SSRCs in
+//     protocols immediately and RTP only for validated SSRCs in
 //     sequence order.
 //
 // Because pass 2 of a datagram consults the validated-SSRC set, a
@@ -33,17 +36,15 @@ import (
 // each chunk boundary (the streaming analyzer's eviction path), which
 // is identical unless an SSRC first validates only in a later chunk.
 type StreamInspector struct {
-	e *Engine
-	m engineMetrics
-	// scratch is the pass-1 scan context, persistent across Feeds.
-	scratch *StreamContext
+	e   *Engine
+	m   engineMetrics
+	reg *proto.Registry
+	// scan is the pass-1 state, persistent across Feeds: the probers'
+	// scratch stream state plus the validated-SSRC evidence.
+	scan *proto.ScanState
 	// ctx is the pass-2 context, persistent across Finalize calls so a
 	// resumed (fed-again) stream continues its sequence state.
 	ctx *StreamContext
-	// cands tallies RTP candidate sightings per SSRC; validated is the
-	// pass-2 acceptance set, grown as candidates gain support.
-	cands     map[uint32]*candTally
-	validated map[uint32]bool
 	// payloads buffers datagrams fed since the last Finalize.
 	payloads [][]byte
 	// drainedAttempts tracks how many shift attempts have already been
@@ -51,23 +52,13 @@ type StreamInspector struct {
 	drainedAttempts int
 }
 
-// candTally is the incremental form of pass 1's per-SSRC observation
-// list: validation only ever compares adjacent sightings, so the last
-// sighting plus a count carries the same information.
-type candTally struct {
-	n       int
-	lastSeq uint16
-	lastTS  uint32
-}
-
 // NewStreamInspector returns an inspector with empty per-stream state.
 func (e *Engine) NewStreamInspector() *StreamInspector {
 	return &StreamInspector{
-		e:         e,
-		m:         e.metricsHandles(),
-		scratch:   NewStreamContext(),
-		cands:     make(map[uint32]*candTally),
-		validated: make(map[uint32]bool),
+		e:    e,
+		m:    e.metricsHandles(),
+		reg:  e.registry(),
+		scan: proto.NewScanState(),
 	}
 }
 
@@ -81,53 +72,28 @@ func (si *StreamInspector) Feed(payload []byte) {
 	}
 	i := 0
 	for i < len(payload) && i <= limit {
-		// Strong-signature protocols consume their span so their
+		// Strong-signature probers consume their span so their
 		// payloads (e.g. a ChannelData body) are not scanned here;
-		// candidate RTP headers advance by one byte because they
-		// are not yet trusted.
-		if m, ok := matchSTUN(payload[i:], si.scratch); ok {
-			i += m.Length
-			continue
-		}
-		if m, ok := matchChannelData(payload[i:], si.scratch); ok {
-			i += m.Length
-			continue
-		}
-		if m, ok := matchRTCP(payload[i:], si.scratch); ok {
-			i += m.Length
-			continue
-		}
-		b := payload[i:]
-		if rtp.LooksLikeHeader(b) && !(b[1] >= 192 && b[1] <= 223) {
-			// Decode into the scan context's scratch: the sighting only
-			// needs header fields, so nothing escapes the iteration.
-			p := &si.scratch.rtpProbe
-			if rtp.DecodeInto(p, b) == nil && p.CSRCCount == 0 {
-				si.note(p.SSRC, p.SequenceNumber, p.Timestamp)
+		// weak-signature probers tally evidence without consuming, so
+		// candidate headers advance by one byte because they are not
+		// yet trusted. The registry's first-byte table skips probers
+		// whose wire format cannot start with this byte.
+		c := proto.Candidate{Payload: payload, Offset: i}
+		consumed := 0
+		probers := si.reg.Pass1ProbersFor(payload[i])
+		for k := range probers {
+			p := &probers[k]
+			if c2, ok := p.Probe(c, si.scan); ok {
+				consumed = c2.Length
+				break
 			}
 		}
-		i++
+		if consumed > 0 {
+			i += consumed
+		} else {
+			i++
+		}
 	}
-}
-
-// note records one pass-1 candidate sighting. An SSRC is validated by
-// one adjacent candidate pair whose sequence numbers are continuous AND
-// whose timestamps advance plausibly. The timestamp condition matters:
-// byte windows that straddle a real RTP header inherit slowly-cycling
-// sequence bytes (so sequence continuity alone can be fooled) but their
-// inherited timestamp field jumps by 2^24 per packet.
-func (si *StreamInspector) note(ssrc uint32, seq uint16, ts uint32) {
-	o := si.cands[ssrc]
-	if o == nil {
-		si.cands[ssrc] = &candTally{n: 1, lastSeq: seq, lastTS: ts}
-		return
-	}
-	if !si.validated[ssrc] && seqClose(o.lastSeq, seq) && tsClose(o.lastTS, ts) {
-		si.validated[ssrc] = true
-	}
-	o.n++
-	o.lastSeq = seq
-	o.lastTS = ts
 }
 
 // Pending reports how many fed datagrams await Finalize.
@@ -142,7 +108,7 @@ func (si *StreamInspector) Finalize() []Result {
 	if si.ctx == nil {
 		si.ctx = NewStreamContext()
 	}
-	si.ctx.validatedSSRC = si.validated
+	si.ctx.State.ValidatedSSRC = si.scan.ValidatedSSRC
 	out := make([]Result, 0, len(si.payloads))
 	for _, p := range si.payloads {
 		start := si.m.latency.Start()

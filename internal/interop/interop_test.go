@@ -8,6 +8,7 @@ import (
 	"github.com/rtc-compliance/rtcc/internal/compliance"
 	"github.com/rtc-compliance/rtcc/internal/core"
 	"github.com/rtc-compliance/rtcc/internal/dpi"
+	_ "github.com/rtc-compliance/rtcc/internal/proto/protoall"
 	"github.com/rtc-compliance/rtcc/internal/report"
 	"github.com/rtc-compliance/rtcc/internal/trace"
 )

@@ -1,0 +1,146 @@
+package proto
+
+import (
+	"fmt"
+	"time"
+)
+
+// Criterion numbers the five compliance checks of the paper's model
+// (§4.2). Evaluation is strictly sequential: the first failed criterion
+// classifies the message and later criteria are not evaluated.
+type Criterion int
+
+// The five criteria, in evaluation order.
+const (
+	CritNone        Criterion = 0 // compliant
+	CritMessageType Criterion = 1
+	CritHeader      Criterion = 2
+	CritAttrType    Criterion = 3
+	CritAttrValue   Criterion = 4
+	CritSemantics   Criterion = 5
+)
+
+func (c Criterion) String() string {
+	switch c {
+	case CritNone:
+		return "compliant"
+	case CritMessageType:
+		return "message type definition"
+	case CritHeader:
+		return "header field validity"
+	case CritAttrType:
+		return "attribute type validity"
+	case CritAttrValue:
+		return "attribute value validity"
+	case CritSemantics:
+		return "syntax and semantic integrity"
+	}
+	return fmt.Sprintf("criterion %d", int(c))
+}
+
+// Verdict is the compliance outcome for one message.
+type Verdict struct {
+	Compliant bool
+	// Failed identifies the first criterion violated (CritNone when
+	// compliant).
+	Failed Criterion
+	// Reason is a human-readable explanation of the violation.
+	Reason string
+}
+
+// Ok returns a compliant verdict.
+func Ok() Verdict { return Verdict{Compliant: true} }
+
+// Fail returns a verdict failing the given criterion.
+func Fail(c Criterion, format string, args ...any) Verdict {
+	return Verdict{Failed: c, Reason: fmt.Sprintf(format, args...)}
+}
+
+// TypeKey identifies a message type for the message-type-based metric:
+// the protocol family plus the label the paper's tables use (hex STUN
+// type, RTP payload type number, RTCP packet type number, QUIC header
+// kind, DTLS record kind, or "ChannelData").
+type TypeKey struct {
+	Protocol ID
+	Label    string
+}
+
+func (k TypeKey) String() string { return k.Protocol.String() + " " + k.Label }
+
+// Checked pairs one message with its verdict.
+type Checked struct {
+	Protocol ID
+	Type     TypeKey
+	Verdict  Verdict
+	// Bytes is the message's encoded size, for volume accounting.
+	Bytes int
+	// Timestamp is the datagram capture time.
+	Timestamp time.Time
+}
+
+// Checker holds call-scoped compliance state shared across all streams
+// of one analyzed capture. Protocol drivers keep their capture-scoped
+// state (the RTP driver's observed-SSRC set) in per-ID slots.
+type Checker struct {
+	// Record, when non-nil, observes the verdicts of every Check call
+	// (the compliance package hangs its metrics counters here).
+	Record func([]Checked)
+
+	reg   *Registry
+	slots [MaxIDs]any
+}
+
+// NewChecker returns a checker judging against the given registry (nil
+// selects the default registry).
+func NewChecker(reg *Registry) *Checker {
+	if reg == nil {
+		reg = Default()
+	}
+	return &Checker{reg: reg}
+}
+
+// Registry returns the registry the checker judges against.
+func (c *Checker) Registry() *Registry { return c.reg }
+
+// Slot returns a protocol's private capture-scoped state.
+func (c *Checker) Slot(id ID) any { return c.slots[id] }
+
+// SetSlot stores a protocol's private capture-scoped state.
+func (c *Checker) SetSlot(id ID, v any) { c.slots[id] = v }
+
+// Session holds per-stream state for criterion 5. Create one per
+// transport stream and feed it messages in capture order. Protocol
+// drivers keep their stream-scoped semantic state (STUN transaction
+// tracking, SRTCP index monotonicity, QUIC connection IDs, DTLS
+// handshake progress) in per-ID slots.
+type Session struct {
+	checker *Checker
+	slots   [MaxIDs]any
+}
+
+// NewSession returns a per-stream session.
+func (c *Checker) NewSession() *Session { return &Session{checker: c} }
+
+// Checker returns the capture-scoped checker the session belongs to.
+func (s *Session) Checker() *Checker { return s.checker }
+
+// Slot returns a protocol's private per-stream state.
+func (s *Session) Slot(id ID) any { return s.slots[id] }
+
+// SetSlot stores a protocol's private per-stream state.
+func (s *Session) SetSlot(id ID, v any) { s.slots[id] = v }
+
+// Check evaluates one extracted message by dispatching to the
+// registered handler, returning one Checked per protocol data unit.
+// Messages of unregistered protocols yield nil.
+func (s *Session) Check(m Message, ts time.Time) []Checked {
+	h := s.checker.reg.Handler(m.Protocol)
+	if h == nil {
+		return nil
+	}
+	out := h.Comply(m, ts, s)
+	if s.checker.Record != nil {
+		s.checker.Record(out)
+	}
+	return out
+}

@@ -1,0 +1,40 @@
+package proto
+
+// Observation is the per-message evidence a protocol driver reports to
+// the behavioural-findings scanners (internal/core). The fields are
+// generic across media protocols; a driver fills only what applies.
+type Observation struct {
+	// MediaMessage marks a media-plane message (RTP); the scanners
+	// count media datagrams and multi-message datagrams from it.
+	MediaMessage bool
+	// SSRC is the message's media stream identifier when HasSSRC is
+	// set, feeding the cross-call stream-identifier analyses.
+	SSRC    uint32
+	HasSSRC bool
+	// TrailerByte is the last byte of a short proprietary trailer when
+	// HasTrailerByte is set (the direction-correlation finding).
+	TrailerByte    byte
+	HasTrailerByte bool
+	// FeedbackMessages counts feedback-class submessages, and
+	// ZeroSSRCFeedback those carrying an all-zero sender identifier.
+	FeedbackMessages int
+	ZeroSSRCFeedback int
+}
+
+// Observer is implemented by handlers whose messages carry evidence for
+// the behavioural-findings scanners.
+type Observer interface {
+	Observe(m Message, o *Observation)
+}
+
+// Observe fills an observation for one message by dispatching to the
+// registered handler's Observer hook; messages of protocols without one
+// leave the observation zero.
+func (r *Registry) Observe(m Message, o *Observation) {
+	*o = Observation{}
+	if int(m.Protocol) < MaxIDs {
+		if obs := r.observers[m.Protocol]; obs != nil {
+			obs.Observe(m, o)
+		}
+	}
+}

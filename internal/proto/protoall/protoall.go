@@ -1,0 +1,14 @@
+// Package protoall links every protocol driver into the default
+// registry. Binaries and test packages blank-import it; engine packages
+// (dpi, compliance, report, core) never do — they see protocols only
+// through the registry they are handed, which is what keeps a protocol
+// addition a leaf-package change.
+package protoall
+
+import (
+	_ "github.com/rtc-compliance/rtcc/internal/proto/dtlsdrv"
+	_ "github.com/rtc-compliance/rtcc/internal/proto/quicdrv"
+	_ "github.com/rtc-compliance/rtcc/internal/proto/rtcpdrv"
+	_ "github.com/rtc-compliance/rtcc/internal/proto/rtpdrv"
+	_ "github.com/rtc-compliance/rtcc/internal/proto/stundrv"
+)

@@ -1,0 +1,321 @@
+// Package rtcpdrv registers the RTCP protocol with the wire-protocol
+// registry: the RFC 5761 demux-range prober with trailer plausibility
+// and unassigned-type SSRC cross-validation, the per-packet compliance
+// judges (including SRTCP trailer semantics), and the findings observer
+// reporting trailer bytes and feedback evidence.
+package rtcpdrv
+
+import (
+	"encoding/binary"
+	"strconv"
+	"time"
+
+	"github.com/rtc-compliance/rtcc/internal/proto"
+	"github.com/rtc-compliance/rtcc/internal/rtcp"
+	"github.com/rtc-compliance/rtcc/internal/srtp"
+)
+
+func init() {
+	proto.Register(handler{})
+}
+
+// Precedence orders RTCP after the STUN family's strong fingerprints
+// but before QUIC: the 192-223 packet-type range is carved out of the
+// RTP space by RFC 5761 and must win against the RTP prober.
+const Precedence = 30
+
+type handler struct{}
+
+func (handler) Meta() proto.Meta {
+	return proto.Meta{
+		ID:          proto.RTCP,
+		Name:        "RTCP",
+		Slug:        "rtcp",
+		Family:      proto.RTCP,
+		Order:       3,
+		Fingerprint: "version 2 + RFC 5761 packet type 192-223, compound walk with plausible (S)RTCP trailer",
+		Fuzz:        "./internal/rtcp:FuzzDecodeCompound",
+	}
+}
+
+func (handler) Probers() []proto.Prober {
+	return []proto.Prober{{
+		Precedence: Precedence,
+		Pass1:      true,
+		// Version bits 2 in the top two bit positions.
+		First:    func(b byte) bool { return b>>6 == 2 },
+		Probe:    proto.ConsumeProbe(Match),
+		Validate: Match,
+	}}
+}
+
+// Match matches an RTCP compound region: version 2 and packet type
+// 192-223 per the RFC 5761 demultiplexing range, with the paper's
+// cross-validation heuristic: the sender SSRC of unassigned packet
+// types must match a known RTP stream, and the trailing bytes must form
+// a plausible trailer (nothing, a small proprietary suffix, or an SRTCP
+// index with or without the auth tag). Exported for the RTP driver's
+// strong-second-candidate scan.
+func Match(c proto.Candidate, st *proto.StreamState) (proto.Message, bool) {
+	b := c.Bytes()
+	if !rtcp.LooksLikeHeader(b) {
+		return proto.Message{}, false
+	}
+	pkts, trailing, err := rtcp.DecodeCompound(b)
+	if err != nil || len(pkts) == 0 {
+		return proto.Message{}, false
+	}
+	length := 0
+	for _, p := range pkts {
+		length += p.Header.ByteLen()
+	}
+	switch len(trailing) {
+	case 0, 1, 2, 3, 4, 14:
+	default:
+		return proto.Message{}, false
+	}
+	for _, p := range pkts {
+		// Every real RTCP packet carries at least the header plus one
+		// SSRC word.
+		if p.Header.ByteLen() < 8 {
+			return proto.Message{}, false
+		}
+		if rtcp.Defined(p.Header.Type) {
+			continue
+		}
+		// Unassigned type: require SSRC support from the stream's
+		// validated RTP state ("cross validated sender SSRC with known
+		// RTP streams", §4.1.1). Permissive single-datagram mode has no
+		// validated set and accepts the candidate.
+		if st.ValidatedSSRC == nil {
+			continue
+		}
+		ssrc, ok := p.SenderSSRC()
+		if !ok || !st.ValidatedSSRC[ssrc] {
+			return proto.Message{}, false
+		}
+	}
+	return proto.Message{
+		Protocol:     proto.RTCP,
+		Length:       length + len(trailing),
+		RTCP:         pkts,
+		RTCPTrailing: trailing,
+	}, true
+}
+
+// trailerKind classifies the bytes following an RTCP compound region.
+type trailerKind int
+
+const (
+	trailerNone trailerKind = iota
+	// trailerSRTCP is a full RFC 3711 trailer: 4-byte E-flag+index plus
+	// the 10-byte authentication tag.
+	trailerSRTCP
+	// trailerSRTCPNoAuth is the E-flag+index alone — the Google Meet
+	// relay-mode violation (RFC 3711 requires the auth tag).
+	trailerSRTCPNoAuth
+	// trailerUnknown is anything else (Discord's counter+direction
+	// bytes).
+	trailerUnknown
+)
+
+func classifyTrailer(trailing []byte) trailerKind {
+	switch len(trailing) {
+	case 0:
+		return trailerNone
+	case srtp.SRTCPIndexLen:
+		return trailerSRTCPNoAuth
+	case srtp.SRTCPIndexLen + srtp.AuthTagLen:
+		return trailerSRTCP
+	default:
+		return trailerUnknown
+	}
+}
+
+// session is RTCP's per-stream criterion-5 state: the last SRTCP index
+// observed per sender SSRC, for the monotonicity check.
+type session struct {
+	srtcpLastIx map[uint32]uint32
+}
+
+func sess(s *proto.Session) *session {
+	if v := s.Slot(proto.RTCP); v != nil {
+		return v.(*session)
+	}
+	st := &session{srtcpLastIx: make(map[uint32]uint32)}
+	s.SetSlot(proto.RTCP, st)
+	return st
+}
+
+// Comply applies the five criteria to each RTCP packet in a compound
+// region. Encrypted (SRTCP) regions skip body-content checks — the
+// paper can only judge what is in the clear — and are judged on header
+// and trailer structure.
+func (handler) Comply(m proto.Message, ts time.Time, s *proto.Session) []proto.Checked {
+	st := sess(s)
+	kind := classifyTrailer(m.RTCPTrailing)
+	encrypted := kind != trailerNone
+	out := make([]proto.Checked, 0, len(m.RTCP))
+	for _, p := range m.RTCP {
+		c := proto.Checked{
+			Protocol:  proto.RTCP,
+			Type:      proto.TypeKey{Protocol: proto.RTCP, Label: strconv.Itoa(int(p.Header.Type))},
+			Bytes:     p.Header.ByteLen(),
+			Timestamp: ts,
+		}
+		c.Verdict = st.rtcpVerdict(p, kind, encrypted, m.RTCPTrailing)
+		out = append(out, c)
+	}
+	// Spread the trailer bytes across the region's packets for volume
+	// accounting.
+	if len(out) > 0 {
+		out[len(out)-1].Bytes += len(m.RTCPTrailing)
+	}
+	return out
+}
+
+func (st *session) rtcpVerdict(p *rtcp.Packet, kind trailerKind, encrypted bool, trailing []byte) proto.Verdict {
+	// Criterion 1: packet type must be assigned.
+	if !rtcp.Defined(p.Header.Type) {
+		return proto.Fail(proto.CritMessageType, "RTCP packet type %d is not assigned", uint8(p.Header.Type))
+	}
+
+	// Criterion 2: header fields. Version 2 is guaranteed structurally;
+	// the count field must be consistent with the body for plaintext
+	// packets.
+	if !encrypted && !p.ParseOK {
+		return proto.Fail(proto.CritHeader, "%v body does not match its count/length fields", p.Header.Type)
+	}
+
+	// Criteria 3 and 4 for plaintext bodies: item and block types.
+	if !encrypted {
+		if v := rtcpBodyChecks(p); !v.Compliant {
+			return v
+		}
+	}
+
+	// Criterion 5: trailer structure and SRTCP index behaviour.
+	switch kind {
+	case trailerUnknown:
+		// The Discord case: a proprietary counter/direction trailer is
+		// not part of any RTCP or SRTCP specification.
+		return proto.Fail(proto.CritSemantics, "%v followed by undefined trailing bytes (not an SRTCP trailer)", p.Header.Type)
+	case trailerSRTCPNoAuth:
+		// The Google Meet relay-mode case.
+		return proto.Fail(proto.CritSemantics, "SRTCP message carries E-flag and index but no authentication tag (RFC 3711 requires one)")
+	case trailerSRTCP:
+		// Verify the E-flag/index word and per-SSRC index monotonicity.
+		// The E-flag may legitimately be clear (authenticated-only
+		// SRTCP), so only the index is validated.
+		_, index, okk := srtcpIndexWord(trailing)
+		if !okk {
+			return proto.Fail(proto.CritSemantics, "SRTCP trailer too short for index word")
+		}
+		if ssrc, has := p.SenderSSRC(); has {
+			if last, seen := st.srtcpLastIx[ssrc]; seen && index <= last {
+				return proto.Fail(proto.CritSemantics, "SRTCP index %d does not increase (last %d) for SSRC %#x", index, last, ssrc)
+			}
+			st.srtcpLastIx[ssrc] = index
+		}
+	}
+	return proto.Ok()
+}
+
+// rtcpBodyChecks validates plaintext type-specific contents: SDES item
+// types, XR block types, feedback FMT values, and cross-validates
+// feedback SSRCs against observed RTP streams.
+func rtcpBodyChecks(p *rtcp.Packet) proto.Verdict {
+	switch p.Header.Type {
+	case rtcp.TypeSDES:
+		for _, ch := range p.SDES.Chunks {
+			for _, it := range ch.Items {
+				if it.Type > rtcp.SDESPriv {
+					return proto.Fail(proto.CritAttrType, "SDES item type %d is not assigned", it.Type)
+				}
+			}
+		}
+	case rtcp.TypeXR:
+		for _, blk := range p.XR.Blocks {
+			// RFC 3611 blocks 1-7 plus widely registered 8-14.
+			if blk.BlockType == 0 || blk.BlockType > 14 {
+				return proto.Fail(proto.CritAttrType, "XR block type %d is not assigned", blk.BlockType)
+			}
+		}
+	case rtcp.TypeRTPFB:
+		switch p.FB.FMT {
+		case rtcp.FBNack, 3, 4, 5, 8, rtcp.FBTWCC:
+		default:
+			return proto.Fail(proto.CritAttrType, "RTPFB FMT %d is not assigned", p.FB.FMT)
+		}
+		// Criterion 4 for feedback: the FCI must parse per its format.
+		switch p.FB.FMT {
+		case rtcp.FBNack:
+			if _, err := rtcp.DecodeNackFCI(p.FB.FCI); err != nil {
+				return proto.Fail(proto.CritAttrValue, "Generic NACK FCI malformed: %v", err)
+			}
+		case rtcp.FBTWCC:
+			if _, err := rtcp.DecodeTWCCFCI(p.FB.FCI); err != nil {
+				return proto.Fail(proto.CritAttrValue, "transport-wide feedback FCI malformed: %v", err)
+			}
+		}
+	case rtcp.TypePSFB:
+		switch p.FB.FMT {
+		case rtcp.FBPLI, rtcp.FBSLI, rtcp.FBRPSI, rtcp.FBFIR, 5, 6, rtcp.FBAFB:
+		default:
+			return proto.Fail(proto.CritAttrType, "PSFB FMT %d is not assigned", p.FB.FMT)
+		}
+		switch p.FB.FMT {
+		case rtcp.FBPLI:
+			// RFC 4585 §6.3.1: PLI carries no FCI.
+			if len(p.FB.FCI) != 0 {
+				return proto.Fail(proto.CritAttrValue, "PLI carries %d FCI bytes; RFC 4585 defines none", len(p.FB.FCI))
+			}
+		case rtcp.FBFIR:
+			// RFC 5104 §4.3.1: FIR entries are 8 bytes each.
+			if len(p.FB.FCI) == 0 || len(p.FB.FCI)%8 != 0 {
+				return proto.Fail(proto.CritAttrValue, "FIR FCI length %d is not a multiple of 8", len(p.FB.FCI))
+			}
+		case rtcp.FBAFB:
+			// Application layer feedback: when it carries the REMB
+			// identifier, the REMB structure must hold.
+			if len(p.FB.FCI) >= 4 && string(p.FB.FCI[:4]) == "REMB" {
+				if _, err := rtcp.DecodeREMBFCI(p.FB.FCI); err != nil {
+					return proto.Fail(proto.CritAttrValue, "REMB FCI malformed: %v", err)
+				}
+			}
+		}
+	case rtcp.TypeSenderReport:
+		if p.SR.Info.NTPTimestamp == 0 {
+			return proto.Fail(proto.CritAttrValue, "sender report carries a zero NTP timestamp")
+		}
+	}
+	return proto.Ok()
+}
+
+// srtcpIndexWord extracts the E-flag and index from an SRTCP trailer.
+func srtcpIndexWord(trailing []byte) (eflag bool, index uint32, ok bool) {
+	if len(trailing) < srtp.SRTCPIndexLen {
+		return false, 0, false
+	}
+	w := binary.BigEndian.Uint32(trailing[:4])
+	return w&(1<<31) != 0, w & 0x7fffffff, true
+}
+
+// Observe reports the behavioural-findings evidence an RTCP message
+// carries: a short proprietary trailer's final byte (the
+// direction-correlation finding) and feedback submessage counts with
+// zero sender SSRCs (the Discord zero-SSRC finding).
+func (handler) Observe(m proto.Message, o *proto.Observation) {
+	if n := len(m.RTCPTrailing); n > 0 && n < 4 {
+		o.TrailerByte = m.RTCPTrailing[n-1]
+		o.HasTrailerByte = true
+	}
+	for _, p := range m.RTCP {
+		if p.Header.Type == rtcp.TypeRTPFB || p.Header.Type == rtcp.TypePSFB {
+			o.FeedbackMessages++
+			if ssrc, ok := p.SenderSSRC(); ok && ssrc == 0 {
+				o.ZeroSSRCFeedback++
+			}
+		}
+	}
+}

@@ -1,0 +1,363 @@
+// Package rtpdrv registers RTP with the wire-protocol registry. RTP is
+// the one target protocol whose header pattern is weak (any version-2
+// first byte passes), so the driver supplies all three hooks of the
+// two-pass design: a pass-1 prober that tallies per-SSRC candidate
+// sightings into the scan state, a pass-2 validator gated on the
+// validated-SSRC set with sequence/timestamp continuity, and an Accept
+// hook that truncates a message when a strong second candidate starts
+// inside its claimed payload (Zoom's two-RTP case).
+package rtpdrv
+
+import (
+	"strconv"
+	"time"
+
+	"github.com/rtc-compliance/rtcc/internal/proto"
+	"github.com/rtc-compliance/rtcc/internal/proto/rtcpdrv"
+	"github.com/rtc-compliance/rtcc/internal/proto/stundrv"
+	"github.com/rtc-compliance/rtcc/internal/rtp"
+)
+
+func init() {
+	proto.Register(handler{})
+}
+
+// Precedence orders RTP last: its fingerprint (two version bits) is the
+// weakest in the pipeline, so every structural signature must get the
+// first claim on a payload window.
+const Precedence = 60
+
+type handler struct{}
+
+func (handler) Meta() proto.Meta {
+	return proto.Meta{
+		ID:          proto.RTP,
+		Name:        "RTP",
+		Slug:        "rtp",
+		Family:      proto.RTP,
+		Order:       2,
+		Fingerprint: "version 2 + first byte outside the RFC 5761 RTCP range, validated by per-SSRC sequence/timestamp continuity",
+		Fuzz:        "./internal/rtp:FuzzDecode",
+	}
+}
+
+func (handler) Probers() []proto.Prober {
+	return []proto.Prober{{
+		Precedence: Precedence,
+		Pass1:      true,
+		// Version bits 2 in the top two bit positions.
+		First:    func(b byte) bool { return b>>6 == 2 },
+		Probe:    tallyProbe,
+		Validate: Match,
+	}}
+}
+
+// streamState is RTP's per-stream pass-2 state: last accepted sequence
+// number and timestamp per SSRC, plus the decode scratch that keeps the
+// probe path allocation-free.
+type streamState struct {
+	lastSeq map[uint32]uint16
+	lastTS  map[uint32]uint32
+	probe   rtp.Packet
+}
+
+func state(st *proto.StreamState) *streamState {
+	if v := st.Slot(proto.RTP); v != nil {
+		return v.(*streamState)
+	}
+	s := &streamState{
+		lastSeq: make(map[uint32]uint16),
+		lastTS:  make(map[uint32]uint32),
+	}
+	st.SetSlot(proto.RTP, s)
+	return s
+}
+
+// scanState is RTP's pass-1 state: per-SSRC candidate tallies and the
+// decode scratch for sightings.
+type scanState struct {
+	cands map[uint32]*candTally
+	probe rtp.Packet
+}
+
+// candTally is the incremental form of pass 1's per-SSRC observation
+// list: validation only ever compares adjacent sightings, so the last
+// sighting plus a count carries the same information.
+type candTally struct {
+	n       int
+	lastSeq uint16
+	lastTS  uint32
+}
+
+func scan(sc *proto.ScanState) *scanState {
+	if v := sc.Slot(proto.RTP); v != nil {
+		return v.(*scanState)
+	}
+	s := &scanState{cands: make(map[uint32]*candTally)}
+	sc.SetSlot(proto.RTP, s)
+	return s
+}
+
+// tallyProbe advances pass 1 at one offset: it records an RTP candidate
+// sighting and always reports no match, so the engine's scan advances
+// by one byte — candidate RTP headers are not yet trusted to consume
+// their span.
+func tallyProbe(c proto.Candidate, sc *proto.ScanState) (proto.Candidate, bool) {
+	b := c.Bytes()
+	if !rtp.LooksLikeHeader(b) || (b[1] >= 192 && b[1] <= 223) {
+		return c, false
+	}
+	s := scan(sc)
+	// Decode into the scan state's scratch: the sighting only needs
+	// header fields, so nothing escapes the iteration.
+	p := &s.probe
+	if rtp.DecodeInto(p, b) == nil && p.CSRCCount == 0 {
+		s.note(sc, p.SSRC, p.SequenceNumber, p.Timestamp)
+	}
+	return c, false
+}
+
+// note records one pass-1 candidate sighting. An SSRC is validated by
+// one adjacent candidate pair whose sequence numbers are continuous AND
+// whose timestamps advance plausibly. The timestamp condition matters:
+// byte windows that straddle a real RTP header inherit slowly-cycling
+// sequence bytes (so sequence continuity alone can be fooled) but their
+// inherited timestamp field jumps by 2^24 per packet.
+func (s *scanState) note(sc *proto.ScanState, ssrc uint32, seq uint16, ts uint32) {
+	o := s.cands[ssrc]
+	if o == nil {
+		s.cands[ssrc] = &candTally{n: 1, lastSeq: seq, lastTS: ts}
+		return
+	}
+	if !sc.ValidatedSSRC[ssrc] && seqClose(o.lastSeq, seq) && tsClose(o.lastTS, ts) {
+		sc.ValidatedSSRC[ssrc] = true
+	}
+	o.n++
+	o.lastSeq = seq
+	o.lastTS = ts
+}
+
+// seqClose reports whether b is a plausible successor of sequence
+// number a: strictly after it within a small forward window, or a small
+// backward step (reordering), with wraparound.
+func seqClose(a, b uint16) bool {
+	d := b - a // wraparound arithmetic
+	return d != 0 && (d < 64 || d > 0xffff-16)
+}
+
+// tsClose reports whether an RTP timestamp is plausible given the last
+// accepted one for the SSRC: within ±2^21 ticks (over 20 seconds at a
+// 90 kHz video clock), with wraparound.
+func tsClose(last, ts uint32) bool {
+	d := ts - last
+	return d < 1<<21 || d > (1<<32)-(1<<21)
+}
+
+// Match matches RTP: version 2, first payload byte outside the RTCP
+// demultiplexing range (RFC 5761), and either a known SSRC with a
+// plausible next sequence number or a fresh zero-CSRC packet.
+func Match(c proto.Candidate, st *proto.StreamState) (proto.Message, bool) {
+	b := c.Bytes()
+	if !rtp.LooksLikeHeader(b) {
+		return proto.Message{}, false
+	}
+	if b[1] >= 192 && b[1] <= 223 {
+		return proto.Message{}, false // RTCP range
+	}
+	rs := state(st)
+	// Probe into the stream state's scratch Packet; most candidate
+	// offsets are rejected, so the heap copy is deferred to acceptance.
+	probe := &rs.probe
+	if rtp.DecodeInto(probe, b) != nil {
+		return proto.Message{}, false
+	}
+	if st.ValidatedSSRC != nil && !st.ValidatedSSRC[probe.SSRC] {
+		// Stream-validated mode: only SSRCs with cross-packet support
+		// survive (paper §4.1.1: "continuous sequence number within the
+		// same stream").
+		return proto.Message{}, false
+	}
+	if last, ok := rs.lastSeq[probe.SSRC]; ok {
+		if !seqClose(last, probe.SequenceNumber) {
+			return proto.Message{}, false
+		}
+		if lastTS, has := rs.lastTS[probe.SSRC]; has && !tsClose(lastTS, probe.Timestamp) {
+			// Known SSRC but an implausible timestamp jump: a stray
+			// byte window that happens to cover a real SSRC value.
+			return proto.Message{}, false
+		}
+	} else if probe.CSRCCount != 0 {
+		// First sighting of an SSRC: RTC media never uses CSRC lists in
+		// these applications, so a nonzero CSRC count on a fresh SSRC
+		// marks a mis-parse.
+		return proto.Message{}, false
+	}
+	p := new(rtp.Packet)
+	*p = *probe
+	if len(probe.CSRC) > 0 {
+		p.CSRC = append([]uint32(nil), probe.CSRC...)
+	} else {
+		p.CSRC = nil // scratch reuse leaves a non-nil empty slice
+	}
+	return proto.Message{Protocol: proto.RTP, Length: len(b), RTP: p}, true
+}
+
+// Accept post-processes an accepted RTP message: when a strong second
+// candidate starts inside the claimed payload the message is truncated
+// to it (the engine re-scans from the cut), and the accepted sequence
+// state is recorded for the SSRC.
+func (handler) Accept(payload []byte, m proto.Message, st *proto.StreamState) proto.Message {
+	if cut, ok := findStrongCandidate(payload, m, st); ok {
+		m = truncate(payload, m, cut)
+	}
+	rs := state(st)
+	rs.lastSeq[m.RTP.SSRC] = m.RTP.SequenceNumber
+	rs.lastTS[m.RTP.SSRC] = m.RTP.Timestamp
+	return m
+}
+
+// findStrongCandidate scans inside an RTP message's claimed payload for
+// a second message start. Only strong candidates count: a magic-cookie
+// STUN header, a valid RTCP compound, or an RTP header whose SSRC
+// matches the outer message (Zoom's two-RTP case).
+func findStrongCandidate(payload []byte, m proto.Message, st *proto.StreamState) (int, bool) {
+	rs := state(st)
+	start := m.Offset + m.RTP.HeaderSize() + 1
+	end := m.Offset + m.Length
+	for j := start; j < end-rtp.HeaderLen; j++ {
+		// The candidates' first-byte slices are disjoint (RFC 7983:
+		// STUN's top bits are 00, the RTP/RTCP version bits are 10), so
+		// at most one branch can match at any offset and half the byte
+		// space skips the scan entirely.
+		switch payload[j] >> 6 {
+		case 0:
+			c := proto.Candidate{Payload: payload[:end], Offset: j}
+			if _, ok := stundrv.MatchCookie(c, st); ok {
+				return j, true
+			}
+		case 2:
+			c := proto.Candidate{Payload: payload[:end], Offset: j}
+			// An RTCP region inside an RTP payload must show SSRC
+			// support: encrypted media bytes occasionally imitate an
+			// RTCP header, and accepting one would wrongly truncate the
+			// outer RTP message.
+			if m2, ok := rtcpdrv.Match(c, st); ok && len(m2.RTCP) > 0 {
+				if ssrc, has := m2.RTCP[0].SenderSSRC(); has {
+					_, known := rs.lastSeq[ssrc]
+					if known || (st.ValidatedSSRC != nil && st.ValidatedSSRC[ssrc]) {
+						return j, true
+					}
+				}
+			}
+			if inner, ok := Match(c, st); ok {
+				if inner.RTP.SSRC == m.RTP.SSRC && inner.RTP.SequenceNumber != m.RTP.SequenceNumber {
+					return j, true
+				}
+			}
+		}
+	}
+	return 0, false
+}
+
+// truncate re-decodes the RTP message with its payload cut at the given
+// absolute offset.
+func truncate(payload []byte, m proto.Message, cut int) proto.Message {
+	p, err := rtp.Decode(payload[m.Offset:cut])
+	if err != nil {
+		return m // cannot shrink; keep the original claim
+	}
+	m.RTP = p
+	m.Length = cut - m.Offset
+	return m
+}
+
+// ssrcSet is RTP's capture-scoped compliance state: every SSRC whose
+// messages were judged, for the cross-call stream-identifier analysis.
+type ssrcSet map[uint32]bool
+
+func ssrcs(c *proto.Checker) ssrcSet {
+	if v := c.Slot(proto.RTP); v != nil {
+		return v.(ssrcSet)
+	}
+	s := make(ssrcSet)
+	c.SetSlot(proto.RTP, s)
+	return s
+}
+
+// ObservedSSRCs returns the set of SSRCs whose RTP messages the checker
+// has judged (allocating the set on first use).
+func ObservedSSRCs(c *proto.Checker) map[uint32]bool { return ssrcs(c) }
+
+// Comply applies the five criteria to an RTP message. For RTP the
+// paper's "message type" is the payload type, and "attributes" are the
+// RFC 8285 header-extension profile and its elements.
+func (handler) Comply(m proto.Message, ts time.Time, s *proto.Session) []proto.Checked {
+	p := m.RTP
+	c := proto.Checked{
+		Protocol:  proto.RTP,
+		Type:      proto.TypeKey{Protocol: proto.RTP, Label: strconv.Itoa(int(p.PayloadType))},
+		Bytes:     m.Length,
+		Timestamp: ts,
+	}
+	ssrcs(s.Checker())[p.SSRC] = true
+	c.Verdict = rtpVerdict(p)
+	return []proto.Checked{c}
+}
+
+// definedExtProfile reports whether an RTP header-extension profile is
+// defined: 0xBEDE (one-byte form) or 0x1000-0x100F (two-byte form) per
+// RFC 8285.
+func definedExtProfile(profile uint16) bool {
+	return profile == rtp.ProfileOneByte ||
+		profile&rtp.ProfileTwoByteMask == rtp.ProfileTwoByteBase
+}
+
+func rtpVerdict(p *rtp.Packet) proto.Verdict {
+	// Criterion 1: payload type. Every value 0-127 is either statically
+	// assigned (RFC 3551) or in the dynamic range, so the payload type
+	// itself never fails; the version field is the type-bearing header
+	// field and the DPI guarantees version 2.
+
+	// Criterion 2: header fields. The CSRC count and padding are
+	// structurally verified by the decoder; a padding length that
+	// consumed the entire payload would have failed decode.
+
+	// Criterion 3: header extension profile and element IDs.
+	if p.Extension != nil {
+		ext := p.Extension
+		if !definedExtProfile(ext.Profile) {
+			// FaceTime's 0x8001/0x8500/0x8D00 and Discord's
+			// 0x0084-0xFBD2 profiles.
+			return proto.Fail(proto.CritAttrType, "header extension profile %#04x is not defined by RFC 8285", ext.Profile)
+		}
+		for _, el := range ext.Elements {
+			if ext.Profile == rtp.ProfileOneByte {
+				if el.ID == 0 {
+					// Discord's ID=0 elements with payload bytes: an ID
+					// of 0 is padding and must not carry a length.
+					return proto.Fail(proto.CritAttrType, "one-byte extension element with reserved ID 0 carries %d payload bytes", len(el.Payload))
+				}
+				if el.ID == 15 {
+					return proto.Fail(proto.CritAttrType, "one-byte extension element uses reserved ID 15")
+				}
+			}
+		}
+		// Criterion 4: element structure must parse within the declared
+		// extension length.
+		if !ext.ParseOK {
+			return proto.Fail(proto.CritAttrValue, "header extension elements overrun the declared extension length")
+		}
+	}
+
+	// Criterion 5: sequence continuity is enforced during extraction;
+	// no additional per-message semantic rule applies here.
+	return proto.Ok()
+}
+
+// Observe marks the message as media-plane and reports its SSRC for the
+// behavioural-findings scanners.
+func (handler) Observe(m proto.Message, o *proto.Observation) {
+	o.MediaMessage = true
+	o.SSRC = m.RTP.SSRC
+	o.HasSSRC = true
+}

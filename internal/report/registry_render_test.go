@@ -1,0 +1,129 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/rtc-compliance/rtcc/internal/dpi"
+	"github.com/rtc-compliance/rtcc/internal/proto"
+)
+
+// headerOf returns the first line of a rendered table body (the line
+// after the title).
+func headerOf(rendered string) string {
+	lines := strings.Split(rendered, "\n")
+	if len(lines) < 2 {
+		return ""
+	}
+	return lines[1]
+}
+
+func TestActiveFamiliesStableOrder(t *testing.T) {
+	g := NewAggregate()
+	a := g.App("AppA")
+	// Insert in scrambled order; columns must come out in registry
+	// report order regardless.
+	a.AddChecked(checked(dpi.ProtoQUIC, "short header", true, "", 10))
+	a.AddChecked(checked(dpi.ProtoDTLS, "handshake ClientHello", true, "", 10))
+	a.AddChecked(checked(dpi.ProtoRTP, "96", true, "", 10))
+	a.AddChecked(checked(dpi.ProtoSTUN, "0x0001", true, "", 10))
+	a.AddChecked(checked(dpi.ProtoRTCP, "200", true, "", 10))
+
+	fams := g.ActiveFamilies()
+	want := []dpi.Protocol{dpi.ProtoSTUN, dpi.ProtoRTP, dpi.ProtoRTCP, dpi.ProtoQUIC, dpi.ProtoDTLS}
+	if len(fams) != len(want) {
+		t.Fatalf("families = %v, want %v", fams, want)
+	}
+	for i := range want {
+		if fams[i] != want[i] {
+			t.Fatalf("families = %v, want %v", fams, want)
+		}
+	}
+	header := headerOf(Table2(g))
+	for _, pair := range [][2]string{
+		{"STUN/TURN", "RTP"}, {"RTP", "RTCP"}, {"RTCP", "QUIC"}, {"QUIC", "DTLS"},
+	} {
+		if strings.Index(header, pair[0]) >= strings.Index(header, pair[1]) {
+			t.Errorf("header order wrong (%s before %s expected): %q", pair[0], pair[1], header)
+		}
+	}
+}
+
+func TestDTLSRowsRenderWithoutRendererEdits(t *testing.T) {
+	g := NewAggregate()
+	a := g.App("AppA")
+	a.AddChecked(checked(dpi.ProtoDTLS, "handshake ClientHello", true, "", 120))
+	a.AddChecked(checked(dpi.ProtoDTLS, "alert", false, "bad level", 7))
+
+	for name, out := range map[string]string{
+		"table2":  Table2(g),
+		"table3":  Table3(g),
+		"figure4": Figure4(g),
+		"figure5": Figure5(g),
+	} {
+		if !strings.Contains(out, "DTLS") {
+			t.Errorf("%s missing DTLS column/row:\n%s", name, out)
+		}
+	}
+	tt := TypeTables(g)
+	if !strings.Contains(tt, "Observed DTLS message types") ||
+		!strings.Contains(tt, "handshake ClientHello") || !strings.Contains(tt, "alert") {
+		t.Errorf("type tables missing DTLS types:\n%s", tt)
+	}
+}
+
+func TestUnregisteredFamilyRendersPlaceholder(t *testing.T) {
+	g := NewAggregate()
+	a := g.App("AppA")
+	// A family ID with no registered handler (e.g. data from a newer
+	// binary) must still render, under a stable placeholder name.
+	a.AddChecked(checked(dpi.Protocol(9), "X", true, "", 5))
+	a.AddChecked(checked(dpi.ProtoRTP, "96", true, "", 5))
+
+	out := Table2(g)
+	if !strings.Contains(out, "protocol 9") {
+		t.Errorf("table2 dropped unregistered family:\n%s", out)
+	}
+	// Registered families order before the unregistered extras.
+	header := headerOf(out)
+	if strings.Index(header, "RTP") >= strings.Index(header, "protocol 9") {
+		t.Errorf("unregistered family not sorted last: %q", header)
+	}
+}
+
+func TestEmptyProtocolColumnsOmitted(t *testing.T) {
+	g := NewAggregate()
+	a := g.App("AppA")
+	a.AddChecked(checked(dpi.ProtoRTP, "96", true, "", 10))
+
+	for name, out := range map[string]string{
+		"table2": Table2(g),
+		"table3": Table3(g),
+	} {
+		header := headerOf(out)
+		if !strings.Contains(header, "RTP") {
+			t.Errorf("%s missing RTP column: %q", name, header)
+		}
+		for _, absent := range []string{"STUN/TURN", "RTCP", "QUIC", "DTLS"} {
+			if strings.Contains(header, absent) {
+				t.Errorf("%s renders all-N/A %s column: %q", name, absent, header)
+			}
+		}
+	}
+}
+
+func TestAggregateWithRestrictedRegistry(t *testing.T) {
+	g := NewAggregateWith(proto.Default().Without(proto.DTLS))
+	a := g.App("AppA")
+	a.AddChecked(checked(dpi.ProtoRTP, "96", true, "", 10))
+	// DTLS data from elsewhere still renders, but under the
+	// unregistered-family placeholder since this registry dropped it.
+	a.AddChecked(checked(dpi.ProtoDTLS, "alert", true, "", 10))
+	out := Table2(g)
+	if !strings.Contains(out, "protocol 6") {
+		t.Errorf("restricted registry should render DTLS as placeholder:\n%s", out)
+	}
+	if strings.Contains(headerOf(out), "DTLS") {
+		t.Errorf("restricted registry still names DTLS:\n%s", out)
+	}
+}

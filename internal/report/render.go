@@ -49,12 +49,20 @@ func Table1(rows []Table1Row) string {
 }
 
 // Table2 renders the message distribution by protocol and application.
+// Protocol columns come from the registry, restricted to families with
+// observed data.
 func Table2(g *Aggregate) string {
-	t := &table{header: []string{"Application", "STUN/TURN", "RTP", "RTCP", "QUIC", "Fully Proprietary"}}
+	fams := g.ActiveFamilies()
+	header := []string{"Application"}
+	for _, fam := range fams {
+		header = append(header, g.FamilyName(fam))
+	}
+	header = append(header, "Fully Proprietary")
+	t := &table{header: header}
 	for _, app := range g.Apps() {
 		units := app.MessageUnits()
 		cells := []string{app.App}
-		for _, fam := range ProtoOrder {
+		for _, fam := range fams {
 			ps := app.ByProtocol[fam]
 			if ps == nil || ps.Messages == 0 {
 				cells = append(cells, "N/A")
@@ -97,23 +105,31 @@ func Figure4(g *Aggregate) string {
 		}
 	}
 	t2 := &table{header: []string{"Protocol", "Compliance by volume"}}
-	for _, fam := range ProtoOrder {
+	for _, fam := range g.ActiveFamilies() {
 		vol, _, _ := g.ProtocolRollup(fam)
 		if vol.Messages == 0 {
-			t2.addRow(fam.String(), "N/A")
+			t2.addRow(g.FamilyName(fam), "N/A")
 			continue
 		}
-		t2.addRow(fam.String(), pct(vol.Compliant, vol.Messages))
+		t2.addRow(g.FamilyName(fam), pct(vol.Compliant, vol.Messages))
 	}
 	return "Figure 4: Compliance ratio by traffic volume\n" + t.String() + "\n" + t2.String()
 }
 
-// Table3 renders the compliance-by-message-type matrix.
+// Table3 renders the compliance-by-message-type matrix. Protocol
+// columns come from the registry, restricted to families with observed
+// data.
 func Table3(g *Aggregate) string {
-	t := &table{header: []string{"Application", "STUN/TURN", "RTP", "RTCP", "QUIC", "All Protocols"}}
+	fams := g.ActiveFamilies()
+	header := []string{"Application"}
+	for _, fam := range fams {
+		header = append(header, g.FamilyName(fam))
+	}
+	header = append(header, "All Protocols")
+	t := &table{header: header}
 	for _, app := range g.Apps() {
 		cells := []string{app.App}
-		for _, fam := range ProtoOrder {
+		for _, fam := range fams {
 			c, tot := app.TypeCompliance(fam)
 			if tot == 0 {
 				cells = append(cells, "N/A")
@@ -127,7 +143,7 @@ func Table3(g *Aggregate) string {
 	}
 	// Protocol-centric bottom row.
 	cells := []string{"All Apps"}
-	for _, fam := range ProtoOrder {
+	for _, fam := range fams {
 		_, c, tot := g.ProtocolRollup(fam)
 		if tot == 0 {
 			cells = append(cells, "N/A")
@@ -176,17 +192,32 @@ func Table6(g *Aggregate) string {
 	return typeListTable(g, dpi.ProtoRTCP, "Table 6: Observed RTCP message types")
 }
 
+// TypeTables renders one observed-types table per active protocol
+// family — the registry-driven generalization of Tables 4-6 that covers
+// protocols registered after the paper's set (DTLS) without a dedicated
+// renderer.
+func TypeTables(g *Aggregate) string {
+	var b strings.Builder
+	for i, fam := range g.ActiveFamilies() {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		b.WriteString(typeListTable(g, fam, fmt.Sprintf("Observed %s message types", g.FamilyName(fam))))
+	}
+	return b.String()
+}
+
 // Figure5 renders the type-based compliance ratios, protocol-centric
 // and app-centric.
 func Figure5(g *Aggregate) string {
 	t := &table{header: []string{"Protocol", "Compliant types", "Total types", "Ratio"}}
-	for _, fam := range ProtoOrder {
+	for _, fam := range g.ActiveFamilies() {
 		_, c, tot := g.ProtocolRollup(fam)
 		if tot == 0 {
-			t.addRow(fam.String(), "0", "0", "N/A")
+			t.addRow(g.FamilyName(fam), "0", "0", "N/A")
 			continue
 		}
-		t.addRow(fam.String(), fmt.Sprint(c), fmt.Sprint(tot), pct(c, tot))
+		t.addRow(g.FamilyName(fam), fmt.Sprint(c), fmt.Sprint(tot), pct(c, tot))
 	}
 	t2 := &table{header: []string{"Application", "Compliant types", "Total types", "Ratio"}}
 	for _, app := range g.Apps() {

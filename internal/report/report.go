@@ -18,10 +18,8 @@ import (
 
 	"github.com/rtc-compliance/rtcc/internal/compliance"
 	"github.com/rtc-compliance/rtcc/internal/dpi"
+	"github.com/rtc-compliance/rtcc/internal/proto"
 )
-
-// ProtoOrder is the column order used by the paper's tables.
-var ProtoOrder = []dpi.Protocol{dpi.ProtoSTUN, dpi.ProtoRTP, dpi.ProtoRTCP, dpi.ProtoQUIC}
 
 // TypeStat tracks one message type under the type-based metric.
 type TypeStat struct {
@@ -154,15 +152,93 @@ func (a *AppStats) TypesOf(fam dpi.Protocol) (compliant, nonCompliant []string) 
 }
 
 // Aggregate holds statistics for every application plus the
-// protocol-centric rollup.
+// protocol-centric rollup. Its renderers derive the protocol columns
+// from the registry it was built with, so a newly registered protocol
+// appears in every table without renderer edits.
 type Aggregate struct {
 	order []string
 	apps  map[string]*AppStats
+	reg   *proto.Registry
 }
 
-// NewAggregate returns an empty aggregate.
-func NewAggregate() *Aggregate {
-	return &Aggregate{apps: make(map[string]*AppStats)}
+// NewAggregate returns an empty aggregate rendering against the default
+// protocol registry.
+func NewAggregate() *Aggregate { return NewAggregateWith(nil) }
+
+// NewAggregateWith returns an empty aggregate rendering against the
+// given registry (nil selects the default registry).
+func NewAggregateWith(reg *proto.Registry) *Aggregate {
+	return &Aggregate{apps: make(map[string]*AppStats), reg: reg}
+}
+
+func (g *Aggregate) registry() *proto.Registry {
+	if g.reg != nil {
+		return g.reg
+	}
+	return proto.Default()
+}
+
+// FamilyName returns the display name for a protocol-family column.
+// Families observed in the data but not registered render a stable
+// placeholder instead of dropping the data silently.
+func (g *Aggregate) FamilyName(fam dpi.Protocol) string {
+	if m, ok := g.registry().Meta(fam); ok {
+		return m.Name
+	}
+	return fmt.Sprintf("protocol %d", fam)
+}
+
+// Families lists every candidate protocol-family column: the registered
+// families in report order, followed by any family observed in app data
+// without a registration, sorted by ID for stability.
+func (g *Aggregate) Families() []dpi.Protocol {
+	fams := g.registry().Families()
+	seen := make(map[dpi.Protocol]bool, len(fams))
+	for _, f := range fams {
+		seen[f] = true
+	}
+	var extra []dpi.Protocol
+	for _, app := range g.Apps() {
+		for fam := range app.ByProtocol {
+			if !seen[fam] {
+				seen[fam] = true
+				extra = append(extra, fam)
+			}
+		}
+		for key := range app.Types {
+			if !seen[key.Protocol] {
+				seen[key.Protocol] = true
+				extra = append(extra, key.Protocol)
+			}
+		}
+	}
+	sort.Slice(extra, func(i, j int) bool { return extra[i] < extra[j] })
+	return append(fams, extra...)
+}
+
+// ActiveFamilies lists the families with any observed data — the
+// columns the tables render. A registered protocol that never appears
+// in a capture set (DTLS in a capture matrix without DTLS traffic) is
+// omitted rather than rendered as an all-N/A column.
+func (g *Aggregate) ActiveFamilies() []dpi.Protocol {
+	var out []dpi.Protocol
+	for _, fam := range g.Families() {
+		active := false
+		for _, app := range g.Apps() {
+			if ps := app.ByProtocol[fam]; ps != nil && ps.Messages > 0 {
+				active = true
+				break
+			}
+			if _, tot := app.TypeCompliance(fam); tot > 0 {
+				active = true
+				break
+			}
+		}
+		if active {
+			out = append(out, fam)
+		}
+	}
+	return out
 }
 
 // App returns (creating if needed) the statistics for an app.

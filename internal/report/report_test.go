@@ -8,6 +8,7 @@ import (
 	"github.com/rtc-compliance/rtcc/internal/compliance"
 	"github.com/rtc-compliance/rtcc/internal/dpi"
 	"github.com/rtc-compliance/rtcc/internal/flow"
+	_ "github.com/rtc-compliance/rtcc/internal/proto/protoall"
 )
 
 func checked(proto dpi.Protocol, label string, compliant bool, reason string, bytes int) compliance.Checked {

@@ -1,0 +1,121 @@
+package tlsinspect
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestDTLSRecordRoundTrip(t *testing.T) {
+	frag := bytes.Repeat([]byte{0xAB}, 33)
+	raw := BuildDTLSRecord(DTLSTypeHandshake, VersionDTLS12, 2, 0x112233445566, frag)
+	r, n, err := ParseDTLSRecord(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(raw) {
+		t.Errorf("consumed %d, want %d", n, len(raw))
+	}
+	if r.ContentType != DTLSTypeHandshake || r.Version != VersionDTLS12 ||
+		r.Epoch != 2 || r.SequenceNumber != 0x112233445566 {
+		t.Errorf("header fields did not round-trip: %+v", r)
+	}
+	if !bytes.Equal(r.Fragment, frag) {
+		t.Errorf("fragment did not round-trip")
+	}
+}
+
+func TestDTLSHandshakeRoundTrip(t *testing.T) {
+	var random [32]byte
+	for i := range random {
+		random[i] = byte(i)
+	}
+	body := BuildDTLSClientHelloBody(random, []byte{1, 2, 3})
+	raw := BuildDTLSHandshake(DTLSHandshakeClientHello, 7, body)
+	h, err := ParseDTLSHandshake(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Type != DTLSHandshakeClientHello || h.MessageSeq != 7 ||
+		h.FragmentOffset != 0 || h.FragmentLength != len(body) || h.Length != len(body) {
+		t.Errorf("handshake header did not round-trip: %+v", h)
+	}
+	if !bytes.Equal(h.Body, body) {
+		t.Errorf("handshake body did not round-trip")
+	}
+}
+
+func TestDTLSRecordsWalksChain(t *testing.T) {
+	a := BuildDTLSRecord(DTLSTypeChangeCipherSpec, VersionDTLS12, 0, 5, []byte{1})
+	b := BuildDTLSRecord(DTLSTypeHandshake, VersionDTLS12, 1, 6, bytes.Repeat([]byte{0x7f}, 40))
+	chain := append(append([]byte(nil), a...), b...)
+	recs, n, err := ParseDTLSRecords(chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(chain) || len(recs) != 2 {
+		t.Fatalf("walk consumed %d bytes into %d records, want %d bytes / 2 records", n, len(recs), len(chain))
+	}
+	if recs[0].ContentType != DTLSTypeChangeCipherSpec || recs[1].Epoch != 1 {
+		t.Errorf("records out of order: %+v", recs)
+	}
+	// The walk stops at the first non-record byte and reports partial
+	// consumption rather than an error.
+	trailing := append(append([]byte(nil), chain...), 0xff, 0xff)
+	recs, n, err = ParseDTLSRecords(trailing)
+	if err != nil || len(recs) != 2 || n != len(chain) {
+		t.Errorf("partial walk = %d records, %d bytes, %v; want 2, %d, nil", len(recs), n, err, len(chain))
+	}
+}
+
+func TestDTLSRecordRejects(t *testing.T) {
+	frag := []byte{1}
+	good := BuildDTLSRecord(DTLSTypeAlert, VersionDTLS10, 0, 1, frag)
+	cases := map[string][]byte{
+		"truncated header":   good[:DTLSRecordHeaderLen-1],
+		"truncated fragment": good[:len(good)-1],
+		"bad content type":   append([]byte{0x40}, good[1:]...),
+		"bad version":        append([]byte{good[0], 0x03, 0x03}, good[3:]...),
+		"zero length":        BuildDTLSRecord(DTLSTypeAlert, VersionDTLS10, 0, 1, nil),
+	}
+	for name, raw := range cases {
+		if _, _, err := ParseDTLSRecord(raw); err == nil {
+			t.Errorf("%s: parse accepted %x", name, raw)
+		}
+	}
+	if _, _, err := ParseDTLSRecords([]byte{0xff}); !errors.Is(err, ErrNotDTLS) && !errors.Is(err, ErrTruncated) {
+		t.Errorf("chain on junk = %v, want ErrNotDTLS or ErrTruncated", err)
+	}
+}
+
+func TestDTLSLooksLikeRecordGate(t *testing.T) {
+	good := BuildDTLSRecord(DTLSTypeHandshake, VersionDTLS12, 0, 0, []byte{1})
+	if !DTLSLooksLikeRecord(good) {
+		t.Error("rejects a valid record")
+	}
+	// RFC 7983 neighbours outside the assigned 20-23 content types.
+	for _, b0 := range []byte{19, 24, 63, 0x80} {
+		bad := append([]byte{b0}, good[1:]...)
+		if DTLSLooksLikeRecord(bad) {
+			t.Errorf("accepts content type %d", b0)
+		}
+	}
+	if DTLSLooksLikeRecord(good[:DTLSRecordHeaderLen-1]) {
+		t.Error("accepts a short header")
+	}
+}
+
+func TestDTLSHandshakeRejectsOverlongFragment(t *testing.T) {
+	raw := BuildDTLSHandshake(DTLSHandshakeFinished, 0, []byte{1, 2, 3})
+	// Declare a fragment longer than the remaining bytes.
+	raw[11] = 0xff
+	if _, err := ParseDTLSHandshake(raw); err == nil {
+		t.Error("parse accepted an overlong fragment length")
+	}
+	// Fragment range exceeding the declared message length.
+	raw2 := BuildDTLSHandshake(DTLSHandshakeFinished, 0, []byte{1, 2, 3})
+	raw2[3] = 1 // message length 1 < fragment length 3
+	if _, err := ParseDTLSHandshake(raw2); err == nil {
+		t.Error("parse accepted fragment exceeding message length")
+	}
+}

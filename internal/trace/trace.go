@@ -32,6 +32,9 @@ type CaptureConfig struct {
 	PrePost time.Duration
 	// MediaRate is forwarded to the app simulator.
 	MediaRate int
+	// DTLS makes the app simulator emit a DTLS-SRTP key-establishment
+	// handshake before the media (see appsim.CallConfig.DTLS).
+	DTLS bool
 	// Background enables the unrelated-traffic generator.
 	Background bool
 	// BackgroundBulk, when Background is set, adds approximately this
@@ -70,6 +73,7 @@ func Generate(cfg CaptureConfig) (*Capture, error) {
 		Start:     cfg.Start,
 		Duration:  cfg.CallDuration,
 		MediaRate: cfg.MediaRate,
+		DTLS:      cfg.DTLS,
 	})
 	if err != nil {
 		return nil, err
@@ -196,6 +200,8 @@ type MatrixOptions struct {
 	Start        time.Time
 	BaseSeed     uint64
 	Background   bool
+	// DTLS is forwarded to every capture config.
+	DTLS bool
 	// Apps optionally restricts the matrix; nil means all six.
 	Apps []appsim.App
 }
@@ -226,6 +232,7 @@ func Matrix(o MatrixOptions) []CaptureConfig {
 					CallDuration: o.CallDuration,
 					PrePost:      o.PrePost,
 					MediaRate:    o.MediaRate,
+					DTLS:         o.DTLS,
 					Background:   o.Background,
 				})
 				start = start.Add(spacing)

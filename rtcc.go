@@ -41,6 +41,8 @@ import (
 	"github.com/rtc-compliance/rtcc/internal/interop"
 	"github.com/rtc-compliance/rtcc/internal/metrics"
 	"github.com/rtc-compliance/rtcc/internal/pcap"
+	"github.com/rtc-compliance/rtcc/internal/proto"
+	_ "github.com/rtc-compliance/rtcc/internal/proto/protoall"
 	"github.com/rtc-compliance/rtcc/internal/report"
 	"github.com/rtc-compliance/rtcc/internal/trace"
 )
@@ -99,10 +101,29 @@ const (
 	ProtoRTP  = dpi.ProtoRTP
 	ProtoRTCP = dpi.ProtoRTCP
 	ProtoQUIC = dpi.ProtoQUIC
+	ProtoDTLS = dpi.ProtoDTLS
 )
 
 // Protocol identifies a protocol family.
 type Protocol = dpi.Protocol
+
+// ProtocolRegistry is the pluggable driver set the pipeline runs
+// against: every protocol is one registered Handler providing wire
+// probers, the five-criterion judge, and report metadata. Assign a
+// restricted registry to Options.Registry to analyze with a protocol
+// subset; nil selects the default registry with every linked driver.
+type ProtocolRegistry = proto.Registry
+
+// ProtocolMeta describes one registered protocol: name, metrics slug,
+// reporting family, column order, and wire-format fingerprint.
+type ProtocolMeta = proto.Meta
+
+// DefaultRegistry returns the registry holding every protocol driver
+// linked into the binary (importing this package links them all).
+func DefaultRegistry() *ProtocolRegistry { return proto.Default() }
+
+// Protocols enumerates the supported protocols in report order.
+func Protocols() []ProtocolMeta { return proto.Default().Metas() }
 
 // CaptureConfig parameterizes one synthetic experiment capture.
 type CaptureConfig = trace.CaptureConfig
