@@ -3,7 +3,7 @@ GO          ?= go
 FUZZTIME    ?= 5s
 COVER_FLOOR ?= 70
 
-.PHONY: all vet staticcheck build test race fuzz-smoke cover bench proto-list ci
+.PHONY: all vet staticcheck build test race fuzz-smoke cover bench proto-list trace-smoke ci
 
 all: build
 
@@ -42,13 +42,28 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzDecapsulate -fuzztime=$(FUZZTIME) ./internal/live
 
 # Per-package coverage table, plus a hard floor on the observability
-# package: internal/metrics must stay at or above $(COVER_FLOOR)%.
+# packages: internal/metrics and internal/obs must each stay at or
+# above $(COVER_FLOOR)%.
 cover:
 	$(GO) test -cover ./...
-	$(GO) test -coverprofile=coverage.out ./internal/metrics
-	@$(GO) tool cover -func=coverage.out | awk -v floor=$(COVER_FLOOR) \
-		'/^total:/ { pct = $$3+0; printf "internal/metrics coverage: %s (floor %d%%)\n", $$3, floor; \
-		 if (pct < floor) { print "coverage below floor"; exit 1 } }'
+	@for pkg in internal/metrics internal/obs; do \
+		$(GO) test -coverprofile=coverage.out ./$$pkg || exit 1; \
+		$(GO) tool cover -func=coverage.out | awk -v floor=$(COVER_FLOOR) -v pkg=$$pkg \
+			'/^total:/ { pct = $$3+0; printf "%s coverage: %s (floor %d%%)\n", pkg, $$3, floor; \
+			 if (pct < floor) { print "coverage below floor"; exit 1 } }' || exit 1; \
+	done
+
+# End-to-end trace smoke: generate a small capture, export its decision
+# trace, and validate the JSONL against the event-schema linter. The
+# -explain query must name the failing criterion for the seeded
+# non-compliant STUN message.
+trace-smoke:
+	@dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && \
+	$(GO) run ./cmd/rtcgen -out $$dir -app Zoom -network wifi-p2p -duration 5s -runs 1 >/dev/null && \
+	$(GO) run ./cmd/rtccheck -manifest $$dir/manifest.json -trace-out $$dir/trace.jsonl >/dev/null && \
+	$(GO) run ./cmd/rtctrace -in $$dir/trace.jsonl -lint && \
+	$(GO) run ./cmd/rtctrace -in $$dir/trace.jsonl -explain "Zoom" | grep -q "failed criterion" && \
+	echo "trace-smoke: export, lint, and explain OK"
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
@@ -61,4 +76,4 @@ bench:
 proto-list:
 	$(GO) run ./cmd/rtccheck -protocols
 
-ci: vet staticcheck build race fuzz-smoke cover
+ci: vet staticcheck build race fuzz-smoke cover trace-smoke

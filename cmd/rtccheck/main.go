@@ -9,6 +9,8 @@
 //	    -start 2026-07-06T12:00:00Z -end 2026-07-06T12:00:30Z
 //	rtccheck -pcap call.pcap            # call window = capture span
 //	rtccheck -manifest traces/manifest.json   # analyze a whole directory
+//	rtccheck -manifest traces/manifest.json -trace-out trace.jsonl
+//	rtccheck -pcap call.pcap -explain "Zoom//0x0c01"
 package main
 
 import (
@@ -23,14 +25,32 @@ import (
 	"time"
 
 	rtcc "github.com/rtc-compliance/rtcc"
+	"github.com/rtc-compliance/rtcc/internal/cmdutil"
 	"github.com/rtc-compliance/rtcc/internal/dpi"
 	"github.com/rtc-compliance/rtcc/internal/flow"
 	"github.com/rtc-compliance/rtcc/internal/metrics"
+	"github.com/rtc-compliance/rtcc/internal/obs"
 	"github.com/rtc-compliance/rtcc/internal/propheader"
 	"github.com/rtc-compliance/rtcc/internal/proto"
 	_ "github.com/rtc-compliance/rtcc/internal/proto/protoall"
 	"github.com/rtc-compliance/rtcc/internal/report"
 )
+
+// runConfig is the per-run configuration shared by the -pcap and
+// -manifest paths.
+type runConfig struct {
+	k, workers                           int
+	findings, verbose, inferHdr, jsonOut bool
+	reg                                  *metrics.Registry
+	tracer                               obs.Tracer
+}
+
+func (rc runConfig) options() rtcc.Options {
+	return rtcc.Options{
+		MaxOffset: rc.k, Workers: rc.workers, SkipFindings: !rc.findings,
+		KeepPayloads: rc.inferHdr, Metrics: rc.reg, Tracer: rc.tracer,
+	}
+}
 
 func main() {
 	var (
@@ -47,9 +67,16 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of text")
 		metAddr  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address during the run")
 		listProt = flag.Bool("protocols", false, "list the registered wire protocols and exit")
+		traceOut = flag.String("trace-out", "", "export the decision trace as JSONL (one event per line) to this file")
+		explain  = flag.String("explain", "", `trace the run and explain decisions matching "<app>/<stream>/<msgtype>" (each part an optional substring)`)
+		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 
+	if *version {
+		cmdutil.PrintVersion(os.Stdout, "rtccheck")
+		return
+	}
 	if *listProt {
 		printProtocols(os.Stdout)
 		return
@@ -58,22 +85,54 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rtccheck: exactly one of -pcap or -manifest is required")
 		os.Exit(2)
 	}
-	var reg *metrics.Registry
-	if *metAddr != "" {
-		reg = metrics.NewRegistry()
-		srv, err := metrics.Serve(*metAddr, reg)
+	reg, stopMetrics, err := cmdutil.ServeMetrics("rtccheck", *metAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtccheck:", err)
+		os.Exit(1)
+	}
+	defer stopMetrics()
+
+	rc := runConfig{
+		k: *kOffset, workers: *workers,
+		findings: *findings, verbose: *verbose, inferHdr: *inferHdr, jsonOut: *jsonOut,
+		reg: reg,
+	}
+	// Assemble the trace sinks: a JSONL exporter for -trace-out, an
+	// in-memory buffer for -explain; both can be active at once.
+	var sinks []obs.Tracer
+	var jsonl *obs.JSONLWriter
+	var traceFile *os.File
+	if *traceOut != "" {
+		traceFile, err = os.Create(*traceOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rtccheck:", err)
 			os.Exit(1)
 		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", srv.Addr())
+		jsonl = obs.NewJSONLWriter(traceFile)
+		sinks = append(sinks, jsonl)
 	}
-	var err error
+	var buf *obs.Buffer
+	if *explain != "" {
+		buf = obs.NewBuffer(0)
+		sinks = append(sinks, buf)
+	}
+	rc.tracer = obs.Tee(sinks...)
+
 	if *manifest != "" {
-		err = runManifest(*manifest, *kOffset, *workers, *findings, *verbose, *inferHdr, reg)
+		err = runManifest(*manifest, rc)
 	} else {
-		err = runOne(*pcapPath, *label, *startStr, *endStr, *kOffset, *workers, *findings, *verbose, *inferHdr, *jsonOut, reg)
+		err = runOne(*pcapPath, *label, *startStr, *endStr, rc)
+	}
+	if err == nil && jsonl != nil {
+		if err = jsonl.Flush(); err == nil {
+			err = traceFile.Close()
+		}
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "trace: wrote %s\n", *traceOut)
+		}
+	}
+	if err == nil && buf != nil {
+		fmt.Print(rtcc.ExplainTrace(buf.Events(), *explain))
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rtccheck:", err)
@@ -113,7 +172,7 @@ func parseTime(s string) (time.Time, error) {
 	return time.Parse(time.RFC3339, s)
 }
 
-func runOne(path, label, startStr, endStr string, k, workers int, findings, verbose, inferHdr, jsonOut bool, reg *metrics.Registry) error {
+func runOne(path, label, startStr, endStr string, rc runConfig) error {
 	start, err := parseTime(startStr)
 	if err != nil {
 		return fmt.Errorf("bad -start: %w", err)
@@ -125,21 +184,23 @@ func runOne(path, label, startStr, endStr string, k, workers int, findings, verb
 	if label == "" {
 		label = filepath.Base(path)
 	}
-	// Header inference re-reads per-stream payloads after the analysis,
-	// so it needs the streaming core to keep them.
-	ca, err := rtcc.AnalyzeFile(path, start, end, rtcc.Options{
-		MaxOffset: k, Workers: workers, SkipFindings: !findings,
-		KeepPayloads: inferHdr, Metrics: reg,
-	})
+	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
-	if jsonOut {
+	defer f.Close()
+	// Header inference re-reads per-stream payloads after the analysis,
+	// so it needs the streaming core to keep them.
+	ca, err := rtcc.AnalyzePCAP(f, label, start, end, rc.options())
+	if err != nil {
+		return err
+	}
+	if rc.jsonOut {
 		return printJSON(ca)
 	}
-	printAnalysis(ca, verbose)
-	if inferHdr {
-		printHeaderInference(ca, k)
+	printAnalysis(ca, rc.verbose)
+	if rc.inferHdr {
+		printHeaderInference(ca, rc.k)
 	}
 	return nil
 }
@@ -286,7 +347,7 @@ type manifestEntry struct {
 	CallEnd   time.Time `json:"call_end"`
 }
 
-func runManifest(path string, k, workers int, findings, verbose, inferHdr bool, reg *metrics.Registry) error {
+func runManifest(path string, rc runConfig) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -297,21 +358,38 @@ func runManifest(path string, k, workers int, findings, verbose, inferHdr bool, 
 	}
 	dir := filepath.Dir(path)
 	for _, e := range entries {
-		ca, err := rtcc.AnalyzeFile(filepath.Join(dir, e.File), e.CallStart, e.CallEnd,
-			rtcc.Options{MaxOffset: k, Workers: workers, SkipFindings: !findings,
-				KeepPayloads: inferHdr, Metrics: reg})
+		ca, err := analyzeEntry(dir, e, rc)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.File, err)
 		}
 		ca.Stats.App = e.App
 		fmt.Printf("=== %s (%s) ===\n", e.File, e.App)
-		printAnalysis(ca, verbose)
-		if inferHdr {
-			printHeaderInference(ca, k)
+		printAnalysis(ca, rc.verbose)
+		if rc.inferHdr {
+			printHeaderInference(ca, rc.k)
 		}
 		fmt.Println()
 	}
 	return nil
+}
+
+// analyzeEntry analyzes one manifest capture under a label that leads
+// with the app name (so -explain "Zoom" queries match) but stays
+// unique per entry: span IDs are hashed from the label, and a manifest
+// analyzes many captures of the same app into one trace export —
+// reusing the bare app name would collide their spans and restart
+// sequence numbers mid-file.
+func analyzeEntry(dir string, e manifestEntry, rc runConfig) (*rtcc.CaptureAnalysis, error) {
+	f, err := os.Open(filepath.Join(dir, e.File))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	label := e.File
+	if e.App != "" {
+		label = e.App + " (" + e.File + ")"
+	}
+	return rtcc.AnalyzePCAP(f, label, e.CallStart, e.CallEnd, rc.options())
 }
 
 func printAnalysis(ca *rtcc.CaptureAnalysis, verbose bool) {

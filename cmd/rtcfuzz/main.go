@@ -17,6 +17,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"github.com/rtc-compliance/rtcc/internal/cmdutil"
 	"github.com/rtc-compliance/rtcc/internal/dpi"
 	"github.com/rtc-compliance/rtcc/internal/flow"
 	"github.com/rtc-compliance/rtcc/internal/layers"
@@ -33,8 +34,13 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "mutation seed (corpus is reproducible)")
 		strategy  = flag.String("strategy", "", "comma-separated strategies (default: all)")
 		keepSeeds = flag.Bool("seeds", true, "also write the unmutated seed messages")
+		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		cmdutil.PrintVersion(os.Stdout, "rtcfuzz")
+		return
+	}
 	if *pcapPath == "" {
 		fmt.Fprintln(os.Stderr, "rtcfuzz: -pcap is required")
 		os.Exit(2)

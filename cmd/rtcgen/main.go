@@ -19,6 +19,7 @@ import (
 	"time"
 
 	rtcc "github.com/rtc-compliance/rtcc"
+	"github.com/rtc-compliance/rtcc/internal/cmdutil"
 )
 
 type manifestEntry struct {
@@ -65,8 +66,14 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "base seed")
 		background = flag.Bool("background", true, "include unrelated background traffic")
 		dtls       = flag.Bool("dtls", false, "emit a standards-compliant DTLS-SRTP handshake on the media stream")
+		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		cmdutil.PrintVersion(os.Stdout, "rtcgen")
+		return
+	}
 
 	if err := run(*outDir, *appFlag, *netFlag, *runs, *duration, *prePost, *rate, *seed, *background, *dtls); err != nil {
 		fmt.Fprintln(os.Stderr, "rtcgen:", err)

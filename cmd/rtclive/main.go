@@ -17,27 +17,13 @@ import (
 	"time"
 
 	rtcc "github.com/rtc-compliance/rtcc"
+	"github.com/rtc-compliance/rtcc/internal/cmdutil"
 	"github.com/rtc-compliance/rtcc/internal/core"
 	"github.com/rtc-compliance/rtcc/internal/dpi"
 	"github.com/rtc-compliance/rtcc/internal/live"
-	"github.com/rtc-compliance/rtcc/internal/metrics"
+	"github.com/rtc-compliance/rtcc/internal/obs"
 	"github.com/rtc-compliance/rtcc/internal/pcap"
 )
-
-// serveMetrics starts the observability endpoint when addr is non-empty
-// and returns the registry (nil when disabled) plus a shutdown func.
-func serveMetrics(addr string) (*metrics.Registry, func(), error) {
-	if addr == "" {
-		return nil, func() {}, nil
-	}
-	reg := metrics.NewRegistry()
-	srv, err := metrics.Serve(addr, reg)
-	if err != nil {
-		return nil, nil, err
-	}
-	fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", srv.Addr())
-	return reg, func() { srv.Close() }, nil
-}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -49,6 +35,8 @@ func main() {
 		err = runReplay(os.Args[2:])
 	case "collect":
 		err = runCollect(os.Args[2:])
+	case "-version", "--version", "version":
+		cmdutil.PrintVersion(os.Stdout, "rtclive")
 	default:
 		usage()
 	}
@@ -61,7 +49,8 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   rtclive replay  -pcap FILE -to HOST:PORT [-speed N] [-metrics-addr ADDR]
-  rtclive collect -listen ADDR [-out FILE] [-analyze] [-max N] [-idle DUR] [-metrics-addr ADDR]`)
+  rtclive collect -listen ADDR [-out FILE] [-analyze] [-max N] [-idle DUR] [-metrics-addr ADDR] [-trace-out FILE]
+  rtclive -version`)
 	os.Exit(2)
 }
 
@@ -75,7 +64,7 @@ func runReplay(args []string) error {
 	if *pcapPath == "" || *to == "" {
 		return fmt.Errorf("replay requires -pcap and -to")
 	}
-	_, stopMetrics, err := serveMetrics(*metAddr)
+	_, stopMetrics, err := cmdutil.ServeMetrics("rtclive", *metAddr)
 	if err != nil {
 		return err
 	}
@@ -124,9 +113,10 @@ func runCollect(args []string) error {
 	evict := fs.Duration("evict", 0, "finalize streams idle this long to bound analysis memory (0 = off)")
 	reorder := fs.Int("reorder", 256, "reorder-buffer depth for the streaming analysis")
 	metAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address")
+	traceOut := fs.String("trace-out", "", "export the analysis decision trace as JSONL to this file (requires -analyze)")
 	fs.Parse(args)
 
-	reg, stopMetrics, err := serveMetrics(*metAddr)
+	reg, stopMetrics, err := cmdutil.ServeMetrics("rtclive", *metAddr)
 	if err != nil {
 		return err
 	}
@@ -147,14 +137,28 @@ func runCollect(args []string) error {
 	// reordering on the mirror path), and nothing requires holding the
 	// whole capture — unless -out needs the frames for the pcap file.
 	var analyzer *core.Analyzer
+	var jsonl *obs.JSONLWriter
+	var traceFile *os.File
+	if *traceOut != "" && !*analyze {
+		return fmt.Errorf("-trace-out requires -analyze")
+	}
 	if *analyze {
+		opts := rtcc.Options{Workers: *workers, Metrics: reg}
+		if *traceOut != "" {
+			traceFile, err = os.Create(*traceOut)
+			if err != nil {
+				return err
+			}
+			jsonl = obs.NewJSONLWriter(traceFile)
+			opts.Tracer = jsonl
+		}
 		analyzer, err = core.NewAnalyzer(core.AnalyzerConfig{
 			Label:               "live",
 			LinkType:            pcap.LinkTypeRaw,
 			DefaultWindowToSpan: true,
 			FramesStable:        true, // each decapsulated frame is freshly allocated
 			EvictIdle:           *evict,
-		}, rtcc.Options{Workers: *workers, Metrics: reg})
+		}, opts)
 		if err != nil {
 			return err
 		}
@@ -210,11 +214,14 @@ func runCollect(args []string) error {
 	fmt.Printf("received %d frames (%d decode errors, %d dropped, %d reordered)\n",
 		received, col.DecodeErrors, col.Dropped, col.Reordered)
 	if received == 0 || analyzer == nil {
-		return nil
+		return flushTrace(jsonl, traceFile, *traceOut)
 	}
 
 	ca, err := analyzer.Close()
 	if err != nil {
+		return err
+	}
+	if err := flushTrace(jsonl, traceFile, *traceOut); err != nil {
 		return err
 	}
 	if ca.DecodeErrors > 0 {
@@ -228,5 +235,21 @@ func runCollect(args []string) error {
 	for _, fd := range ca.Findings {
 		fmt.Printf("finding: %s: %s\n", fd.Kind, fd.Detail)
 	}
+	return nil
+}
+
+// flushTrace finishes the -trace-out export; a nil writer is a no-op.
+func flushTrace(jsonl *obs.JSONLWriter, f *os.File, path string) error {
+	if jsonl == nil {
+		return nil
+	}
+	if err := jsonl.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "trace: wrote %s\n", path)
 	return nil
 }

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	rtcc "github.com/rtc-compliance/rtcc"
+	"github.com/rtc-compliance/rtcc/internal/cmdutil"
 )
 
 func main() {
@@ -32,20 +33,20 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "base seed")
 		workers  = flag.Int("workers", 0, "analysis worker count (0 = one per CPU, 1 = serial)")
 		metAddr  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address during the run")
+		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 
-	var reg *rtcc.MetricsRegistry
-	if *metAddr != "" {
-		reg = rtcc.NewMetricsRegistry()
-		srv, err := rtcc.ServeMetrics(*metAddr, reg)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "rtcreport:", err)
-			os.Exit(1)
-		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", srv.Addr())
+	if *version {
+		cmdutil.PrintVersion(os.Stdout, "rtcreport")
+		return
 	}
+	reg, stopMetrics, err := cmdutil.ServeMetrics("rtcreport", *metAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtcreport:", err)
+		os.Exit(1)
+	}
+	defer stopMetrics()
 
 	wantT, err := parseSet(*tables, 1, 6)
 	if err != nil {

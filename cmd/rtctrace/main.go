@@ -1,0 +1,74 @@
+// Command rtctrace reads a decision trace exported by `rtccheck
+// -trace-out` (or `rtclive collect -trace-out`) and answers
+// why-questions about the run offline: why a stream was filtered, why
+// a message failed compliance, which probe offsets the DPI tried.
+//
+// Usage:
+//
+//	rtctrace -in trace.jsonl                       # summary
+//	rtctrace -in trace.jsonl -explain "Zoom//0x0c01"
+//	rtctrace -in trace.jsonl -lint                 # validate the export
+//	rtccheck -pcap call.pcap -trace-out /dev/stdout | rtctrace -lint
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/rtc-compliance/rtcc/internal/cmdutil"
+	"github.com/rtc-compliance/rtcc/internal/obs"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "trace JSONL file to read (default: stdin)")
+		explain = flag.String("explain", "", `explain decisions matching "<app>/<stream>/<msgtype>" (each part an optional substring)`)
+		lint    = flag.Bool("lint", false, "validate the trace against the event schema and exit non-zero on problems")
+		version = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+
+	if *version {
+		cmdutil.PrintVersion(os.Stdout, "rtctrace")
+		return
+	}
+	if err := run(*in, *explain, *lint); err != nil {
+		fmt.Fprintln(os.Stderr, "rtctrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, explain string, lint bool) error {
+	var r io.Reader = os.Stdin
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	events, err := obs.ReadJSONL(r)
+	if err != nil {
+		return err
+	}
+	if lint {
+		problems := obs.Lint(events)
+		if len(problems) == 0 {
+			fmt.Printf("ok: %d events, no problems\n", len(events))
+			return nil
+		}
+		for _, p := range problems {
+			fmt.Println(p)
+		}
+		return fmt.Errorf("%d problems", len(problems))
+	}
+	if explain != "" {
+		fmt.Print(obs.Explain(events, obs.ParseQuery(explain)))
+		return nil
+	}
+	fmt.Print(obs.Summary(events))
+	return nil
+}

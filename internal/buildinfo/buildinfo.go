@@ -1,0 +1,89 @@
+// Package buildinfo surfaces the binary's build identity — module
+// version, VCS revision, and Go toolchain — from the information the
+// linker embeds (runtime/debug.ReadBuildInfo). Exported traces and
+// metrics carry it so measurement artifacts are attributable to the
+// exact commit that produced them.
+package buildinfo
+
+import (
+	"fmt"
+	"io"
+	"runtime/debug"
+)
+
+// Info is the build identity of the running binary. Fields are empty
+// when the binary was built without the corresponding metadata (e.g.
+// `go run` outside a VCS checkout).
+type Info struct {
+	// Version is the main module version ("(devel)" for local builds).
+	Version string
+	// Revision is the VCS commit hash, with "+dirty" appended when the
+	// working tree had uncommitted changes.
+	Revision string
+	// Time is the commit timestamp (RFC 3339).
+	Time string
+	// Go is the toolchain version the binary was built with.
+	Go string
+}
+
+// read is swappable for tests.
+var read = debug.ReadBuildInfo
+
+// Get assembles the build identity from the embedded build info.
+func Get() Info {
+	bi, ok := read()
+	if !ok {
+		return Info{}
+	}
+	info := Info{Version: bi.Main.Version, Go: bi.GoVersion}
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.time":
+			info.Time = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if dirty && info.Revision != "" {
+		info.Revision += "+dirty"
+	}
+	return info
+}
+
+// Map renders the identity as a string map, the shape published as the
+// build_info expvar.
+func (i Info) Map() map[string]string {
+	return map[string]string{
+		"version":  i.Version,
+		"revision": i.Revision,
+		"time":     i.Time,
+		"go":       i.Go,
+	}
+}
+
+// String renders the identity on one line, e.g.
+// "(devel) rev 1a2b3c4d (2026-08-06T10:00:00Z) go1.24.1".
+func (i Info) String() string {
+	s := i.Version
+	if s == "" {
+		s = "unknown"
+	}
+	if i.Revision != "" {
+		s += " rev " + i.Revision
+	}
+	if i.Time != "" {
+		s += " (" + i.Time + ")"
+	}
+	if i.Go != "" {
+		s += " " + i.Go
+	}
+	return s
+}
+
+// Print writes the standard -version output for a binary.
+func Print(w io.Writer, binary string) {
+	fmt.Fprintf(w, "%s %s\n", binary, Get())
+}

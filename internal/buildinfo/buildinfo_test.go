@@ -1,0 +1,78 @@
+package buildinfo
+
+import (
+	"bytes"
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+// withBuildInfo swaps the ReadBuildInfo source for one test.
+func withBuildInfo(t *testing.T, bi *debug.BuildInfo, ok bool) {
+	t.Helper()
+	orig := read
+	read = func() (*debug.BuildInfo, bool) { return bi, ok }
+	t.Cleanup(func() { read = orig })
+}
+
+func fakeInfo() *debug.BuildInfo {
+	return &debug.BuildInfo{
+		GoVersion: "go1.24.0",
+		Main:      debug.Module{Version: "v1.2.3"},
+		Settings: []debug.BuildSetting{
+			{Key: "vcs.revision", Value: "abc123"},
+			{Key: "vcs.time", Value: "2026-08-06T10:00:00Z"},
+			{Key: "vcs.modified", Value: "false"},
+		},
+	}
+}
+
+func TestGet(t *testing.T) {
+	withBuildInfo(t, fakeInfo(), true)
+	got := Get()
+	want := Info{Version: "v1.2.3", Revision: "abc123", Time: "2026-08-06T10:00:00Z", Go: "go1.24.0"}
+	if got != want {
+		t.Errorf("Get() = %+v, want %+v", got, want)
+	}
+}
+
+func TestGetDirty(t *testing.T) {
+	bi := fakeInfo()
+	bi.Settings[2].Value = "true"
+	withBuildInfo(t, bi, true)
+	if got := Get().Revision; got != "abc123+dirty" {
+		t.Errorf("dirty revision = %q, want abc123+dirty", got)
+	}
+}
+
+func TestGetUnavailable(t *testing.T) {
+	withBuildInfo(t, nil, false)
+	if got := Get(); got != (Info{}) {
+		t.Errorf("Get() without build info = %+v, want zero", got)
+	}
+	if s := (Info{}).String(); s != "unknown" {
+		t.Errorf("zero Info String() = %q, want unknown", s)
+	}
+}
+
+func TestStringAndMap(t *testing.T) {
+	i := Info{Version: "v1.2.3", Revision: "abc123", Time: "2026-08-06T10:00:00Z", Go: "go1.24.0"}
+	if got := i.String(); got != "v1.2.3 rev abc123 (2026-08-06T10:00:00Z) go1.24.0" {
+		t.Errorf("String() = %q", got)
+	}
+	m := i.Map()
+	for k, want := range map[string]string{"version": "v1.2.3", "revision": "abc123", "time": "2026-08-06T10:00:00Z", "go": "go1.24.0"} {
+		if m[k] != want {
+			t.Errorf("Map()[%q] = %q, want %q", k, m[k], want)
+		}
+	}
+}
+
+func TestPrint(t *testing.T) {
+	withBuildInfo(t, fakeInfo(), true)
+	var b bytes.Buffer
+	Print(&b, "rtccheck")
+	if got := b.String(); !strings.HasPrefix(got, "rtccheck v1.2.3") || !strings.HasSuffix(got, "\n") {
+		t.Errorf("Print output = %q", got)
+	}
+}

@@ -1,0 +1,63 @@
+// Package cmdutil holds the small pieces shared by every cmd/ binary:
+// the -version output and the metrics endpoint lifecycle with a
+// graceful signal path.
+package cmdutil
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"github.com/rtc-compliance/rtcc/internal/buildinfo"
+	"github.com/rtc-compliance/rtcc/internal/metrics"
+)
+
+// PrintVersion writes the binary's build identity — the output of the
+// -version flag every binary carries, matching the build_info expvar
+// the metrics server publishes.
+func PrintVersion(w io.Writer, binary string) {
+	buildinfo.Print(w, binary)
+}
+
+// ServeMetrics starts the observability endpoint when addr is
+// non-empty, returning the registry (nil when disabled) and a stop
+// function for the normal exit path. While the server runs, SIGINT and
+// SIGTERM drain it gracefully (Server.Shutdown with its default
+// deadline) before the process exits with the conventional 128+signal
+// status, so an in-flight scrape or pprof download is not cut off
+// mid-body.
+func ServeMetrics(binary, addr string) (*metrics.Registry, func(), error) {
+	if addr == "" {
+		return nil, func() {}, nil
+	}
+	reg := metrics.NewRegistry()
+	srv, err := metrics.Serve(addr, reg)
+	if err != nil {
+		return nil, nil, err
+	}
+	fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", srv.Addr())
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig, ok := <-sigc
+		if !ok {
+			return // stop() ran: the normal exit path owns the server now
+		}
+		fmt.Fprintf(os.Stderr, "%s: %v: draining metrics server\n", binary, sig)
+		srv.Shutdown(context.Background()) //nolint:errcheck // falls back to hard close internally
+		code := 130                        // 128 + SIGINT
+		if sig == syscall.SIGTERM {
+			code = 143
+		}
+		os.Exit(code)
+	}()
+	stop := func() {
+		signal.Stop(sigc)
+		close(sigc)
+		srv.Shutdown(context.Background()) //nolint:errcheck // falls back to hard close internally
+	}
+	return reg, stop, nil
+}

@@ -56,6 +56,9 @@ type Checked = proto.Checked
 
 // Session holds per-stream state for criterion 5. Create one per
 // transport stream and feed it messages in capture order via Check.
+// Its Trace hook, when set, observes every judged message with its
+// verdicts — the decision-trace layer attaches per-stream reason
+// reporting there.
 type Session = proto.Session
 
 // Checker holds call-scoped state shared across all streams of one

@@ -12,6 +12,7 @@ import (
 	"github.com/rtc-compliance/rtcc/internal/filterpipe"
 	"github.com/rtc-compliance/rtcc/internal/flow"
 	"github.com/rtc-compliance/rtcc/internal/layers"
+	"github.com/rtc-compliance/rtcc/internal/obs"
 	"github.com/rtc-compliance/rtcc/internal/pcap"
 	"github.com/rtc-compliance/rtcc/internal/report"
 	"github.com/rtc-compliance/rtcc/internal/tlsinspect"
@@ -72,6 +73,10 @@ type streamState struct {
 	// chunked finalizations (eviction mode).
 	session *compliance.Session
 	partial *streamPartial
+	// span is the stream's decision-trace span (nil when tracing is
+	// off); it buffers events until the analyzer flushes it at a
+	// deterministic point.
+	span *obs.Span
 	// elem is the stream's recency-list position; nil while evicted.
 	elem *list.Element
 }
@@ -115,6 +120,11 @@ type Analyzer struct {
 	// Packet removes the per-frame layer allocations.
 	pkt layers.Packet
 
+	// trace is the capture's decision-trace context (nil when
+	// Options.Tracer is nil). All emission happens from Feed or the
+	// deterministic parts of Close, never from worker goroutines.
+	trace *obs.Pipeline
+
 	cm captureMetrics
 	am analyzerMetrics
 }
@@ -138,6 +148,7 @@ func NewAnalyzer(cfg AnalyzerConfig, opts Options) (*Analyzer, error) {
 		engine:       opts.engine(),
 		blocklist:    fcfg.Blocklist(),
 		preCallPairs: make(map[[2]netip.Addr]bool),
+		trace:        obs.New(opts.Tracer, cfg.Label, opts.TraceSampling, opts.Metrics),
 		am:           newAnalyzerMetrics(opts.Metrics, cfg.Label),
 	}
 	a.windowKnown = !(cfg.DefaultWindowToSpan && cfg.CallStart.IsZero())
@@ -226,6 +237,10 @@ func (a *Analyzer) Feed(ts time.Time, frame []byte) error {
 	if proto == layers.IPProtocolUDP && !st.removed {
 		if st.insp == nil {
 			st.insp = a.engine.NewStreamInspector()
+			if a.trace != nil {
+				st.span = a.trace.StreamSpan(key.String())
+				st.insp.SetSpan(st.span)
+			}
 		}
 		st.insp.Feed(pkt.Payload)
 	}
@@ -289,6 +304,9 @@ func (a *Analyzer) evictIdle(now time.Time) {
 		next := e.Next()
 		a.recency.Remove(e)
 		st.elem = nil
+		if a.trace != nil {
+			a.trace.StreamEvicted(st.s.Key.String())
+		}
 		a.finalizeChunk(st)
 		a.streamLive(-1)
 		a.am.evicted.Inc()
@@ -303,7 +321,7 @@ func (a *Analyzer) finalizeChunk(st *streamState) {
 	s := st.s
 	if s.Key.Proto == layers.IPProtocolUDP && !st.removed && st.insp != nil && st.insp.Pending() > 0 {
 		if st.partial == nil {
-			st.partial = newStreamPartial()
+			st.partial = newStreamPartial(st.span)
 			checker := compliance.NewCheckerWith(a.opts.Registry)
 			checker.SetMetrics(a.opts.Metrics)
 			st.session = checker.NewSession()
@@ -311,6 +329,9 @@ func (a *Analyzer) finalizeChunk(st *streamState) {
 		recs := s.Packets
 		results := st.insp.Finalize()
 		st.partial.consume(recs, results, st.session, a.opts.SkipFindings)
+		// Eviction happens during the single-goroutine Feed, so flushing
+		// here is a deterministic export point for the chunk's events.
+		st.span.Flush()
 	}
 	if !a.cfg.KeepPayloads {
 		s.Packets = nil
@@ -349,6 +370,7 @@ func (a *Analyzer) Close() (*CaptureAnalysis, error) {
 		WindowSlack:  a.opts.WindowSlack,
 		SNIBlocklist: a.opts.SNIBlocklist,
 		Metrics:      a.opts.Metrics,
+		Trace:        a.trace,
 	}, func(s *flow.Stream) (string, bool) {
 		st := a.states[s.Key]
 		if st == nil {
@@ -379,8 +401,13 @@ func (a *Analyzer) Close() (*CaptureAnalysis, error) {
 		}
 		if st.insp != nil || st.partial != nil {
 			a.am.reclassified.Inc()
+			if a.trace != nil {
+				rm := fres.Removed[s.Key]
+				a.trace.StreamReclassified(s.Key.String(), rm.Stage, string(rm.Rule))
+			}
 			st.insp = nil
 			st.partial = nil
+			st.span = nil
 		}
 		if !a.cfg.KeepPayloads {
 			s.Packets = nil
@@ -412,11 +439,21 @@ func (a *Analyzer) Close() (*CaptureAnalysis, error) {
 			ca.RTPSSRCs[ssrc] = true
 		}
 		fctx.merge(&p.fctx)
+		// The workers above only buffered; the fold is the deterministic
+		// export point for the final chunk of every stream's trace.
+		p.span.Flush()
 	}
 	if !a.opts.SkipFindings {
 		ca.Findings = fctx.findings()
 	}
 	cm.foldSeconds.ObserveSince(foldStart)
+
+	if a.trace != nil {
+		for _, f := range ca.Findings {
+			a.trace.FindingEmitted(f.Kind, f.Detail)
+		}
+		a.trace.CaptureEnd(fmt.Sprintf("%d frames, %d decode errors", a.frames, a.decodeErrs))
+	}
 
 	a.active = 0
 	a.am.active.Set(0)
@@ -430,8 +467,8 @@ func (a *Analyzer) Close() (*CaptureAnalysis, error) {
 func (a *Analyzer) finishStream(s *flow.Stream) *streamPartial {
 	st := a.states[s.Key]
 	if st.partial == nil {
-		st.partial = newStreamPartial()
-		checker := compliance.NewChecker()
+		st.partial = newStreamPartial(st.span)
+		checker := compliance.NewCheckerWith(a.opts.Registry)
 		checker.SetMetrics(a.opts.Metrics)
 		st.session = checker.NewSession()
 	}

@@ -18,6 +18,7 @@ import (
 	"github.com/rtc-compliance/rtcc/internal/flow"
 	"github.com/rtc-compliance/rtcc/internal/layers"
 	"github.com/rtc-compliance/rtcc/internal/metrics"
+	"github.com/rtc-compliance/rtcc/internal/obs"
 	"github.com/rtc-compliance/rtcc/internal/pcap"
 	"github.com/rtc-compliance/rtcc/internal/proto"
 	"github.com/rtc-compliance/rtcc/internal/report"
@@ -64,6 +65,21 @@ type Options struct {
 	// against. Nil selects the default registry (every driver linked
 	// into the binary).
 	Registry *proto.Registry
+	// Tracer, when non-nil, receives the capture's decision trace:
+	// per-stream filter verdicts, Algorithm 1 probe steps, datagram
+	// classifications, five-criterion compliance verdicts, lifecycle
+	// events, and findings (see internal/obs). Nil (the default)
+	// disables tracing at zero hot-path cost, exactly like Metrics,
+	// and tracing never changes analysis output. Trace emission
+	// happens only at deterministic pipeline points, so the event
+	// stream is byte-identical for every worker count. RunMatrix does
+	// not trace (its captures are analyzed concurrently and would
+	// interleave on one sink); trace single captures.
+	Tracer obs.Tracer
+	// TraceSampling bounds each stream span's event retention (zero
+	// selects the defaults; see obs.Sampling). Failing verdicts always
+	// bypass sampling.
+	TraceSampling obs.Sampling
 }
 
 func (o Options) engine() *dpi.Engine {
@@ -220,12 +236,22 @@ type streamPartial struct {
 	stats *report.AppStats
 	fctx  findingsContext
 	ssrcs map[uint32]bool
+
+	// span receives the stream's verdict trace (nil when tracing is
+	// off). dgramBase numbers datagrams cumulatively across chunked
+	// finalizations; curDgram and curPayload hand the Session.Trace
+	// hook its datagram context while consume iterates.
+	span       *obs.Span
+	dgramBase  int
+	curDgram   int
+	curPayload []byte
 }
 
-func newStreamPartial() *streamPartial {
+func newStreamPartial(span *obs.Span) *streamPartial {
 	return &streamPartial{
 		stats: report.NewAppStats(""),
 		ssrcs: make(map[uint32]bool),
+		span:  span,
 	}
 }
 
@@ -237,21 +263,47 @@ func newStreamPartial() *streamPartial {
 func (p *streamPartial) consume(recs []flow.Packet, results []dpi.Result, session *compliance.Session, skipFindings bool) {
 	reg := session.Checker().Registry()
 	p.fctx.reg = reg
-	var obs proto.Observation
+	if p.span != nil && session.Trace == nil {
+		session.Trace = p.traceVerdict
+	}
+	var o proto.Observation
 	for i, r := range results {
+		p.curDgram = p.dgramBase + i + 1
+		p.curPayload = recs[i].Payload
 		p.stats.AddDatagram(r.Class)
 		for _, m := range r.Messages {
 			for _, c := range session.Check(m, recs[i].Timestamp) {
 				p.stats.AddChecked(c)
 			}
-			reg.Observe(m, &obs)
-			if obs.HasSSRC {
-				p.ssrcs[obs.SSRC] = true
+			reg.Observe(m, &o)
+			if o.HasSSRC {
+				p.ssrcs[o.SSRC] = true
 			}
 		}
 	}
+	p.dgramBase += len(results)
+	p.curPayload = nil
 	if !skipFindings {
 		p.fctx.scanStream(recs, results)
+	}
+}
+
+// traceVerdict is the Session.Trace hook: it forwards every judged
+// message's verdicts to the stream span with the datagram context the
+// consume loop maintains, including the message's own bytes so a
+// failing criterion can be shown against the wire data.
+func (p *streamPartial) traceVerdict(m proto.Message, ts time.Time, out []proto.Checked) {
+	name := m.Protocol.String()
+	if meta, ok := p.fctx.reg.Meta(m.Protocol); ok {
+		name = meta.Name
+	}
+	var window []byte
+	if end := m.Offset + m.Length; m.Offset >= 0 && end <= len(p.curPayload) {
+		window = p.curPayload[m.Offset:end]
+	}
+	for _, c := range out {
+		p.span.Verdict(p.curDgram, ts, name, c.Type.Label,
+			int(c.Verdict.Failed), c.Verdict.Reason, m.Offset, window)
 	}
 }
 
@@ -264,7 +316,7 @@ func analyzeStream(s *flow.Stream, opts Options) *streamPartial {
 	engine := opts.engine()
 	checker := compliance.NewCheckerWith(opts.Registry)
 	checker.SetMetrics(opts.Metrics)
-	p := newStreamPartial()
+	p := newStreamPartial(nil)
 	payloads := make([][]byte, len(s.Packets))
 	for i, pkt := range s.Packets {
 		payloads[i] = pkt.Payload
@@ -427,6 +479,10 @@ func RunMatrix(mopts trace.MatrixOptions, opts Options) (*MatrixAnalysis, error)
 	if workers > 1 {
 		capOpts.Workers = 1
 	}
+	// Matrix captures are analyzed concurrently; their event streams
+	// would interleave nondeterministically on one sink, so the matrix
+	// never traces. Analyze a single capture to trace it.
+	capOpts.Tracer = nil
 	mm := newMatrixMetrics(opts.Metrics)
 	mm.workers.Set(int64(workers))
 	analyses := make([]*CaptureAnalysis, len(configs))

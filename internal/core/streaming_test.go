@@ -3,8 +3,8 @@ package core
 import (
 	"bytes"
 	"fmt"
-	"reflect"
 	"io"
+	"reflect"
 	"testing"
 	"time"
 

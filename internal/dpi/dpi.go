@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"github.com/rtc-compliance/rtcc/internal/metrics"
+	"github.com/rtc-compliance/rtcc/internal/obs"
 	"github.com/rtc-compliance/rtcc/internal/proto"
 )
 
@@ -84,6 +85,13 @@ type Result struct {
 type StreamContext struct {
 	// State is the protocol drivers' per-stream validation state.
 	State proto.StreamState
+
+	// Span, when non-nil, receives the stream's decision trace: one
+	// probe event per Algorithm 1 step (match or one-byte shift) and
+	// one extraction event per datagram. Nil (the default) keeps the
+	// probe loop allocation-free — a single pointer test per datagram
+	// plus one branch per step.
+	Span *obs.Span
 
 	// maxMsgOffset is the deepest offset a validated message has been
 	// found at on this stream; msgCount counts validated messages.
@@ -158,6 +166,10 @@ func (e *Engine) Inspect(payload []byte, ctx *StreamContext) Result {
 		ctx = NewStreamContext()
 	}
 	reg := e.registry()
+	tracing := ctx.Span != nil
+	if tracing {
+		ctx.Span.BeginDatagram()
+	}
 	var msgs []Message
 	limit := e.MaxOffset
 	if limit <= 0 {
@@ -178,8 +190,18 @@ func (e *Engine) Inspect(payload []byte, ctx *StreamContext) Result {
 		ctx.shiftAttempts++
 		m, ok := e.matchAt(reg, payload, i, &ctx.State)
 		if !ok {
+			if tracing {
+				ctx.Span.Probe(i, payload[i], "", obs.OutcomeShift)
+			}
 			i++
 			continue
+		}
+		if tracing {
+			name := ""
+			if meta, ok := reg.Meta(m.Protocol); ok {
+				name = meta.Name
+			}
+			ctx.Span.Probe(i, payload[i], name, obs.OutcomeMatch)
 		}
 		// A driver's Accept hook post-processes the accepted message
 		// against its full datagram (the RTP driver truncates at a
@@ -203,6 +225,9 @@ func (e *Engine) Inspect(payload []byte, ctx *StreamContext) Result {
 	default:
 		res.Class = ClassProprietaryHeader
 		res.ProprietaryHeader = payload[:msgs[0].Offset]
+	}
+	if tracing {
+		ctx.Span.Extraction(res.Class.String(), len(msgs))
 	}
 	return res
 }

@@ -1,6 +1,7 @@
 package dpi
 
 import (
+	"github.com/rtc-compliance/rtcc/internal/obs"
 	"github.com/rtc-compliance/rtcc/internal/proto"
 )
 
@@ -50,7 +51,15 @@ type StreamInspector struct {
 	// drainedAttempts tracks how many shift attempts have already been
 	// recorded, so chunked Finalize calls add only the delta.
 	drainedAttempts int
+	// span, when non-nil, receives the stream's decision trace during
+	// pass 2 (pass 1 only tallies evidence and produces no decisions).
+	span *obs.Span
 }
+
+// SetSpan attaches a decision-trace span; pass 2 of every subsequent
+// Finalize emits probe and extraction events into it. A nil span (the
+// default) keeps inspection trace-free.
+func (si *StreamInspector) SetSpan(sp *obs.Span) { si.span = sp }
 
 // NewStreamInspector returns an inspector with empty per-stream state.
 func (e *Engine) NewStreamInspector() *StreamInspector {
@@ -108,6 +117,7 @@ func (si *StreamInspector) Finalize() []Result {
 	if si.ctx == nil {
 		si.ctx = NewStreamContext()
 	}
+	si.ctx.Span = si.span
 	si.ctx.State.ValidatedSSRC = si.scan.ValidatedSSRC
 	out := make([]Result, 0, len(si.payloads))
 	for _, p := range si.payloads {

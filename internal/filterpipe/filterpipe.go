@@ -18,6 +18,7 @@ import (
 	"github.com/rtc-compliance/rtcc/internal/flow"
 	"github.com/rtc-compliance/rtcc/internal/layers"
 	"github.com/rtc-compliance/rtcc/internal/metrics"
+	"github.com/rtc-compliance/rtcc/internal/obs"
 	"github.com/rtc-compliance/rtcc/internal/tlsinspect"
 )
 
@@ -88,6 +89,11 @@ type Config struct {
 	// survivors. Recording happens once per run from the already
 	// computed Result, so it costs nothing per packet.
 	Metrics *metrics.Registry
+	// Trace, when non-nil, receives per-stream filter decisions
+	// (admitted / filtered with stage and rule). Like Metrics, the
+	// events are emitted once per run from the computed Result, in
+	// deterministic stream order.
+	Trace *obs.Pipeline
 }
 
 // Slack returns the effective window slack.
@@ -175,7 +181,24 @@ func RunWithSNI(table *flow.Table, cfg Config, sni func(*flow.Stream) (string, b
 	tally(&res.RTCUDP, &res.RTCTCP, res.RTC)
 	res.RemovedStreams = append(stage1, stage2...)
 	record(cfg.Metrics, res)
+	emitTrace(cfg.Trace, res)
 	return res
+}
+
+// emitTrace emits the per-stream filter verdicts of a completed run:
+// admissions in survivor order, then removals in stage order — the
+// same deterministic order Result records them in.
+func emitTrace(p *obs.Pipeline, res *Result) {
+	if p == nil {
+		return
+	}
+	for _, s := range res.RTC {
+		p.StreamAdmitted(s.Key.String())
+	}
+	for _, s := range res.RemovedStreams {
+		rm := res.Removed[s.Key]
+		p.StreamFiltered(s.Key.String(), rm.Stage, string(rm.Rule), rm.Detail)
+	}
 }
 
 // ruleSlug maps a filtering rule to its metric label value.

@@ -1,0 +1,76 @@
+package filterpipe
+
+import (
+	"testing"
+	"time"
+
+	"github.com/rtc-compliance/rtcc/internal/appsim"
+	"github.com/rtc-compliance/rtcc/internal/obs"
+	"github.com/rtc-compliance/rtcc/internal/trace"
+)
+
+// TestTraceEmission checks that a traced filter run emits one
+// stream-admitted event per surviving stream and one stream-filtered
+// event (naming its stage and rule) per removal, in Result order.
+func TestTraceEmission(t *testing.T) {
+	cap, err := trace.Generate(trace.CaptureConfig{
+		App: appsim.GoogleMeet, Network: appsim.WiFiP2P, Seed: 9,
+		Start: t0, CallDuration: 8 * time.Second, PrePost: 12 * time.Second,
+		MediaRate: 15, Background: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := buildTable(t, cap)
+	buf := obs.NewBuffer(0)
+	p := obs.New(buf, "Google Meet", obs.Sampling{}, nil)
+	res := Run(table, Config{CallStart: cap.CallStart, CallEnd: cap.CallEnd, Trace: p})
+
+	var admitted, filtered []obs.Event
+	for _, ev := range buf.Events() {
+		switch ev.Kind {
+		case obs.KindStreamAdmitted:
+			admitted = append(admitted, ev)
+		case obs.KindStreamFiltered:
+			filtered = append(filtered, ev)
+		}
+	}
+	if len(admitted) != len(res.RTC) {
+		t.Fatalf("admitted events = %d, want %d (one per RTC stream)", len(admitted), len(res.RTC))
+	}
+	for i, s := range res.RTC {
+		if admitted[i].Stream != s.Key.String() {
+			t.Errorf("admitted[%d] = %q, want %q (Result order)", i, admitted[i].Stream, s.Key)
+		}
+	}
+	if len(filtered) != len(res.RemovedStreams) {
+		t.Fatalf("filtered events = %d, want %d (one per removal)", len(filtered), len(res.RemovedStreams))
+	}
+	for i, s := range res.RemovedStreams {
+		ev := filtered[i]
+		if ev.Stream != s.Key.String() {
+			t.Errorf("filtered[%d] = %q, want %q", i, ev.Stream, s.Key)
+		}
+		rm := res.Removed[s.Key]
+		if ev.Rule != string(rm.Rule) || ev.Stage != rm.Stage {
+			t.Errorf("filtered[%d] rule/stage = %q/%d, want %q/%d", i, ev.Rule, ev.Stage, rm.Rule, rm.Stage)
+		}
+	}
+	if problems := obs.Lint(buf.Events()); len(problems) > 0 {
+		t.Errorf("lint problems: %v", problems)
+	}
+}
+
+// TestTraceDoesNotChangeFiltering pins zero interference at the filter
+// layer: a traced run partitions streams exactly like an untraced one.
+func TestTraceDoesNotChangeFiltering(t *testing.T) {
+	cap, table, plain := generate(t, appsim.WhatsApp, appsim.WiFiRelay)
+	traced := Run(table, Config{
+		CallStart: cap.CallStart, CallEnd: cap.CallEnd,
+		Trace: obs.New(obs.NewBuffer(0), "WhatsApp", obs.Sampling{}, nil),
+	})
+	if len(traced.RTC) != len(plain.RTC) || len(traced.Removed) != len(plain.Removed) {
+		t.Fatalf("tracing changed filtering: RTC %d vs %d, removed %d vs %d",
+			len(traced.RTC), len(plain.RTC), len(traced.Removed), len(plain.Removed))
+	}
+}

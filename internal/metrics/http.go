@@ -1,11 +1,15 @@
 package metrics
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
+
+	"github.com/rtc-compliance/rtcc/internal/buildinfo"
 )
 
 // Handler returns an http.Handler exposing the observability surface:
@@ -37,21 +41,64 @@ type Server struct {
 }
 
 // Serve binds addr (host:port; port 0 for ephemeral), publishes the
-// registry to expvar under "rtcc", and serves Handler(r) in a
-// background goroutine until Close.
+// registry to expvar under "rtcc" and the binary's build identity
+// under "build_info", and serves Handler(r) in a background goroutine
+// until Close or Shutdown.
 func Serve(addr string, r *Registry) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("metrics: %w", err)
 	}
 	r.PublishExpvar("rtcc")
+	publishBuildInfo()
 	s := &Server{srv: &http.Server{Handler: Handler(r)}, ln: ln}
 	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Close
 	return s, nil
 }
 
+// publishBuildInfo exposes the build identity as the build_info expvar
+// so scrapes are attributable to a commit. Idempotent, matching
+// PublishExpvar: a second Serve in one process reuses the first var.
+func publishBuildInfo() {
+	if expvar.Get("build_info") != nil {
+		return
+	}
+	m := buildinfo.Get().Map()
+	v := new(expvar.Map).Init()
+	for k, val := range m {
+		s := new(expvar.String)
+		s.Set(val)
+		v.Set(k, s)
+	}
+	expvar.Publish("build_info", v)
+}
+
 // Addr reports the bound address (useful with port 0).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server.
+// Close stops the server immediately, dropping in-flight scrapes.
+// Prefer Shutdown on signal paths.
 func (s *Server) Close() error { return s.srv.Close() }
+
+// DefaultShutdownTimeout bounds a graceful Shutdown initiated from a
+// signal handler.
+const DefaultShutdownTimeout = 3 * time.Second
+
+// Shutdown stops accepting new connections and waits for in-flight
+// scrapes (a slow /metrics poll, a pprof profile download) to finish,
+// up to the context deadline; connections still open then are closed
+// hard. A context without a deadline is given DefaultShutdownTimeout.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, DefaultShutdownTimeout)
+		defer cancel()
+	}
+	if err := s.srv.Shutdown(ctx); err != nil {
+		// Deadline hit with connections still active: fall back to the
+		// hard close so the process can exit.
+		s.srv.Close()
+		return err
+	}
+	return nil
+}

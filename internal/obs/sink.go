@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/rtc-compliance/rtcc/internal/metrics"
+)
+
+// countingTracer wraps a sink and counts emitted events per kind as
+// trace_events_total{kind=...} in the metrics registry. Counters are
+// resolved once up front so emission stays map-lookup-free.
+type countingTracer struct {
+	tr     Tracer
+	counts map[Kind]*metrics.Counter
+}
+
+func (c *countingTracer) Emit(ev Event) {
+	c.counts[ev.Kind].Inc() // nil counter (unknown kind) no-ops
+	c.tr.Emit(ev)
+}
+
+// tracerWithCounts attaches per-kind event counters to tr; with a nil
+// registry the sink is returned unwrapped.
+func tracerWithCounts(tr Tracer, reg *metrics.Registry) Tracer {
+	if reg == nil {
+		return tr
+	}
+	counts := make(map[Kind]*metrics.Counter, len(Kinds))
+	for _, k := range Kinds {
+		counts[k] = reg.Counter("trace_events_total", metrics.L("kind", string(k)))
+	}
+	return &countingTracer{tr: tr, counts: counts}
+}
+
+// Buffer is an in-memory Tracer: a bounded ring of the most recent
+// events, safe for concurrent use. It backs rtccheck -explain, which
+// replays the buffered chain after analysis. MaxEvents bounds memory;
+// beyond it the oldest events are discarded (Dropped reports how
+// many). The zero value with NewBuffer's default cap suits one
+// capture.
+type Buffer struct {
+	mu      sync.Mutex
+	max     int
+	events  []Event
+	start   int // ring start when full
+	dropped int
+}
+
+// DefaultBufferCap bounds an explain buffer: enough for every stream
+// of a matrix capture at default sampling.
+const DefaultBufferCap = 1 << 16
+
+// NewBuffer builds a Buffer holding at most max events (<=0 selects
+// DefaultBufferCap).
+func NewBuffer(max int) *Buffer {
+	if max <= 0 {
+		max = DefaultBufferCap
+	}
+	return &Buffer{max: max}
+}
+
+// Emit implements Tracer.
+func (b *Buffer) Emit(ev Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.events) < b.max {
+		b.events = append(b.events, ev)
+		return
+	}
+	b.events[b.start] = ev
+	b.start = (b.start + 1) % b.max
+	b.dropped++
+}
+
+// Events returns a copy of the buffered events, oldest first.
+func (b *Buffer) Events() []Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Event, 0, len(b.events))
+	out = append(out, b.events[b.start:]...)
+	out = append(out, b.events[:b.start]...)
+	return out
+}
+
+// Dropped reports how many events the cap discarded.
+func (b *Buffer) Dropped() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
+// JSONLWriter is a Tracer exporting one JSON object per line, the
+// -trace-out wire format. Writes are buffered; call Flush before the
+// underlying writer is closed. Safe for concurrent use.
+type JSONLWriter struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	err error
+}
+
+// NewJSONLWriter wraps w as a JSONL trace exporter.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{w: bufio.NewWriter(w)}
+}
+
+// Emit implements Tracer. Encoding errors are sticky and surfaced by
+// Flush.
+func (j *JSONLWriter) Emit(ev Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		j.err = err
+		return
+	}
+	if _, err := j.w.Write(b); err != nil {
+		j.err = err
+		return
+	}
+	j.err = j.w.WriteByte('\n')
+}
+
+// Flush drains the buffer and reports the first error encountered.
+func (j *JSONLWriter) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	return j.w.Flush()
+}
+
+// Tee fans one event stream out to several sinks (e.g. -trace-out and
+// -explain together). Nil sinks are skipped.
+func Tee(sinks ...Tracer) Tracer {
+	var live []Tracer
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return teeTracer(live)
+}
+
+type teeTracer []Tracer
+
+func (t teeTracer) Emit(ev Event) {
+	for _, s := range t {
+		s.Emit(ev)
+	}
+}
+
+// ReadJSONL decodes an exported trace. Decoding is strict — unknown
+// fields are schema violations — so rtctrace -lint doubles as a wire
+// schema check. Errors carry the 1-based line number.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var events []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		var ev Event
+		if err := dec.Decode(&ev); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("line %d: %w", line, err)
+	}
+	return events, nil
+}

@@ -114,6 +114,13 @@ func (c *Checker) SetSlot(id ID, v any) { c.slots[id] = v }
 // tracking, SRTCP index monotonicity, QUIC connection IDs, DTLS
 // handshake progress) in per-ID slots.
 type Session struct {
+	// Trace, when non-nil, observes every Check call with the judged
+	// message and its verdicts — the per-stream reason-reporting hook
+	// the decision-trace layer (internal/obs) attaches so failing
+	// criteria can be replayed with the offending bytes. Unlike
+	// Checker.Record (capture-scoped metrics), Trace is stream-scoped.
+	Trace func(m Message, ts time.Time, out []Checked)
+
 	checker *Checker
 	slots   [MaxIDs]any
 }
@@ -141,6 +148,9 @@ func (s *Session) Check(m Message, ts time.Time) []Checked {
 	out := h.Comply(m, ts, s)
 	if s.checker.Record != nil {
 		s.checker.Record(out)
+	}
+	if s.Trace != nil {
+		s.Trace(m, ts, out)
 	}
 	return out
 }

@@ -40,6 +40,7 @@ import (
 	"github.com/rtc-compliance/rtcc/internal/dpi"
 	"github.com/rtc-compliance/rtcc/internal/interop"
 	"github.com/rtc-compliance/rtcc/internal/metrics"
+	"github.com/rtc-compliance/rtcc/internal/obs"
 	"github.com/rtc-compliance/rtcc/internal/pcap"
 	"github.com/rtc-compliance/rtcc/internal/proto"
 	_ "github.com/rtc-compliance/rtcc/internal/proto/protoall"
@@ -67,6 +68,39 @@ func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
 // when done.
 func ServeMetrics(addr string, r *MetricsRegistry) (*MetricsServer, error) {
 	return metrics.Serve(addr, r)
+}
+
+// Tracer receives the pipeline's decision trace: per-stream filter
+// verdicts, Algorithm 1 probe steps, datagram classifications,
+// five-criterion compliance verdicts, and findings. Assign one to
+// Options.Tracer to record why each verdict was reached; nil disables
+// tracing at zero cost and never changes analysis output.
+type Tracer = obs.Tracer
+
+// TraceEvent is one pipeline decision, the unit both trace sinks
+// carry and the JSONL export serializes one-per-line.
+type TraceEvent = obs.Event
+
+// TraceSampling bounds per-stream trace retention (head/tail; failing
+// verdicts always kept). The zero value selects the defaults.
+type TraceSampling = obs.Sampling
+
+// TraceBuffer is an in-memory trace sink backing -explain queries.
+type TraceBuffer = obs.Buffer
+
+// NewTraceBuffer returns a bounded in-memory trace sink (max <= 0
+// selects the default capacity).
+func NewTraceBuffer(max int) *TraceBuffer { return obs.NewBuffer(max) }
+
+// NewJSONLTracer returns a trace sink writing one JSON event per line
+// to w (the rtccheck -trace-out format). Call Flush before closing w.
+func NewJSONLTracer(w io.Writer) *obs.JSONLWriter { return obs.NewJSONLWriter(w) }
+
+// ExplainTrace replays recorded trace events and renders why-answers
+// for the streams matching query ("<app>/<stream>/<msgtype>", each
+// part an optional substring).
+func ExplainTrace(events []TraceEvent, query string) string {
+	return obs.Explain(events, obs.ParseQuery(query))
 }
 
 // Applications studied by the paper.
