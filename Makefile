@@ -2,8 +2,11 @@
 GO          ?= go
 FUZZTIME    ?= 5s
 COVER_FLOOR ?= 70
+# The natsim impairment stage feeds every adverse-network suite, so it
+# carries a higher floor than the observability packages.
+COVER_FLOOR_NATSIM ?= 80
 
-.PHONY: all vet staticcheck build test race fuzz-smoke cover bench proto-list trace-smoke ci
+.PHONY: all vet staticcheck build test race fuzz-smoke cover bench proto-list trace-smoke impair-smoke ci
 
 all: build
 
@@ -40,6 +43,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzParseLong -fuzztime=$(FUZZTIME) ./internal/quicwire
 	$(GO) test -run='^$$' -fuzz=FuzzDTLSProbe -fuzztime=$(FUZZTIME) ./internal/proto/dtlsdrv
 	$(GO) test -run='^$$' -fuzz=FuzzDecapsulate -fuzztime=$(FUZZTIME) ./internal/live
+	$(GO) test -run='^$$' -fuzz=FuzzImpair -fuzztime=$(FUZZTIME) ./internal/natsim
 
 # Per-package coverage table, plus a hard floor on the observability
 # packages: internal/metrics and internal/obs must each stay at or
@@ -52,6 +56,10 @@ cover:
 			'/^total:/ { pct = $$3+0; printf "%s coverage: %s (floor %d%%)\n", pkg, $$3, floor; \
 			 if (pct < floor) { print "coverage below floor"; exit 1 } }' || exit 1; \
 	done
+	@$(GO) test -coverprofile=coverage.out ./internal/natsim || exit 1; \
+	$(GO) tool cover -func=coverage.out | awk -v floor=$(COVER_FLOOR_NATSIM) -v pkg=internal/natsim \
+		'/^total:/ { pct = $$3+0; printf "%s coverage: %s (floor %d%%)\n", pkg, $$3, floor; \
+		 if (pct < floor) { print "coverage below floor"; exit 1 } }' || exit 1
 
 # End-to-end trace smoke: generate a small capture, export its decision
 # trace, and validate the JSONL against the event-schema linter. The
@@ -65,6 +73,13 @@ trace-smoke:
 	$(GO) run ./cmd/rtctrace -in $$dir/trace.jsonl -explain "Zoom" | grep -q "failed criterion" && \
 	echo "trace-smoke: export, lint, and explain OK"
 
+# Reduced impairment matrix under the race detector: -short trims the
+# differential suite to 2 apps x 3 profiles x 2 seeds, the same cells
+# the CI impair-matrix job runs.
+impair-smoke:
+	$(GO) test -short -race -count=1 -run 'TestImpair|TestRelayConcurrent|TestBurst|TestRunMatrixPublishesImpairStats' \
+		./internal/natsim ./internal/appsim ./internal/trace ./internal/core
+
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
 
@@ -76,4 +91,4 @@ bench:
 proto-list:
 	$(GO) run ./cmd/rtccheck -protocols
 
-ci: vet staticcheck build race fuzz-smoke cover trace-smoke
+ci: vet staticcheck build race fuzz-smoke cover trace-smoke impair-smoke

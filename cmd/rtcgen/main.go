@@ -31,6 +31,12 @@ type manifestEntry struct {
 	CallStart time.Time `json:"call_start"`
 	CallEnd   time.Time `json:"call_end"`
 	Packets   int       `json:"packets"`
+	// Impairment accounting, present when any impairment knob is set.
+	Impair     string `json:"impair,omitempty"`
+	Dropped    int    `json:"dropped,omitempty"`
+	Duplicated int    `json:"duplicated,omitempty"`
+	Reordered  int    `json:"reordered,omitempty"`
+	Rebound    int    `json:"rebound,omitempty"`
 }
 
 func parseNetwork(s string) (rtcc.Network, error) {
@@ -66,6 +72,14 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "base seed")
 		background = flag.Bool("background", true, "include unrelated background traffic")
 		dtls       = flag.Bool("dtls", false, "emit a standards-compliant DTLS-SRTP handshake on the media stream")
+		impair     = flag.String("impair", "", "named impairment profile (clean, loss2, burst5, jitter30, dup3, rebind2)")
+		loss       = flag.Float64("loss", 0, "i.i.d. UDP loss probability [0,1)")
+		jitter     = flag.Duration("jitter", 0, "uniform per-datagram queueing delay bound")
+		reorder    = flag.Float64("reorder", 0, "probability of a late-spike reordering a datagram")
+		dup        = flag.Float64("dup", 0, "probability of duplicating a datagram")
+		rebind     = flag.Int("rebind", 0, "number of mid-call NAT rebinding events")
+		burst      = flag.Bool("burst", false, "frame-granular video bursting with bit-rate variance")
+		bitrateVar = flag.Float64("bitrate-var", 0, "encoder bit-rate variance fraction with -burst (default 0.25)")
 		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -75,25 +89,84 @@ func main() {
 		return
 	}
 
-	if err := run(*outDir, *appFlag, *netFlag, *runs, *duration, *prePost, *rate, *seed, *background, *dtls); err != nil {
+	profile, err := impairProfile(*impair, *loss, *jitter, *reorder, *dup, *rebind)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtcgen:", err)
+		os.Exit(1)
+	}
+	cfg := genConfig{
+		outDir: *outDir, appFlag: *appFlag, netFlag: *netFlag,
+		runs: *runs, duration: *duration, prePost: *prePost,
+		rate: *rate, seed: *seed, background: *background, dtls: *dtls,
+		impair: profile, burst: *burst, bitrateVar: *bitrateVar,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "rtcgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(outDir, appFlag, netFlag string, runs int, duration, prePost time.Duration, rate int, seed uint64, background, dtls bool) error {
+// impairProfile composes the impairment profile from the named base (if
+// any) with the individual knob overrides.
+func impairProfile(name string, loss float64, jitter time.Duration, reorder, dup float64, rebind int) (rtcc.ImpairProfile, error) {
+	var p rtcc.ImpairProfile
+	if name != "" {
+		base, ok := rtcc.ImpairProfileByName(name)
+		if !ok {
+			return p, fmt.Errorf("unknown impairment profile %q", name)
+		}
+		p = base
+	}
+	if loss > 0 {
+		p.Loss = loss
+	}
+	if jitter > 0 {
+		p.Jitter = jitter
+	}
+	if reorder > 0 {
+		p.Reorder = reorder
+	}
+	if dup > 0 {
+		p.Dup = dup
+	}
+	if rebind > 0 {
+		p.Rebind = rebind
+	}
+	if p.Active() && p.Name == "" {
+		p.Name = "custom"
+	}
+	return p, nil
+}
+
+type genConfig struct {
+	outDir, appFlag, netFlag string
+	runs                     int
+	duration, prePost        time.Duration
+	rate                     int
+	seed                     uint64
+	background, dtls         bool
+	impair                   rtcc.ImpairProfile
+	burst                    bool
+	bitrateVar               float64
+}
+
+func run(c genConfig) error {
+	outDir, appFlag, netFlag := c.outDir, c.appFlag, c.netFlag
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
 	opts := rtcc.MatrixOptions{
-		Runs:         runs,
-		CallDuration: duration,
-		PrePost:      prePost,
-		MediaRate:    rate,
+		Runs:         c.runs,
+		CallDuration: c.duration,
+		PrePost:      c.prePost,
+		MediaRate:    c.rate,
 		Start:        time.Now().UTC().Truncate(time.Second),
-		BaseSeed:     seed,
-		Background:   background,
-		DTLS:         dtls,
+		BaseSeed:     c.seed,
+		Background:   c.background,
+		DTLS:         c.dtls,
+		Impair:       c.impair,
+		Burst:        c.burst,
+		BitrateVar:   c.bitrateVar,
 	}
 	if appFlag != "" {
 		app, err := parseApp(appFlag)
@@ -138,7 +211,7 @@ func run(outDir, appFlag, netFlag string, runs int, duration, prePost time.Durat
 		if err := f.Close(); err != nil {
 			return err
 		}
-		manifest = append(manifest, manifestEntry{
+		entry := manifestEntry{
 			File:      name,
 			App:       string(cfg.App),
 			Network:   cfg.Network.String(),
@@ -147,7 +220,15 @@ func run(outDir, appFlag, netFlag string, runs int, duration, prePost time.Durat
 			CallStart: cap.CallStart,
 			CallEnd:   cap.CallEnd,
 			Packets:   len(cap.Events),
-		})
+		}
+		if cfg.Impair.Active() {
+			entry.Impair = cfg.Impair.Label()
+			entry.Dropped = cap.Impair.Dropped
+			entry.Duplicated = cap.Impair.Duplicated
+			entry.Reordered = cap.Impair.Reordered
+			entry.Rebound = cap.Impair.Rebound
+		}
+		manifest = append(manifest, entry)
 		fmt.Printf("wrote %s (%d packets, mode %s)\n", path, len(cap.Events), cap.Mode)
 	}
 

@@ -118,6 +118,21 @@ type CallConfig struct {
 	// standards-form DTLS-SRTP, so the knob models a hypothetical
 	// standards-compliant application.
 	DTLS bool
+	// Burst switches video senders from smooth pacing to frame-granular
+	// bursting: each video frame's packets leave back-to-back at the
+	// frame boundary (a few hundred microseconds apart) instead of being
+	// spread across the frame interval, and per-frame sizes vary with
+	// the encoder's bit-rate swings. Off by default so existing golden
+	// captures are unchanged.
+	Burst bool
+	// BitrateVar is the encoder bit-rate variance as a fraction of the
+	// nominal packet size when Burst is set: each frame scales its
+	// packets by a factor drawn from [1-BitrateVar, 1+BitrateVar], with
+	// a periodic keyframe boost on top. 0 selects the default of 0.25.
+	BitrateVar float64
+	// FrameRate is the video frame rate in frames per second when Burst
+	// is set; 0 selects the default of 30.
+	FrameRate int
 }
 
 func (c CallConfig) rate() int {
@@ -128,17 +143,10 @@ func (c CallConfig) rate() int {
 }
 
 // Dgram is one packet as observed on the caller device's interface.
-type Dgram struct {
-	At  time.Time
-	Src netip.AddrPort
-	Dst netip.AddrPort
-	// Proto is UDP or TCP.
-	Proto layers.IPProtocol
-	// Payload is the transport payload.
-	Payload []byte
-	// TCPFlags is used for TCP segments.
-	TCPFlags uint8
-}
+// The underlying type lives in internal/natsim so the network-
+// impairment stage can transform traffic without importing this
+// package (appsim already imports natsim for NAT behaviour).
+type Dgram = natsim.Datagram
 
 // Call is one generated call capture.
 type Call struct {
@@ -155,6 +163,8 @@ type Call struct {
 type env struct {
 	cfg CallConfig
 	rng *ice.Rand
+	// burst models frame-granular video emission; nil when Burst is off.
+	burst *burster
 
 	callerLocal netip.Addr // caller device address
 	calleeAddr  netip.Addr // callee as seen by the caller (LAN or public)
@@ -183,6 +193,9 @@ var appServers = map[App]struct{ relay, stun string }{
 // application-determined.
 func newEnv(cfg CallConfig) *env {
 	e := &env{cfg: cfg, rng: ice.NewRand(cfg.Seed)}
+	if cfg.Burst {
+		e.burst = newBurster(cfg)
+	}
 	srv := appServers[cfg.App]
 	e.serverAddr = netip.MustParseAddr(srv.relay)
 	e.stunAddr = netip.MustParseAddr(srv.stun)

@@ -1,0 +1,117 @@
+package appsim
+
+import (
+	"time"
+
+	"github.com/rtc-compliance/rtcc/internal/ice"
+)
+
+// burster models frame-granular video emission: a camera produces one
+// frame per frameDur, the encoder packetizes it, and every packet of
+// the frame leaves back-to-back at the frame boundary with only the
+// serialization gap between them — the bursting shape that stresses
+// jitter buffers and cross-message compliance checks, as opposed to
+// the smooth per-packet pacing the emulators use by default.
+//
+// It draws from its own seeded rng (not the call's main rng) so that
+// turning bursting on or off never perturbs the byte content of the
+// rest of the capture.
+type burster struct {
+	rng      *ice.Rand
+	frameDur time.Duration
+	varFrac  float64
+
+	haveAnchor bool
+	anchor     time.Time
+	frameIdx   int64
+	factor     float64
+	pkts       int
+}
+
+// burstPacketGap is the per-packet serialization spacing inside one
+// frame burst (~1200 bytes at 50 Mbit/s).
+const burstPacketGap = 200 * time.Microsecond
+
+func newBurster(cfg CallConfig) *burster {
+	fr := cfg.FrameRate
+	if fr <= 0 {
+		fr = 30
+	}
+	v := cfg.BitrateVar
+	if v <= 0 {
+		v = 0.25
+	}
+	if v > 0.9 {
+		v = 0.9
+	}
+	return &burster{
+		rng:      ice.NewRand(cfg.Seed ^ 0x6275727374), // "burst"
+		frameDur: time.Second / time.Duration(fr),
+		varFrac:  v,
+	}
+}
+
+// frame advances to the frame containing at, drawing that frame's
+// bit-rate factor: a uniform swing of ±varFrac around nominal, with a
+// keyframe boost every 30th frame (an I-frame among P-frames).
+func (b *burster) frame(at time.Time) int64 {
+	if !b.haveAnchor {
+		b.haveAnchor = true
+		b.anchor = at
+	}
+	idx := int64(at.Sub(b.anchor) / b.frameDur)
+	if idx < 0 {
+		idx = 0
+	}
+	if b.factor == 0 || idx != b.frameIdx {
+		b.frameIdx = idx
+		b.pkts = 0
+		b.factor = 1 + b.varFrac*(2*b.rng.Float64()-1)
+		if idx%30 == 0 {
+			b.factor *= 2.5
+		}
+	}
+	return idx
+}
+
+// size scales a nominal packet size by the bit-rate factor of the
+// frame containing at, clamped to stay a plausible RTP payload.
+func (b *burster) size(at time.Time, n int) int {
+	b.frame(at)
+	n = int(float64(n) * b.factor)
+	if n < 24 {
+		n = 24
+	}
+	if n > 1350 {
+		n = 1350
+	}
+	return n
+}
+
+// at collapses a smoothly-paced emission time onto its frame boundary
+// plus the packet's position in the burst.
+func (b *burster) at(at time.Time) time.Time {
+	idx := b.frame(at)
+	t := b.anchor.Add(time.Duration(idx)*b.frameDur + time.Duration(b.pkts)*burstPacketGap)
+	b.pkts++
+	return t
+}
+
+// mediaSize returns the emitted size for one media packet: the nominal
+// size, or the frame-scaled size for bursting video.
+func (e *env) mediaSize(at time.Time, video bool, size int) int {
+	if e.burst != nil && video {
+		return e.burst.size(at, size)
+	}
+	return size
+}
+
+// mediaAt returns the emission time for one media packet: the paced
+// time plus up to jms milliseconds of jitter, or the frame-burst time
+// for bursting video.
+func (e *env) mediaAt(at time.Time, video bool, jms int) time.Time {
+	if e.burst != nil && video {
+		return e.burst.at(at)
+	}
+	return at.Add(e.jitter(jms))
+}

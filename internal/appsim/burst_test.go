@@ -1,0 +1,160 @@
+package appsim
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func burstCfg(app App, burst bool) CallConfig {
+	return CallConfig{
+		App:      app,
+		Network:  WiFiRelay,
+		Seed:     9,
+		Start:    time.Date(2025, 3, 1, 12, 0, 0, 0, time.UTC),
+		Duration: 2 * time.Second,
+		Burst:    burst,
+	}
+}
+
+// TestBurstOffUnchanged pins that the burster is inert when disabled:
+// the frame-rate and variance knobs must not perturb a non-burst
+// capture in any way (the core golden fixtures separately pin that
+// non-burst captures are byte-identical to the pre-burst generator).
+func TestBurstOffUnchanged(t *testing.T) {
+	for _, app := range Apps {
+		a, err := Generate(burstCfg(app, false))
+		if err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+		cfg := burstCfg(app, false)
+		cfg.BitrateVar = 0.8
+		cfg.FrameRate = 5
+		b, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+		if !reflect.DeepEqual(a.Events, b.Events) {
+			t.Fatalf("%s: burst knobs leaked into a non-burst capture", app)
+		}
+	}
+}
+
+func TestBurstDeterministic(t *testing.T) {
+	for _, app := range Apps {
+		a, err := Generate(burstCfg(app, true))
+		if err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+		b, err := Generate(burstCfg(app, true))
+		if err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+		if !reflect.DeepEqual(a.Events, b.Events) {
+			t.Fatalf("%s: burst generation is not deterministic", app)
+		}
+	}
+}
+
+// TestBurstChangesShape verifies bursting actually reshapes traffic:
+// emission times cluster on frame boundaries, so the distinct-
+// timestamp count drops sharply versus smooth pacing.
+func TestBurstChangesShape(t *testing.T) {
+	for _, app := range Apps {
+		smooth, err := Generate(burstCfg(app, false))
+		if err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+		bursty, err := Generate(burstCfg(app, true))
+		if err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+		if reflect.DeepEqual(smooth.Events, bursty.Events) {
+			t.Fatalf("%s: burst flag changed nothing", app)
+		}
+		if len(bursty.Events) == 0 {
+			t.Fatalf("%s: burst run produced no events", app)
+		}
+	}
+}
+
+// TestBurstFrameClustering checks the frame-granular shape directly on
+// one app: with a 30fps burster, video emission times land on a small
+// set of frame-boundary instants plus sub-millisecond serialization
+// offsets, so inter-packet gaps are bimodal — tiny inside a frame,
+// roughly a frame interval between frames.
+func TestBurstFrameClustering(t *testing.T) {
+	cfg := burstCfg(Discord, true)
+	call, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Collect gaps over large UDP packets (video-sized).
+	var prev time.Time
+	var tiny, total int
+	for _, ev := range call.Events {
+		if len(ev.Payload) < 400 {
+			continue
+		}
+		if !prev.IsZero() {
+			gap := ev.At.Sub(prev)
+			total++
+			if gap < time.Millisecond {
+				tiny++
+			}
+		}
+		prev = ev.At
+	}
+	if total < 20 {
+		t.Fatalf("too few video packets to judge: %d", total)
+	}
+	if frac := float64(tiny) / float64(total); frac < 0.3 {
+		t.Fatalf("only %.2f of video gaps are sub-millisecond; bursting not frame-granular", frac)
+	}
+}
+
+// TestBurstBitrateVariance checks the per-frame size scaling: with a
+// large variance the spread of video packet sizes must widen, and the
+// keyframe boost must push some packets to the clamp ceiling.
+func TestBurstBitrateVariance(t *testing.T) {
+	cfg := burstCfg(GoogleMeet, true)
+	cfg.BitrateVar = 0.5
+	call, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := 1<<30, 0
+	for _, ev := range call.Events {
+		n := len(ev.Payload)
+		if n < 400 {
+			continue
+		}
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if max-min < 300 {
+		t.Fatalf("video size spread too narrow for BitrateVar=0.5: min %d max %d", min, max)
+	}
+}
+
+func TestBurstFrameRateKnob(t *testing.T) {
+	slow := burstCfg(FaceTime, true)
+	slow.FrameRate = 5
+	fast := burstCfg(FaceTime, true)
+	fast.FrameRate = 60
+	a, err := Generate(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Events, b.Events) {
+		t.Fatal("frame rate knob changed nothing")
+	}
+}

@@ -83,8 +83,9 @@ func generateDiscord(e *env) {
 			st.ms.pt = discordRTPPayloads[ptIdx%len(discordRTPPayloads)]
 			ptIdx++
 			size := 110
-			if i%2 == 1 {
-				size = 550 + e.rng.IntN(450)
+			video := i%2 == 1
+			if video {
+				size = e.mediaSize(at, true, 550+e.rng.IntN(450))
 			}
 
 			var ext *rtp.Extension
@@ -109,7 +110,7 @@ func generateDiscord(e *env) {
 					Elements: []rtp.ExtensionElement{{ID: 1, Payload: e.rng.Bytes(3)}},
 				}
 			}
-			e.push(at.Add(e.jitter(3)), src, dst, st.ms.next(size, ext, false).Encode())
+			e.push(e.mediaAt(at, video, 3), src, dst, st.ms.next(size, ext, false).Encode())
 
 			// Fully proprietary control datagrams ≈0.7%.
 			if tick%141 == 0 {

@@ -171,7 +171,7 @@ func generateFaceTime(e *env) {
 			st.ms.pt = pt
 			size := 100
 			if st.video {
-				size = 600 + e.rng.IntN(400)
+				size = e.mediaSize(at, true, 600+e.rng.IntN(400))
 			}
 			profile := faceTimeExtProfiles[tick%len(faceTimeExtProfiles)]
 			ext := &rtp.Extension{Profile: profile, Data: e.rng.Bytes(8)}
@@ -189,7 +189,7 @@ func generateFaceTime(e *env) {
 			if wrap {
 				pkt = faceTimeHeader(e, pkt)
 			}
-			e.push(at.Add(e.jitter(3)), src, dst, pkt)
+			e.push(e.mediaAt(at, st.video, 3), src, dst, pkt)
 		}
 	}
 

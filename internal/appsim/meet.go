@@ -192,7 +192,7 @@ func generateMeet(e *env) {
 			ptIdx++
 			size := 95
 			if st.video {
-				size = 600 + e.rng.IntN(400)
+				size = e.mediaSize(ts, true, 600+e.rng.IntN(400))
 			}
 			pkt := st.ms.next(size, nil, false).Encode()
 			// Relay mode: media rides in ChannelData on the bound
@@ -203,7 +203,7 @@ func generateMeet(e *env) {
 				cd := &stun.ChannelData{ChannelNumber: 0x4000, Data: pkt}
 				pkt = cd.Encode()
 			}
-			e.push(ts.Add(e.jitter(3)), src, dst, pkt)
+			e.push(e.mediaAt(ts, st.video, 3), src, dst, pkt)
 
 			// Fully proprietary ≈1.3%.
 			if tick%77 == 0 {

@@ -262,10 +262,11 @@ func generateMeta(e *env, p metaProfile) {
 			st.ms.pt = p.rtpPayloads[ptIdx%len(p.rtpPayloads)]
 			ptIdx++
 			size := 90
-			if i%2 == 1 {
-				size = 500 + e.rng.IntN(500)
+			video := i%2 == 1
+			if video {
+				size = e.mediaSize(at, true, 500+e.rng.IntN(500))
 			}
-			e.push(at.Add(e.jitter(3)), src, dst, st.ms.next(size, nil, false).Encode())
+			e.push(e.mediaAt(at, video, 3), src, dst, st.ms.next(size, nil, false).Encode())
 
 			if tick%p.propEvery == 0 {
 				e.push(at.Add(e.jitter(4)), src, dst, append([]byte{0x2f, 0x01}, e.rng.Bytes(30)...))

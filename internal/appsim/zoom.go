@@ -207,7 +207,7 @@ func generateZoom(e *env) {
 			size := 120
 			mType := byte(zoomTypeAudio)
 			if st.video {
-				size = 700 + e.rng.IntN(300)
+				size = e.mediaSize(at, true, 700+e.rng.IntN(300))
 				mType = zoomTypeVideo
 			}
 
@@ -219,7 +219,7 @@ func generateZoom(e *env) {
 				second.Timestamp = first.Timestamp // shared timestamp
 				payload := append(zoomHeader(e, dOut, mType, st.mediaID, false), first.Encode()...)
 				payload = append(payload, second.Encode()...)
-				e.push(at.Add(e.jitter(3)), src, dst, payload)
+				e.push(e.mediaAt(at, st.video, 3), src, dst, payload)
 				continue
 			}
 
@@ -232,7 +232,7 @@ func generateZoom(e *env) {
 			}
 			pkt := st.ms.next(size, nil, false)
 			payload := append(zoomHeader(e, dir, mType, st.mediaID, wrap), pkt.Encode()...)
-			e.push(at.Add(e.jitter(3)), src, dst, payload)
+			e.push(e.mediaAt(at, st.video, 3), src, dst, payload)
 
 			// Other fully proprietary control datagrams.
 			if fillerEvery > 0 && tick%fillerEvery == 0 {

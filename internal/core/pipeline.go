@@ -493,6 +493,9 @@ func RunMatrix(mopts trace.MatrixOptions, opts Options) (*MatrixAnalysis, error)
 		if err != nil {
 			return err
 		}
+		if configs[i].Impair.Active() {
+			cap.Impair.Publish(opts.Metrics, configs[i].Impair.Label())
+		}
 		ca, err := AnalyzeCapture(cap.Input(), capOpts)
 		if err != nil {
 			return err

@@ -1,0 +1,25 @@
+package natsim
+
+import (
+	"net/netip"
+	"time"
+
+	"github.com/rtc-compliance/rtcc/internal/layers"
+)
+
+// Datagram is one packet as observed on a device interface: the wire
+// unit the app simulators emit and the impairment stage permutes. It
+// lives here (rather than in internal/appsim, which re-exports it as
+// appsim.Dgram) so the network-impairment layer can transform traffic
+// without depending on the application emulators above it.
+type Datagram struct {
+	At  time.Time
+	Src netip.AddrPort
+	Dst netip.AddrPort
+	// Proto is UDP or TCP.
+	Proto layers.IPProtocol
+	// Payload is the transport payload.
+	Payload []byte
+	// TCPFlags is used for TCP segments.
+	TCPFlags uint8
+}

@@ -1,0 +1,106 @@
+package natsim
+
+import (
+	"bytes"
+	"encoding/binary"
+	"net/netip"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/rtc-compliance/rtcc/internal/layers"
+)
+
+// FuzzImpair drives the impairment stage with arbitrary profiles and
+// datagram mixes, pinning its safety contract: it never panics, never
+// fabricates or edits payload bytes (every output payload is byte-
+// identical to the input datagram it came from), delivers each input
+// at most twice, keeps its accounting conserved, keeps output sorted,
+// and is a pure function of (profile, seed, input).
+func FuzzImpair(f *testing.F) {
+	f.Add(uint64(1), []byte{}, uint8(10))
+	f.Add(uint64(42), []byte{5, 0, 0, 0, 0, 0, 0, 0, 0, 0}, uint8(50))
+	f.Add(uint64(7), []byte{0, 128, 77, 200, 30, 64, 5, 90, 3, 2}, uint8(80))
+	f.Add(uint64(31337), []byte{255, 255, 255, 255, 255, 255, 255, 255, 255, 255}, uint8(255))
+	f.Fuzz(func(t *testing.T, seed uint64, cfg []byte, n uint8) {
+		knob := func(i int) float64 {
+			if i < len(cfg) {
+				return float64(cfg[i]) / 256
+			}
+			return 0
+		}
+		p := Profile{
+			Loss:         knob(0) * 0.9,
+			GoodBad:      knob(1) * 0.5,
+			BadGood:      knob(2) * 0.5,
+			BadLoss:      knob(3),
+			Jitter:       time.Duration(knob(4)*50) * time.Millisecond,
+			Reorder:      knob(5) * 0.5,
+			ReorderDelay: time.Duration(knob(6)*20) * time.Millisecond,
+			Dup:          knob(7) * 0.5,
+			DupDelay:     time.Duration(knob(8)*10) * time.Millisecond,
+			Rebind:       int(knob(9) * 4),
+		}
+
+		start := time.Date(2025, 3, 1, 12, 0, 0, 0, time.UTC)
+		src := netip.MustParseAddrPort("192.168.1.10:50000")
+		dst := netip.MustParseAddrPort("203.0.113.10:8801")
+		in := make([]Datagram, int(n))
+		for i := range in {
+			payload := make([]byte, 4+i%7)
+			binary.BigEndian.PutUint32(payload, uint32(i))
+			d := Datagram{
+				// Some timestamps collide (i/3) to exercise the stable
+				// sort; spacing is sub-millisecond to force reordering.
+				At:      start.Add(time.Duration(i/3) * 300 * time.Microsecond),
+				Src:     src,
+				Dst:     dst,
+				Proto:   layers.IPProtocolUDP,
+				Payload: payload,
+			}
+			if i%5 == 4 {
+				d.Proto = layers.IPProtocolTCP
+				d.TCPFlags = layers.TCPAck
+			}
+			in[i] = d
+		}
+
+		out, st := p.ImpairWithStats(seed, in)
+
+		if st.In != len(in) || st.Out != len(out) {
+			t.Fatalf("stats counts wrong: st=%+v len(in)=%d len(out)=%d", st, len(in), len(out))
+		}
+		if st.Out != st.In-st.Dropped+st.Duplicated {
+			t.Fatalf("conservation violated: %+v", st)
+		}
+		count := make(map[uint32]int)
+		for i, d := range out {
+			if i > 0 && d.At.Before(out[i-1].At) {
+				t.Fatalf("output not time-sorted at %d", i)
+			}
+			if len(d.Payload) < 4 {
+				t.Fatalf("fabricated short payload: %x", d.Payload)
+			}
+			idx := binary.BigEndian.Uint32(d.Payload)
+			if int(idx) >= len(in) {
+				t.Fatalf("fabricated index %d", idx)
+			}
+			orig := in[idx]
+			if !bytes.Equal(d.Payload, orig.Payload) {
+				t.Fatalf("payload bytes edited for index %d", idx)
+			}
+			if d.Proto != orig.Proto || d.Src.Addr() != orig.Src.Addr() || d.Dst.Addr() != orig.Dst.Addr() {
+				t.Fatalf("datagram identity changed for index %d", idx)
+			}
+			count[idx]++
+			if count[idx] > 2 {
+				t.Fatalf("index %d delivered %d times", idx, count[idx])
+			}
+		}
+
+		out2, st2 := p.ImpairWithStats(seed, in)
+		if st != st2 || !reflect.DeepEqual(out, out2) {
+			t.Fatal("same (profile, seed, input) produced different outputs")
+		}
+	})
+}

@@ -1,0 +1,347 @@
+package natsim
+
+import (
+	"net/netip"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/rtc-compliance/rtcc/internal/layers"
+	"github.com/rtc-compliance/rtcc/internal/metrics"
+)
+
+var impairT0 = time.Date(2025, 3, 1, 12, 0, 0, 0, time.UTC)
+
+// mkStream builds n evenly spaced UDP datagrams on one 5-tuple with
+// distinct payloads (the payload encodes the index).
+func mkStream(n int, gap time.Duration) []Datagram {
+	src := netip.MustParseAddrPort("192.168.1.10:50000")
+	dst := netip.MustParseAddrPort("203.0.113.10:8801")
+	out := make([]Datagram, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, Datagram{
+			At:      impairT0.Add(time.Duration(i) * gap),
+			Src:     src,
+			Dst:     dst,
+			Proto:   layers.IPProtocolUDP,
+			Payload: []byte{byte(i >> 8), byte(i), 0xAB},
+		})
+	}
+	return out
+}
+
+func TestImpairZeroProfilePassThrough(t *testing.T) {
+	in := mkStream(200, time.Millisecond)
+	var p Profile
+	if p.Active() {
+		t.Fatal("zero profile reports Active")
+	}
+	out, st := p.ImpairWithStats(7, in)
+	if !reflect.DeepEqual(out, in) {
+		t.Fatal("zero profile changed the stream")
+	}
+	if st.Dropped != 0 || st.Duplicated != 0 || st.Reordered != 0 || st.Rebound != 0 {
+		t.Fatalf("zero profile reported impairment: %+v", st)
+	}
+}
+
+func TestImpairDeterministic(t *testing.T) {
+	in := mkStream(500, time.Millisecond)
+	for _, p := range StandardProfiles() {
+		a, sa := p.ImpairWithStats(42, in)
+		b, sb := p.ImpairWithStats(42, in)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: same seed produced different outputs", p.Name)
+		}
+		if sa != sb {
+			t.Fatalf("%s: same seed produced different stats: %+v vs %+v", p.Name, sa, sb)
+		}
+	}
+}
+
+func TestImpairSeedChangesOutput(t *testing.T) {
+	in := mkStream(500, time.Millisecond)
+	p, _ := ProfileByName("loss2")
+	a := p.Impair(1, in)
+	b := p.Impair(2, in)
+	if reflect.DeepEqual(a, b) {
+		t.Fatal("different seeds produced identical loss patterns")
+	}
+}
+
+func TestImpairInputUnmodified(t *testing.T) {
+	in := mkStream(300, time.Millisecond)
+	snapshot := make([]Datagram, len(in))
+	copy(snapshot, in)
+	for _, p := range StandardProfiles() {
+		p.Impair(3, in)
+	}
+	if !reflect.DeepEqual(in, snapshot) {
+		t.Fatal("Impair modified its input slice")
+	}
+}
+
+func TestImpairLossRate(t *testing.T) {
+	in := mkStream(20000, 100*time.Microsecond)
+	p := Profile{Loss: 0.02}
+	_, st := p.ImpairWithStats(11, in)
+	rate := float64(st.Dropped) / float64(st.In)
+	if rate < 0.01 || rate > 0.03 {
+		t.Fatalf("i.i.d. loss rate %.4f outside [0.01, 0.03]", rate)
+	}
+}
+
+func TestImpairBurstLossIsBursty(t *testing.T) {
+	in := mkStream(20000, 100*time.Microsecond)
+	ge, _ := ProfileByName("burst5")
+	out, st := ge.ImpairWithStats(13, in)
+	rate := float64(st.Dropped) / float64(st.In)
+	if rate < 0.02 || rate > 0.09 {
+		t.Fatalf("burst loss rate %.4f outside [0.02, 0.09]", rate)
+	}
+	// Burstiness: among dropped indices, the fraction with an adjacent
+	// drop must far exceed what i.i.d. loss at the same rate yields.
+	kept := make(map[int]bool, len(out))
+	for _, d := range out {
+		idx := int(d.Payload[0])<<8 | int(d.Payload[1])
+		kept[idx] = true
+	}
+	adjacent, dropped := 0, 0
+	for i := range in {
+		if kept[i] {
+			continue
+		}
+		dropped++
+		if (i > 0 && !kept[i-1]) || (i < len(in)-1 && !kept[i+1]) {
+			adjacent++
+		}
+	}
+	if dropped == 0 {
+		t.Fatal("no drops")
+	}
+	adjFrac := float64(adjacent) / float64(dropped)
+	// i.i.d. at ~5% would give ~2*rate ≈ 0.1; Gilbert–Elliott runs give
+	// far more.
+	if adjFrac < 0.3 {
+		t.Fatalf("adjacent-drop fraction %.3f too low for burst loss", adjFrac)
+	}
+}
+
+func TestImpairJitterBoundedReordering(t *testing.T) {
+	gap := time.Millisecond
+	in := mkStream(5000, gap)
+	p := Profile{Jitter: 30 * time.Millisecond}
+	out, st := p.ImpairWithStats(17, in)
+	if st.Reordered == 0 {
+		t.Fatal("30ms jitter over 1ms spacing produced no reordering")
+	}
+	if st.Out != len(in) {
+		t.Fatalf("jitter changed datagram count: %d != %d", st.Out, len(in))
+	}
+	// Bounded: displacement of any datagram is capped by Jitter/gap.
+	maxDisp := int(p.Jitter/gap) + 1
+	for outPos, d := range out {
+		idx := int(d.Payload[0])<<8 | int(d.Payload[1])
+		if disp := idx - outPos; disp > maxDisp || disp < -maxDisp {
+			t.Fatalf("datagram %d displaced by %d, bound %d", idx, disp, maxDisp)
+		}
+	}
+	// Output must be time-sorted.
+	for i := 1; i < len(out); i++ {
+		if out[i].At.Before(out[i-1].At) {
+			t.Fatalf("output not sorted at %d", i)
+		}
+	}
+}
+
+func TestImpairDuplication(t *testing.T) {
+	in := mkStream(10000, 500*time.Microsecond)
+	p := Profile{Dup: 0.03}
+	out, st := p.ImpairWithStats(19, in)
+	if st.Duplicated == 0 {
+		t.Fatal("no duplicates produced")
+	}
+	rate := float64(st.Duplicated) / float64(st.In)
+	if rate < 0.015 || rate > 0.045 {
+		t.Fatalf("dup rate %.4f outside [0.015, 0.045]", rate)
+	}
+	if st.Out != st.In+st.Duplicated {
+		t.Fatalf("conservation violated: out %d != in %d + dup %d", st.Out, st.In, st.Duplicated)
+	}
+	// Each index appears once or twice, never more, with equal payloads.
+	count := make(map[int]int)
+	for _, d := range out {
+		idx := int(d.Payload[0])<<8 | int(d.Payload[1])
+		count[idx]++
+		if count[idx] > 2 {
+			t.Fatalf("index %d delivered %d times", idx, count[idx])
+		}
+	}
+	if len(count) != len(in) {
+		t.Fatalf("duplication dropped datagrams: %d indices of %d", len(count), len(in))
+	}
+	_ = out
+}
+
+func TestImpairRebind(t *testing.T) {
+	in := mkStream(1000, time.Millisecond)
+	p := Profile{Rebind: 2}
+	out, st := p.ImpairWithStats(23, in)
+	if st.Rebound == 0 {
+		t.Fatal("rebind profile rewrote no datagrams")
+	}
+	// The client (dominant UDP source) keeps its address; ports change
+	// after each epoch, and each epoch's port is stable within it.
+	ports := make(map[uint16]bool)
+	for _, d := range out {
+		if d.Src.Addr() != in[0].Src.Addr() {
+			t.Fatalf("rebind changed the source address: %v", d.Src)
+		}
+		ports[d.Src.Port()] = true
+	}
+	if len(ports) != 3 {
+		t.Fatalf("2 rebinds should yield 3 distinct source ports, got %d", len(ports))
+	}
+	if !ports[in[0].Src.Port()] {
+		t.Fatal("pre-rebind traffic lost its original port")
+	}
+}
+
+func TestImpairTCPUntouched(t *testing.T) {
+	in := mkStream(400, time.Millisecond)
+	for i := range in {
+		if i%4 == 0 {
+			in[i].Proto = layers.IPProtocolTCP
+			in[i].TCPFlags = layers.TCPAck
+		}
+	}
+	p := Profile{Loss: 0.5, Jitter: 20 * time.Millisecond, Rebind: 1, Dup: 0.2}
+	out, _ := p.ImpairWithStats(29, in)
+	wantTCP := 0
+	for _, d := range in {
+		if d.Proto == layers.IPProtocolTCP {
+			wantTCP++
+		}
+	}
+	gotTCP := 0
+	for _, d := range out {
+		if d.Proto != layers.IPProtocolTCP {
+			continue
+		}
+		gotTCP++
+		idx := int(d.Payload[0])<<8 | int(d.Payload[1])
+		orig := in[idx]
+		if d.At != orig.At || d.Src != orig.Src || d.Dst != orig.Dst {
+			t.Fatalf("TCP segment %d was impaired: %+v", idx, d)
+		}
+	}
+	if gotTCP != wantTCP {
+		t.Fatalf("TCP segment count changed: %d != %d", gotTCP, wantTCP)
+	}
+}
+
+func TestImpairStatsConservation(t *testing.T) {
+	in := mkStream(5000, 500*time.Microsecond)
+	for _, p := range StandardProfiles() {
+		out, st := p.ImpairWithStats(31, in)
+		if st.In != len(in) || st.Out != len(out) {
+			t.Fatalf("%s: stats counts wrong: %+v", p.Name, st)
+		}
+		if st.Out != st.In-st.Dropped+st.Duplicated {
+			t.Fatalf("%s: conservation violated: %+v", p.Name, st)
+		}
+	}
+}
+
+func TestImpairEmptyInput(t *testing.T) {
+	p, _ := ProfileByName("burst5")
+	out, st := p.ImpairWithStats(1, nil)
+	if out != nil || st.In != 0 || st.Out != 0 {
+		t.Fatalf("empty input: out=%v st=%+v", out, st)
+	}
+}
+
+func TestImpairStatsPublish(t *testing.T) {
+	reg := metrics.NewRegistry()
+	st := ImpairStats{In: 100, Out: 97, Dropped: 5, Duplicated: 2, Reordered: 7, Rebound: 3}
+	st.Publish(reg, "burst5")
+	l := metrics.L("profile", "burst5")
+	checks := map[string]uint64{
+		"natsim_impair_in_total":         100,
+		"natsim_impair_out_total":        97,
+		"natsim_impair_dropped_total":    5,
+		"natsim_impair_duplicated_total": 2,
+		"natsim_impair_reordered_total":  7,
+		"natsim_impair_rebound_total":    3,
+	}
+	for name, want := range checks {
+		if got := reg.Counter(name, l).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	// Nil registry must be a no-op, not a panic.
+	st.Publish(nil, "burst5")
+}
+
+func TestStandardProfiles(t *testing.T) {
+	all := StandardProfiles()
+	if len(all) < 6 {
+		t.Fatalf("expected ≥6 standard profiles, got %d", len(all))
+	}
+	names := make(map[string]bool)
+	for _, p := range all {
+		if p.Name == "" {
+			t.Fatal("unnamed standard profile")
+		}
+		if names[p.Name] {
+			t.Fatalf("duplicate profile name %q", p.Name)
+		}
+		names[p.Name] = true
+		got, ok := ProfileByName(p.Name)
+		if !ok || got.Name != p.Name {
+			t.Fatalf("ProfileByName(%q) failed", p.Name)
+		}
+	}
+	if clean, _ := ProfileByName("clean"); clean.Active() {
+		t.Fatal("clean profile reports Active")
+	}
+	if len(AdverseProfiles()) != len(all)-1 {
+		t.Fatalf("AdverseProfiles should exclude exactly clean: %d vs %d", len(AdverseProfiles()), len(all))
+	}
+	if _, ok := ProfileByName("no-such"); ok {
+		t.Fatal("ProfileByName resolved a bogus name")
+	}
+}
+
+// TestRelayConcurrent hammers the Relay from 16 goroutines; run under
+// -race this pins the mutex guarding added for the impairment tests.
+func TestRelayConcurrent(t *testing.T) {
+	r := NewRelay(netip.MustParseAddr("203.0.113.10"))
+	const goroutines = 16
+	const perG = 50
+	var wg sync.WaitGroup
+	results := make([][]netip.AddrPort, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				client := netip.AddrPortFrom(netip.MustParseAddr("192.168.1.10"), uint16(50000+i))
+				results[g] = append(results[g], r.Allocate(client))
+				_ = r.Allocations()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := r.Allocations(); n != perG {
+		t.Fatalf("expected %d allocations, got %d", perG, n)
+	}
+	// Idempotence must hold across goroutines: every goroutine saw the
+	// same relayed address for the same client.
+	for g := 1; g < goroutines; g++ {
+		if !reflect.DeepEqual(results[g], results[0]) {
+			t.Fatalf("goroutine %d saw different allocations", g)
+		}
+	}
+}

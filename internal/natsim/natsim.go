@@ -14,6 +14,7 @@ package natsim
 import (
 	"fmt"
 	"net/netip"
+	"sync"
 )
 
 // Behavior classifies NAT mapping or filtering per RFC 4787.
@@ -229,12 +230,15 @@ func HolePunch(a, b *Client, stunServer netip.AddrPort) bool {
 }
 
 // Relay models a TURN server handing out relayed transport addresses.
+// It is safe for concurrent use: Allocate and Allocations may be called
+// from multiple goroutines, as the impairment race-hammer tests do.
 type Relay struct {
 	// Addr is the relay's public IP.
 	Addr netip.Addr
 	// ListenPort is the TURN port clients talk to (3478 by default).
 	ListenPort uint16
 
+	mu            sync.Mutex
 	nextRelayPort uint16
 	allocations   map[netip.AddrPort]netip.AddrPort
 }
@@ -257,6 +261,8 @@ func (r *Relay) ListenAddr() netip.AddrPort {
 // Allocate returns (idempotently) a relayed transport address for the
 // given client 5-tuple source, as a TURN Allocate request would.
 func (r *Relay) Allocate(client netip.AddrPort) netip.AddrPort {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if relayed, ok := r.allocations[client]; ok {
 		return relayed
 	}
@@ -267,4 +273,8 @@ func (r *Relay) Allocate(client netip.AddrPort) netip.AddrPort {
 }
 
 // Allocations reports the number of active allocations.
-func (r *Relay) Allocations() int { return len(r.allocations) }
+func (r *Relay) Allocations() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.allocations)
+}

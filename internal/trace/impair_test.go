@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/rtc-compliance/rtcc/internal/appsim"
+	"github.com/rtc-compliance/rtcc/internal/natsim"
+)
+
+func impairCfg(profile natsim.Profile, seed uint64) CaptureConfig {
+	return CaptureConfig{
+		App:          appsim.Zoom,
+		Network:      appsim.WiFiRelay,
+		Seed:         seed,
+		Start:        time.Date(2025, 3, 1, 12, 0, 0, 0, time.UTC),
+		CallDuration: 2 * time.Second,
+		PrePost:      3 * time.Second,
+		MediaRate:    10,
+		Background:   true,
+	}
+}
+
+// TestImpairedCaptureReproducible pins the acceptance criterion that
+// the same seed yields a byte-identical impaired trace: the full pcap
+// byte stream, not just event counts.
+func TestImpairedCaptureReproducible(t *testing.T) {
+	for _, p := range natsim.StandardProfiles() {
+		cfg := impairCfg(p, 17)
+		cfg.Impair = p
+		var bufs [2]bytes.Buffer
+		for i := range bufs {
+			cap, err := Generate(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", p.Name, err)
+			}
+			if err := cap.WritePCAP(&bufs[i]); err != nil {
+				t.Fatalf("%s: %v", p.Name, err)
+			}
+		}
+		if !bytes.Equal(bufs[0].Bytes(), bufs[1].Bytes()) {
+			t.Fatalf("%s: same seed produced different pcap bytes", p.Name)
+		}
+	}
+}
+
+// TestImpairSparesBackground checks the impairment stage applies to
+// the call traffic only: RTCEvents reflects post-impairment call
+// volume, while total events still include the untouched background.
+func TestImpairSparesBackground(t *testing.T) {
+	clean := impairCfg(natsim.Profile{}, 23)
+	cc, err := Generate(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy := clean
+	lossy.Impair = natsim.Profile{Name: "heavy", Loss: 0.3}
+	lc, err := Generate(lossy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lc.Impair.Dropped == 0 {
+		t.Fatal("30% loss dropped nothing")
+	}
+	if lc.RTCEvents != cc.RTCEvents-lc.Impair.Dropped {
+		t.Fatalf("RTCEvents %d != clean %d - dropped %d", lc.RTCEvents, cc.RTCEvents, lc.Impair.Dropped)
+	}
+	background := len(cc.Events) - cc.RTCEvents
+	if got := len(lc.Events) - lc.RTCEvents; got != background {
+		t.Fatalf("background volume changed under impairment: %d != %d", got, background)
+	}
+}
+
+// TestImpairCleanProfileIdentical checks the named clean profile is a
+// true pass-through: its capture matches a config with no profile.
+func TestImpairCleanProfileIdentical(t *testing.T) {
+	base := impairCfg(natsim.Profile{}, 31)
+	a, err := Generate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withClean := base
+	withClean.Impair, _ = natsim.ProfileByName("clean")
+	b, err := Generate(withClean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ab, bb bytes.Buffer
+	if err := a.WritePCAP(&ab); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WritePCAP(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab.Bytes(), bb.Bytes()) {
+		t.Fatal("clean profile altered the capture")
+	}
+}
+
+func TestMatrixForwardsImpairment(t *testing.T) {
+	p, _ := natsim.ProfileByName("burst5")
+	configs := Matrix(MatrixOptions{
+		Runs:         1,
+		CallDuration: time.Second,
+		PrePost:      time.Second,
+		Start:        time.Date(2025, 3, 1, 12, 0, 0, 0, time.UTC),
+		BaseSeed:     1,
+		Apps:         []appsim.App{appsim.Discord},
+		Impair:       p,
+		Burst:        true,
+		BitrateVar:   0.4,
+		FrameRate:    24,
+	})
+	if len(configs) == 0 {
+		t.Fatal("empty matrix")
+	}
+	for _, c := range configs {
+		if c.Impair.Name != "burst5" || !c.Burst || c.BitrateVar != 0.4 || c.FrameRate != 24 {
+			t.Fatalf("matrix dropped impairment knobs: %+v", c)
+		}
+	}
+}

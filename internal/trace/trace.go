@@ -15,6 +15,7 @@ import (
 
 	"github.com/rtc-compliance/rtcc/internal/appsim"
 	"github.com/rtc-compliance/rtcc/internal/layers"
+	"github.com/rtc-compliance/rtcc/internal/natsim"
 	"github.com/rtc-compliance/rtcc/internal/pcap"
 )
 
@@ -42,6 +43,15 @@ type CaptureConfig struct {
 	// over the capture — the traffic volume that dominates real capture
 	// files. Zero keeps the light fixed-size background mix.
 	BackgroundBulk int
+	// Impair applies a network-impairment profile to the call's traffic
+	// (not the background) between emission and capture, seeded by
+	// Seed. The zero profile is a pass-through.
+	Impair natsim.Profile
+	// Burst, BitrateVar, and FrameRate are forwarded to the app
+	// simulator's frame-granular video burster (appsim.CallConfig).
+	Burst      bool
+	BitrateVar float64
+	FrameRate  int
 }
 
 // Capture is one assembled experiment capture.
@@ -54,8 +64,10 @@ type Capture struct {
 	// CallStart and CallEnd delimit the annotated call window.
 	CallStart, CallEnd time.Time
 	// RTCEvents counts the events that came from the RTC call (ground
-	// truth for filter evaluation).
+	// truth for filter evaluation), after impairment.
 	RTCEvents int
+	// Impair is the impairment accounting when Config.Impair is active.
+	Impair natsim.ImpairStats
 }
 
 // Generate builds one capture.
@@ -67,13 +79,16 @@ func Generate(cfg CaptureConfig) (*Capture, error) {
 		return nil, fmt.Errorf("trace: negative pre/post duration")
 	}
 	call, err := appsim.Generate(appsim.CallConfig{
-		App:       cfg.App,
-		Network:   cfg.Network,
-		Seed:      cfg.Seed,
-		Start:     cfg.Start,
-		Duration:  cfg.CallDuration,
-		MediaRate: cfg.MediaRate,
-		DTLS:      cfg.DTLS,
+		App:        cfg.App,
+		Network:    cfg.Network,
+		Seed:       cfg.Seed,
+		Start:      cfg.Start,
+		Duration:   cfg.CallDuration,
+		MediaRate:  cfg.MediaRate,
+		DTLS:       cfg.DTLS,
+		Burst:      cfg.Burst,
+		BitrateVar: cfg.BitrateVar,
+		FrameRate:  cfg.FrameRate,
 	})
 	if err != nil {
 		return nil, err
@@ -83,9 +98,13 @@ func Generate(cfg CaptureConfig) (*Capture, error) {
 		Mode:      call.Mode,
 		CallStart: call.CallStart,
 		CallEnd:   call.CallEnd,
-		RTCEvents: len(call.Events),
 	}
-	cap.Events = append(cap.Events, call.Events...)
+	events := call.Events
+	if cfg.Impair.Active() {
+		events, cap.Impair = cfg.Impair.ImpairWithStats(cfg.Seed, events)
+	}
+	cap.RTCEvents = len(events)
+	cap.Events = append(cap.Events, events...)
 	if cfg.Background {
 		bg := appsim.GenerateBackground(appsim.BackgroundConfig{
 			Seed:      cfg.Seed,
@@ -204,6 +223,12 @@ type MatrixOptions struct {
 	DTLS bool
 	// Apps optionally restricts the matrix; nil means all six.
 	Apps []appsim.App
+	// Impair, Burst, BitrateVar, and FrameRate are forwarded to every
+	// capture config.
+	Impair     natsim.Profile
+	Burst      bool
+	BitrateVar float64
+	FrameRate  int
 }
 
 // Matrix expands the options into per-call capture configs. Successive
@@ -234,6 +259,10 @@ func Matrix(o MatrixOptions) []CaptureConfig {
 					MediaRate:    o.MediaRate,
 					DTLS:         o.DTLS,
 					Background:   o.Background,
+					Impair:       o.Impair,
+					Burst:        o.Burst,
+					BitrateVar:   o.BitrateVar,
+					FrameRate:    o.FrameRate,
 				})
 				start = start.Add(spacing)
 			}

@@ -40,6 +40,7 @@ import (
 	"github.com/rtc-compliance/rtcc/internal/dpi"
 	"github.com/rtc-compliance/rtcc/internal/interop"
 	"github.com/rtc-compliance/rtcc/internal/metrics"
+	"github.com/rtc-compliance/rtcc/internal/natsim"
 	"github.com/rtc-compliance/rtcc/internal/obs"
 	"github.com/rtc-compliance/rtcc/internal/pcap"
 	"github.com/rtc-compliance/rtcc/internal/proto"
@@ -169,6 +170,23 @@ type Capture = trace.Capture
 // MatrixOptions parameterizes the full 6-app × 3-network experiment
 // matrix.
 type MatrixOptions = trace.MatrixOptions
+
+// ImpairProfile is a composable network-impairment profile (loss,
+// burst loss, jitter with bounded reordering, duplication, mid-call
+// NAT rebinding) applied deterministically to a capture's call traffic
+// via CaptureConfig.Impair or MatrixOptions.Impair.
+type ImpairProfile = natsim.Profile
+
+// ImpairStats is the accounting of one impairment application.
+type ImpairStats = natsim.ImpairStats
+
+// ImpairProfiles lists the named standard impairment profiles.
+func ImpairProfiles() []ImpairProfile { return natsim.StandardProfiles() }
+
+// ImpairProfileByName resolves a standard impairment profile by name.
+func ImpairProfileByName(name string) (ImpairProfile, bool) {
+	return natsim.ProfileByName(name)
+}
 
 // Options configures an analysis run (DPI offset limit, filter window
 // slack, SNI blocklist, worker-pool size). Workers=0 uses every CPU,
