@@ -5,8 +5,11 @@ COVER_FLOOR ?= 70
 # The natsim impairment stage feeds every adverse-network suite, so it
 # carries a higher floor than the observability packages.
 COVER_FLOOR_NATSIM ?= 80
+# The buffer pool underpins the zero-copy hot path: a regression there
+# corrupts payloads silently, so it carries the highest floor.
+COVER_FLOOR_BUFPOOL ?= 85
 
-.PHONY: all vet staticcheck build test race fuzz-smoke cover bench proto-list trace-smoke impair-smoke ci
+.PHONY: all vet staticcheck build test race fuzz-smoke cover bench bench-json bench-check proto-list trace-smoke impair-smoke ci
 
 all: build
 
@@ -43,6 +46,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzParseLong -fuzztime=$(FUZZTIME) ./internal/quicwire
 	$(GO) test -run='^$$' -fuzz=FuzzDTLSProbe -fuzztime=$(FUZZTIME) ./internal/proto/dtlsdrv
 	$(GO) test -run='^$$' -fuzz=FuzzDecapsulate -fuzztime=$(FUZZTIME) ./internal/live
+	$(GO) test -run='^$$' -fuzz=FuzzFeedBatch -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run='^$$' -fuzz=FuzzImpair -fuzztime=$(FUZZTIME) ./internal/natsim
 
 # Per-package coverage table, plus a hard floor on the observability
@@ -58,6 +62,10 @@ cover:
 	done
 	@$(GO) test -coverprofile=coverage.out ./internal/natsim || exit 1; \
 	$(GO) tool cover -func=coverage.out | awk -v floor=$(COVER_FLOOR_NATSIM) -v pkg=internal/natsim \
+		'/^total:/ { pct = $$3+0; printf "%s coverage: %s (floor %d%%)\n", pkg, $$3, floor; \
+		 if (pct < floor) { print "coverage below floor"; exit 1 } }' || exit 1
+	@$(GO) test -coverprofile=coverage.out ./internal/bufpool || exit 1; \
+	$(GO) tool cover -func=coverage.out | awk -v floor=$(COVER_FLOOR_BUFPOOL) -v pkg=internal/bufpool \
 		'/^total:/ { pct = $$3+0; printf "%s coverage: %s (floor %d%%)\n", pkg, $$3, floor; \
 		 if (pct < floor) { print "coverage below floor"; exit 1 } }' || exit 1
 
@@ -83,6 +91,18 @@ impair-smoke:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
 
+# Regenerate the hot-path throughput baseline: the scenario matrix
+# (Feed / FeedBatch / batch over relay, P2P, and media-heavy loads)
+# measured best-of-N and written as BENCH_hotpath.json. Run on a quiet
+# machine and commit the result alongside the change that moved it.
+bench-json:
+	$(GO) run ./cmd/rtcbench -out BENCH_hotpath.json
+
+# Regression gate against the committed baseline: fails on >15% ingest
+# slowdown or any allocs/op increase beyond jitter in any scenario.
+bench-check:
+	$(GO) run ./cmd/rtcbench -baseline BENCH_hotpath.json
+
 # List the registered wire protocols: one row per handler with family,
 # demultiplexing precedence, fuzz target, and wire fingerprint. The
 # registry golden test (protolist_test.go) keeps this listing honest:
@@ -91,4 +111,4 @@ bench:
 proto-list:
 	$(GO) run ./cmd/rtccheck -protocols
 
-ci: vet staticcheck build race fuzz-smoke cover trace-smoke impair-smoke
+ci: vet staticcheck build race fuzz-smoke cover trace-smoke impair-smoke bench-check

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	rtcc "github.com/rtc-compliance/rtcc"
+	"github.com/rtc-compliance/rtcc/internal/bench"
 	"github.com/rtc-compliance/rtcc/internal/compliance"
 	"github.com/rtc-compliance/rtcc/internal/dpi"
 	"github.com/rtc-compliance/rtcc/internal/filterpipe"
@@ -788,4 +789,35 @@ func BenchmarkFilter_StageAblation(b *testing.B) {
 	b.ReportMetric(float64(bySNI), "stage2_sni")
 	b.ReportMetric(float64(byLocalIP), "stage2_localip")
 	b.ReportMetric(float64(byPort), "stage2_port")
+}
+
+// BenchmarkHotPath runs the internal/bench scenario matrix — every
+// ingestion mode (per-packet Feed, pooled FeedBatch, buffered batch)
+// over the relay, P2P, and media-heavy cells. The same harness backs
+// `make bench-json` and the CI regression gate, so these numbers and
+// the committed BENCH_hotpath.json baseline measure identical code.
+// The pkts/s metric counts only time inside the ingestion loop
+// (analyzer construction and Close are untimed in the harness but
+// inside b.N here, so ns/op reads higher than the JSON's ingest-only
+// ns_per_op).
+func BenchmarkHotPath(b *testing.B) {
+	for _, sc := range bench.Scenarios() {
+		b.Run(sc.Name, func(b *testing.B) {
+			p, err := bench.Prepare(sc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(p.Bytes)
+			b.ResetTimer()
+			var ingest time.Duration
+			for i := 0; i < b.N; i++ {
+				d, err := p.RunOnce()
+				if err != nil {
+					b.Fatal(err)
+				}
+				ingest += d
+			}
+			b.ReportMetric(float64(p.Packets)*float64(b.N)/ingest.Seconds(), "pkts/s")
+		})
+	}
 }

@@ -1,0 +1,185 @@
+// Command rtcbench measures the analyzer's hot-path throughput over
+// the internal/bench scenario matrix — every ingestion mode
+// (per-packet Feed, pooled FeedBatch, buffered batch) over the relay,
+// P2P, and media-heavy synthetic captures — and writes or checks a
+// machine-readable baseline.
+//
+// Usage:
+//
+//	rtcbench                                  # print the matrix
+//	rtcbench -out BENCH_hotpath.json          # write a baseline
+//	rtcbench -baseline BENCH_hotpath.json     # regression gate (CI)
+//
+// With -baseline, rtcbench exits non-zero when any scenario regresses
+// against the committed baseline: ingest time more than 15% slower,
+// or allocations up beyond measurement jitter. Each scenario runs
+// best-of-N repetitions (-reps) so a noisy neighbor on the CI machine
+// reads as a slow repetition that gets discarded, not a regression;
+// scenarios that still look regressed are re-measured (up to twice,
+// at double the repetition budget) before the gate fails, because
+// interference is one-sided — only a real regression survives every
+// retry.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"github.com/rtc-compliance/rtcc/internal/bench"
+	_ "github.com/rtc-compliance/rtcc/internal/proto/protoall"
+)
+
+// nsTolerance is the relative ingest-time slowdown tolerated before a
+// scenario counts as regressed. 15% sits well above run-to-run jitter
+// once best-of-N has discarded interference, and well below the ~2x
+// cost of reintroducing a per-packet heap allocation.
+const nsTolerance = 0.15
+
+// allocTolerance absorbs allocation-count jitter from runtime
+// internals (map growth, pool refill timing) without letting a real
+// per-packet allocation through: even one alloc per packet moves
+// allocs/op by thousands on these captures.
+const allocTolerance = 0.02
+const allocSlack = 64
+
+func main() {
+	var (
+		out      = flag.String("out", "", "write results as JSON to this file")
+		baseline = flag.String("baseline", "", "compare against this baseline JSON and exit 1 on regression")
+		reps     = flag.Int("reps", 3, "repetitions per scenario; the fastest is kept")
+		minIters = flag.Int("miniters", 3, "minimum iterations per repetition")
+		// 200ms of accumulated ingest per repetition: ingest per
+		// iteration runs 0.5-9ms across the matrix, so every cell still
+		// gets tens of iterations while the full best-of-3 matrix —
+		// whose wall clock is dominated by the untimed Close between
+		// iterations — finishes in a couple of minutes instead of ten.
+		minTime = flag.Duration("mintime", 200*time.Millisecond, "minimum measured ingest time per repetition")
+	)
+	flag.Parse()
+
+	var results []bench.Result
+	scenarioByName := make(map[string]bench.Scenario)
+	for _, sc := range bench.Scenarios() {
+		scenarioByName[sc.Name] = sc
+		p, err := bench.Prepare(sc)
+		if err != nil {
+			fatalf("prepare %s: %v", sc.Name, err)
+		}
+		res, err := bench.MeasureBest(p, *reps, *minIters, *minTime)
+		if err != nil {
+			fatalf("measure %s: %v", sc.Name, err)
+		}
+		results = append(results, res)
+	}
+	printTable(results)
+
+	if *out != "" {
+		buf, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fatalf("encode: %v", err)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fatalf("write %s: %v", *out, err)
+		}
+		fmt.Printf("wrote %s (%d scenarios)\n", *out, len(results))
+	}
+
+	if *baseline != "" {
+		base, err := readBaseline(*baseline)
+		if err != nil {
+			fatalf("baseline: %v", err)
+		}
+		// Wall-clock interference is one-sided: a busy neighbor only
+		// ever makes a repetition slower. So before declaring a
+		// regression, re-measure just the suspect scenarios with an
+		// escalated repetition budget — a real regression survives
+		// every retry, a noise spike does not.
+		regressed := compare(results, base)
+		for retry := 0; len(regressed) > 0 && retry < 2; retry++ {
+			fmt.Printf("re-measuring %d suspect scenario(s) with %d reps\n",
+				len(regressed), *reps*2)
+			var again []bench.Result
+			for _, r := range regressed {
+				p, err := bench.Prepare(scenarioByName[r.Name])
+				if err != nil {
+					fatalf("prepare %s: %v", r.Name, err)
+				}
+				res, err := bench.MeasureBest(p, *reps*2, *minIters, *minTime)
+				if err != nil {
+					fatalf("measure %s: %v", r.Name, err)
+				}
+				again = append(again, res)
+			}
+			regressed = compare(again, base)
+		}
+		if len(regressed) > 0 {
+			fatalf("%d scenario(s) regressed against %s", len(regressed), *baseline)
+		}
+		fmt.Printf("no regression against %s\n", *baseline)
+	}
+}
+
+func readBaseline(path string) (map[string]bench.Result, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var list []bench.Result
+	if err := json.Unmarshal(buf, &list); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]bench.Result, len(list))
+	for _, r := range list {
+		out[r.Name] = r
+	}
+	return out, nil
+}
+
+// compare returns the scenarios that regressed. A missing baseline
+// entry is informational, not a failure: new scenarios enter the
+// baseline on the next -out run.
+func compare(results []bench.Result, base map[string]bench.Result) []bench.Result {
+	var regressed []bench.Result
+	for _, r := range results {
+		b, ok := base[r.Name]
+		if !ok {
+			fmt.Printf("  %-24s no baseline entry (new scenario)\n", r.Name)
+			continue
+		}
+		bad := false
+		if r.NsPerOp > b.NsPerOp*(1+nsTolerance) {
+			fmt.Printf("REGRESSION %-24s ingest %.2fms vs baseline %.2fms (>%.0f%% slower)\n",
+				r.Name, r.NsPerOp/1e6, b.NsPerOp/1e6, nsTolerance*100)
+			bad = true
+		}
+		if r.AllocsPerOp > b.AllocsPerOp*(1+allocTolerance)+allocSlack {
+			fmt.Printf("REGRESSION %-24s allocs/op %.0f vs baseline %.0f\n",
+				r.Name, r.AllocsPerOp, b.AllocsPerOp)
+			bad = true
+		}
+		if bad {
+			regressed = append(regressed, r)
+		}
+	}
+	return regressed
+}
+
+func printTable(results []bench.Result) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "scenario\tpackets\tingest ms/op\tpkts/sec\tB/op\tallocs/op")
+	for _, r := range results {
+		fmt.Fprintf(w, "%s\t%d\t%.2f\t%.0f\t%.0f\t%.0f\n",
+			r.Name, r.Packets, r.NsPerOp/1e6, r.PktsPerSec, r.BytesPerOp, r.AllocsPerOp)
+	}
+	w.Flush()
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rtcbench: "+format+"\n", args...)
+	os.Exit(1)
+}

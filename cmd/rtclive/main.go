@@ -166,10 +166,15 @@ func runCollect(args []string) error {
 
 	received := 0
 	if *out == "" {
-		// Pure streaming: no capture buffer at all.
+		// Pure streaming: no capture buffer at all. Frames emitted by
+		// the reorder buffer are fed to the analyzer in small batches,
+		// amortizing the per-feed bookkeeping (each frame is freshly
+		// allocated, so batching retains nothing extra).
 		feed := func(pkt pcap.Packet) error { return nil }
+		var batcher *feedBatcher
 		if analyzer != nil {
-			feed = func(pkt pcap.Packet) error { return analyzer.Feed(pkt.Timestamp, pkt.Data) }
+			batcher = newFeedBatcher(analyzer)
+			feed = batcher.push
 		}
 		rb := live.NewReorderBuffer(*reorder, feed)
 		received, err = col.Stream(context.Background(), *maxFrames, rb.Push)
@@ -178,6 +183,11 @@ func runCollect(args []string) error {
 		}
 		if err := rb.Flush(); err != nil {
 			return err
+		}
+		if batcher != nil {
+			if err := batcher.flush(); err != nil {
+				return err
+			}
 		}
 	} else {
 		frames, err := col.Collect(context.Background(), *maxFrames)
@@ -204,10 +214,14 @@ func runCollect(args []string) error {
 		}
 		fmt.Printf("wrote %s\n", *out)
 		if analyzer != nil {
+			batcher := newFeedBatcher(analyzer)
 			for _, fr := range frames {
-				if err := analyzer.Feed(fr.Timestamp, fr.Data); err != nil {
+				if err := batcher.push(fr); err != nil {
 					return err
 				}
+			}
+			if err := batcher.flush(); err != nil {
+				return err
 			}
 		}
 	}
@@ -236,6 +250,34 @@ func runCollect(args []string) error {
 		fmt.Printf("finding: %s: %s\n", fd.Kind, fd.Detail)
 	}
 	return nil
+}
+
+// feedBatcher accumulates frames into fixed-size batches for
+// Analyzer.FeedBatch, amortizing per-feed bookkeeping on the live path.
+type feedBatcher struct {
+	a     *core.Analyzer
+	batch []core.Datagram
+}
+
+func newFeedBatcher(a *core.Analyzer) *feedBatcher {
+	return &feedBatcher{a: a, batch: make([]core.Datagram, 0, 64)}
+}
+
+func (b *feedBatcher) push(pkt pcap.Packet) error {
+	b.batch = append(b.batch, core.Datagram{Timestamp: pkt.Timestamp, Frame: pkt.Data})
+	if len(b.batch) == cap(b.batch) {
+		return b.flush()
+	}
+	return nil
+}
+
+func (b *feedBatcher) flush() error {
+	if len(b.batch) == 0 {
+		return nil
+	}
+	err := b.a.FeedBatch(b.batch)
+	b.batch = b.batch[:0]
+	return err
 }
 
 // flushTrace finishes the -trace-out export; a nil writer is a no-op.

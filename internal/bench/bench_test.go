@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestScenarioMatrix pins the shape of the benchmark matrix: every
+// ingestion mode crossed with every traffic cell, unique names, and
+// the media-heavy cell present — the cell the FeedBatch speedup
+// criterion is recorded on.
+func TestScenarioMatrix(t *testing.T) {
+	scs := Scenarios()
+	if len(scs) != 9 {
+		t.Fatalf("Scenarios() = %d cells, want 9 (3 modes x 3 cells)", len(scs))
+	}
+	seen := map[string]bool{}
+	perMode := map[Mode]int{}
+	mediaHeavy := 0
+	for _, sc := range scs {
+		if seen[sc.Name] {
+			t.Errorf("duplicate scenario name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+		perMode[sc.Mode]++
+		if strings.HasSuffix(sc.Name, "/media-heavy") {
+			mediaHeavy++
+			if sc.Background {
+				t.Errorf("%s: media-heavy cell must disable background traffic", sc.Name)
+			}
+		}
+	}
+	for _, m := range []Mode{ModeFeed, ModeFeedBatch, ModeBatch} {
+		if perMode[m] != 3 {
+			t.Errorf("mode %s has %d cells, want 3", m, perMode[m])
+		}
+	}
+	if mediaHeavy != 3 {
+		t.Errorf("media-heavy cells = %d, want one per mode", mediaHeavy)
+	}
+}
+
+// TestHarnessRuns drives one full Measure through each ingestion mode
+// on the small relay cell: every mode must analyze the identical
+// capture and report a coherent measurement.
+func TestHarnessRuns(t *testing.T) {
+	packets := map[Mode]int{}
+	for _, sc := range Scenarios() {
+		if !strings.HasSuffix(sc.Name, "/relay") {
+			continue
+		}
+		p, err := Prepare(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		if p.Packets == 0 || p.Bytes == 0 {
+			t.Fatalf("%s: empty capture (%d packets, %d bytes)", sc.Name, p.Packets, p.Bytes)
+		}
+		packets[sc.Mode] = p.Packets
+		res, err := Measure(p, 2, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		if res.Name != sc.Name || res.Packets != p.Packets {
+			t.Errorf("%s: result identity %q/%d, want %q/%d", sc.Name, res.Name, res.Packets, sc.Name, p.Packets)
+		}
+		if res.NsPerOp <= 0 || res.PktsPerSec <= 0 {
+			t.Errorf("%s: non-positive measurement %+v", sc.Name, res)
+		}
+	}
+	if packets[ModeFeed] != packets[ModeFeedBatch] || packets[ModeFeed] != packets[ModeBatch] {
+		t.Errorf("modes saw different captures: %v", packets)
+	}
+}
+
+// TestMeasureBestKeepsFastest checks the noise-rejection helper
+// returns a result and that repetitions don't change the workload.
+func TestMeasureBestKeepsFastest(t *testing.T) {
+	sc := Scenarios()[0]
+	p, err := Prepare(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MeasureBest(p, 2, 1, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Name != sc.Name || res.NsPerOp <= 0 {
+		t.Errorf("MeasureBest returned %+v for %s", res, sc.Name)
+	}
+}

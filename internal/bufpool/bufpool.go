@@ -1,0 +1,194 @@
+// Package bufpool is the pipeline's packet-buffer arena: a sync.Pool
+// of fixed-size chunks plus per-stream Arenas that pack payload copies
+// into those chunks, so the steady-state datagram path performs zero
+// heap allocations per packet.
+//
+// Ownership model (DESIGN.md §14): an Arena owns every byte slice it
+// returns from Append. The slices stay valid until the owner calls
+// Release, which hands the backing chunks back to the shared Pool for
+// reuse by any stream. Nothing downstream of the release point may
+// retain an appended slice — in test builds, EnablePoison overwrites
+// released chunks with a poison byte so a retained reference is
+// detected as corrupted data rather than silent reuse.
+//
+// The Pool is safe for concurrent use (Release may run on worker
+// goroutines while Feed appends on another stream's arena); a single
+// Arena is single-owner, matching the analyzer's per-stream
+// single-writer discipline.
+package bufpool
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ChunkSize is the byte capacity of one pooled chunk. It comfortably
+// holds a burst of full-size UDP payloads; payloads larger than this
+// get a dedicated, exactly-sized chunk that is not pooled on release.
+const ChunkSize = 64 * 1024
+
+// PoisonByte fills released chunks when poisoning is enabled.
+const PoisonByte = 0xDB
+
+// poison is process-wide because chunks migrate between streams
+// through the shared pool; tests flip it before exercising release
+// paths. Atomic so the race hammer can run under -race.
+var poison atomic.Bool
+
+// EnablePoison makes every Release overwrite the released chunks with
+// PoisonByte before pooling them, so a buffer referenced after release
+// reads as corrupt. Intended for tests; returns the previous setting.
+func EnablePoison(on bool) bool { return poison.Swap(on) }
+
+// chunk is one pooled backing buffer. Chunks link into a list per
+// arena so acquiring or releasing them never allocates.
+type chunk struct {
+	buf  []byte
+	used int
+	next *chunk
+}
+
+// Stats is a point-in-time copy of a pool's counters.
+type Stats struct {
+	// Gets counts chunk acquisitions; Misses counts the subset that
+	// allocated a fresh chunk because the pool was empty.
+	Gets, Misses uint64
+	// Puts counts chunks returned for reuse.
+	Puts uint64
+	// Oversize counts payloads larger than ChunkSize, served by
+	// dedicated chunks that are dropped (not pooled) on release.
+	Oversize uint64
+}
+
+// Pool is a concurrency-safe source of fixed-size chunks. The zero
+// value is not usable; construct with New. A nil *Pool disables
+// pooling wherever one is optional.
+type Pool struct {
+	p        sync.Pool
+	gets     atomic.Uint64
+	misses   atomic.Uint64
+	puts     atomic.Uint64
+	oversize atomic.Uint64
+}
+
+// New returns an empty pool.
+func New() *Pool {
+	p := &Pool{}
+	p.p.New = func() any {
+		p.misses.Add(1)
+		return &chunk{buf: make([]byte, 0, ChunkSize)}
+	}
+	return p
+}
+
+var global = New()
+
+// Global returns the process-wide shared pool, the default arena
+// backing for callers that do not manage their own.
+func Global() *Pool { return global }
+
+// Stats returns the pool's counters.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Gets:     p.gets.Load(),
+		Misses:   p.misses.Load(),
+		Puts:     p.puts.Load(),
+		Oversize: p.oversize.Load(),
+	}
+}
+
+func (p *Pool) get() *chunk {
+	p.gets.Add(1)
+	c := p.p.Get().(*chunk)
+	c.used = 0
+	c.next = nil
+	return c
+}
+
+func (p *Pool) put(c *chunk) {
+	if cap(c.buf) != ChunkSize {
+		// Dedicated oversize chunk: let the GC take it rather than
+		// pinning an unusual size in the pool.
+		return
+	}
+	if poison.Load() {
+		b := c.buf[:c.used]
+		for i := range b {
+			b[i] = PoisonByte
+		}
+	}
+	c.used = 0
+	c.next = nil
+	p.puts.Add(1)
+	p.p.Put(c)
+}
+
+// Arena packs byte-slice copies into pooled chunks. The zero value is
+// not usable; construct with NewArena. An Arena is single-owner: only
+// one goroutine may Append, and Release must not race with Append.
+type Arena struct {
+	pool *Pool
+	// head..tail is the chain of chunks owned by this arena; tail is
+	// the one Append currently packs into.
+	head, tail *chunk
+}
+
+// NewArena returns an empty arena drawing from the pool.
+func (p *Pool) NewArena() *Arena { return &Arena{pool: p} }
+
+// Append copies b into the arena and returns the arena-owned copy,
+// valid until Release. A zero-length b returns a non-nil empty slice
+// (matching the batch decoder's payload convention). Append never
+// allocates once the pool is warm, except for payloads larger than
+// ChunkSize, which get a dedicated chunk.
+func (a *Arena) Append(b []byte) []byte {
+	n := len(b)
+	if n > ChunkSize {
+		a.pool.oversize.Add(1)
+		c := &chunk{buf: make([]byte, 0, n), used: n}
+		c.buf = c.buf[:n]
+		copy(c.buf, b)
+		a.link(c)
+		return c.buf
+	}
+	c := a.tail
+	if c == nil || cap(c.buf)-c.used < n {
+		c = a.pool.get()
+		a.link(c)
+	}
+	dst := c.buf[c.used : c.used+n : c.used+n]
+	copy(dst, b)
+	c.used += n
+	return dst
+}
+
+// link appends c to the arena's chunk chain and makes it current.
+func (a *Arena) link(c *chunk) {
+	if a.tail == nil {
+		a.head = c
+	} else {
+		a.tail.next = c
+	}
+	a.tail = c
+}
+
+// Release returns every chunk to the pool. All slices previously
+// returned by Append become invalid. The arena remains usable: the
+// next Append starts a fresh chain.
+func (a *Arena) Release() {
+	for c := a.head; c != nil; {
+		next := c.next
+		a.pool.put(c)
+		c = next
+	}
+	a.head, a.tail = nil, nil
+}
+
+// Bytes reports how many payload bytes the arena currently holds.
+func (a *Arena) Bytes() int {
+	n := 0
+	for c := a.head; c != nil; c = c.next {
+		n += c.used
+	}
+	return n
+}

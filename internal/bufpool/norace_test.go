@@ -1,0 +1,5 @@
+//go:build !race
+
+package bufpool
+
+const raceEnabled = false

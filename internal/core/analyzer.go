@@ -1,12 +1,12 @@
 package core
 
 import (
-	"container/list"
 	"errors"
 	"fmt"
 	"net/netip"
 	"time"
 
+	"github.com/rtc-compliance/rtcc/internal/bufpool"
 	"github.com/rtc-compliance/rtcc/internal/compliance"
 	"github.com/rtc-compliance/rtcc/internal/dpi"
 	"github.com/rtc-compliance/rtcc/internal/filterpipe"
@@ -52,6 +52,16 @@ type AnalyzerConfig struct {
 	// SSRC first validates in a later chunk than it was sighted in.
 	// Incompatible with KeepPayloads.
 	EvictIdle time.Duration
+	// Pool, when non-nil, copies kept UDP payloads into per-stream
+	// arenas drawn from this pool instead of heap-allocating each copy,
+	// and releases a stream's arena when its payloads are dropped (an
+	// online filter removal, a chunk finalization, or Close). Together
+	// with FeedBatch this makes the steady-state datagram path
+	// allocation-free. Ownership rules are in DESIGN.md §14.
+	// Incompatible with KeepPayloads (the batch result would retain
+	// released buffers); ignored when FramesStable promises stable
+	// frames (nothing is copied then).
+	Pool *bufpool.Pool
 }
 
 // streamState is the Analyzer's per-stream pipeline state beyond what
@@ -77,8 +87,24 @@ type streamState struct {
 	// off); it buffers events until the analyzer flushes it at a
 	// deterministic point.
 	span *obs.Span
-	// elem is the stream's recency-list position; nil while evicted.
-	elem *list.Element
+	// arena holds the stream's pooled payload copies (pool mode only);
+	// released whenever the stream's buffered payloads are dropped.
+	arena *bufpool.Arena
+	// prev/next link the stream into the analyzer's intrusive recency
+	// list (least-recent first); inList marks membership (false while
+	// evicted). Embedding the links keeps stream wake-ups
+	// allocation-free — container/list would allocate an Element per
+	// re-insertion.
+	prev, next *streamState
+	inList     bool
+	// checkSeq is the Analyzer.feedSeq value at the stream's last
+	// per-feed maintenance (recency bump, online-filter re-check).
+	// Feed bumps feedSeq per packet, FeedBatch per batch, so batching
+	// amortizes that maintenance to once per stream per batch — an
+	// output-neutral change, because every online filter rule is
+	// monotone and eviction/removal timing only moves chunk
+	// boundaries.
+	checkSeq uint64
 }
 
 // Analyzer is the incremental analysis pipeline: Feed advances packet
@@ -93,10 +119,19 @@ type Analyzer struct {
 
 	table  *flow.Table
 	states map[flow.Key]*streamState
-	// recency orders live (non-evicted) streams by last activity,
-	// least-recent first.
-	recency *list.List
-	engine  *dpi.Engine
+	// recHead..recTail is the intrusive recency list ordering live
+	// (non-evicted) streams by last activity, least-recent first.
+	recHead, recTail *streamState
+	engine           *dpi.Engine
+
+	// lastKey/lastSt memoize the most recently fed stream: RTC traffic
+	// arrives in per-stream bursts, so consecutive datagrams usually hit
+	// the same stream and skip both map lookups.
+	lastKey flow.Key
+	lastSt  *streamState
+	// feedSeq numbers feed calls (one Feed or one FeedBatch each); see
+	// streamState.checkSeq.
+	feedSeq uint64
 
 	frames     int
 	decodeErrs int
@@ -138,13 +173,15 @@ func NewAnalyzer(cfg AnalyzerConfig, opts Options) (*Analyzer, error) {
 	if cfg.EvictIdle > 0 && cfg.KeepPayloads {
 		return nil, errors.New("core: KeepPayloads is incompatible with EvictIdle")
 	}
+	if cfg.Pool != nil && cfg.KeepPayloads {
+		return nil, errors.New("core: KeepPayloads is incompatible with Pool (the batch result would retain released buffers)")
+	}
 	fcfg := filterpipe.Config{WindowSlack: opts.WindowSlack, SNIBlocklist: opts.SNIBlocklist}
 	a := &Analyzer{
 		cfg:          cfg,
 		opts:         opts,
 		table:        flow.NewTable(),
 		states:       make(map[flow.Key]*streamState),
-		recency:      list.New(),
 		engine:       opts.engine(),
 		blocklist:    fcfg.Blocklist(),
 		preCallPairs: make(map[[2]netip.Addr]bool),
@@ -169,6 +206,54 @@ func (a *Analyzer) Feed(ts time.Time, frame []byte) error {
 	}
 	start := a.am.feedSeconds.Start()
 	defer a.am.feedSeconds.ObserveSince(start)
+	a.feedSeq++
+	a.feedOne(ts, frame)
+	if a.cfg.EvictIdle > 0 {
+		a.evictIdle(ts)
+	}
+	return nil
+}
+
+// Datagram is one captured frame with its timestamp, the unit of
+// FeedBatch.
+type Datagram struct {
+	Timestamp time.Time
+	Frame     []byte
+}
+
+// FeedBatch advances the pipeline over a slice of frames, amortizing
+// the per-packet overhead Feed cannot avoid (the feed-latency probe
+// and the per-call bookkeeping) and giving the same-stream fast path
+// its best hit rate. Output is identical to feeding the datagrams one
+// at a time — batching changes scheduling, never results.
+//
+// Unless FramesStable is set, every frame is copied out (to the pool's
+// arenas in pool mode) before FeedBatch returns, so the caller may
+// reuse the frame buffers — but not before the call returns, which is
+// what lets readers batch frames in a reused ring.
+func (a *Analyzer) FeedBatch(batch []Datagram) error {
+	if a.closed {
+		return errors.New("core: Feed after Close")
+	}
+	if len(batch) == 0 {
+		return nil
+	}
+	start := a.am.feedSeconds.Start()
+	a.feedSeq++
+	for i := range batch {
+		a.feedOne(batch[i].Timestamp, batch[i].Frame)
+	}
+	if a.cfg.EvictIdle > 0 {
+		a.evictIdle(batch[len(batch)-1].Timestamp)
+	}
+	a.am.feedSeconds.ObserveSince(start)
+	a.am.feedBatches.Inc()
+	return nil
+}
+
+// feedOne is the shared per-frame pipeline step behind Feed and
+// FeedBatch: decode, flow grouping, online filtering, and DPI pass 1.
+func (a *Analyzer) feedOne(ts time.Time, frame []byte) {
 	if a.frames == 0 {
 		a.firstTS = ts
 	}
@@ -178,45 +263,77 @@ func (a *Analyzer) Feed(ts time.Time, frame []byte) error {
 	pkt := &a.pkt
 	if err := layers.DecodeInto(pkt, a.cfg.LinkType, frame); err != nil {
 		a.decodeErrs++
-		return nil
+		return
 	}
 	proto, srcPort, dstPort := pkt.Transport()
 	if proto == 0 {
-		return nil
+		return
 	}
 	src := flow.Endpoint{Addr: pkt.Src(), Port: srcPort}
 	dst := flow.Endpoint{Addr: pkt.Dst(), Port: dstPort}
 	key := flow.KeyFor(proto, src, dst)
-	st := a.states[key]
+	var st *streamState
+	if a.lastSt != nil && key == a.lastKey {
+		st = a.lastSt
+	} else {
+		st = a.states[key]
+	}
+	isNew := st == nil
 
 	// Retention: batch compatibility keeps everything; otherwise only
 	// provisionally-RTC UDP streams need their records (payload for
 	// DPI, timestamp for compliance, direction for findings).
-	keep := a.cfg.KeepPayloads || (proto == layers.IPProtocolUDP && (st == nil || !st.removed))
+	keep := a.cfg.KeepPayloads || (proto == layers.IPProtocolUDP && (isNew || !st.removed))
 	if keep && !a.cfg.FramesStable {
-		// make+copy (not append to nil) so a zero-length payload stays a
-		// non-nil empty slice, exactly as the batch decoder leaves it.
-		cp := make([]byte, len(pkt.Payload))
-		copy(cp, pkt.Payload)
-		pkt.Payload = cp
+		if a.cfg.Pool != nil {
+			// Pool mode: the copy lands in the stream's arena, which
+			// requires the state up front (flow.AddPacket cannot fail
+			// past the proto check above, so pre-creating is safe).
+			if isNew {
+				st = &streamState{}
+				a.states[key] = st
+			}
+			if st.arena == nil {
+				st.arena = a.cfg.Pool.NewArena()
+			}
+			pkt.Payload = st.arena.Append(pkt.Payload)
+		} else {
+			// make+copy (not append to nil) so a zero-length payload
+			// stays a non-nil empty slice, exactly as the batch decoder
+			// leaves it.
+			cp := make([]byte, len(pkt.Payload))
+			copy(cp, pkt.Payload)
+			pkt.Payload = cp
+		}
 	}
-	s, ok := a.table.AddPacket(ts, pkt, keep)
-	if !ok {
-		return nil
+	var s *flow.Stream
+	if st != nil && st.s != nil {
+		// Known stream: append directly, skipping the key
+		// re-canonicalization and stream-map lookup.
+		s = st.s
+		dir := flow.DirAToB
+		if key.A != src {
+			dir = flow.DirBToA
+		}
+		var flags uint8
+		if pkt.TCP != nil {
+			flags = pkt.TCP.Flags
+		}
+		a.table.AddToStream(s, ts, dir, src, dst, pkt.Payload, flags, keep)
+	} else {
+		var ok bool
+		s, ok = a.table.AddPacket(ts, pkt, keep)
+		if !ok {
+			return
+		}
 	}
 	if st == nil {
 		st = &streamState{s: s}
 		a.states[key] = st
-		st.elem = a.recency.PushBack(st)
-		a.streamLive(+1)
-	} else if st.elem != nil {
-		a.recency.MoveToBack(st.elem)
-	} else {
-		// An evicted stream woke up: it rejoins the live set and its
-		// next finalization continues the persisted contexts.
-		st.elem = a.recency.PushBack(st)
-		a.streamLive(+1)
+	} else if st.s == nil {
+		st.s = s
 	}
+	a.lastKey, a.lastSt = key, st
 
 	if a.windowKnown && ts.Before(a.cfg.CallStart) {
 		a.preCallPairs[filterpipe.PairKey(key.A.Addr, key.B.Addr)] = true
@@ -227,12 +344,35 @@ func (a *Analyzer) Feed(ts time.Time, frame []byte) error {
 		}
 	}
 
-	if !st.removed && a.removableNow(s, st) {
-		st.removed = true
-		if !a.cfg.KeepPayloads {
-			s.Packets = nil
+	// Per-feed maintenance, once per stream per Feed/FeedBatch call:
+	// recency ordering and the online-filter re-check. Both are
+	// output-neutral at any granularity (filter rules are monotone,
+	// removal and eviction timing only move chunk boundaries), so a
+	// batch pays them once per touched stream instead of per packet.
+	if st.checkSeq != a.feedSeq {
+		st.checkSeq = a.feedSeq
+		if st.inList {
+			a.recencyMoveToBack(st)
+		} else {
+			// A new stream, or an evicted one waking up: it (re)joins
+			// the live set and its next finalization continues the
+			// persisted contexts.
+			a.recencyPushBack(st)
+			a.streamLive(+1)
 		}
-		st.insp = nil
+		if !st.removed && a.removableNow(s, st) {
+			st.removed = true
+			if !a.cfg.KeepPayloads {
+				s.Packets = nil
+			}
+			st.insp = nil
+			if st.arena != nil {
+				// The records and inspector buffer are gone; the copies
+				// are dead, so the chunks go back to the pool.
+				st.arena.Release()
+				st.arena = nil
+			}
+		}
 	}
 	if proto == layers.IPProtocolUDP && !st.removed {
 		if st.insp == nil {
@@ -244,10 +384,44 @@ func (a *Analyzer) Feed(ts time.Time, frame []byte) error {
 		}
 		st.insp.Feed(pkt.Payload)
 	}
-	if a.cfg.EvictIdle > 0 {
-		a.evictIdle(ts)
+}
+
+// recencyPushBack appends st at the most-recent end.
+func (a *Analyzer) recencyPushBack(st *streamState) {
+	st.prev = a.recTail
+	st.next = nil
+	if a.recTail != nil {
+		a.recTail.next = st
+	} else {
+		a.recHead = st
 	}
-	return nil
+	a.recTail = st
+	st.inList = true
+}
+
+// recencyRemove unlinks st from the recency list.
+func (a *Analyzer) recencyRemove(st *streamState) {
+	if st.prev != nil {
+		st.prev.next = st.next
+	} else {
+		a.recHead = st.next
+	}
+	if st.next != nil {
+		st.next.prev = st.prev
+	} else {
+		a.recTail = st.prev
+	}
+	st.prev, st.next = nil, nil
+	st.inList = false
+}
+
+// recencyMoveToBack marks st most recent.
+func (a *Analyzer) recencyMoveToBack(st *streamState) {
+	if a.recTail == st {
+		return
+	}
+	a.recencyRemove(st)
+	a.recencyPushBack(st)
 }
 
 // streamLive adjusts the live-stream accounting and gauges.
@@ -296,21 +470,19 @@ func (a *Analyzer) removableNow(s *flow.Stream, st *streamState) bool {
 // evictIdle finalizes and evicts streams idle past the configured
 // threshold, walking the recency list from its least-recent end.
 func (a *Analyzer) evictIdle(now time.Time) {
-	for e := a.recency.Front(); e != nil; {
-		st := e.Value.(*streamState)
+	for st := a.recHead; st != nil; {
 		if now.Sub(st.s.LastSeen) <= a.cfg.EvictIdle {
 			break
 		}
-		next := e.Next()
-		a.recency.Remove(e)
-		st.elem = nil
+		next := st.next
+		a.recencyRemove(st)
 		if a.trace != nil {
 			a.trace.StreamEvicted(st.s.Key.String())
 		}
 		a.finalizeChunk(st)
 		a.streamLive(-1)
 		a.am.evicted.Inc()
-		e = next
+		st = next
 	}
 }
 
@@ -334,8 +506,27 @@ func (a *Analyzer) finalizeChunk(st *streamState) {
 		st.span.Flush()
 	}
 	if !a.cfg.KeepPayloads {
-		s.Packets = nil
+		a.dropRecords(s)
 	}
+	if st.arena != nil {
+		// Everything in the chunk has been consumed (verdicts and trace
+		// windows copy the bytes they keep); the payload copies go back
+		// to the pool. The arena stays usable for a wake-up.
+		st.arena.Release()
+	}
+}
+
+// dropRecords releases a stream's per-packet records. In pool mode the
+// record storage is recycled in place (the next chunk reuses the
+// array); otherwise it is handed to the GC, matching the historical
+// nil convention the KeepPayloads result shape relies on.
+func (a *Analyzer) dropRecords(s *flow.Stream) {
+	if a.cfg.Pool != nil {
+		clear(s.Packets)
+		s.Packets = s.Packets[:0]
+		return
+	}
+	s.Packets = nil
 }
 
 // Close reconciles the online verdicts against the full two-stage
@@ -412,6 +603,10 @@ func (a *Analyzer) Close() (*CaptureAnalysis, error) {
 		if !a.cfg.KeepPayloads {
 			s.Packets = nil
 		}
+		if st.arena != nil {
+			st.arena.Release()
+			st.arena = nil
+		}
 	}
 
 	// Finalize the surviving UDP RTC streams, fanned out exactly like
@@ -477,6 +672,13 @@ func (a *Analyzer) finishStream(s *flow.Stream) *streamPartial {
 	}
 	if !a.cfg.KeepPayloads {
 		s.Packets = nil
+	}
+	if st.arena != nil {
+		// The verdicts and trace events copied whatever bytes they
+		// keep, so the stream's pooled copies are dead; the shared pool
+		// is safe to return to from concurrent workers.
+		st.arena.Release()
+		st.arena = nil
 	}
 	return st.partial
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/rtc-compliance/rtcc/internal/appsim"
+	"github.com/rtc-compliance/rtcc/internal/bufpool"
 	"github.com/rtc-compliance/rtcc/internal/flow"
 )
 
@@ -195,6 +196,16 @@ func TestGoldenMatrix(t *testing.T) {
 							raw := capturePCAPBytes(t, cap)
 							return AnalyzePCAP(bytes.NewReader(raw), string(cap.Config.App),
 								cap.CallStart, cap.CallEnd, Options{Workers: 1, EvictIdle: 500 * time.Millisecond})
+						}},
+						{"pooled-batched", func() (*CaptureAnalysis, error) {
+							// The single-pass reader: batched FeedBatch over
+							// pooled buffers, with poison-on-release armed so
+							// any use of a released payload corrupts the
+							// output instead of passing silently.
+							defer bufpool.EnablePoison(bufpool.EnablePoison(true))
+							raw := capturePCAPBytes(t, cap)
+							return AnalyzePCAP(bytes.NewReader(raw), string(cap.Config.App),
+								cap.CallStart, cap.CallEnd, Options{Workers: 1})
 						}},
 					} {
 						ca, err := mode.run()

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/rtc-compliance/rtcc/internal/appsim"
+	"github.com/rtc-compliance/rtcc/internal/bufpool"
 	"github.com/rtc-compliance/rtcc/internal/compliance"
 	"github.com/rtc-compliance/rtcc/internal/dpi"
 	"github.com/rtc-compliance/rtcc/internal/metrics"
@@ -104,7 +105,8 @@ func TestImpairMatrixDifferential(t *testing.T) {
 			for _, p := range profiles {
 				p := p
 				t.Run(fmt.Sprintf("%s/%s/%d", app, p.Name, seed), func(t *testing.T) {
-					in := impairCapture(t, app, p, seed).Input()
+					capt := impairCapture(t, app, p, seed)
+					in := capt.Input()
 					batch, err := BatchAnalyzeCapture(in, Options{Workers: 1})
 					if err != nil {
 						t.Fatal(err)
@@ -123,6 +125,23 @@ func TestImpairMatrixDifferential(t *testing.T) {
 								workers, diffHint(got, enc))
 						}
 					}
+
+					// The pooled, batched single-pass reader must agree
+					// byte-for-byte on impaired traffic too; poison armed
+					// so a use-after-release shows up as divergence.
+					func() {
+						defer bufpool.EnablePoison(bufpool.EnablePoison(true))
+						raw := capturePCAPBytes(t, capt)
+						pooled, err := AnalyzePCAP(bytes.NewReader(raw), in.Label,
+							in.CallStart, in.CallEnd, Options{Workers: 1})
+						if err != nil {
+							t.Fatalf("pooled-batched: %v", err)
+						}
+						if enc := encodeGolden(pooled); !bytes.Equal(enc, got) {
+							t.Fatalf("pooled-batched reader diverged from batch on impaired traffic:\n%s",
+								diffHint(got, enc))
+						}
+					}()
 
 					// Stability invariant 1: impairment never conjures a
 					// protocol family the clean call did not carry.

@@ -46,6 +46,7 @@ type analyzerMetrics struct {
 	activePeak   *metrics.Gauge
 	evicted      *metrics.Counter
 	reclassified *metrics.Counter
+	feedBatches  *metrics.Counter
 	feedSeconds  *metrics.Histogram
 }
 
@@ -59,6 +60,7 @@ func newAnalyzerMetrics(r *metrics.Registry, app string) analyzerMetrics {
 		activePeak:   r.Gauge("core_active_streams_peak", l),
 		evicted:      r.Counter("core_evicted_streams_total", l),
 		reclassified: r.Counter("core_reclassified_streams_total", l),
+		feedBatches:  r.Counter("core_feed_batches_total", l),
 		feedSeconds:  r.Histogram("core_feed_seconds", nil, l),
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"io"
 	"time"
 
+	"github.com/rtc-compliance/rtcc/internal/bufpool"
 	"github.com/rtc-compliance/rtcc/internal/compliance"
 	"github.com/rtc-compliance/rtcc/internal/dpi"
 	"github.com/rtc-compliance/rtcc/internal/filterpipe"
@@ -245,6 +246,10 @@ type streamPartial struct {
 	dgramBase  int
 	curDgram   int
 	curPayload []byte
+
+	// obs is scratch for Registry.Observe: passing the address of a
+	// stack local would force a heap allocation per consume call.
+	obs proto.Observation
 }
 
 func newStreamPartial(span *obs.Span) *streamPartial {
@@ -266,7 +271,7 @@ func (p *streamPartial) consume(recs []flow.Packet, results []dpi.Result, sessio
 	if p.span != nil && session.Trace == nil {
 		session.Trace = p.traceVerdict
 	}
-	var o proto.Observation
+	o := &p.obs
 	for i, r := range results {
 		p.curDgram = p.dgramBase + i + 1
 		p.curPayload = recs[i].Payload
@@ -275,7 +280,7 @@ func (p *streamPartial) consume(recs []flow.Packet, results []dpi.Result, sessio
 			for _, c := range session.Check(m, recs[i].Timestamp) {
 				p.stats.AddChecked(c)
 			}
-			reg.Observe(m, &o)
+			reg.Observe(m, o)
 			if o.HasSSRC {
 				p.ssrcs[o.SSRC] = true
 			}
@@ -326,11 +331,53 @@ func analyzeStream(s *flow.Stream, opts Options) *streamPartial {
 	return p
 }
 
+// feedBatchSize is how many records AnalyzePCAP accumulates before
+// handing them to Analyzer.FeedBatch. Each pending record needs its own
+// frame buffer (the ring below), so the batch size bounds the reader's
+// resident frame memory at batch × max-frame-size.
+const feedBatchSize = 64
+
+// frameRing holds one reusable frame buffer per batch slot plus the
+// pending batch itself. Frames read into a slot stay valid until the
+// batch is flushed — FeedBatch copies payload bytes out (into pooled
+// arenas) before returning, after which the slots are reused.
+type frameRing struct {
+	bufs  [feedBatchSize][]byte
+	batch []Datagram
+}
+
+func newFrameRing() *frameRing {
+	return &frameRing{batch: make([]Datagram, 0, feedBatchSize)}
+}
+
+// slot returns the buffer pointer for the next record to be read into.
+func (fr *frameRing) slot() *[]byte { return &fr.bufs[len(fr.batch)] }
+
+// add appends a record read into the current slot and reports whether
+// the batch is full and must be flushed.
+func (fr *frameRing) add(ts time.Time, frame []byte) bool {
+	fr.batch = append(fr.batch, Datagram{Timestamp: ts, Frame: frame})
+	return len(fr.batch) == feedBatchSize
+}
+
+// flush feeds the pending batch (a no-op when empty) and resets it.
+func (fr *frameRing) flush(a *Analyzer) error {
+	if len(fr.batch) == 0 {
+		return nil
+	}
+	err := a.FeedBatch(fr.batch)
+	fr.batch = fr.batch[:0]
+	return err
+}
+
 // AnalyzePCAP reads a capture stream — classic pcap or pcapng, detected
-// from the leading magic — and analyzes it incrementally: each record
-// is decoded and fed to the Analyzer as it is read, reusing one record
-// buffer, so memory holds per-stream state instead of the whole file.
-// A zero callStart defaults the call window to the capture's span.
+// from the leading magic — and analyzes it incrementally: records are
+// decoded into a small ring of reusable frame buffers and fed to the
+// Analyzer in batches, so memory holds per-stream state instead of the
+// whole file. Unless KeepPayloads is set, retained payload bytes live
+// in pooled buffers (internal/bufpool) that return to the process-wide
+// pool as streams are filtered out, evicted, or finalized. A zero
+// callStart defaults the call window to the capture's span.
 func AnalyzePCAP(r io.Reader, label string, callStart, callEnd time.Time, opts Options) (*CaptureAnalysis, error) {
 	br := bufio.NewReader(r)
 	head, err := br.Peek(4)
@@ -345,6 +392,10 @@ func AnalyzePCAP(r io.Reader, label string, callStart, callEnd time.Time, opts O
 		KeepPayloads:        opts.KeepPayloads,
 		EvictIdle:           opts.EvictIdle,
 	}
+	if !opts.KeepPayloads {
+		cfg.Pool = bufpool.Global()
+	}
+	ring := newFrameRing()
 	if pcap.IsPCAPNG(head) {
 		ngr, err := pcap.NewNGReader(br)
 		if err != nil {
@@ -354,9 +405,8 @@ func AnalyzePCAP(r io.Reader, label string, callStart, callEnd time.Time, opts O
 		// the historical ReadAll behavior for single-interface files),
 		// so the Analyzer is created on first read.
 		var a *Analyzer
-		var buf []byte
 		for {
-			pkt, linkType, err := ngr.ReadPacketInto(&buf)
+			pkt, linkType, err := ngr.ReadPacketInto(ring.slot())
 			if err == io.EOF {
 				break
 			}
@@ -369,8 +419,10 @@ func AnalyzePCAP(r io.Reader, label string, callStart, callEnd time.Time, opts O
 					return nil, err
 				}
 			}
-			if err := a.Feed(pkt.Timestamp, pkt.Data); err != nil {
-				return nil, err
+			if ring.add(pkt.Timestamp, pkt.Data) {
+				if err := ring.flush(a); err != nil {
+					return nil, err
+				}
 			}
 		}
 		if a == nil {
@@ -378,6 +430,9 @@ func AnalyzePCAP(r io.Reader, label string, callStart, callEnd time.Time, opts O
 			if a, err = NewAnalyzer(cfg, opts); err != nil {
 				return nil, err
 			}
+		}
+		if err := ring.flush(a); err != nil {
+			return nil, err
 		}
 		return a.Close()
 	}
@@ -390,18 +445,22 @@ func AnalyzePCAP(r io.Reader, label string, callStart, callEnd time.Time, opts O
 	if err != nil {
 		return nil, err
 	}
-	var buf []byte
 	for {
-		pkt, err := pr.ReadPacketInto(&buf)
+		pkt, err := pr.ReadPacketInto(ring.slot())
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
 			return nil, err
 		}
-		if err := a.Feed(pkt.Timestamp, pkt.Data); err != nil {
-			return nil, err
+		if ring.add(pkt.Timestamp, pkt.Data) {
+			if err := ring.flush(a); err != nil {
+				return nil, err
+			}
 		}
+	}
+	if err := ring.flush(a); err != nil {
+		return nil, err
 	}
 	return a.Close()
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is active. sync.Pool
+// deliberately drops a random fraction of Puts under -race, so tests
+// that pin exact allocation counts on pooled paths must skip.
+const raceEnabled = true

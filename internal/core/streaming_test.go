@@ -270,8 +270,9 @@ func TestAnalyzerMisuse(t *testing.T) {
 }
 
 // TestAnalyzerStreamingMetrics checks the streaming instrumentation:
-// one feed-latency observation per frame, a live-stream gauge that
-// returns to zero with a positive high-water mark, and eviction
+// one feed-latency observation per FeedBatch call (AnalyzePCAP feeds in
+// feedBatchSize batches), a matching batch counter, a live-stream gauge
+// that returns to zero with a positive high-water mark, and eviction
 // activity under an aggressive idle bound.
 func TestAnalyzerStreamingMetrics(t *testing.T) {
 	cap := streamingCapture(t, appsim.FaceTime, appsim.WiFiRelay, 9)
@@ -289,8 +290,12 @@ func TestAnalyzerStreamingMetrics(t *testing.T) {
 			feeds += h.Count
 		}
 	}
-	if want := uint64(len(cap.Frames())); feeds != want {
-		t.Errorf("core_feed_seconds observations = %d, want %d", feeds, want)
+	wantBatches := uint64((len(cap.Frames()) + feedBatchSize - 1) / feedBatchSize)
+	if feeds != wantBatches {
+		t.Errorf("core_feed_seconds observations = %d, want %d (one per batch of %d)", feeds, wantBatches, feedBatchSize)
+	}
+	if v := sumCounters(snap, "core_feed_batches_total"); v != wantBatches {
+		t.Errorf("core_feed_batches_total = %d, want %d", v, wantBatches)
 	}
 	if v := snap.Gauges[metrics.Name("core_active_streams", metrics.L("app", "facetime"))]; v != 0 {
 		t.Errorf("core_active_streams = %d after Close, want 0", v)

@@ -102,6 +102,21 @@ type StreamContext struct {
 	// the stream's datagrams, for the offset-shift metric.
 	// InspectStream drains it into the registry.
 	shiftAttempts int
+	// scratch receives matchAt's output, valid only until the next
+	// matchAt call; a per-context field so the scan loop never zeroes
+	// a fresh Message per candidate offset.
+	scratch Message
+	// msgArena is the epoch-scoped backing store for Result.Messages:
+	// Inspect appends each datagram's messages here and hands out a
+	// capacity-capped subslice, so the steady-state extraction path
+	// allocates nothing. The arena rewinds when State.Epoch advances
+	// (one bump per StreamInspector.Finalize) — by then the previous
+	// chunk's Results have been consumed (DESIGN.md §14). If append
+	// grows the arena mid-epoch, earlier subslices keep pointing into
+	// the old backing array, which is never written again, so they
+	// stay valid.
+	msgArena []Message
+	msgEpoch uint64
 }
 
 // NewStreamContext returns an empty per-stream context.
@@ -170,7 +185,11 @@ func (e *Engine) Inspect(payload []byte, ctx *StreamContext) Result {
 	if tracing {
 		ctx.Span.BeginDatagram()
 	}
-	var msgs []Message
+	if ctx.msgEpoch != ctx.State.Epoch {
+		ctx.msgEpoch = ctx.State.Epoch
+		ctx.msgArena = ctx.msgArena[:0]
+	}
+	start := len(ctx.msgArena)
 	limit := e.MaxOffset
 	if limit <= 0 {
 		limit = 200
@@ -184,18 +203,18 @@ func (e *Engine) Inspect(payload []byte, ctx *StreamContext) Result {
 	}
 	i := 0
 	for i < len(payload) {
-		if i > limit && len(msgs) == 0 {
+		if i > limit && len(ctx.msgArena) == start {
 			break
 		}
 		ctx.shiftAttempts++
-		m, ok := e.matchAt(reg, payload, i, &ctx.State)
-		if !ok {
+		if !e.matchAt(reg, payload, i, &ctx.State, &ctx.scratch) {
 			if tracing {
 				ctx.Span.Probe(i, payload[i], "", obs.OutcomeShift)
 			}
 			i++
 			continue
 		}
+		m := ctx.scratch
 		if tracing {
 			name := ""
 			if meta, ok := reg.Meta(m.Protocol); ok {
@@ -209,14 +228,20 @@ func (e *Engine) Inspect(payload []byte, ctx *StreamContext) Result {
 		if a := reg.Accepter(m.Protocol); a != nil {
 			m = a.Accept(payload, m, &ctx.State)
 		}
-		msgs = append(msgs, m)
+		ctx.msgArena = append(ctx.msgArena, m)
 		ctx.msgCount++
 		if m.Offset > ctx.maxMsgOffset {
 			ctx.maxMsgOffset = m.Offset
 		}
 		i = m.Offset + m.Length
 	}
-	res := Result{Messages: msgs}
+	var res Result
+	// Cap the subslice at its length so a later datagram's append can
+	// never write into this Result's message run.
+	msgs := ctx.msgArena[start:len(ctx.msgArena):len(ctx.msgArena)]
+	if len(msgs) > 0 {
+		res.Messages = msgs
+	}
 	switch {
 	case len(msgs) == 0:
 		res.Class = ClassFullyProprietary
@@ -239,7 +264,12 @@ func (e *Engine) Inspect(payload []byte, ctx *StreamContext) Result {
 // weak classic-STUN and RTP patterns). The registry's first-byte table
 // (RFC 7983-style demultiplexing) skips probers whose wire format
 // cannot start with that byte.
-func (e *Engine) matchAt(reg *proto.Registry, payload []byte, i int, st *proto.StreamState) (Message, bool) {
+//
+// The match is written through out rather than returned: matchAt runs
+// once per candidate offset of every payload, and returning a Message
+// by value made the scan loop zero and copy ~100 bytes per miss —
+// the hot path's single largest cost before the out-parameter form.
+func (e *Engine) matchAt(reg *proto.Registry, payload []byte, i int, st *proto.StreamState, out *Message) bool {
 	c := proto.Candidate{Payload: payload, Offset: i}
 	probers := reg.ProbersFor(payload[i])
 	for k := range probers {
@@ -249,10 +279,11 @@ func (e *Engine) matchAt(reg *proto.Registry, payload []byte, i int, st *proto.S
 		}
 		if m, ok := p.Validate(c, st); ok {
 			m.Offset = i
-			return m, true
+			*out = m
+			return true
 		}
 	}
-	return Message{}, false
+	return false
 }
 
 func maxInt(a, b int) int {

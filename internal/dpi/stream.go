@@ -6,12 +6,21 @@ import (
 )
 
 // StreamInspector runs Algorithm 1 over the datagrams of one transport
-// stream incrementally. Feed advances pass 1 (the registered probers'
-// stream-level scans) for each datagram as it arrives and buffers the
-// payload; Finalize runs pass 2 over everything buffered since the
-// previous Finalize and releases the payload references, so a caller
-// that finalizes periodically never holds payload bytes past the DPI
-// stage.
+// stream incrementally. Feed buffers the payload; Finalize runs pass 1
+// (the registered probers' stream-level scans) as one batched sweep
+// over everything buffered since the previous Finalize, then pass 2
+// over the same chunk, and releases the payload references, so a
+// caller that finalizes periodically never holds payload bytes past
+// the DPI stage.
+//
+// Running pass 1 at the chunk boundary instead of per Feed changes no
+// output: pass 2 of a chunk consults the validated-SSRC evidence as of
+// the chunk's end, and whether that evidence was tallied datagram by
+// datagram as each arrived or in one sweep over the buffered chunk,
+// the sightings happen in the same stream order over the same bytes.
+// What it changes is cost shape: the ingestion path does per-packet
+// bookkeeping only, and the two scan passes run back to back over
+// payloads that are still warm in cache.
 //
 // RTP is the one target protocol whose header pattern is weak (any
 // version-2 first byte passes), so candidate extraction alone produces
@@ -46,8 +55,14 @@ type StreamInspector struct {
 	// ctx is the pass-2 context, persistent across Finalize calls so a
 	// resumed (fed-again) stream continues its sequence state.
 	ctx *StreamContext
-	// payloads buffers datagrams fed since the last Finalize.
+	// payloads buffers datagrams fed since the last Finalize. The
+	// backing array is reused across chunks (references are cleared at
+	// Finalize so released pool buffers are not pinned).
 	payloads [][]byte
+	// results is the reused Finalize output buffer; each Finalize
+	// overwrites the previous chunk's results, which the pipeline has
+	// consumed by then (DESIGN.md §14).
+	results []Result
 	// drainedAttempts tracks how many shift attempts have already been
 	// recorded, so chunked Finalize calls add only the delta.
 	drainedAttempts int
@@ -71,10 +86,15 @@ func (e *Engine) NewStreamInspector() *StreamInspector {
 	}
 }
 
-// Feed advances pass 1 over one datagram payload and buffers it for the
-// next Finalize. The payload is retained by reference until then.
+// Feed buffers one datagram payload for the next Finalize. The payload
+// is retained by reference until then; both scan passes run over the
+// buffered chunk at Finalize.
 func (si *StreamInspector) Feed(payload []byte) {
 	si.payloads = append(si.payloads, payload)
+}
+
+// scanOne advances pass 1 over one buffered payload.
+func (si *StreamInspector) scanOne(payload []byte) {
 	limit := si.e.MaxOffset
 	if limit <= 0 {
 		limit = 200
@@ -86,7 +106,12 @@ func (si *StreamInspector) Feed(payload []byte) {
 		// weak-signature probers tally evidence without consuming, so
 		// candidate headers advance by one byte because they are not
 		// yet trusted. The registry's first-byte table skips probers
-		// whose wire format cannot start with this byte.
+		// whose wire format cannot start with this byte, and the
+		// bitmap check settles no-prober bytes with a single load.
+		if !si.reg.Pass1Possible(payload[i]) {
+			i++
+			continue
+		}
 		c := proto.Candidate{Payload: payload, Offset: i}
 		consumed := 0
 		probers := si.reg.Pass1ProbersFor(payload[i])
@@ -113,13 +138,26 @@ func (si *StreamInspector) Pending() int { return len(si.payloads) }
 // metrics, releases the payload buffer, and returns one Result per
 // buffered datagram in feed order. The inspector remains usable: later
 // Feeds start a new chunk that continues the same stream state.
+//
+// The returned slice (and the message storage behind it) is a
+// per-inspector scratch buffer, valid only until the next Finalize on
+// the same inspector; the pipeline consumes each chunk's results
+// before feeding the next (DESIGN.md §14).
 func (si *StreamInspector) Finalize() []Result {
 	if si.ctx == nil {
 		si.ctx = NewStreamContext()
 	}
+	// A new epoch recycles the per-stream message and packet arenas:
+	// everything extracted in the previous chunk has been consumed.
+	si.ctx.State.Epoch++
 	si.ctx.Span = si.span
+	// Pass 1: one batched sweep over the chunk, tallying validation
+	// evidence in feed order before any pass-2 decision is made.
+	for _, p := range si.payloads {
+		si.scanOne(p)
+	}
 	si.ctx.State.ValidatedSSRC = si.scan.ValidatedSSRC
-	out := make([]Result, 0, len(si.payloads))
+	out := si.results[:0]
 	for _, p := range si.payloads {
 		start := si.m.latency.Start()
 		r := si.e.Inspect(p, si.ctx)
@@ -134,7 +172,11 @@ func (si *StreamInspector) Finalize() []Result {
 	}
 	si.m.attempts.Add(uint64(si.ctx.shiftAttempts - si.drainedAttempts))
 	si.drainedAttempts = si.ctx.shiftAttempts
-	si.payloads = nil
+	// Drop the payload references (the buffers may return to a pool)
+	// but keep the backing array for the next chunk.
+	clear(si.payloads)
+	si.payloads = si.payloads[:0]
+	si.results = out
 	return out
 }
 

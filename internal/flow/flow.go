@@ -94,6 +94,13 @@ type Stream struct {
 	// DstTuples lists the distinct destination 3-tuples of the stream's
 	// packets, in first-occurrence order.
 	DstTuples []ThreeTuple
+
+	// ttMemo/spMemo memoize the destination 3-tuple and its table span
+	// per direction: a stream's destination tuple is constant within a
+	// direction, so after the first packet each way the per-packet
+	// 3-tuple map lookup and DstTuples scan collapse to one comparison.
+	ttMemo [2]ThreeTuple
+	spMemo [2]*Span
 }
 
 // Span returns the stream's active time span.
@@ -176,14 +183,24 @@ func (t *Table) AddPacket(ts time.Time, pkt *layers.Packet, keep bool) (*Stream,
 	if pkt.TCP != nil {
 		flags = pkt.TCP.Flags
 	}
+	t.AddToStream(s, ts, dir, src, dst, pkt.Payload, flags, keep)
+	return s, true
+}
+
+// AddToStream appends a packet directly to an already-resolved stream,
+// skipping the key canonicalization and stream-map lookup of AddPacket.
+// It is the batched analyzer's fast path for runs of packets on the
+// same stream: the caller guarantees s came from this table and that
+// (dir, src, dst) are consistent with s.Key.
+func (t *Table) AddToStream(s *Stream, ts time.Time, dir Direction, src, dst Endpoint, payload []byte, tcpFlags uint8, keep bool) {
 	if keep {
 		s.Packets = append(s.Packets, Packet{
 			Timestamp: ts,
 			Dir:       dir,
 			Src:       src,
 			Dst:       dst,
-			Payload:   pkt.Payload,
-			TCPFlags:  flags,
+			Payload:   payload,
+			TCPFlags:  tcpFlags,
 		})
 	}
 	if ts.Before(s.FirstSeen) {
@@ -192,10 +209,14 @@ func (t *Table) AddPacket(ts time.Time, pkt *layers.Packet, keep bool) (*Stream,
 	if ts.After(s.LastSeen) {
 		s.LastSeen = ts
 	}
-	s.Bytes += len(pkt.Payload)
+	s.Bytes += len(payload)
 	s.NPackets++
 
-	tt := ThreeTuple{Proto: proto, Addr: dst.Addr, Port: dstPort}
+	tt := ThreeTuple{Proto: s.Key.Proto, Addr: dst.Addr, Port: dst.Port}
+	if sp := s.spMemo[dir]; sp != nil && s.ttMemo[dir] == tt {
+		sp.Extend(ts)
+		return
+	}
 	seen := false
 	for _, have := range s.DstTuples {
 		if have == tt {
@@ -212,7 +233,8 @@ func (t *Table) AddPacket(ts time.Time, pkt *layers.Packet, keep bool) (*Stream,
 		t.threeTuples[tt] = sp
 	}
 	sp.Extend(ts)
-	return s, true
+	s.ttMemo[dir] = tt
+	s.spMemo[dir] = sp
 }
 
 // Streams returns all streams in first-seen insertion order.

@@ -52,8 +52,25 @@ func Encapsulate(seq uint32, pkt pcap.Packet) []byte {
 	return buf
 }
 
-// Decapsulate parses one encapsulated datagram.
+// Decapsulate parses one encapsulated datagram, copying the frame out
+// so the result outlives the receive buffer.
 func Decapsulate(b []byte) (seq uint32, pkt pcap.Packet, err error) {
+	seq, pkt, err = DecapsulateView(b)
+	if err != nil {
+		return 0, pcap.Packet{}, err
+	}
+	data := make([]byte, len(pkt.Data))
+	copy(data, pkt.Data)
+	pkt.Data = data
+	return seq, pkt, nil
+}
+
+// DecapsulateView parses one encapsulated datagram without copying:
+// the returned packet's Data aliases b and is only valid while b is.
+// It is the allocation-free first step the Collector uses to judge a
+// frame (sequence accounting, the Filter hook) before paying for the
+// copy-out — a dropped frame never allocates.
+func DecapsulateView(b []byte) (seq uint32, pkt pcap.Packet, err error) {
 	if len(b) < headerLen {
 		return 0, pcap.Packet{}, fmt.Errorf("live: datagram too short (%d bytes)", len(b))
 	}
@@ -62,8 +79,7 @@ func Decapsulate(b []byte) (seq uint32, pkt pcap.Packet, err error) {
 	}
 	ts := time.UnixMicro(int64(binary.BigEndian.Uint64(b[4:12]))).UTC()
 	seq = binary.BigEndian.Uint32(b[12:16])
-	data := make([]byte, len(b)-headerLen)
-	copy(data, b[headerLen:])
+	data := b[headerLen:]
 	return seq, pcap.Packet{Timestamp: ts, Data: data, OrigLen: len(data)}, nil
 }
 
@@ -144,14 +160,33 @@ type Collector struct {
 	// Reordered counts frames that arrived with a backwards sequence
 	// number (UDP reordering on the mirror path).
 	Reordered int
+	// Filter, when non-nil, judges each frame before the copy-out: it
+	// sees a zero-copy view of the decapsulated frame (Data aliases the
+	// receive buffer — the filter must not retain it) and a false
+	// verdict drops the frame without allocating. Sequence accounting
+	// still advances, so loss estimates stay correct under filtering.
+	Filter func(pkt pcap.Packet) bool
+	// FilteredOut counts frames the Filter rejected.
+	FilteredOut int
 	// Metrics, when non-nil, mirrors the counters above as
 	// live_frames_received_total, live_decode_errors_total,
-	// live_frames_reordered_total, and the live_frames_dropped gauge
-	// (a gauge because a late arrival revises the loss estimate down).
+	// live_frames_reordered_total, live_frames_filtered_total, and the
+	// live_frames_dropped gauge (a gauge because a late arrival revises
+	// the loss estimate down).
 	Metrics *metrics.Registry
 
 	lastSeq uint32
 	seenAny bool
+}
+
+// streamCounters holds the metric handles Stream resolves once per
+// call; the zero value (nil registry) is inert.
+type streamCounters struct {
+	received   *metrics.Counter
+	decodeErrs *metrics.Counter
+	dropped    *metrics.Gauge
+	reordered  *metrics.Counter
+	filtered   *metrics.Counter
 }
 
 // SortByTimestamp stable-sorts frames by capture timestamp, restoring
@@ -186,20 +221,25 @@ func (c *Collector) Close() error { return c.pc.Close() }
 // Stream receives frames and hands each one to fn as it arrives, in
 // arrival order with its original capture timestamp, until max frames
 // have been delivered (0 = unlimited), the idle timeout passes, or the
-// context is canceled. Each frame's Data is freshly allocated, so fn
-// may retain it — feeding a core.Analyzer (usually through a
-// ReorderBuffer, since UDP may reorder the mirror path) analyzes the
-// capture without ever buffering it. Returns the delivered count; a
-// non-nil error from fn aborts the stream and is returned as-is.
+// context is canceled. Each delivered frame's Data is freshly
+// allocated, so fn may retain it — feeding a core.Analyzer (usually
+// through a ReorderBuffer, since UDP may reorder the mirror path)
+// analyzes the capture without ever buffering it. Frames the Filter
+// rejects are dropped before that copy-out, so an uninteresting frame
+// costs no allocation at all. Returns the delivered count; a non-nil
+// error from fn aborts the stream and is returned as-is.
 func (c *Collector) Stream(ctx context.Context, max int, fn func(pcap.Packet) error) (int, error) {
 	idle := c.IdleTimeout
 	if idle <= 0 {
 		idle = 2 * time.Second
 	}
-	received := c.Metrics.Counter("live_frames_received_total")
-	decodeErrs := c.Metrics.Counter("live_decode_errors_total")
-	dropped := c.Metrics.Gauge("live_frames_dropped")
-	reordered := c.Metrics.Counter("live_frames_reordered_total")
+	sc := streamCounters{
+		received:   c.Metrics.Counter("live_frames_received_total"),
+		decodeErrs: c.Metrics.Counter("live_decode_errors_total"),
+		dropped:    c.Metrics.Gauge("live_frames_dropped"),
+		reordered:  c.Metrics.Counter("live_frames_reordered_total"),
+		filtered:   c.Metrics.Counter("live_frames_filtered_total"),
+	}
 	count := 0
 	buf := make([]byte, maxFrame+headerLen)
 	for max == 0 || count < max {
@@ -221,36 +261,57 @@ func (c *Collector) Stream(ctx context.Context, max int, fn func(pcap.Packet) er
 			}
 			return count, err
 		}
-		seq, pkt, err := Decapsulate(buf[:n])
+		delivered, err := c.handleDatagram(buf[:n], sc, fn)
+		if delivered {
+			count++
+		}
 		if err != nil {
-			c.DecodeErrors++
-			decodeErrs.Inc()
-			continue
-		}
-		switch {
-		case !c.seenAny:
-			c.seenAny = true
-			c.lastSeq = seq
-		case seq > c.lastSeq:
-			c.Dropped += int(seq-c.lastSeq) - 1
-			c.lastSeq = seq
-		default:
-			// A backwards (or duplicate-seq) arrival: the frame was
-			// counted missing when the gap was observed, so reclaim it.
-			c.Reordered++
-			reordered.Inc()
-			if c.Dropped > 0 {
-				c.Dropped--
-			}
-		}
-		dropped.Set(int64(c.Dropped))
-		received.Inc()
-		count++
-		if err := fn(pkt); err != nil {
 			return count, err
 		}
 	}
 	return count, nil
+}
+
+// handleDatagram processes one received datagram: zero-copy
+// decapsulation, sequence accounting, the Filter verdict, and — only
+// for frames that survive all three — the copy-out and delivery to fn.
+// The decode-error and filter-drop paths never copy the payload; the
+// filter-drop path performs no allocation at all (pinned by
+// TestCollectorDropPathAllocs).
+func (c *Collector) handleDatagram(b []byte, sc streamCounters, fn func(pcap.Packet) error) (delivered bool, err error) {
+	seq, pkt, err := DecapsulateView(b)
+	if err != nil {
+		c.DecodeErrors++
+		sc.decodeErrs.Inc()
+		return false, nil
+	}
+	switch {
+	case !c.seenAny:
+		c.seenAny = true
+		c.lastSeq = seq
+	case seq > c.lastSeq:
+		c.Dropped += int(seq-c.lastSeq) - 1
+		c.lastSeq = seq
+	default:
+		// A backwards (or duplicate-seq) arrival: the frame was
+		// counted missing when the gap was observed, so reclaim it.
+		c.Reordered++
+		sc.reordered.Inc()
+		if c.Dropped > 0 {
+			c.Dropped--
+		}
+	}
+	sc.dropped.Set(int64(c.Dropped))
+	sc.received.Inc()
+	if c.Filter != nil && !c.Filter(pkt) {
+		c.FilteredOut++
+		sc.filtered.Inc()
+		return false, nil
+	}
+	data := make([]byte, len(pkt.Data))
+	copy(data, pkt.Data)
+	pkt.Data = data
+	return true, fn(pkt)
 }
 
 // Collect receives frames until max frames arrive (0 = unlimited), the

@@ -1,0 +1,110 @@
+package metrics
+
+import "sync/atomic"
+
+// counterShards is the number of independent cells in a ShardedCounter.
+// Power of two, sized for the pipeline's worker-pool ceiling; handles
+// are assigned round-robin so two workers share a cell only when more
+// than counterShards handles are live.
+const counterShards = 16
+
+// shard is one cache-line-padded counter cell. The padding keeps
+// neighbouring shards out of the same cache line so per-worker
+// increments do not false-share.
+type shard struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// ShardedCounter is a monotonically increasing counter split across
+// padded per-worker cells, folded at read time. Use it instead of
+// Counter for metrics incremented on the per-datagram hot path by many
+// workers at once: a plain atomic counter serialises every worker on
+// one cache line, a sharded one lets each worker increment its own.
+//
+// Workers obtain a Handle once (at stream or worker setup) and
+// increment through it; Value and Snapshot fold the cells. A nil
+// *ShardedCounter hands out inert handles, preserving the package's
+// nil-registry zero-cost contract.
+type ShardedCounter struct {
+	shards [counterShards]shard
+	next   atomic.Uint32
+}
+
+// Handle returns a view bound to one cell, assigned round-robin.
+// Handles are cheap value types; acquire one per worker (or per
+// stream) at setup time, not per operation.
+func (c *ShardedCounter) Handle() CounterHandle {
+	if c == nil {
+		return CounterHandle{}
+	}
+	i := c.next.Add(1) - 1
+	return CounterHandle{v: &c.shards[i%counterShards].v}
+}
+
+// Add folds n into the first cell. It is for setup-time or cold-path
+// adjustments; hot-path callers should hold a Handle.
+func (c *ShardedCounter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.shards[0].v.Add(n)
+}
+
+// Value folds every cell into the counter's total (0 for nil).
+func (c *ShardedCounter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	var sum uint64
+	for i := range c.shards {
+		sum += c.shards[i].v.Load()
+	}
+	return sum
+}
+
+// CounterHandle is a worker's private view of one ShardedCounter cell.
+// The zero value (and any handle from a nil counter) ignores every
+// operation, mirroring nil *Counter.
+type CounterHandle struct {
+	v *atomic.Uint64
+}
+
+// Inc adds one.
+func (h CounterHandle) Inc() {
+	if h.v == nil {
+		return
+	}
+	h.v.Add(1)
+}
+
+// Add adds n.
+func (h CounterHandle) Add(n uint64) {
+	if h.v == nil {
+		return
+	}
+	h.v.Add(n)
+}
+
+// Sharded returns (creating on first use) the sharded counter with the
+// given name and labels. It shares the counter namespace: Snapshot
+// folds it into the counters map under the same canonical name, so a
+// metric should be either a Counter or a ShardedCounter, not both.
+// Returns nil on a nil registry.
+func (r *Registry) Sharded(name string, labels ...Label) *ShardedCounter {
+	if r == nil {
+		return nil
+	}
+	key := Name(name, labels...)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.sharded == nil {
+		r.sharded = make(map[string]*ShardedCounter)
+	}
+	c, ok := r.sharded[key]
+	if !ok {
+		c = &ShardedCounter{}
+		r.sharded[key] = c
+	}
+	return c
+}

@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestShardedCounterFold(t *testing.T) {
+	var c ShardedCounter
+	h1 := c.Handle()
+	h2 := c.Handle()
+	h1.Inc()
+	h1.Add(4)
+	h2.Add(10)
+	c.Add(100)
+	if got := c.Value(); got != 115 {
+		t.Fatalf("Value = %d, want 115", got)
+	}
+}
+
+func TestShardedCounterHandlesSpreadCells(t *testing.T) {
+	var c ShardedCounter
+	h1 := c.Handle()
+	h2 := c.Handle()
+	if h1.v == h2.v {
+		t.Fatal("consecutive handles share a cell")
+	}
+	// Round-robin wraps: more handles than shards still works.
+	for i := 0; i < counterShards*3; i++ {
+		h := c.Handle()
+		h.Inc()
+	}
+	if got := c.Value(); got != counterShards*3 {
+		t.Fatalf("Value = %d, want %d", got, counterShards*3)
+	}
+}
+
+func TestShardedCounterNilSafety(t *testing.T) {
+	var c *ShardedCounter
+	h := c.Handle()
+	h.Inc()
+	h.Add(5)
+	c.Add(7)
+	if got := c.Value(); got != 0 {
+		t.Fatalf("nil counter Value = %d", got)
+	}
+	var zero CounterHandle
+	zero.Inc()
+	zero.Add(3)
+}
+
+func TestRegistryShardedNilAndIdentity(t *testing.T) {
+	var nilReg *Registry
+	if nilReg.Sharded("x") != nil {
+		t.Fatal("nil registry must return nil sharded counter")
+	}
+	r := NewRegistry()
+	a := r.Sharded("pkts_total", L("app", "zoom"))
+	b := r.Sharded("pkts_total", L("app", "zoom"))
+	if a != b {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	if r.Sharded("pkts_total", L("app", "meet")) == a {
+		t.Fatal("different labels must return a different counter")
+	}
+}
+
+func TestSnapshotFoldsShardedIntoCounters(t *testing.T) {
+	r := NewRegistry()
+	sc := r.Sharded("hot_total", L("stage", "dpi"))
+	h := sc.Handle()
+	h.Add(41)
+	sc.Handle().Inc()
+	r.Counter("cold_total").Add(7)
+	snap := r.Snapshot()
+	if got := snap.Counters["hot_total{stage=dpi}"]; got != 42 {
+		t.Fatalf("snapshot hot_total = %d, want 42", got)
+	}
+	if got := snap.Counters["cold_total"]; got != 7 {
+		t.Fatalf("snapshot cold_total = %d, want 7", got)
+	}
+}
+
+func TestShardedCounterConcurrentFold(t *testing.T) {
+	var c ShardedCounter
+	const workers, perWorker = 32, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := c.Handle()
+			for i := 0; i < perWorker; i++ {
+				h.Inc()
+			}
+		}()
+	}
+	// Fold concurrently with the writers; totals must never exceed the
+	// final sum and the final fold must be exact.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			if v := c.Value(); v > workers*perWorker {
+				t.Errorf("mid-flight fold %d exceeds final total", v)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("Value = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestCounterHandleZeroAlloc(t *testing.T) {
+	var c ShardedCounter
+	h := c.Handle()
+	if avg := testing.AllocsPerRun(1000, func() { h.Inc() }); avg != 0 {
+		t.Fatalf("Handle.Inc allocates %.2f/op", avg)
+	}
+}

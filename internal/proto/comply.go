@@ -123,6 +123,8 @@ type Session struct {
 
 	checker *Checker
 	slots   [MaxIDs]any
+	// scratch is the reused Check output buffer; see Check.
+	scratch []Checked
 }
 
 // NewSession returns a per-stream session.
@@ -140,12 +142,19 @@ func (s *Session) SetSlot(id ID, v any) { s.slots[id] = v }
 // Check evaluates one extracted message by dispatching to the
 // registered handler, returning one Checked per protocol data unit.
 // Messages of unregistered protocols yield nil.
+//
+// The returned slice is a per-session scratch buffer, valid only until
+// the next Check on the same session; callers (and the Record/Trace
+// hooks) must copy any Checked values they retain. Sessions are
+// per-stream and single-writer, so this is safe by the pipeline's
+// ownership discipline (DESIGN.md §14).
 func (s *Session) Check(m Message, ts time.Time) []Checked {
 	h := s.checker.reg.Handler(m.Protocol)
 	if h == nil {
 		return nil
 	}
-	out := h.Comply(m, ts, s)
+	out := h.Comply(s.scratch[:0], m, ts, s)
+	s.scratch = out
 	if s.checker.Record != nil {
 		s.checker.Record(out)
 	}

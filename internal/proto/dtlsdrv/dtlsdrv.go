@@ -132,10 +132,9 @@ func dtlsHandshakeName(t uint8) string {
 // Comply applies the five criteria to each record in a DTLS chain.
 // Encrypted fragments (epoch > 0) are judged on record structure and
 // the handshake-sequence rules only.
-func (handler) Comply(m proto.Message, ts time.Time, s *proto.Session) []proto.Checked {
+func (handler) Comply(dst []proto.Checked, m proto.Message, ts time.Time, s *proto.Session) []proto.Checked {
 	recs, _ := m.Body.([]tlsinspect.DTLSRecord)
 	st := sess(s)
-	out := make([]proto.Checked, 0, len(recs))
 	for i := range recs {
 		r := &recs[i]
 		c := proto.Checked{
@@ -145,9 +144,9 @@ func (handler) Comply(m proto.Message, ts time.Time, s *proto.Session) []proto.C
 			Timestamp: ts,
 		}
 		c.Verdict = st.recordVerdict(r)
-		out = append(out, c)
+		dst = append(dst, c)
 	}
-	return out
+	return dst
 }
 
 func recordLabel(r *tlsinspect.DTLSRecord) string {

@@ -45,7 +45,7 @@ func FuzzDTLSProbe(f *testing.F) {
 			t.Fatalf("match carries no record chain: %T", m.Body)
 		}
 		s := proto.NewChecker(proto.Default()).NewSession()
-		checked := handler{}.Comply(m, time.Unix(0, 0), s)
+		checked := handler{}.Comply(nil, m, time.Unix(0, 0), s)
 		if len(checked) != len(recs) {
 			t.Fatalf("Comply judged %d records, chain has %d", len(checked), len(recs))
 		}

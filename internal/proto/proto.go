@@ -163,9 +163,12 @@ type Handler interface {
 	// Probers returns the protocol's wire-format fingerprints.
 	Probers() []Prober
 	// Comply judges one extracted message under the five-criterion
-	// model, returning one Checked per protocol data unit (an RTCP
-	// compound region yields one per packet).
-	Comply(m Message, ts time.Time, s *Session) []Checked
+	// model, appending one Checked per protocol data unit (an RTCP
+	// compound region yields one per packet) to dst and returning the
+	// extended slice. The append-style signature lets Session.Check
+	// reuse one scratch slice per stream, keeping the per-message
+	// compliance path allocation-free.
+	Comply(dst []Checked, m Message, ts time.Time, s *Session) []Checked
 }
 
 // Accepter is implemented by handlers that post-process an accepted

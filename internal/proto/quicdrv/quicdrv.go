@@ -154,7 +154,7 @@ func sess(s *proto.Session) *session {
 // Comply applies the five criteria to a QUIC packet header. Payloads
 // are encrypted by design, so only the invariant and v1 header rules
 // apply.
-func (handler) Comply(m proto.Message, ts time.Time, s *proto.Session) []proto.Checked {
+func (handler) Comply(dst []proto.Checked, m proto.Message, ts time.Time, s *proto.Session) []proto.Checked {
 	h := m.QUIC
 	c := proto.Checked{
 		Protocol:  proto.QUIC,
@@ -163,7 +163,7 @@ func (handler) Comply(m proto.Message, ts time.Time, s *proto.Session) []proto.C
 		Timestamp: ts,
 	}
 	c.Verdict = sess(s).quicVerdict(h)
-	return []proto.Checked{c}
+	return append(dst, c)
 }
 
 func (st *session) quicVerdict(h *quicwire.Header) proto.Verdict {

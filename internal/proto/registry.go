@@ -23,6 +23,11 @@ type Registry struct {
 	// wire format can start there.
 	table      [256][]Prober
 	pass1Table [256][]Prober
+	// pass1Any[b] reports pass1Table[b] non-empty. The pass-1 scan
+	// visits every offset of every datagram, and most first bytes
+	// admit no prober at all; a one-byte load settles those offsets
+	// without touching the slice table.
+	pass1Any [256]bool
 }
 
 // NewRegistry returns an empty registry.
@@ -85,6 +90,7 @@ func (r *Registry) rebuildTables() {
 				r.pass1Table[b] = append(r.pass1Table[b], p)
 			}
 		}
+		r.pass1Any[b] = len(r.pass1Table[b]) > 0
 	}
 }
 
@@ -155,6 +161,10 @@ func (r *Registry) ProbersFor(b byte) []Prober { return r.table[b] }
 // Pass1ProbersFor is ProbersFor restricted to the stream-level pass-1
 // probers.
 func (r *Registry) Pass1ProbersFor(b byte) []Prober { return r.pass1Table[b] }
+
+// Pass1Possible reports whether any pass-1 prober admits first byte b —
+// the pass-1 scan's one-load fast path for the common miss.
+func (r *Registry) Pass1Possible(b byte) bool { return r.pass1Any[b] }
 
 // Without returns a copy of the registry with the given protocols
 // removed — the extensibility proof harness builds the engine against a

@@ -14,7 +14,9 @@ type fakeHandler struct {
 
 func (h fakeHandler) Meta() Meta                                    { return h.meta }
 func (h fakeHandler) Probers() []Prober                             { return h.probers }
-func (h fakeHandler) Comply(Message, time.Time, *Session) []Checked { return nil }
+func (h fakeHandler) Comply(dst []Checked, _ Message, _ time.Time, _ *Session) []Checked {
+	return dst
+}
 
 func noopValidate(c Candidate, st *StreamState) (Message, bool) { return Message{}, false }
 

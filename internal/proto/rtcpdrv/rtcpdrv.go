@@ -61,6 +61,13 @@ func Match(c proto.Candidate, st *proto.StreamState) (proto.Message, bool) {
 	if !rtcp.LooksLikeHeader(b) {
 		return proto.Message{}, false
 	}
+	// The DPI probes every candidate offset of every datagram, so
+	// rejections (the common case inside RTP payloads and proprietary
+	// headers) must not allocate: replay the rejection rules over the
+	// raw bytes first and decode only survivors.
+	if !scanCompound(b, st) {
+		return proto.Message{}, false
+	}
 	pkts, trailing, err := rtcp.DecodeCompound(b)
 	if err != nil || len(pkts) == 0 {
 		return proto.Message{}, false
@@ -101,6 +108,49 @@ func Match(c proto.Candidate, st *proto.StreamState) (proto.Message, bool) {
 		RTCP:         pkts,
 		RTCPTrailing: trailing,
 	}, true
+}
+
+// scanCompound is Match's allocation-free pre-filter: it walks the
+// compound region exactly as DecodeCompound does and applies every
+// rejection rule — minimum packet length, the trailer-length whitelist,
+// and the unassigned-type SSRC cross-validation — on the raw bytes. It
+// may only reject; a true verdict is always confirmed by the full
+// decode, so the two cannot drift apart silently.
+func scanCompound(b []byte, st *proto.StreamState) bool {
+	off := 0
+	for {
+		// Match's LooksLikeHeader gate (and DecodeCompound's, for later
+		// packets) guarantees the declared length fits in b.
+		blen := 4 * (int(uint16(b[off+2])<<8|uint16(b[off+3])) + 1)
+		if blen < 8 {
+			return false
+		}
+		if !rtcp.Defined(rtcp.PacketType(b[off+1])) && st.ValidatedSSRC != nil {
+			// Unassigned type: the sender SSRC (first body word, after
+			// padding removal) must match a validated RTP stream.
+			body := b[off+4 : off+blen]
+			if b[off]&0x20 != 0 && len(body) > 0 {
+				if pad := int(body[len(body)-1]); pad > 0 && pad <= len(body) {
+					body = body[:len(body)-pad]
+				}
+			}
+			if len(body) < 4 {
+				return false
+			}
+			if !st.ValidatedSSRC[binary.BigEndian.Uint32(body[:4])] {
+				return false
+			}
+		}
+		off += blen
+		if off+rtcp.HeaderLen > len(b) || !rtcp.LooksLikeHeader(b[off:]) {
+			break
+		}
+	}
+	switch len(b) - off {
+	case 0, 1, 2, 3, 4, 14:
+		return true
+	}
+	return false
 }
 
 // trailerKind classifies the bytes following an RTCP compound region.
@@ -151,27 +201,36 @@ func sess(s *proto.Session) *session {
 // region. Encrypted (SRTCP) regions skip body-content checks — the
 // paper can only judge what is in the clear — and are judged on header
 // and trailer structure.
-func (handler) Comply(m proto.Message, ts time.Time, s *proto.Session) []proto.Checked {
+// typeLabels precomputes the packet-type labels so judging a compound
+// region does not allocate a fresh number string per packet.
+var typeLabels = func() (t [256]string) {
+	for i := range t {
+		t[i] = strconv.Itoa(i)
+	}
+	return
+}()
+
+func (handler) Comply(dst []proto.Checked, m proto.Message, ts time.Time, s *proto.Session) []proto.Checked {
 	st := sess(s)
 	kind := classifyTrailer(m.RTCPTrailing)
 	encrypted := kind != trailerNone
-	out := make([]proto.Checked, 0, len(m.RTCP))
+	base := len(dst)
 	for _, p := range m.RTCP {
 		c := proto.Checked{
 			Protocol:  proto.RTCP,
-			Type:      proto.TypeKey{Protocol: proto.RTCP, Label: strconv.Itoa(int(p.Header.Type))},
+			Type:      proto.TypeKey{Protocol: proto.RTCP, Label: typeLabels[uint8(p.Header.Type)]},
 			Bytes:     p.Header.ByteLen(),
 			Timestamp: ts,
 		}
 		c.Verdict = st.rtcpVerdict(p, kind, encrypted, m.RTCPTrailing)
-		out = append(out, c)
+		dst = append(dst, c)
 	}
 	// Spread the trailer bytes across the region's packets for volume
 	// accounting.
-	if len(out) > 0 {
-		out[len(out)-1].Bytes += len(m.RTCPTrailing)
+	if len(dst) > base {
+		dst[len(dst)-1].Bytes += len(m.RTCPTrailing)
 	}
-	return out
+	return dst
 }
 
 func (st *session) rtcpVerdict(p *rtcp.Packet, kind trailerKind, encrypted bool, trailing []byte) proto.Verdict {

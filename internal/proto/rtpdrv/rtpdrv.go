@@ -9,6 +9,7 @@
 package rtpdrv
 
 import (
+	"encoding/binary"
 	"strconv"
 	"time"
 
@@ -54,11 +55,46 @@ func (handler) Probers() []proto.Prober {
 
 // streamState is RTP's per-stream pass-2 state: last accepted sequence
 // number and timestamp per SSRC, plus the decode scratch that keeps the
-// probe path allocation-free.
+// probe path allocation-free and the packet slab that keeps acceptance
+// allocation-free.
 type streamState struct {
 	lastSeq map[uint32]uint16
 	lastTS  map[uint32]uint32
 	probe   rtp.Packet
+	slab    pktSlab
+}
+
+// slabBlock is the packet count of one slab block. Blocks are fixed
+// size so accepted *rtp.Packet pointers stay stable while the slab
+// grows (append on a flat slice would move them).
+const slabBlock = 64
+
+// pktSlab bump-allocates rtp.Packet values out of reusable fixed-size
+// blocks. Recycling is epoch-keyed: when the stream state's Epoch
+// advances (one bump per Finalize chunk), the slab rewinds and the
+// blocks are reused, because the previous chunk's messages have been
+// consumed by then (DESIGN.md §14). Within an epoch every next call
+// returns a distinct, stable packet.
+type pktSlab struct {
+	blocks     [][]rtp.Packet
+	block, idx int
+	epoch      uint64
+}
+
+func (s *pktSlab) next(epoch uint64) *rtp.Packet {
+	if epoch != s.epoch {
+		s.epoch = epoch
+		s.block, s.idx = 0, 0
+	}
+	if s.block == len(s.blocks) {
+		s.blocks = append(s.blocks, make([]rtp.Packet, slabBlock))
+	}
+	p := &s.blocks[s.block][s.idx]
+	if s.idx++; s.idx == slabBlock {
+		s.block++
+		s.idx = 0
+	}
+	return p
 }
 
 func state(st *proto.StreamState) *streamState {
@@ -107,11 +143,19 @@ func tallyProbe(c proto.Candidate, sc *proto.ScanState) (proto.Candidate, bool) 
 	if !rtp.LooksLikeHeader(b) || (b[1] >= 192 && b[1] <= 223) {
 		return c, false
 	}
+	// A sighting is only recorded for zero-CSRC candidates, and the
+	// CSRC count is the low nibble of the first byte: settling the
+	// common nonzero case here skips the state lookup and header
+	// decode for ~15/16 of the version-2 windows the scan visits.
+	if b[0]&0x0F != 0 {
+		return c, false
+	}
 	s := scan(sc)
 	// Decode into the scan state's scratch: the sighting only needs
-	// header fields, so nothing escapes the iteration.
+	// header fields, so nothing escapes the iteration. The CSRC count
+	// is already known to be zero from the pre-check above.
 	p := &s.probe
-	if rtp.DecodeInto(p, b) == nil && p.CSRCCount == 0 {
+	if rtp.DecodeInto(p, b) == nil {
 		s.note(sc, p.SSRC, p.SequenceNumber, p.Timestamp)
 	}
 	return c, false
@@ -164,17 +208,21 @@ func Match(c proto.Candidate, st *proto.StreamState) (proto.Message, bool) {
 	if b[1] >= 192 && b[1] <= 223 {
 		return proto.Message{}, false // RTCP range
 	}
+	if st.ValidatedSSRC != nil && !st.ValidatedSSRC[binary.BigEndian.Uint32(b[8:12])] {
+		// Stream-validated mode: only SSRCs with cross-packet support
+		// survive (paper §4.1.1: "continuous sequence number within the
+		// same stream"). The SSRC sits at fixed offset 8 of the header
+		// regardless of what follows, so the gate runs on the raw bytes
+		// before the full decode: nearly every candidate window fails
+		// it, and a window that would fail decode is rejected either
+		// way.
+		return proto.Message{}, false
+	}
 	rs := state(st)
 	// Probe into the stream state's scratch Packet; most candidate
 	// offsets are rejected, so the heap copy is deferred to acceptance.
 	probe := &rs.probe
 	if rtp.DecodeInto(probe, b) != nil {
-		return proto.Message{}, false
-	}
-	if st.ValidatedSSRC != nil && !st.ValidatedSSRC[probe.SSRC] {
-		// Stream-validated mode: only SSRCs with cross-packet support
-		// survive (paper §4.1.1: "continuous sequence number within the
-		// same stream").
 		return proto.Message{}, false
 	}
 	if last, ok := rs.lastSeq[probe.SSRC]; ok {
@@ -192,7 +240,7 @@ func Match(c proto.Candidate, st *proto.StreamState) (proto.Message, bool) {
 		// marks a mis-parse.
 		return proto.Message{}, false
 	}
-	p := new(rtp.Packet)
+	p := rs.slab.next(st.Epoch)
 	*p = *probe
 	if len(probe.CSRC) > 0 {
 		p.CSRC = append([]uint32(nil), probe.CSRC...)
@@ -288,20 +336,29 @@ func ssrcs(c *proto.Checker) ssrcSet {
 // has judged (allocating the set on first use).
 func ObservedSSRCs(c *proto.Checker) map[uint32]bool { return ssrcs(c) }
 
+// ptLabels precomputes the payload-type labels (0-127) so judging a
+// media packet does not allocate a fresh number string per message.
+var ptLabels = func() (t [128]string) {
+	for i := range t {
+		t[i] = strconv.Itoa(i)
+	}
+	return
+}()
+
 // Comply applies the five criteria to an RTP message. For RTP the
 // paper's "message type" is the payload type, and "attributes" are the
 // RFC 8285 header-extension profile and its elements.
-func (handler) Comply(m proto.Message, ts time.Time, s *proto.Session) []proto.Checked {
+func (handler) Comply(dst []proto.Checked, m proto.Message, ts time.Time, s *proto.Session) []proto.Checked {
 	p := m.RTP
 	c := proto.Checked{
 		Protocol:  proto.RTP,
-		Type:      proto.TypeKey{Protocol: proto.RTP, Label: strconv.Itoa(int(p.PayloadType))},
+		Type:      proto.TypeKey{Protocol: proto.RTP, Label: ptLabels[p.PayloadType&0x7f]},
 		Bytes:     m.Length,
 		Timestamp: ts,
 	}
 	ssrcs(s.Checker())[p.SSRC] = true
 	c.Verdict = rtpVerdict(p)
-	return []proto.Checked{c}
+	return append(dst, c)
 }
 
 // definedExtProfile reports whether an RTP header-extension profile is

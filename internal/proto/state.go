@@ -14,6 +14,13 @@ type StreamState struct {
 	// permissive single-datagram mode. The RTCP prober cross-validates
 	// unassigned packet types against it.
 	ValidatedSSRC map[uint32]bool
+	// Epoch counts pass-2 chunks: the stream inspector bumps it at the
+	// start of every Finalize. Drivers that arena-allocate per-message
+	// state (the RTP driver's packet slab) key their recycling on it —
+	// everything extracted in epoch N is dead once epoch N+1 begins,
+	// because the pipeline consumes each Finalize's results before
+	// feeding the next chunk (DESIGN.md §14).
+	Epoch uint64
 
 	slots [MaxIDs]any
 }

@@ -232,7 +232,7 @@ func stunTypeKey(t stun.MessageType) proto.TypeKey {
 }
 
 // Comply applies the five criteria to a STUN/TURN message.
-func (stunHandler) Comply(m proto.Message, ts time.Time, s *proto.Session) []proto.Checked {
+func (stunHandler) Comply(dst []proto.Checked, m proto.Message, ts time.Time, s *proto.Session) []proto.Checked {
 	msg := m.STUN
 	st := sess(s)
 	c := proto.Checked{
@@ -244,7 +244,7 @@ func (stunHandler) Comply(m proto.Message, ts time.Time, s *proto.Session) []pro
 	st.trackTransaction(msg, ts)
 	st.trackChannelBind(msg)
 	c.Verdict = st.stunVerdict(msg, ts)
-	return []proto.Checked{c}
+	return append(dst, c)
 }
 
 // trackTransaction records request/response pairing state before
@@ -413,7 +413,7 @@ func (st *session) stunSemantics(msg *stun.Message, ts time.Time) proto.Verdict 
 }
 
 // Comply validates a TURN ChannelData frame.
-func (channelDataHandler) Comply(m proto.Message, ts time.Time, s *proto.Session) []proto.Checked {
+func (channelDataHandler) Comply(dst []proto.Checked, m proto.Message, ts time.Time, s *proto.Session) []proto.Checked {
 	cd := m.ChannelData
 	st := sess(s)
 	c := proto.Checked{
@@ -422,20 +422,19 @@ func (channelDataHandler) Comply(m proto.Message, ts time.Time, s *proto.Session
 		Bytes:     m.Length,
 		Timestamp: ts,
 	}
+	switch {
 	// Criterion 2: channel number range (the framing itself guarantees
 	// 0x4000-0x7FFF; RFC 8656 narrows to 0x4000-0x4FFF but RFC 5766
 	// allowed the full range, and the paper accepts any published
 	// revision).
-	if cd.ChannelNumber < stun.ChannelMin || cd.ChannelNumber > stun.ChannelMax5766 {
+	case cd.ChannelNumber < stun.ChannelMin || cd.ChannelNumber > stun.ChannelMax5766:
 		c.Verdict = proto.Fail(proto.CritHeader, "channel number %#04x outside any published range", cd.ChannelNumber)
-		return []proto.Checked{c}
-	}
 	// Criterion 5: data on a channel never bound with ChannelBind on
 	// this stream repurposes the framing (the FaceTime case).
-	if !st.boundChans[cd.ChannelNumber] {
+	case !st.boundChans[cd.ChannelNumber]:
 		c.Verdict = proto.Fail(proto.CritSemantics, "ChannelData on channel %#04x with no prior ChannelBind on this stream", cd.ChannelNumber)
-		return []proto.Checked{c}
+	default:
+		c.Verdict = proto.Ok()
 	}
-	c.Verdict = proto.Ok()
-	return []proto.Checked{c}
+	return append(dst, c)
 }

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"github.com/rtc-compliance/rtcc/internal/appsim"
+	"github.com/rtc-compliance/rtcc/internal/bufpool"
 	"github.com/rtc-compliance/rtcc/internal/core"
 	"github.com/rtc-compliance/rtcc/internal/dpi"
 	"github.com/rtc-compliance/rtcc/internal/interop"
@@ -270,6 +271,22 @@ type Analyzer = core.Analyzer
 
 // AnalyzerConfig parameterizes an incremental Analyzer.
 type AnalyzerConfig = core.AnalyzerConfig
+
+// Datagram is one timestamped link-layer frame, the unit of the
+// batched ingestion path: fill a slice and hand it to
+// Analyzer.FeedBatch. Frame bytes only need to stay valid for the
+// duration of the call (DESIGN.md §14), so readers may reuse their
+// buffers between batches.
+type Datagram = core.Datagram
+
+// BufferPool recycles packet buffers through the analyzer: assign one
+// to AnalyzerConfig.Pool and the ingestion path stores payload bytes
+// in pooled arena chunks instead of allocating per packet. See
+// DESIGN.md §14 for the ownership rules.
+type BufferPool = bufpool.Pool
+
+// GlobalBufferPool returns the process-wide shared buffer pool.
+func GlobalBufferPool() *BufferPool { return bufpool.Global() }
 
 // NewAnalyzer returns an incremental analyzer; see Analyzer.
 func NewAnalyzer(cfg AnalyzerConfig, opts Options) (*Analyzer, error) {
