@@ -39,7 +39,7 @@ import (
 // runConfig is the per-run configuration shared by the -pcap and
 // -manifest paths.
 type runConfig struct {
-	k, workers                           int
+	k, workers, shards                   int
 	findings, verbose, inferHdr, jsonOut bool
 	reg                                  *metrics.Registry
 	tracer                               obs.Tracer
@@ -52,6 +52,15 @@ func (rc runConfig) options() rtcc.Options {
 	}
 }
 
+// analyzePCAP routes one capture through the serial or sharded ingest
+// tier by rc.shards; results are byte-identical either way.
+func (rc runConfig) analyzePCAP(r io.Reader, label string, start, end time.Time) (*rtcc.CaptureAnalysis, error) {
+	if rc.shards > 1 {
+		return rtcc.AnalyzePCAPSharded(r, label, start, end, rc.options(), rtcc.ShardConfig{Shards: rc.shards})
+	}
+	return rtcc.AnalyzePCAP(r, label, start, end, rc.options())
+}
+
 func main() {
 	var (
 		pcapPath = flag.String("pcap", "", "pcap file to analyze")
@@ -61,6 +70,7 @@ func main() {
 		label    = flag.String("label", "", "application label for the report")
 		kOffset  = flag.Int("k", 200, "DPI maximum candidate-extraction offset")
 		workers  = flag.Int("workers", 0, "analysis worker count (0 = one per CPU, 1 = serial)")
+		shards   = flag.Int("shards", 1, "ingest shard count (>1 analyzes each capture on N cores; identical output)")
 		findings = flag.Bool("findings", true, "report behavioural findings")
 		verbose  = flag.Bool("v", false, "print per-type detail")
 		inferHdr = flag.Bool("infer-headers", false, "infer the structure of proprietary headers per stream")
@@ -93,9 +103,15 @@ func main() {
 	defer stopMetrics()
 
 	rc := runConfig{
-		k: *kOffset, workers: *workers,
+		k: *kOffset, workers: *workers, shards: *shards,
 		findings: *findings, verbose: *verbose, inferHdr: *inferHdr, jsonOut: *jsonOut,
 		reg: reg,
+	}
+	if *shards > 1 && (*traceOut != "" || *explain != "") {
+		// The shard workers would interleave one trace sink
+		// nondeterministically; sharded runs are untraced by design.
+		fmt.Fprintln(os.Stderr, "rtccheck: -shards > 1 cannot be combined with -trace-out or -explain (trace serially)")
+		os.Exit(2)
 	}
 	// Assemble the trace sinks: a JSONL exporter for -trace-out, an
 	// in-memory buffer for -explain; both can be active at once.
@@ -191,7 +207,7 @@ func runOne(path, label, startStr, endStr string, rc runConfig) error {
 	defer f.Close()
 	// Header inference re-reads per-stream payloads after the analysis,
 	// so it needs the streaming core to keep them.
-	ca, err := rtcc.AnalyzePCAP(f, label, start, end, rc.options())
+	ca, err := rc.analyzePCAP(f, label, start, end)
 	if err != nil {
 		return err
 	}
@@ -389,7 +405,7 @@ func analyzeEntry(dir string, e manifestEntry, rc runConfig) (*rtcc.CaptureAnaly
 	if e.App != "" {
 		label = e.App + " (" + e.File + ")"
 	}
-	return rtcc.AnalyzePCAP(f, label, e.CallStart, e.CallEnd, rc.options())
+	return rc.analyzePCAP(f, label, e.CallStart, e.CallEnd)
 }
 
 func printAnalysis(ca *rtcc.CaptureAnalysis, verbose bool) {

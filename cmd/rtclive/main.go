@@ -111,6 +111,7 @@ func runCollect(args []string) error {
 	maxFrames := fs.Int("max", 0, "stop after this many frames (0 = until idle)")
 	idle := fs.Duration("idle", 3*time.Second, "stop after this long without frames")
 	evict := fs.Duration("evict", 0, "finalize streams idle this long to bound analysis memory (0 = off)")
+	shards := fs.Int("shards", 1, "ingest shard count for the streaming analysis (>1 spreads flows across N cores)")
 	reorder := fs.Int("reorder", 256, "reorder-buffer depth for the streaming analysis")
 	metAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address")
 	traceOut := fs.String("trace-out", "", "export the analysis decision trace as JSONL to this file (requires -analyze)")
@@ -136,11 +137,15 @@ func runCollect(args []string) error {
 	// they arrive (through a small reorder buffer that undoes UDP
 	// reordering on the mirror path), and nothing requires holding the
 	// whole capture — unless -out needs the frames for the pcap file.
-	var analyzer *core.Analyzer
+	var analyzer core.FrameSink
+	var sharded *rtcc.ShardedAnalyzer
 	var jsonl *obs.JSONLWriter
 	var traceFile *os.File
 	if *traceOut != "" && !*analyze {
 		return fmt.Errorf("-trace-out requires -analyze")
+	}
+	if *traceOut != "" && *shards > 1 {
+		return fmt.Errorf("-trace-out cannot be combined with -shards > 1 (shard workers would interleave the trace)")
 	}
 	if *analyze {
 		opts := rtcc.Options{Workers: *workers, Metrics: reg}
@@ -152,13 +157,24 @@ func runCollect(args []string) error {
 			jsonl = obs.NewJSONLWriter(traceFile)
 			opts.Tracer = jsonl
 		}
-		analyzer, err = core.NewAnalyzer(core.AnalyzerConfig{
+		acfg := core.AnalyzerConfig{
 			Label:               "live",
 			LinkType:            pcap.LinkTypeRaw,
 			DefaultWindowToSpan: true,
 			FramesStable:        true, // each decapsulated frame is freshly allocated
 			EvictIdle:           *evict,
-		}, opts)
+		}
+		if *shards > 1 {
+			// Live ingest prefers shedding to stalling: a stalled
+			// producer drops mirror packets upstream invisibly, while the
+			// Drop policy counts every datagram it sheds.
+			sharded, err = rtcc.NewShardedAnalyzer(acfg, opts, rtcc.ShardConfig{
+				Shards: *shards, Policy: rtcc.ShardDrop,
+			})
+			analyzer = sharded
+		} else {
+			analyzer, err = core.NewAnalyzer(acfg, opts)
+		}
 		if err != nil {
 			return err
 		}
@@ -235,6 +251,13 @@ func runCollect(args []string) error {
 	if err != nil {
 		return err
 	}
+	if sharded != nil {
+		st := sharded.Stats()
+		if st.Dropped > 0 {
+			fmt.Printf("ingest: %d datagrams dropped under back-pressure (%d analyzed on %d shards)\n",
+				st.Dropped, st.Analyzed, len(st.Shards))
+		}
+	}
 	if err := flushTrace(jsonl, traceFile, *traceOut); err != nil {
 		return err
 	}
@@ -253,13 +276,15 @@ func runCollect(args []string) error {
 }
 
 // feedBatcher accumulates frames into fixed-size batches for
-// Analyzer.FeedBatch, amortizing per-feed bookkeeping on the live path.
+// FrameSink.FeedBatch, amortizing per-feed bookkeeping on the live
+// path. The sink is either a serial Analyzer or the sharded tier; the
+// batcher cannot tell the difference.
 type feedBatcher struct {
-	a     *core.Analyzer
+	a     core.FrameSink
 	batch []core.Datagram
 }
 
-func newFeedBatcher(a *core.Analyzer) *feedBatcher {
+func newFeedBatcher(a core.FrameSink) *feedBatcher {
 	return &feedBatcher{a: a, batch: make([]core.Datagram, 0, 64)}
 }
 

@@ -24,6 +24,7 @@ import (
 	"github.com/rtc-compliance/rtcc/internal/appsim"
 	"github.com/rtc-compliance/rtcc/internal/bufpool"
 	"github.com/rtc-compliance/rtcc/internal/core"
+	"github.com/rtc-compliance/rtcc/internal/ingest"
 	"github.com/rtc-compliance/rtcc/internal/pcap"
 	// The harness measures the full engine, so it registers every
 	// protocol driver itself: a consumer that forgot the blank import
@@ -46,6 +47,13 @@ const (
 	// ModeBatch is the read-everything baseline: all frames buffered,
 	// every per-packet record retained (KeepPayloads + FramesStable).
 	ModeBatch Mode = "batch"
+	// ModeSharded is the sharded ingest tier: frames routed by flow
+	// 5-tuple onto Scenario.Shards single-writer analyzer shards
+	// (internal/ingest), FeedBatch-fed like ModeFeedBatch. The clock
+	// covers ingestion to quiescence (router + shard drain, via Flush);
+	// the cross-shard merge runs in Close, outside the clock, exactly
+	// where every other mode finalizes.
+	ModeSharded Mode = "sharded"
 )
 
 // Scenario is one cell of the hot-path matrix.
@@ -65,6 +73,9 @@ type Scenario struct {
 	// capture is media almost end to end.
 	CallDuration time.Duration
 	PrePost      time.Duration
+	// Shards is the shard count for ModeSharded scenarios (ignored by
+	// the serial modes).
+	Shards int
 }
 
 // Scenarios returns the benchmark matrix: every ingestion mode over a
@@ -104,6 +115,26 @@ func Scenarios() []Scenario {
 				PrePost:      c.prePost,
 			})
 		}
+	}
+	// The shard-scaling curve: the media-heavy cell (the one dominated
+	// by per-packet ingest cost) at 1, 2, and 4 shards. sharded1 is the
+	// tier's overhead floor against feedbatch/media-heavy; the
+	// sharded4:sharded1 throughput ratio is the scaling criterion
+	// rtcbench gates on multi-core hosts.
+	mh := cells[2]
+	for _, n := range []int{1, 2, 4} {
+		out = append(out, Scenario{
+			Name:         fmt.Sprintf("sharded%d/%s", n, mh.label),
+			App:          mh.app,
+			Network:      mh.net,
+			Mode:         ModeSharded,
+			MediaRate:    mh.mediaRate,
+			Burst:        mh.burst,
+			Background:   mh.background,
+			CallDuration: mh.call,
+			PrePost:      mh.prePost,
+			Shards:       n,
+		})
 	}
 	return out
 }
@@ -162,6 +193,12 @@ func (p *Prepared) RunOnce() (time.Duration, error) {
 	switch p.Scenario.Mode {
 	case ModeFeedBatch:
 		cfg.Pool = bufpool.Global()
+	case ModeSharded:
+		// Same retention discipline as ModeFeedBatch (pooled arena
+		// payloads), so the delta against it is purely the routing and
+		// queueing cost — and, on multi-core hosts, the shard speedup.
+		cfg.Pool = bufpool.Global()
+		return p.runSharded(cfg)
 	case ModeBatch:
 		cfg.KeepPayloads = true
 		cfg.FramesStable = true
@@ -202,6 +239,40 @@ func (p *Prepared) RunOnce() (time.Duration, error) {
 	ingest := time.Since(t0)
 	_, err = a.Close()
 	return ingest, err
+}
+
+// runSharded is the ModeSharded ingestion loop: FeedBatch chunks into
+// the sharded tier, then Flush to quiescence inside the clock — the
+// ingest number includes draining every shard queue, so a slow shard
+// cannot hide behind the router. Close (shard join + merge +
+// finalization) stays outside, like every mode's finalization.
+func (p *Prepared) runSharded(cfg core.AnalyzerConfig) (time.Duration, error) {
+	sa, err := ingest.New(cfg, core.Options{SkipFindings: true, Workers: 1}, ingest.Config{
+		Shards: p.Scenario.Shards,
+	})
+	if err != nil {
+		return 0, err
+	}
+	t0 := time.Now()
+	batch := p.batch[:0]
+	for _, f := range p.frames {
+		batch = append(batch, core.Datagram{Timestamp: f.Timestamp, Frame: f.Data})
+		if len(batch) == feedBatchSize {
+			if err := sa.FeedBatch(batch); err != nil {
+				return 0, err
+			}
+			batch = batch[:0]
+		}
+	}
+	if err := sa.FeedBatch(batch); err != nil {
+		return 0, err
+	}
+	if err := sa.Flush(); err != nil {
+		return 0, err
+	}
+	d := time.Since(t0)
+	_, err = sa.Close()
+	return d, err
 }
 
 // Result is one scenario's measurement, the unit BENCH_hotpath.json

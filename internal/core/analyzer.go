@@ -62,6 +62,15 @@ type AnalyzerConfig struct {
 	// released buffers); ignored when FramesStable promises stable
 	// frames (nothing is copied then).
 	Pool *bufpool.Pool
+	// ExternalSeq makes FeedBatch take each datagram's arrival index
+	// from its Seq field instead of the Analyzer's own feed counter.
+	// The sharded ingest router (internal/ingest) stamps a
+	// capture-global sequence on every datagram before fanning out, so
+	// each shard records where its streams sit in the global arrival
+	// order and MergeAnalyzers can rebuild the serial stream-table
+	// order exactly. Feed is a misuse error under ExternalSeq: it
+	// carries no Seq to consume.
+	ExternalSeq bool
 }
 
 // streamState is the Analyzer's per-stream pipeline state beyond what
@@ -105,6 +114,11 @@ type streamState struct {
 	// monotone and eviction/removal timing only moves chunk
 	// boundaries.
 	checkSeq uint64
+	// birth is the arrival index of the datagram that created this
+	// stream. Under ExternalSeq it is capture-global, which is what
+	// lets MergeAnalyzers sort shard streams back into the exact
+	// insertion order a serial analyzer's table would hold.
+	birth uint64
 }
 
 // Analyzer is the incremental analysis pipeline: Feed advances packet
@@ -138,6 +152,12 @@ type Analyzer struct {
 	// firstTS and lastTS are the first and last fed timestamps
 	// (positional, matching the batch window-defaulting convention).
 	firstTS, lastTS time.Time
+	// arrival numbers fed frames 1..n (or mirrors Datagram.Seq under
+	// ExternalSeq); firstSeq/lastSeq are the arrival indices behind
+	// firstTS/lastTS, which is how MergeAnalyzers picks the globally
+	// first and last timestamps across shards.
+	arrival           uint64
+	firstSeq, lastSeq uint64
 
 	// windowKnown is false only while DefaultWindowToSpan defers the
 	// window to Close.
@@ -204,10 +224,14 @@ func (a *Analyzer) Feed(ts time.Time, frame []byte) error {
 	if a.closed {
 		return errors.New("core: Feed after Close")
 	}
+	if a.cfg.ExternalSeq {
+		return errors.New("core: Feed requires FeedBatch under ExternalSeq (no Seq to consume)")
+	}
 	start := a.am.feedSeconds.Start()
 	defer a.am.feedSeconds.ObserveSince(start)
 	a.feedSeq++
-	a.feedOne(ts, frame)
+	a.arrival++
+	a.feedOne(ts, frame, a.arrival)
 	if a.cfg.EvictIdle > 0 {
 		a.evictIdle(ts)
 	}
@@ -219,6 +243,11 @@ func (a *Analyzer) Feed(ts time.Time, frame []byte) error {
 type Datagram struct {
 	Timestamp time.Time
 	Frame     []byte
+	// Seq is the datagram's capture-global arrival index, consumed
+	// only by analyzers configured with ExternalSeq (the sharded
+	// ingest router stamps it before fanning out). Plain FeedBatch
+	// callers leave it zero; it is ignored then.
+	Seq uint64
 }
 
 // FeedBatch advances the pipeline over a slice of frames, amortizing
@@ -241,7 +270,12 @@ func (a *Analyzer) FeedBatch(batch []Datagram) error {
 	start := a.am.feedSeconds.Start()
 	a.feedSeq++
 	for i := range batch {
-		a.feedOne(batch[i].Timestamp, batch[i].Frame)
+		seq := batch[i].Seq
+		if !a.cfg.ExternalSeq {
+			a.arrival++
+			seq = a.arrival
+		}
+		a.feedOne(batch[i].Timestamp, batch[i].Frame, seq)
 	}
 	if a.cfg.EvictIdle > 0 {
 		a.evictIdle(batch[len(batch)-1].Timestamp)
@@ -253,12 +287,14 @@ func (a *Analyzer) FeedBatch(batch []Datagram) error {
 
 // feedOne is the shared per-frame pipeline step behind Feed and
 // FeedBatch: decode, flow grouping, online filtering, and DPI pass 1.
-func (a *Analyzer) feedOne(ts time.Time, frame []byte) {
+func (a *Analyzer) feedOne(ts time.Time, frame []byte, seq uint64) {
 	if a.frames == 0 {
 		a.firstTS = ts
+		a.firstSeq = seq
 	}
 	a.frames++
 	a.lastTS = ts
+	a.lastSeq = seq
 
 	pkt := &a.pkt
 	if err := layers.DecodeInto(pkt, a.cfg.LinkType, frame); err != nil {
@@ -290,7 +326,7 @@ func (a *Analyzer) feedOne(ts time.Time, frame []byte) {
 			// requires the state up front (flow.AddPacket cannot fail
 			// past the proto check above, so pre-creating is safe).
 			if isNew {
-				st = &streamState{}
+				st = &streamState{birth: seq}
 				a.states[key] = st
 			}
 			if st.arena == nil {
@@ -328,7 +364,7 @@ func (a *Analyzer) feedOne(ts time.Time, frame []byte) {
 		}
 	}
 	if st == nil {
-		st = &streamState{s: s}
+		st = &streamState{s: s, birth: seq}
 		a.states[key] = st
 	} else if st.s == nil {
 		st.s = s
@@ -539,7 +575,16 @@ func (a *Analyzer) Close() (*CaptureAnalysis, error) {
 		return nil, errors.New("core: Close called twice")
 	}
 	a.closed = true
+	return a.finalize()
+}
 
+// finalize is Close without the reuse guard: the full two-stage filter
+// over the accumulated table, reconciliation, the parallel per-stream
+// finalization, and the deterministic fold. MergeAnalyzers runs it over
+// a synthetic analyzer holding the union of N shards' state, which is
+// why sharded output is byte-identical to serial by construction — it
+// is literally this code path either way.
+func (a *Analyzer) finalize() (*CaptureAnalysis, error) {
 	callStart, callEnd := a.cfg.CallStart, a.cfg.CallEnd
 	if a.cfg.DefaultWindowToSpan && callStart.IsZero() && a.frames > 0 {
 		callStart, callEnd = a.firstTS, a.lastTS
@@ -627,20 +672,7 @@ func (a *Analyzer) Close() (*CaptureAnalysis, error) {
 	})
 
 	foldStart := cm.foldSeconds.Start()
-	var fctx findingsContext
-	for _, p := range partials {
-		mergeStats(ca.Stats, p.stats)
-		for ssrc := range p.ssrcs {
-			ca.RTPSSRCs[ssrc] = true
-		}
-		fctx.merge(&p.fctx)
-		// The workers above only buffered; the fold is the deterministic
-		// export point for the final chunk of every stream's trace.
-		p.span.Flush()
-	}
-	if !a.opts.SkipFindings {
-		ca.Findings = fctx.findings()
-	}
+	foldPartials(ca, partials, a.opts.SkipFindings)
 	cm.foldSeconds.ObserveSince(foldStart)
 
 	if a.trace != nil {

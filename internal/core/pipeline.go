@@ -216,6 +216,20 @@ func BatchAnalyzeCapture(in CaptureInput, opts Options) (*CaptureAnalysis, error
 	})
 
 	foldStart := cm.foldSeconds.Start()
+	foldPartials(ca, partials, opts.SkipFindings)
+	cm.foldSeconds.ObserveSince(foldStart)
+	return ca, nil
+}
+
+// foldPartials folds per-stream partial results into the capture
+// analysis in slice order — the deterministic RTC stream order — by
+// merging stats, SSRC sets, and findings evidence, then flushing each
+// stream's trace span (a no-op when tracing is off). The workers that
+// produced the partials only buffered; this fold is the single
+// deterministic export and merge point every pipeline shares: Close,
+// the batch reference path, and (through finalize) the cross-shard
+// MergeAnalyzers.
+func foldPartials(ca *CaptureAnalysis, partials []*streamPartial, skipFindings bool) {
 	var fctx findingsContext
 	for _, p := range partials {
 		mergeStats(ca.Stats, p.stats)
@@ -223,12 +237,11 @@ func BatchAnalyzeCapture(in CaptureInput, opts Options) (*CaptureAnalysis, error
 			ca.RTPSSRCs[ssrc] = true
 		}
 		fctx.merge(&p.fctx)
+		p.span.Flush()
 	}
-	if !opts.SkipFindings {
+	if !skipFindings {
 		ca.Findings = fctx.findings()
 	}
-	cm.foldSeconds.ObserveSince(foldStart)
-	return ca, nil
 }
 
 // streamPartial is the analysis outcome of one RTC stream, produced by
@@ -361,29 +374,109 @@ func (fr *frameRing) add(ts time.Time, frame []byte) bool {
 }
 
 // flush feeds the pending batch (a no-op when empty) and resets it.
-func (fr *frameRing) flush(a *Analyzer) error {
+func (fr *frameRing) flush(sink FrameSink) error {
 	if len(fr.batch) == 0 {
 		return nil
 	}
-	err := a.FeedBatch(fr.batch)
+	err := sink.FeedBatch(fr.batch)
 	fr.batch = fr.batch[:0]
 	return err
 }
 
-// AnalyzePCAP reads a capture stream — classic pcap or pcapng, detected
-// from the leading magic — and analyzes it incrementally: records are
-// decoded into a small ring of reusable frame buffers and fed to the
-// Analyzer in batches, so memory holds per-stream state instead of the
-// whole file. Unless KeepPayloads is set, retained payload bytes live
-// in pooled buffers (internal/bufpool) that return to the process-wide
-// pool as streams are filtered out, evicted, or finalized. A zero
-// callStart defaults the call window to the capture's span.
-func AnalyzePCAP(r io.Reader, label string, callStart, callEnd time.Time, opts Options) (*CaptureAnalysis, error) {
+// FrameSink consumes timestamped frames in batches and produces the
+// capture analysis when closed. The streaming Analyzer and the sharded
+// ingest tier (internal/ingest) both implement it, which is what lets
+// every capture reader — file, live socket, benchmark — swap one
+// concurrency story for the other without touching the reading loop.
+// FeedBatch must copy whatever it retains before returning (unless the
+// sink was configured with stable frames), exactly like
+// Analyzer.FeedBatch.
+type FrameSink interface {
+	FeedBatch([]Datagram) error
+	Close() (*CaptureAnalysis, error)
+}
+
+// StreamCapture reads a capture stream — classic pcap or pcapng,
+// detected from the leading magic — and feeds it incrementally through
+// a FrameSink: records are decoded into a small ring of reusable frame
+// buffers and delivered in batches, so memory holds per-stream state
+// instead of the whole file. The sink is created by open once the
+// capture's link type is known (for pcapng, from the first packet,
+// matching the historical ReadAll behavior for single-interface
+// files). Returns the sink's Close result.
+func StreamCapture(r io.Reader, open func(pcap.LinkType) (FrameSink, error)) (*CaptureAnalysis, error) {
 	br := bufio.NewReader(r)
 	head, err := br.Peek(4)
 	if err != nil {
 		return nil, fmt.Errorf("core: read capture header: %w", err)
 	}
+	ring := newFrameRing()
+	var sink FrameSink
+	if pcap.IsPCAPNG(head) {
+		ngr, err := pcap.NewNGReader(br)
+		if err != nil {
+			return nil, err
+		}
+		for {
+			pkt, linkType, err := ngr.ReadPacketInto(ring.slot())
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, err
+			}
+			if sink == nil {
+				if sink, err = open(linkType); err != nil {
+					return nil, err
+				}
+			}
+			if ring.add(pkt.Timestamp, pkt.Data) {
+				if err := ring.flush(sink); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if sink == nil {
+			if sink, err = open(ngr.LinkType()); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		pr, err := pcap.NewReader(br)
+		if err != nil {
+			return nil, err
+		}
+		if sink, err = open(pr.LinkType()); err != nil {
+			return nil, err
+		}
+		for {
+			pkt, err := pr.ReadPacketInto(ring.slot())
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, err
+			}
+			if ring.add(pkt.Timestamp, pkt.Data) {
+				if err := ring.flush(sink); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if err := ring.flush(sink); err != nil {
+		return nil, err
+	}
+	return sink.Close()
+}
+
+// AnalyzePCAP analyzes a capture stream with one streaming Analyzer
+// through StreamCapture. Unless KeepPayloads is set, retained payload
+// bytes live in pooled buffers (internal/bufpool) that return to the
+// process-wide pool as streams are filtered out, evicted, or
+// finalized. A zero callStart defaults the call window to the
+// capture's span.
+func AnalyzePCAP(r io.Reader, label string, callStart, callEnd time.Time, opts Options) (*CaptureAnalysis, error) {
 	cfg := AnalyzerConfig{
 		Label:               label,
 		CallStart:           callStart,
@@ -395,74 +488,10 @@ func AnalyzePCAP(r io.Reader, label string, callStart, callEnd time.Time, opts O
 	if !opts.KeepPayloads {
 		cfg.Pool = bufpool.Global()
 	}
-	ring := newFrameRing()
-	if pcap.IsPCAPNG(head) {
-		ngr, err := pcap.NewNGReader(br)
-		if err != nil {
-			return nil, err
-		}
-		// The first packet's link type describes the capture (matching
-		// the historical ReadAll behavior for single-interface files),
-		// so the Analyzer is created on first read.
-		var a *Analyzer
-		for {
-			pkt, linkType, err := ngr.ReadPacketInto(ring.slot())
-			if err == io.EOF {
-				break
-			}
-			if err != nil {
-				return nil, err
-			}
-			if a == nil {
-				cfg.LinkType = linkType
-				if a, err = NewAnalyzer(cfg, opts); err != nil {
-					return nil, err
-				}
-			}
-			if ring.add(pkt.Timestamp, pkt.Data) {
-				if err := ring.flush(a); err != nil {
-					return nil, err
-				}
-			}
-		}
-		if a == nil {
-			cfg.LinkType = ngr.LinkType()
-			if a, err = NewAnalyzer(cfg, opts); err != nil {
-				return nil, err
-			}
-		}
-		if err := ring.flush(a); err != nil {
-			return nil, err
-		}
-		return a.Close()
-	}
-	pr, err := pcap.NewReader(br)
-	if err != nil {
-		return nil, err
-	}
-	cfg.LinkType = pr.LinkType()
-	a, err := NewAnalyzer(cfg, opts)
-	if err != nil {
-		return nil, err
-	}
-	for {
-		pkt, err := pr.ReadPacketInto(ring.slot())
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, err
-		}
-		if ring.add(pkt.Timestamp, pkt.Data) {
-			if err := ring.flush(a); err != nil {
-				return nil, err
-			}
-		}
-	}
-	if err := ring.flush(a); err != nil {
-		return nil, err
-	}
-	return a.Close()
+	return StreamCapture(r, func(lt pcap.LinkType) (FrameSink, error) {
+		cfg.LinkType = lt
+		return NewAnalyzer(cfg, opts)
+	})
 }
 
 // BatchAnalyzePCAP is the original read-everything-then-analyze path,

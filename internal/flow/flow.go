@@ -237,6 +237,52 @@ func (t *Table) AddToStream(s *Stream, ts time.Time, dir Direction, src, dst End
 	s.spMemo[dir] = sp
 }
 
+// AbsorbSpans widens this table's destination-3-tuple spans with every
+// span recorded in src, creating entries as needed. It is the first
+// half of a cross-table merge: spans union commutatively (Extend is a
+// min/max fold), so absorbing shard tables in any order yields exactly
+// the span a single table fed every packet would hold.
+func (t *Table) AbsorbSpans(src *Table) {
+	for tt, sp := range src.threeTuples {
+		dst, ok := t.threeTuples[tt]
+		if !ok {
+			dst = &Span{}
+			t.threeTuples[tt] = dst
+		}
+		dst.Extend(sp.First)
+		dst.Extend(sp.Last)
+	}
+}
+
+// AbsorbStream adopts a stream built by another table, appending it to
+// this table's insertion order. The caller controls the order of
+// AbsorbStream calls and must replay the original first-seen order
+// when the merged table needs to match a serially-built one. A key
+// already present is an error: the sharded router guarantees each flow
+// is owned by exactly one shard, so a duplicate means misrouting.
+//
+// The stream's per-direction span memos are re-pointed at this table's
+// (absorbed, unioned) spans: the shard-local spans they referenced may
+// cover only one shard's packets, and the filter — and any structural
+// comparison against a serially-built table — must see the union.
+// Call AbsorbSpans for every source table before absorbing streams.
+func (t *Table) AbsorbStream(s *Stream) error {
+	if _, ok := t.streams[s.Key]; ok {
+		return fmt.Errorf("flow: duplicate stream %v in table merge", s.Key)
+	}
+	t.streams[s.Key] = s
+	t.order = append(t.order, s.Key)
+	for dir := range s.spMemo {
+		if s.spMemo[dir] == nil {
+			continue
+		}
+		if sp, ok := t.threeTuples[s.ttMemo[dir]]; ok {
+			s.spMemo[dir] = sp
+		}
+	}
+	return nil
+}
+
 // Streams returns all streams in first-seen insertion order.
 func (t *Table) Streams() []*Stream {
 	out := make([]*Stream, 0, len(t.order))

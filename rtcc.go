@@ -39,6 +39,7 @@ import (
 	"github.com/rtc-compliance/rtcc/internal/bufpool"
 	"github.com/rtc-compliance/rtcc/internal/core"
 	"github.com/rtc-compliance/rtcc/internal/dpi"
+	"github.com/rtc-compliance/rtcc/internal/ingest"
 	"github.com/rtc-compliance/rtcc/internal/interop"
 	"github.com/rtc-compliance/rtcc/internal/metrics"
 	"github.com/rtc-compliance/rtcc/internal/natsim"
@@ -252,6 +253,12 @@ func Analyze(cap *Capture, opts Options) (*CaptureAnalysis, error) {
 	return core.AnalyzeCapture(cap.Input(), opts)
 }
 
+// AnalyzeSharded runs the same pipeline through the sharded ingest
+// tier: identical output to Analyze, computed on scfg.Shards cores.
+func AnalyzeSharded(cap *Capture, opts Options, scfg ShardConfig) (*CaptureAnalysis, error) {
+	return ingest.AnalyzeCapture(cap.Input(), opts, scfg)
+}
+
 // LinkType identifies the layer-2 framing of frames fed to an
 // Analyzer.
 type LinkType = pcap.LinkType
@@ -297,6 +304,56 @@ func NewAnalyzer(cfg AnalyzerConfig, opts Options) (*Analyzer, error) {
 // call window to the capture's span.
 func AnalyzePCAP(r io.Reader, label string, callStart, callEnd time.Time, opts Options) (*CaptureAnalysis, error) {
 	return core.AnalyzePCAP(r, label, callStart, callEnd, opts)
+}
+
+// FrameSink is the capture-ingestion contract: both the serial
+// Analyzer and the ShardedAnalyzer implement it, so capture readers
+// can swap one concurrency story for the other without changes.
+type FrameSink = core.FrameSink
+
+// ShardedAnalyzer routes datagrams by flow 5-tuple onto N single-writer
+// Analyzer shards fed through bounded queues, and merges the shard
+// states at Close. Output is byte-identical to a serial Analyzer fed
+// the same frames in the same order, for any shard count (DESIGN.md
+// §15). Feed it from one goroutine, exactly like an Analyzer.
+type ShardedAnalyzer = ingest.ShardedAnalyzer
+
+// ShardConfig parameterizes the sharded ingest tier (shard count,
+// queue depth, batch size, back-pressure policy). The zero value
+// selects one shard per CPU with lossless back-pressure.
+type ShardConfig = ingest.Config
+
+// ShardPolicy selects what a full shard queue does to the producer:
+// ShardBlock stalls it (lossless, default), ShardDrop sheds the staged
+// batch and counts every dropped datagram.
+type ShardPolicy = ingest.Policy
+
+// Shard back-pressure policies.
+const (
+	ShardBlock = ingest.Block
+	ShardDrop  = ingest.Drop
+)
+
+// ShardStats is a snapshot of the sharded tier's datagram accounting
+// (fed / analyzed / dropped / back-pressure, per shard and total).
+type ShardStats = ingest.Stats
+
+// NewShardedAnalyzer returns a sharded analyzer; see ShardedAnalyzer.
+func NewShardedAnalyzer(cfg AnalyzerConfig, opts Options, scfg ShardConfig) (*ShardedAnalyzer, error) {
+	return ingest.New(cfg, opts, scfg)
+}
+
+// AnalyzePCAPSharded analyzes a pcap stream through the sharded ingest
+// tier: same result as AnalyzePCAP, computed on scfg.Shards cores.
+func AnalyzePCAPSharded(r io.Reader, label string, callStart, callEnd time.Time, opts Options, scfg ShardConfig) (*CaptureAnalysis, error) {
+	return ingest.AnalyzePCAP(r, label, callStart, callEnd, opts, scfg)
+}
+
+// MergeAnalyzers folds fed (not yet closed) ExternalSeq Analyzer shards
+// into one capture analysis — the cross-shard merge behind
+// ShardedAnalyzer.Close, exported for custom sharding arrangements.
+func MergeAnalyzers(shards []*Analyzer) (*CaptureAnalysis, error) {
+	return core.MergeAnalyzers(shards)
 }
 
 // AnalyzeFile analyzes a pcap file.
