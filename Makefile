@@ -12,7 +12,7 @@ COVER_FLOOR_BUFPOOL ?= 85
 # pipeline; its accounting and merge invariants are all test-enforced.
 COVER_FLOOR_INGEST ?= 85
 
-.PHONY: all vet staticcheck build test race fuzz-smoke cover bench bench-json bench-check proto-list trace-smoke impair-smoke shard-smoke ci
+.PHONY: all vet staticcheck build test race fuzz-smoke cover bench bench-json bench-check proto-list trace-smoke impair-smoke shard-smoke daemon-smoke ci
 
 all: build
 
@@ -106,6 +106,13 @@ shard-smoke:
 		./internal/ingest
 	GOMAXPROCS=2 $(GO) test -short -race -count=1 -run 'TestStreamingBatchEquivalence' ./internal/core
 
+# End-to-end daemon smoke: start the rtclive compliance daemon against
+# appsim traffic on ephemeral ports, scrape /compliance/trend,
+# SIGHUP-reload with a changed config, and assert a clean SIGTERM
+# drain with conservation accounting.
+daemon-smoke:
+	sh scripts/daemon_smoke.sh
+
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
 
@@ -134,4 +141,4 @@ bench-check:
 proto-list:
 	$(GO) run ./cmd/rtccheck -protocols
 
-ci: vet staticcheck build race fuzz-smoke cover trace-smoke impair-smoke shard-smoke bench-check
+ci: vet staticcheck build race fuzz-smoke cover trace-smoke impair-smoke shard-smoke daemon-smoke bench-check

@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"github.com/rtc-compliance/rtcc/internal/bench"
+	"github.com/rtc-compliance/rtcc/internal/cmdutil"
 	_ "github.com/rtc-compliance/rtcc/internal/proto/protoall"
 )
 
@@ -65,20 +66,33 @@ const allocSlack = 64
 const scalingFloor = 3.0
 const scalingMinCPU = 4
 
+// newFlags registers rtcbench's flag surface (pinned by the golden
+// surface test).
+func newFlags() (fs *flag.FlagSet, out, baseline *string, reps, minIters *int,
+	minTime *time.Duration, version *bool) {
+	fs = flag.NewFlagSet("rtcbench", flag.ExitOnError)
+	out = fs.String("out", "", "write results as JSON to this file")
+	baseline = fs.String("baseline", "", "compare against this baseline JSON and exit 1 on regression")
+	reps = fs.Int("reps", 3, "repetitions per scenario; the fastest is kept")
+	minIters = fs.Int("miniters", 3, "minimum iterations per repetition")
+	// 200ms of accumulated ingest per repetition: ingest per
+	// iteration runs 0.5-9ms across the matrix, so every cell still
+	// gets tens of iterations while the full best-of-3 matrix —
+	// whose wall clock is dominated by the untimed Close between
+	// iterations — finishes in a couple of minutes instead of ten.
+	minTime = fs.Duration("mintime", 200*time.Millisecond, "minimum measured ingest time per repetition")
+	version = cmdutil.VersionFlag(fs)
+	return
+}
+
 func main() {
-	var (
-		out      = flag.String("out", "", "write results as JSON to this file")
-		baseline = flag.String("baseline", "", "compare against this baseline JSON and exit 1 on regression")
-		reps     = flag.Int("reps", 3, "repetitions per scenario; the fastest is kept")
-		minIters = flag.Int("miniters", 3, "minimum iterations per repetition")
-		// 200ms of accumulated ingest per repetition: ingest per
-		// iteration runs 0.5-9ms across the matrix, so every cell still
-		// gets tens of iterations while the full best-of-3 matrix —
-		// whose wall clock is dominated by the untimed Close between
-		// iterations — finishes in a couple of minutes instead of ten.
-		minTime = flag.Duration("mintime", 200*time.Millisecond, "minimum measured ingest time per repetition")
-	)
-	flag.Parse()
+	fs, out, baseline, reps, minIters, minTime, version := newFlags()
+	fs.Parse(os.Args[1:]) //nolint:errcheck // ExitOnError
+
+	if *version {
+		cmdutil.PrintVersion(os.Stdout, "rtcbench")
+		return
+	}
 
 	host := bench.CurrentHost()
 	var results []bench.Result

@@ -28,127 +28,177 @@ import (
 	"github.com/rtc-compliance/rtcc/internal/cmdutil"
 	"github.com/rtc-compliance/rtcc/internal/dpi"
 	"github.com/rtc-compliance/rtcc/internal/flow"
-	"github.com/rtc-compliance/rtcc/internal/metrics"
-	"github.com/rtc-compliance/rtcc/internal/obs"
+	"github.com/rtc-compliance/rtcc/internal/pipeline"
 	"github.com/rtc-compliance/rtcc/internal/propheader"
 	"github.com/rtc-compliance/rtcc/internal/proto"
 	_ "github.com/rtc-compliance/rtcc/internal/proto/protoall"
 	"github.com/rtc-compliance/rtcc/internal/report"
 )
 
-// runConfig is the per-run configuration shared by the -pcap and
-// -manifest paths.
-type runConfig struct {
-	k, workers, shards                   int
-	findings, verbose, inferHdr, jsonOut bool
-	reg                                  *metrics.Registry
-	tracer                               obs.Tracer
+// cliFlags is rtccheck's flag surface, registered on an explicit
+// FlagSet so the golden surface test can pin it.
+type cliFlags struct {
+	fs *flag.FlagSet
+
+	pcapPath, manifest         *string
+	startStr, endStr, label    *string
+	kOffset, workers, shards   *int
+	findings, verbose          *bool
+	inferHdr, jsonOut          *bool
+	metAddr, traceOut, explain *string
+	configPath                 *string
+	listProt, version          *bool
 }
 
-func (rc runConfig) options() rtcc.Options {
-	return rtcc.Options{
-		MaxOffset: rc.k, Workers: rc.workers, SkipFindings: !rc.findings,
-		KeepPayloads: rc.inferHdr, Metrics: rc.reg, Tracer: rc.tracer,
+func newFlags() *cliFlags {
+	fs := flag.NewFlagSet("rtccheck", flag.ExitOnError)
+	c := &cliFlags{fs: fs}
+	c.pcapPath = fs.String("pcap", "", "pcap file to analyze")
+	c.manifest = fs.String("manifest", "", "manifest.json from rtcgen: analyze every capture it lists")
+	c.startStr = fs.String("start", "", "call window start (RFC 3339); default: capture start")
+	c.endStr = fs.String("end", "", "call window end (RFC 3339); default: capture end")
+	c.label = fs.String("label", "", "application label for the report")
+	c.kOffset = fs.Int("k", 200, "DPI maximum candidate-extraction offset")
+	c.workers = cmdutil.WorkersFlag(fs)
+	c.shards = cmdutil.ShardsFlag(fs)
+	c.findings = fs.Bool("findings", true, "report behavioural findings")
+	c.verbose = fs.Bool("v", false, "print per-type detail")
+	c.inferHdr = fs.Bool("infer-headers", false, "infer the structure of proprietary headers per stream")
+	c.jsonOut = fs.Bool("json", false, "emit machine-readable JSON instead of text")
+	c.metAddr = cmdutil.MetricsAddrFlag(fs)
+	c.listProt = fs.Bool("protocols", false, "list the registered wire protocols and exit")
+	c.traceOut = cmdutil.TraceOutFlag(fs, "")
+	c.explain = fs.String("explain", "", `trace the run and explain decisions matching "<app>/<stream>/<msgtype>" (each part an optional substring)`)
+	c.configPath = cmdutil.ConfigFlag(fs)
+	c.version = cmdutil.VersionFlag(fs)
+	return c
+}
+
+// apply copies flag values onto cfg. With only == nil every flag
+// applies (the defaults layer); otherwise just the explicitly-set ones
+// (the precedence layer re-applied over a config file).
+func (c *cliFlags) apply(cfg *pipeline.Config, only map[string]bool) {
+	set := func(name string) bool { return only == nil || only[name] }
+	if set("pcap") && *c.pcapPath != "" {
+		cfg.Source.Kind = pipeline.SourcePCAP
+		cfg.Source.Path = *c.pcapPath
+	}
+	if set("label") && (only != nil || *c.label != "") {
+		cfg.Source.Label = *c.label
+	}
+	if set("start") && (only != nil || *c.startStr != "") {
+		cfg.Source.Start = *c.startStr
+	}
+	if set("end") && (only != nil || *c.endStr != "") {
+		cfg.Source.End = *c.endStr
+	}
+	if set("k") {
+		cfg.Analysis.MaxOffset = *c.kOffset
+	}
+	if set("workers") && (only != nil || *c.workers != 0) {
+		cfg.Exec.Workers = *c.workers
+	}
+	if set("shards") && (only != nil || *c.shards != 1) {
+		cfg.Exec.Shards = *c.shards
+	}
+	if set("findings") {
+		v := *c.findings
+		cfg.Analysis.Findings = &v
+	}
+	if set("infer-headers") && (only != nil || *c.inferHdr) {
+		cfg.Analysis.KeepPayloads = *c.inferHdr
+	}
+	if set("json") && (only != nil || *c.jsonOut) {
+		if *c.jsonOut {
+			cfg.Sinks.Report = "json"
+		} else {
+			cfg.Sinks.Report = "text"
+		}
+	}
+	if set("metrics-addr") && (only != nil || *c.metAddr != "") {
+		cfg.Sinks.MetricsAddr = *c.metAddr
+	}
+	if set("trace-out") && (only != nil || *c.traceOut != "") {
+		cfg.Sinks.TraceOut = *c.traceOut
+	}
+	if set("explain") && (only != nil || *c.explain != "") {
+		cfg.Sinks.Explain = *c.explain
 	}
 }
 
-// analyzePCAP routes one capture through the serial or sharded ingest
-// tier by rc.shards; results are byte-identical either way.
-func (rc runConfig) analyzePCAP(r io.Reader, label string, start, end time.Time) (*rtcc.CaptureAnalysis, error) {
-	if rc.shards > 1 {
-		return rtcc.AnalyzePCAPSharded(r, label, start, end, rc.options(), rtcc.ShardConfig{Shards: rc.shards})
+// pipelineConfig assembles the declarative config with the standard
+// precedence: flag defaults, then the -config file, then explicitly
+// set flags.
+func (c *cliFlags) pipelineConfig() (pipeline.Config, error) {
+	var cfg pipeline.Config
+	c.apply(&cfg, nil)
+	if *c.configPath != "" {
+		if err := pipeline.LoadFile(&cfg, *c.configPath); err != nil {
+			return cfg, err
+		}
+		c.apply(&cfg, cmdutil.Explicit(c.fs))
 	}
-	return rtcc.AnalyzePCAP(r, label, start, end, rc.options())
+	return cfg, nil
 }
 
 func main() {
-	var (
-		pcapPath = flag.String("pcap", "", "pcap file to analyze")
-		manifest = flag.String("manifest", "", "manifest.json from rtcgen: analyze every capture it lists")
-		startStr = flag.String("start", "", "call window start (RFC 3339); default: capture start")
-		endStr   = flag.String("end", "", "call window end (RFC 3339); default: capture end")
-		label    = flag.String("label", "", "application label for the report")
-		kOffset  = flag.Int("k", 200, "DPI maximum candidate-extraction offset")
-		workers  = flag.Int("workers", 0, "analysis worker count (0 = one per CPU, 1 = serial)")
-		shards   = flag.Int("shards", 1, "ingest shard count (>1 analyzes each capture on N cores; identical output)")
-		findings = flag.Bool("findings", true, "report behavioural findings")
-		verbose  = flag.Bool("v", false, "print per-type detail")
-		inferHdr = flag.Bool("infer-headers", false, "infer the structure of proprietary headers per stream")
-		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of text")
-		metAddr  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address during the run")
-		listProt = flag.Bool("protocols", false, "list the registered wire protocols and exit")
-		traceOut = flag.String("trace-out", "", "export the decision trace as JSONL (one event per line) to this file")
-		explain  = flag.String("explain", "", `trace the run and explain decisions matching "<app>/<stream>/<msgtype>" (each part an optional substring)`)
-		version  = flag.Bool("version", false, "print version and exit")
-	)
-	flag.Parse()
+	c := newFlags()
+	c.fs.Parse(os.Args[1:]) //nolint:errcheck // ExitOnError
 
-	if *version {
+	if *c.version {
 		cmdutil.PrintVersion(os.Stdout, "rtccheck")
 		return
 	}
-	if *listProt {
+	if *c.listProt {
 		printProtocols(os.Stdout)
 		return
 	}
-	if (*pcapPath == "") == (*manifest == "") {
-		fmt.Fprintln(os.Stderr, "rtccheck: exactly one of -pcap or -manifest is required")
+	cfg, err := c.pipelineConfig()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtccheck:", err)
 		os.Exit(2)
 	}
-	reg, stopMetrics, err := cmdutil.ServeMetrics("rtccheck", *metAddr)
+	hasPCAP := cfg.Source.Kind == pipeline.SourcePCAP && cfg.Source.Path != ""
+	if hasPCAP == (*c.manifest != "") {
+		fmt.Fprintln(os.Stderr, "rtccheck: exactly one capture source is required: -pcap (or a config file source) or -manifest")
+		os.Exit(2)
+	}
+	if !hasPCAP {
+		// The manifest drives source selection per entry; the config
+		// still validates the execution and sink sections.
+		cfg.Source.Kind = pipeline.SourcePCAP
+		cfg.Source.Path = *c.manifest
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "rtccheck:", err)
+		os.Exit(2)
+	}
+	reg, stopMetrics, err := cmdutil.ServeMetrics("rtccheck", cfg.Sinks.MetricsAddr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rtccheck:", err)
 		os.Exit(1)
 	}
 	defer stopMetrics()
 
-	rc := runConfig{
-		k: *kOffset, workers: *workers, shards: *shards,
-		findings: *findings, verbose: *verbose, inferHdr: *inferHdr, jsonOut: *jsonOut,
-		reg: reg,
+	runner, err := pipeline.NewRunner(cfg, reg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtccheck:", err)
+		os.Exit(1)
 	}
-	if *shards > 1 && (*traceOut != "" || *explain != "") {
-		// The shard workers would interleave one trace sink
-		// nondeterministically; sharded runs are untraced by design.
-		fmt.Fprintln(os.Stderr, "rtccheck: -shards > 1 cannot be combined with -trace-out or -explain (trace serially)")
-		os.Exit(2)
-	}
-	// Assemble the trace sinks: a JSONL exporter for -trace-out, an
-	// in-memory buffer for -explain; both can be active at once.
-	var sinks []obs.Tracer
-	var jsonl *obs.JSONLWriter
-	var traceFile *os.File
-	if *traceOut != "" {
-		traceFile, err = os.Create(*traceOut)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "rtccheck:", err)
-			os.Exit(1)
-		}
-		jsonl = obs.NewJSONLWriter(traceFile)
-		sinks = append(sinks, jsonl)
-	}
-	var buf *obs.Buffer
-	if *explain != "" {
-		buf = obs.NewBuffer(0)
-		sinks = append(sinks, buf)
-	}
-	rc.tracer = obs.Tee(sinks...)
 
-	if *manifest != "" {
-		err = runManifest(*manifest, rc)
+	if *c.manifest != "" {
+		err = runManifest(*c.manifest, c, runner)
 	} else {
-		err = runOne(*pcapPath, *label, *startStr, *endStr, rc)
+		err = runOne(c, cfg, runner)
 	}
-	if err == nil && jsonl != nil {
-		if err = jsonl.Flush(); err == nil {
-			err = traceFile.Close()
-		}
-		if err == nil {
-			fmt.Fprintf(os.Stderr, "trace: wrote %s\n", *traceOut)
-		}
+	if err == nil {
+		err = runner.FlushTrace(os.Stderr)
 	}
-	if err == nil && buf != nil {
-		fmt.Print(rtcc.ExplainTrace(buf.Events(), *explain))
+	if err == nil && cfg.Sinks.Explain != "" {
+		fmt.Print(rtcc.ExplainTrace(runner.ExplainEvents(), cfg.Sinks.Explain))
+	}
+	if cerr := runner.Close(); err == nil {
+		err = cerr
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rtccheck:", err)
@@ -181,42 +231,31 @@ func printProtocols(w io.Writer) {
 	tw.Flush()
 }
 
-func parseTime(s string) (time.Time, error) {
-	if s == "" {
-		return time.Time{}, nil
-	}
-	return time.Parse(time.RFC3339, s)
-}
-
-func runOne(path, label, startStr, endStr string, rc runConfig) error {
-	start, err := parseTime(startStr)
+func runOne(c *cliFlags, cfg pipeline.Config, runner *pipeline.Runner) error {
+	start, end, err := cfg.Source.Window()
 	if err != nil {
-		return fmt.Errorf("bad -start: %w", err)
+		return err
 	}
-	end, err := parseTime(endStr)
-	if err != nil {
-		return fmt.Errorf("bad -end: %w", err)
-	}
-	if label == "" {
-		label = filepath.Base(path)
-	}
-	f, err := os.Open(path)
+	f, err := os.Open(cfg.Source.Path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 	// Header inference re-reads per-stream payloads after the analysis,
-	// so it needs the streaming core to keep them.
-	ca, err := rc.analyzePCAP(f, label, start, end)
+	// so it needs the streaming core to keep them (the -infer-headers
+	// flag turns on analysis.keep_payloads).
+	ca, err := runner.AnalyzeReader(f, cfg.Source.EffectiveLabel(), start, end)
 	if err != nil {
 		return err
 	}
-	if rc.jsonOut {
+	if cfg.Sinks.Report == "json" {
 		return printJSON(ca)
 	}
-	printAnalysis(ca, rc.verbose)
-	if rc.inferHdr {
-		printHeaderInference(ca, rc.k)
+	if cfg.Sinks.Report != "none" {
+		printAnalysis(ca, *c.verbose)
+	}
+	if *c.inferHdr {
+		printHeaderInference(ca, cfg.Analysis.MaxOffset)
 	}
 	return nil
 }
@@ -363,7 +402,7 @@ type manifestEntry struct {
 	CallEnd   time.Time `json:"call_end"`
 }
 
-func runManifest(path string, rc runConfig) error {
+func runManifest(path string, c *cliFlags, runner *pipeline.Runner) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -374,15 +413,15 @@ func runManifest(path string, rc runConfig) error {
 	}
 	dir := filepath.Dir(path)
 	for _, e := range entries {
-		ca, err := analyzeEntry(dir, e, rc)
+		ca, err := analyzeEntry(dir, e, runner)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.File, err)
 		}
 		ca.Stats.App = e.App
 		fmt.Printf("=== %s (%s) ===\n", e.File, e.App)
-		printAnalysis(ca, rc.verbose)
-		if rc.inferHdr {
-			printHeaderInference(ca, rc.k)
+		printAnalysis(ca, *c.verbose)
+		if *c.inferHdr {
+			printHeaderInference(ca, runner.Config().Analysis.MaxOffset)
 		}
 		fmt.Println()
 	}
@@ -395,7 +434,7 @@ func runManifest(path string, rc runConfig) error {
 // analyzes many captures of the same app into one trace export —
 // reusing the bare app name would collide their spans and restart
 // sequence numbers mid-file.
-func analyzeEntry(dir string, e manifestEntry, rc runConfig) (*rtcc.CaptureAnalysis, error) {
+func analyzeEntry(dir string, e manifestEntry, runner *pipeline.Runner) (*rtcc.CaptureAnalysis, error) {
 	f, err := os.Open(filepath.Join(dir, e.File))
 	if err != nil {
 		return nil, err
@@ -405,7 +444,7 @@ func analyzeEntry(dir string, e manifestEntry, rc runConfig) (*rtcc.CaptureAnaly
 	if e.App != "" {
 		label = e.App + " (" + e.File + ")"
 	}
-	return rc.analyzePCAP(f, label, e.CallStart, e.CallEnd)
+	return runner.AnalyzeReader(f, label, e.CallStart, e.CallEnd)
 }
 
 func printAnalysis(ca *rtcc.CaptureAnalysis, verbose bool) {

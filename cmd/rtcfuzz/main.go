@@ -26,17 +26,24 @@ import (
 	_ "github.com/rtc-compliance/rtcc/internal/proto/protoall"
 )
 
+// newFlags registers rtcfuzz's flag surface (pinned by the golden
+// surface test).
+func newFlags() (fs *flag.FlagSet, pcapPath, outDir *string, n *int, seed *uint64,
+	strategy *string, keepSeeds, version *bool) {
+	fs = flag.NewFlagSet("rtcfuzz", flag.ExitOnError)
+	pcapPath = fs.String("pcap", "", "capture to harvest seed messages from")
+	outDir = fs.String("out", "corpus", "output directory for corpus files")
+	n = fs.Int("n", 200, "number of mutated variants to write")
+	seed = fs.Uint64("seed", 1, "mutation seed (corpus is reproducible)")
+	strategy = fs.String("strategy", "", "comma-separated strategies (default: all)")
+	keepSeeds = fs.Bool("seeds", true, "also write the unmutated seed messages")
+	version = cmdutil.VersionFlag(fs)
+	return
+}
+
 func main() {
-	var (
-		pcapPath  = flag.String("pcap", "", "capture to harvest seed messages from")
-		outDir    = flag.String("out", "corpus", "output directory for corpus files")
-		n         = flag.Int("n", 200, "number of mutated variants to write")
-		seed      = flag.Uint64("seed", 1, "mutation seed (corpus is reproducible)")
-		strategy  = flag.String("strategy", "", "comma-separated strategies (default: all)")
-		keepSeeds = flag.Bool("seeds", true, "also write the unmutated seed messages")
-		version   = flag.Bool("version", false, "print version and exit")
-	)
-	flag.Parse()
+	fs, pcapPath, outDir, n, seed, strategy, keepSeeds, version := newFlags()
+	fs.Parse(os.Args[1:]) //nolint:errcheck // ExitOnError
 	if *version {
 		cmdutil.PrintVersion(os.Stdout, "rtcfuzz")
 		return

@@ -60,29 +60,76 @@ func parseApp(s string) (rtcc.App, error) {
 	return "", fmt.Errorf("unknown app %q", s)
 }
 
+// genFlags holds rtcgen's flag surface (pinned by the golden surface
+// test).
+type genFlags struct {
+	fs                       *flag.FlagSet
+	outDir, appFlag, netFlag *string
+	runs                     *int
+	duration, prePost        *time.Duration
+	rate                     *int
+	seed                     *uint64
+	background, dtls         *bool
+	impair                   *string
+	loss                     *float64
+	jitter                   *time.Duration
+	reorder, dup             *float64
+	rebind                   *int
+	burst                    *bool
+	bitrateVar               *float64
+	version                  *bool
+}
+
+func newFlags() *genFlags {
+	fs := flag.NewFlagSet("rtcgen", flag.ExitOnError)
+	return &genFlags{
+		fs:         fs,
+		outDir:     fs.String("out", "traces", "output directory"),
+		appFlag:    fs.String("app", "", "restrict to one application (default: all six)"),
+		netFlag:    fs.String("network", "", "restrict to one network configuration (default: all three)"),
+		runs:       fs.Int("runs", 1, "repetitions per app × network cell"),
+		duration:   fs.Duration("duration", 30*time.Second, "call duration (paper: 5m)"),
+		prePost:    fs.Duration("prepost", 10*time.Second, "pre-call and post-call capture length (paper: 60s)"),
+		rate:       fs.Int("rate", 25, "media packets per second per stream"),
+		seed:       fs.Uint64("seed", 1, "base seed"),
+		background: fs.Bool("background", true, "include unrelated background traffic"),
+		dtls:       fs.Bool("dtls", false, "emit a standards-compliant DTLS-SRTP handshake on the media stream"),
+		impair:     fs.String("impair", "", "named impairment profile (clean, loss2, burst5, jitter30, dup3, rebind2)"),
+		loss:       fs.Float64("loss", 0, "i.i.d. UDP loss probability [0,1)"),
+		jitter:     fs.Duration("jitter", 0, "uniform per-datagram queueing delay bound"),
+		reorder:    fs.Float64("reorder", 0, "probability of a late-spike reordering a datagram"),
+		dup:        fs.Float64("dup", 0, "probability of duplicating a datagram"),
+		rebind:     fs.Int("rebind", 0, "number of mid-call NAT rebinding events"),
+		burst:      fs.Bool("burst", false, "frame-granular video bursting with bit-rate variance"),
+		bitrateVar: fs.Float64("bitrate-var", 0, "encoder bit-rate variance fraction with -burst (default 0.25)"),
+		version:    cmdutil.VersionFlag(fs),
+	}
+}
+
 func main() {
+	f := newFlags()
+	f.fs.Parse(os.Args[1:]) //nolint:errcheck // ExitOnError
 	var (
-		outDir     = flag.String("out", "traces", "output directory")
-		appFlag    = flag.String("app", "", "restrict to one application (default: all six)")
-		netFlag    = flag.String("network", "", "restrict to one network configuration (default: all three)")
-		runs       = flag.Int("runs", 1, "repetitions per app × network cell")
-		duration   = flag.Duration("duration", 30*time.Second, "call duration (paper: 5m)")
-		prePost    = flag.Duration("prepost", 10*time.Second, "pre-call and post-call capture length (paper: 60s)")
-		rate       = flag.Int("rate", 25, "media packets per second per stream")
-		seed       = flag.Uint64("seed", 1, "base seed")
-		background = flag.Bool("background", true, "include unrelated background traffic")
-		dtls       = flag.Bool("dtls", false, "emit a standards-compliant DTLS-SRTP handshake on the media stream")
-		impair     = flag.String("impair", "", "named impairment profile (clean, loss2, burst5, jitter30, dup3, rebind2)")
-		loss       = flag.Float64("loss", 0, "i.i.d. UDP loss probability [0,1)")
-		jitter     = flag.Duration("jitter", 0, "uniform per-datagram queueing delay bound")
-		reorder    = flag.Float64("reorder", 0, "probability of a late-spike reordering a datagram")
-		dup        = flag.Float64("dup", 0, "probability of duplicating a datagram")
-		rebind     = flag.Int("rebind", 0, "number of mid-call NAT rebinding events")
-		burst      = flag.Bool("burst", false, "frame-granular video bursting with bit-rate variance")
-		bitrateVar = flag.Float64("bitrate-var", 0, "encoder bit-rate variance fraction with -burst (default 0.25)")
-		version    = flag.Bool("version", false, "print version and exit")
+		outDir     = f.outDir
+		appFlag    = f.appFlag
+		netFlag    = f.netFlag
+		runs       = f.runs
+		duration   = f.duration
+		prePost    = f.prePost
+		rate       = f.rate
+		seed       = f.seed
+		background = f.background
+		dtls       = f.dtls
+		impair     = f.impair
+		loss       = f.loss
+		jitter     = f.jitter
+		reorder    = f.reorder
+		dup        = f.dup
+		rebind     = f.rebind
+		burst      = f.burst
+		bitrateVar = f.bitrateVar
+		version    = f.version
 	)
-	flag.Parse()
 
 	if *version {
 		cmdutil.PrintVersion(os.Stdout, "rtcgen")

@@ -1,12 +1,17 @@
-// Command rtclive moves captures over the network: `replay` streams a
-// pcap file to a remote collector with original (scaled) timing, and
-// `collect` receives such a stream, optionally analyzing it on the fly
-// and/or writing it back out as a pcap file.
+// Command rtclive moves captures over the network and runs the
+// always-on compliance service: `replay` streams a pcap file to a
+// remote collector with original (scaled) timing, `collect` receives
+// such a stream, optionally analyzing it on the fly and/or writing it
+// back out as a pcap file, and `daemon` runs a collector continuously
+// from a declarative config file — epoch-rotated analysis, a persisted
+// per-app compliance trend served at /compliance/trend, SIGHUP config
+// reload, and graceful SIGTERM drain.
 //
 // Usage:
 //
 //	rtclive collect -listen :9898 -out received.pcap -analyze
 //	rtclive replay  -pcap traces/000_zoom_wi-fi-p2p.pcap -to host:9898 -speed 50
+//	rtclive daemon  -config rtclive.yaml
 package main
 
 import (
@@ -14,15 +19,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
-	rtcc "github.com/rtc-compliance/rtcc"
 	"github.com/rtc-compliance/rtcc/internal/cmdutil"
-	"github.com/rtc-compliance/rtcc/internal/core"
 	"github.com/rtc-compliance/rtcc/internal/dpi"
 	"github.com/rtc-compliance/rtcc/internal/live"
-	"github.com/rtc-compliance/rtcc/internal/obs"
 	"github.com/rtc-compliance/rtcc/internal/pcap"
+	"github.com/rtc-compliance/rtcc/internal/pipeline"
+	_ "github.com/rtc-compliance/rtcc/internal/proto/protoall"
 )
 
 func main() {
@@ -35,6 +41,8 @@ func main() {
 		err = runReplay(os.Args[2:])
 	case "collect":
 		err = runCollect(os.Args[2:])
+	case "daemon":
+		err = runDaemon(os.Args[2:])
 	case "-version", "--version", "version":
 		cmdutil.PrintVersion(os.Stdout, "rtclive")
 	default:
@@ -50,27 +58,45 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   rtclive replay  -pcap FILE -to HOST:PORT [-speed N] [-metrics-addr ADDR]
   rtclive collect -listen ADDR [-out FILE] [-analyze] [-max N] [-idle DUR] [-metrics-addr ADDR] [-trace-out FILE]
+  rtclive daemon  -config FILE
   rtclive -version`)
 	os.Exit(2)
 }
 
-func runReplay(args []string) error {
+// replayFlags is the replay subcommand's surface (pinned by the golden
+// surface test).
+func replayFlags() (*flag.FlagSet, *struct {
+	pcapPath, to *string
+	speed        *float64
+	metAddr      *string
+}) {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
-	pcapPath := fs.String("pcap", "", "pcap file to replay")
-	to := fs.String("to", "", "collector address host:port")
-	speed := fs.Float64("speed", 10, "time compression factor (<=0: no pacing)")
-	metAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address")
-	fs.Parse(args)
-	if *pcapPath == "" || *to == "" {
+	v := &struct {
+		pcapPath, to *string
+		speed        *float64
+		metAddr      *string
+	}{
+		pcapPath: fs.String("pcap", "", "pcap file to replay"),
+		to:       fs.String("to", "", "collector address host:port"),
+		speed:    fs.Float64("speed", 10, "time compression factor (<=0: no pacing)"),
+		metAddr:  cmdutil.MetricsAddrFlag(fs),
+	}
+	return fs, v
+}
+
+func runReplay(args []string) error {
+	fs, v := replayFlags()
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if *v.pcapPath == "" || *v.to == "" {
 		return fmt.Errorf("replay requires -pcap and -to")
 	}
-	_, stopMetrics, err := cmdutil.ServeMetrics("rtclive", *metAddr)
+	_, stopMetrics, err := cmdutil.ServeMetrics("rtclive", *v.metAddr)
 	if err != nil {
 		return err
 	}
 	defer stopMetrics()
 
-	f, err := os.Open(*pcapPath)
+	f, err := os.Open(*v.pcapPath)
 	if err != nil {
 		return err
 	}
@@ -84,13 +110,13 @@ func runReplay(args []string) error {
 		return err
 	}
 
-	exp, err := live.Dial(*to)
+	exp, err := live.Dial(*v.to)
 	if err != nil {
 		return err
 	}
 	defer exp.Close()
-	exp.Speed = *speed
-	if *speed <= 0 {
+	exp.Speed = *v.speed
+	if *v.speed <= 0 {
 		exp.Speed = live.SpeedInstant
 	}
 
@@ -98,115 +124,124 @@ func runReplay(args []string) error {
 	if err := exp.Replay(context.Background(), frames); err != nil {
 		return err
 	}
-	fmt.Printf("replayed %d frames to %s in %v\n", len(frames), *to, time.Since(begin).Round(time.Millisecond))
+	fmt.Printf("replayed %d frames to %s in %v\n", len(frames), *v.to, time.Since(begin).Round(time.Millisecond))
 	return nil
 }
 
-func runCollect(args []string) error {
-	fs := flag.NewFlagSet("collect", flag.ExitOnError)
-	listen := fs.String("listen", ":9898", "UDP listen address")
-	out := fs.String("out", "", "write the received frames to this pcap file")
-	analyze := fs.Bool("analyze", false, "run the compliance pipeline on the received capture")
-	workers := fs.Int("workers", 0, "analysis worker count (0 = one per CPU, 1 = serial)")
-	maxFrames := fs.Int("max", 0, "stop after this many frames (0 = until idle)")
-	idle := fs.Duration("idle", 3*time.Second, "stop after this long without frames")
-	evict := fs.Duration("evict", 0, "finalize streams idle this long to bound analysis memory (0 = off)")
-	shards := fs.Int("shards", 1, "ingest shard count for the streaming analysis (>1 spreads flows across N cores)")
-	reorder := fs.Int("reorder", 256, "reorder-buffer depth for the streaming analysis")
-	metAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address")
-	traceOut := fs.String("trace-out", "", "export the analysis decision trace as JSONL to this file (requires -analyze)")
-	fs.Parse(args)
+// collectVals is the collect subcommand's flag surface.
+type collectVals struct {
+	listen, out       *string
+	analyze           *bool
+	workers, shards   *int
+	maxFrames         *int
+	idle, evict       *time.Duration
+	reorder           *int
+	metAddr, traceOut *string
+}
 
-	reg, stopMetrics, err := cmdutil.ServeMetrics("rtclive", *metAddr)
+func collectFlags() (*flag.FlagSet, *collectVals) {
+	fs := flag.NewFlagSet("collect", flag.ExitOnError)
+	v := &collectVals{
+		listen:    fs.String("listen", ":9898", "UDP listen address"),
+		out:       fs.String("out", "", "write the received frames to this pcap file"),
+		analyze:   fs.Bool("analyze", false, "run the compliance pipeline on the received capture"),
+		maxFrames: fs.Int("max", 0, "stop after this many frames (0 = until idle)"),
+		idle:      fs.Duration("idle", 3*time.Second, "stop after this long without frames"),
+		evict:     fs.Duration("evict", 0, "finalize streams idle this long to bound analysis memory (0 = off)"),
+		reorder:   fs.Int("reorder", 256, "reorder-buffer depth for the streaming analysis"),
+	}
+	v.workers = cmdutil.WorkersFlag(fs)
+	v.shards = cmdutil.ShardsFlag(fs)
+	v.metAddr = cmdutil.MetricsAddrFlag(fs)
+	v.traceOut = cmdutil.TraceOutFlag(fs, "(requires -analyze)")
+	return fs, v
+}
+
+// config assembles the collect run's pipeline config.
+func (v *collectVals) config() pipeline.Config {
+	var cfg pipeline.Config
+	cfg.Source.Kind = pipeline.SourceLive
+	cfg.Source.Label = "live"
+	cfg.Source.Listen = *v.listen
+	cfg.Source.Idle = pipeline.Duration(*v.idle)
+	cfg.Source.MaxFrames = *v.maxFrames
+	cfg.Source.Reorder = *v.reorder
+	cfg.Exec.Workers = *v.workers
+	cfg.Exec.Shards = *v.shards
+	cfg.Exec.EvictIdle = pipeline.Duration(*v.evict)
+	cfg.Sinks.MetricsAddr = *v.metAddr
+	cfg.Sinks.TraceOut = *v.traceOut
+	return cfg
+}
+
+func runCollect(args []string) error {
+	fs, v := collectFlags()
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+
+	if *v.traceOut != "" && !*v.analyze {
+		return fmt.Errorf("-trace-out requires -analyze")
+	}
+	cfg := v.config()
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	reg, stopMetrics, err := cmdutil.ServeMetrics("rtclive", cfg.Sinks.MetricsAddr)
 	if err != nil {
 		return err
 	}
 	defer stopMetrics()
 
-	col, err := live.Listen(*listen)
+	col, err := live.Listen(cfg.Source.Listen)
 	if err != nil {
 		return err
 	}
 	defer col.Close()
-	col.IdleTimeout = *idle
+	col.IdleTimeout = cfg.Source.Idle.Std()
 	col.Metrics = reg
-	fmt.Printf("collecting on %s (idle timeout %v)...\n", col.Addr(), *idle)
+	fmt.Printf("collecting on %s (idle timeout %v)...\n", col.Addr(), cfg.Source.Idle.Std())
 
 	// The analysis shares the offline pipeline's streaming Analyzer: the
 	// call window defaults to the received span, frames are analyzed as
 	// they arrive (through a small reorder buffer that undoes UDP
 	// reordering on the mirror path), and nothing requires holding the
 	// whole capture — unless -out needs the frames for the pcap file.
-	var analyzer core.FrameSink
-	var sharded *rtcc.ShardedAnalyzer
-	var jsonl *obs.JSONLWriter
-	var traceFile *os.File
-	if *traceOut != "" && !*analyze {
-		return fmt.Errorf("-trace-out requires -analyze")
+	runner, err := pipeline.NewRunner(cfg, reg)
+	if err != nil {
+		return err
 	}
-	if *traceOut != "" && *shards > 1 {
-		return fmt.Errorf("-trace-out cannot be combined with -shards > 1 (shard workers would interleave the trace)")
-	}
-	if *analyze {
-		opts := rtcc.Options{Workers: *workers, Metrics: reg}
-		if *traceOut != "" {
-			traceFile, err = os.Create(*traceOut)
-			if err != nil {
-				return err
-			}
-			jsonl = obs.NewJSONLWriter(traceFile)
-			opts.Tracer = jsonl
-		}
-		acfg := core.AnalyzerConfig{
-			Label:               "live",
-			LinkType:            pcap.LinkTypeRaw,
-			DefaultWindowToSpan: true,
-			FramesStable:        true, // each decapsulated frame is freshly allocated
-			EvictIdle:           *evict,
-		}
-		if *shards > 1 {
-			// Live ingest prefers shedding to stalling: a stalled
-			// producer drops mirror packets upstream invisibly, while the
-			// Drop policy counts every datagram it sheds.
-			sharded, err = rtcc.NewShardedAnalyzer(acfg, opts, rtcc.ShardConfig{
-				Shards: *shards, Policy: rtcc.ShardDrop,
-			})
-			analyzer = sharded
-		} else {
-			analyzer, err = core.NewAnalyzer(acfg, opts)
-		}
-		if err != nil {
+	defer runner.Close()
+	var sess *pipeline.LiveSession
+	if *v.analyze {
+		if sess, err = runner.NewLiveSession(); err != nil {
 			return err
 		}
 	}
 
 	received := 0
-	if *out == "" {
+	if *v.out == "" {
 		// Pure streaming: no capture buffer at all. Frames emitted by
 		// the reorder buffer are fed to the analyzer in small batches,
 		// amortizing the per-feed bookkeeping (each frame is freshly
 		// allocated, so batching retains nothing extra).
 		feed := func(pkt pcap.Packet) error { return nil }
-		var batcher *feedBatcher
-		if analyzer != nil {
-			batcher = newFeedBatcher(analyzer)
-			feed = batcher.push
+		if sess != nil {
+			feed = sess.Push
 		}
-		rb := live.NewReorderBuffer(*reorder, feed)
-		received, err = col.Stream(context.Background(), *maxFrames, rb.Push)
+		rb := live.NewReorderBuffer(cfg.Source.Reorder, feed)
+		received, err = col.Stream(context.Background(), cfg.Source.MaxFrames, rb.Push)
 		if err != nil {
 			return err
 		}
 		if err := rb.Flush(); err != nil {
 			return err
 		}
-		if batcher != nil {
-			if err := batcher.flush(); err != nil {
+		if sess != nil {
+			if err := sess.Flush(); err != nil {
 				return err
 			}
 		}
 	} else {
-		frames, err := col.Collect(context.Background(), *maxFrames)
+		frames, err := col.Collect(context.Background(), cfg.Source.MaxFrames)
 		if err != nil {
 			return err
 		}
@@ -214,7 +249,7 @@ func runCollect(args []string) error {
 		// Restore capture order so the pcap file and the analysis see
 		// the original stream.
 		live.SortByTimestamp(frames)
-		f, err := os.Create(*out)
+		f, err := os.Create(*v.out)
 		if err != nil {
 			return err
 		}
@@ -228,37 +263,34 @@ func runCollect(args []string) error {
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s\n", *out)
-		if analyzer != nil {
-			batcher := newFeedBatcher(analyzer)
+		fmt.Printf("wrote %s\n", *v.out)
+		if sess != nil {
 			for _, fr := range frames {
-				if err := batcher.push(fr); err != nil {
+				if err := sess.Push(fr); err != nil {
 					return err
 				}
 			}
-			if err := batcher.flush(); err != nil {
+			if err := sess.Flush(); err != nil {
 				return err
 			}
 		}
 	}
 	fmt.Printf("received %d frames (%d decode errors, %d dropped, %d reordered)\n",
 		received, col.DecodeErrors, col.Dropped, col.Reordered)
-	if received == 0 || analyzer == nil {
-		return flushTrace(jsonl, traceFile, *traceOut)
+	if received == 0 || sess == nil {
+		return runner.FlushTrace(os.Stderr)
 	}
 
-	ca, err := analyzer.Close()
+	acct := sess.Accounting()
+	ca, err := sess.Close()
 	if err != nil {
 		return err
 	}
-	if sharded != nil {
-		st := sharded.Stats()
-		if st.Dropped > 0 {
-			fmt.Printf("ingest: %d datagrams dropped under back-pressure (%d analyzed on %d shards)\n",
-				st.Dropped, st.Analyzed, len(st.Shards))
-		}
+	if acct.Dropped > 0 {
+		fmt.Printf("ingest: %d datagrams dropped under back-pressure (%d analyzed on %d shards)\n",
+			acct.Dropped, acct.Analyzed, acct.Shards)
 	}
-	if err := flushTrace(jsonl, traceFile, *traceOut); err != nil {
+	if err := runner.FlushTrace(os.Stderr); err != nil {
 		return err
 	}
 	if ca.DecodeErrors > 0 {
@@ -275,48 +307,48 @@ func runCollect(args []string) error {
 	return nil
 }
 
-// feedBatcher accumulates frames into fixed-size batches for
-// FrameSink.FeedBatch, amortizing per-feed bookkeeping on the live
-// path. The sink is either a serial Analyzer or the sharded tier; the
-// batcher cannot tell the difference.
-type feedBatcher struct {
-	a     core.FrameSink
-	batch []core.Datagram
+// daemonFlags is the daemon subcommand's surface.
+func daemonFlags() (*flag.FlagSet, **string) {
+	fs := flag.NewFlagSet("daemon", flag.ExitOnError)
+	configPath := cmdutil.ConfigFlag(fs)
+	return fs, &configPath
 }
 
-func newFeedBatcher(a core.FrameSink) *feedBatcher {
-	return &feedBatcher{a: a, batch: make([]core.Datagram, 0, 64)}
-}
-
-func (b *feedBatcher) push(pkt pcap.Packet) error {
-	b.batch = append(b.batch, core.Datagram{Timestamp: pkt.Timestamp, Frame: pkt.Data})
-	if len(b.batch) == cap(b.batch) {
-		return b.flush()
+// runDaemon runs the always-on compliance service: config file + SIGHUP
+// reload + graceful SIGTERM/SIGINT drain. The pipeline.Daemon owns the
+// epoch rotation and the /compliance/trend series; this front-end only
+// wires signals.
+func runDaemon(args []string) error {
+	fs, configPath := daemonFlags()
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if **configPath == "" {
+		return fmt.Errorf("daemon requires -config")
 	}
-	return nil
-}
-
-func (b *feedBatcher) flush() error {
-	if len(b.batch) == 0 {
-		return nil
-	}
-	err := b.a.FeedBatch(b.batch)
-	b.batch = b.batch[:0]
-	return err
-}
-
-// flushTrace finishes the -trace-out export; a nil writer is a no-op.
-func flushTrace(jsonl *obs.JSONLWriter, f *os.File, path string) error {
-	if jsonl == nil {
-		return nil
-	}
-	if err := jsonl.Flush(); err != nil {
-		f.Close()
+	d, err := pipeline.NewDaemon(**configPath, os.Stdout)
+	if err != nil {
 		return err
 	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	fmt.Fprintf(os.Stderr, "trace: wrote %s\n", path)
-	return nil
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGHUP, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		for {
+			select {
+			case sig := <-sigc:
+				switch sig {
+				case syscall.SIGHUP:
+					fmt.Fprintln(os.Stderr, "rtclive: SIGHUP: reloading config")
+					d.Reload()
+				default:
+					fmt.Fprintf(os.Stderr, "rtclive: %v: draining\n", sig)
+					d.Stop()
+				}
+			case <-done:
+				return
+			}
+		}
+	}()
+	return d.Run()
 }

@@ -20,22 +20,30 @@ import (
 	"github.com/rtc-compliance/rtcc/internal/cmdutil"
 )
 
+// newFlags registers rtcreport's flag surface (pinned by the golden
+// surface test); the shared knobs come from the cmdutil helpers.
+func newFlags() (fs *flag.FlagSet, tables, figures *string, all, findings, interopF *bool,
+	runs *int, duration *time.Duration, rate *int, seed *uint64,
+	workers *int, metAddr *string, version *bool) {
+	fs = flag.NewFlagSet("rtcreport", flag.ExitOnError)
+	tables = fs.String("table", "", "comma-separated table numbers to render (1-6)")
+	figures = fs.String("figure", "", "comma-separated figure numbers to render (3-5)")
+	all = fs.Bool("all", false, "render every table and figure")
+	findings = fs.Bool("findings", true, "print behavioural findings (§5.3)")
+	interopF = fs.Bool("interop", false, "print the §6 interoperability profiles and pairwise matrix")
+	runs = fs.Int("runs", 2, "repetitions per app × network cell (paper: 6)")
+	duration = fs.Duration("duration", 12*time.Second, "call duration (paper: 5m)")
+	rate = fs.Int("rate", 25, "media packets per second per stream")
+	seed = fs.Uint64("seed", 1, "base seed")
+	workers = cmdutil.WorkersFlag(fs)
+	metAddr = cmdutil.MetricsAddrFlag(fs)
+	version = cmdutil.VersionFlag(fs)
+	return
+}
+
 func main() {
-	var (
-		tables   = flag.String("table", "", "comma-separated table numbers to render (1-6)")
-		figures  = flag.String("figure", "", "comma-separated figure numbers to render (3-5)")
-		all      = flag.Bool("all", false, "render every table and figure")
-		findings = flag.Bool("findings", true, "print behavioural findings (§5.3)")
-		interopF = flag.Bool("interop", false, "print the §6 interoperability profiles and pairwise matrix")
-		runs     = flag.Int("runs", 2, "repetitions per app × network cell (paper: 6)")
-		duration = flag.Duration("duration", 12*time.Second, "call duration (paper: 5m)")
-		rate     = flag.Int("rate", 25, "media packets per second per stream")
-		seed     = flag.Uint64("seed", 1, "base seed")
-		workers  = flag.Int("workers", 0, "analysis worker count (0 = one per CPU, 1 = serial)")
-		metAddr  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address during the run")
-		version  = flag.Bool("version", false, "print version and exit")
-	)
-	flag.Parse()
+	fs, tables, figures, all, findings, interopF, runs, duration, rate, seed, workers, metAddr, version := newFlags()
+	fs.Parse(os.Args[1:]) //nolint:errcheck // ExitOnError
 
 	if *version {
 		cmdutil.PrintVersion(os.Stdout, "rtcreport")

@@ -21,14 +21,20 @@ import (
 	"github.com/rtc-compliance/rtcc/internal/obs"
 )
 
+// newFlags registers rtctrace's flag surface (pinned by the golden
+// surface test).
+func newFlags() (fs *flag.FlagSet, in, explain *string, lint, version *bool) {
+	fs = flag.NewFlagSet("rtctrace", flag.ExitOnError)
+	in = fs.String("in", "", "trace JSONL file to read (default: stdin)")
+	explain = fs.String("explain", "", `explain decisions matching "<app>/<stream>/<msgtype>" (each part an optional substring)`)
+	lint = fs.Bool("lint", false, "validate the trace against the event schema and exit non-zero on problems")
+	version = cmdutil.VersionFlag(fs)
+	return
+}
+
 func main() {
-	var (
-		in      = flag.String("in", "", "trace JSONL file to read (default: stdin)")
-		explain = flag.String("explain", "", `explain decisions matching "<app>/<stream>/<msgtype>" (each part an optional substring)`)
-		lint    = flag.Bool("lint", false, "validate the trace against the event schema and exit non-zero on problems")
-		version = flag.Bool("version", false, "print version and exit")
-	)
-	flag.Parse()
+	fs, in, explain, lint, version := newFlags()
+	fs.Parse(os.Args[1:]) //nolint:errcheck // ExitOnError
 
 	if *version {
 		cmdutil.PrintVersion(os.Stdout, "rtctrace")

@@ -18,6 +18,14 @@ import (
 //	/debug/vars     expvar (includes the registry when published)
 //	/debug/pprof/   net/http/pprof profiles
 func Handler(r *Registry) http.Handler {
+	return HandlerWith(r, nil)
+}
+
+// HandlerWith is Handler plus caller routes mounted on the same mux —
+// how the compliance daemon serves /compliance/trend from the metrics
+// endpoint instead of opening a second listener. Caller patterns must
+// not collide with the built-in /metrics and /debug/ prefixes.
+func HandlerWith(r *Registry, routes map[string]http.Handler) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
@@ -31,6 +39,9 @@ func Handler(r *Registry) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for pattern, h := range routes {
+		mux.Handle(pattern, h)
+	}
 	return mux
 }
 
@@ -45,13 +56,19 @@ type Server struct {
 // under "build_info", and serves Handler(r) in a background goroutine
 // until Close or Shutdown.
 func Serve(addr string, r *Registry) (*Server, error) {
+	return ServeWith(addr, r, nil)
+}
+
+// ServeWith is Serve with extra routes mounted beside the built-in
+// observability surface (see HandlerWith).
+func ServeWith(addr string, r *Registry, routes map[string]http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("metrics: %w", err)
 	}
 	r.PublishExpvar("rtcc")
 	publishBuildInfo()
-	s := &Server{srv: &http.Server{Handler: Handler(r)}, ln: ln}
+	s := &Server{srv: &http.Server{Handler: HandlerWith(r, routes)}, ln: ln}
 	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Close
 	return s, nil
 }

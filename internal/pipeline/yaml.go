@@ -1,0 +1,147 @@
+package pipeline
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// parseYAML reads the YAML subset config files use: nested mappings by
+// indentation, scalar values, and # comments. Sequences, anchors, flow
+// style, multi-document streams, and multi-line scalars are out of
+// scope — a pipeline config is a small tree of named scalars, and a
+// hand-rolled 100-line reader keeps the module dependency-free. The
+// result is a plain map tree that round-trips through encoding/json
+// onto Config, which is where strict unknown-key checking happens.
+func parseYAML(data []byte) (map[string]any, error) {
+	root := map[string]any{}
+	// Stack of open mappings with the indent of their keys; the root's
+	// keys sit at indent 0.
+	type frame struct {
+		indent int
+		m      map[string]any
+	}
+	stack := []frame{{0, root}}
+
+	lines := strings.Split(string(data), "\n")
+	for i, raw := range lines {
+		lineno := i + 1
+		line := stripComment(raw)
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.Contains(line, "\t") {
+			return nil, fmt.Errorf("line %d: tabs are not allowed (indent with spaces)", lineno)
+		}
+		indent := len(line) - len(strings.TrimLeft(line, " "))
+		content := strings.TrimSpace(line)
+		if strings.HasPrefix(content, "- ") || content == "-" {
+			return nil, fmt.Errorf("line %d: sequences are not supported in pipeline configs", lineno)
+		}
+		key, rest, ok := strings.Cut(content, ":")
+		if !ok || key == "" {
+			return nil, fmt.Errorf("line %d: expected \"key: value\" or \"key:\"", lineno)
+		}
+		key = strings.TrimSpace(unquote(key))
+		rest = strings.TrimSpace(rest)
+
+		// Resolve which open mapping this line's indent addresses. A
+		// just-opened mapping carries indent -1 until its first key
+		// fixes the child indent (any depth beyond the parent's); a
+		// shallower line closes it (possibly empty) and the ones above.
+		for {
+			top := &stack[len(stack)-1]
+			if top.indent == -1 {
+				if parent := stack[len(stack)-2].indent; indent > parent {
+					top.indent = indent
+					break
+				}
+				stack = stack[:len(stack)-1] // the mapping stayed empty
+				continue
+			}
+			if len(stack) > 1 && indent < top.indent {
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			break
+		}
+		top := stack[len(stack)-1]
+		if indent != top.indent {
+			return nil, fmt.Errorf("line %d: bad indentation %d (open mapping is at %d)", lineno, indent, top.indent)
+		}
+		if _, dup := top.m[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate key %q", lineno, key)
+		}
+		if rest == "" {
+			// "key:" opens a nested mapping.
+			child := map[string]any{}
+			top.m[key] = child
+			stack = append(stack, frame{-1, child})
+			continue
+		}
+		top.m[key] = scalar(rest)
+	}
+	return root, nil
+}
+
+// stripComment removes a trailing # comment that is outside quotes.
+func stripComment(line string) string {
+	inSingle, inDouble := false, false
+	for i, r := range line {
+		switch r {
+		case '\'':
+			if !inDouble {
+				inSingle = !inSingle
+			}
+		case '"':
+			if !inSingle {
+				inDouble = !inDouble
+			}
+		case '#':
+			if !inSingle && !inDouble {
+				// A comment starts the line or follows whitespace.
+				if i == 0 || line[i-1] == ' ' || line[i-1] == '\t' {
+					return line[:i]
+				}
+			}
+		}
+	}
+	return line
+}
+
+// scalar types a YAML scalar: quoted strings stay strings; otherwise
+// bool, integer, and float forms are recognized, everything else is a
+// bare string (which is how durations like 30s arrive).
+func scalar(s string) any {
+	if len(s) >= 2 && (s[0] == '"' || s[0] == '\'') {
+		return unquote(s)
+	}
+	switch s {
+	case "true":
+		return true
+	case "false":
+		return false
+	case "null", "~":
+		return nil
+	}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return n
+	}
+	if n, err := strconv.ParseUint(s, 10, 64); err == nil {
+		return n
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f
+	}
+	return s
+}
+
+// unquote strips one level of matched single or double quotes.
+func unquote(s string) string {
+	if len(s) >= 2 {
+		if (s[0] == '"' && s[len(s)-1] == '"') || (s[0] == '\'' && s[len(s)-1] == '\'') {
+			return s[1 : len(s)-1]
+		}
+	}
+	return s
+}

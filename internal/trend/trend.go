@@ -1,0 +1,205 @@
+// Package trend is the compliance daemon's time-series store: one
+// Point per finished analysis epoch, appended to a JSONL file on disk
+// and mirrored in a bounded in-memory ring for queries. Opening an
+// existing file reloads the ring, so the series survives a process
+// restart; the HTTP handler serves the ring under the daemon's metrics
+// endpoint as /compliance/trend.
+//
+// The schema is deliberately small and flat — one line per epoch, cheap
+// to append, greppable, and trivially ingestible by any downstream
+// tooling — rather than a real TSDB: a daemon emitting one point per
+// epoch (seconds to minutes) writes a few hundred bytes a minute.
+package trend
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Point is one epoch's compliance summary for one application label.
+type Point struct {
+	// Time is when the epoch was finalized.
+	Time time.Time `json:"ts"`
+	// App is the application label the epoch analyzed under.
+	App string `json:"app"`
+	// Reason records why the epoch ended: "epoch" (timer), "reload"
+	// (SIGHUP config swap), or "shutdown" (SIGTERM drain).
+	Reason string `json:"reason,omitempty"`
+	// Messages and Compliant count extracted protocol messages and the
+	// compliant subset; VolumeCompliance is their ratio (absent when no
+	// messages were seen).
+	Messages         int      `json:"messages"`
+	Compliant        int      `json:"compliant"`
+	VolumeCompliance *float64 `json:"volume_compliance,omitempty"`
+	// TypesTotal and TypesCompliant are the message-type compliance
+	// counts (a type is compliant when every instance passed).
+	TypesTotal     int `json:"types_total"`
+	TypesCompliant int `json:"types_compliant"`
+	// Datagrams counts classified datagrams in the epoch.
+	Datagrams int `json:"datagrams"`
+	// Fed, Analyzed, and Dropped are the ingest accounting at the end
+	// of the epoch (session-local, not cumulative). Conservation holds
+	// per point: Fed == Analyzed + Dropped.
+	Fed      uint64 `json:"fed"`
+	Analyzed uint64 `json:"analyzed"`
+	Dropped  uint64 `json:"dropped"`
+}
+
+// DefaultKeep bounds the in-memory ring when the caller does not.
+const DefaultKeep = 1024
+
+// Store is a JSONL-backed time series with a bounded in-memory ring.
+// Safe for concurrent use (the daemon appends while HTTP queries read).
+type Store struct {
+	mu     sync.Mutex
+	f      *os.File
+	w      *bufio.Writer
+	path   string
+	keep   int
+	points []Point
+}
+
+// Open loads (or creates) the store at path, replaying any existing
+// points into the ring. keep bounds the ring (<=0 selects DefaultKeep);
+// the file itself is append-only and never truncated. An empty path
+// keeps the series in memory only (the ring still serves queries, but
+// nothing survives a restart).
+func Open(path string, keep int) (*Store, error) {
+	if keep <= 0 {
+		keep = DefaultKeep
+	}
+	s := &Store{path: path, keep: keep}
+	if path == "" {
+		return s, nil
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("trend: %w", err)
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var p Point
+		if err := json.Unmarshal(sc.Bytes(), &p); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("trend: %s:%d: %w", path, line, err)
+		}
+		s.add(p)
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("trend: %s: %w", path, err)
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("trend: %w", err)
+	}
+	s.f = f
+	s.w = bufio.NewWriter(f)
+	return s, nil
+}
+
+// add pushes p onto the ring, evicting the oldest past keep.
+func (s *Store) add(p Point) {
+	s.points = append(s.points, p)
+	if len(s.points) > s.keep {
+		n := copy(s.points, s.points[len(s.points)-s.keep:])
+		s.points = s.points[:n]
+	}
+}
+
+// Append records one point: a JSON line flushed to disk plus the ring.
+func (s *Store) Append(p Point) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w != nil {
+		buf, err := json.Marshal(p)
+		if err != nil {
+			return fmt.Errorf("trend: %w", err)
+		}
+		if _, err := s.w.Write(append(buf, '\n')); err != nil {
+			return fmt.Errorf("trend: %w", err)
+		}
+		if err := s.w.Flush(); err != nil {
+			return fmt.Errorf("trend: %w", err)
+		}
+	}
+	s.add(p)
+	return nil
+}
+
+// Points snapshots the ring, oldest first.
+func (s *Store) Points() []Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Point, len(s.points))
+	copy(out, s.points)
+	return out
+}
+
+// Path reports the backing file.
+func (s *Store) Path() string { return s.path }
+
+// Close flushes and closes the backing file. The ring stays readable.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.w.Flush()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	s.f = nil
+	return err
+}
+
+// trendResponse is the /compliance/trend wire shape.
+type trendResponse struct {
+	Points []Point `json:"points"`
+}
+
+// Handler serves the ring as JSON. Query parameters:
+//
+//	app=NAME   only points for this application label
+//	last=N     only the most recent N matching points
+func (s *Store) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		pts := s.Points()
+		if app := req.URL.Query().Get("app"); app != "" {
+			filtered := pts[:0]
+			for _, p := range pts {
+				if p.App == app {
+					filtered = append(filtered, p)
+				}
+			}
+			pts = filtered
+		}
+		if lastStr := req.URL.Query().Get("last"); lastStr != "" {
+			n, err := strconv.Atoi(lastStr)
+			if err != nil || n < 0 {
+				http.Error(w, "trend: bad last parameter", http.StatusBadRequest)
+				return
+			}
+			if n < len(pts) {
+				pts = pts[len(pts)-n:]
+			}
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(trendResponse{Points: pts}) //nolint:errcheck // client gone
+	})
+}

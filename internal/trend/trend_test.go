@@ -1,0 +1,138 @@
+package trend
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func pt(app string, fed uint64) Point {
+	v := 0.75
+	return Point{
+		Time: time.Unix(1700000000, 0).UTC(), App: app, Reason: "epoch",
+		Messages: 100, Compliant: 75, VolumeCompliance: &v,
+		TypesTotal: 10, TypesCompliant: 8, Datagrams: 120,
+		Fed: fed, Analyzed: fed, Dropped: 0,
+	}
+}
+
+func TestAppendAndReload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trend.jsonl")
+	s, err := Open(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Append(pt("Zoom", uint64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the series must survive the restart.
+	s2, err := Open(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	pts := s2.Points()
+	if len(pts) != 3 {
+		t.Fatalf("got %d points after reload, want 3", len(pts))
+	}
+	if pts[2].Fed != 3 || pts[2].App != "Zoom" {
+		t.Fatalf("last point = %+v", pts[2])
+	}
+	if pts[0].VolumeCompliance == nil || *pts[0].VolumeCompliance != 0.75 {
+		t.Fatalf("volume compliance not round-tripped: %+v", pts[0])
+	}
+	// Appending after a reload extends the same file.
+	if err := s2.Append(pt("Zoom", 4)); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s2.Points()); got != 4 {
+		t.Fatalf("got %d points, want 4", got)
+	}
+}
+
+func TestRingBound(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trend.jsonl")
+	s, err := Open(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 5; i++ {
+		if err := s.Append(pt("Zoom", uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pts := s.Points()
+	if len(pts) != 2 || pts[0].Fed != 3 || pts[1].Fed != 4 {
+		t.Fatalf("ring = %+v, want the last two points", pts)
+	}
+}
+
+func TestOpenRejectsCorruptLine(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trend.jsonl")
+	if err := writeFile(path, "{\"ts\":\"2026-01-01T00:00:00Z\"}\nnot json\n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, 0); err == nil {
+		t.Fatal("Open accepted a corrupt trend file")
+	}
+}
+
+func TestHandlerFilters(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trend.jsonl")
+	s, err := Open(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 3; i++ {
+		s.Append(pt("Zoom", uint64(i)))
+	}
+	s.Append(pt("Discord", 9))
+
+	get := func(url string) trendResponse {
+		t.Helper()
+		req := httptest.NewRequest("GET", url, nil)
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			t.Fatalf("GET %s: status %d: %s", url, rec.Code, rec.Body.String())
+		}
+		var resp trendResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		return resp
+	}
+
+	if got := get("/compliance/trend"); len(got.Points) != 4 {
+		t.Fatalf("unfiltered: %d points, want 4", len(got.Points))
+	}
+	if got := get("/compliance/trend?app=Discord"); len(got.Points) != 1 || got.Points[0].Fed != 9 {
+		t.Fatalf("app filter: %+v", got.Points)
+	}
+	if got := get("/compliance/trend?app=Zoom&last=2"); len(got.Points) != 2 || got.Points[1].Fed != 2 {
+		t.Fatalf("last filter: %+v", got.Points)
+	}
+
+	req := httptest.NewRequest("GET", "/compliance/trend?last=bogus", nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != 400 {
+		t.Fatalf("bad last parameter: status %d, want 400", rec.Code)
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

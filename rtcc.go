@@ -45,10 +45,12 @@ import (
 	"github.com/rtc-compliance/rtcc/internal/natsim"
 	"github.com/rtc-compliance/rtcc/internal/obs"
 	"github.com/rtc-compliance/rtcc/internal/pcap"
+	"github.com/rtc-compliance/rtcc/internal/pipeline"
 	"github.com/rtc-compliance/rtcc/internal/proto"
 	_ "github.com/rtc-compliance/rtcc/internal/proto/protoall"
 	"github.com/rtc-compliance/rtcc/internal/report"
 	"github.com/rtc-compliance/rtcc/internal/trace"
+	"github.com/rtc-compliance/rtcc/internal/trend"
 )
 
 // MetricsRegistry collects pipeline observability counters, gauges, and
@@ -418,4 +420,36 @@ var (
 	RenderFigure5 = report.Figure5
 	// RenderViolations renders the per-criterion violation tally.
 	RenderViolations = report.Violations
+)
+
+// Declarative pipeline layer. One PipelineConfig — loadable from a
+// JSON or YAML file — names the capture source (pcap, live, appsim),
+// the execution mode (serial, parallel workers, or flow-hash shards),
+// and the sinks (report, decision trace, metrics, JSONL verdicts); a
+// PipelineRunner executes it through the serial or sharded engine.
+// Every cmd/ entry point, including the rtclive compliance daemon, is
+// built on this layer.
+type (
+	// PipelineConfig is the declarative session description.
+	PipelineConfig = pipeline.Config
+	// PipelineRunner executes one validated PipelineConfig.
+	PipelineRunner = pipeline.Runner
+	// ComplianceDaemon is the reloadable always-on service behind
+	// `rtclive daemon`: epoch-rotated live analysis with a persisted
+	// per-app compliance trend.
+	ComplianceDaemon = pipeline.Daemon
+	// TrendPoint is one epoch's compliance summary — the record both
+	// the daemon's /compliance/trend series and the JSONL verdict
+	// stream use.
+	TrendPoint = trend.Point
+)
+
+var (
+	// LoadPipelineConfig layers a JSON or YAML config file over cfg,
+	// rejecting unknown keys.
+	LoadPipelineConfig = pipeline.LoadFile
+	// NewPipelineRunner validates a config and opens its sinks.
+	NewPipelineRunner = pipeline.NewRunner
+	// NewComplianceDaemon prepares a daemon from a config file path.
+	NewComplianceDaemon = pipeline.NewDaemon
 )
