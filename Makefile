@@ -11,6 +11,11 @@ COVER_FLOOR_BUFPOOL ?= 85
 # The sharded ingest tier owns the only cross-goroutine handoff in the
 # pipeline; its accounting and merge invariants are all test-enforced.
 COVER_FLOOR_INGEST ?= 85
+# The QoE estimator and alert engine drive operator-facing paging
+# decisions, so their logic (debounce, hysteresis, feature math) must
+# stay almost fully unit-covered.
+COVER_FLOOR_QOE   ?= 80
+COVER_FLOOR_ALERT ?= 80
 
 .PHONY: all vet staticcheck build test race fuzz-smoke cover bench bench-json bench-check proto-list trace-smoke impair-smoke shard-smoke daemon-smoke ci
 
@@ -73,6 +78,14 @@ cover:
 		 if (pct < floor) { print "coverage below floor"; exit 1 } }' || exit 1
 	@$(GO) test -coverprofile=coverage.out ./internal/ingest || exit 1; \
 	$(GO) tool cover -func=coverage.out | awk -v floor=$(COVER_FLOOR_INGEST) -v pkg=internal/ingest \
+		'/^total:/ { pct = $$3+0; printf "%s coverage: %s (floor %d%%)\n", pkg, $$3, floor; \
+		 if (pct < floor) { print "coverage below floor"; exit 1 } }' || exit 1
+	@$(GO) test -coverprofile=coverage.out ./internal/qoe || exit 1; \
+	$(GO) tool cover -func=coverage.out | awk -v floor=$(COVER_FLOOR_QOE) -v pkg=internal/qoe \
+		'/^total:/ { pct = $$3+0; printf "%s coverage: %s (floor %d%%)\n", pkg, $$3, floor; \
+		 if (pct < floor) { print "coverage below floor"; exit 1 } }' || exit 1
+	@$(GO) test -coverprofile=coverage.out ./internal/alert || exit 1; \
+	$(GO) tool cover -func=coverage.out | awk -v floor=$(COVER_FLOOR_ALERT) -v pkg=internal/alert \
 		'/^total:/ { pct = $$3+0; printf "%s coverage: %s (floor %d%%)\n", pkg, $$3, floor; \
 		 if (pct < floor) { print "coverage below floor"; exit 1 } }' || exit 1
 

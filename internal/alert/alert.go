@@ -1,0 +1,439 @@
+// Package alert is the daemon's alerting tier: declarative rules
+// evaluated against every compliance trend point, with per-app firing
+// state, debounce (a rule must breach `for_points` consecutive points
+// before it fires) and hysteresis (it must clear `clear_points`
+// consecutive points before it resolves), fanned out to log, webhook,
+// and exec sinks with delivery retry.
+//
+// Two rule types cover the pipeline's two observability axes:
+//
+//   - compliance_drop watches the message-type compliance rate
+//     (TypesCompliant/TypesTotal): it breaches when the rate falls
+//     below an absolute floor (`min`) or drops by at least `drop` from
+//     the rule's reference rate — the last non-breaching rate seen for
+//     that app. The reference freezes while breaching, so a persistent
+//     regression keeps comparing against the pre-drop baseline instead
+//     of chasing the degraded rate downward.
+//
+//   - qoe_floor watches one field of the trend point's header-free QoE
+//     summary (internal/qoe): it breaches when the field falls below
+//     `min` or rises above `max`. Points without a QoE summary are
+//     skipped, not treated as breaches.
+//
+// The engine is deliberately an epoch-rate evaluator, not a streaming
+// one: the daemon hands it exactly the points it appends to the trend
+// store, so alert state is reproducible from the persisted series.
+package alert
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/rtc-compliance/rtcc/internal/metrics"
+	"github.com/rtc-compliance/rtcc/internal/qoe"
+	"github.com/rtc-compliance/rtcc/internal/trend"
+)
+
+// Rule types.
+const (
+	TypeComplianceDrop = "compliance_drop"
+	TypeQoEFloor       = "qoe_floor"
+)
+
+// Rule is one declarative alert rule. The JSON tags are the pipeline
+// config schema (rules live under `alerts.rules.<name>` in the daemon
+// config; the map key becomes Name).
+type Rule struct {
+	// Name identifies the rule; set from the config map key.
+	Name string `json:"-"`
+	// Type selects the evaluator: compliance_drop or qoe_floor.
+	Type string `json:"type"`
+	// App restricts the rule to one application label; empty evaluates
+	// every app, with independent firing state per app.
+	App string `json:"app,omitempty"`
+	// Drop (compliance_drop) breaches when the rate fell at least this
+	// far below the rule's per-app reference rate (0 < drop <= 1).
+	Drop *float64 `json:"drop,omitempty"`
+	// Min breaches when the watched value falls below it; Max
+	// (qoe_floor only) when it rises above it.
+	Min *float64 `json:"min,omitempty"`
+	Max *float64 `json:"max,omitempty"`
+	// Field (qoe_floor) names the QoE summary field to watch; see
+	// qoe.Fields.
+	Field string `json:"field,omitempty"`
+	// ForPoints is the debounce: consecutive breaching points required
+	// before the rule fires. Zero means 1 (fire on the first breach).
+	ForPoints int `json:"for_points,omitempty"`
+	// ClearPoints is the hysteresis: consecutive clear points required
+	// before a firing rule resolves. Zero means 1.
+	ClearPoints int `json:"clear_points,omitempty"`
+}
+
+// forPoints and clearPoints resolve the defaults.
+func (r Rule) forPoints() int {
+	if r.ForPoints <= 0 {
+		return 1
+	}
+	return r.ForPoints
+}
+
+func (r Rule) clearPoints() int {
+	if r.ClearPoints <= 0 {
+		return 1
+	}
+	return r.ClearPoints
+}
+
+// Validate rejects malformed rules with actionable messages.
+func (r Rule) Validate() error {
+	switch r.Type {
+	case TypeComplianceDrop:
+		if r.Drop == nil && r.Min == nil {
+			return fmt.Errorf("alert: rule %q: compliance_drop needs \"drop\" (regression vs reference) or \"min\" (absolute floor)", r.Name)
+		}
+		if r.Drop != nil && (*r.Drop <= 0 || *r.Drop > 1) {
+			return fmt.Errorf("alert: rule %q: drop must be in (0, 1], got %v", r.Name, *r.Drop)
+		}
+		if r.Min != nil && (*r.Min < 0 || *r.Min > 1) {
+			return fmt.Errorf("alert: rule %q: min must be in [0, 1], got %v", r.Name, *r.Min)
+		}
+		if r.Max != nil {
+			return fmt.Errorf("alert: rule %q: max is a qoe_floor knob", r.Name)
+		}
+		if r.Field != "" {
+			return fmt.Errorf("alert: rule %q: field is a qoe_floor knob", r.Name)
+		}
+	case TypeQoEFloor:
+		if r.Field == "" {
+			return fmt.Errorf("alert: rule %q: qoe_floor needs \"field\" (one of %v)", r.Name, qoe.Fields)
+		}
+		if !qoe.ValidField(r.Field) {
+			return fmt.Errorf("alert: rule %q: unknown QoE field %q (one of %v)", r.Name, r.Field, qoe.Fields)
+		}
+		if r.Min == nil && r.Max == nil {
+			return fmt.Errorf("alert: rule %q: qoe_floor needs \"min\" and/or \"max\"", r.Name)
+		}
+		if r.Drop != nil {
+			return fmt.Errorf("alert: rule %q: drop is a compliance_drop knob", r.Name)
+		}
+	case "":
+		return fmt.Errorf("alert: rule %q: missing type (compliance_drop or qoe_floor)", r.Name)
+	default:
+		return fmt.Errorf("alert: rule %q: unknown type %q (compliance_drop or qoe_floor)", r.Name, r.Type)
+	}
+	if r.ForPoints < 0 || r.ClearPoints < 0 {
+		return fmt.Errorf("alert: rule %q: for_points and clear_points must be >= 0", r.Name)
+	}
+	return nil
+}
+
+// Event is one alert transition, delivered to every sink.
+type Event struct {
+	// Kind is "fire" or "resolve".
+	Kind string `json:"kind"`
+	// Rule, Type, and App identify the transitioned state.
+	Rule string `json:"rule"`
+	Type string `json:"type"`
+	App  string `json:"app"`
+	// Time is the trend point's timestamp (not wall clock at delivery).
+	Time time.Time `json:"ts"`
+	// Value is the watched value at the transition; Reference is the
+	// compliance_drop baseline it was compared against (0 when the
+	// breach came from the absolute floor alone).
+	Value     float64 `json:"value"`
+	Reference float64 `json:"reference,omitempty"`
+	// Message is the human-readable one-liner the log sink prints.
+	Message string `json:"message"`
+}
+
+// state is one (rule, app) pair's firing state. It survives SIGHUP
+// rule swaps (Engine.Swap carries it over by rule name), so a reload
+// cannot double-fire or forget an active alert.
+type state struct {
+	firing bool
+	breach int // consecutive breaching points
+	clear  int // consecutive clear points while firing
+	ref    float64
+	refOK  bool
+	since  time.Time // first breach of the current episode
+	value  float64   // last watched value
+	eval   time.Time // last evaluated point
+	fires  uint64
+}
+
+type stateKey struct{ rule, app string }
+
+// Engine evaluates rules against trend points and tracks firing state.
+// Safe for concurrent use (the daemon observes while HTTP reads).
+type Engine struct {
+	mu     sync.Mutex
+	rules  []Rule
+	states map[stateKey]*state
+
+	evaluated  *metrics.Counter
+	fired      *metrics.Counter
+	resolved   *metrics.Counter
+	suppressed *metrics.Counter
+	firing     *metrics.Gauge
+}
+
+// NewEngine builds an engine over rules (sorted by name for
+// deterministic evaluation and snapshot order). reg may be nil.
+func NewEngine(rules []Rule, reg *metrics.Registry) *Engine {
+	e := &Engine{states: make(map[stateKey]*state)}
+	e.setRules(rules)
+	// A nil registry yields nil instruments whose methods no-op.
+	e.evaluated = reg.Counter("alerts_evaluated_total")
+	e.fired = reg.Counter("alerts_fired_total")
+	e.resolved = reg.Counter("alerts_resolved_total")
+	e.suppressed = reg.Counter("alerts_suppressed_total")
+	e.firing = reg.Gauge("alerts_firing")
+	return e
+}
+
+func (e *Engine) setRules(rules []Rule) {
+	e.rules = append([]Rule(nil), rules...)
+	sort.Slice(e.rules, func(i, j int) bool { return e.rules[i].Name < e.rules[j].Name })
+}
+
+// Swap replaces the rule set, preserving the firing/debounce state of
+// every rule that still exists (matched by name) and dropping the
+// state of removed rules — the SIGHUP reload contract.
+func (e *Engine) Swap(rules []Rule) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.setRules(rules)
+	keep := make(map[string]bool, len(rules))
+	for _, r := range e.rules {
+		keep[r.Name] = true
+	}
+	for k := range e.states {
+		if !keep[k.rule] {
+			delete(e.states, k)
+		}
+	}
+	e.updateFiringGauge()
+}
+
+// Observe evaluates every rule against one trend point and returns the
+// transitions (fires and resolves) it caused, in rule-name order.
+func (e *Engine) Observe(p trend.Point) []Event {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var events []Event
+	for _, r := range e.rules {
+		if r.App != "" && r.App != p.App {
+			continue
+		}
+		value, ok := watchedValue(r, p)
+		if !ok {
+			continue // no evidence for this rule on this point
+		}
+		e.evaluated.Inc()
+		st := e.states[stateKey{r.Name, p.App}]
+		if st == nil {
+			st = &state{}
+			e.states[stateKey{r.Name, p.App}] = st
+		}
+		st.value, st.eval = value, p.Time
+		breach, ref := breaches(r, st, value)
+		if breach {
+			st.breach++
+			st.clear = 0
+			if st.breach == 1 {
+				st.since = p.Time
+			}
+			switch {
+			case !st.firing && st.breach >= r.forPoints():
+				st.firing = true
+				st.fires++
+				e.fired.Inc()
+				events = append(events, transition("fire", r, p, value, ref))
+			case st.firing:
+				// Still breaching while firing: debounced, no re-fire.
+				e.suppressed.Inc()
+			}
+		} else {
+			st.breach = 0
+			if r.Type == TypeComplianceDrop {
+				st.ref, st.refOK = value, true
+			}
+			if st.firing {
+				st.clear++
+				if st.clear >= r.clearPoints() {
+					st.firing = false
+					st.clear = 0
+					e.resolved.Inc()
+					events = append(events, transition("resolve", r, p, value, ref))
+				}
+			}
+		}
+	}
+	e.updateFiringGauge()
+	return events
+}
+
+// watchedValue extracts the rule's watched value from one point. ok is
+// false when the point carries no evidence for the rule (no judged
+// types, no QoE summary, or an unknown field) — such points are
+// skipped entirely: they neither breach nor clear.
+func watchedValue(r Rule, p trend.Point) (float64, bool) {
+	switch r.Type {
+	case TypeComplianceDrop:
+		if p.TypesTotal == 0 {
+			return 0, false
+		}
+		return float64(p.TypesCompliant) / float64(p.TypesTotal), true
+	case TypeQoEFloor:
+		return p.QoE.Field(r.Field)
+	}
+	return 0, false
+}
+
+// breaches applies the rule's thresholds to the watched value. For
+// compliance_drop the regression check compares against the state's
+// reference — the last non-breaching rate — which Observe refreshes
+// only on clear points, so a persistent regression keeps breaching
+// against the pre-drop baseline. ref reports the reference a
+// drop-triggered breach compared against (0 otherwise).
+func breaches(r Rule, st *state, value float64) (breach bool, ref float64) {
+	if r.Min != nil && value < *r.Min {
+		breach = true
+	}
+	switch r.Type {
+	case TypeComplianceDrop:
+		if r.Drop != nil && st.refOK && st.ref-value >= *r.Drop {
+			breach = true
+			ref = st.ref
+		}
+	case TypeQoEFloor:
+		if r.Max != nil && value > *r.Max {
+			breach = true
+		}
+	}
+	return breach, ref
+}
+
+func transition(kind string, r Rule, p trend.Point, value, ref float64) Event {
+	ev := Event{
+		Kind: kind, Rule: r.Name, Type: r.Type, App: p.App,
+		Time: p.Time, Value: value, Reference: ref,
+	}
+	what := r.Type
+	if r.Type == TypeQoEFloor {
+		what = "qoe " + r.Field
+	} else {
+		what = "type-compliance rate"
+	}
+	if kind == "fire" {
+		if ref > 0 {
+			ev.Message = fmt.Sprintf("alert %s firing: app=%s %s=%.3f (reference %.3f)", r.Name, p.App, what, value, ref)
+		} else {
+			ev.Message = fmt.Sprintf("alert %s firing: app=%s %s=%.3f", r.Name, p.App, what, value)
+		}
+	} else {
+		ev.Message = fmt.Sprintf("alert %s resolved: app=%s %s=%.3f", r.Name, p.App, what, value)
+	}
+	return ev
+}
+
+func (e *Engine) updateFiringGauge() {
+	if e.firing == nil {
+		return
+	}
+	n := 0
+	for _, st := range e.states {
+		if st.firing {
+			n++
+		}
+	}
+	e.firing.Set(int64(n))
+}
+
+// RuleState is one (rule, app) pair's state in a Snapshot.
+type RuleState struct {
+	Rule   string    `json:"rule"`
+	Type   string    `json:"type"`
+	App    string    `json:"app"`
+	Firing bool      `json:"firing"`
+	Since  time.Time `json:"since,omitempty"`
+	// Value and Evaluated are the last watched value and the timestamp
+	// of the last evaluated point.
+	Value     float64   `json:"value"`
+	Evaluated time.Time `json:"evaluated"`
+	// Breach and Clear are the current debounce/hysteresis streaks;
+	// Fires counts firing episodes since the state was created.
+	Breach int    `json:"breach_streak"`
+	Clear  int    `json:"clear_streak"`
+	Fires  uint64 `json:"fires"`
+	// Reference is the compliance_drop baseline rate (present once a
+	// non-breaching point has been seen).
+	Reference *float64 `json:"reference,omitempty"`
+}
+
+// Snapshot reports every tracked (rule, app) state plus the active rule
+// set, sorted by rule then app — the /compliance/alerts wire shape.
+type Snapshot struct {
+	Rules  []RuleInfo  `json:"rules"`
+	States []RuleState `json:"states"`
+	Firing int         `json:"firing"`
+}
+
+// RuleInfo describes one configured rule in a Snapshot.
+type RuleInfo struct {
+	Name string `json:"name"`
+	Rule
+}
+
+// Snapshot captures the engine state.
+func (e *Engine) Snapshot() Snapshot {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	snap := Snapshot{}
+	for _, r := range e.rules {
+		snap.Rules = append(snap.Rules, RuleInfo{Name: r.Name, Rule: r})
+	}
+	ruleType := make(map[string]string, len(e.rules))
+	for _, r := range e.rules {
+		ruleType[r.Name] = r.Type
+	}
+	for k, st := range e.states {
+		rs := RuleState{
+			Rule: k.rule, Type: ruleType[k.rule], App: k.app,
+			Firing: st.firing, Value: st.value, Evaluated: st.eval,
+			Breach: st.breach, Clear: st.clear, Fires: st.fires,
+		}
+		if st.firing {
+			rs.Since = st.since
+		}
+		if st.refOK {
+			ref := st.ref
+			rs.Reference = &ref
+		}
+		snap.States = append(snap.States, rs)
+		if st.firing {
+			snap.Firing++
+		}
+	}
+	sort.Slice(snap.States, func(i, j int) bool {
+		if snap.States[i].Rule != snap.States[j].Rule {
+			return snap.States[i].Rule < snap.States[j].Rule
+		}
+		return snap.States[i].App < snap.States[j].App
+	})
+	return snap
+}
+
+// Handler serves Snapshot as JSON — mounted at /compliance/alerts.
+func (e *Engine) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(e.Snapshot()) //nolint:errcheck // client gone
+	})
+}

@@ -1,0 +1,287 @@
+package alert
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/rtc-compliance/rtcc/internal/metrics"
+	"github.com/rtc-compliance/rtcc/internal/qoe"
+	"github.com/rtc-compliance/rtcc/internal/trend"
+)
+
+func f64(v float64) *float64 { return &v }
+
+var base = time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+
+// point builds a trend point with the given type-compliance rate out
+// of 20 types.
+func point(app string, i int, rate float64) trend.Point {
+	return trend.Point{
+		Time: base.Add(time.Duration(i) * time.Minute), App: app,
+		TypesTotal: 20, TypesCompliant: int(rate * 20),
+	}
+}
+
+func qoePoint(app string, i int, frameRate float64) trend.Point {
+	p := point(app, i, 1)
+	p.QoE = &qoe.Summary{MediaStreams: 1, FrameRate: frameRate}
+	return p
+}
+
+// kinds flattens observed events to "fire"/"resolve" strings.
+func kinds(evs []Event) string {
+	var out []string
+	for _, ev := range evs {
+		out = append(out, ev.Kind)
+	}
+	return strings.Join(out, ",")
+}
+
+// TestDebounceHysteresisMatrix is the debounce/hysteresis unit matrix:
+// each case drives one rule through a breach/clear sequence and pins
+// the exact transition sequence it must produce.
+func TestDebounceHysteresisMatrix(t *testing.T) {
+	cases := []struct {
+		name string
+		rule Rule
+		// rates per point; for qoe_floor cases these are frame rates.
+		rates []float64
+		qoe   bool
+		want  []string // expected event kinds in order, aligned sparsely
+	}{
+		{
+			name:  "min floor fires immediately by default",
+			rule:  Rule{Name: "r", Type: TypeComplianceDrop, Min: f64(0.5)},
+			rates: []float64{0.9, 0.4, 0.9},
+			want:  []string{"", "fire", "resolve"},
+		},
+		{
+			name:  "for_points=2 debounces a one-point blip",
+			rule:  Rule{Name: "r", Type: TypeComplianceDrop, Min: f64(0.5), ForPoints: 2},
+			rates: []float64{0.9, 0.4, 0.9, 0.4, 0.4, 0.9},
+			want:  []string{"", "", "", "", "fire", "resolve"},
+		},
+		{
+			name:  "clear_points=2 holds through a one-point recovery",
+			rule:  Rule{Name: "r", Type: TypeComplianceDrop, Min: f64(0.5), ClearPoints: 2},
+			rates: []float64{0.4, 0.9, 0.4, 0.9, 0.9},
+			want:  []string{"fire", "", "", "", "resolve"},
+		},
+		{
+			name:  "persistent breach fires exactly once",
+			rule:  Rule{Name: "r", Type: TypeComplianceDrop, Min: f64(0.5)},
+			rates: []float64{0.4, 0.4, 0.4, 0.4},
+			want:  []string{"fire", "", "", ""},
+		},
+		{
+			name:  "drop fires on regression vs reference",
+			rule:  Rule{Name: "r", Type: TypeComplianceDrop, Drop: f64(0.3)},
+			rates: []float64{0.95, 0.9, 0.5, 0.9},
+			want:  []string{"", "", "fire", "resolve"},
+		},
+		{
+			name: "frozen reference keeps a persistent regression breaching",
+			rule: Rule{Name: "r", Type: TypeComplianceDrop, Drop: f64(0.3)},
+			// After the drop to 0.5 the reference must stay 0.9, so the
+			// plateau at 0.5 never reads as the new normal.
+			rates: []float64{0.9, 0.5, 0.5, 0.5},
+			want:  []string{"", "fire", "", ""},
+		},
+		{
+			name:  "first point cannot breach via drop (no reference yet)",
+			rule:  Rule{Name: "r", Type: TypeComplianceDrop, Drop: f64(0.1)},
+			rates: []float64{0.2, 0.2},
+			want:  []string{"", ""},
+		},
+		{
+			name:  "qoe floor min",
+			rule:  Rule{Name: "r", Type: TypeQoEFloor, Field: "frame_rate", Min: f64(15)},
+			rates: []float64{30, 10, 30},
+			qoe:   true,
+			want:  []string{"", "fire", "resolve"},
+		},
+		{
+			name:  "qoe ceiling max",
+			rule:  Rule{Name: "r", Type: TypeQoEFloor, Field: "frame_rate", Max: f64(60)},
+			rates: []float64{30, 90, 30},
+			qoe:   true,
+			want:  []string{"", "fire", "resolve"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := NewEngine([]Rule{tc.rule}, nil)
+			for i, rate := range tc.rates {
+				var p trend.Point
+				if tc.qoe {
+					p = qoePoint("Zoom", i, rate)
+				} else {
+					p = point("Zoom", i, rate)
+				}
+				got := kinds(e.Observe(p))
+				if got != tc.want[i] {
+					t.Fatalf("point %d (value %v): events %q, want %q", i, rate, got, tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestPerAppIsolation(t *testing.T) {
+	e := NewEngine([]Rule{{Name: "r", Type: TypeComplianceDrop, Min: f64(0.5)}}, nil)
+	if evs := e.Observe(point("Zoom", 0, 0.9)); len(evs) != 0 {
+		t.Fatalf("unexpected events: %v", evs)
+	}
+	evs := e.Observe(point("Discord", 1, 0.0))
+	if len(evs) != 1 || evs[0].Kind != "fire" || evs[0].App != "Discord" {
+		t.Fatalf("events = %v", evs)
+	}
+	// Zoom staying healthy must not resolve Discord's episode.
+	if evs := e.Observe(point("Zoom", 2, 0.9)); len(evs) != 0 {
+		t.Fatalf("unexpected events: %v", evs)
+	}
+	snap := e.Snapshot()
+	if snap.Firing != 1 || len(snap.States) != 2 {
+		t.Fatalf("snapshot: firing=%d states=%d", snap.Firing, len(snap.States))
+	}
+}
+
+func TestAppFilterSkipsOtherApps(t *testing.T) {
+	e := NewEngine([]Rule{{Name: "r", Type: TypeComplianceDrop, App: "Zoom", Min: f64(0.5)}}, nil)
+	if evs := e.Observe(point("Discord", 0, 0.0)); len(evs) != 0 {
+		t.Fatalf("rule with app filter evaluated a foreign app: %v", evs)
+	}
+	if evs := e.Observe(point("Zoom", 1, 0.0)); len(evs) != 1 {
+		t.Fatalf("events = %v", evs)
+	}
+}
+
+func TestNoEvidencePointsAreSkipped(t *testing.T) {
+	e := NewEngine([]Rule{
+		{Name: "c", Type: TypeComplianceDrop, Min: f64(0.5)},
+		{Name: "q", Type: TypeQoEFloor, Field: "frame_rate", Min: f64(15)},
+	}, nil)
+	// Zero judged types and no QoE summary: nothing evaluates.
+	if evs := e.Observe(trend.Point{Time: base, App: "Zoom"}); len(evs) != 0 {
+		t.Fatalf("events = %v", evs)
+	}
+	if n := len(e.Snapshot().States); n != 0 {
+		t.Fatalf("states = %d, want 0", n)
+	}
+	// A firing episode must survive evidence-free points (neither
+	// breach nor clear).
+	e.Observe(point("Zoom", 1, 0.0))
+	e.Observe(trend.Point{Time: base.Add(2 * time.Minute), App: "Zoom"})
+	snap := e.Snapshot()
+	if snap.Firing != 1 {
+		t.Fatal("evidence-free point disturbed the firing state")
+	}
+}
+
+func TestSwapPreservesFiringState(t *testing.T) {
+	rules := []Rule{
+		{Name: "keep", Type: TypeComplianceDrop, Min: f64(0.5)},
+		{Name: "drop-me", Type: TypeComplianceDrop, Min: f64(0.9)},
+	}
+	e := NewEngine(rules, nil)
+	e.Observe(point("Zoom", 0, 0.2)) // both fire
+	if got := e.Snapshot().Firing; got != 2 {
+		t.Fatalf("firing = %d, want 2", got)
+	}
+	// Swap: keep "keep" (state must survive), remove "drop-me", add "new".
+	e.Swap([]Rule{
+		{Name: "keep", Type: TypeComplianceDrop, Min: f64(0.5)},
+		{Name: "new", Type: TypeComplianceDrop, Min: f64(0.5)},
+	})
+	snap := e.Snapshot()
+	if snap.Firing != 1 || len(snap.States) != 1 || snap.States[0].Rule != "keep" || !snap.States[0].Firing {
+		t.Fatalf("post-swap snapshot: %+v", snap)
+	}
+	// The preserved episode must not re-fire on a continued breach…
+	if evs := e.Observe(point("Zoom", 1, 0.2)); kinds(evs) != "fire" {
+		// only "new" fires; "keep" is already firing
+		t.Fatalf("post-swap events: %v", evs)
+	}
+	// …and must resolve normally.
+	evs := e.Observe(point("Zoom", 2, 0.9))
+	if len(evs) != 2 || evs[0].Kind != "resolve" || evs[1].Kind != "resolve" {
+		t.Fatalf("resolve events: %v", evs)
+	}
+}
+
+func TestEngineMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	e := NewEngine([]Rule{{Name: "r", Type: TypeComplianceDrop, Min: f64(0.5)}}, reg)
+	e.Observe(point("Zoom", 0, 0.9))
+	e.Observe(point("Zoom", 1, 0.2)) // fire
+	e.Observe(point("Zoom", 2, 0.2)) // suppressed
+	e.Observe(point("Zoom", 3, 0.9)) // resolve
+	snap := reg.Snapshot()
+	if snap.Counters["alerts_evaluated_total"] != 4 {
+		t.Fatalf("evaluated = %d", snap.Counters["alerts_evaluated_total"])
+	}
+	if snap.Counters["alerts_fired_total"] != 1 || snap.Counters["alerts_resolved_total"] != 1 {
+		t.Fatalf("fired/resolved = %d/%d", snap.Counters["alerts_fired_total"], snap.Counters["alerts_resolved_total"])
+	}
+	if snap.Counters["alerts_suppressed_total"] != 1 {
+		t.Fatalf("suppressed = %d", snap.Counters["alerts_suppressed_total"])
+	}
+	if snap.Gauges["alerts_firing"] != 0 {
+		t.Fatalf("firing gauge = %d", snap.Gauges["alerts_firing"])
+	}
+}
+
+func TestValidateMatrix(t *testing.T) {
+	bad := []Rule{
+		{Name: "a"},                           // no type
+		{Name: "b", Type: "bogus"},            // unknown type
+		{Name: "c", Type: TypeComplianceDrop}, // no threshold
+		{Name: "d", Type: TypeComplianceDrop, Drop: f64(1.5)},
+		{Name: "e", Type: TypeComplianceDrop, Min: f64(2)},
+		{Name: "f", Type: TypeComplianceDrop, Min: f64(0.5), Max: f64(1)},
+		{Name: "g", Type: TypeComplianceDrop, Min: f64(0.5), Field: "frame_rate"},
+		{Name: "h", Type: TypeQoEFloor, Min: f64(1)},                         // no field
+		{Name: "i", Type: TypeQoEFloor, Field: "bogus", Min: f64(1)},         // unknown field
+		{Name: "j", Type: TypeQoEFloor, Field: "frame_rate"},                 // no threshold
+		{Name: "k", Type: TypeQoEFloor, Field: "frame_rate", Drop: f64(0.1)}, // wrong knob
+	}
+	for _, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("rule %q: expected validation error", r.Name)
+		}
+	}
+	good := []Rule{
+		{Name: "a", Type: TypeComplianceDrop, Drop: f64(0.3)},
+		{Name: "b", Type: TypeComplianceDrop, Min: f64(0.8), ForPoints: 3, ClearPoints: 2},
+		{Name: "c", Type: TypeQoEFloor, Field: "frame_rate", Min: f64(15)},
+		{Name: "d", Type: TypeQoEFloor, Field: "stall_seconds", Max: f64(2)},
+	}
+	for _, r := range good {
+		if err := r.Validate(); err != nil {
+			t.Errorf("rule %q: unexpected error: %v", r.Name, err)
+		}
+	}
+}
+
+func TestHandlerServesSnapshot(t *testing.T) {
+	e := NewEngine([]Rule{{Name: "r", Type: TypeComplianceDrop, Min: f64(0.5)}}, nil)
+	e.Observe(point("Discord", 0, 0.0))
+	rr := httptest.NewRecorder()
+	e.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/compliance/alerts", nil))
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("content type = %q", ct)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(rr.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Firing != 1 || len(snap.Rules) != 1 || snap.Rules[0].Name != "r" {
+		t.Fatalf("snapshot over HTTP: %+v", snap)
+	}
+	if len(snap.States) != 1 || !snap.States[0].Firing || snap.States[0].App != "Discord" {
+		t.Fatalf("states over HTTP: %+v", snap.States)
+	}
+}

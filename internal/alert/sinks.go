@@ -1,0 +1,189 @@
+package alert
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"time"
+
+	"github.com/rtc-compliance/rtcc/internal/metrics"
+)
+
+// Sink delivers one alert event to one destination. Deliver is called
+// from the daemon's epoch loop (never concurrently) and must be safe
+// to retry: a returned error means the dispatcher may call it again.
+type Sink interface {
+	Name() string
+	Deliver(Event) error
+}
+
+// LogSink writes each event's one-line message to a writer — the
+// daemon's stdout in practice, so alert transitions land in the same
+// stream as epoch lines.
+type LogSink struct {
+	Out io.Writer
+}
+
+func (s *LogSink) Name() string { return "log" }
+
+func (s *LogSink) Deliver(ev Event) error {
+	_, err := fmt.Fprintf(s.Out, "daemon: %s\n", ev.Message)
+	return err
+}
+
+// DefaultSinkTimeout bounds webhook and exec deliveries when the
+// config does not.
+const DefaultSinkTimeout = 10 * time.Second
+
+// WebhookSink POSTs the event as a JSON body. Any 2xx response is a
+// successful delivery.
+type WebhookSink struct {
+	URL     string
+	Timeout time.Duration
+	// Client overrides the HTTP client (tests); nil uses a default
+	// client with the sink timeout.
+	Client *http.Client
+}
+
+func (s *WebhookSink) Name() string { return "webhook" }
+
+func (s *WebhookSink) timeout() time.Duration {
+	if s.Timeout <= 0 {
+		return DefaultSinkTimeout
+	}
+	return s.Timeout
+}
+
+func (s *WebhookSink) Deliver(ev Event) error {
+	body, err := json.Marshal(ev)
+	if err != nil {
+		return fmt.Errorf("alert: webhook: %w", err)
+	}
+	client := s.Client
+	if client == nil {
+		client = &http.Client{Timeout: s.timeout()}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), s.timeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.URL, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("alert: webhook: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("alert: webhook %s: %w", s.URL, err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // best-effort drain for keep-alive
+	resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("alert: webhook %s: status %d", s.URL, resp.StatusCode)
+	}
+	return nil
+}
+
+// ExecSink runs a shell command per event (via /bin/sh -c). The event
+// is the command's stdin as JSON, and the key fields are exported as
+// ALERT_RULE, ALERT_KIND, ALERT_APP, ALERT_VALUE, and ALERT_MESSAGE
+// environment variables for scripts that don't want to parse JSON.
+type ExecSink struct {
+	Command string
+	Timeout time.Duration
+}
+
+func (s *ExecSink) Name() string { return "exec" }
+
+func (s *ExecSink) Deliver(ev Event) error {
+	body, err := json.Marshal(ev)
+	if err != nil {
+		return fmt.Errorf("alert: exec: %w", err)
+	}
+	timeout := s.Timeout
+	if timeout <= 0 {
+		timeout = DefaultSinkTimeout
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	cmd := exec.CommandContext(ctx, "/bin/sh", "-c", s.Command)
+	cmd.Stdin = bytes.NewReader(body)
+	cmd.Env = append(cmd.Environ(),
+		"ALERT_RULE="+ev.Rule,
+		"ALERT_KIND="+ev.Kind,
+		"ALERT_APP="+ev.App,
+		fmt.Sprintf("ALERT_VALUE=%.6f", ev.Value),
+		"ALERT_MESSAGE="+ev.Message,
+	)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		return fmt.Errorf("alert: exec %q: %w (output: %s)", s.Command, err, bytes.TrimSpace(out))
+	}
+	return nil
+}
+
+// Dispatcher fans each event out to every sink with bounded retry and
+// per-sink delivery accounting. A sink that exhausts its retries is
+// logged and skipped — one broken webhook must not take the daemon (or
+// the other sinks) down with it.
+type Dispatcher struct {
+	Sinks []Sink
+	// Retries is how many re-attempts follow a failed delivery (so a
+	// sink is tried 1+Retries times); Backoff sleeps between attempts.
+	Retries int
+	Backoff time.Duration
+	// Log receives delivery-failure lines (nil discards them).
+	Log io.Writer
+
+	ok      func(sink string) *metrics.Counter
+	failed  func(sink string) *metrics.Counter
+	retries func(sink string) *metrics.Counter
+}
+
+// NewDispatcher builds a dispatcher over sinks. reg may be nil.
+func NewDispatcher(sinks []Sink, retries int, backoff time.Duration, log io.Writer, reg *metrics.Registry) *Dispatcher {
+	return &Dispatcher{
+		Sinks:   sinks,
+		Retries: retries,
+		Backoff: backoff,
+		Log:     log,
+		ok: func(sink string) *metrics.Counter {
+			return reg.Counter("alerts_delivery_ok_total", metrics.L("sink", sink))
+		},
+		failed: func(sink string) *metrics.Counter {
+			return reg.Counter("alerts_delivery_failed_total", metrics.L("sink", sink))
+		},
+		retries: func(sink string) *metrics.Counter {
+			return reg.Counter("alerts_delivery_retries_total", metrics.L("sink", sink))
+		},
+	}
+}
+
+// Dispatch delivers one event to every sink. It never returns an
+// error: delivery failures are counted, logged, and contained.
+func (d *Dispatcher) Dispatch(ev Event) {
+	for _, s := range d.Sinks {
+		var err error
+		for attempt := 0; attempt <= d.Retries; attempt++ {
+			if attempt > 0 {
+				d.retries(s.Name()).Inc()
+				if d.Backoff > 0 {
+					time.Sleep(d.Backoff)
+				}
+			}
+			if err = s.Deliver(ev); err == nil {
+				break
+			}
+		}
+		if err != nil {
+			d.failed(s.Name()).Inc()
+			if d.Log != nil {
+				fmt.Fprintf(d.Log, "daemon: alert delivery to %s failed after %d attempts: %v\n",
+					s.Name(), d.Retries+1, err)
+			}
+			continue
+		}
+		d.ok(s.Name()).Inc()
+	}
+}

@@ -1,0 +1,176 @@
+package alert
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/rtc-compliance/rtcc/internal/metrics"
+)
+
+var testEvent = Event{
+	Kind: "fire", Rule: "r", Type: TypeComplianceDrop, App: "Discord",
+	Time: base, Value: 0.2,
+	Message: "alert r firing: app=Discord type-compliance rate=0.200",
+}
+
+func TestLogSink(t *testing.T) {
+	var buf bytes.Buffer
+	s := LogSink{Out: &buf}
+	if s.Name() != "log" {
+		t.Fatalf("name = %q", s.Name())
+	}
+	if err := s.Deliver(testEvent); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "daemon: "+testEvent.Message+"\n" {
+		t.Fatalf("log line = %q", got)
+	}
+}
+
+func TestWebhookSink(t *testing.T) {
+	var got atomic.Value
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		got.Store(string(r.Header.Get("Content-Type")) + "|" + string(body))
+	}))
+	defer srv.Close()
+	s := WebhookSink{URL: srv.URL}
+	if s.Name() != "webhook" {
+		t.Fatalf("name = %q", s.Name())
+	}
+	if err := s.Deliver(testEvent); err != nil {
+		t.Fatal(err)
+	}
+	parts := strings.SplitN(got.Load().(string), "|", 2)
+	if !strings.HasPrefix(parts[0], "application/json") {
+		t.Fatalf("content type = %q", parts[0])
+	}
+	var ev Event
+	if err := json.Unmarshal([]byte(parts[1]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Rule != "r" || ev.Kind != "fire" || ev.App != "Discord" {
+		t.Fatalf("decoded event = %+v", ev)
+	}
+}
+
+func TestWebhookSinkNon2xx(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusBadGateway)
+	}))
+	defer srv.Close()
+	s := &WebhookSink{URL: srv.URL}
+	if err := s.Deliver(testEvent); err == nil {
+		t.Fatal("expected error on 502")
+	}
+}
+
+func TestExecSink(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "alerts.log")
+	s := ExecSink{Command: `printf '%s %s %s\n' "$ALERT_KIND" "$ALERT_RULE" "$ALERT_APP" >> ` + out + `; cat > ` + filepath.Join(dir, "stdin.json")}
+	if s.Name() != "exec" {
+		t.Fatalf("name = %q", s.Name())
+	}
+	if err := s.Deliver(testEvent); err != nil {
+		t.Fatal(err)
+	}
+	line, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(line) != "fire r Discord\n" {
+		t.Fatalf("exec output = %q", line)
+	}
+	var ev Event
+	raw, err := os.ReadFile(filepath.Join(dir, "stdin.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Value != 0.2 {
+		t.Fatalf("stdin event = %+v", ev)
+	}
+}
+
+func TestExecSinkFailureIncludesOutput(t *testing.T) {
+	s := &ExecSink{Command: "echo boom >&2; exit 3"}
+	err := s.Deliver(testEvent)
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// flakySink fails the first n deliveries, then succeeds.
+type flakySink struct {
+	fail  int
+	calls int
+}
+
+func (s *flakySink) Name() string { return "flaky" }
+func (s *flakySink) Deliver(Event) error {
+	s.calls++
+	if s.calls <= s.fail {
+		return io.ErrUnexpectedEOF
+	}
+	return nil
+}
+
+func TestDispatcherRetries(t *testing.T) {
+	reg := metrics.NewRegistry()
+	var log bytes.Buffer
+	flaky := &flakySink{fail: 2}
+	d := NewDispatcher([]Sink{flaky}, 2, time.Millisecond, &log, reg)
+	d.Dispatch(testEvent)
+	if flaky.calls != 3 {
+		t.Fatalf("calls = %d, want 3", flaky.calls)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters[`alerts_delivery_ok_total{sink=flaky}`] != 1 {
+		t.Fatalf("ok counter: %v", snap.Counters)
+	}
+	if snap.Counters[`alerts_delivery_retries_total{sink=flaky}`] != 2 {
+		t.Fatalf("retries counter: %v", snap.Counters)
+	}
+	if log.Len() != 0 {
+		t.Fatalf("unexpected log output: %q", log.String())
+	}
+}
+
+func TestDispatcherFailureIsContained(t *testing.T) {
+	reg := metrics.NewRegistry()
+	var log bytes.Buffer
+	dead := &flakySink{fail: 100}
+	ok := &flakySink{}
+	d := NewDispatcher([]Sink{dead, ok}, 1, 0, &log, reg)
+	d.Dispatch(testEvent) // must not panic or abort the second sink
+	if dead.calls != 2 {
+		t.Fatalf("dead sink calls = %d, want 2", dead.calls)
+	}
+	if ok.calls != 1 {
+		t.Fatalf("healthy sink calls = %d, want 1", ok.calls)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters[`alerts_delivery_failed_total{sink=flaky}`] != 1 {
+		t.Fatalf("failed counter: %v", snap.Counters)
+	}
+	if !strings.Contains(log.String(), "alert delivery to flaky failed after 2 attempts") {
+		t.Fatalf("log = %q", log.String())
+	}
+}
+
+func TestDispatcherNilRegistry(t *testing.T) {
+	d := NewDispatcher([]Sink{&flakySink{}}, 0, 0, io.Discard, nil)
+	d.Dispatch(testEvent) // must not panic without metrics
+}

@@ -529,7 +529,7 @@ func (a *Analyzer) finalizeChunk(st *streamState) {
 	s := st.s
 	if s.Key.Proto == layers.IPProtocolUDP && !st.removed && st.insp != nil && st.insp.Pending() > 0 {
 		if st.partial == nil {
-			st.partial = newStreamPartial(st.span)
+			st.partial = newStreamPartial(st.span, s.Key.String(), a.opts.QoE)
 			checker := compliance.NewCheckerWith(a.opts.Registry)
 			checker.SetMetrics(a.opts.Metrics)
 			st.session = checker.NewSession()
@@ -694,7 +694,7 @@ func (a *Analyzer) finalize() (*CaptureAnalysis, error) {
 func (a *Analyzer) finishStream(s *flow.Stream) *streamPartial {
 	st := a.states[s.Key]
 	if st.partial == nil {
-		st.partial = newStreamPartial(st.span)
+		st.partial = newStreamPartial(st.span, s.Key.String(), a.opts.QoE)
 		checker := compliance.NewCheckerWith(a.opts.Registry)
 		checker.SetMetrics(a.opts.Metrics)
 		st.session = checker.NewSession()

@@ -22,6 +22,7 @@ import (
 	"github.com/rtc-compliance/rtcc/internal/obs"
 	"github.com/rtc-compliance/rtcc/internal/pcap"
 	"github.com/rtc-compliance/rtcc/internal/proto"
+	"github.com/rtc-compliance/rtcc/internal/qoe"
 	"github.com/rtc-compliance/rtcc/internal/report"
 	"github.com/rtc-compliance/rtcc/internal/trace"
 )
@@ -81,6 +82,16 @@ type Options struct {
 	// selects the defaults; see obs.Sampling). Failing verdicts always
 	// bypass sampling.
 	TraceSampling obs.Sampling
+	// QoE, when non-nil, runs the header-free QoE estimator over every
+	// final-RTC UDP stream (frame rate, bitrate, inter-frame gap
+	// jitter, stall heuristic from datagram sizes and timings only; see
+	// internal/qoe) and attaches the features to the result. Nil (the
+	// default) disables estimation at zero hot-path cost, exactly like
+	// Metrics, and estimation never changes analysis output. Features
+	// are a pure function of each stream's datagram sequence in capture
+	// order, so they are byte-identical for every worker and shard
+	// count.
+	QoE *qoe.Config
 }
 
 func (o Options) engine() *dpi.Engine {
@@ -114,6 +125,9 @@ type CaptureAnalysis struct {
 	// DecodeErrors counts frames that could not be decoded into
 	// transport packets (truncated or corrupt captures contain them).
 	DecodeErrors int
+	// QoE holds the header-free QoE features per RTC stream plus the
+	// media-stream summary. Nil unless Options.QoE enabled estimation.
+	QoE *qoe.Capture
 }
 
 // AnalyzeCapture runs the full pipeline over one in-memory capture by
@@ -238,6 +252,15 @@ func foldPartials(ca *CaptureAnalysis, partials []*streamPartial, skipFindings b
 		}
 		fctx.merge(&p.fctx)
 		p.span.Flush()
+		if p.qoe != nil {
+			if ca.QoE == nil {
+				ca.QoE = &qoe.Capture{}
+			}
+			ca.QoE.Streams = append(ca.QoE.Streams, p.qoe.Features(p.key))
+		}
+	}
+	if ca.QoE != nil {
+		ca.QoE.Summary = qoe.Summarize(ca.QoE.Streams)
 	}
 	if !skipFindings {
 		ca.Findings = fctx.findings()
@@ -263,14 +286,27 @@ type streamPartial struct {
 	// obs is scratch for Registry.Observe: passing the address of a
 	// stack local would force a heap allocation per consume call.
 	obs proto.Observation
+
+	// qoe accumulates the stream's header-free QoE evidence (nil when
+	// estimation is off); key names the stream in the feature vector.
+	// The accumulator folds records in arrival order and carries no
+	// per-chunk state, so chunked finalization and cross-shard merges
+	// leave the features identical to a serial single-chunk run.
+	qoe *qoe.Stream
+	key string
 }
 
-func newStreamPartial(span *obs.Span) *streamPartial {
-	return &streamPartial{
+func newStreamPartial(span *obs.Span, key string, qcfg *qoe.Config) *streamPartial {
+	p := &streamPartial{
 		stats: report.NewAppStats(""),
 		ssrcs: make(map[uint32]bool),
 		span:  span,
+		key:   key,
 	}
+	if qcfg != nil {
+		p.qoe = qoe.NewStream(*qcfg)
+	}
+	return p
 }
 
 // consume folds one chunk of DPI results — index-aligned with the
@@ -288,6 +324,9 @@ func (p *streamPartial) consume(recs []flow.Packet, results []dpi.Result, sessio
 	for i, r := range results {
 		p.curDgram = p.dgramBase + i + 1
 		p.curPayload = recs[i].Payload
+		if p.qoe != nil {
+			p.qoe.Observe(recs[i].Timestamp, len(recs[i].Payload))
+		}
 		p.stats.AddDatagram(r.Class)
 		for _, m := range r.Messages {
 			for _, c := range session.Check(m, recs[i].Timestamp) {
@@ -334,7 +373,7 @@ func analyzeStream(s *flow.Stream, opts Options) *streamPartial {
 	engine := opts.engine()
 	checker := compliance.NewCheckerWith(opts.Registry)
 	checker.SetMetrics(opts.Metrics)
-	p := newStreamPartial(nil)
+	p := newStreamPartial(nil, s.Key.String(), opts.QoE)
 	payloads := make([][]byte, len(s.Packets))
 	for i, pkt := range s.Packets {
 		payloads[i] = pkt.Payload

@@ -14,12 +14,17 @@ import (
 
 // Handler returns an http.Handler exposing the observability surface:
 //
-//	/metrics        JSON snapshot of the registry
+//	/metrics        JSON snapshot of the registry; ?format=prom selects
+//	                the Prometheus text exposition format instead
 //	/debug/vars     expvar (includes the registry when published)
 //	/debug/pprof/   net/http/pprof profiles
 func Handler(r *Registry) http.Handler {
 	return HandlerWith(r, nil)
 }
+
+// PromContentType is the Content-Type of the Prometheus text
+// exposition format the /metrics?format=prom branch serves.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
 
 // HandlerWith is Handler plus caller routes mounted on the same mux —
 // how the compliance daemon serves /compliance/trend from the metrics
@@ -28,9 +33,19 @@ func Handler(r *Registry) http.Handler {
 func HandlerWith(r *Registry, routes map[string]http.Handler) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		if err := r.WriteJSON(w); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+		switch format := req.URL.Query().Get("format"); format {
+		case "", "json":
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			if err := r.WriteJSON(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		case "prom", "prometheus":
+			w.Header().Set("Content-Type", PromContentType)
+			if err := r.WriteProm(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		default:
+			http.Error(w, "metrics: unknown format "+format+" (json or prom)", http.StatusBadRequest)
 		}
 	})
 	mux.Handle("/debug/vars", expvar.Handler())

@@ -1,0 +1,195 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteProm writes the registry snapshot in the Prometheus text
+// exposition format (version 0.0.4): counters (sharded ones folded in)
+// as counter families, gauges as gauge families, and histograms as
+// histogram families with cumulative buckets, +Inf, _sum, and _count.
+// Metric names get an rtcc_ prefix and are sanitized to the Prometheus
+// charset; the canonical label set of each instrument (see Name) maps
+// onto Prometheus labels. Output is sorted, so consecutive scrapes of
+// an idle registry are byte-identical.
+func (r *Registry) WriteProm(w io.Writer) error {
+	s := r.Snapshot()
+	pw := &promWriter{w: w}
+
+	counters := make(map[string][]promSample)
+	for name, v := range s.Counters {
+		base, labels := splitName(name)
+		counters[base] = append(counters[base], promSample{labels: labels, value: float64(v)})
+	}
+	pw.families(counters, "counter")
+
+	gauges := make(map[string][]promSample)
+	for name, v := range s.Gauges {
+		base, labels := splitName(name)
+		gauges[base] = append(gauges[base], promSample{labels: labels, value: float64(v)})
+	}
+	pw.families(gauges, "gauge")
+
+	hists := make(map[string][]promHist)
+	for name, h := range s.Histograms {
+		base, labels := splitName(name)
+		hists[base] = append(hists[base], promHist{labels: labels, snap: h})
+	}
+	pw.histFamilies(hists)
+	return pw.err
+}
+
+type promSample struct {
+	labels string // pre-rendered {k="v",...} or ""
+	value  float64
+}
+
+type promHist struct {
+	labels string
+	snap   HistogramSnapshot
+}
+
+// promWriter accumulates the first write error so the exposition loop
+// stays linear.
+type promWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (pw *promWriter) printf(format string, args ...any) {
+	if pw.err != nil {
+		return
+	}
+	_, pw.err = fmt.Fprintf(pw.w, format, args...)
+}
+
+// families emits one # TYPE line per base name (sorted), then the
+// family's samples in sorted label order.
+func (pw *promWriter) families(fams map[string][]promSample, typ string) {
+	for _, base := range sortedKeys(fams) {
+		samples := fams[base]
+		sort.Slice(samples, func(i, j int) bool { return samples[i].labels < samples[j].labels })
+		pw.printf("# TYPE %s %s\n", promName(base), typ)
+		for _, smp := range samples {
+			pw.sample(promName(base), smp.labels, smp.value)
+		}
+	}
+}
+
+func (pw *promWriter) histFamilies(fams map[string][]promHist) {
+	for _, base := range sortedKeys(fams) {
+		hs := fams[base]
+		sort.Slice(hs, func(i, j int) bool { return hs[i].labels < hs[j].labels })
+		name := promName(base)
+		pw.printf("# TYPE %s histogram\n", name)
+		for _, h := range hs {
+			// Snapshot buckets are per-bucket counts with the overflow
+			// bucket last (bound `inf`); Prometheus wants cumulative
+			// counts with le="+Inf".
+			var cum uint64
+			for _, b := range h.snap.Buckets {
+				cum += b.Count
+				le := strconv.FormatFloat(b.UpperSeconds, 'g', -1, 64)
+				if b.UpperSeconds >= inf {
+					le = "+Inf"
+				}
+				pw.sample(name+"_bucket", mergeLabels(h.labels, `le="`+le+`"`), float64(cum))
+			}
+			pw.sample(name+"_sum", h.labels, h.snap.SumSeconds)
+			pw.sample(name+"_count", h.labels, float64(cum))
+		}
+	}
+}
+
+func (pw *promWriter) sample(name, labels string, v float64) {
+	pw.printf("%s%s %s\n", name, labels, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// splitName splits a canonical registry name ("base{k1=v1,k2=v2}" or
+// bare "base") into the base and a rendered Prometheus label block.
+// Label values are escaped per the exposition format. (Canonical names
+// join labels with "," — a label value containing a comma would
+// mis-split here, exactly as it would be ambiguous in the JSON
+// snapshot; registry callers use short identifier-like values.)
+func splitName(name string) (base, labels string) {
+	open := strings.IndexByte(name, '{')
+	if open < 0 || !strings.HasSuffix(name, "}") {
+		return name, ""
+	}
+	base = name[:open]
+	inner := name[open+1 : len(name)-1]
+	if inner == "" {
+		return base, ""
+	}
+	var parts []string
+	for _, kv := range strings.Split(inner, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			// Not a canonical label block; treat the whole name as base.
+			return name, ""
+		}
+		parts = append(parts, promLabelName(k)+`="`+promEscape(v)+`"`)
+	}
+	return base, "{" + strings.Join(parts, ",") + "}"
+}
+
+// mergeLabels appends extra (already rendered `k="v"`) into a rendered
+// label block.
+func mergeLabels(labels, extra string) string {
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+// promName sanitizes a base name into the Prometheus metric-name
+// charset and applies the rtcc_ namespace prefix.
+func promName(base string) string {
+	return "rtcc_" + sanitize(base, true)
+}
+
+// promLabelName sanitizes a label name (no leading-digit allowance
+// difference matters for our identifier-style names).
+func promLabelName(k string) string {
+	return sanitize(k, false)
+}
+
+func sanitize(s string, allowColon bool) string {
+	var b strings.Builder
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b.WriteRune(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(c)
+		case c == ':' && allowColon:
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promEscape escapes a label value per the text exposition format.
+func promEscape(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}

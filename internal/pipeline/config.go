@@ -13,11 +13,14 @@ package pipeline
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
+	"github.com/rtc-compliance/rtcc/internal/alert"
 	"github.com/rtc-compliance/rtcc/internal/appsim"
 )
 
@@ -83,6 +86,7 @@ type Config struct {
 	Analysis Analysis     `json:"analysis"`
 	Sinks    Sinks        `json:"sinks"`
 	Daemon   DaemonConfig `json:"daemon"`
+	Alerts   AlertsConfig `json:"alerts"`
 }
 
 // Source names the capture input.
@@ -150,6 +154,11 @@ type Analysis struct {
 	// KeepPayloads retains per-packet payload records (required by
 	// header inference).
 	KeepPayloads bool `json:"keep_payloads"`
+	// QoE enables the header-free QoE estimator (internal/qoe):
+	// per-stream frame rate, bitrate, inter-frame gap jitter, and
+	// stall heuristics attached to results and trend points. Off by
+	// default (zero hot-path cost, like metrics).
+	QoE bool `json:"qoe"`
 }
 
 // FindingsOn reports the effective findings setting.
@@ -194,6 +203,75 @@ func (d DaemonConfig) epoch() time.Duration {
 		return d.Epoch.Std()
 	}
 	return 60 * time.Second
+}
+
+// AlertsConfig declares the daemon's alert rules and delivery sinks.
+// Rules are a mapping keyed by rule name (the config YAML subset has
+// no sequences), evaluated against every persisted trend point.
+type AlertsConfig struct {
+	// Rules maps rule name -> rule; see alert.Rule for the per-rule
+	// schema (type, app, drop, min, max, field, for_points,
+	// clear_points).
+	Rules map[string]alert.Rule `json:"rules"`
+	// Sinks selects where fired/resolved alerts are delivered. The log
+	// sink (the daemon's stdout) is always on when any rule is
+	// configured.
+	Sinks AlertSinks `json:"sinks"`
+	// Retries is how many re-attempts follow a failed delivery per
+	// sink; Backoff sleeps between attempts (0 = none).
+	Retries int      `json:"retries"`
+	Backoff Duration `json:"backoff"`
+}
+
+// AlertSinks names the delivery destinations.
+type AlertSinks struct {
+	// Webhook POSTs each event as JSON to this URL when non-empty.
+	Webhook AlertWebhook `json:"webhook"`
+	// Exec runs a shell command per event when non-empty (event JSON on
+	// stdin, ALERT_* variables in the environment).
+	Exec AlertExec `json:"exec"`
+}
+
+// AlertWebhook configures the webhook sink.
+type AlertWebhook struct {
+	URL     string   `json:"url"`
+	Timeout Duration `json:"timeout"`
+}
+
+// AlertExec configures the exec sink.
+type AlertExec struct {
+	Command string   `json:"command"`
+	Timeout Duration `json:"timeout"`
+}
+
+// RuleList returns the configured rules with Name filled from the map
+// key, sorted by name — the deterministic set handed to alert.NewEngine.
+func (a AlertsConfig) RuleList() []alert.Rule {
+	names := make([]string, 0, len(a.Rules))
+	for name := range a.Rules {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	rules := make([]alert.Rule, 0, len(names))
+	for _, name := range names {
+		r := a.Rules[name]
+		r.Name = name
+		rules = append(rules, r)
+	}
+	return rules
+}
+
+// BuildSinks assembles the configured sink set (log always included),
+// with out receiving log-sink lines.
+func (a AlertsConfig) BuildSinks(out io.Writer) []alert.Sink {
+	sinks := []alert.Sink{&alert.LogSink{Out: out}}
+	if a.Sinks.Webhook.URL != "" {
+		sinks = append(sinks, &alert.WebhookSink{URL: a.Sinks.Webhook.URL, Timeout: a.Sinks.Webhook.Timeout.Std()})
+	}
+	if a.Sinks.Exec.Command != "" {
+		sinks = append(sinks, &alert.ExecSink{Command: a.Sinks.Exec.Command, Timeout: a.Sinks.Exec.Timeout.Std()})
+	}
+	return sinks
 }
 
 // Window parses the configured call window.
@@ -285,6 +363,20 @@ func (c *Config) Validate() error {
 	}
 	if c.Analysis.KeepPayloads && c.Exec.EvictIdle > 0 {
 		return fmt.Errorf("pipeline: analysis.keep_payloads is incompatible with exec.evict_idle (evicted payloads cannot be retained)")
+	}
+	for _, r := range c.Alerts.RuleList() {
+		if err := r.Validate(); err != nil {
+			return fmt.Errorf("pipeline: alerts.rules.%s: %w", r.Name, err)
+		}
+		if r.Type == alert.TypeQoEFloor && !c.Analysis.QoE {
+			return fmt.Errorf("pipeline: alerts.rules.%s: qoe_floor rules need analysis.qoe: true (trend points carry no QoE fields otherwise)", r.Name)
+		}
+	}
+	if c.Alerts.Retries < 0 {
+		return fmt.Errorf("pipeline: alerts.retries must be non-negative")
+	}
+	if c.Alerts.Backoff < 0 {
+		return fmt.Errorf("pipeline: alerts.backoff must be non-negative")
 	}
 	return nil
 }

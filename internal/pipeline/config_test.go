@@ -233,3 +233,106 @@ func TestEffectiveLabel(t *testing.T) {
 		t.Fatalf("explicit label = %q", got)
 	}
 }
+
+func TestLoadFileAlertsYAML(t *testing.T) {
+	path := writeConfig(t, "p.yaml", `
+source:
+  kind: live
+  listen: "127.0.0.1:0"
+analysis:
+  qoe: true
+alerts:
+  retries: 2
+  backoff: 50ms
+  rules:
+    floor:
+      type: compliance_drop
+      min: 0.5
+      for_points: 2
+      clear_points: 3
+    regress:
+      type: compliance_drop
+      app: Zoom
+      drop: 0.3
+    fps:
+      type: qoe_floor
+      field: frame_rate
+      min: 15
+  sinks:
+    webhook:
+      url: "http://127.0.0.1:9/hook"
+      timeout: 2s
+    exec:
+      command: "logger alert"
+`)
+	var cfg Config
+	if err := LoadFile(&cfg, path); err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if !cfg.Analysis.QoE {
+		t.Fatal("analysis.qoe not decoded")
+	}
+	if cfg.Alerts.Retries != 2 || cfg.Alerts.Backoff.Std() != 50*time.Millisecond {
+		t.Fatalf("alerts = %+v", cfg.Alerts)
+	}
+	rules := cfg.Alerts.RuleList()
+	if len(rules) != 3 || rules[0].Name != "floor" || rules[1].Name != "fps" || rules[2].Name != "regress" {
+		t.Fatalf("rules = %+v", rules)
+	}
+	floor := rules[0]
+	if floor.Min == nil || *floor.Min != 0.5 || floor.ForPoints != 2 || floor.ClearPoints != 3 {
+		t.Fatalf("floor rule = %+v", floor)
+	}
+	regress := rules[2]
+	if regress.App != "Zoom" || regress.Drop == nil || *regress.Drop != 0.3 {
+		t.Fatalf("regress rule = %+v", regress)
+	}
+	fps := rules[1]
+	if fps.Field != "frame_rate" || fps.Min == nil || *fps.Min != 15 {
+		t.Fatalf("fps rule = %+v", fps)
+	}
+	if cfg.Alerts.Sinks.Webhook.URL != "http://127.0.0.1:9/hook" || cfg.Alerts.Sinks.Webhook.Timeout.Std() != 2*time.Second {
+		t.Fatalf("webhook sink = %+v", cfg.Alerts.Sinks.Webhook)
+	}
+	sinks := cfg.Alerts.BuildSinks(os.Stderr)
+	names := make([]string, len(sinks))
+	for i, s := range sinks {
+		names[i] = s.Name()
+	}
+	if strings.Join(names, ",") != "log,webhook,exec" {
+		t.Fatalf("sinks = %v", names)
+	}
+}
+
+func TestValidateAlertErrors(t *testing.T) {
+	base := "source:\n  kind: live\n  listen: \"127.0.0.1:0\"\n"
+	for _, tc := range []struct{ name, content, wantErr string }{
+		{
+			"bad-rule",
+			base + "alerts:\n  rules:\n    r:\n      type: compliance_drop\n",
+			"alerts.rules.r",
+		},
+		{
+			"qoe-rule-without-qoe",
+			base + "alerts:\n  rules:\n    r:\n      type: qoe_floor\n      field: frame_rate\n      min: 15\n",
+			"analysis.qoe",
+		},
+		{
+			"negative-retries",
+			base + "alerts:\n  retries: -1\n",
+			"retries",
+		},
+	} {
+		var cfg Config
+		if err := LoadFile(&cfg, writeConfig(t, tc.name+".yaml", tc.content)); err != nil {
+			t.Fatalf("%s: load: %v", tc.name, err)
+		}
+		err := cfg.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Fatalf("%s: want %q error, got %v", tc.name, tc.wantErr, err)
+		}
+	}
+}

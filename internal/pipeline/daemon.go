@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -9,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/rtc-compliance/rtcc/internal/alert"
 	"github.com/rtc-compliance/rtcc/internal/live"
 	"github.com/rtc-compliance/rtcc/internal/metrics"
 	"github.com/rtc-compliance/rtcc/internal/trend"
@@ -43,6 +45,13 @@ type Daemon struct {
 	srv    *metrics.Server
 	store  *trend.Store
 
+	// engine evaluates alert rules against every appended trend point;
+	// dispatch fans its transitions out to the configured sinks. The
+	// engine lives for the daemon's lifetime — SIGHUP swaps its rule
+	// set in place so firing/debounce state survives reloads.
+	engine   *alert.Engine
+	dispatch *alert.Dispatcher
+
 	mu        sync.Mutex
 	interrupt context.CancelFunc // cancels the in-flight collector read
 	stopped   atomic.Bool
@@ -50,6 +59,18 @@ type Daemon struct {
 
 	total   Accounting // conservation ledger across every session
 	started chan struct{}
+
+	// health backs /healthz (guarded by mu).
+	epochs     uint64
+	reloads    uint64
+	lastReload *reloadStatus
+}
+
+// reloadStatus records the outcome of the most recent SIGHUP reload.
+type reloadStatus struct {
+	Time  time.Time `json:"ts"`
+	OK    bool      `json:"ok"`
+	Error string    `json:"error,omitempty"`
 }
 
 // defaultDaemonIdle bounds how long a quiet collector read blocks —
@@ -146,9 +167,14 @@ func (d *Daemon) Run() error {
 	defer store.Close()
 
 	d.reg = metrics.NewRegistry()
+	d.engine = alert.NewEngine(d.cfg.Alerts.RuleList(), d.reg)
+	d.dispatch = alert.NewDispatcher(d.cfg.Alerts.BuildSinks(d.out),
+		d.cfg.Alerts.Retries, d.cfg.Alerts.Backoff.Std(), d.out, d.reg)
 	if addr := d.cfg.Sinks.MetricsAddr; addr != "" {
 		srv, err := metrics.ServeWith(addr, d.reg, map[string]http.Handler{
-			"/compliance/trend": store.Handler(),
+			"/compliance/trend":  store.Handler(),
+			"/compliance/alerts": d.engine.Handler(),
+			"/healthz":           d.healthzHandler(),
 		})
 		if err != nil {
 			return err
@@ -179,11 +205,20 @@ func (d *Daemon) Run() error {
 
 	for !d.stopped.Load() {
 		if d.reloadReq.CompareAndSwap(true, false) {
-			if err := d.applyReload(); err != nil {
+			err := d.applyReload()
+			if err != nil {
 				// A bad config on disk must not kill a healthy daemon:
 				// log and keep running the previous config.
 				fmt.Fprintf(d.out, "daemon: reload failed, keeping previous config: %v\n", err)
 			}
+			st := &reloadStatus{Time: time.Now().UTC(), OK: err == nil}
+			if err != nil {
+				st.Error = err.Error()
+			}
+			d.mu.Lock()
+			d.reloads++
+			d.lastReload = st
+			d.mu.Unlock()
 		}
 		if err := d.runEpoch(); err != nil {
 			return err
@@ -240,6 +275,13 @@ func (d *Daemon) applyReload() error {
 	oldListen := d.cfg.Source.Listen
 	d.runner.Close()
 	d.cfg, d.runner = cfg, runner
+	// Swap the alert rules in place: firing/debounce state carries over
+	// for rules that still exist (matched by name), so a reload cannot
+	// re-fire an active alert or forget one. Sinks are rebuilt (the
+	// config may have repointed the webhook or exec command).
+	d.engine.Swap(cfg.Alerts.RuleList())
+	d.dispatch = alert.NewDispatcher(cfg.Alerts.BuildSinks(d.out),
+		cfg.Alerts.Retries, cfg.Alerts.Backoff.Std(), d.out, d.reg)
 	if cfg.Source.Listen != oldListen {
 		d.col.Close()
 		if err := d.listen(); err != nil {
@@ -295,6 +337,7 @@ func (d *Daemon) runEpoch() error {
 	}
 	d.mu.Lock()
 	d.total.Add(acct)
+	d.epochs++
 	d.mu.Unlock()
 
 	reason := "epoch"
@@ -316,7 +359,67 @@ func (d *Daemon) runEpoch() error {
 	}
 	fmt.Fprintf(d.out, "daemon: epoch closed (%s): app=%s fed=%d analyzed=%d dropped=%d types=%d/%d\n",
 		reason, p.App, acct.Fed, acct.Analyzed, acct.Dropped, p.TypesCompliant, p.TypesTotal)
+	// Mirror the epoch's QoE summary into the metrics registry (gauges
+	// labeled by app); nil summary or registry is a no-op.
+	p.QoE.Publish(d.reg, p.App)
+	// Evaluate the alert rules against the point just persisted and
+	// deliver any transitions. Delivery failures are contained by the
+	// dispatcher; they never kill the epoch loop.
+	for _, ev := range d.engine.Observe(p) {
+		d.dispatch.Dispatch(ev)
+	}
 	return nil
+}
+
+// healthzHandler serves the daemon's readiness report: epoch progress,
+// last reload outcome, and ingest back-pressure accounting. Status is
+// "ok", or "degraded" when the most recent reload failed (the daemon
+// keeps serving the previous config, so it stays HTTP 200 — a
+// supervisor distinguishes the cases from the body).
+func (d *Daemon) healthzHandler() http.Handler {
+	type healthz struct {
+		Status       string        `json:"status"`
+		Epochs       uint64        `json:"epochs"`
+		EpochSeconds float64       `json:"epoch_seconds"`
+		Reloads      uint64        `json:"reloads"`
+		LastReload   *reloadStatus `json:"last_reload,omitempty"`
+		Backpressure struct {
+			Policy   string `json:"policy"`
+			Shards   int    `json:"shards"`
+			Fed      uint64 `json:"fed"`
+			Analyzed uint64 `json:"analyzed"`
+			Dropped  uint64 `json:"dropped"`
+		} `json:"backpressure"`
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		d.mu.Lock()
+		h := healthz{
+			Status:       "ok",
+			Epochs:       d.epochs,
+			EpochSeconds: d.cfg.Daemon.epoch().Seconds(),
+			Reloads:      d.reloads,
+			LastReload:   d.lastReload,
+		}
+		if d.lastReload != nil && !d.lastReload.OK {
+			h.Status = "degraded"
+		}
+		h.Backpressure.Policy = d.cfg.Exec.Policy
+		if h.Backpressure.Policy == "" {
+			h.Backpressure.Policy = "block"
+		}
+		h.Backpressure.Shards = d.cfg.Exec.Shards
+		if h.Backpressure.Shards < 1 {
+			h.Backpressure.Shards = 1 // serial path: one analyzer
+		}
+		h.Backpressure.Fed = d.total.Fed
+		h.Backpressure.Analyzed = d.total.Analyzed
+		h.Backpressure.Dropped = d.total.Dropped
+		d.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(h) //nolint:errcheck // client gone
+	})
 }
 
 // clearInterrupt retires the epoch's cancel func (no-op if Stop or

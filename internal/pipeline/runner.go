@@ -14,6 +14,7 @@ import (
 	"github.com/rtc-compliance/rtcc/internal/metrics"
 	"github.com/rtc-compliance/rtcc/internal/obs"
 	"github.com/rtc-compliance/rtcc/internal/pcap"
+	"github.com/rtc-compliance/rtcc/internal/qoe"
 	"github.com/rtc-compliance/rtcc/internal/trace"
 	"github.com/rtc-compliance/rtcc/internal/trend"
 )
@@ -103,7 +104,7 @@ func (r *Runner) ExplainEvents() []obs.Event {
 
 // Options assembles the engine options the Config describes.
 func (r *Runner) Options() core.Options {
-	return core.Options{
+	opts := core.Options{
 		MaxOffset:    r.cfg.Analysis.MaxOffset,
 		Workers:      r.cfg.Exec.Workers,
 		SkipFindings: !r.cfg.Analysis.FindingsOn(),
@@ -112,6 +113,10 @@ func (r *Runner) Options() core.Options {
 		Metrics:      r.reg,
 		Tracer:       r.tracer,
 	}
+	if r.cfg.Analysis.QoE {
+		opts.QoE = &qoe.Config{}
+	}
+	return opts
 }
 
 // Sharded reports whether the sharded ingest tier is selected.
@@ -268,6 +273,9 @@ func Point(ts time.Time, reason string, ca *core.CaptureAnalysis, acct Accountin
 	p.TypesCompliant, p.TypesTotal = ca.Stats.TypeCompliance(dpi.ProtoUnknown)
 	for _, n := range ca.Stats.Datagrams {
 		p.Datagrams += n
+	}
+	if ca.QoE != nil {
+		p.QoE = ca.QoE.Summary
 	}
 	return p
 }

@@ -1,0 +1,339 @@
+// Package qoe is a streaming, header-free QoE estimator: it derives
+// experience-level features for each RTC media stream — frame rate,
+// delivered bitrate, inter-frame gap jitter, and a stall/freeze
+// heuristic — from nothing but datagram sizes and arrival times, per
+// "Estimating WebRTC Video QoE Metrics Without Using Application
+// Headers" (Sharma et al.). The estimator never parses a payload
+// byte, so it works identically on standard RTP, proprietary-header,
+// and fully proprietary traffic — exactly the populations the
+// compliance pipeline classifies.
+//
+// The accumulator is strictly streaming (O(1) state per stream) and
+// strictly deterministic: features are pure functions of the
+// per-stream (timestamp, size) sequence in capture order, so serial,
+// worker-parallel, and sharded runs produce bit-identical features —
+// the same invariant the rest of the pipeline pins.
+//
+// Frame segmentation is the packet-burst heuristic from the source
+// paper: video encoders emit each frame as a back-to-back burst of
+// packets, so an inter-packet gap larger than FrameGap marks a frame
+// boundary. On smoothly paced senders every packet is its own "frame"
+// and FrameRate degrades gracefully to the packet rate — still a
+// meaningful delivery-cadence signal.
+package qoe
+
+import (
+	"math"
+	"time"
+
+	"github.com/rtc-compliance/rtcc/internal/metrics"
+)
+
+// Defaults for Config's zero values.
+const (
+	// DefaultFrameGap is the inter-packet gap that closes a frame
+	// burst. Consecutive packets of one encoded frame leave the sender
+	// back-to-back (sub-millisecond on the wire, a few ms after
+	// queueing); at 30 fps the next frame is ~33 ms away, so 10 ms
+	// separates burst-internal gaps from frame-interval gaps across
+	// the usual 15-60 fps range.
+	DefaultFrameGap = 10 * time.Millisecond
+	// DefaultStallGap is the inter-frame gap counted as a playback
+	// stall: four nominal frame intervals at 20 fps. The source
+	// paper's freeze detector uses the same order of magnitude.
+	DefaultStallGap = 200 * time.Millisecond
+	// DefaultMinMediaPackets and DefaultMinMediaRate gate the media
+	// heuristic: a stream is "media" when it carried at least this
+	// many datagrams at at least this packet rate. STUN keepalives and
+	// signaling chatter fall below both.
+	DefaultMinMediaPackets = 50
+	DefaultMinMediaRate    = 5.0
+)
+
+// Config tunes the estimator. The zero value selects the defaults
+// above; a nil *Config on core.Options disables estimation entirely at
+// zero hot-path cost (one pointer test per datagram), mirroring
+// Options.Metrics.
+type Config struct {
+	// FrameGap is the inter-packet gap that closes a frame burst.
+	FrameGap time.Duration
+	// StallGap is the inter-frame gap counted as a stall/freeze.
+	StallGap time.Duration
+	// MinMediaPackets and MinMediaRate gate StreamFeatures.Media.
+	MinMediaPackets int
+	MinMediaRate    float64
+}
+
+// resolved returns cfg with defaults filled in.
+func (cfg Config) resolved() Config {
+	if cfg.FrameGap <= 0 {
+		cfg.FrameGap = DefaultFrameGap
+	}
+	if cfg.StallGap <= 0 {
+		cfg.StallGap = DefaultStallGap
+	}
+	if cfg.MinMediaPackets <= 0 {
+		cfg.MinMediaPackets = DefaultMinMediaPackets
+	}
+	if cfg.MinMediaRate <= 0 {
+		cfg.MinMediaRate = DefaultMinMediaRate
+	}
+	return cfg
+}
+
+// Stream accumulates one RTC stream's QoE evidence. Feed datagrams in
+// capture order with Observe; Features finalizes. Not safe for
+// concurrent use — the pipeline owns one accumulator per stream on a
+// single goroutine, like every other per-stream context.
+type Stream struct {
+	cfg Config
+
+	packets int
+	bytes   int64
+	first   time.Time
+	last    time.Time
+
+	// Frame segmentation state: frames counts closed-plus-current
+	// bursts, frameStart is the current burst's first arrival.
+	frames     int
+	frameStart time.Time
+
+	// Inter-frame gap statistics. prevGap is the seconds between the
+	// previous two frame starts; gapDiffSum accumulates |gap - prevGap|
+	// over gapDiffs successive gap pairs (a mean-absolute-deviation
+	// jitter, deterministic where an EWMA would be too, but with no
+	// decay constant to tune).
+	prevGap    float64
+	prevGapOK  bool
+	gapDiffSum float64
+	gapDiffs   int
+
+	stalls   int
+	stallSum float64
+	longest  float64
+}
+
+// NewStream returns an accumulator with cfg's defaults resolved.
+func NewStream(cfg Config) *Stream {
+	return &Stream{cfg: cfg.resolved()}
+}
+
+// Observe folds one datagram (arrival time, transport payload size)
+// into the stream's evidence. Timestamps are expected in capture
+// order; a reordered (earlier) timestamp is clamped to the previous
+// arrival so impaired captures cannot produce negative gaps.
+func (s *Stream) Observe(ts time.Time, size int) {
+	s.packets++
+	s.bytes += int64(size)
+	if s.packets == 1 {
+		s.first, s.last = ts, ts
+		s.frames = 1
+		s.frameStart = ts
+		return
+	}
+	if ts.Before(s.last) {
+		ts = s.last
+	}
+	if ts.Sub(s.last) > s.cfg.FrameGap {
+		// The burst closed at s.last; a new frame starts at ts.
+		gap := ts.Sub(s.frameStart).Seconds()
+		if s.prevGapOK {
+			s.gapDiffSum += math.Abs(gap - s.prevGap)
+			s.gapDiffs++
+		}
+		s.prevGap, s.prevGapOK = gap, true
+		if gap > s.cfg.StallGap.Seconds() {
+			s.stalls++
+			s.stallSum += gap
+			if gap > s.longest {
+				s.longest = gap
+			}
+		}
+		s.frames++
+		s.frameStart = ts
+	}
+	s.last = ts
+}
+
+// StreamFeatures is the finalized header-free QoE feature vector of
+// one stream.
+type StreamFeatures struct {
+	// Stream is the flow key the features describe.
+	Stream string `json:"stream"`
+	// Packets, Bytes, and Seconds summarize the observed delivery.
+	Packets int     `json:"packets"`
+	Bytes   int64   `json:"bytes"`
+	Seconds float64 `json:"seconds"`
+	// Frames is the number of segmented packet bursts; FrameRate is
+	// frames per second over the stream's active span.
+	Frames    int     `json:"frames"`
+	FrameRate float64 `json:"frame_rate"`
+	// BitrateKbps is the delivered transport-payload bitrate.
+	BitrateKbps float64 `json:"bitrate_kbps"`
+	// GapJitterMs is the mean absolute deviation between successive
+	// inter-frame gaps, in milliseconds — delivery-cadence stability.
+	GapJitterMs float64 `json:"gap_jitter_ms"`
+	// Stalls counts inter-frame gaps above StallGap; StallSeconds sums
+	// them and LongestStallSeconds is the worst single gap.
+	Stalls              int     `json:"stalls"`
+	StallSeconds        float64 `json:"stall_seconds"`
+	LongestStallSeconds float64 `json:"longest_stall_seconds"`
+	// Media reports whether the stream passed the media-volume gate
+	// (Summary aggregates media streams only).
+	Media bool `json:"media"`
+}
+
+// Features finalizes the accumulated evidence. Safe to call more than
+// once; the accumulator stays usable (the daemon's epoch rotation
+// never needs that, but chunked eviction finalization does).
+func (s *Stream) Features(key string) StreamFeatures {
+	f := StreamFeatures{
+		Stream:              key,
+		Packets:             s.packets,
+		Bytes:               s.bytes,
+		Frames:              s.frames,
+		Stalls:              s.stalls,
+		StallSeconds:        round3(s.stallSum),
+		LongestStallSeconds: round3(s.longest),
+	}
+	if s.packets == 0 {
+		return f
+	}
+	dur := s.last.Sub(s.first).Seconds()
+	f.Seconds = round3(dur)
+	if dur > 0 {
+		f.FrameRate = round3(float64(s.frames) / dur)
+		f.BitrateKbps = round3(float64(s.bytes) * 8 / dur / 1000)
+	}
+	if s.gapDiffs > 0 {
+		f.GapJitterMs = round3(s.gapDiffSum / float64(s.gapDiffs) * 1000)
+	}
+	rate := 0.0
+	if dur > 0 {
+		rate = float64(s.packets) / dur
+	}
+	f.Media = s.packets >= s.cfg.MinMediaPackets && rate >= s.cfg.MinMediaRate
+	return f
+}
+
+// round3 rounds to 3 decimals: enough resolution for every feature's
+// unit, and it keeps the JSON forms short and stable. Deterministic,
+// so the byte-identical invariants hold through it.
+func round3(v float64) float64 { return math.Round(v*1000) / 1000 }
+
+// Capture is the per-capture QoE result: one feature vector per RTC
+// stream (in the pipeline's deterministic stream order) plus the
+// media-stream summary the trend series carries.
+type Capture struct {
+	Streams []StreamFeatures `json:"streams"`
+	Summary *Summary         `json:"summary,omitempty"`
+}
+
+// Summary aggregates the media streams of one capture (or daemon
+// epoch) — the QoE fields a trend point carries. Nil when the capture
+// had no media-gated stream.
+type Summary struct {
+	// MediaStreams counts the streams aggregated here.
+	MediaStreams int `json:"media_streams"`
+	// FrameRate is the mean media-stream frame rate; BitrateKbps is
+	// the summed delivered bitrate.
+	FrameRate   float64 `json:"frame_rate"`
+	BitrateKbps float64 `json:"bitrate_kbps"`
+	// GapJitterMs is the worst media-stream gap jitter.
+	GapJitterMs float64 `json:"gap_jitter_ms"`
+	// Stall accounting summed (and worst single stall) across media
+	// streams.
+	Stalls              int     `json:"stalls"`
+	StallSeconds        float64 `json:"stall_seconds"`
+	LongestStallSeconds float64 `json:"longest_stall_seconds"`
+}
+
+// Summarize folds the media streams of a feature list into a Summary,
+// nil when none qualify. Deterministic for a deterministic input
+// order.
+func Summarize(streams []StreamFeatures) *Summary {
+	var sum Summary
+	var frSum float64
+	for _, f := range streams {
+		if !f.Media {
+			continue
+		}
+		sum.MediaStreams++
+		frSum += f.FrameRate
+		sum.BitrateKbps += f.BitrateKbps
+		if f.GapJitterMs > sum.GapJitterMs {
+			sum.GapJitterMs = f.GapJitterMs
+		}
+		sum.Stalls += f.Stalls
+		sum.StallSeconds += f.StallSeconds
+		if f.LongestStallSeconds > sum.LongestStallSeconds {
+			sum.LongestStallSeconds = f.LongestStallSeconds
+		}
+	}
+	if sum.MediaStreams == 0 {
+		return nil
+	}
+	sum.FrameRate = round3(frSum / float64(sum.MediaStreams))
+	sum.BitrateKbps = round3(sum.BitrateKbps)
+	sum.StallSeconds = round3(sum.StallSeconds)
+	return &sum
+}
+
+// Fields lists the Summary field names Field resolves — the values
+// alert qoe_floor rules can threshold.
+var Fields = []string{
+	"media_streams", "frame_rate", "bitrate_kbps", "gap_jitter_ms",
+	"stalls", "stall_seconds", "longest_stall_seconds",
+}
+
+// ValidField reports whether name is a Field entry.
+func ValidField(name string) bool {
+	for _, f := range Fields {
+		if f == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Field resolves a Summary value by its JSON name. The second return
+// is false for an unknown name or a nil summary.
+func (s *Summary) Field(name string) (float64, bool) {
+	if s == nil {
+		return 0, false
+	}
+	switch name {
+	case "media_streams":
+		return float64(s.MediaStreams), true
+	case "frame_rate":
+		return s.FrameRate, true
+	case "bitrate_kbps":
+		return s.BitrateKbps, true
+	case "gap_jitter_ms":
+		return s.GapJitterMs, true
+	case "stalls":
+		return float64(s.Stalls), true
+	case "stall_seconds":
+		return s.StallSeconds, true
+	case "longest_stall_seconds":
+		return s.LongestStallSeconds, true
+	}
+	return 0, false
+}
+
+// Publish exposes the summary as qoe_* series in the metrics registry,
+// labelled by app: fractional features in milli-units (gauges carry
+// int64), stalls as a monotone counter. A nil registry or summary is a
+// no-op, matching the registry's own conventions.
+func (s *Summary) Publish(reg *metrics.Registry, app string) {
+	if s == nil || reg == nil {
+		return
+	}
+	l := metrics.L("app", app)
+	reg.Gauge("qoe_media_streams", l).Set(int64(s.MediaStreams))
+	reg.Gauge("qoe_frame_rate_milli", l).Set(int64(math.Round(s.FrameRate * 1000)))
+	reg.Gauge("qoe_bitrate_kbps_milli", l).Set(int64(math.Round(s.BitrateKbps * 1000)))
+	reg.Gauge("qoe_gap_jitter_us", l).Set(int64(math.Round(s.GapJitterMs * 1000)))
+	reg.Gauge("qoe_stall_seconds_milli", l).Set(int64(math.Round(s.StallSeconds * 1000)))
+	reg.Counter("qoe_stalls_total", l).Add(uint64(s.Stalls))
+}

@@ -1,0 +1,302 @@
+package qoe
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/rtc-compliance/rtcc/internal/metrics"
+)
+
+var t0 = time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+
+// feedFrames feeds n frames of pkts packets each: packets within a
+// frame are 1ms apart, frame starts are interval apart.
+func feedFrames(s *Stream, n, pkts, size int, interval time.Duration) {
+	for f := 0; f < n; f++ {
+		start := t0.Add(time.Duration(f) * interval)
+		for p := 0; p < pkts; p++ {
+			s.Observe(start.Add(time.Duration(p)*time.Millisecond), size)
+		}
+	}
+}
+
+func TestFrameSegmentation(t *testing.T) {
+	s := NewStream(Config{})
+	// 30 frames at ~33ms spacing, 3 packets each: burst gaps (1ms) stay
+	// under the 10ms default, frame gaps (31ms) exceed it.
+	feedFrames(s, 30, 3, 1200, 33*time.Millisecond)
+	f := s.Features("k")
+	if f.Frames != 30 {
+		t.Fatalf("frames = %d, want 30", f.Frames)
+	}
+	if f.Packets != 90 || f.Bytes != 90*1200 {
+		t.Fatalf("packets/bytes = %d/%d", f.Packets, f.Bytes)
+	}
+	// Span = 29 frame intervals + 2ms trailing burst.
+	wantDur := (29*33 + 2) * time.Millisecond
+	if f.Seconds != round3(wantDur.Seconds()) {
+		t.Fatalf("seconds = %v, want %v", f.Seconds, round3(wantDur.Seconds()))
+	}
+	wantRate := round3(30 / wantDur.Seconds())
+	if f.FrameRate != wantRate {
+		t.Fatalf("frame rate = %v, want %v", f.FrameRate, wantRate)
+	}
+	wantKbps := round3(float64(90*1200) * 8 / wantDur.Seconds() / 1000)
+	if f.BitrateKbps != wantKbps {
+		t.Fatalf("bitrate = %v, want %v", f.BitrateKbps, wantKbps)
+	}
+	// Perfectly periodic frames: zero gap jitter, no stalls.
+	if f.GapJitterMs != 0 {
+		t.Fatalf("gap jitter = %v, want 0", f.GapJitterMs)
+	}
+	if f.Stalls != 0 || f.StallSeconds != 0 || f.LongestStallSeconds != 0 {
+		t.Fatalf("stalls = %d/%v/%v, want none", f.Stalls, f.StallSeconds, f.LongestStallSeconds)
+	}
+	if !f.Media {
+		t.Fatal("90 packets over ~1s should pass the media gate")
+	}
+}
+
+func TestStallDetection(t *testing.T) {
+	s := NewStream(Config{})
+	// 10 frames at 33ms, then a 500ms freeze, then 10 more.
+	feedFrames(s, 10, 3, 1000, 33*time.Millisecond)
+	freeze := t0.Add(9*33*time.Millisecond + 500*time.Millisecond)
+	for f := 0; f < 10; f++ {
+		start := freeze.Add(time.Duration(f) * 33 * time.Millisecond)
+		for p := 0; p < 3; p++ {
+			s.Observe(start.Add(time.Duration(p)*time.Millisecond), 1000)
+		}
+	}
+	f := s.Features("k")
+	if f.Frames != 20 {
+		t.Fatalf("frames = %d, want 20", f.Frames)
+	}
+	if f.Stalls != 1 {
+		t.Fatalf("stalls = %d, want 1", f.Stalls)
+	}
+	if f.StallSeconds != 0.5 || f.LongestStallSeconds != 0.5 {
+		t.Fatalf("stall seconds = %v/%v, want 0.5", f.StallSeconds, f.LongestStallSeconds)
+	}
+	if f.GapJitterMs == 0 {
+		t.Fatal("the freeze must register as gap jitter")
+	}
+}
+
+func TestGapJitter(t *testing.T) {
+	s := NewStream(Config{})
+	// Alternating 20ms/40ms frame gaps: every successive gap pair
+	// differs by 20ms, so the mean absolute deviation is exactly 20ms.
+	ts := t0
+	s.Observe(ts, 500)
+	for i := 0; i < 20; i++ {
+		gap := 20 * time.Millisecond
+		if i%2 == 1 {
+			gap = 40 * time.Millisecond
+		}
+		ts = ts.Add(gap)
+		s.Observe(ts, 500)
+	}
+	f := s.Features("k")
+	if f.GapJitterMs != 20 {
+		t.Fatalf("gap jitter = %v, want 20", f.GapJitterMs)
+	}
+}
+
+func TestReorderClamp(t *testing.T) {
+	s := NewStream(Config{})
+	s.Observe(t0, 100)
+	s.Observe(t0.Add(30*time.Millisecond), 100)
+	// A reordered (earlier) arrival must not produce a negative gap or
+	// extra frame.
+	s.Observe(t0.Add(20*time.Millisecond), 100)
+	s.Observe(t0.Add(60*time.Millisecond), 100)
+	f := s.Features("k")
+	if f.Frames != 3 {
+		t.Fatalf("frames = %d, want 3", f.Frames)
+	}
+	if f.Seconds != 0.06 {
+		t.Fatalf("seconds = %v, want 0.06", f.Seconds)
+	}
+}
+
+func TestEmptyAndSinglePacket(t *testing.T) {
+	s := NewStream(Config{})
+	f := s.Features("empty")
+	if f.Packets != 0 || f.Frames != 0 || f.Media {
+		t.Fatalf("empty stream features: %+v", f)
+	}
+	s.Observe(t0, 900)
+	f = s.Features("one")
+	if f.Packets != 1 || f.Frames != 1 || f.Seconds != 0 || f.FrameRate != 0 || f.Media {
+		t.Fatalf("single-packet features: %+v", f)
+	}
+}
+
+func TestMediaGate(t *testing.T) {
+	// Below MinMediaPackets: not media.
+	s := NewStream(Config{})
+	feedFrames(s, 10, 1, 100, 30*time.Millisecond)
+	if s.Features("k").Media {
+		t.Fatal("10 packets must not pass the default 50-packet gate")
+	}
+	// Enough packets but glacial rate: not media.
+	s = NewStream(Config{})
+	feedFrames(s, 60, 1, 100, 2*time.Second)
+	if s.Features("k").Media {
+		t.Fatal("0.5 pps must not pass the default 5 pps gate")
+	}
+	// Custom gate.
+	s = NewStream(Config{MinMediaPackets: 5, MinMediaRate: 1})
+	feedFrames(s, 10, 1, 100, 30*time.Millisecond)
+	if !s.Features("k").Media {
+		t.Fatal("custom gate should admit 10 packets at ~33 pps")
+	}
+}
+
+func TestChunkedObservationMatchesSingle(t *testing.T) {
+	// The accumulator must be chunk-boundary-independent: feeding the
+	// same sequence through one accumulator (however the caller batches
+	// its Observe calls) always yields identical features. This is the
+	// property that makes eviction-mode chunking and cross-shard merges
+	// byte-identical to serial.
+	mk := func() *Stream { return NewStream(Config{}) }
+	a, b := mk(), mk()
+	var seq []time.Time
+	ts := t0
+	for i := 0; i < 200; i++ {
+		gap := time.Duration(1+i%40) * time.Millisecond
+		if i%37 == 0 {
+			gap = 300 * time.Millisecond
+		}
+		ts = ts.Add(gap)
+		seq = append(seq, ts)
+	}
+	for _, ts := range seq {
+		a.Observe(ts, 700)
+	}
+	for i, ts := range seq {
+		b.Observe(ts, 700)
+		if i%13 == 0 {
+			// Interleave Features calls: finalization must not disturb
+			// the accumulator.
+			_ = b.Features("k")
+		}
+	}
+	fa, fb := a.Features("k"), b.Features("k")
+	if fa != fb {
+		t.Fatalf("features diverged:\n a=%+v\n b=%+v", fa, fb)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	if s := Summarize(nil); s != nil {
+		t.Fatal("no streams must summarize to nil")
+	}
+	if s := Summarize([]StreamFeatures{{Media: false, FrameRate: 30}}); s != nil {
+		t.Fatal("non-media streams must summarize to nil")
+	}
+	s := Summarize([]StreamFeatures{
+		{Media: true, FrameRate: 30, BitrateKbps: 1000, GapJitterMs: 2, Stalls: 1, StallSeconds: 0.3, LongestStallSeconds: 0.3},
+		{Media: true, FrameRate: 20, BitrateKbps: 500, GapJitterMs: 5, Stalls: 2, StallSeconds: 0.9, LongestStallSeconds: 0.6},
+		{Media: false, FrameRate: 999, BitrateKbps: 999, Stalls: 99},
+	})
+	if s == nil || s.MediaStreams != 2 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.FrameRate != 25 || s.BitrateKbps != 1500 {
+		t.Fatalf("frame rate/bitrate = %v/%v", s.FrameRate, s.BitrateKbps)
+	}
+	if s.GapJitterMs != 5 || s.Stalls != 3 || s.StallSeconds != 1.2 || s.LongestStallSeconds != 0.6 {
+		t.Fatalf("jitter/stalls = %+v", s)
+	}
+}
+
+func TestSummaryField(t *testing.T) {
+	s := &Summary{MediaStreams: 2, FrameRate: 24.5, BitrateKbps: 800,
+		GapJitterMs: 3.25, Stalls: 4, StallSeconds: 1.5, LongestStallSeconds: 0.75}
+	want := map[string]float64{
+		"media_streams": 2, "frame_rate": 24.5, "bitrate_kbps": 800,
+		"gap_jitter_ms": 3.25, "stalls": 4, "stall_seconds": 1.5,
+		"longest_stall_seconds": 0.75,
+	}
+	for _, name := range Fields {
+		v, ok := s.Field(name)
+		if !ok {
+			t.Fatalf("Field(%q) not resolved", name)
+		}
+		if v != want[name] {
+			t.Fatalf("Field(%q) = %v, want %v", name, v, want[name])
+		}
+		if !ValidField(name) {
+			t.Fatalf("ValidField(%q) = false", name)
+		}
+	}
+	if _, ok := s.Field("nope"); ok {
+		t.Fatal("unknown field resolved")
+	}
+	if ValidField("nope") {
+		t.Fatal("ValidField accepted unknown name")
+	}
+	var nilSum *Summary
+	if _, ok := nilSum.Field("frame_rate"); ok {
+		t.Fatal("nil summary resolved a field")
+	}
+}
+
+func TestPublish(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := &Summary{MediaStreams: 3, FrameRate: 29.97, BitrateKbps: 1500.5,
+		GapJitterMs: 1.234, Stalls: 2, StallSeconds: 0.8}
+	s.Publish(reg, "Zoom")
+	snap := reg.Snapshot()
+	if g := snap.Gauges[`qoe_frame_rate_milli{app=Zoom}`]; g != 29970 {
+		t.Fatalf("frame rate gauge = %d", g)
+	}
+	if g := snap.Gauges[`qoe_media_streams{app=Zoom}`]; g != 3 {
+		t.Fatalf("media streams gauge = %d", g)
+	}
+	if c := snap.Counters[`qoe_stalls_total{app=Zoom}`]; c != 2 {
+		t.Fatalf("stalls counter = %d", c)
+	}
+	// Nil registry and nil summary are no-ops.
+	s.Publish(nil, "Zoom")
+	(*Summary)(nil).Publish(reg, "Zoom")
+}
+
+func TestDefaultsResolved(t *testing.T) {
+	cfg := Config{}.resolved()
+	if cfg.FrameGap != DefaultFrameGap || cfg.StallGap != DefaultStallGap ||
+		cfg.MinMediaPackets != DefaultMinMediaPackets || cfg.MinMediaRate != DefaultMinMediaRate {
+		t.Fatalf("resolved defaults = %+v", cfg)
+	}
+	custom := Config{FrameGap: time.Millisecond, StallGap: time.Second, MinMediaPackets: 1, MinMediaRate: 0.5}
+	if custom.resolved() != custom {
+		t.Fatal("explicit config must survive resolution")
+	}
+}
+
+func TestRound3(t *testing.T) {
+	if round3(1.23456) != 1.235 || round3(0) != 0 {
+		t.Fatal("round3 broken")
+	}
+	if math.Signbit(round3(-0.0001)+0) && round3(-0.0001) != 0 {
+		t.Fatal("round3 near-zero negative")
+	}
+}
+
+func TestFeaturesJSONStable(t *testing.T) {
+	s := NewStream(Config{})
+	feedFrames(s, 60, 2, 1100, 33*time.Millisecond)
+	f := s.Features("10.0.0.1:5000-10.0.0.2:6000/udp")
+	b1, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := json.Marshal(s.Features("10.0.0.1:5000-10.0.0.2:6000/udp"))
+	if string(b1) != string(b2) {
+		t.Fatal("re-finalized features changed")
+	}
+}

@@ -20,6 +20,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"github.com/rtc-compliance/rtcc/internal/qoe"
 )
 
 // Point is one epoch's compliance summary for one application label.
@@ -49,6 +51,10 @@ type Point struct {
 	Fed      uint64 `json:"fed"`
 	Analyzed uint64 `json:"analyzed"`
 	Dropped  uint64 `json:"dropped"`
+	// QoE is the epoch's header-free QoE summary over media streams
+	// (see internal/qoe). Absent when estimation is off or no stream
+	// passed the media gate.
+	QoE *qoe.Summary `json:"qoe,omitempty"`
 }
 
 // DefaultKeep bounds the in-memory ring when the caller does not.
@@ -171,10 +177,35 @@ type trendResponse struct {
 	Points []Point `json:"points"`
 }
 
-// Handler serves the ring as JSON. Query parameters:
+// ParseSince resolves a since= query value: an RFC 3339 timestamp is a
+// cutoff directly; a Go duration ("15m", "1h30m") means that long
+// before now.
+func ParseSince(v string, now time.Time) (time.Time, error) {
+	if ts, err := time.Parse(time.RFC3339, v); err == nil {
+		return ts, nil
+	}
+	if d, err := time.ParseDuration(v); err == nil && d >= 0 {
+		return now.Add(-d), nil
+	}
+	return time.Time{}, fmt.Errorf("trend: bad since value %q (want RFC3339 timestamp or duration)", v)
+}
+
+// writeJSONError is the handler's error path: errors are JSON like
+// every success body, so clients can parse /compliance/trend responses
+// with one decoder.
+func writeJSONError(w http.ResponseWriter, msg string, code int) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg}) //nolint:errcheck // client gone
+}
+
+// Handler serves the ring as JSON (Content-Type: application/json on
+// every response, errors included). Query parameters:
 //
-//	app=NAME   only points for this application label
-//	last=N     only the most recent N matching points
+//	app=NAME     only points for this application label
+//	since=WHEN   only points at or after WHEN: an RFC 3339 timestamp,
+//	             or a duration ("15m") meaning that long before now
+//	last=N       only the most recent N matching points
 func (s *Store) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		pts := s.Points()
@@ -187,10 +218,24 @@ func (s *Store) Handler() http.Handler {
 			}
 			pts = filtered
 		}
+		if sinceStr := req.URL.Query().Get("since"); sinceStr != "" {
+			cutoff, err := ParseSince(sinceStr, time.Now())
+			if err != nil {
+				writeJSONError(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			filtered := pts[:0]
+			for _, p := range pts {
+				if !p.Time.Before(cutoff) {
+					filtered = append(filtered, p)
+				}
+			}
+			pts = filtered
+		}
 		if lastStr := req.URL.Query().Get("last"); lastStr != "" {
 			n, err := strconv.Atoi(lastStr)
 			if err != nil || n < 0 {
-				http.Error(w, "trend: bad last parameter", http.StatusBadRequest)
+				writeJSONError(w, "trend: bad last parameter", http.StatusBadRequest)
 				return
 			}
 			if n < len(pts) {

@@ -5,8 +5,11 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
+
+	"github.com/rtc-compliance/rtcc/internal/qoe"
 )
 
 func pt(app string, fed uint64) Point {
@@ -135,4 +138,117 @@ func TestHandlerFilters(t *testing.T) {
 
 func writeFile(path, content string) error {
 	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func TestParseSince(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	got, err := ParseSince("2026-08-08T10:30:00Z", now)
+	if err != nil || !got.Equal(time.Date(2026, 8, 8, 10, 30, 0, 0, time.UTC)) {
+		t.Fatalf("RFC3339: %v %v", got, err)
+	}
+	got, err = ParseSince("90m", now)
+	if err != nil || !got.Equal(now.Add(-90*time.Minute)) {
+		t.Fatalf("duration: %v %v", got, err)
+	}
+	for _, bad := range []string{"yesterday", "-5m", ""} {
+		if _, err := ParseSince(bad, now); err == nil {
+			t.Errorf("ParseSince(%q): expected error", bad)
+		}
+	}
+}
+
+func TestHandlerSinceFilter(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trend.jsonl")
+	s, err := Open(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Three points spaced one hour apart; pt() pins Time, so shift it.
+	for i := 0; i < 3; i++ {
+		p := pt("Zoom", uint64(i))
+		p.Time = time.Date(2026, 8, 8, 9+i, 0, 0, 0, time.UTC)
+		s.Append(p)
+	}
+
+	req := httptest.NewRequest("GET", "/compliance/trend?since=2026-08-08T10:00:00Z", nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json; charset=utf-8" {
+		t.Fatalf("content type %q", ct)
+	}
+	var resp trendResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	// The cutoff is inclusive: the 10:00 and 11:00 points survive.
+	if len(resp.Points) != 2 || resp.Points[0].Fed != 1 {
+		t.Fatalf("since filter: %+v", resp.Points)
+	}
+
+	// Bad since values produce a JSON error body, not text/plain.
+	req = httptest.NewRequest("GET", "/compliance/trend?since=tomorrow", nil)
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != 400 {
+		t.Fatalf("bad since: status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json; charset=utf-8" {
+		t.Fatalf("bad since content type %q", ct)
+	}
+	var jsonErr struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &jsonErr); err != nil || jsonErr.Error == "" {
+		t.Fatalf("error body %q (%v)", rec.Body.String(), err)
+	}
+}
+
+func TestPointQoERoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trend.jsonl")
+	s, err := Open(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pt("Zoom", 1)
+	p.QoE = &qoe.Summary{
+		MediaStreams: 2, FrameRate: 29.97, BitrateKbps: 1500.5,
+		GapJitterMs: 1.25, Stalls: 1, StallSeconds: 0.5, LongestStallSeconds: 0.5,
+	}
+	if err := s.Append(p); err != nil {
+		t.Fatal(err)
+	}
+	// A point without QoE must omit the key entirely.
+	if err := s.Append(pt("Zoom", 2)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if !strings.Contains(lines[0], `"qoe":{`) {
+		t.Fatalf("qoe not serialized: %s", lines[0])
+	}
+	if strings.Contains(lines[1], `"qoe"`) {
+		t.Fatalf("qoe key present without data: %s", lines[1])
+	}
+
+	s2, err := Open(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	pts := s2.Points()
+	if pts[0].QoE == nil || pts[0].QoE.FrameRate != 29.97 || pts[0].QoE.Stalls != 1 {
+		t.Fatalf("qoe not round-tripped: %+v", pts[0].QoE)
+	}
+	if pts[1].QoE != nil {
+		t.Fatalf("phantom qoe on second point: %+v", pts[1].QoE)
+	}
 }

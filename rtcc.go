@@ -35,6 +35,7 @@ import (
 	"os"
 	"time"
 
+	"github.com/rtc-compliance/rtcc/internal/alert"
 	"github.com/rtc-compliance/rtcc/internal/appsim"
 	"github.com/rtc-compliance/rtcc/internal/bufpool"
 	"github.com/rtc-compliance/rtcc/internal/core"
@@ -48,6 +49,7 @@ import (
 	"github.com/rtc-compliance/rtcc/internal/pipeline"
 	"github.com/rtc-compliance/rtcc/internal/proto"
 	_ "github.com/rtc-compliance/rtcc/internal/proto/protoall"
+	"github.com/rtc-compliance/rtcc/internal/qoe"
 	"github.com/rtc-compliance/rtcc/internal/report"
 	"github.com/rtc-compliance/rtcc/internal/trace"
 	"github.com/rtc-compliance/rtcc/internal/trend"
@@ -442,6 +444,45 @@ type (
 	// the daemon's /compliance/trend series and the JSONL verdict
 	// stream use.
 	TrendPoint = trend.Point
+)
+
+// Header-free QoE estimation and compliance alerting. QoEConfig on
+// Options (or `analysis.qoe: true` in a pipeline config) estimates
+// per-stream media features — frame rate, bitrate, inter-frame gap
+// jitter, stalls — from packet timing and sizes alone, deterministic
+// across worker and shard counts; AlertRule instances in the daemon
+// config page through log/webhook/exec sinks when an app's
+// type-compliance regresses between trend points or a QoE floor is
+// crossed, with debounce/hysteresis and exactly-once-per-episode
+// firing.
+type (
+	// QoEConfig enables header-free QoE estimation; the zero value
+	// uses the default frame/stall gap thresholds and media gates.
+	QoEConfig = qoe.Config
+	// QoECapture is a capture's QoE result: per-stream features plus
+	// the media-stream summary trend points carry.
+	QoECapture = qoe.Capture
+	// QoEStreamFeatures is one stream's estimated feature vector.
+	QoEStreamFeatures = qoe.StreamFeatures
+	// QoESummary is the capture-level roll-up over media streams.
+	QoESummary = qoe.Summary
+	// AlertRule is one declarative alert rule (compliance_drop or
+	// qoe_floor) as configured under alerts.rules.
+	AlertRule = alert.Rule
+	// AlertEvent is one fire/resolve transition delivered to sinks.
+	AlertEvent = alert.Event
+	// AlertEngine evaluates rules against trend points with per-
+	// (rule, app) debounce/hysteresis state.
+	AlertEngine = alert.Engine
+)
+
+var (
+	// NewAlertEngine builds an engine from a rule set; the registry
+	// may be nil (alert counters off).
+	NewAlertEngine = alert.NewEngine
+	// SummarizeQoE rolls per-stream features up into the media-only
+	// capture summary (nil when no stream passes the media gate).
+	SummarizeQoE = qoe.Summarize
 )
 
 var (
